@@ -1,0 +1,102 @@
+"""Ablation: which cost-model terms produce which paper shapes.
+
+DESIGN.md claims the cluster-figure shapes come from the *structure* of the
+cost model, not tuned constants.  This bench flips individual terms off and
+checks the associated shape appears/disappears:
+
+* zero out the network cost -> format 1's shuffle penalty (Fig. 13 vs 16)
+  collapses;
+* zero out Spark's per-split driver overhead -> its Figure 18 file-count
+  degradation disappears.
+"""
+
+from conftest import run_once
+
+from repro.cluster.topology import ClusterSpec
+from repro.core.benchmark import Task
+from repro.engines.base import create_engine
+from repro.engines.hive.session import HIVE_COST_MODEL
+from repro.engines.spark.rdd import SPARK_COST_MODEL
+from repro.harness.datasets import synthetic_dataset
+from repro.io.formats import ClusterFormat
+
+
+def _hive_time(dataset, fmt, cost_model):
+    engine = create_engine("hive", fmt=fmt, cost_model=cost_model)
+    try:
+        engine.load_dataset(dataset, "")
+        before = engine.sim_seconds()
+        engine.run_task(Task.THREELINE)
+        return engine.sim_seconds() - before
+    finally:
+        engine.close()
+
+
+def _spark_time(dataset, n_files, cost_model):
+    engine = create_engine(
+        "spark", fmt=ClusterFormat.FILE_PER_GROUP, n_files=n_files,
+        cost_model=cost_model,
+    )
+    try:
+        engine.load_dataset(dataset, "")
+        before = engine.sim_seconds()
+        engine.run_task(Task.THREELINE)
+        return engine.sim_seconds() - before
+    finally:
+        engine.close()
+
+
+def test_shuffle_cost_drives_format1_penalty(benchmark):
+    dataset = synthetic_dataset(120, 24 * 60)
+
+    def run():
+        default = {
+            fmt: _hive_time(dataset, fmt, HIVE_COST_MODEL)
+            for fmt in (
+                ClusterFormat.READING_PER_LINE,
+                ClusterFormat.HOUSEHOLD_PER_LINE,
+            )
+        }
+        free_network = HIVE_COST_MODEL.with_overrides(net_bytes_per_s=1e12)
+        no_net = {
+            fmt: _hive_time(dataset, fmt, free_network)
+            for fmt in (
+                ClusterFormat.READING_PER_LINE,
+                ClusterFormat.HOUSEHOLD_PER_LINE,
+            )
+        }
+        return default, no_net
+
+    default, no_net = benchmark.pedantic(run, rounds=1, iterations=1)
+    fmt1, fmt2 = (
+        ClusterFormat.READING_PER_LINE,
+        ClusterFormat.HOUSEHOLD_PER_LINE,
+    )
+    # With real network costs, format 1 pays for its shuffle.
+    assert default[fmt1] > default[fmt2]
+    # With a free network, the penalty shrinks substantially.
+    default_gap = default[fmt1] - default[fmt2]
+    no_net_gap = no_net[fmt1] - no_net[fmt2]
+    assert no_net_gap < default_gap
+
+
+def test_driver_overhead_drives_spark_file_degradation(benchmark):
+    dataset = synthetic_dataset(240, 24 * 45)
+
+    def run():
+        with_overhead = SPARK_COST_MODEL.with_overrides(driver_per_split_s=0.05)
+        without = SPARK_COST_MODEL.with_overrides(driver_per_split_s=0.0)
+        return (
+            _spark_time(dataset, 10, with_overhead),
+            _spark_time(dataset, 240, with_overhead),
+            _spark_time(dataset, 10, without),
+            _spark_time(dataset, 240, without),
+        )
+
+    few_oh, many_oh, few_no, many_no = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    # With the driver term, many files are clearly slower.
+    assert many_oh > few_oh * 1.5
+    # Without it, the degradation (mostly) disappears.
+    assert (many_no - few_no) < (many_oh - few_oh) * 0.5

@@ -1,0 +1,22 @@
+"""Figure 4: data loading times, partitioned vs un-partitioned files."""
+
+from conftest import run_once, series
+
+from repro.harness.single_server import figure4
+
+
+def test_fig4_loading_times(benchmark, quick_scale):
+    result = run_once(benchmark, lambda: figure4(scale=quick_scale))
+    rows = {(r["platform"], r["layout"]): r["seconds"] for r in series(result)}
+
+    # Paper: System C is by far the fastest loader (memory-mapped I/O);
+    # loading into the relational DBMS is the slowest.
+    assert rows[("systemc", "un-partitioned")] < rows[("madlib", "un-partitioned")]
+    assert rows[("systemc", "partitioned")] < rows[("madlib", "partitioned")]
+
+    # Paper: bulk-loading one large CSV beats loading many small files
+    # for the DBMS.
+    assert rows[("madlib", "un-partitioned")] <= rows[("madlib", "partitioned")] * 1.5
+
+    # Matlab's single bar (file splitting) exists.
+    assert ("matlab", "partitioned") in rows

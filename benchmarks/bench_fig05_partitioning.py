@@ -1,0 +1,23 @@
+"""Figure 5: file partitioning impact on Matlab's 3-line algorithm."""
+
+from conftest import run_once, series
+
+from repro.harness.single_server import figure5
+
+
+def test_fig5_partitioned_files_win(benchmark, quick_scale):
+    result = run_once(benchmark, lambda: figure5(scale=quick_scale))
+
+    # Paper: Matlab operates much more efficiently when each consumer's
+    # data is in its own file; the gap holds at the largest size.
+    largest = max(r["gb"] for r in series(result))
+    part = series(result, gb=largest, layout="partitioned")[0]["seconds"]
+    unpart = series(result, gb=largest, layout="un-partitioned")[0]["seconds"]
+    assert part < unpart
+
+    # Running time grows with data size on the partitioned layout.
+    sizes = sorted({r["gb"] for r in series(result)})
+    part_times = [
+        series(result, gb=gb, layout="partitioned")[0]["seconds"] for gb in sizes
+    ]
+    assert part_times[-1] > part_times[0] * 0.8  # allow jitter, forbid shrink

@@ -1,0 +1,22 @@
+"""Figure 6: cold vs warm start for 3-line, with the T1/T2/T3 phase split."""
+
+from conftest import run_once, series
+
+from repro.harness.single_server import figure6
+
+
+def test_fig6_cold_warm_and_phases(benchmark):
+    result = run_once(benchmark, figure6)
+    rows = {r["platform"]: r for r in series(result)}
+
+    # Cold start costs at least as much as warm start (within jitter).
+    for platform, row in rows.items():
+        assert row["cold_s"] >= row["warm_s"] * 0.8, platform
+
+    # Paper: System C is the fastest overall.
+    assert rows["systemc"]["cold_s"] < rows["madlib"]["cold_s"]
+
+    # Paper: T2 (the regression phase) dominates the 3-line algorithm.
+    for platform, row in rows.items():
+        assert row["t2_regression"] > row["t1_quantiles"], platform
+        assert row["t2_regression"] > row["t3_adjust"], platform

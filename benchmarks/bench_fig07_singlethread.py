@@ -1,0 +1,30 @@
+"""Figure 7: single-threaded execution times, 4 tasks x 3 platforms."""
+
+from conftest import run_once, series
+
+from repro.harness.single_server import figure7
+
+
+def test_fig7_single_thread_ranking(benchmark, quick_scale):
+    result = run_once(
+        benchmark, lambda: figure7(scale=quick_scale, sizes_gb=(4.0, 10.0))
+    )
+
+    def seconds(task, gb, platform):
+        return series(result, task=task, gb=gb, platform=platform)[0]["seconds"]
+
+    # Paper: System C is the clear winner on 3-line at every size.
+    for gb in (4.0, 10.0):
+        assert seconds("threeline", gb, "systemc") < seconds("threeline", gb, "matlab")
+        assert seconds("threeline", gb, "systemc") < seconds("threeline", gb, "madlib")
+
+    # Paper: similarity is the heaviest task for every platform.
+    for platform in ("matlab", "systemc"):
+        assert (
+            seconds("similarity", 4.0, platform) >= seconds("histogram", 4.0, platform)
+        ) or seconds("histogram", 4.0, platform) < 0.05  # tiny-time jitter guard
+
+    # Paper: matlab/madlib similarity curves stop at 4 GB.
+    assert not series(result, task="similarity", gb=10.0, platform="matlab")
+    assert not series(result, task="similarity", gb=10.0, platform="madlib")
+    assert series(result, task="similarity", gb=10.0, platform="systemc")

@@ -1,0 +1,26 @@
+"""Figure 8: memory consumption per task per platform."""
+
+from conftest import run_once, series
+
+from repro.harness.single_server import figure8
+
+
+def test_fig8_memory_shapes(benchmark, quick_scale):
+    result = run_once(
+        benchmark, lambda: figure8(scale=quick_scale, sizes_gb=(10.0,))
+    )
+
+    def mb(task, platform):
+        return series(result, task=task, gb=10.0, platform=platform)[0]["peak_mb"]
+
+    # Every measurement is positive and finite.
+    assert all(r["peak_mb"] > 0 for r in series(result))
+
+    # Paper: 3-line has the lowest footprint (only percentile points are
+    # retained); similarity keeps whole matrices around.
+    for platform in ("matlab", "madlib"):
+        assert mb("threeline", platform) <= mb("similarity", platform) * 1.5
+
+    # Paper: MADLib's collect-based aggregates are the most memory-hungry
+    # platform for similarity-like workloads.
+    assert mb("similarity", "madlib") >= mb("similarity", "systemc") * 0.5

@@ -1,0 +1,22 @@
+"""Figure 9 / Section 5.3.3: MADLib table layouts (rows vs arrays vs daily)."""
+
+from conftest import run_once, series
+
+from repro.harness.single_server import figure9
+
+
+def test_fig9_array_layout_wins(benchmark, quick_scale):
+    result = run_once(benchmark, lambda: figure9(scale=quick_scale))
+
+    def seconds(task, layout):
+        return series(result, task=task, layout=layout)[0]["seconds"]
+
+    # Paper: the array layout cuts 3-line substantially (19.6 -> 11.3 min)
+    # and helps the other tasks too.
+    assert seconds("threeline", "arrays") < seconds("threeline", "readings")
+    assert seconds("par", "arrays") < seconds("par", "readings")
+    assert seconds("histogram", "arrays") < seconds("histogram", "readings")
+    assert seconds("similarity", "arrays") < seconds("similarity", "readings")
+
+    # Paper: the daily (hybrid) layout lands between the two.
+    assert seconds("threeline", "daily") < seconds("threeline", "readings")

@@ -1,0 +1,28 @@
+"""Figure 10: multi-threaded speedup on the 4-core/8-hyperthread server."""
+
+from conftest import run_once, series
+
+from repro.harness.single_server import figure10
+
+
+def test_fig10_speedup_shape(benchmark, quick_scale):
+    result = run_once(benchmark, lambda: figure10(scale=quick_scale))
+
+    def speedup(task, platform, threads):
+        return series(result, task=task, platform=platform, threads=threads)[0][
+            "speedup"
+        ]
+
+    for platform in ("matlab", "madlib", "systemc"):
+        for task in ("threeline", "par", "histogram", "similarity"):
+            # Near-linear up to the 4 physical cores...
+            assert speedup(task, platform, 4) > 2.4
+            # ...then diminishing returns from hyper-threads.
+            gain_2_to_4 = speedup(task, platform, 4) / speedup(task, platform, 2)
+            gain_4_to_8 = speedup(task, platform, 8) / speedup(task, platform, 4)
+            assert gain_4_to_8 < gain_2_to_4
+            # Never superlinear.
+            assert speedup(task, platform, 8) < 8.0
+
+    # Paper: Matlab appears to scale better than MADLib.
+    assert speedup("threeline", "matlab", 8) > speedup("threeline", "madlib", 8)

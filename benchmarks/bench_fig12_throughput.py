@@ -1,0 +1,27 @@
+"""Figure 12: throughput per server (households/second/server)."""
+
+from conftest import run_once, series
+
+from repro.harness.cluster_figures import figure12
+
+
+def test_fig12_per_server_efficiency(benchmark):
+    result = run_once(
+        benchmark, lambda: figure12(gb=60.0, similarity_households=16000)
+    )
+
+    def throughput(task, platform):
+        return series(result, task=task, platform=platform)[0][
+            "households_per_s_per_server"
+        ]
+
+    # Paper: per-server, System C beats the cluster platforms on the simple
+    # histogram task outright...
+    assert throughput("histogram", "systemc") > throughput("histogram", "spark")
+    assert throughput("histogram", "systemc") > throughput("histogram", "hive")
+
+    # ...and stays competitive (same order of magnitude or better) on the
+    # CPU-heavy tasks.
+    for task in ("threeline", "par", "similarity"):
+        cluster_best = max(throughput(task, "spark"), throughput(task, "hive"))
+        assert throughput(task, "systemc") > cluster_best / 10.0

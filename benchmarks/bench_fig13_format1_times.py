@@ -1,0 +1,36 @@
+"""Figure 13: Spark vs Hive execution times, data format 1 (reading/line)."""
+
+from conftest import run_once, series
+
+from repro.harness.cluster_figures import _format_times
+from repro.harness.scale import CLUSTER_SCALE
+from repro.io.formats import ClusterFormat
+
+
+def test_fig13_format1(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: _format_times(
+            "fig13", ClusterFormat.READING_PER_LINE, CLUSTER_SCALE,
+            sizes_tb=(0.5, 1.0), similarity_households=(16000, 32000),
+        ),
+    )
+
+    def seconds(task, size, platform):
+        return series(result, task=task, size=size, platform=platform)[0]["seconds"]
+
+    # Times grow with data size for the shuffling format.
+    for platform in ("spark", "hive"):
+        assert seconds("threeline", 1.0, platform) > seconds(
+            "threeline", 0.5, platform
+        ) * 0.9
+
+    # Paper: Spark is noticeably faster for similarity (broadcast map-side
+    # join vs Hive's key-less self-join on one reducer).
+    assert seconds("similarity", 32000, "spark") < seconds(
+        "similarity", 32000, "hive"
+    )
+
+    # Paper: Spark is slightly faster for PAR and histogram on format 1
+    # (lighter job startup); allow generous slack on the small simulation.
+    assert seconds("par", 1.0, "spark") < seconds("par", 1.0, "hive") * 1.2

@@ -1,0 +1,30 @@
+"""Figure 14: speedup vs worker nodes, data format 1."""
+
+from conftest import run_once, series
+
+from repro.harness.cluster_figures import _format_speedup
+from repro.harness.scale import CLUSTER_SCALE
+from repro.io.formats import ClusterFormat
+
+
+def test_fig14_node_scaling(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: _format_speedup(
+            "fig14", ClusterFormat.READING_PER_LINE, CLUSTER_SCALE,
+            tb=0.5, similarity_households=32000, nodes=(4, 8, 16),
+        ),
+    )
+
+    def speedup(task, platform, nodes):
+        return series(result, task=task, platform=platform, nodes=nodes)[0][
+            "speedup"
+        ]
+
+    for platform in ("spark", "hive"):
+        for task in ("threeline", "par", "histogram"):
+            # More nodes never hurt and eventually help.
+            assert speedup(task, platform, 8) >= 0.95
+            assert speedup(task, platform, 16) >= speedup(task, platform, 4) * 0.95
+            # Sub-linear: never better than ideal.
+            assert speedup(task, platform, 16) <= 4.0 + 1e-6

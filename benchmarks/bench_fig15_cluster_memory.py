@@ -1,0 +1,27 @@
+"""Figure 15: modeled cluster memory, Spark vs Hive, data format 1."""
+
+from conftest import run_once, series
+
+from repro.harness.cluster_figures import figure15
+
+
+def test_fig15_spark_uses_more_memory(benchmark):
+    result = run_once(benchmark, lambda: figure15(sizes_tb=(0.5, 1.0)))
+
+    def memory(task, tb, platform):
+        return series(result, task=task, tb=tb, platform=platform)[0]["memory_mb"]
+
+    # Paper: Spark uses more memory than Hive, especially as data grows
+    # (RDD caching + broadcasts vs Hive's streaming shuffle).
+    assert memory("similarity", 1.0, "spark") > memory("similarity", 1.0, "hive")
+
+    # Memory grows with data size.
+    for platform in ("spark", "hive"):
+        assert memory("threeline", 1.0, platform) >= memory(
+            "threeline", 0.5, platform
+        ) * 0.9
+
+    # Paper: 3-line is the most memory-intensive per-household task
+    # (temperature travels with every reading) — it must not be smaller
+    # than histogram.
+    assert memory("threeline", 1.0, "hive") >= memory("histogram", 1.0, "hive") * 0.9

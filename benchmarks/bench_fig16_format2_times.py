@@ -1,0 +1,40 @@
+"""Figure 16: Spark vs Hive execution times, data format 2 (household/line)."""
+
+from conftest import run_once, series
+
+from repro.harness.cluster_figures import _format_times
+from repro.harness.scale import CLUSTER_SCALE
+from repro.io.formats import ClusterFormat
+
+
+def test_fig16_format2_map_only(benchmark):
+    fmt1 = _format_times(
+        "fig13", ClusterFormat.READING_PER_LINE, CLUSTER_SCALE,
+        sizes_tb=(0.5,), similarity_households=(16000,),
+    )
+    result = run_once(
+        benchmark,
+        lambda: _format_times(
+            "fig16", ClusterFormat.HOUSEHOLD_PER_LINE, CLUSTER_SCALE,
+            sizes_tb=(0.5,), similarity_households=(16000,),
+        ),
+    )
+
+    def seconds(res, task, size, platform):
+        return series(res, task=task, size=size, platform=platform)[0]["seconds"]
+
+    # Paper: format 2 needs no reduce step, so the per-household tasks are
+    # faster than on format 1.
+    for platform in ("spark", "hive"):
+        for task in ("threeline", "par", "histogram"):
+            assert seconds(result, task, 0.5, platform) < seconds(
+                fmt1, task, 0.5, platform
+            )
+
+    # Paper: Spark and Hive are very close on format 2 (same HDFS I/O,
+    # map-only) — within a small constant factor.
+    for task in ("threeline", "par", "histogram"):
+        ratio = seconds(result, task, 0.5, "hive") / seconds(
+            result, task, 0.5, "spark"
+        )
+        assert 0.2 < ratio < 8.0

@@ -1,0 +1,28 @@
+"""Figure 17: speedup vs worker nodes, data format 2."""
+
+from conftest import run_once, series
+
+from repro.harness.cluster_figures import _format_speedup
+from repro.harness.scale import CLUSTER_SCALE
+from repro.io.formats import ClusterFormat
+
+
+def test_fig17_map_only_scales(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: _format_speedup(
+            "fig17", ClusterFormat.HOUSEHOLD_PER_LINE, CLUSTER_SCALE,
+            tb=0.5, similarity_households=32000, nodes=(4, 16),
+        ),
+    )
+
+    def speedup(task, platform, nodes):
+        return series(result, task=task, platform=platform, nodes=nodes)[0][
+            "speedup"
+        ]
+
+    for platform in ("spark", "hive"):
+        for task in ("threeline", "par", "histogram"):
+            # Map-only jobs scale without shuffles in the way.
+            assert speedup(task, platform, 16) >= 0.95
+            assert speedup(task, platform, 16) <= 4.0 + 1e-6

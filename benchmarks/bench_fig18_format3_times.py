@@ -1,0 +1,31 @@
+"""Figure 18: format 3 execution times vs file count; UDTF vs UDAF vs Spark."""
+
+from conftest import run_once, series
+
+from repro.harness.cluster_figures import figure18
+
+
+def test_fig18_udtf_wins_many_files(benchmark):
+    result = run_once(
+        benchmark, lambda: figure18(file_counts=(10, 300))
+    )
+
+    def seconds(task, n_files, platform):
+        return series(result, task=task, n_files=n_files, platform=platform)[0][
+            "seconds"
+        ]
+
+    for task in ("threeline", "par", "histogram"):
+        # Paper: the UDTF (map-side aggregation, no reduce) beats the UDAF
+        # at every file count.
+        for n_files in (10, 300):
+            assert seconds(task, n_files, "hive-udtf") < seconds(
+                task, n_files, "hive-udaf"
+            )
+        # Paper: Spark's performance deteriorates as files multiply, while
+        # Hive is not affected -> with many files, Hive+UDTF wins.
+        assert seconds(task, 300, "spark") > seconds(task, 10, "spark")
+        assert seconds(task, 300, "hive-udtf") < seconds(task, 300, "spark")
+
+    # Similarity is not in this figure (not expressible as one UDTF pass).
+    assert not series(result, task="similarity")

@@ -1,0 +1,20 @@
+"""Figure 19: speedup vs worker nodes, data format 3 (fixed file count)."""
+
+from conftest import run_once, series
+
+from repro.harness.cluster_figures import figure19
+
+
+def test_fig19_format3_scaling(benchmark):
+    result = run_once(benchmark, lambda: figure19(nodes=(4, 16)))
+
+    def speedup(task, platform, nodes):
+        return series(result, task=task, platform=platform, nodes=nodes)[0][
+            "speedup"
+        ]
+
+    for platform in ("hive-udtf", "spark"):
+        for task in ("threeline", "par", "histogram"):
+            assert speedup(task, platform, 4) == 1.0
+            assert speedup(task, platform, 16) >= 0.95
+            assert speedup(task, platform, 16) <= 4.0 + 1e-6

@@ -1,0 +1,124 @@
+"""Microbenchmarks of the substrate data structures.
+
+Unlike the figure benches (scenario reproductions, one round), these are
+classic pytest-benchmark microbenchmarks with repeated rounds: the B-tree,
+the column codecs, the statistical kernels and the MapReduce runner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.dfs import SimDFS
+from repro.cluster.job import JobRunner, MapReduceJob
+from repro.cluster.topology import ClusterSpec
+from repro.columnar.compression import IntColumnCodec
+from repro.columnar.operators import group_percentiles_by_bin
+from repro.core.stats import PrefixSumOLS
+from repro.relational.btree import BTreeIndex
+
+
+@pytest.fixture(scope="module")
+def keys():
+    rng = np.random.default_rng(0)
+    return rng.permutation(20_000).tolist()
+
+
+def test_btree_bulk_insert(benchmark, keys):
+    def insert_all():
+        tree = BTreeIndex("bench", order=64)
+        for i, key in enumerate(keys):
+            tree.insert(key, (0, i))
+        return tree
+
+    tree = benchmark(insert_all)
+    assert len(tree) == len(keys)
+
+
+def test_btree_point_lookups(benchmark, keys):
+    tree = BTreeIndex("bench", order=64)
+    for i, key in enumerate(keys):
+        tree.insert(key, (0, i))
+    probes = keys[::37]
+
+    def lookup_all():
+        return sum(len(tree.search(k)) for k in probes)
+
+    assert benchmark(lookup_all) == len(probes)
+
+
+def test_btree_range_scan(benchmark, keys):
+    tree = BTreeIndex("bench", order=64)
+    for i, key in enumerate(keys):
+        tree.insert(key, (0, i))
+
+    def scan():
+        return sum(1 for _ in tree.range(5_000, 15_000))
+
+    assert benchmark(scan) == 10_001
+
+
+def test_rle_codec_roundtrip(benchmark):
+    codes = np.repeat(np.arange(300, dtype=np.int64), 720)
+
+    def roundtrip():
+        return IntColumnCodec.decode(IntColumnCodec.encode(codes))
+
+    out = benchmark(roundtrip)
+    assert out.size == codes.size
+
+
+def test_grouped_percentiles_kernel(benchmark):
+    rng = np.random.default_rng(1)
+    bins = rng.integers(-25, 36, 8760)
+    values = rng.random(8760) * 4
+
+    def kernel():
+        return group_percentiles_by_bin(bins, values, 10.0, 90.0, 3)
+
+    got_bins, *_ = benchmark(kernel)
+    assert got_bins.size > 30
+
+
+def test_prefix_sum_breakpoint_search(benchmark):
+    rng = np.random.default_rng(2)
+    x = np.sort(rng.uniform(-25, 35, 60))
+    y = np.maximum(0, 15 - x) * 0.1 + 0.5 + rng.normal(0, 0.02, 60)
+
+    def search():
+        ols = PrefixSumOLS(x, y)
+        best = None
+        for i in range(2, 57):
+            left = ols.sse(0, i)
+            for j in range(i + 2, 59):
+                total = left + ols.sse(i, j) + ols.sse(j, 60)
+                if best is None or total < best[0]:
+                    best = (total, i, j)
+        return best
+
+    assert benchmark(search) is not None
+
+
+def test_mapreduce_wordcount(benchmark):
+    dfs = SimDFS(ClusterSpec(n_workers=4, cores_per_worker=2), block_size=4096)
+    rng = np.random.default_rng(3)
+    words = ["alpha", "beta", "gamma", "delta"]
+    lines = [
+        " ".join(words[i] for i in rng.integers(0, 4, 8)) for _ in range(2000)
+    ]
+    dfs.write_lines("/wc.txt", lines)
+    job = MapReduceJob(
+        name="wc",
+        mapper=lambda ls: ((w, 1) for l in ls for w in l.split()),
+        reducer=lambda k, vs: [(k, sum(vs))],
+        combiner=lambda k, vs: [(k, sum(vs))],
+    )
+    runner = JobRunner(dfs)
+
+    def run():
+        results, _ = runner.run(job, ["/wc.txt"])
+        return dict(results)
+
+    counts = benchmark(run)
+    assert sum(counts.values()) == 16_000

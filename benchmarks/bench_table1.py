@@ -1,0 +1,26 @@
+"""Table 1: statistical functions built into the five platforms."""
+
+from conftest import run_once, series
+
+from repro.harness.single_server import table1
+
+
+def test_table1_capability_matrix(benchmark):
+    result = run_once(benchmark, table1)
+    assert len(result.rows) == 5
+    # Paper Table 1: nobody ships cosine similarity.
+    assert all(v == "hand-written" for v in result.column("cosine"))
+    # System C has no statistical toolkit at all.
+    (systemc,) = series(result, platform="systemc")
+    assert all(
+        systemc[fn] == "hand-written"
+        for fn in ("histogram", "quantiles", "regression_par", "cosine")
+    )
+    # Matlab and MADLib have everything built in.
+    for platform in ("matlab", "madlib"):
+        (row,) = series(result, platform=platform)
+        assert row["histogram"] == row["quantiles"] == "built-in"
+    # Spark and Hive use the third-party library for regression/PAR.
+    for platform in ("spark", "hive"):
+        (row,) = series(result, platform=platform)
+        assert row["regression_par"] == "third-party"

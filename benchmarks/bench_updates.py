@@ -1,0 +1,21 @@
+"""Future-work experiment (paper Section 3): the cost of updates."""
+
+from conftest import run_once, series
+
+from repro.harness.extensions import updates_experiment
+
+
+def test_update_costs(benchmark, quick_scale):
+    result = run_once(benchmark, lambda: updates_experiment(scale=quick_scale))
+    rows = {r["platform"]: r for r in series(result)}
+
+    # The paper's anticipation: read-optimized structures are expensive to
+    # update.  The column store must rebuild, so its append cost is the
+    # highest and comparable to its full load.
+    assert rows["systemc"]["append_s"] > rows["matlab"]["append_s"]
+    assert rows["systemc"]["append_s"] >= rows["systemc"]["initial_load_s"] * 0.3
+
+    # Appending a day is much cheaper than the initial load for the
+    # engines with appendable storage.
+    assert rows["matlab"]["append_s"] < rows["matlab"]["initial_load_s"]
+    assert rows["madlib"]["append_s"] < rows["madlib"]["initial_load_s"]

@@ -1,0 +1,34 @@
+"""Shared helpers for the figure benchmarks.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures via
+pytest-benchmark (one round — these are scenario reproductions, not
+microbenchmarks) and asserts the *shape* claims the paper makes about it.
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark a figure runner exactly once and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def series(result, **filters):
+    """Rows of a FigureResult matching column=value filters, as dicts."""
+    rows = [dict(zip(result.columns, row)) for row in result.rows]
+    for key, value in filters.items():
+        rows = [r for r in rows if r[key] == value]
+    return rows
+
+
+@pytest.fixture(scope="session")
+def quick_scale():
+    """A smaller single-server scale so the bench suite stays fast."""
+    from repro.harness.scale import Scale
+
+    return Scale(consumers_per_gb=2.0, hours=24 * 90)

@@ -1,0 +1,99 @@
+"""Consumer-oriented application: personalized energy feedback.
+
+The paper motivates "consumer-oriented applications [that] provide feedback
+to end-users on reducing electricity consumption and saving money".  This
+example builds such a report for one household from its smart meter feed:
+
+* thermal diagnosis from the 3-line model (is the AC set point too low?
+  is electric heating dominating the bill?);
+* always-on (base) load, the savings target for standby appliances;
+* the daily activity profile, to suggest load shifting;
+* consumption variability from the histogram.
+
+Run::
+
+    python examples/consumer_feedback.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SeedConfig, make_seed_dataset
+from repro.core.histogram import equi_width_histogram
+from repro.core.par import ParConfig, fit_par
+from repro.core.threeline import fit_three_lines
+
+
+def feedback_report(consumer) -> list[str]:
+    """Produce human-readable feedback lines for one consumer."""
+    lines = [f"Energy report for household {consumer.consumer_id}", "-" * 46]
+
+    model = fit_three_lines(consumer.consumption, consumer.temperature)
+    annual_kwh = consumer.consumption.sum()
+    lines.append(f"Annual consumption: {annual_kwh:,.0f} kWh")
+
+    # Thermal sensitivity (paper Fig. 1: gradients of the 90th pct lines).
+    if model.heating_gradient > 0.05:
+        lines.append(
+            f"* Electric heating detected: +{model.heating_gradient:.2f} kWh per "
+            "degree below the balance point. Sealing drafts or lowering the "
+            "set point 1 degC would reduce the winter bill."
+        )
+    else:
+        lines.append("* No significant electric-heating response (gas heat?).")
+    if model.cooling_gradient > 0.05:
+        lines.append(
+            f"* Cooling load: +{model.cooling_gradient:.2f} kWh per degree of "
+            "summer heat — a high AC gradient may indicate an inefficient "
+            "unit or a low set point."
+        )
+
+    # Base load (paper: lowest point of the 10th-percentile lines).
+    base_share = model.base_load * consumer.n_hours / max(annual_kwh, 1e-9)
+    lines.append(
+        f"* Always-on load: {model.base_load:.2f} kWh/h "
+        f"({base_share:.0%} of annual use) — fridges, standby electronics, "
+        "security systems."
+    )
+
+    # Daily habits (paper Fig. 2).
+    par = fit_par(
+        consumer.consumption,
+        consumer.temperature,
+        ParConfig(temperature_mode="degree_day"),
+    )
+    peak = int(par.profile.argmax())
+    trough = int(par.profile.argmin())
+    lines.append(
+        f"* Activity peaks at {peak:02d}:00 ({par.profile[peak]:.2f} kWh) and "
+        f"bottoms at {trough:02d}:00 ({par.profile[trough]:.2f} kWh); shifting "
+        "flexible loads (laundry, dishwasher) toward off-peak hours saves "
+        "under time-of-use pricing."
+    )
+
+    # Variability (paper Section 3.1).
+    hist = equi_width_histogram(consumer.consumption)
+    top_bucket = int(hist.counts.argmax())
+    lo, hi = hist.edges[top_bucket], hist.edges[top_bucket + 1]
+    lines.append(
+        f"* Most common hourly draw: {lo:.2f}-{hi:.2f} kWh "
+        f"({hist.counts[top_bucket] / hist.total:.0%} of hours)."
+    )
+    return lines
+
+
+def main() -> None:
+    data = make_seed_dataset(SeedConfig(n_consumers=6, n_hours=8760, seed=42))
+    # Pick the consumer with the strongest thermal response for a vivid report.
+    gradients = [
+        fit_three_lines(data.consumption[i], data.temperature[i]).heating_gradient
+        for i in range(data.n_consumers)
+    ]
+    consumer = data.consumer(data.consumer_ids[int(np.argmax(gradients))])
+    for line in feedback_report(consumer):
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""An end-to-end meter-data-management pipeline.
+
+The paper (Section 2.1) points at two orthogonal-but-important issues it
+does not benchmark: data quality (missing readings, [18]) and symbolic
+representation of meter series ([27]).  This example shows both as the
+intake pipeline a utility would run *before* the four analytics tasks:
+
+1. ingest a feed with realistic gaps (outages drop whole windows);
+2. profile the gaps and impute (linear for short gaps, hourly-profile for
+   long ones);
+3. SAX-encode each cleaned series and use the MINDIST lower bound to
+   shortlist similar consumers cheaply before exact similarity search.
+
+Run::
+
+    python examples/meter_data_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SeedConfig, make_seed_dataset
+from repro.core.similarity import cosine_similarity_pair
+from repro.timeseries.quality import gap_report, impute
+from repro.timeseries.sax import SaxEncoder, znormalize
+
+
+def knock_out_readings(consumption: np.ndarray, rng) -> np.ndarray:
+    """Simulate collection failures: short blips + one long outage."""
+    damaged = consumption.copy()
+    for _ in range(12):  # short telemetry blips
+        start = rng.integers(0, damaged.size - 4)
+        damaged[start : start + rng.integers(1, 4)] = np.nan
+    outage = rng.integers(0, damaged.size - 72)
+    damaged[outage : outage + 60] = np.nan  # 2.5-day outage
+    return damaged
+
+
+def main() -> None:
+    data = make_seed_dataset(SeedConfig(n_consumers=30, n_hours=24 * 120, seed=9))
+    rng = np.random.default_rng(9)
+
+    # 1-2. Damage, profile, impute.
+    cleaned = np.empty_like(data.consumption)
+    total_missing = 0
+    for i in range(data.n_consumers):
+        damaged = knock_out_readings(data.consumption[i], rng)
+        report = gap_report(damaged)
+        total_missing += report.n_missing
+        cleaned[i] = impute(damaged, strategy="hybrid", max_linear_gap=6)
+    print(
+        f"intake: {data.n_consumers} feeds, {total_missing} missing readings "
+        "imputed (hybrid: linear <= 6h gaps, hourly profile beyond)"
+    )
+    recon_err = np.abs(cleaned - data.consumption).mean()
+    print(f"mean imputation error vs ground truth: {recon_err:.3f} kWh\n")
+
+    # 3. SAX shortlisting: compare everyone to consumer 0 by MINDIST first.
+    encoder = SaxEncoder(n_segments=48, alphabet_size=6)
+    words = [encoder.encode(cleaned[i]) for i in range(data.n_consumers)]
+    target = 0
+    bounds = [
+        (i, encoder.mindist(words[target], words[i], data.n_hours))
+        for i in range(data.n_consumers)
+        if i != target
+    ]
+    bounds.sort(key=lambda pair: pair[1])
+    shortlist = [i for i, _ in bounds[:8]]
+    print(f"SAX shortlist for {data.consumer_ids[target]} (8 of {len(bounds)}):")
+
+    # Exact similarity only on the shortlist (the expensive step is pruned).
+    exact = sorted(
+        (
+            (i, cosine_similarity_pair(znormalize(cleaned[target]), znormalize(cleaned[i])))
+            for i in shortlist
+        ),
+        key=lambda pair: -pair[1],
+    )
+    for i, score in exact:
+        print(f"  {data.consumer_ids[i]}  cosine={score:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim; all metadata lives in pyproject.toml.
+
+Kept so `setup.py develop` works on environments without the `wheel`
+package (PEP 660 editable installs need to build a wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro — reproduction of "Benchmarking Smart Meter Data Analytics" (EDBT 2015).
+
+A self-contained Python library providing:
+
+* the paper's four-task smart-meter analytics benchmark
+  (:mod:`repro.core.benchmark`);
+* the realistic data generator of Section 4 (:mod:`repro.core.generator`);
+* five executable platform analogues — Matlab-style numeric, a mini
+  relational DBMS with in-database ML (MADLib-style), a main-memory column
+  store (System C-style), and Spark/Hive analogues on a simulated cluster
+  (:mod:`repro.engines`);
+* a harness that regenerates every table and figure of the paper's
+  evaluation (:mod:`repro.harness`).
+
+Quickstart::
+
+    from repro import make_seed_dataset, SmartMeterGenerator, Task, run_task_reference
+
+    seed = make_seed_dataset()
+    gen = SmartMeterGenerator.fit(seed)
+    data = gen.generate(500, seed.temperature[0])
+    models = run_task_reference(data, Task.THREELINE)
+"""
+
+from repro.core.benchmark import (
+    AR_ORDER,
+    NUM_BUCKETS,
+    TOP_K,
+    BenchmarkSpec,
+    Task,
+    run_task_reference,
+)
+from repro.core.generator import GeneratorConfig, SmartMeterGenerator
+from repro.core.histogram import HistogramResult, equi_width_histogram
+from repro.core.kmeans import KMeansResult, kmeans
+from repro.core.par import ParConfig, ParModel, fit_par
+from repro.core.similarity import top_k_similar
+from repro.core.threeline import ThreeLineConfig, ThreeLineModel, fit_three_lines
+from repro.datagen.seed import SeedConfig, make_seed_dataset
+from repro.datagen.weather import WeatherConfig, make_temperature_series
+from repro.timeseries.series import ConsumerSeries, Dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AR_ORDER",
+    "BenchmarkSpec",
+    "ConsumerSeries",
+    "Dataset",
+    "GeneratorConfig",
+    "HistogramResult",
+    "KMeansResult",
+    "NUM_BUCKETS",
+    "ParConfig",
+    "ParModel",
+    "SeedConfig",
+    "SmartMeterGenerator",
+    "TOP_K",
+    "Task",
+    "ThreeLineConfig",
+    "ThreeLineModel",
+    "WeatherConfig",
+    "equi_width_histogram",
+    "fit_par",
+    "fit_three_lines",
+    "kmeans",
+    "make_seed_dataset",
+    "make_temperature_series",
+    "run_task_reference",
+    "top_k_similar",
+]

@@ -1,0 +1,22 @@
+"""Simulated cluster substrate: DFS, cost model, MapReduce runner.
+
+The paper's cluster experiments (Sections 5.4) run Spark and Hive on a
+16-worker Hadoop cluster.  Without hardware, we split the problem:
+
+* **correctness is real** — MapReduce jobs execute their mappers,
+  combiners and reducers in-process over the simulated DFS's actual bytes,
+  and their answers are validated against the single-node engines;
+* **time is modeled** — a :class:`~repro.cluster.costmodel.CostModel`
+  combines each task's *measured* compute time with explicit I/O, shuffle,
+  startup and locality terms, and a wave scheduler turns per-task durations
+  into a cluster makespan.  Scaling *shapes* (speedup curves, map-only vs
+  map+reduce formats) emerge from the model's structure, not from wall
+  clocks we cannot reproduce.
+"""
+
+from repro.cluster.costmodel import CostModel
+from repro.cluster.dfs import SimDFS
+from repro.cluster.job import JobRunner, MapReduceJob
+from repro.cluster.topology import ClusterSpec
+
+__all__ = ["ClusterSpec", "CostModel", "JobRunner", "MapReduceJob", "SimDFS"]

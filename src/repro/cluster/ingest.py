@@ -1,0 +1,55 @@
+"""Uploading benchmark datasets into the simulated DFS.
+
+Shared by the Spark and Hive engines: materializes a dataset in one of the
+three Section 5.4.2 formats and returns the DFS paths.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.dfs import SimDFS
+from repro.io.formats import (
+    ClusterFormat,
+    encode_household_lines,
+    encode_reading_lines,
+    group_households,
+)
+from repro.timeseries.series import Dataset
+
+
+def write_dataset_to_dfs(
+    dfs: SimDFS,
+    dataset: Dataset,
+    fmt: ClusterFormat,
+    prefix: str = "/data",
+    n_files: int = 1,
+) -> list[str]:
+    """Write ``dataset`` under ``prefix`` in the requested format.
+
+    Format 3 writes ``n_files`` non-splittable files, each holding whole
+    households (round-robin assignment); the other formats write one
+    splittable file.
+    """
+    if fmt is ClusterFormat.READING_PER_LINE:
+        path = f"{prefix}/readings.txt"
+        dfs.write_lines(path, encode_reading_lines(dataset))
+        return [path]
+    if fmt is ClusterFormat.HOUSEHOLD_PER_LINE:
+        path = f"{prefix}/households.txt"
+        dfs.write_lines(path, encode_household_lines(dataset))
+        return [path]
+    groups = group_households(dataset, n_files)
+    paths: list[str] = []
+    for g, rows in enumerate(groups):
+        path = f"{prefix}/part-{g:05d}.txt"
+        lines: list[str] = []
+        for i in rows:
+            cons = dataset.consumption[i]
+            temp = dataset.temperature[i]
+            cid = dataset.consumer_ids[i]
+            lines.extend(
+                f"{cid},{t},{cons[t]:.6f},{temp[t]:.4f}"
+                for t in range(dataset.n_hours)
+            )
+        dfs.write_lines(path, lines, splittable=False)
+        paths.append(path)
+    return paths

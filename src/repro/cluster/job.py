@@ -1,0 +1,336 @@
+"""MapReduce execution over the simulated DFS.
+
+Jobs run for real: each input split's lines are fed to the mapper, map
+outputs are (optionally) combined, hash-partitioned, shuffled, grouped by
+key and reduced — all in-process, producing actual results.  Alongside,
+every task's measured compute time and byte counts feed the
+:class:`~repro.cluster.costmodel.CostModel` and wave scheduler, producing
+the job's *simulated* cluster seconds.
+
+The mapper receives a whole split (a list of lines) rather than one line,
+which is both faster in Python and lets map-side aggregation (combining
+inside the mapper, as Hive UDTFs do) be expressed naturally.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.cluster.costmodel import CostModel, PhaseSchedule, schedule
+from repro.cluster.dfs import InputSplit, SimDFS, input_splits
+from repro.cluster.topology import ClusterSpec
+from repro.exceptions import JobError
+
+#: A mapper consumes one split's lines and yields (key, value) pairs.
+Mapper = Callable[[list[str]], Iterable[tuple]]
+#: A reducer/combiner consumes (key, values) and yields (key, value) pairs.
+Reducer = Callable[[object, list], Iterable[tuple]]
+
+
+def stable_hash(key) -> int:
+    """Deterministic partitioning hash (Python's str hash is randomized)."""
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+def estimate_bytes(obj) -> int:
+    """Rough serialized size of a key or value, for shuffle accounting."""
+    if isinstance(obj, str):
+        return len(obj)
+    if isinstance(obj, bytes):
+        return len(obj)
+    if isinstance(obj, (int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (tuple, list)):
+        return 8 + sum(estimate_bytes(v) for v in obj)
+    if isinstance(obj, dict):
+        return 16 + sum(
+            estimate_bytes(k) + estimate_bytes(v) for k, v in obj.items()
+        )
+    return 32
+
+
+@dataclass(frozen=True)
+class FailureInjector:
+    """Simulated task failures with retry (fault-tolerance testing).
+
+    Each task *attempt* fails independently with ``failure_probability``
+    (deterministic given ``seed``).  A failed attempt wastes
+    ``wasted_fraction`` of the task's duration in virtual time, then the
+    task is retried — MapReduce's actual recovery story — re-executing the
+    user code for real, which doubles as a determinism check.  A task that
+    fails ``max_attempts`` times kills the job, as Hadoop does.
+    """
+
+    failure_probability: float
+    seed: int = 0
+    max_attempts: int = 4
+    wasted_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_probability < 1.0:
+            raise ValueError("failure_probability must be in [0, 1)")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+
+@dataclass(frozen=True)
+class MapReduceJob:
+    """A job definition.  ``reducer=None`` makes it map-only."""
+
+    name: str
+    mapper: Mapper
+    reducer: Reducer | None = None
+    combiner: Reducer | None = None
+    n_reducers: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_reducers < 1:
+            raise ValueError("n_reducers must be >= 1")
+        if self.combiner is not None and self.reducer is None:
+            raise ValueError("a combiner without a reducer makes no sense")
+
+
+@dataclass
+class JobCounters:
+    """Hadoop-style counters, filled during execution."""
+
+    map_input_records: int = 0
+    map_input_bytes: int = 0
+    map_output_records: int = 0
+    map_output_bytes: int = 0
+    combine_output_records: int = 0
+    shuffle_bytes: int = 0
+    reduce_input_groups: int = 0
+    reduce_output_records: int = 0
+    failed_task_attempts: int = 0
+
+
+@dataclass
+class JobReport:
+    """Everything measured and modeled about one job run."""
+
+    name: str
+    n_map_tasks: int
+    n_reduce_tasks: int
+    counters: JobCounters
+    map_phase: PhaseSchedule
+    reduce_phase: PhaseSchedule | None
+    measured_map_compute_s: float
+    measured_reduce_compute_s: float
+    sim_seconds: float
+    #: Modeled peak per-worker memory for the shuffle (bytes).
+    peak_shuffle_bytes_per_worker: int = 0
+
+
+class JobRunner:
+    """Executes MapReduce jobs against one DFS + cluster + cost model."""
+
+    def __init__(
+        self,
+        dfs: SimDFS,
+        cost_model: CostModel | None = None,
+        spec: ClusterSpec | None = None,
+        failure_injector: FailureInjector | None = None,
+    ) -> None:
+        self.dfs = dfs
+        self.cost_model = cost_model or CostModel()
+        self.spec = spec or dfs.spec
+        self.failure_injector = failure_injector
+        self._failure_rng = (
+            np.random.default_rng(failure_injector.seed)
+            if failure_injector is not None
+            else None
+        )
+
+    def _run_with_retries(self, job_name: str, task_label: str, attempt_fn):
+        """Execute a task body under the failure injector.
+
+        Returns ``(result, retry_multiplier)`` where the multiplier scales
+        the task's virtual duration to account for wasted attempts.
+        """
+        injector = self.failure_injector
+        if injector is None:
+            return attempt_fn(), 1.0
+        failures = 0
+        while True:
+            if self._failure_rng.random() < injector.failure_probability:
+                failures += 1
+                if failures >= injector.max_attempts:
+                    raise JobError(
+                        f"job {job_name!r}: {task_label} failed "
+                        f"{failures} attempts; giving up"
+                    )
+                continue
+            result = attempt_fn()
+            return result, 1.0 + failures * injector.wasted_fraction
+
+    def run(
+        self, job: MapReduceJob, paths: list[str]
+    ) -> tuple[list[tuple], JobReport]:
+        """Run a job over DFS files; returns (results, report)."""
+        splits = input_splits(self.dfs, paths)
+        if not splits:
+            raise JobError(f"job {job.name!r}: no input splits for {paths}")
+        counters = JobCounters()
+
+        map_outputs, map_computes, retry_mult = self._run_map_tasks(
+            job, splits, counters
+        )
+
+        map_local = [
+            self.cost_model.map_duration(s.n_bytes, c, local=True) * m
+            for s, c, m in zip(splits, map_computes, retry_mult)
+        ]
+        map_remote = [
+            self.cost_model.map_duration(s.n_bytes, c, local=False) * m
+            for s, c, m in zip(splits, map_computes, retry_mult)
+        ]
+        map_phase = schedule(
+            self.spec, map_local, map_remote, [s.preferred_nodes for s in splits]
+        )
+
+        if job.reducer is None:
+            results = [kv for out in map_outputs for kv in out]
+            counters.reduce_output_records = len(results)
+            report = JobReport(
+                name=job.name,
+                n_map_tasks=len(splits),
+                n_reduce_tasks=0,
+                counters=counters,
+                map_phase=map_phase,
+                reduce_phase=None,
+                measured_map_compute_s=sum(map_computes),
+                measured_reduce_compute_s=0.0,
+                sim_seconds=(
+                    self.cost_model.job_startup_s
+                    + self.cost_model.driver_per_split_s * len(splits)
+                    + map_phase.makespan_s
+                ),
+            )
+            return results, report
+
+        results, reduce_phase, reduce_compute, peak_shuffle = self._run_reduce(
+            job, map_outputs, counters
+        )
+        report = JobReport(
+            name=job.name,
+            n_map_tasks=len(splits),
+            n_reduce_tasks=job.n_reducers,
+            counters=counters,
+            map_phase=map_phase,
+            reduce_phase=reduce_phase,
+            measured_map_compute_s=sum(map_computes),
+            measured_reduce_compute_s=reduce_compute,
+            sim_seconds=(
+                self.cost_model.job_startup_s
+                + self.cost_model.driver_per_split_s * len(splits)
+                + map_phase.makespan_s
+                + reduce_phase.makespan_s
+            ),
+            peak_shuffle_bytes_per_worker=peak_shuffle,
+        )
+        return results, report
+
+    # Internals -----------------------------------------------------------
+
+    def _run_map_tasks(self, job, splits: list[InputSplit], counters):
+        outputs: list[list[tuple]] = []
+        computes: list[float] = []
+        multipliers: list[float] = []
+        for split in splits:
+            lines = split.read(self.dfs)
+            counters.map_input_records += len(lines)
+            counters.map_input_bytes += split.n_bytes
+
+            def attempt():
+                try:
+                    out = list(job.mapper(lines))
+                except Exception as exc:
+                    raise JobError(
+                        f"job {job.name!r}: mapper failed on split "
+                        f"{split.path}:{split.block_index}: {exc}"
+                    ) from exc
+                if job.combiner is not None and out:
+                    return out, self._combine(job, out)
+                return out, out
+
+            tic = time.perf_counter()
+            (raw_out, out), mult = self._run_with_retries(
+                job.name, f"map task {split.path}:{split.block_index}", attempt
+            )
+            computes.append(time.perf_counter() - tic)
+            if mult > 1.0:
+                counters.failed_task_attempts += round(
+                    (mult - 1.0) / self.failure_injector.wasted_fraction
+                )
+            counters.map_output_records += len(raw_out)
+            if job.combiner is not None:
+                counters.combine_output_records += len(out)
+            multipliers.append(mult)
+            # Map-only jobs may emit arbitrary rows; only jobs with a
+            # reducer require (key, value) pairs (enforced at shuffle time).
+            counters.map_output_bytes += sum(estimate_bytes(o) for o in out)
+            outputs.append(out)
+        return outputs, computes, multipliers
+
+    def _combine(self, job, pairs: list[tuple]) -> list[tuple]:
+        grouped: dict = {}
+        for key, value in pairs:
+            grouped.setdefault(key, []).append(value)
+        out: list[tuple] = []
+        for key, values in grouped.items():
+            out.extend(job.combiner(key, values))
+        return out
+
+    def _run_reduce(self, job, map_outputs, counters):
+        # Shuffle: hash-partition every map output pair.
+        partitions: list[dict] = [dict() for _ in range(job.n_reducers)]
+        partition_bytes = [0] * job.n_reducers
+        partition_records = [0] * job.n_reducers
+        for out in map_outputs:
+            for key, value in out:
+                p = stable_hash(key) % job.n_reducers
+                partitions[p].setdefault(key, []).append(value)
+                partition_bytes[p] += estimate_bytes(key) + estimate_bytes(value)
+                partition_records[p] += 1
+        counters.shuffle_bytes = sum(partition_bytes)
+
+        results: list[tuple] = []
+        computes: list[float] = []
+        for p, partition in enumerate(partitions):
+            counters.reduce_input_groups += len(partition)
+            tic = time.perf_counter()
+            for key in sorted(partition, key=repr):
+                try:
+                    results.extend(job.reducer(key, partition[key]))
+                except Exception as exc:
+                    raise JobError(
+                        f"job {job.name!r}: reducer failed on key {key!r}: {exc}"
+                    ) from exc
+            computes.append(time.perf_counter() - tic)
+        counters.reduce_output_records = len(results)
+
+        durations = [
+            self.cost_model.reduce_duration(b, r, c)
+            for b, r, c in zip(partition_bytes, partition_records, computes)
+        ]
+        reduce_phase = schedule(
+            self.spec,
+            durations,
+            durations,  # reducers always pull over the network
+            [() for _ in durations],
+        )
+        # Peak modeled shuffle memory per worker: reducers are spread across
+        # workers, each buffering its partition.
+        per_worker = max(
+            1, (job.n_reducers + self.spec.n_workers - 1) // self.spec.n_workers
+        )
+        biggest = sorted(partition_bytes, reverse=True)[:per_worker]
+        return results, reduce_phase, sum(computes), sum(biggest)

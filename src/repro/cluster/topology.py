@@ -1,0 +1,42 @@
+"""Cluster topology description.
+
+Defaults mirror the paper's testbed: one admin node (not modeled — it only
+submits jobs) plus 16 workers, each a dual-socket 12-core Xeon with 60 GB
+RAM on gigabit Ethernet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of the simulated cluster."""
+
+    n_workers: int = 16
+    cores_per_worker: int = 12
+    memory_gb_per_worker: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.cores_per_worker < 1:
+            raise ValueError(
+                f"cores_per_worker must be >= 1, got {self.cores_per_worker}"
+            )
+        if self.memory_gb_per_worker <= 0:
+            raise ValueError("memory_gb_per_worker must be positive")
+
+    @property
+    def total_slots(self) -> int:
+        """Concurrent task slots across the cluster (paper: 12 per node)."""
+        return self.n_workers * self.cores_per_worker
+
+    def with_workers(self, n_workers: int) -> "ClusterSpec":
+        """A copy with a different worker count (speedup sweeps)."""
+        return ClusterSpec(
+            n_workers=n_workers,
+            cores_per_worker=self.cores_per_worker,
+            memory_gb_per_worker=self.memory_gb_per_worker,
+        )

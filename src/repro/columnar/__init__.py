@@ -1,0 +1,20 @@
+"""A miniature main-memory column store — the "System C" analogue substrate.
+
+The paper's System C is a commercial main-memory column store for time
+series: tables are memory-mapped at load time (making loading almost free
+and the first scan cheap), and all statistical operators had to be written
+by hand in its procedural language.
+
+This package mirrors that architecture:
+
+* :mod:`repro.columnar.colstore` — columns persisted as binary ``.npy``
+  files, opened with ``numpy.memmap``; household ids dictionary-encoded;
+  per-block zone maps for scan pruning;
+* :mod:`repro.columnar.operators` — the hand-written statistical operators
+  (histogram, quantiles, regression, matrix multiply) built from scratch on
+  the raw columns, never calling the reference kernels.
+"""
+
+from repro.columnar.colstore import ColumnStore, ColumnTable
+
+__all__ = ["ColumnStore", "ColumnTable"]

@@ -1,0 +1,242 @@
+"""Hand-written statistical operators for the System C engine.
+
+The paper: "System C does not include a machine learning toolkit, and
+therefore we implemented all the required statistical operators as
+user-defined functions in the procedural language supported by it."
+
+These are those UDFs.  They are written against raw arrays using only
+primitive array operations (arithmetic, comparisons, sort, cumulative sums)
+— never the library-style reference kernels in :mod:`repro.core` — and the
+test suite proves they produce identical answers.  ``matmul_naive`` exists
+because the paper measured System C's hand-rolled matrix multiply against
+Matlab's BLAS and found it ~5x slower; the anecdote bench reproduces that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InsufficientDataError
+
+
+def histogram_equi_width(
+    values: np.ndarray, n_buckets: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Equi-width histogram via explicit bucket arithmetic.
+
+    Returns ``(edges, counts)`` identical to the reference implementation:
+    range = [min, max], final bucket closed on the right.
+    """
+    if values.size == 0:
+        raise InsufficientDataError("histogram of empty column")
+    lo = float(values.min())
+    hi = float(values.max())
+    if hi <= lo or (hi - lo) / n_buckets == 0.0:
+        lo, hi = lo - 0.5, hi + 0.5
+    width = (hi - lo) / n_buckets
+    idx = ((values - lo) / width).astype(np.int64)
+    # Values exactly at the top edge belong to the last bucket.
+    idx[idx >= n_buckets] = n_buckets - 1
+    idx[idx < 0] = 0
+    counts = np.bincount(idx, minlength=n_buckets)
+    edges = lo + width * np.arange(n_buckets + 1)
+    edges[-1] = hi  # avoid accumulation error at the top edge
+    return edges, counts
+
+
+def percentile_sorted(sorted_values: np.ndarray, q: float) -> float:
+    """Percentile with linear interpolation over pre-sorted input.
+
+    Same contract as :func:`repro.core.stats.percentile_linear`, rewritten
+    with explicit index arithmetic (no numpy.percentile).
+    """
+    n = sorted_values.size
+    if n == 0:
+        raise InsufficientDataError("percentile of empty column")
+    if n == 1:
+        return float(sorted_values[0])
+    rank = (q / 100.0) * (n - 1)
+    lo_idx = int(rank)
+    frac = rank - lo_idx
+    if lo_idx + 1 >= n:
+        return float(sorted_values[-1])
+    return float(
+        sorted_values[lo_idx] + frac * (sorted_values[lo_idx + 1] - sorted_values[lo_idx])
+    )
+
+
+def group_percentiles_by_bin(
+    bin_keys: np.ndarray,
+    values: np.ndarray,
+    lower_q: float,
+    upper_q: float,
+    min_bin_count: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-integer-bin percentiles: ``(bins, lower, upper, counts)``.
+
+    One sort by (bin, value), then run-length segmentation — the way a
+    column engine computes grouped order statistics without a hash table.
+    """
+    order = np.lexsort((values, bin_keys))
+    sorted_bins = bin_keys[order]
+    sorted_values = values[order]
+    boundaries = np.flatnonzero(sorted_bins[1:] != sorted_bins[:-1]) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [sorted_bins.size]])
+    bins: list[int] = []
+    lower: list[float] = []
+    upper: list[float] = []
+    counts: list[int] = []
+    for s, e in zip(starts, ends):
+        if e - s < min_bin_count:
+            continue
+        segment = sorted_values[s:e]  # already sorted within the bin
+        bins.append(int(sorted_bins[s]))
+        lower.append(percentile_sorted(segment, lower_q))
+        upper.append(percentile_sorted(segment, upper_q))
+        counts.append(int(e - s))
+    return (
+        np.asarray(bins, dtype=np.int64),
+        np.asarray(lower),
+        np.asarray(upper),
+        np.asarray(counts, dtype=np.float64),
+    )
+
+
+def linear_regression_sums(
+    x: np.ndarray, y: np.ndarray, weights: np.ndarray | None = None
+) -> tuple[float, float, float]:
+    """Weighted simple regression from explicit sums: (slope, intercept, sse)."""
+    if x.size == 0:
+        raise InsufficientDataError("regression over zero points")
+    w = np.ones_like(x) if weights is None else weights
+    sw = float(w.sum())
+    sx = float((w * x).sum())
+    sy = float((w * y).sum())
+    sxx = float((w * x * x).sum())
+    sxy = float((w * x * y).sum())
+    syy = float((w * y * y).sum())
+    if x.size == 1:
+        return 0.0, sy / sw, 0.0
+    varx = sxx - sx * sx / sw
+    if varx < 1e-12:
+        vary = syy - sy * sy / sw
+        return 0.0, sy / sw, max(0.0, vary)
+    slope = (sxy - sx * sy / sw) / varx
+    intercept = (sy - slope * sx) / sw
+    sse = max(0.0, (syy - sy * sy / sw) - slope * (sxy - sx * sy / sw))
+    return slope, intercept, sse
+
+
+def multiple_regression_normal_equations(
+    design: np.ndarray, y: np.ndarray
+) -> tuple[np.ndarray, float]:
+    """Multiple regression via explicit normal equations + Gaussian elimination.
+
+    Mirrors what a procedural UDF does: accumulate X'X and X'y, then solve
+    with the hand-written :func:`~repro.core.stats.gaussian_elimination_solve`.
+    """
+    from repro.core.stats import gaussian_elimination_solve
+
+    n, k = design.shape
+    if n < k:
+        raise InsufficientDataError(f"{n} rows for {k} coefficients")
+    xtx = design.T @ design
+    xty = design.T @ y
+    try:
+        coeffs = gaussian_elimination_solve(xtx, xty)
+    except np.linalg.LinAlgError:
+        coeffs = np.linalg.lstsq(design, y, rcond=None)[0]
+    resid = y - design @ coeffs
+    return coeffs, float((resid**2).sum())
+
+
+def batched_gaussian_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``m`` independent k x k systems by Gaussian elimination.
+
+    ``a`` is ``(m, k, k)``, ``b`` is ``(m, k)``; returns ``(m, k)``.
+    Partial pivoting runs per system, vectorized across the batch — this is
+    the column-engine idiom: the PAR task solves 24 small normal-equation
+    systems per household, and batching them removes per-system overhead.
+    Hand-written (no LAPACK ``solve``/``lstsq``), like the scalar version in
+    :func:`repro.core.stats.gaussian_elimination_solve`.
+    """
+    a = np.array(a, dtype=np.float64, copy=True)
+    b = np.array(b, dtype=np.float64, copy=True)
+    m, k, k2 = a.shape
+    if k != k2 or b.shape != (m, k):
+        raise ValueError(f"incompatible shapes {a.shape} and {b.shape}")
+    batch = np.arange(m)
+    for col in range(k):
+        # Partial pivoting, per system.
+        pivot = col + np.abs(a[:, col:, col]).argmax(axis=1)
+        if (np.abs(a[batch, pivot, col]) < 1e-12).any():
+            raise np.linalg.LinAlgError("singular system in batch")
+        swap = pivot != col
+        if swap.any():
+            rows = np.flatnonzero(swap)
+            a[rows, col], a[rows, pivot[rows]] = (
+                a[rows, pivot[rows]].copy(),
+                a[rows, col].copy(),
+            )
+            b[rows, col], b[rows, pivot[rows]] = (
+                b[rows, pivot[rows]].copy(),
+                b[rows, col].copy(),
+            )
+        inv = 1.0 / a[:, col, col]
+        if col + 1 < k:
+            factors = a[:, col + 1 :, col] * inv[:, None]  # (m, k-col-1)
+            a[:, col + 1 :, col:] -= factors[:, :, None] * a[:, None, col, col:]
+            b[:, col + 1 :] -= factors * b[:, col, None]
+    x = np.zeros((m, k))
+    for row in range(k - 1, -1, -1):
+        acc = (a[:, row, row + 1 :] * x[:, row + 1 :]).sum(axis=1)
+        x[:, row] = (b[:, row] - acc) / a[:, row, row]
+    return x
+
+
+def dot_product_loop(x: np.ndarray, y: np.ndarray, block: int = 1024) -> float:
+    """Blocked explicit dot product (no BLAS ``@``)."""
+    total = 0.0
+    for start in range(0, x.size, block):
+        xs = x[start : start + block]
+        ys = y[start : start + block]
+        total += float((xs * ys).sum())
+    return total
+
+
+def matmul_naive(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Triple-loop matrix multiply — the System C hand-rolled kernel.
+
+    Deliberately row-by-row (the inner product uses explicit elementwise
+    multiply + sum rather than BLAS) to reproduce the paper's anecdote that
+    System C's hand-written operators lose to Matlab's optimized matmul.
+    """
+    n, k = a.shape
+    k2, m = b.shape
+    if k != k2:
+        raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
+    out = np.zeros((n, m))
+    bt = np.ascontiguousarray(b.T)
+    for i in range(n):
+        row = a[i]
+        for j in range(m):
+            out[i, j] = (row * bt[j]).sum()
+    return out
+
+
+def top_k_by_score(scores: np.ndarray, k: int, exclude: int) -> list[int]:
+    """Indices of the k best scores (descending, ties by index), skipping one.
+
+    The sort is explicit (argsort on (-score, index)) — the System C UDF's
+    inner ranking step for similarity search.
+    """
+    order = np.lexsort((np.arange(scores.size), -scores))
+    out: list[int] = []
+    for idx in order:
+        if idx == exclude:
+            continue
+        out.append(int(idx))
+        if len(out) == k:
+            break
+    return out

@@ -1,0 +1,48 @@
+"""The paper's contribution: four benchmark algorithms and the data generator.
+
+* :mod:`repro.core.histogram` — Task 1, consumption histograms (Section 3.1);
+* :mod:`repro.core.threeline` — Task 2, 3-line thermal regression (3.2);
+* :mod:`repro.core.par` — Task 3, periodic autoregression profiles (3.3);
+* :mod:`repro.core.similarity` — Task 4, top-k cosine similarity (3.4);
+* :mod:`repro.core.kmeans` — k-means used by the generator (Section 4);
+* :mod:`repro.core.generator` — the realistic data generator (Section 4);
+* :mod:`repro.core.benchmark` — task registry and reference runner.
+
+The implementations here are the *reference* kernels: each platform engine
+in :mod:`repro.engines` either calls these (the "built-in function"
+platforms of Table 1) or re-implements them from scratch (System C, Spark,
+Hive) and is validated against them.
+"""
+
+from repro.core.benchmark import (
+    AR_ORDER,
+    NUM_BUCKETS,
+    TOP_K,
+    Task,
+    run_task_reference,
+)
+from repro.core.generator import GeneratorConfig, SmartMeterGenerator
+from repro.core.histogram import HistogramResult, equi_width_histogram
+from repro.core.kmeans import KMeansResult, kmeans
+from repro.core.par import ParModel, fit_par
+from repro.core.similarity import top_k_similar
+from repro.core.threeline import ThreeLineModel, fit_three_lines
+
+__all__ = [
+    "AR_ORDER",
+    "GeneratorConfig",
+    "HistogramResult",
+    "KMeansResult",
+    "NUM_BUCKETS",
+    "ParModel",
+    "SmartMeterGenerator",
+    "TOP_K",
+    "Task",
+    "ThreeLineModel",
+    "equi_width_histogram",
+    "fit_par",
+    "fit_three_lines",
+    "kmeans",
+    "run_task_reference",
+    "top_k_similar",
+]

@@ -1,0 +1,82 @@
+"""Benchmark definition: the four tasks, their fixed parameters, and the
+reference runner (paper Section 3).
+
+The benchmark fixes: 10 equi-width histogram buckets, AR order p = 3,
+similarity k = 10, hourly data covering a year.  ``run_task_reference``
+executes a task with the reference numpy kernels; every platform engine's
+output is validated against it (:mod:`repro.core.validation`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.histogram import histograms_for_dataset
+from repro.core.par import ParConfig, par_for_dataset
+from repro.core.similarity import similarity_for_dataset
+from repro.core.threeline import ThreeLineConfig, three_lines_for_dataset
+from repro.timeseries.series import Dataset
+
+#: Benchmark constants fixed by the paper.
+NUM_BUCKETS = 10
+AR_ORDER = 3
+TOP_K = 10
+
+
+class Task(str, enum.Enum):
+    """The four benchmark tasks of Section 3."""
+
+    HISTOGRAM = "histogram"
+    THREELINE = "threeline"
+    PAR = "par"
+    SIMILARITY = "similarity"
+
+    @property
+    def title(self) -> str:
+        """Display name used in figures (matches the paper's labels)."""
+        return {
+            Task.HISTOGRAM: "Histogram",
+            Task.THREELINE: "3-line",
+            Task.PAR: "PAR",
+            Task.SIMILARITY: "Similarity",
+        }[self]
+
+
+#: Tasks that are embarrassingly parallel across consumers (paper 3.5);
+#: similarity is quadratic and needs all-pairs access.
+PER_CONSUMER_TASKS = (Task.HISTOGRAM, Task.THREELINE, Task.PAR)
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """A concrete benchmark configuration (defaults = the paper's)."""
+
+    n_buckets: int = NUM_BUCKETS
+    top_k: int = TOP_K
+    par: ParConfig = field(default_factory=lambda: ParConfig(p=AR_ORDER))
+    threeline: ThreeLineConfig = field(default_factory=ThreeLineConfig)
+
+
+def run_task_reference(
+    dataset: Dataset, task: Task, spec: BenchmarkSpec | None = None
+) -> dict[str, Any]:
+    """Run one benchmark task with the reference kernels.
+
+    Returns a dict keyed by consumer id whose values depend on the task:
+    :class:`~repro.core.histogram.HistogramResult`,
+    :class:`~repro.core.threeline.ThreeLineModel`,
+    :class:`~repro.core.par.ParModel`, or a list of ``(neighbour_id, score)``
+    pairs for similarity.
+    """
+    spec = spec or BenchmarkSpec()
+    if task is Task.HISTOGRAM:
+        return histograms_for_dataset(dataset, spec.n_buckets)
+    if task is Task.THREELINE:
+        return three_lines_for_dataset(dataset, spec.threeline)
+    if task is Task.PAR:
+        return par_for_dataset(dataset, spec.par)
+    if task is Task.SIMILARITY:
+        return similarity_for_dataset(dataset, spec.top_k)
+    raise ValueError(f"unknown task: {task!r}")

@@ -1,0 +1,130 @@
+"""k-means clustering (from scratch) for daily activity profiles.
+
+The data generator (paper Section 4, Figure 3) clusters the PAR daily
+profiles of the seed consumers with k-means and draws activity loads from
+cluster centroids.  Implemented here with k-means++ seeding and Lloyd
+iterations; no external ML library so that every engine and the generator
+share one deterministic implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a k-means run."""
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iterations: int
+    converged: bool
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return int(self.centroids.shape[0])
+
+    def members(self, cluster: int) -> np.ndarray:
+        """Row indices assigned to ``cluster``."""
+        if not 0 <= cluster < self.k:
+            raise ValueError(f"cluster {cluster} out of range 0..{self.k - 1}")
+        return np.flatnonzero(self.labels == cluster)
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Number of members per cluster."""
+        return np.bincount(self.labels, minlength=self.k)
+
+
+def _plus_plus_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by squared distance."""
+    n = points.shape[0]
+    centroids = np.empty((k, points.shape[1]))
+    first = rng.integers(n)
+    centroids[0] = points[first]
+    closest_sq = ((points - centroids[0]) ** 2).sum(axis=1)
+    for c in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0.0:
+            # All points coincide with chosen centroids; fill uniformly.
+            centroids[c:] = points[rng.integers(n, size=k - c)]
+            break
+        probs = closest_sq / total
+        idx = rng.choice(n, p=probs)
+        centroids[c] = points[idx]
+        dist_sq = ((points - centroids[c]) ** 2).sum(axis=1)
+        np.minimum(closest_sq, dist_sq, out=closest_sq)
+    return centroids
+
+
+def _assign(points: np.ndarray, centroids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Labels and squared distance to the nearest centroid for each point."""
+    # (n, k) squared distances via the expansion ||p||^2 - 2 p.c + ||c||^2.
+    p_sq = (points**2).sum(axis=1)[:, None]
+    c_sq = (centroids**2).sum(axis=1)[None, :]
+    d = p_sq - 2.0 * points @ centroids.T + c_sq
+    np.maximum(d, 0.0, out=d)
+    labels = d.argmin(axis=1)
+    return labels, d[np.arange(points.shape[0]), labels]
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+    seed: int | np.random.Generator = 0,
+) -> KMeansResult:
+    """Cluster ``points`` (rows) into ``k`` clusters.
+
+    Deterministic for a given integer ``seed``.  Empty clusters are reseeded
+    to the point currently farthest from its centroid, so every cluster in
+    the result is non-empty whenever ``k <= n``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise DataError(f"points must be a non-empty 2-D matrix, got {points.shape}")
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    if np.isnan(points).any():
+        raise DataError("points contain NaN")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+    centroids = _plus_plus_init(points, k, rng)
+    labels = np.zeros(n, dtype=np.int64)
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        labels, dist_sq = _assign(points, centroids)
+        new_centroids = np.empty_like(centroids)
+        for c in range(k):
+            mask = labels == c
+            if mask.any():
+                new_centroids[c] = points[mask].mean(axis=0)
+            else:
+                # Reseed an empty cluster to the worst-served point.
+                worst = int(dist_sq.argmax())
+                new_centroids[c] = points[worst]
+                dist_sq[worst] = 0.0
+        shift = float(np.sqrt(((new_centroids - centroids) ** 2).sum(axis=1)).max())
+        centroids = new_centroids
+        if shift <= tolerance:
+            converged = True
+            break
+    labels, dist_sq = _assign(points, centroids)
+    return KMeansResult(
+        centroids=centroids,
+        labels=labels,
+        inertia=float(dist_sq.sum()),
+        n_iterations=iteration,
+        converged=converged,
+    )

@@ -1,0 +1,253 @@
+"""Task 3 — periodic autoregression (PAR) daily profiles (paper Section 3.3).
+
+The PAR algorithm of Espinoza et al. [13] / Ardakanian et al. [8] as the
+paper specifies it: for each consumer and each hour of the day, fit an
+auto-regressive model in which consumption at that hour is a linear
+combination of the consumption at the same hour over the previous ``p`` days
+(the paper uses ``p = 3``) and the outdoor temperature.  The output per
+consumer is the *daily profile*: a vector of 24 expected consumption values
+attributable to the occupants' habits alone, with the temperature-dependent
+load removed (paper Figure 2).
+
+Two temperature parameterizations are provided:
+
+* ``"linear"`` (default, the paper's formulation) — a single temperature
+  regressor; the temperature-independent level is evaluated at a reference
+  comfort temperature ``t_ref``;
+* ``"degree_day"`` — separate heating/cooling degree regressors
+  ``max(0, t_heat - T)`` and ``max(0, T - t_cool)``, whose
+  temperature-dependent load is zero inside the comfort band.  The data
+  generator (Section 4) uses this mode because it disaggregates additive
+  thermal load exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stats import ols_multi
+from repro.exceptions import DataError, InsufficientDataError
+from repro.timeseries.calendar import HOURS_PER_DAY, day_hour_matrix
+from repro.timeseries.series import Dataset
+
+_TEMPERATURE_MODES = ("linear", "degree_day")
+
+
+@dataclass(frozen=True)
+class HourModel:
+    """Fitted AR model for one hour of day.
+
+    ``coefficients`` is laid out as ``[intercept, lag_1..lag_p, temp...]``
+    where the temperature tail is one coefficient in ``linear`` mode and two
+    (heating, cooling) in ``degree_day`` mode.
+    """
+
+    hour: int
+    coefficients: np.ndarray
+    sse: float
+    n_observations: int
+
+    @property
+    def intercept(self) -> float:
+        """Constant term of the AR model."""
+        return float(self.coefficients[0])
+
+    def lag_coefficients(self, p: int) -> np.ndarray:
+        """The ``p`` autoregressive coefficients."""
+        return self.coefficients[1 : 1 + p]
+
+    def temperature_coefficients(self, p: int) -> np.ndarray:
+        """The temperature coefficient(s) — one or two values."""
+        return self.coefficients[1 + p :]
+
+
+@dataclass(frozen=True)
+class ParModel:
+    """PAR result for one consumer: 24 hour-models and the daily profile."""
+
+    profile: np.ndarray
+    hour_models: tuple[HourModel, ...]
+    p: int
+    temperature_mode: str
+    #: Thermal parameterization used at fit time (needed for forecasting).
+    config: "ParConfig | None" = None
+
+    def __post_init__(self) -> None:
+        if self.profile.shape != (HOURS_PER_DAY,):
+            raise DataError(f"profile must have 24 values, got {self.profile.shape}")
+
+    def total_sse(self) -> float:
+        """Sum of squared errors across the 24 hour-models."""
+        return float(sum(m.sse for m in self.hour_models))
+
+    # Forecasting — the short-term load forecasting application the PAR
+    # literature the paper draws on ([13], [15]) uses this model for.
+
+    def _thermal_terms(self, temperature: np.ndarray) -> np.ndarray:
+        cfg = self.config or ParConfig(
+            p=self.p, temperature_mode=self.temperature_mode
+        )
+        return _temperature_columns(np.asarray(temperature, dtype=np.float64), cfg)
+
+    def forecast_day(
+        self, recent_days: np.ndarray, temperature: np.ndarray
+    ) -> np.ndarray:
+        """Predict the next day's 24 hourly readings.
+
+        ``recent_days`` is the last ``p`` days of observed consumption as a
+        ``(p, 24)`` matrix (oldest first); ``temperature`` is the next
+        day's hourly forecast (24 values).
+        """
+        recent_days = np.asarray(recent_days, dtype=np.float64)
+        temperature = np.asarray(temperature, dtype=np.float64)
+        if recent_days.shape != (self.p, HOURS_PER_DAY):
+            raise DataError(
+                f"recent_days must be ({self.p}, 24), got {recent_days.shape}"
+            )
+        if temperature.shape != (HOURS_PER_DAY,):
+            raise DataError(
+                f"temperature must have 24 values, got {temperature.shape}"
+            )
+        thermal = self._thermal_terms(temperature)  # (24, n_temp_cols)
+        out = np.empty(HOURS_PER_DAY)
+        for h, model in enumerate(self.hour_models):
+            lags = recent_days[::-1, h][: self.p]  # most recent day first
+            out[h] = (
+                model.intercept
+                + float(model.lag_coefficients(self.p) @ lags)
+                + float(model.temperature_coefficients(self.p) @ thermal[h])
+            )
+        return out
+
+    def forecast(
+        self, recent_days: np.ndarray, temperature: np.ndarray
+    ) -> np.ndarray:
+        """Multi-day forecast, feeding predictions back in as lags.
+
+        ``temperature`` is ``(horizon, 24)``; returns ``(horizon, 24)``.
+        """
+        temperature = np.asarray(temperature, dtype=np.float64)
+        if temperature.ndim != 2 or temperature.shape[1] != HOURS_PER_DAY:
+            raise DataError(
+                f"temperature must be (horizon, 24), got {temperature.shape}"
+            )
+        window = np.array(recent_days, dtype=np.float64, copy=True)
+        horizon = temperature.shape[0]
+        out = np.empty((horizon, HOURS_PER_DAY))
+        for d in range(horizon):
+            out[d] = self.forecast_day(window, temperature[d])
+            window = np.vstack([window[1:], out[d]])
+        return out
+
+
+@dataclass(frozen=True)
+class ParConfig:
+    """Tuning knobs of the PAR algorithm."""
+
+    p: int = 3
+    temperature_mode: str = "linear"
+    #: Reference comfort temperature for ``linear`` mode profiles (deg C).
+    t_ref: float = 18.0
+    #: Degree-day balance points for ``degree_day`` mode (deg C).
+    t_heat: float = 15.0
+    t_cool: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise ValueError(f"AR order p must be >= 1, got {self.p}")
+        if self.temperature_mode not in _TEMPERATURE_MODES:
+            raise ValueError(
+                f"temperature_mode must be one of {_TEMPERATURE_MODES}, "
+                f"got {self.temperature_mode!r}"
+            )
+
+
+def _temperature_columns(temps: np.ndarray, cfg: ParConfig) -> np.ndarray:
+    """Temperature regressor column(s) for a vector of temperatures."""
+    if cfg.temperature_mode == "linear":
+        return temps[:, None]
+    heating = np.maximum(0.0, cfg.t_heat - temps)
+    cooling = np.maximum(0.0, temps - cfg.t_cool)
+    return np.column_stack([heating, cooling])
+
+
+def fit_par(
+    consumption: np.ndarray,
+    temperature: np.ndarray,
+    config: ParConfig | None = None,
+) -> ParModel:
+    """Fit the PAR model and daily profile for one consumer.
+
+    Requires at least ``p + k + 1`` days of data per hour (k = number of
+    regressors) — in practice a handful of weeks; the benchmark uses a year.
+    """
+    cfg = config or ParConfig()
+    consumption = np.asarray(consumption, dtype=np.float64)
+    temperature = np.asarray(temperature, dtype=np.float64)
+    if consumption.shape != temperature.shape or consumption.ndim != 1:
+        raise DataError(
+            f"consumption {consumption.shape} and temperature "
+            f"{temperature.shape} must be equal-length 1-D series"
+        )
+    if np.isnan(consumption).any() or np.isnan(temperature).any():
+        raise DataError("series contains NaN; impute before analysis")
+
+    cons_by_day = day_hour_matrix(consumption)  # (days, 24)
+    temp_by_day = day_hour_matrix(temperature)
+    n_days = cons_by_day.shape[0]
+    n_temp_cols = 1 if cfg.temperature_mode == "linear" else 2
+    min_days = cfg.p + 1 + cfg.p + n_temp_cols  # observations >= coefficients
+    if n_days < min_days:
+        raise InsufficientDataError(
+            f"PAR with p={cfg.p} needs at least {min_days} days, got {n_days}"
+        )
+
+    profile = np.empty(HOURS_PER_DAY)
+    hour_models: list[HourModel] = []
+    for h in range(HOURS_PER_DAY):
+        y_full = cons_by_day[:, h]
+        t_full = temp_by_day[:, h]
+        y = y_full[cfg.p :]
+        lags = np.column_stack(
+            [y_full[cfg.p - lag : n_days - lag] for lag in range(1, cfg.p + 1)]
+        )
+        temp_cols = _temperature_columns(t_full[cfg.p :], cfg)
+        design = np.column_stack([np.ones(y.size), lags, temp_cols])
+        coeffs, sse = ols_multi(design, y)
+        hour_models.append(
+            HourModel(hour=h, coefficients=coeffs, sse=sse, n_observations=y.size)
+        )
+        # Temperature-independent expected consumption at this hour: the
+        # observed mean minus the modeled temperature-driven load.
+        temp_coeffs = coeffs[1 + cfg.p :]
+        if cfg.temperature_mode == "linear":
+            thermal = float(temp_coeffs[0]) * (t_full[cfg.p :].mean() - cfg.t_ref)
+        else:
+            thermal = float(temp_cols.mean(axis=0) @ temp_coeffs)
+        profile[h] = y.mean() - thermal
+
+    return ParModel(
+        profile=profile,
+        hour_models=tuple(hour_models),
+        p=cfg.p,
+        temperature_mode=cfg.temperature_mode,
+        config=cfg,
+    )
+
+
+def par_for_dataset(
+    dataset: Dataset, config: ParConfig | None = None
+) -> dict[str, ParModel]:
+    """Task 3 over a whole dataset: consumer id -> PAR model."""
+    return {
+        cid: fit_par(dataset.consumption[i], dataset.temperature[i], config)
+        for i, cid in enumerate(dataset.consumer_ids)
+    }
+
+
+def profiles_matrix(models: dict[str, ParModel]) -> tuple[list[str], np.ndarray]:
+    """Stack PAR profiles into an ``(n, 24)`` matrix, preserving id order."""
+    ids = list(models)
+    return ids, np.stack([models[cid].profile for cid in ids])

@@ -1,0 +1,194 @@
+"""Shared statistical kernels: OLS lines and O(1)-per-segment fitting.
+
+The 3-line algorithm searches over every pair of breakpoints and must fit a
+least-squares line to each candidate segment; :class:`PrefixSumOLS`
+precomputes prefix sums of x, y, x**2, x*y, y**2 so that any contiguous
+segment's slope, intercept and sum of squared errors come out in O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InsufficientDataError
+
+
+@dataclass(frozen=True)
+class Line:
+    """A fitted line ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+
+    def predict(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Evaluate the line at ``x``."""
+        return self.slope * x + self.intercept
+
+    def intersection_x(self, other: "Line") -> float | None:
+        """x coordinate where this line crosses ``other``, or None if parallel."""
+        denom = self.slope - other.slope
+        if abs(denom) < 1e-12:
+            return None
+        return (other.intercept - self.intercept) / denom
+
+
+def ols_line(x: np.ndarray, y: np.ndarray) -> tuple[Line, float]:
+    """Least-squares line through ``(x, y)`` and its sum of squared errors.
+
+    With a single point, returns the horizontal line through it (SSE 0).
+    Degenerate x (all equal) also yields a horizontal line through the mean.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    n = x.size
+    if n == 0:
+        raise InsufficientDataError("cannot fit a line to zero points")
+    if n == 1:
+        return Line(0.0, float(y[0])), 0.0
+    xm, ym = x.mean(), y.mean()
+    sxx = float(((x - xm) ** 2).sum())
+    if sxx < 1e-12:
+        resid = y - ym
+        return Line(0.0, float(ym)), float((resid**2).sum())
+    sxy = float(((x - xm) * (y - ym)).sum())
+    slope = sxy / sxx
+    intercept = ym - slope * xm
+    syy = float(((y - ym) ** 2).sum())
+    sse = max(0.0, syy - slope * sxy)
+    return Line(slope, intercept), sse
+
+
+class PrefixSumOLS:
+    """O(1) (weighted) least-squares fits over contiguous point segments.
+
+    Points are taken in the order given (the 3-line algorithm sorts them by
+    temperature first).  ``fit(i, j)`` fits points ``i..j-1``.  Optional
+    per-point ``weights`` give a weighted fit; the 3-line algorithm weights
+    each percentile point by its temperature bin's reading count, since the
+    variance of a sample percentile shrinks with the sample size.
+    """
+
+    def __init__(
+        self, x: np.ndarray, y: np.ndarray, weights: np.ndarray | None = None
+    ) -> None:
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.shape != y.shape or x.ndim != 1:
+            raise ValueError("x and y must be 1-D arrays of equal length")
+        if weights is None:
+            w = np.ones_like(x)
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.shape != x.shape:
+                raise ValueError("weights must match x in shape")
+            if (w <= 0).any():
+                raise ValueError("weights must be strictly positive")
+        self.n = x.size
+        zero = np.zeros(1)
+        self._sw = np.concatenate([zero, np.cumsum(w)])
+        self._sx = np.concatenate([zero, np.cumsum(w * x)])
+        self._sy = np.concatenate([zero, np.cumsum(w * y)])
+        self._sxx = np.concatenate([zero, np.cumsum(w * x * x)])
+        self._sxy = np.concatenate([zero, np.cumsum(w * x * y)])
+        self._syy = np.concatenate([zero, np.cumsum(w * y * y)])
+
+    def fit(self, i: int, j: int) -> tuple[Line, float]:
+        """Fit points ``[i, j)``; requires ``0 <= i < j <= n``."""
+        if not 0 <= i < j <= self.n:
+            raise ValueError(f"invalid segment [{i}, {j}) of {self.n} points")
+        sw = self._sw[j] - self._sw[i]
+        sx = self._sx[j] - self._sx[i]
+        sy = self._sy[j] - self._sy[i]
+        sxx = self._sxx[j] - self._sxx[i]
+        sxy = self._sxy[j] - self._sxy[i]
+        syy = self._syy[j] - self._syy[i]
+        if j - i == 1:
+            return Line(0.0, float(sy / sw)), 0.0
+        varx = sxx - sx * sx / sw
+        covxy = sxy - sx * sy / sw
+        vary = syy - sy * sy / sw
+        if varx < 1e-12:
+            return Line(0.0, float(sy / sw)), float(max(0.0, vary))
+        slope = covxy / varx
+        intercept = (sy - slope * sx) / sw
+        sse = max(0.0, vary - slope * covxy)
+        return Line(float(slope), float(intercept)), float(sse)
+
+    def sse(self, i: int, j: int) -> float:
+        """Sum of squared errors of the best line over points ``[i, j)``."""
+        return self.fit(i, j)[1]
+
+
+def percentile_linear(sorted_values: np.ndarray, q: float) -> float:
+    """q-th percentile (0..100) with linear interpolation, from sorted input.
+
+    Matches ``numpy.percentile(..., method="linear")``; implemented here so
+    the from-scratch engines (System C, Spark) have a library-free kernel
+    that provably agrees with the reference.
+    """
+    n = sorted_values.size
+    if n == 0:
+        raise InsufficientDataError("percentile of empty array")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if n == 1:
+        return float(sorted_values[0])
+    rank = (q / 100.0) * (n - 1)
+    lo = int(np.floor(rank))
+    hi = min(lo + 1, n - 1)
+    frac = rank - lo
+    return float(sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac)
+
+
+def ols_multi(design: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, float]:
+    """Multiple linear regression: coefficients and SSE via lstsq.
+
+    ``design`` is ``(n, k)`` (include a ones column for the intercept).
+    """
+    design = np.asarray(design, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if design.ndim != 2 or design.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"design {design.shape} incompatible with y {y.shape}"
+        )
+    if design.shape[0] < design.shape[1]:
+        raise InsufficientDataError(
+            f"{design.shape[0]} observations for {design.shape[1]} coefficients"
+        )
+    coeffs, _, _, _ = np.linalg.lstsq(design, y, rcond=None)
+    resid = y - design @ coeffs
+    return coeffs, float((resid**2).sum())
+
+
+def gaussian_elimination_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``a @ x = b`` by Gaussian elimination with partial pivoting.
+
+    This is the "implemented from scratch in the platform's procedural
+    language" path used by the System C engine (the paper had to hand-write
+    its statistical operators there).  Kept separate from numpy's solver so
+    tests can verify the two agree.
+    """
+    a = np.array(a, dtype=np.float64, copy=True)
+    b = np.array(b, dtype=np.float64, copy=True)
+    n = a.shape[0]
+    if a.shape != (n, n) or b.shape != (n,):
+        raise ValueError(f"incompatible shapes {a.shape} and {b.shape}")
+    for col in range(n):
+        pivot = col + int(np.argmax(np.abs(a[col:, col])))
+        if abs(a[pivot, col]) < 1e-12:
+            raise np.linalg.LinAlgError("singular normal-equations matrix")
+        if pivot != col:
+            a[[col, pivot]] = a[[pivot, col]]
+            b[[col, pivot]] = b[[pivot, col]]
+        inv = 1.0 / a[col, col]
+        for row in range(col + 1, n):
+            factor = a[row, col] * inv
+            if factor != 0.0:
+                a[row, col:] -= factor * a[col, col:]
+                b[row] -= factor * b[col]
+    x = np.zeros(n)
+    for row in range(n - 1, -1, -1):
+        x[row] = (b[row] - a[row, row + 1 :] @ x[row + 1 :]) / a[row, row]
+    return x

@@ -1,0 +1,345 @@
+"""Task 2 — the 3-line thermal-sensitivity algorithm (paper Section 3.2).
+
+The algorithm of Birt et al. [10], as specified by the paper (Figure 1):
+
+1. **T1 (quantiles)** — group the hourly readings by (rounded) outdoor
+   temperature and compute the 10th and 90th percentile consumption for each
+   temperature value;
+2. **T2 (regression)** — for each percentile band, fit a piecewise model of
+   three least-squares lines over the (temperature, percentile) points,
+   choosing the two breakpoints that minimize total squared error;
+3. **T3 (adjust)** — ensure the three lines are continuous, adjusting them
+   slightly where the independently fitted segments do not already meet.
+
+Outputs per consumer: the two 3-line bands plus the derived quantities the
+paper highlights — the *heating gradient* and *cooling gradient* (slopes of
+the outer 90th-percentile lines) and the *base load* (the height of the
+lowest point on the 10th-percentile lines).
+
+The three phases are individually timed through an optional ``phases`` dict
+because the paper's Figure 6 reports the T1/T2/T3 breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stats import Line, PrefixSumOLS, percentile_linear
+from repro.exceptions import DataError, InsufficientDataError
+from repro.timeseries.series import Dataset
+
+#: Percentile bands used by the algorithm (paper Figure 1).
+LOWER_PERCENTILE = 10.0
+UPPER_PERCENTILE = 90.0
+
+
+@dataclass(frozen=True)
+class PiecewiseLines:
+    """Three continuous line segments split at two breakpoints."""
+
+    lines: tuple[Line, Line, Line]
+    breakpoints: tuple[float, float]
+    sse: float
+    adjusted: bool
+
+    def predict(self, x: float | np.ndarray) -> np.ndarray:
+        """Evaluate the piecewise model at ``x`` (scalar or array)."""
+        x = np.asarray(x, dtype=np.float64)
+        b1, b2 = self.breakpoints
+        left, mid, right = self.lines
+        return np.where(
+            x < b1, left.predict(x), np.where(x < b2, mid.predict(x), right.predict(x))
+        )
+
+    def max_discontinuity(self) -> float:
+        """Largest jump between adjacent segments at the breakpoints.
+
+        Zero (up to float error) after the T3 adjustment phase.
+        """
+        b1, b2 = self.breakpoints
+        left, mid, right = self.lines
+        return max(
+            abs(float(left.predict(b1)) - float(mid.predict(b1))),
+            abs(float(mid.predict(b2)) - float(right.predict(b2))),
+        )
+
+
+@dataclass(frozen=True)
+class ThreeLineModel:
+    """Result of the 3-line algorithm for one consumer."""
+
+    band_upper: PiecewiseLines
+    band_lower: PiecewiseLines
+    heating_gradient: float
+    cooling_gradient: float
+    base_load: float
+    temperature_range: tuple[float, float]
+
+    def summary(self) -> dict[str, float]:
+        """The three headline numbers, for reports and feedback apps."""
+        return {
+            "heating_gradient": self.heating_gradient,
+            "cooling_gradient": self.cooling_gradient,
+            "base_load": self.base_load,
+        }
+
+
+@dataclass
+class PhaseTimes:
+    """Accumulated wall-clock seconds per algorithm phase (paper Fig. 6)."""
+
+    t1_quantiles: float = 0.0
+    t2_regression: float = 0.0
+    t3_adjust: float = 0.0
+
+    def total(self) -> float:
+        """Sum of the three phases."""
+        return self.t1_quantiles + self.t2_regression + self.t3_adjust
+
+    def add(self, other: "PhaseTimes") -> None:
+        """Accumulate another consumer's phase times into this one."""
+        self.t1_quantiles += other.t1_quantiles
+        self.t2_regression += other.t2_regression
+        self.t3_adjust += other.t3_adjust
+
+
+@dataclass(frozen=True)
+class ThreeLineConfig:
+    """Tuning knobs of the 3-line algorithm."""
+
+    #: Temperature bin width in degrees C for the percentile grouping.
+    bin_width: float = 1.0
+    #: Bins with fewer readings than this are dropped (too noisy to rank).
+    min_bin_count: int = 3
+    #: Minimum number of percentile points required per fitted segment.
+    min_segment_points: int = 2
+    #: Weight each percentile point by its bin's reading count during the
+    #: regression.  Sample percentiles from well-populated bins are far less
+    #: noisy, and hourly data correlates temperature with hour of day, so
+    #: unweighted fits let sparse extreme-cold bins hijack a segment.  The
+    #: ablation bench ``bench_ablation_threeline`` toggles this.
+    weight_by_count: bool = True
+    lower_percentile: float = LOWER_PERCENTILE
+    upper_percentile: float = UPPER_PERCENTILE
+
+
+@dataclass
+class _BandPoints:
+    """Percentile points for one band: sorted temps, values, bin counts."""
+
+    temps: np.ndarray
+    values: np.ndarray
+    counts: np.ndarray
+
+
+def _percentile_points(
+    consumption: np.ndarray, temperature: np.ndarray, config: ThreeLineConfig
+) -> tuple[_BandPoints, _BandPoints]:
+    """Phase T1: per-temperature-bin 10th and 90th percentile consumption."""
+    bins = np.round(temperature / config.bin_width).astype(np.int64)
+    order = np.argsort(bins, kind="stable")
+    sorted_bins = bins[order]
+    sorted_cons = consumption[order]
+    # Boundaries between runs of equal bin values.
+    boundaries = np.flatnonzero(np.diff(sorted_bins)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [sorted_bins.size]])
+
+    temps: list[float] = []
+    lower: list[float] = []
+    upper: list[float] = []
+    counts: list[int] = []
+    for s, e in zip(starts, ends):
+        if e - s < config.min_bin_count:
+            continue
+        group = np.sort(sorted_cons[s:e])
+        temps.append(sorted_bins[s] * config.bin_width)
+        lower.append(percentile_linear(group, config.lower_percentile))
+        upper.append(percentile_linear(group, config.upper_percentile))
+        counts.append(e - s)
+    t = np.asarray(temps)
+    c = np.asarray(counts, dtype=np.float64)
+    return (
+        _BandPoints(t, np.asarray(lower), c),
+        _BandPoints(t, np.asarray(upper), c),
+    )
+
+
+def _best_breakpoints(
+    points: _BandPoints, min_pts: int, weight_by_count: bool
+) -> tuple[int, int, tuple[Line, Line, Line], float]:
+    """Phase T2: search all breakpoint pairs, O(1) SSE per candidate."""
+    n = points.temps.size
+    if n < 3 * min_pts:
+        raise InsufficientDataError(
+            f"{n} percentile points cannot support three segments of >= {min_pts}"
+        )
+    weights = points.counts if weight_by_count else None
+    ols = PrefixSumOLS(points.temps, points.values, weights)
+    best: tuple[float, int, int] | None = None
+    for i in range(min_pts, n - 2 * min_pts + 1):
+        sse_left = ols.sse(0, i)
+        for j in range(i + min_pts, n - min_pts + 1):
+            total = sse_left + ols.sse(i, j) + ols.sse(j, n)
+            if best is None or total < best[0] - 1e-15:
+                best = (total, i, j)
+    assert best is not None  # guaranteed by the range checks above
+    total, i, j = best
+    left, _ = ols.fit(0, i)
+    mid, _ = ols.fit(i, j)
+    right, _ = ols.fit(j, n)
+    return i, j, (left, mid, right), total
+
+
+def _make_continuous(
+    lines: tuple[Line, Line, Line],
+    points: _BandPoints,
+    i: int,
+    j: int,
+) -> tuple[tuple[Line, Line, Line], tuple[float, float], bool]:
+    """Phase T3: pick breakpoint x-values and force the lines to meet there.
+
+    If adjacent lines intersect inside the gap between their segments, the
+    intersection becomes the breakpoint and no adjustment is needed there.
+    Otherwise the breakpoint is placed mid-gap and the *outer* line's
+    intercept is shifted so it meets the middle line (the middle segment has
+    the most support, so we preserve it — the paper says the lines may need
+    to be "adjusted slightly").
+    """
+    left, mid, right = lines
+    temps = points.temps
+    adjusted = False
+
+    def join(outer: Line, inner: Line, gap_lo: float, gap_hi: float) -> tuple[Line, float, bool]:
+        cross = outer.intersection_x(inner)
+        if cross is not None and gap_lo <= cross <= gap_hi:
+            return outer, float(cross), False
+        breakpoint_x = 0.5 * (gap_lo + gap_hi)
+        target = float(inner.predict(breakpoint_x))
+        fixed = Line(outer.slope, target - outer.slope * breakpoint_x)
+        return fixed, breakpoint_x, True
+
+    new_left, b1, adj1 = join(left, mid, float(temps[i - 1]), float(temps[i]))
+    new_right, b2, adj2 = join(right, mid, float(temps[j - 1]), float(temps[j]))
+    adjusted = adj1 or adj2
+    return (new_left, mid, new_right), (b1, b2), adjusted
+
+
+def fit_bands(
+    temps: np.ndarray,
+    lower_values: np.ndarray,
+    upper_values: np.ndarray,
+    counts: np.ndarray,
+    config: ThreeLineConfig | None = None,
+    phases: PhaseTimes | None = None,
+) -> ThreeLineModel:
+    """Phases T2+T3 of the 3-line algorithm, from percentile points.
+
+    ``temps`` must be ascending; ``lower_values``/``upper_values`` are the
+    10th/90th percentile consumption at each temperature and ``counts`` the
+    reading count behind each point.  Engines that compute the percentile
+    grouping in their own storage layer (the MADLib engine does it in SQL)
+    call this directly; :func:`fit_three_lines` is T1 + this.
+    """
+    cfg = config or ThreeLineConfig()
+    temps = np.asarray(temps, dtype=np.float64)
+    if temps.size >= 2 and (np.diff(temps) <= 0).any():
+        raise DataError("percentile points must have strictly ascending temps")
+    lower_pts = _BandPoints(temps, np.asarray(lower_values, dtype=np.float64),
+                            np.asarray(counts, dtype=np.float64))
+    upper_pts = _BandPoints(temps, np.asarray(upper_values, dtype=np.float64),
+                            np.asarray(counts, dtype=np.float64))
+
+    tic = time.perf_counter()
+    li, lj, l_lines, l_sse = _best_breakpoints(
+        lower_pts, cfg.min_segment_points, cfg.weight_by_count
+    )
+    ui, uj, u_lines, u_sse = _best_breakpoints(
+        upper_pts, cfg.min_segment_points, cfg.weight_by_count
+    )
+    t2 = time.perf_counter() - tic
+
+    tic = time.perf_counter()
+    l_lines, l_bps, l_adj = _make_continuous(l_lines, lower_pts, li, lj)
+    u_lines, u_bps, u_adj = _make_continuous(u_lines, upper_pts, ui, uj)
+    band_lower = PiecewiseLines(l_lines, l_bps, l_sse, l_adj)
+    band_upper = PiecewiseLines(u_lines, u_bps, u_sse, u_adj)
+
+    # Derived feedback quantities (paper Figure 1).  The heating gradient is
+    # reported as kWh per degree of *cooling outdoors* (sign-flipped slope).
+    heating_gradient = -band_upper.lines[0].slope
+    cooling_gradient = band_upper.lines[2].slope
+    t_lo = float(temps[0])
+    t_hi = float(temps[-1])
+    candidates = np.array(
+        [t_lo, band_lower.breakpoints[0], band_lower.breakpoints[1], t_hi]
+    )
+    base_load = float(band_lower.predict(candidates).min())
+    t3 = time.perf_counter() - tic
+
+    if phases is not None:
+        phases.add(PhaseTimes(0.0, t2, t3))
+
+    return ThreeLineModel(
+        band_upper=band_upper,
+        band_lower=band_lower,
+        heating_gradient=float(heating_gradient),
+        cooling_gradient=float(cooling_gradient),
+        base_load=base_load,
+        temperature_range=(t_lo, t_hi),
+    )
+
+
+def fit_three_lines(
+    consumption: np.ndarray,
+    temperature: np.ndarray,
+    config: ThreeLineConfig | None = None,
+    phases: PhaseTimes | None = None,
+) -> ThreeLineModel:
+    """Run the full 3-line algorithm (T1+T2+T3) on one consumer.
+
+    Raises :class:`~repro.exceptions.InsufficientDataError` when the
+    temperature range is too narrow to support three segments per band.
+    """
+    cfg = config or ThreeLineConfig()
+    consumption = np.asarray(consumption, dtype=np.float64)
+    temperature = np.asarray(temperature, dtype=np.float64)
+    if consumption.shape != temperature.shape or consumption.ndim != 1:
+        raise DataError(
+            f"consumption {consumption.shape} and temperature "
+            f"{temperature.shape} must be equal-length 1-D series"
+        )
+    if np.isnan(consumption).any() or np.isnan(temperature).any():
+        raise DataError("series contains NaN; impute before analysis")
+
+    tic = time.perf_counter()
+    lower_pts, upper_pts = _percentile_points(consumption, temperature, cfg)
+    t1 = time.perf_counter() - tic
+    if phases is not None:
+        phases.add(PhaseTimes(t1, 0.0, 0.0))
+
+    return fit_bands(
+        lower_pts.temps,
+        lower_pts.values,
+        upper_pts.values,
+        lower_pts.counts,
+        cfg,
+        phases,
+    )
+
+
+def three_lines_for_dataset(
+    dataset: Dataset,
+    config: ThreeLineConfig | None = None,
+    phases: PhaseTimes | None = None,
+) -> dict[str, ThreeLineModel]:
+    """Task 2 over a whole dataset: consumer id -> 3-line model."""
+    return {
+        cid: fit_three_lines(
+            dataset.consumption[i], dataset.temperature[i], config, phases
+        )
+        for i, cid in enumerate(dataset.consumer_ids)
+    }

@@ -1,0 +1,148 @@
+"""Cross-engine result validation.
+
+Every platform engine must produce the same analytical answers as the
+reference kernels — the platforms differ in *how*, never in *what*.  These
+helpers compare task outputs with float tolerances and similarity-specific
+tie handling, and are used both by the test suite and by the harness's
+``--validate`` mode.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.benchmark import Task
+from repro.core.histogram import HistogramResult
+from repro.core.par import ParModel
+from repro.core.threeline import ThreeLineModel
+
+
+class ValidationFailure(AssertionError):
+    """Two engines disagreed on a benchmark answer."""
+
+
+def _check_same_keys(a: dict, b: dict) -> None:
+    if a.keys() != b.keys():
+        only_a = sorted(set(a) - set(b))[:5]
+        only_b = sorted(set(b) - set(a))[:5]
+        raise ValidationFailure(
+            f"consumer sets differ: only-left={only_a} only-right={only_b}"
+        )
+
+
+def _close(x: np.ndarray, y: np.ndarray, rtol: float, atol: float) -> bool:
+    return bool(np.allclose(x, y, rtol=rtol, atol=atol))
+
+
+def compare_histograms(
+    a: dict[str, HistogramResult],
+    b: dict[str, HistogramResult],
+    rtol: float = 1e-9,
+    atol: float = 1e-9,
+) -> None:
+    """Raise :class:`ValidationFailure` unless the histograms match."""
+    _check_same_keys(a, b)
+    for cid in a:
+        ha, hb = a[cid], b[cid]
+        if not _close(ha.edges, hb.edges, rtol, atol):
+            raise ValidationFailure(f"{cid}: edges differ: {ha.edges} vs {hb.edges}")
+        if not np.array_equal(ha.counts, hb.counts):
+            raise ValidationFailure(
+                f"{cid}: counts differ: {ha.counts} vs {hb.counts}"
+            )
+
+
+def compare_threeline(
+    a: dict[str, ThreeLineModel],
+    b: dict[str, ThreeLineModel],
+    rtol: float = 1e-6,
+    atol: float = 1e-8,
+) -> None:
+    """Raise :class:`ValidationFailure` unless the 3-line models match."""
+    _check_same_keys(a, b)
+    for cid in a:
+        ma, mb = a[cid], b[cid]
+        fields = ("heating_gradient", "cooling_gradient", "base_load")
+        for name in fields:
+            va, vb = getattr(ma, name), getattr(mb, name)
+            if not np.isclose(va, vb, rtol=rtol, atol=atol):
+                raise ValidationFailure(f"{cid}: {name} differs: {va} vs {vb}")
+        for band in ("band_upper", "band_lower"):
+            pa, pb = getattr(ma, band), getattr(mb, band)
+            if not _close(
+                np.array(pa.breakpoints), np.array(pb.breakpoints), rtol, atol
+            ):
+                raise ValidationFailure(
+                    f"{cid}: {band} breakpoints differ: "
+                    f"{pa.breakpoints} vs {pb.breakpoints}"
+                )
+
+
+def compare_par(
+    a: dict[str, ParModel],
+    b: dict[str, ParModel],
+    rtol: float = 1e-6,
+    atol: float = 1e-8,
+) -> None:
+    """Raise :class:`ValidationFailure` unless the PAR profiles match."""
+    _check_same_keys(a, b)
+    for cid in a:
+        if not _close(a[cid].profile, b[cid].profile, rtol, atol):
+            raise ValidationFailure(
+                f"{cid}: profiles differ:\n{a[cid].profile}\nvs\n{b[cid].profile}"
+            )
+
+
+def compare_similarity(
+    a: dict[str, list[tuple[str, float]]],
+    b: dict[str, list[tuple[str, float]]],
+    score_tol: float = 1e-9,
+) -> None:
+    """Raise :class:`ValidationFailure` unless the top-k lists match.
+
+    Near-tied scores may legitimately order differently across engines, so
+    neighbours whose scores are within ``score_tol`` of each other are
+    treated as interchangeable: we compare the sorted score vectors and
+    check that any neighbour-set difference involves only tied scores.
+    """
+    _check_same_keys(a, b)
+    for cid in a:
+        la, lb = a[cid], b[cid]
+        if len(la) != len(lb):
+            raise ValidationFailure(
+                f"{cid}: result lengths differ: {len(la)} vs {len(lb)}"
+            )
+        scores_a = np.array([s for _, s in la])
+        scores_b = np.array([s for _, s in lb])
+        if not np.allclose(scores_a, scores_b, atol=score_tol, rtol=0):
+            raise ValidationFailure(
+                f"{cid}: score vectors differ:\n{scores_a}\nvs\n{scores_b}"
+            )
+        set_a = {n for n, _ in la}
+        set_b = {n for n, _ in lb}
+        if set_a != set_b:
+            # Differences must be explainable by ties at the cut-off score.
+            cutoff = min(scores_a.min(), scores_b.min()) + score_tol
+            strict_a = {n for n, s in la if s > cutoff}
+            strict_b = {n for n, s in lb if s > cutoff}
+            if strict_a != strict_b:
+                raise ValidationFailure(
+                    f"{cid}: neighbour sets differ beyond ties: "
+                    f"{sorted(set_a ^ set_b)}"
+                )
+
+
+def compare_task_results(task: Task, a: dict[str, Any], b: dict[str, Any]) -> None:
+    """Dispatch to the task-appropriate comparison."""
+    if task is Task.HISTOGRAM:
+        compare_histograms(a, b)
+    elif task is Task.THREELINE:
+        compare_threeline(a, b)
+    elif task is Task.PAR:
+        compare_par(a, b)
+    elif task is Task.SIMILARITY:
+        compare_similarity(a, b)
+    else:
+        raise ValueError(f"unknown task: {task!r}")

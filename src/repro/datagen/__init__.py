@@ -1,0 +1,21 @@
+"""Synthetic data substrate.
+
+The paper used a private data set of 27,300 consumers from a southern-Ontario
+utility.  That data is unavailable, so this subpackage synthesizes a *seed*
+data set with the same structure: a regional hourly temperature series with
+cold winters and warm summers (:mod:`repro.datagen.weather`) and consumers
+composed of archetypal daily-activity profiles plus thermal response
+(:mod:`repro.datagen.seed`).  The paper's own generator
+(:mod:`repro.core.generator`) then scales the seed up, exactly as the paper
+scales its real seed.
+"""
+
+from repro.datagen.seed import SeedConfig, make_seed_dataset
+from repro.datagen.weather import WeatherConfig, make_temperature_series
+
+__all__ = [
+    "SeedConfig",
+    "WeatherConfig",
+    "make_seed_dataset",
+    "make_temperature_series",
+]

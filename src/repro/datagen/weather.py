@@ -1,0 +1,90 @@
+"""Synthetic hourly outdoor-temperature series.
+
+The paper pairs every consumption series with the hourly temperature series
+of the southern-Ontario city the data came from (footnote 6).  This model
+reproduces that climate's relevant structure:
+
+* a seasonal sinusoid from roughly -10 C mean in late January to +22 C mean
+  in late July (annual mean ~6 C, amplitude ~16 C);
+* a diurnal sinusoid (coolest near 5am, warmest mid-afternoon) whose
+  amplitude is larger in summer;
+* weather fronts modeled as a slow AR(1) process plus hourly AR(1) noise.
+
+The result spans roughly -25 C to +35 C over a year, which is what the
+3-line algorithm's heating/cooling branches (paper Figure 1's x-axis) need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.timeseries.calendar import HOURS_PER_DAY, HOURS_PER_YEAR
+
+
+@dataclass(frozen=True)
+class WeatherConfig:
+    """Parameters of the synthetic climate."""
+
+    annual_mean_c: float = 6.0
+    seasonal_amplitude_c: float = 16.0
+    #: Day of year (0-based) on which the seasonal minimum falls (late Jan).
+    coldest_day: int = 25
+    diurnal_amplitude_c: float = 4.0
+    #: Extra diurnal amplitude in midsummer relative to midwinter.
+    diurnal_summer_boost_c: float = 2.0
+    #: Hour of day of the diurnal minimum.
+    coldest_hour: int = 5
+    #: Standard deviation of the day-scale weather-front process.
+    front_sigma_c: float = 3.5
+    #: AR(1) coefficient of the front process (per day).
+    front_phi: float = 0.85
+    #: Standard deviation of hour-scale noise.
+    hourly_sigma_c: float = 0.6
+    #: AR(1) coefficient of hourly noise.
+    hourly_phi: float = 0.7
+
+
+def _ar1(n: int, phi: float, sigma: float, rng: np.random.Generator) -> np.ndarray:
+    """Stationary AR(1) path of length ``n`` with marginal std ``sigma``."""
+    innovations = rng.normal(0.0, sigma * np.sqrt(1 - phi * phi), size=n)
+    out = np.empty(n)
+    state = rng.normal(0.0, sigma)
+    for i in range(n):
+        state = phi * state + innovations[i]
+        out[i] = state
+    return out
+
+
+def make_temperature_series(
+    n_hours: int = HOURS_PER_YEAR,
+    config: WeatherConfig | None = None,
+    seed: int = 7,
+) -> np.ndarray:
+    """Return an hourly temperature series (degrees C) of length ``n_hours``.
+
+    Deterministic for a given ``(n_hours, config, seed)``.
+    """
+    cfg = config or WeatherConfig()
+    rng = np.random.default_rng(seed)
+    t = np.arange(n_hours)
+    day = t / HOURS_PER_DAY
+
+    seasonal = cfg.annual_mean_c - cfg.seasonal_amplitude_c * np.cos(
+        2 * np.pi * (day - cfg.coldest_day) / 365.0
+    )
+    # Summer factor in [0, 1]: 0 on the coldest day, 1 half a year later.
+    summer = 0.5 - 0.5 * np.cos(2 * np.pi * (day - cfg.coldest_day) / 365.0)
+    diurnal_amp = cfg.diurnal_amplitude_c + cfg.diurnal_summer_boost_c * summer
+    hour = t % HOURS_PER_DAY
+    diurnal = -diurnal_amp * np.cos(
+        2 * np.pi * (hour - cfg.coldest_hour) / HOURS_PER_DAY
+    )
+
+    n_days = int(np.ceil(n_hours / HOURS_PER_DAY))
+    fronts_daily = _ar1(n_days, cfg.front_phi, cfg.front_sigma_c, rng)
+    fronts = np.repeat(fronts_daily, HOURS_PER_DAY)[:n_hours]
+    noise = _ar1(n_hours, cfg.hourly_phi, cfg.hourly_sigma_c, rng)
+
+    return seasonal + diurnal + fronts + noise

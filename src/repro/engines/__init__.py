@@ -1,0 +1,23 @@
+"""The five benchmark platforms behind one interface.
+
+Each engine implements :class:`repro.engines.base.AnalyticsEngine` — load a
+dataset, then run any of the four benchmark tasks — while keeping the
+architecture of the platform it stands in for:
+
+* :mod:`repro.engines.numeric` — "Matlab": reads text files directly,
+  library statistical kernels, no storage layer;
+* :mod:`repro.engines.madlib` — "PostgreSQL/MADLib": SQL over the mini
+  relational engine with in-database aggregates, PL-style driver code;
+* :mod:`repro.engines.systemc` — "System C": memory-mapped column store
+  with hand-written operators;
+* :mod:`repro.engines.spark` — RDD API (lazy DAG, caching, broadcast) on
+  the simulated cluster;
+* :mod:`repro.engines.hive` — SQL-ish declarative layer with
+  UDF/UDAF/UDTF lifecycles compiled to MapReduce on the same cluster.
+
+``create_engine(name)`` builds one by name; ``ENGINE_NAMES`` lists them.
+"""
+
+from repro.engines.base import AnalyticsEngine, LoadStats, create_engine, ENGINE_NAMES
+
+__all__ = ["ENGINE_NAMES", "AnalyticsEngine", "LoadStats", "create_engine"]

@@ -1,0 +1,139 @@
+"""The common engine interface and registry."""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, ClassVar
+
+from repro.core.benchmark import BenchmarkSpec, Task
+from repro.exceptions import EngineError
+from repro.timeseries.series import Dataset
+
+#: Table 1 rows: how a platform provides each statistical function.
+BUILTIN = "built-in"
+THIRD_PARTY = "third-party"
+HAND_WRITTEN = "hand-written"
+
+#: Table 1 columns (functions).
+CAPABILITY_FUNCTIONS = ("histogram", "quantiles", "regression_par", "cosine")
+
+
+@dataclass(frozen=True)
+class LoadStats:
+    """What loading a dataset into an engine cost."""
+
+    seconds: float
+    n_consumers: int
+    n_files: int
+    approx_bytes: int
+
+
+class AnalyticsEngine(abc.ABC):
+    """A platform that can load a dataset and run the four benchmark tasks.
+
+    Lifecycle: construct -> :meth:`load_dataset` (or an engine-specific
+    loader) -> any task methods -> :meth:`close`.  ``evict_caches`` forces
+    the next task to run cold (from the engine's persistent representation);
+    ``warm_up`` pre-touches it.
+    """
+
+    name: ClassVar[str] = "abstract"
+
+    @classmethod
+    @abc.abstractmethod
+    def capabilities(cls) -> dict[str, str]:
+        """Table 1 row: function -> built-in / third-party / hand-written."""
+
+    @abc.abstractmethod
+    def load_dataset(self, dataset: Dataset, workdir: str | Path) -> LoadStats:
+        """Materialize a dataset in the engine's native storage."""
+
+    @abc.abstractmethod
+    def histogram(self, spec: BenchmarkSpec | None = None) -> dict[str, Any]:
+        """Task 1: per-consumer equi-width histograms."""
+
+    @abc.abstractmethod
+    def three_line(self, spec: BenchmarkSpec | None = None) -> dict[str, Any]:
+        """Task 2: per-consumer 3-line models."""
+
+    @abc.abstractmethod
+    def par(self, spec: BenchmarkSpec | None = None) -> dict[str, Any]:
+        """Task 3: per-consumer PAR models."""
+
+    @abc.abstractmethod
+    def similarity(self, spec: BenchmarkSpec | None = None) -> dict[str, Any]:
+        """Task 4: per-consumer top-k neighbour lists."""
+
+    def evict_caches(self) -> None:
+        """Drop in-memory state so the next task starts cold (default no-op)."""
+
+    def warm_up(self) -> None:
+        """Pre-load data into memory (default no-op)."""
+
+    def close(self) -> None:
+        """Release resources (default no-op)."""
+
+    # Convenience ---------------------------------------------------------
+
+    def run_task(
+        self, task: Task, spec: BenchmarkSpec | None = None
+    ) -> dict[str, Any]:
+        """Dispatch a task by enum value."""
+        methods = {
+            Task.HISTOGRAM: self.histogram,
+            Task.THREELINE: self.three_line,
+            Task.PAR: self.par,
+            Task.SIMILARITY: self.similarity,
+        }
+        return methods[task](spec)
+
+    def timed_task(
+        self, task: Task, spec: BenchmarkSpec | None = None, cold: bool = False
+    ) -> tuple[dict[str, Any], float]:
+        """Run a task, optionally cold, returning (results, seconds)."""
+        if cold:
+            self.evict_caches()
+        tic = time.perf_counter()
+        results = self.run_task(task, spec)
+        return results, time.perf_counter() - tic
+
+    def __enter__(self) -> "AnalyticsEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _registry() -> dict[str, type]:
+    from repro.engines.hive.engine import HiveEngine
+    from repro.engines.madlib.engine import MadlibEngine
+    from repro.engines.numeric.engine import NumericEngine
+    from repro.engines.spark.engine import SparkEngine
+    from repro.engines.systemc.engine import SystemCEngine
+
+    return {
+        NumericEngine.name: NumericEngine,
+        MadlibEngine.name: MadlibEngine,
+        SystemCEngine.name: SystemCEngine,
+        SparkEngine.name: SparkEngine,
+        HiveEngine.name: HiveEngine,
+    }
+
+
+#: Names of the five platforms, in the paper's order.
+ENGINE_NAMES = ("matlab", "madlib", "systemc", "spark", "hive")
+
+
+def create_engine(name: str, **kwargs) -> AnalyticsEngine:
+    """Instantiate an engine by its platform name."""
+    registry = _registry()
+    try:
+        cls = registry[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown engine {name!r}; choose from {sorted(registry)}"
+        ) from None
+    return cls(**kwargs)

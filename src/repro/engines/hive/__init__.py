@@ -1,0 +1,6 @@
+"""The Hive analogue: declarative SQL + UDFs over MapReduce."""
+
+from repro.engines.hive.engine import HiveEngine
+from repro.engines.hive.session import HiveSession
+
+__all__ = ["HiveEngine", "HiveSession"]

@@ -1,0 +1,407 @@
+"""A miniature HiveQL session: external tables + UDFs compiled to MapReduce.
+
+Supports the query shapes the benchmark needs, with genuine Hive execution
+semantics:
+
+* ``SELECT key_cols..., udaf(args...) FROM t [WHERE ...] GROUP BY key_cols``
+  — map-side hash aggregation (``init``/``iterate``/``terminatePartial``
+  per split) followed by a reduce (``merge``/``terminate``);
+* ``SELECT udtf(args...) FROM t`` — a map-only job; the table function
+  consumes each split's rows and forwards output rows (format 3);
+* ``SELECT exprs... FROM t [WHERE ...]`` — map-only scalar projection,
+  with registered generic UDFs available in expressions (format 2);
+* ``ORDER BY`` / ``LIMIT`` applied as Hive's final single-reducer sort
+  (driver-side here).
+
+Tables are *external*: just DFS paths plus a format that determines the
+row schema — ``(household_id, hour, consumption, temperature)`` for the
+reading-per-line formats, ``(household_id, consumption, temperature)`` with
+array values for household-per-line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.costmodel import CostModel
+from repro.cluster.dfs import SimDFS
+from repro.cluster.job import JobReport, JobRunner, MapReduceJob
+from repro.cluster.topology import ClusterSpec
+from repro.engines.hive.udfs import HiveUDAF, HiveUDTF
+from repro.exceptions import SqlAnalysisError
+from repro.io.formats import ClusterFormat, decode_household_line, decode_reading_line
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    FunctionCall,
+    Literal,
+    SelectStatement,
+    Star,
+    UnaryOp,
+)
+from repro.sql.parser import parse_select
+
+#: Cost model for the Hive runtime: every query spins up MapReduce jobs
+#: (expensive job start, slower task launch than Spark's executors).
+HIVE_COST_MODEL = CostModel(
+    job_startup_s=2.0, task_startup_s=0.08, driver_per_split_s=0.0005
+)
+
+READING_COLUMNS = ("household_id", "hour", "consumption", "temperature")
+HOUSEHOLD_COLUMNS = ("household_id", "consumption", "temperature")
+
+
+@dataclass(frozen=True)
+class ExternalTable:
+    """An external table: DFS paths + format-derived schema."""
+
+    name: str
+    paths: tuple[str, ...]
+    fmt: ClusterFormat
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        if self.fmt is ClusterFormat.HOUSEHOLD_PER_LINE:
+            return HOUSEHOLD_COLUMNS
+        return READING_COLUMNS
+
+    def parse_line(self, line: str) -> tuple:
+        if self.fmt is ClusterFormat.HOUSEHOLD_PER_LINE:
+            return decode_household_line(line)
+        return decode_reading_line(line)
+
+
+class _SimpleUDAF(HiveUDAF):
+    """Adapter turning (zero, step, final) closures into a UDAF."""
+
+    def __init__(self, zero, step, final) -> None:
+        self._zero, self._step, self._final = zero, step, final
+
+    def init(self):
+        return self._zero()
+
+    def iterate(self, state, *args):
+        return self._step(state, *args)
+
+    def merge(self, state, partial):
+        raise NotImplementedError  # replaced per instance below
+
+    def terminate(self, state):
+        return self._final(state)
+
+
+def _builtin_udafs() -> dict[str, Callable[[], HiveUDAF]]:
+    def make(zero, step, final, merge):
+        def factory():
+            udaf = _SimpleUDAF(zero, step, final)
+            udaf.merge = merge  # type: ignore[method-assign]
+            return udaf
+
+        return factory
+
+    return {
+        "count": make(
+            lambda: 0,
+            lambda s, *a: s + 1,
+            lambda s: s,
+            lambda s, p: s + p,
+        ),
+        "sum": make(
+            lambda: 0.0,
+            lambda s, v: s + v,
+            lambda s: s,
+            lambda s, p: s + p,
+        ),
+        "min": make(
+            lambda: None,
+            lambda s, v: v if s is None or v < s else s,
+            lambda s: s,
+            lambda s, p: p if s is None or (p is not None and p < s) else s,
+        ),
+        "max": make(
+            lambda: None,
+            lambda s, v: v if s is None or v > s else s,
+            lambda s: s,
+            lambda s, p: p if s is None or (p is not None and p > s) else s,
+        ),
+        "avg": make(
+            lambda: (0.0, 0),
+            lambda s, v: (s[0] + v, s[1] + 1),
+            lambda s: s[0] / s[1] if s[1] else None,
+            lambda s, p: (s[0] + p[0], s[1] + p[1]),
+        ),
+    }
+
+
+def _eval_row(expr, env: dict, udfs: dict):
+    """Evaluate a scalar expression against one row."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise SqlAnalysisError(
+                f"no column {expr.name!r}; available: {sorted(env)}"
+            ) from None
+    if isinstance(expr, UnaryOp):
+        value = _eval_row(expr.operand, env, udfs)
+        return -value if expr.op == "-" else (not bool(value))
+    if isinstance(expr, BinaryOp):
+        left = _eval_row(expr.left, env, udfs)
+        right = _eval_row(expr.right, env, udfs)
+        ops = {
+            "+": lambda: left + right,
+            "-": lambda: left - right,
+            "*": lambda: left * right,
+            "/": lambda: left / right,
+            "%": lambda: left % right,
+            "=": lambda: left == right,
+            "!=": lambda: left != right,
+            "<": lambda: left < right,
+            "<=": lambda: left <= right,
+            ">": lambda: left > right,
+            ">=": lambda: left >= right,
+            "and": lambda: bool(left) and bool(right),
+            "or": lambda: bool(left) or bool(right),
+        }
+        try:
+            return ops[expr.op]()
+        except KeyError:
+            raise SqlAnalysisError(f"unknown operator {expr.op!r}") from None
+    if isinstance(expr, FunctionCall):
+        fn = udfs.get(expr.name)
+        if fn is None:
+            raise SqlAnalysisError(f"unknown UDF {expr.name!r}")
+        return fn(*[_eval_row(a, env, udfs) for a in expr.args])
+    raise SqlAnalysisError(f"cannot evaluate {expr!r} per row")
+
+
+class HiveSession:
+    """Declarative front end over the simulated cluster."""
+
+    def __init__(
+        self,
+        dfs: SimDFS,
+        cost_model: CostModel | None = None,
+        spec: ClusterSpec | None = None,
+        n_reducers: int | None = None,
+    ) -> None:
+        self.dfs = dfs
+        self.cost_model = cost_model or HIVE_COST_MODEL
+        self.spec = spec or dfs.spec
+        self.runner = JobRunner(dfs, self.cost_model, self.spec)
+        # Hive sizes its reducer count from the input and the cluster; we
+        # default to one reducer per slot so shuffles scale with nodes.
+        self.n_reducers = n_reducers or min(self.spec.total_slots, 256)
+        self.tables: dict[str, ExternalTable] = {}
+        self.udafs: dict[str, Callable] = {}
+        self.udfs: dict[str, Callable] = {}
+        self.udtfs: dict[str, HiveUDTF] = {}
+        self.reports: list[JobReport] = []
+        self.sim_seconds = 0.0
+
+    # DDL / registration ---------------------------------------------------
+
+    def create_external_table(
+        self, name: str, paths: list[str], fmt: ClusterFormat
+    ) -> ExternalTable:
+        """CREATE EXTERNAL TABLE over existing DFS files."""
+        if name in self.tables:
+            raise SqlAnalysisError(f"table {name!r} already exists")
+        table = ExternalTable(name=name, paths=tuple(paths), fmt=fmt)
+        self.tables[name] = table
+        return table
+
+    def register_udaf(self, name: str, factory: Callable[[], HiveUDAF]) -> None:
+        """Register an aggregate function factory."""
+        self.udafs[name.lower()] = factory
+
+    def register_udf(self, name: str, fn: Callable) -> None:
+        """Register a scalar (generic) UDF."""
+        self.udfs[name.lower()] = fn
+
+    def register_udtf(self, name: str, udtf: HiveUDTF) -> None:
+        """Register a table function."""
+        self.udtfs[name.lower()] = udtf
+
+    # Query execution ----------------------------------------------------------
+
+    def execute(self, sql: str) -> list[tuple]:
+        """Run a query; returns rows and accrues simulated time."""
+        stmt = parse_select(sql)
+        try:
+            table = self.tables[stmt.table]
+        except KeyError:
+            raise SqlAnalysisError(
+                f"no table {stmt.table!r}; available: {sorted(self.tables)}"
+            ) from None
+
+        if stmt.distinct or stmt.having is not None or stmt.joins:
+            raise SqlAnalysisError(
+                "this Hive dialect does not support DISTINCT/HAVING/JOIN"
+            )
+        all_udafs = {**_builtin_udafs(), **self.udafs}
+        if stmt.group_by:
+            rows = self._run_aggregate(stmt, table, all_udafs)
+        elif (
+            len(stmt.items) == 1
+            and isinstance(stmt.items[0].expression, FunctionCall)
+            and stmt.items[0].expression.name in self.udtfs
+        ):
+            rows = self._run_udtf(stmt, table)
+        else:
+            rows = self._run_projection(stmt, table)
+
+        rows = self._order_and_limit(stmt, rows)
+        return rows
+
+    # Compilation paths ------------------------------------------------------
+
+    def _row_env(self, table: ExternalTable, record: tuple) -> dict:
+        return dict(zip(table.columns, record))
+
+    def _run_aggregate(self, stmt, table, all_udafs) -> list[tuple]:
+        group_exprs = list(stmt.group_by)
+        for expr in group_exprs:
+            if not isinstance(expr, ColumnRef):
+                raise SqlAnalysisError("Hive GROUP BY supports plain columns only")
+        # Select items: group columns or UDAF calls.
+        agg_items: list[tuple[int, FunctionCall]] = []
+        key_items: list[tuple[int, ColumnRef]] = []
+        for pos, item in enumerate(stmt.items):
+            expr = item.expression
+            if isinstance(expr, FunctionCall) and expr.name in all_udafs:
+                agg_items.append((pos, expr))
+            elif isinstance(expr, ColumnRef) and expr in group_exprs:
+                key_items.append((pos, expr))
+            else:
+                raise SqlAnalysisError(
+                    f"select item {expr!r} must be a GROUP BY column or an aggregate"
+                )
+        udfs = self.udfs
+        where = stmt.where
+        key_names = [e.name for e in group_exprs]
+
+        def mapper(lines):
+            # Map-side hash aggregation: one state per key per call.
+            states: dict[tuple, list] = {}
+            udaf_instances = [all_udafs[call.name]() for _, call in agg_items]
+            for line in lines:
+                env = self._row_env(table, table.parse_line(line))
+                if where is not None and not _eval_row(where, env, udfs):
+                    continue
+                key = tuple(env[name] for name in key_names)
+                slot = states.get(key)
+                if slot is None:
+                    slot = [u.init() for u in udaf_instances]
+                    states[key] = slot
+                for idx, (_, call) in enumerate(agg_items):
+                    if len(call.args) == 1 and isinstance(call.args[0], Star):
+                        args = ()
+                    else:
+                        args = tuple(_eval_row(a, env, udfs) for a in call.args)
+                    slot[idx] = udaf_instances[idx].iterate(slot[idx], *args)
+            for key, slot in states.items():
+                yield key, [
+                    u.terminate_partial(s) for u, s in zip(udaf_instances, slot)
+                ]
+
+        def reducer(key, partials):
+            udaf_instances = [all_udafs[call.name]() for _, call in agg_items]
+            merged = [u.init() for u in udaf_instances]
+            for partial in partials:
+                for idx, u in enumerate(udaf_instances):
+                    merged[idx] = u.merge(merged[idx], partial[idx])
+            finals = [
+                u.terminate(s) for u, s in zip(udaf_instances, merged)
+            ]
+            out = [None] * len(stmt.items)
+            for (pos, expr) in key_items:
+                out[pos] = key[key_names.index(expr.name)]
+            for slot_idx, (pos, _) in enumerate(agg_items):
+                out[pos] = finals[slot_idx]
+            yield tuple(out)
+
+        job = MapReduceJob(
+            name=f"hive-agg-{stmt.table}",
+            mapper=mapper,
+            reducer=reducer,
+            n_reducers=self.n_reducers,
+        )
+        results, report = self.runner.run(job, list(table.paths))
+        self._account(report)
+        return results
+
+    def _run_udtf(self, stmt, table) -> list[tuple]:
+        call = stmt.items[0].expression
+        udtf = self.udtfs[call.name]
+        udfs = self.udfs
+        where = stmt.where
+
+        def mapper(lines):
+            def rows():
+                for line in lines:
+                    env = self._row_env(table, table.parse_line(line))
+                    if where is not None and not _eval_row(where, env, udfs):
+                        continue
+                    yield tuple(_eval_row(a, env, udfs) for a in call.args)
+
+            yield from udtf.process(rows())
+
+        job = MapReduceJob(name=f"hive-udtf-{stmt.table}", mapper=mapper)
+        results, report = self.runner.run(job, list(table.paths))
+        self._account(report)
+        return results
+
+    def _run_projection(self, stmt, table) -> list[tuple]:
+        udfs = self.udfs
+        where = stmt.where
+        items = stmt.items
+
+        def mapper(lines):
+            for line in lines:
+                env = self._row_env(table, table.parse_line(line))
+                if where is not None and not _eval_row(where, env, udfs):
+                    continue
+                yield tuple(_eval_row(it.expression, env, udfs) for it in items)
+
+        job = MapReduceJob(name=f"hive-select-{stmt.table}", mapper=mapper)
+        results, report = self.runner.run(job, list(table.paths))
+        self._account(report)
+        return results
+
+    def _order_and_limit(self, stmt: SelectStatement, rows: list[tuple]) -> list[tuple]:
+        if stmt.order_by:
+            names = [
+                item.output_name(f"col{i + 1}") for i, item in enumerate(stmt.items)
+            ]
+            for order_item in reversed(stmt.order_by):
+                expr = order_item.expression
+                if isinstance(expr, ColumnRef) and expr.name in names:
+                    idx = names.index(expr.name)
+                else:
+                    raise SqlAnalysisError(
+                        "Hive ORDER BY supports output columns only"
+                    )
+                rows = sorted(
+                    rows, key=lambda r: r[idx], reverse=not order_item.ascending
+                )
+        if stmt.limit is not None:
+            rows = rows[: stmt.limit]
+        return rows
+
+    def _account(self, report: JobReport) -> None:
+        self.reports.append(report)
+        self.sim_seconds += report.sim_seconds
+
+    def peak_memory_bytes(self) -> int:
+        """Modeled peak per-cluster memory (Hive streams; shuffle dominates)."""
+        return max(
+            (r.peak_shuffle_bytes_per_worker * self.spec.n_workers
+             for r in self.reports),
+            default=0,
+        )

@@ -1,0 +1,217 @@
+"""Hive user-defined functions with the real Hive lifecycles.
+
+The paper uses all three UDF kinds, one per data format (Section 5.4.2):
+
+* **UDAF** (format 1, reading per line) — aggregation with the classic
+  lifecycle ``init -> iterate* -> terminatePartial`` on the map side and
+  ``merge* -> terminate`` on the reduce side;
+* **generic UDF** (format 2, household per line) — a scalar function
+  evaluated per row in a map-only job;
+* **UDTF** (format 3, file per household group) — a table function that
+  consumes rows and forwards output rows, doing its aggregation entirely
+  map-side because non-splittable files keep each household together.
+
+Statistical kernels follow Table 1: Hive *has* a built-in histogram
+(``histogram_numeric`` — the reference histogram kernel stands in for it),
+regression/PAR come from the third-party library (the shared
+``fit_bands``/``fit_par``), while quantiles and cosine similarity are
+implemented by hand in this module.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.benchmark import BenchmarkSpec
+from repro.core.histogram import HistogramResult, equi_width_histogram
+from repro.core.par import ParModel, fit_par
+from repro.core.threeline import ThreeLineModel, fit_bands
+from repro.exceptions import InsufficientDataError
+
+
+def hive_percentile(sorted_values: np.ndarray, q: float) -> float:
+    """Hand-written percentile UDF (Hive lacks an exact-quantile builtin)."""
+    n = sorted_values.size
+    if n == 0:
+        raise InsufficientDataError("percentile over zero rows")
+    rank = (q / 100.0) * (n - 1)
+    lo = int(np.floor(rank))
+    hi = int(np.ceil(rank))
+    if lo == hi:
+        return float(sorted_values[lo])
+    frac = rank - lo
+    return float((1 - frac) * sorted_values[lo] + frac * sorted_values[hi])
+
+
+def hive_three_line(
+    cons: np.ndarray, temp: np.ndarray, spec: BenchmarkSpec
+) -> ThreeLineModel:
+    """Quantile UDF grouping + third-party piecewise regression."""
+    cfg = spec.threeline
+    bins = np.round(temp / cfg.bin_width).astype(np.int64)
+    temps, lower, upper, counts = [], [], [], []
+    for b in np.unique(bins):
+        group = np.sort(cons[bins == b])
+        if group.size < cfg.min_bin_count:
+            continue
+        temps.append(float(b) * cfg.bin_width)
+        lower.append(hive_percentile(group, cfg.lower_percentile))
+        upper.append(hive_percentile(group, cfg.upper_percentile))
+        counts.append(group.size)
+    return fit_bands(
+        np.asarray(temps),
+        np.asarray(lower),
+        np.asarray(upper),
+        np.asarray(counts, dtype=np.float64),
+        cfg,
+    )
+
+
+def hive_histogram(cons: np.ndarray, spec: BenchmarkSpec) -> HistogramResult:
+    """Hive's built-in ``histogram_numeric`` analogue."""
+    return equi_width_histogram(cons, spec.n_buckets)
+
+
+def hive_par(cons: np.ndarray, temp: np.ndarray, spec: BenchmarkSpec) -> ParModel:
+    """PAR via the third-party regression library."""
+    return fit_par(cons, temp, spec.par)
+
+
+# Lifecycle base classes ------------------------------------------------------
+
+
+class HiveUDAF(abc.ABC):
+    """A Hive aggregate with the map/combine/reduce lifecycle."""
+
+    @abc.abstractmethod
+    def init(self):
+        """Fresh aggregation state."""
+
+    @abc.abstractmethod
+    def iterate(self, state, *args):
+        """Fold one row into the state (map side); returns the state."""
+
+    def terminate_partial(self, state):
+        """Serialize the map-side state for the shuffle (default: as is)."""
+        return state
+
+    @abc.abstractmethod
+    def merge(self, state, partial):
+        """Fold a shuffled partial into the state (reduce side)."""
+
+    @abc.abstractmethod
+    def terminate(self, state):
+        """Final answer from the merged state."""
+
+
+class HiveUDTF(abc.ABC):
+    """A Hive table function: rows in, rows out, all within one map task."""
+
+    @abc.abstractmethod
+    def process(self, rows):
+        """Consume an iterable of argument tuples, yield output rows."""
+
+
+# Series re-assembly UDAF shared by the per-task aggregates --------------------
+
+
+class SeriesUDAF(HiveUDAF):
+    """Collects (hour, consumption, temperature) rows into sorted arrays.
+
+    Subclasses override :meth:`finish` to turn the assembled series into
+    the task result.
+    """
+
+    def __init__(self, spec: BenchmarkSpec) -> None:
+        self.spec = spec
+
+    def init(self):
+        return []
+
+    def iterate(self, state, hour, cons, temp):
+        state.append((int(hour), float(cons), float(temp)))
+        return state
+
+    def merge(self, state, partial):
+        state.extend(partial)
+        return state
+
+    def _series(self, state) -> tuple[np.ndarray, np.ndarray]:
+        state.sort()
+        cons = np.array([r[1] for r in state])
+        temp = np.array([r[2] for r in state])
+        return cons, temp
+
+    def terminate(self, state):
+        cons, temp = self._series(state)
+        return self.finish(cons, temp)
+
+    @abc.abstractmethod
+    def finish(self, cons: np.ndarray, temp: np.ndarray):
+        """Task kernel over the assembled series."""
+
+
+class HistogramUDAF(SeriesUDAF):
+    """Per-household histogram via the built-in histogram function."""
+
+    def finish(self, cons, temp):
+        return hive_histogram(cons, self.spec)
+
+
+class ThreeLineUDAF(SeriesUDAF):
+    """Per-household 3-line model."""
+
+    def finish(self, cons, temp):
+        return hive_three_line(cons, temp, self.spec)
+
+
+class ParUDAF(SeriesUDAF):
+    """Per-household PAR model."""
+
+    def finish(self, cons, temp):
+        return hive_par(cons, temp, self.spec)
+
+
+class CollectSeriesUDAF(SeriesUDAF):
+    """Returns the raw (consumption, temperature) arrays (similarity stage 1)."""
+
+    def finish(self, cons, temp):
+        return cons, temp
+
+
+TASK_UDAFS = {
+    "histogram": HistogramUDAF,
+    "threeline": ThreeLineUDAF,
+    "par": ParUDAF,
+    "collect_series": CollectSeriesUDAF,
+}
+
+
+# UDTF: map-side aggregation over whole-household files ------------------------
+
+
+class PerHouseholdUDTF(HiveUDTF):
+    """Groups rows by household within one split and applies a kernel.
+
+    Only sound on non-splittable input (format 3), where a household never
+    crosses split boundaries — the same reason the paper had to override
+    ``isSplitable()``.
+    """
+
+    def __init__(self, kernel, spec: BenchmarkSpec) -> None:
+        self.kernel = kernel
+        self.spec = spec
+
+    def process(self, rows):
+        by_household: dict[str, list] = {}
+        for cid, hour, cons, temp in rows:
+            by_household.setdefault(cid, []).append(
+                (int(hour), float(cons), float(temp))
+            )
+        for cid, readings in by_household.items():
+            readings.sort()
+            cons = np.array([r[1] for r in readings])
+            temp = np.array([r[2] for r in readings])
+            yield cid, self.kernel(cons, temp, self.spec)

@@ -1,0 +1,5 @@
+"""The PostgreSQL/MADLib analogue engine."""
+
+from repro.engines.madlib.engine import MadlibEngine
+
+__all__ = ["MadlibEngine"]

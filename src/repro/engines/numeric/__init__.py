@@ -1,0 +1,5 @@
+"""The Matlab-analogue numeric engine."""
+
+from repro.engines.numeric.engine import NumericEngine
+
+__all__ = ["NumericEngine"]

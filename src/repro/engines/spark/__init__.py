@@ -1,0 +1,6 @@
+"""The Spark analogue: RDD API over the simulated cluster."""
+
+from repro.engines.spark.engine import SparkEngine
+from repro.engines.spark.rdd import RDD, Broadcast, SparkContext
+
+__all__ = ["RDD", "Broadcast", "SparkContext", "SparkEngine"]

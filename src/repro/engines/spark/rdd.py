@@ -1,0 +1,279 @@
+"""A small RDD layer: lazy lineage, one shuffle per lineage, caching,
+broadcast variables.
+
+Mirrors the Spark architecture the paper relies on: narrow transformations
+fuse into the map task, ``reduceByKey``/``groupByKey`` introduce a shuffle
+boundary executed through the cluster substrate's MapReduce runner, cached
+RDDs are served from (simulated) cluster memory with no recompute and no
+I/O cost, and broadcast variables ship read-only data to every worker once.
+
+Deliberate simplification, enforced with a clear error: a lineage holds at
+most one shuffle (chain further stages by collecting into a new context
+step or caching) — every workload in the benchmark fits this, and it keeps
+the stage compiler readable.
+
+Time accounting: every action triggers one simulated job whose
+``sim_seconds`` accumulate on the context, plus broadcast distribution
+costs.  Spark's lighter runtime vs Hive is expressed through its cost
+model's smaller per-job startup (`job_startup_s`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.cluster.costmodel import CostModel
+from repro.cluster.dfs import SimDFS
+from repro.cluster.job import JobReport, JobRunner, MapReduceJob, estimate_bytes
+from repro.cluster.topology import ClusterSpec
+from repro.exceptions import EngineError
+
+#: Cost model defaults for the Spark runtime: cheap stage startup (long
+#: lived executors), same hardware otherwise.
+SPARK_COST_MODEL = CostModel(
+    job_startup_s=0.3, task_startup_s=0.02, driver_per_split_s=0.005
+)
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """A read-only value shipped to every worker once."""
+
+    value: object
+    n_bytes: int
+
+
+class SparkContext:
+    """Entry point: makes RDDs, tracks simulated time and memory."""
+
+    def __init__(
+        self,
+        dfs: SimDFS,
+        cost_model: CostModel | None = None,
+        spec: ClusterSpec | None = None,
+        default_parallelism: int | None = None,
+    ) -> None:
+        self.dfs = dfs
+        self.cost_model = cost_model or SPARK_COST_MODEL
+        self.spec = spec or dfs.spec
+        self.runner = JobRunner(dfs, self.cost_model, self.spec)
+        self.default_parallelism = default_parallelism or self.spec.total_slots
+        self.reports: list[JobReport] = []
+        self.sim_seconds = 0.0
+        self.cached_bytes = 0
+        self.broadcast_bytes = 0
+
+    def text_file(self, path_or_paths) -> "RDD":
+        """An RDD of the lines of one or more DFS files."""
+        paths = (
+            [path_or_paths] if isinstance(path_or_paths, str) else list(path_or_paths)
+        )
+        return RDD(self, paths=paths)
+
+    def broadcast(self, value) -> Broadcast:
+        """Distribute a read-only value via torrent broadcast.
+
+        Spark's TorrentBroadcast lets workers fetch chunks from each other,
+        so aggregate bandwidth grows with the cluster and distribution time
+        is roughly one traversal of the data over one link.
+        """
+        n_bytes = estimate_bytes(value)
+        self.broadcast_bytes += n_bytes
+        self.sim_seconds += n_bytes / self.cost_model.net_bytes_per_s
+        return Broadcast(value=value, n_bytes=n_bytes)
+
+    def peak_memory_bytes(self) -> int:
+        """Modeled peak cluster memory: caches + broadcasts + worst shuffle."""
+        shuffle = max(
+            (r.peak_shuffle_bytes_per_worker for r in self.reports), default=0
+        )
+        return (
+            self.cached_bytes
+            + self.broadcast_bytes * self.spec.n_workers
+            + shuffle * self.spec.n_workers
+        )
+
+
+@dataclass(frozen=True)
+class _Shuffle:
+    """Shuffle boundary: optional associative combiner for reduceByKey."""
+
+    combiner: Callable | None  # f(a, b) -> merged, or None for groupByKey
+
+
+def _fuse(fns: list[Callable], data: Iterable) -> list:
+    for fn in fns:
+        data = fn(data)
+    return list(data)
+
+
+class RDD:
+    """A lazy, immutable distributed collection."""
+
+    def __init__(
+        self,
+        ctx: SparkContext,
+        paths: list[str],
+        pre: tuple[Callable, ...] = (),
+        shuffle: _Shuffle | None = None,
+        post: tuple[Callable, ...] = (),
+        parent: "RDD | None" = None,
+    ) -> None:
+        self.ctx = ctx
+        self.paths = paths
+        self._pre = pre
+        self._shuffle = shuffle
+        self._post = post
+        self._parent = parent
+        self._cached = False
+        self._materialized: list | None = None
+
+    # Narrow transformations ------------------------------------------------
+
+    def _narrow(self, fn: Callable[[Iterable], Iterable]) -> "RDD":
+        if self._cached:
+            # Children of a cached RDD read its materialized partitions
+            # from cluster memory instead of recomputing the lineage.
+            return RDD(self.ctx, self.paths, (fn,), None, (), parent=self)
+        if self._parent is not None:
+            return RDD(
+                self.ctx, self.paths, self._pre + (fn,), None, (), parent=self._parent
+            )
+        if self._shuffle is None:
+            return RDD(self.ctx, self.paths, self._pre + (fn,), None, ())
+        return RDD(self.ctx, self.paths, self._pre, self._shuffle, self._post + (fn,))
+
+    def map(self, f: Callable) -> "RDD":
+        """Elementwise transform."""
+        return self._narrow(lambda data: (f(x) for x in data))
+
+    def flat_map(self, f: Callable) -> "RDD":
+        """Elementwise transform producing zero or more outputs."""
+        return self._narrow(lambda data: (y for x in data for y in f(x)))
+
+    def filter(self, f: Callable) -> "RDD":
+        """Keep elements where ``f`` is truthy."""
+        return self._narrow(lambda data: (x for x in data if f(x)))
+
+    def map_partitions(self, f: Callable[[Iterable], Iterable]) -> "RDD":
+        """Transform a whole partition's iterator at once."""
+        return self._narrow(f)
+
+    def map_values(self, f: Callable) -> "RDD":
+        """Transform the value of each (key, value) pair."""
+        return self._narrow(lambda data: ((k, f(v)) for k, v in data))
+
+    # Wide transformations ------------------------------------------------------
+
+    def _require_no_shuffle(self, op: str) -> None:
+        if self._shuffle is not None:
+            raise EngineError(
+                f"{op}: this RDD lineage already contains a shuffle; "
+                "cache() and start a new lineage for multi-stage DAGs"
+            )
+
+    def group_by_key(self) -> "RDD":
+        """Shuffle (key, value) pairs into (key, list-of-values)."""
+        self._require_no_shuffle("groupByKey")
+        return RDD(self.ctx, self.paths, self._pre, _Shuffle(combiner=None), ())
+
+    def reduce_by_key(self, f: Callable) -> "RDD":
+        """Shuffle with map-side combining: f(a, b) must be associative."""
+        self._require_no_shuffle("reduceByKey")
+        return RDD(self.ctx, self.paths, self._pre, _Shuffle(combiner=f), ())
+
+    # Persistence -----------------------------------------------------------------
+
+    def cache(self) -> "RDD":
+        """Keep the computed result in (simulated) cluster memory."""
+        self._cached = True
+        return self
+
+    # Actions -------------------------------------------------------------------------
+
+    def collect(self) -> list:
+        """Materialize the RDD on the driver."""
+        if self._materialized is not None:
+            return self._materialized
+        if self._parent is not None:
+            return self._collect_from_cache()
+
+        shuffle = self._shuffle
+        pre = self._pre
+        post = self._post
+
+        def mapper(lines: list[str]) -> list:
+            data = _fuse(list(pre), lines)
+            return data
+
+        if shuffle is None:
+            job = MapReduceJob(name="spark-map-stage", mapper=mapper)
+        else:
+            if shuffle.combiner is not None:
+                comb = shuffle.combiner
+
+                def combiner(key, values):
+                    acc = values[0]
+                    for v in values[1:]:
+                        acc = comb(acc, v)
+                    return [(key, acc)]
+
+                def reducer(key, values):
+                    acc = values[0]
+                    for v in values[1:]:
+                        acc = comb(acc, v)
+                    return _fuse(list(post), [(key, acc)])
+
+                job = MapReduceJob(
+                    name="spark-shuffle-stage",
+                    mapper=mapper,
+                    reducer=reducer,
+                    combiner=combiner,
+                    n_reducers=min(self.ctx.default_parallelism, 256),
+                )
+            else:
+
+                def reducer(key, values):
+                    return _fuse(list(post), [(key, list(values))])
+
+                job = MapReduceJob(
+                    name="spark-shuffle-stage",
+                    mapper=mapper,
+                    reducer=reducer,
+                    n_reducers=min(self.ctx.default_parallelism, 256),
+                )
+
+        results, report = self.ctx.runner.run(job, self.paths)
+        self.ctx.reports.append(report)
+        self.ctx.sim_seconds += report.sim_seconds
+        if self._cached:
+            self._materialized = results
+            self.ctx.cached_bytes += estimate_bytes(results)
+        return results
+
+    def _collect_from_cache(self) -> list:
+        """Run the remaining narrow stage over the parent's cached data."""
+        import time
+
+        parent_data = self._parent.collect()
+        tic = time.perf_counter()
+        results = _fuse(list(self._pre), parent_data)
+        compute = time.perf_counter() - tic
+        # An in-memory stage: executors are already up, partitions local.
+        self.ctx.sim_seconds += (
+            self.ctx.cost_model.task_startup_s
+            + compute * self.ctx.cost_model.compute_scale
+        )
+        if self._cached:
+            self._materialized = results
+            self.ctx.cached_bytes += estimate_bytes(results)
+        return results
+
+    def count(self) -> int:
+        """Number of elements."""
+        return len(self.collect())
+
+    def collect_as_map(self) -> dict:
+        """Collect (key, value) pairs into a dict."""
+        return dict(self.collect())

@@ -1,0 +1,84 @@
+"""Per-household task kernels for the Spark engine.
+
+Table 1 of the paper maps Spark's toolbox: histogram, quantiles and cosine
+similarity had to be written by hand ("no"), while regression/PAR came from
+a third-party library (Apache Math).  Accordingly, the binning/percentile
+code below is local to this module, while the regression stages delegate to
+the shared kernels (:func:`repro.core.threeline.fit_bands`,
+:func:`repro.core.par.fit_par`) standing in for Apache Math.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.benchmark import BenchmarkSpec
+from repro.core.histogram import HistogramResult
+from repro.core.par import ParModel, fit_par
+from repro.core.threeline import ThreeLineModel, fit_bands
+from repro.exceptions import InsufficientDataError
+
+
+def spark_histogram(cons: np.ndarray, n_buckets: int) -> HistogramResult:
+    """Hand-written equi-width histogram (Spark had no built-in)."""
+    if cons.size == 0:
+        raise InsufficientDataError("histogram of an empty series")
+    lo = float(cons.min())
+    hi = float(cons.max())
+    if hi <= lo or (hi - lo) / n_buckets == 0.0:
+        lo, hi = lo - 0.5, hi + 0.5
+    width = (hi - lo) / n_buckets
+    bucket = np.minimum(((cons - lo) / width).astype(np.int64), n_buckets - 1)
+    counts = np.bincount(np.maximum(bucket, 0), minlength=n_buckets)
+    edges = lo + width * np.arange(n_buckets + 1)
+    edges[-1] = hi
+    return HistogramResult(edges=edges, counts=counts)
+
+
+def spark_percentile(sorted_values: np.ndarray, q: float) -> float:
+    """Hand-written linear-interpolation percentile."""
+    n = sorted_values.size
+    if n == 0:
+        raise InsufficientDataError("percentile of an empty series")
+    if n == 1:
+        return float(sorted_values[0])
+    rank = (q / 100.0) * (n - 1)
+    lo = int(rank)
+    frac = rank - lo
+    hi = min(lo + 1, n - 1)
+    return float(sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac)
+
+
+def spark_three_line(
+    cons: np.ndarray, temp: np.ndarray, spec: BenchmarkSpec
+) -> ThreeLineModel:
+    """Hand-written percentile grouping + third-party piecewise regression."""
+    cfg = spec.threeline
+    bins = np.round(temp / cfg.bin_width).astype(np.int64)
+    order = np.argsort(bins, kind="stable")
+    sorted_bins = bins[order]
+    sorted_cons = cons[order]
+    boundaries = np.flatnonzero(np.diff(sorted_bins)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [sorted_bins.size]])
+    temps, lower, upper, counts = [], [], [], []
+    for s, e in zip(starts, ends):
+        if e - s < cfg.min_bin_count:
+            continue
+        group = np.sort(sorted_cons[s:e])
+        temps.append(float(sorted_bins[s]) * cfg.bin_width)
+        lower.append(spark_percentile(group, cfg.lower_percentile))
+        upper.append(spark_percentile(group, cfg.upper_percentile))
+        counts.append(e - s)
+    return fit_bands(
+        np.asarray(temps),
+        np.asarray(lower),
+        np.asarray(upper),
+        np.asarray(counts, dtype=np.float64),
+        cfg,
+    )
+
+
+def spark_par(cons: np.ndarray, temp: np.ndarray, spec: BenchmarkSpec) -> ParModel:
+    """PAR via the third-party regression library (Apache Math analogue)."""
+    return fit_par(cons, temp, spec.par)

@@ -1,0 +1,5 @@
+"""The "System C" main-memory column store engine."""
+
+from repro.engines.systemc.engine import SystemCEngine
+
+__all__ = ["SystemCEngine"]

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the smart meter benchmark reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one base class.  Subpackages define more specific errors
+here rather than locally so the hierarchy is visible in one place.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class DataError(ReproError):
+    """Malformed or inconsistent input data (series lengths, NaNs, ...)."""
+
+
+class DatasetFormatError(DataError):
+    """A dataset file or directory does not match the expected layout."""
+
+
+class InsufficientDataError(DataError):
+    """An algorithm was given too few points to produce a model."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine failures (relational / columnar)."""
+
+
+class TableNotFoundError(StorageError):
+    """A query referenced a table that does not exist in the catalog."""
+
+
+class DuplicateTableError(StorageError):
+    """CREATE TABLE collided with an existing table name."""
+
+
+class ColumnNotFoundError(StorageError):
+    """A query referenced a column not present in the table schema."""
+
+
+class IndexError_(StorageError):
+    """A B-tree index violated an internal invariant."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end failures."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class SqlAnalysisError(SqlError):
+    """The SQL parsed but failed semantic analysis (binding, types)."""
+
+
+class ClusterError(ReproError):
+    """Base class for simulated-cluster failures."""
+
+
+class DfsError(ClusterError):
+    """Simulated distributed filesystem failure (missing file/block)."""
+
+
+class JobError(ClusterError):
+    """A simulated MapReduce job failed (e.g. a task raised)."""
+
+
+class EngineError(ReproError):
+    """An analytics engine was used incorrectly (e.g. query before load)."""

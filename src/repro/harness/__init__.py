@@ -1,0 +1,24 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.harness.scale` — the paper-GB <-> simulation-consumers
+  mapping (the paper's axes are proportional to consumer count);
+* :mod:`repro.harness.measure` — wall-clock and peak-memory measurement;
+* :mod:`repro.harness.threading_model` — the multi-core speedup model
+  behind Figure 10;
+* :mod:`repro.harness.report` — aligned text tables and CSV output;
+* :mod:`repro.harness.figures` — one function per table/figure;
+* :mod:`repro.harness.cli` — ``smartbench --figure N``.
+"""
+
+from repro.harness.figures import FIGURES, run_figure
+from repro.harness.report import FigureResult
+from repro.harness.scale import CLUSTER_SCALE, SINGLE_SERVER_SCALE, Scale
+
+__all__ = [
+    "CLUSTER_SCALE",
+    "FIGURES",
+    "FigureResult",
+    "SINGLE_SERVER_SCALE",
+    "Scale",
+    "run_figure",
+]

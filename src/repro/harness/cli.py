@@ -1,0 +1,104 @@
+"""``smartbench`` — regenerate the paper's tables and figures.
+
+Examples::
+
+    smartbench --list
+    smartbench --figure fig7
+    smartbench --figure table1 --figure fig6 --csv results/
+    smartbench --all --csv results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.figures import FIGURES, run_figure
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The smartbench argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="smartbench",
+        description=(
+            "Regenerate tables/figures from 'Benchmarking Smart Meter "
+            "Data Analytics' (EDBT 2015)"
+        ),
+    )
+    parser.add_argument(
+        "--figure",
+        action="append",
+        default=[],
+        metavar="ID",
+        help="figure id to run (repeatable); see --list",
+    )
+    parser.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument(
+        "--list", action="store_true", help="list available figure ids"
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each result as CSV under DIR",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="run all tasks on all five engines and verify they agree",
+    )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD_DIR", "NEW_DIR"),
+        default=None,
+        help="compare two --csv result directories (regression check)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.list:
+        width = max(len(k) for k in FIGURES)
+        for figure_id, (_, description) in FIGURES.items():
+            print(f"{figure_id.ljust(width)}  {description}")
+        return 0
+    if args.validate:
+        from repro.harness.validate import validate_engines
+
+        result = validate_engines()
+        print(result.render())
+        return 0 if all(r[2] == "ok" for r in result.rows) else 1
+    if args.compare:
+        from repro.harness.compare import compare_directories
+
+        result = compare_directories(*args.compare)
+        print(result.render())
+        return 0 if all(r[-1] == "ok" for r in result.rows) else 1
+    ids = list(FIGURES) if args.all else args.figure
+    if not ids:
+        print("nothing to do: pass --figure ID (repeatable), --all, "
+              "--validate or --list")
+        return 2
+    unknown = [i for i in ids if i not in FIGURES]
+    if unknown:
+        print(f"unknown figure ids: {unknown}; see --list", file=sys.stderr)
+        return 2
+    for figure_id in ids:
+        tic = time.perf_counter()
+        result = run_figure(figure_id)
+        elapsed = time.perf_counter() - tic
+        print(result.render())
+        print(f"  [{figure_id} regenerated in {elapsed:.1f}s]")
+        print()
+        if args.csv:
+            path = result.save_csv(args.csv)
+            print(f"  csv: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Compare two benchmark result directories (regression detection).
+
+A released benchmark needs a way to answer "did this change make anything
+slower?".  ``smartbench --compare old_dir new_dir`` loads matching CSVs
+from two `--csv` output directories, aligns rows on their non-numeric key
+columns, and reports per-figure geometric-mean ratios plus the worst
+regressions.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.harness.report import FigureResult
+
+
+def _load_csv(path: Path) -> tuple[list[str], list[list[str]]]:
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        return header, [row for row in reader]
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+@dataclass(frozen=True)
+class FigureComparison:
+    """Comparison of one figure's metric column across two runs."""
+
+    figure_id: str
+    metric: str
+    n_rows: int
+    geometric_mean_ratio: float
+    worst_key: str
+    worst_ratio: float
+
+
+def compare_figure_csvs(old: Path, new: Path) -> FigureComparison | None:
+    """Compare one figure's CSVs; returns None if they cannot be aligned.
+
+    The metric column is the last numeric column; key columns are all
+    non-numeric columns plus any numeric axis columns before the metric.
+    Ratios are new/old, so values > 1 mean the new run is slower/larger.
+    """
+    header_old, rows_old = _load_csv(old)
+    header_new, rows_new = _load_csv(new)
+    if header_old != header_new or not rows_old or not rows_new:
+        return None
+    metric_idx = len(header_old) - 1
+    if not all(_is_number(r[metric_idx]) for r in rows_old + rows_new):
+        return None
+
+    def keyed(rows):
+        return {
+            tuple(v for i, v in enumerate(row) if i != metric_idx): float(
+                row[metric_idx]
+            )
+            for row in rows
+        }
+
+    old_map, new_map = keyed(rows_old), keyed(rows_new)
+    shared = sorted(set(old_map) & set(new_map))
+    ratios = []
+    for key in shared:
+        if old_map[key] > 0 and new_map[key] > 0:
+            ratios.append((new_map[key] / old_map[key], key))
+    if not ratios:
+        return None
+    log_mean = sum(math.log(r) for r, _ in ratios) / len(ratios)
+    worst_ratio, worst_key = max(ratios)
+    return FigureComparison(
+        figure_id=old.stem,
+        metric=header_old[metric_idx],
+        n_rows=len(ratios),
+        geometric_mean_ratio=math.exp(log_mean),
+        worst_key=" ".join(worst_key),
+        worst_ratio=worst_ratio,
+    )
+
+
+def compare_directories(
+    old_dir: str | Path, new_dir: str | Path, regression_threshold: float = 1.25
+) -> FigureResult:
+    """Compare every matching figure CSV in two result directories."""
+    old_dir, new_dir = Path(old_dir), Path(new_dir)
+    rows = []
+    regressions = 0
+    for old_path in sorted(old_dir.glob("*.csv")):
+        new_path = new_dir / old_path.name
+        if not new_path.exists():
+            continue
+        comparison = compare_figure_csvs(old_path, new_path)
+        if comparison is None:
+            continue
+        flag = (
+            "REGRESSION"
+            if comparison.geometric_mean_ratio > regression_threshold
+            else "ok"
+        )
+        regressions += flag == "REGRESSION"
+        rows.append(
+            [
+                comparison.figure_id,
+                comparison.metric,
+                comparison.n_rows,
+                comparison.geometric_mean_ratio,
+                comparison.worst_ratio,
+                comparison.worst_key,
+                flag,
+            ]
+        )
+    return FigureResult(
+        figure_id="compare",
+        title=f"Result comparison: {new_dir} vs {old_dir} (ratio > 1 = slower)",
+        columns=[
+            "figure", "metric", "rows", "geomean_ratio", "worst_ratio",
+            "worst_case", "status",
+        ],
+        rows=rows,
+        notes=[
+            f"{regressions} figure(s) exceeded the {regression_threshold}x "
+            "geomean regression threshold"
+            if regressions
+            else "no geomean regressions"
+        ],
+    )

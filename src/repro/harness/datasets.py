@@ -1,0 +1,43 @@
+"""Dataset construction and caching for harness runs.
+
+Single-server figures use seed-style datasets directly; cluster figures use
+the paper's own generator (Section 4) scaled up from a small seed, exactly
+as the paper generated its large synthetic data sets.  Datasets are cached
+per (consumers, hours) within the process so sweeps do not regenerate.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.generator import GeneratorConfig, SmartMeterGenerator
+from repro.datagen.seed import SeedConfig, make_seed_dataset
+from repro.datagen.weather import make_temperature_series
+from repro.timeseries.series import Dataset
+
+_GENERATOR_SEED_CONSUMERS = 24
+
+
+@lru_cache(maxsize=8)
+def seed_dataset(n_consumers: int, hours: int, seed: int = 13) -> Dataset:
+    """A deterministic seed-style dataset (the "real data" stand-in)."""
+    return make_seed_dataset(
+        SeedConfig(n_consumers=n_consumers, n_hours=hours, seed=seed)
+    )
+
+
+@lru_cache(maxsize=4)
+def _generator(hours: int, seed: int) -> SmartMeterGenerator:
+    base = seed_dataset(_GENERATOR_SEED_CONSUMERS, hours, seed)
+    return SmartMeterGenerator.fit(
+        base, GeneratorConfig(n_clusters=6, seed=seed)
+    )
+
+
+@lru_cache(maxsize=16)
+def synthetic_dataset(n_consumers: int, hours: int, seed: int = 13) -> Dataset:
+    """A generator-produced dataset (the paper's large synthetic data)."""
+    temperature = make_temperature_series(hours, seed=seed + 1)
+    return _generator(hours, seed).generate(
+        n_consumers, temperature, name=f"synthetic-{n_consumers}"
+    )

@@ -1,0 +1,49 @@
+"""Registry of every regenerable table and figure."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.harness import cluster_figures, extensions, single_server
+from repro.harness.report import FigureResult
+
+#: figure id -> (runner, one-line description).
+FIGURES: dict[str, tuple[Callable[[], FigureResult], str]] = {
+    "table1": (single_server.table1, "Built-in statistical functions per platform"),
+    "fig4": (single_server.figure4, "Data loading times, partitioned vs un-partitioned"),
+    "fig5": (single_server.figure5, "Partitioning impact on Matlab 3-line"),
+    "fig6": (single_server.figure6, "Cold vs warm start with T1/T2/T3 phases"),
+    "fig7": (single_server.figure7, "Single-threaded times, 4 tasks x 3 platforms"),
+    "fig8": (single_server.figure8, "Peak memory per task per platform"),
+    "fig9": (single_server.figure9, "MADLib table layouts (rows/arrays/daily)"),
+    "fig10": (single_server.figure10, "Multi-threaded speedup (4-core/8-HT model)"),
+    "fig11": (cluster_figures.figure11, "System C vs Spark/Hive on synthetic data"),
+    "fig12": (cluster_figures.figure12, "Throughput per server"),
+    "fig13": (cluster_figures.figure13, "Format 1 execution times"),
+    "fig14": (cluster_figures.figure14, "Format 1 speedup vs nodes"),
+    "fig15": (cluster_figures.figure15, "Cluster memory, Spark vs Hive"),
+    "fig16": (cluster_figures.figure16, "Format 2 execution times"),
+    "fig17": (cluster_figures.figure17, "Format 2 speedup vs nodes"),
+    "fig18": (cluster_figures.figure18, "Format 3 times vs file count (UDTF/UDAF)"),
+    "fig19": (cluster_figures.figure19, "Format 3 speedup vs nodes"),
+    "matmul": (single_server.matmul_anecdote, "Library vs hand-written matmul anecdote"),
+    "updates": (
+        extensions.updates_experiment,
+        "Future work: cost of appending one day of readings",
+    ),
+    "ablation_threeline": (
+        extensions.threeline_weighting_ablation,
+        "Ablation: count-weighted vs unweighted 3-line fits",
+    ),
+}
+
+
+def run_figure(figure_id: str) -> FigureResult:
+    """Run one registered figure by id."""
+    try:
+        runner, _ = FIGURES[figure_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {figure_id!r}; choose from {sorted(FIGURES)}"
+        ) from None
+    return runner()

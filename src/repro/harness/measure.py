@@ -1,0 +1,60 @@
+"""Measurement: wall-clock timing and peak-memory tracking.
+
+The paper measured memory by sampling ``free -m`` during each run and
+averaging.  In-process, the closest faithful equivalent is ``tracemalloc``:
+it reports the *peak* Python allocation between two points, which captures
+the same signal the paper's Figure 8/15 plot (whose series are dominated by
+how much of the data set an engine keeps resident).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Result of measuring one callable."""
+
+    seconds: float
+    peak_bytes: int
+    value: object
+
+    @property
+    def peak_mb(self) -> float:
+        """Peak allocation in megabytes."""
+        return self.peak_bytes / (1024.0 * 1024.0)
+
+
+def measure(fn: Callable[[], object], track_memory: bool = True) -> Measurement:
+    """Run ``fn`` once, measuring wall time and (optionally) peak memory.
+
+    Memory tracking uses tracemalloc, which roughly doubles running time —
+    timing-sensitive figures pass ``track_memory=False``.
+    """
+    if not track_memory:
+        tic = time.perf_counter()
+        value = fn()
+        return Measurement(time.perf_counter() - tic, 0, value)
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    tic = time.perf_counter()
+    try:
+        value = fn()
+        seconds = time.perf_counter() - tic
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not already_tracing:
+            tracemalloc.stop()
+    return Measurement(seconds=seconds, peak_bytes=peak, value=value)
+
+
+def time_only(fn: Callable[[], object]) -> tuple[float, object]:
+    """Wall-clock one callable: (seconds, value)."""
+    m = measure(fn, track_memory=False)
+    return m.seconds, m.value

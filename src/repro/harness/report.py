@@ -1,0 +1,111 @@
+"""Figure/table results: a uniform container, text rendering, CSV export.
+
+Every ``figureN()`` harness function returns a :class:`FigureResult`; the
+CLI renders it as an aligned text table (the "same rows/series the paper
+reports") and can save it as CSV under ``results/``.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+
+@dataclass
+class FigureResult:
+    """One regenerated table or figure."""
+
+    figure_id: str
+    title: str
+    columns: list[str]
+    rows: list[Sequence]
+    notes: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"{self.figure_id}: row {row!r} does not match columns "
+                    f"{self.columns}"
+                )
+
+    def column(self, name: str) -> list:
+        """One column's values, by header name."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        """Aligned text table with the figure header and notes."""
+        def fmt(value) -> str:
+            if isinstance(value, float):
+                if value != 0 and abs(value) < 0.01:
+                    return f"{value:.2e}"
+                return f"{value:,.3f}".rstrip("0").rstrip(".")
+            return str(value)
+
+        cells = [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells)) if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [f"=== {self.figure_id}: {self.title} ==="]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def render_chart(
+        self,
+        x: str,
+        y: str,
+        series: str,
+        width: int = 48,
+        log_x: bool = False,
+    ) -> str:
+        """ASCII line chart: one row of bars per (series, x) point.
+
+        Rough visual aid for terminal use — ``x`` must be numeric, ``y`` is
+        bar length, ``series`` labels groups.  The CSV output remains the
+        precise artifact.
+        """
+        rows = self.to_points(x, y, series)
+        if not rows:
+            return "(no data)"
+        max_y = max(v for _, v, _ in rows) or 1.0
+        label_width = max(len(f"{s} @ {xv:g}") for xv, _, s in rows)
+        lines = [f"--- {self.title} ({y} by {x}) ---"]
+        for xv, yv, s in rows:
+            bar = "#" * max(1, round(width * yv / max_y))
+            label = f"{s} @ {xv:g}".ljust(label_width)
+            lines.append(f"{label} |{bar} {yv:.3g}")
+        return "\n".join(lines)
+
+    def to_points(self, x: str, y: str, series: str) -> list[tuple[float, float, str]]:
+        """Extract ``(x, y, series)`` points sorted by (series, x)."""
+        xi, yi, si = (
+            self.columns.index(x),
+            self.columns.index(y),
+            self.columns.index(series),
+        )
+        points = [
+            (float(row[xi]), float(row[yi]), str(row[si])) for row in self.rows
+        ]
+        return sorted(points, key=lambda p: (p[2], p[0]))
+
+    def save_csv(self, directory: str | Path) -> Path:
+        """Write the rows as ``<figure_id>.csv`` under ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.figure_id}.csv"
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows)
+        return path

@@ -1,0 +1,65 @@
+"""Mapping between the paper's data sizes and simulation sizes.
+
+The paper's 10 GB real data set is 27,300 consumers x 8760 hourly readings;
+every benchmark cost is linear in readings except similarity (quadratic in
+consumers).  The harness therefore expresses each experiment's x-axis in
+the paper's units (GB / households) and maps it to a simulation consumer
+count through a :class:`Scale`, recording both in the output so results
+stay interpretable.
+
+Two presets:
+
+* ``SINGLE_SERVER_SCALE`` — the Figure 4-10 experiments (up to "10 GB");
+* ``CLUSTER_SCALE`` — the Figure 11-19 experiments (up to "1 TB").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.timeseries.calendar import HOURS_PER_DAY
+
+#: The paper's real data set: 27,300 consumers ~ 10 GB.
+PAPER_CONSUMERS_PER_GB = 2730.0
+
+
+@dataclass(frozen=True)
+class Scale:
+    """How paper sizes shrink to simulation sizes."""
+
+    #: Simulation consumers per paper GB.
+    consumers_per_gb: float
+    #: Hours of data per consumer in the simulation.
+    hours: int
+    #: Floor so tiny sizes stay statistically meaningful.
+    min_consumers: int = 6
+
+    def consumers_for_gb(self, gb: float) -> int:
+        """Simulation consumer count for a paper-sized ``gb``."""
+        if gb <= 0:
+            raise ValueError(f"gb must be positive, got {gb}")
+        return max(self.min_consumers, round(gb * self.consumers_per_gb))
+
+    def consumers_for_households(self, households: int, per: float = 100.0) -> int:
+        """Scale a paper household count (similarity axes) down by ``per``."""
+        if households <= 0:
+            raise ValueError(f"households must be positive, got {households}")
+        return max(self.min_consumers, round(households / per))
+
+    @property
+    def days(self) -> int:
+        """Days of data per consumer."""
+        return self.hours // HOURS_PER_DAY
+
+    def shrink_factor(self) -> float:
+        """Overall readings shrinkage vs the paper, for documentation."""
+        return (self.consumers_per_gb / PAPER_CONSUMERS_PER_GB) * (
+            self.hours / 8760.0
+        )
+
+
+#: Figures 4-10 (single multi-core server, <= 10 GB).
+SINGLE_SERVER_SCALE = Scale(consumers_per_gb=4.0, hours=24 * 120)
+
+#: Figures 11-19 (16-worker cluster, <= 1 TB).
+CLUSTER_SCALE = Scale(consumers_per_gb=0.4, hours=24 * 90)

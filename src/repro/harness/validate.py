@@ -1,0 +1,65 @@
+"""Cross-engine validation sweep: the repository's trust tool.
+
+Runs every benchmark task on every platform engine against one dataset and
+checks all answers against the reference kernels.  Exposed as
+``smartbench --validate``; returns a FigureResult-style report so the CLI
+renders it like any other artifact.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.benchmark import Task, run_task_reference
+from repro.core.validation import ValidationFailure, compare_task_results
+from repro.engines.base import ENGINE_NAMES, create_engine
+from repro.harness.report import FigureResult
+from repro.io.csvio import read_unpartitioned, write_unpartitioned
+from repro.harness.datasets import seed_dataset
+
+
+def validate_engines(
+    n_consumers: int = 10, hours: int = 24 * 120
+) -> FigureResult:
+    """Run all tasks x all engines; verify answers; report status + time."""
+    workdir = Path(tempfile.mkdtemp(prefix="smartbench_validate_"))
+    # CSV round trip: every engine serializes at the canonical precision,
+    # so this makes bit-exact agreement possible (and demanded).
+    raw = seed_dataset(n_consumers, hours)
+    dataset = read_unpartitioned(write_unpartitioned(raw, workdir / "seed.csv"))
+    reference = {task: run_task_reference(dataset, task) for task in Task}
+
+    rows = []
+    failures = 0
+    for name in ENGINE_NAMES:
+        engine = create_engine(name)
+        try:
+            engine.load_dataset(dataset, workdir / name)
+            for task in Task:
+                tic = time.perf_counter()
+                results = engine.run_task(task)
+                seconds = time.perf_counter() - tic
+                try:
+                    compare_task_results(task, reference[task], results)
+                    status = "ok"
+                except ValidationFailure as exc:
+                    status = f"MISMATCH: {exc}"
+                    failures += 1
+                rows.append([name, task.value, status, seconds])
+        finally:
+            engine.close()
+    notes = [
+        f"{dataset.n_consumers} consumers x {dataset.n_hours} hours",
+        "all platforms agree with the reference kernels"
+        if failures == 0
+        else f"{failures} task(s) DISAGREED — see status column",
+    ]
+    return FigureResult(
+        figure_id="validate",
+        title="Cross-engine validation (platforms must agree exactly)",
+        columns=["platform", "task", "status", "seconds"],
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,30 @@
+"""Dataset file I/O.
+
+The paper's benchmark defines its input as *text files* of hourly readings
+(Section 3) and studies how the file layout affects each platform:
+
+* :mod:`repro.io.csvio` — reading/writing the canonical CSV record format;
+* :mod:`repro.io.partition` — the partitioned (one file per consumer) vs
+  un-partitioned (one big file) layouts of Figures 4-5;
+* :mod:`repro.io.formats` — the three cluster data formats of Section 5.4.2
+  (reading-per-line, household-per-line, and file-per-household-group).
+"""
+
+from repro.io.csvio import (
+    read_partitioned,
+    read_unpartitioned,
+    write_partitioned,
+    write_unpartitioned,
+)
+from repro.io.formats import ClusterFormat
+from repro.io.partition import DatasetLayout, split_unpartitioned_file
+
+__all__ = [
+    "ClusterFormat",
+    "DatasetLayout",
+    "read_partitioned",
+    "read_unpartitioned",
+    "split_unpartitioned_file",
+    "write_partitioned",
+    "write_unpartitioned",
+]

@@ -1,0 +1,155 @@
+"""Canonical CSV serialization of benchmark datasets.
+
+The record format mirrors the paper's Table 1 schema (Figure 9): one
+reading per row with ``household_id, hour_index, consumption_kwh,
+temperature_c``.  Partitioned files drop the id column (it is the file
+name).  All text I/O in the package funnels through these functions so that
+every engine parses identical bytes.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import DatasetFormatError
+from repro.timeseries.series import Dataset
+
+#: Header of the un-partitioned (one big file) format.
+UNPARTITIONED_HEADER = ["household_id", "hour", "consumption", "temperature"]
+#: Header of the partitioned (file per consumer) format.
+PARTITIONED_HEADER = ["hour", "consumption", "temperature"]
+
+
+def write_unpartitioned(dataset: Dataset, path: str | Path) -> Path:
+    """Write the whole dataset as one CSV file (one reading per row)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(UNPARTITIONED_HEADER)
+        for i, cid in enumerate(dataset.consumer_ids):
+            cons = dataset.consumption[i]
+            temp = dataset.temperature[i]
+            writer.writerows(
+                (cid, t, f"{cons[t]:.6f}", f"{temp[t]:.4f}")
+                for t in range(dataset.n_hours)
+            )
+    return path
+
+
+def write_partitioned(dataset: Dataset, directory: str | Path) -> list[Path]:
+    """Write one CSV file per consumer into ``directory``.
+
+    Returns the file paths in consumer order.  File name is ``<id>.csv``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: list[Path] = []
+    for i, cid in enumerate(dataset.consumer_ids):
+        path = directory / f"{cid}.csv"
+        cons = dataset.consumption[i]
+        temp = dataset.temperature[i]
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(PARTITIONED_HEADER)
+            writer.writerows(
+                (t, f"{cons[t]:.6f}", f"{temp[t]:.4f}")
+                for t in range(dataset.n_hours)
+            )
+        paths.append(path)
+    return paths
+
+
+def read_consumer_file(path: str | Path) -> tuple[np.ndarray, np.ndarray]:
+    """Read one partitioned consumer file -> (consumption, temperature)."""
+    path = Path(path)
+    try:
+        data = np.loadtxt(
+            path, delimiter=",", skiprows=1, usecols=(1, 2), ndmin=2
+        )
+    except (OSError, ValueError) as exc:
+        raise DatasetFormatError(f"cannot parse consumer file {path}: {exc}") from exc
+    if data.size == 0:
+        raise DatasetFormatError(f"consumer file {path} has no readings")
+    return data[:, 0].copy(), data[:, 1].copy()
+
+
+def read_partitioned(directory: str | Path, name: str = "dataset") -> Dataset:
+    """Read a directory of per-consumer CSV files into a Dataset."""
+    directory = Path(directory)
+    files = sorted(directory.glob("*.csv"))
+    if not files:
+        raise DatasetFormatError(f"no consumer files found in {directory}")
+    ids: list[str] = []
+    cons_rows: list[np.ndarray] = []
+    temp_rows: list[np.ndarray] = []
+    for path in files:
+        cons, temp = read_consumer_file(path)
+        ids.append(path.stem)
+        cons_rows.append(cons)
+        temp_rows.append(temp)
+    lengths = {len(c) for c in cons_rows}
+    if len(lengths) != 1:
+        raise DatasetFormatError(
+            f"consumer files in {directory} have differing lengths: {sorted(lengths)}"
+        )
+    return Dataset(
+        consumer_ids=ids,
+        consumption=np.stack(cons_rows),
+        temperature=np.stack(temp_rows),
+        name=name,
+    )
+
+
+def read_unpartitioned(path: str | Path, name: str = "dataset") -> Dataset:
+    """Read the one-big-file CSV format into a Dataset.
+
+    Readings for one household must be contiguous and hour-ordered, which is
+    how :func:`write_unpartitioned` lays them out.
+    """
+    path = Path(path)
+    ids: list[str] = []
+    cons_rows: list[list[float]] = []
+    temp_rows: list[list[float]] = []
+    current_id: str | None = None
+    try:
+        with path.open(newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader, None)
+            if header != UNPARTITIONED_HEADER:
+                raise DatasetFormatError(
+                    f"{path}: unexpected header {header!r}"
+                )
+            for row in reader:
+                if len(row) != 4:
+                    raise DatasetFormatError(f"{path}: malformed row {row!r}")
+                cid = row[0]
+                if cid != current_id:
+                    if cid in ids:
+                        raise DatasetFormatError(
+                            f"{path}: household {cid!r} is not contiguous"
+                        )
+                    ids.append(cid)
+                    cons_rows.append([])
+                    temp_rows.append([])
+                    current_id = cid
+                cons_rows[-1].append(float(row[2]))
+                temp_rows[-1].append(float(row[3]))
+    except OSError as exc:
+        raise DatasetFormatError(f"cannot read {path}: {exc}") from exc
+    if not ids:
+        raise DatasetFormatError(f"{path} contains no readings")
+    lengths = {len(c) for c in cons_rows}
+    if len(lengths) != 1:
+        raise DatasetFormatError(
+            f"{path}: households have differing reading counts: {sorted(lengths)}"
+        )
+    return Dataset(
+        consumer_ids=ids,
+        consumption=np.array(cons_rows),
+        temperature=np.array(temp_rows),
+        name=name,
+    )

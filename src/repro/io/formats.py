@@ -1,0 +1,109 @@
+"""The three cluster data formats of paper Section 5.4.2.
+
+The Spark/Hive experiments store data in the (simulated) distributed
+filesystem in three text layouts, each with different execution
+consequences:
+
+1. ``READING_PER_LINE`` — one file, one smart-meter reading per line.  The
+   file may be split arbitrarily across blocks, so a household's readings
+   can land on different workers and the algorithms need a *reduce* step to
+   regroup them (Hive runs them as UDAFs).
+2. ``HOUSEHOLD_PER_LINE`` — one file, all of a household's readings on one
+   line.  Lines never split, so map-only jobs suffice (Hive generic UDFs).
+3. ``FILE_PER_GROUP`` — many files, each holding one or more *whole*
+   households, one reading per line.  Files are made non-splittable (the
+   paper overrides ``isSplitable()``), so map-side aggregation works (Hive
+   UDTFs), and the number of files becomes a tuning knob.
+
+Encoders produce the text lines; decoders parse them back.  Both the
+simulated DFS writers and the engines share these functions, so the bytes
+that "move through the cluster" are the same bytes a real deployment would
+store.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import DatasetFormatError
+from repro.timeseries.series import Dataset
+
+
+class ClusterFormat(enum.Enum):
+    """Which of the three Section 5.4.2 layouts a DFS dataset uses."""
+
+    READING_PER_LINE = 1
+    HOUSEHOLD_PER_LINE = 2
+    FILE_PER_GROUP = 3
+
+    @property
+    def needs_reduce(self) -> bool:
+        """True when regrouping by household requires a shuffle/reduce."""
+        return self is ClusterFormat.READING_PER_LINE
+
+
+def encode_reading_lines(dataset: Dataset) -> Iterator[str]:
+    """Format 1 / 3 line encoder: ``id,hour,consumption,temperature``."""
+    for i, cid in enumerate(dataset.consumer_ids):
+        cons = dataset.consumption[i]
+        temp = dataset.temperature[i]
+        for t in range(dataset.n_hours):
+            yield f"{cid},{t},{cons[t]:.6f},{temp[t]:.4f}"
+
+
+def decode_reading_line(line: str) -> tuple[str, int, float, float]:
+    """Parse a format-1/3 line into ``(id, hour, consumption, temperature)``."""
+    parts = line.split(",")
+    if len(parts) != 4:
+        raise DatasetFormatError(f"malformed reading line: {line!r}")
+    try:
+        return parts[0], int(parts[1]), float(parts[2]), float(parts[3])
+    except ValueError as exc:
+        raise DatasetFormatError(f"malformed reading line: {line!r}") from exc
+
+
+def encode_household_lines(dataset: Dataset) -> Iterator[str]:
+    """Format 2 line encoder: ``id|c0,c1,...|t0,t1,...`` (one household)."""
+    for i, cid in enumerate(dataset.consumer_ids):
+        cons = ",".join(f"{v:.6f}" for v in dataset.consumption[i])
+        temp = ",".join(f"{v:.4f}" for v in dataset.temperature[i])
+        yield f"{cid}|{cons}|{temp}"
+
+
+def decode_household_line(line: str) -> tuple[str, np.ndarray, np.ndarray]:
+    """Parse a format-2 line into ``(id, consumption, temperature)``."""
+    parts = line.split("|")
+    if len(parts) != 3:
+        raise DatasetFormatError(f"malformed household line: {line[:60]!r}...")
+    cid, cons_text, temp_text = parts
+    try:
+        cons = np.fromstring(cons_text, dtype=np.float64, sep=",")
+        temp = np.fromstring(temp_text, dtype=np.float64, sep=",")
+    except ValueError as exc:  # pragma: no cover - numpy rarely raises here
+        raise DatasetFormatError(f"malformed household line for {cid!r}") from exc
+    if cons.size == 0 or cons.size != temp.size:
+        raise DatasetFormatError(
+            f"household line for {cid!r} has inconsistent series lengths"
+        )
+    return cid, cons, temp
+
+
+def group_households(
+    dataset: Dataset, n_files: int
+) -> list[list[int]]:
+    """Assign household row-indices to ``n_files`` groups (format 3).
+
+    Households are distributed round-robin so group sizes differ by at most
+    one, and no household is ever split across groups.
+    """
+    if not 1 <= n_files <= dataset.n_consumers:
+        raise ValueError(
+            f"n_files must be in [1, {dataset.n_consumers}], got {n_files}"
+        )
+    groups: list[list[int]] = [[] for _ in range(n_files)]
+    for i in range(dataset.n_consumers):
+        groups[i % n_files].append(i)
+    return groups

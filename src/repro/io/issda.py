@@ -1,0 +1,187 @@
+"""Reader/writer for the ISSDA CER smart meter file format.
+
+The paper (Section 1.1) points readers who lack real data at the Irish
+Social Science Data Archive's CER Electricity Customer Behaviour Trial:
+"a smart meter data set has recently become available at the Irish Social
+Science Data Archive and may be used along with our data generator".
+
+The CER files are whitespace-separated with three fields per line::
+
+    <meter_id> <timecode> <kWh>
+
+where ``timecode`` is five digits ``DDDHH``: ``DDD`` is the day number
+(day 1 = 2009-01-01) and ``HH`` is the half-hour slot 1..48 within that
+day.  Readings are per *half hour*; the benchmark works on hourly data, so
+the loader sums each slot pair.
+
+This module lets the CER data (or anything written in its format) flow
+straight into the benchmark: parse -> hourly series -> pair with a
+temperature series -> :class:`~repro.timeseries.series.Dataset`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+import numpy as np
+
+from repro.exceptions import DatasetFormatError
+from repro.timeseries.calendar import HOURS_PER_DAY
+from repro.timeseries.series import Dataset
+
+#: Half-hour slots per day in the CER encoding.
+SLOTS_PER_DAY = 48
+
+
+def decode_timecode(code: int) -> tuple[int, int]:
+    """Split a ``DDDHH`` timecode into (0-based day, 0-based slot).
+
+    ``day 1 slot 1`` is the first half hour of 2009-01-01.
+    """
+    day = code // 100
+    slot = code % 100
+    if day < 1 or not 1 <= slot <= SLOTS_PER_DAY:
+        raise DatasetFormatError(f"invalid CER timecode {code}")
+    return day - 1, slot - 1
+
+
+def encode_timecode(day: int, slot: int) -> int:
+    """Inverse of :func:`decode_timecode` (0-based inputs)."""
+    if day < 0 or not 0 <= slot < SLOTS_PER_DAY:
+        raise DatasetFormatError(f"invalid day/slot: {day}/{slot}")
+    return (day + 1) * 100 + (slot + 1)
+
+
+def read_cer_file(
+    path: str | Path,
+) -> dict[str, np.ndarray]:
+    """Parse one CER-format file into hourly series per meter.
+
+    Returns ``{meter_id: hourly_kwh}`` where each array covers the full
+    day range seen for that meter (missing readings become NaN — pass the
+    result through :mod:`repro.timeseries.quality` before analysis).
+    Half-hour pairs are summed into hours; an hour is NaN if either half
+    is missing.
+    """
+    path = Path(path)
+    raw: dict[str, dict[int, float]] = {}
+    max_day: dict[str, int] = {}
+    try:
+        with path.open() as fh:
+            for line_no, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                parts = line.split()
+                if len(parts) != 3:
+                    raise DatasetFormatError(
+                        f"{path}:{line_no}: expected 3 fields, got {len(parts)}"
+                    )
+                meter, code_text, kwh_text = parts
+                try:
+                    code = int(code_text)
+                    kwh = float(kwh_text)
+                except ValueError as exc:
+                    raise DatasetFormatError(
+                        f"{path}:{line_no}: malformed reading {line!r}"
+                    ) from exc
+                day, slot = decode_timecode(code)
+                slots = raw.setdefault(meter, {})
+                key = day * SLOTS_PER_DAY + slot
+                if key in slots:
+                    raise DatasetFormatError(
+                        f"{path}:{line_no}: duplicate reading for meter "
+                        f"{meter!r} timecode {code}"
+                    )
+                slots[key] = kwh
+                max_day[meter] = max(max_day.get(meter, 0), day)
+    except OSError as exc:
+        raise DatasetFormatError(f"cannot read {path}: {exc}") from exc
+    if not raw:
+        raise DatasetFormatError(f"{path} contains no readings")
+
+    out: dict[str, np.ndarray] = {}
+    for meter, slots in raw.items():
+        n_days = max_day[meter] + 1
+        half_hourly = np.full(n_days * SLOTS_PER_DAY, np.nan)
+        for key, kwh in slots.items():
+            half_hourly[key] = kwh
+        pairs = half_hourly.reshape(-1, 2)
+        out[meter] = pairs.sum(axis=1)  # NaN if either half missing
+    return out
+
+
+def write_cer_file(
+    path: str | Path,
+    series: dict[str, np.ndarray],
+    half_hour_split: float = 0.5,
+) -> Path:
+    """Write hourly series out in CER format (for fixtures and round-trips).
+
+    Each hourly value is split into two half-hour readings
+    (``half_hour_split`` and its complement).  NaN hours are skipped, which
+    is how gaps appear in the real archive.
+    """
+    if not 0.0 <= half_hour_split <= 1.0:
+        raise ValueError("half_hour_split must be in [0, 1]")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for meter, values in series.items():
+            values = np.asarray(values, dtype=np.float64)
+            if values.size % HOURS_PER_DAY != 0:
+                raise DatasetFormatError(
+                    f"meter {meter!r}: series must cover whole days"
+                )
+            for hour_idx, kwh in enumerate(values):
+                if np.isnan(kwh):
+                    continue
+                day = hour_idx // HOURS_PER_DAY
+                hour = hour_idx % HOURS_PER_DAY
+                first = kwh * half_hour_split
+                second = kwh - first
+                fh.write(
+                    f"{meter} {encode_timecode(day, hour * 2)} {first:.4f}\n"
+                )
+                fh.write(
+                    f"{meter} {encode_timecode(day, hour * 2 + 1)} {second:.4f}\n"
+                )
+    return path
+
+
+def cer_to_dataset(
+    series: dict[str, np.ndarray],
+    temperature: np.ndarray,
+    name: str = "cer",
+) -> Dataset:
+    """Pair parsed CER series with a regional temperature series.
+
+    All meters must have complete (NaN-free) series of the same length —
+    impute first (:mod:`repro.timeseries.quality`).  ``temperature`` must
+    match that length; the archive carries no weather, so callers supply
+    the Met Eireann series (or a synthetic one for testing).
+    """
+    if not series:
+        raise DatasetFormatError("no meters to convert")
+    lengths = {v.size for v in series.values()}
+    if len(lengths) != 1:
+        raise DatasetFormatError(
+            f"meters have differing series lengths: {sorted(lengths)}"
+        )
+    (n_hours,) = lengths
+    temperature = np.asarray(temperature, dtype=np.float64)
+    if temperature.shape != (n_hours,):
+        raise DatasetFormatError(
+            f"temperature must have shape ({n_hours},), got {temperature.shape}"
+        )
+    ids = sorted(series)
+    consumption = np.stack([series[m] for m in ids])
+    if np.isnan(consumption).any():
+        raise DatasetFormatError(
+            "series contain NaN; impute before building a dataset"
+        )
+    return Dataset(
+        consumer_ids=ids,
+        consumption=consumption,
+        temperature=np.broadcast_to(temperature, consumption.shape).copy(),
+        name=name,
+    )

@@ -1,0 +1,105 @@
+"""Partitioned vs un-partitioned dataset layouts (paper Figures 4-5).
+
+The paper's first experiment loads the same data either as one large CSV
+file or as one small file per consumer, and finds the choice matters a lot:
+bulk-loading a DBMS prefers one file, while the Matlab-style engine is much
+faster on per-consumer files.  :class:`DatasetLayout` materializes a dataset
+on disk in either layout and :func:`split_unpartitioned_file` reproduces the
+pre-processing step ("splitting the data set into small files") whose cost
+Figure 4 charges to Matlab.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import DatasetFormatError
+from repro.io.csvio import (
+    PARTITIONED_HEADER,
+    UNPARTITIONED_HEADER,
+    write_partitioned,
+    write_unpartitioned,
+)
+from repro.timeseries.series import Dataset
+
+
+@dataclass(frozen=True)
+class DatasetLayout:
+    """A dataset materialized on disk, in one of the two layouts."""
+
+    root: Path
+    partitioned: bool
+    files: tuple[Path, ...]
+
+    @property
+    def n_files(self) -> int:
+        """Number of files in this layout."""
+        return len(self.files)
+
+    def total_bytes(self) -> int:
+        """Total on-disk size of the layout's files."""
+        return sum(f.stat().st_size for f in self.files)
+
+    @classmethod
+    def materialize(
+        cls, dataset: Dataset, root: str | Path, partitioned: bool
+    ) -> "DatasetLayout":
+        """Write ``dataset`` under ``root`` in the requested layout."""
+        root = Path(root)
+        if partitioned:
+            files = tuple(write_partitioned(dataset, root / "consumers"))
+        else:
+            files = (write_unpartitioned(dataset, root / "readings.csv"),)
+        return cls(root=root, partitioned=partitioned, files=files)
+
+
+def split_unpartitioned_file(
+    source: str | Path, out_dir: str | Path
+) -> list[Path]:
+    """Split one big readings file into one file per consumer.
+
+    This is the Figure 4 pre-processing step: a single streaming pass over
+    the big file, writing each household's rows to its own file.  Households
+    must be contiguous in the source (the canonical layout).
+    """
+    source = Path(source)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths: list[Path] = []
+    seen: set[str] = set()
+    current_id: str | None = None
+    writer = None
+    out_fh = None
+    try:
+        with source.open(newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader, None)
+            if header != UNPARTITIONED_HEADER:
+                raise DatasetFormatError(f"{source}: unexpected header {header!r}")
+            for row in reader:
+                if len(row) != 4:
+                    raise DatasetFormatError(f"{source}: malformed row {row!r}")
+                cid = row[0]
+                if cid != current_id:
+                    if cid in seen:
+                        raise DatasetFormatError(
+                            f"{source}: household {cid!r} is not contiguous"
+                        )
+                    if out_fh is not None:
+                        out_fh.close()
+                    path = out_dir / f"{cid}.csv"
+                    out_fh = path.open("w", newline="")
+                    writer = csv.writer(out_fh)
+                    writer.writerow(PARTITIONED_HEADER)
+                    paths.append(path)
+                    seen.add(cid)
+                    current_id = cid
+                writer.writerow(row[1:])
+    finally:
+        if out_fh is not None:
+            out_fh.close()
+    if not paths:
+        raise DatasetFormatError(f"{source} contains no readings")
+    return paths

@@ -1,0 +1,232 @@
+"""A B-tree secondary index.
+
+Maps column values to row locators ``(page_id, offset)``.  The paper builds
+exactly one of these — on household id over the readings table — so the
+executor can pull one consumer's readings without a full scan.
+
+Classic textbook structure: leaves hold sorted keys with per-key posting
+lists and are chained left-to-right for range scans; internal nodes hold
+separator keys.  Keys of one index must be mutually comparable (all numbers
+or all strings).  Deletion is by tombstone (the benchmark is read-mostly;
+compaction happens on :meth:`BTreeIndex.rebuild`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.exceptions import IndexError_
+
+RowId = tuple[int, int]
+
+#: Maximum keys per node before a split.
+DEFAULT_ORDER = 64
+
+
+@dataclass
+class _Leaf:
+    keys: list = field(default_factory=list)
+    postings: list[list[RowId]] = field(default_factory=list)
+    next_leaf: "_Leaf | None" = None
+
+    is_leaf = True
+
+
+@dataclass
+class _Internal:
+    keys: list = field(default_factory=list)
+    children: list = field(default_factory=list)
+
+    is_leaf = False
+
+
+class BTreeIndex:
+    """B-tree from key values to lists of row ids."""
+
+    def __init__(self, name: str, order: int = DEFAULT_ORDER) -> None:
+        if order < 4:
+            raise ValueError(f"B-tree order must be >= 4, got {order}")
+        self.name = name
+        self.order = order
+        self._root: _Leaf | _Internal = _Leaf()
+        self._n_keys = 0
+        self._n_entries = 0
+        self._tombstones: set[tuple] = set()
+
+    # Mutation ----------------------------------------------------------
+
+    def insert(self, key, row_id: RowId) -> None:
+        """Add one ``key -> row_id`` entry."""
+        if key is None:
+            raise IndexError_(f"index {self.name}: NULL keys are not allowed")
+        split = self._insert(self._root, key, row_id)
+        if split is not None:
+            sep_key, right = split
+            new_root = _Internal(keys=[sep_key], children=[self._root, right])
+            self._root = new_root
+        self._n_entries += 1
+
+    def _insert(self, node, key, row_id: RowId):
+        if node.is_leaf:
+            pos = bisect.bisect_left(node.keys, key)
+            if pos < len(node.keys) and node.keys[pos] == key:
+                node.postings[pos].append(row_id)
+            else:
+                node.keys.insert(pos, key)
+                node.postings.insert(pos, [row_id])
+                self._n_keys += 1
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        pos = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[pos], key, row_id)
+        if split is not None:
+            sep_key, right = split
+            node.keys.insert(pos, sep_key)
+            node.children.insert(pos + 1, right)
+            if len(node.keys) > self.order:
+                return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, leaf: _Leaf):
+        mid = len(leaf.keys) // 2
+        right = _Leaf(
+            keys=leaf.keys[mid:],
+            postings=leaf.postings[mid:],
+            next_leaf=leaf.next_leaf,
+        )
+        leaf.keys = leaf.keys[:mid]
+        leaf.postings = leaf.postings[:mid]
+        leaf.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal):
+        mid = len(node.keys) // 2
+        sep_key = node.keys[mid]
+        right = _Internal(
+            keys=node.keys[mid + 1 :], children=node.children[mid + 1 :]
+        )
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep_key, right
+
+    def delete(self, key, row_id: RowId) -> None:
+        """Tombstone one entry; it disappears from lookups immediately."""
+        self._tombstones.add((key, row_id))
+
+    def rebuild(self) -> None:
+        """Compact away tombstones by rebuilding the tree bottom-up."""
+        entries = list(self.items())
+        self._root = _Leaf()
+        self._n_keys = 0
+        self._n_entries = 0
+        self._tombstones.clear()
+        for key, row_ids in entries:
+            for row_id in row_ids:
+                self.insert(key, row_id)
+
+    # Lookup ------------------------------------------------------------
+
+    def _find_leaf(self, key) -> _Leaf:
+        node = self._root
+        while not node.is_leaf:
+            pos = bisect.bisect_right(node.keys, key)
+            node = node.children[pos]
+        return node
+
+    def _filter(self, key, row_ids: list[RowId]) -> list[RowId]:
+        if not self._tombstones:
+            return list(row_ids)
+        return [r for r in row_ids if (key, r) not in self._tombstones]
+
+    def search(self, key) -> list[RowId]:
+        """Row ids for an exact key (empty list if absent)."""
+        leaf = self._find_leaf(key)
+        pos = bisect.bisect_left(leaf.keys, key)
+        if pos < len(leaf.keys) and leaf.keys[pos] == key:
+            return self._filter(key, leaf.postings[pos])
+        return []
+
+    def range(self, lo=None, hi=None) -> Iterator[tuple[object, list[RowId]]]:
+        """Yield ``(key, row_ids)`` for keys in ``[lo, hi]`` in order.
+
+        ``None`` bounds are open.
+        """
+        if lo is not None and hi is not None and lo > hi:
+            return
+        leaf = self._find_leaf(lo) if lo is not None else self._leftmost_leaf()
+        while leaf is not None:
+            for pos, key in enumerate(leaf.keys):
+                if lo is not None and key < lo:
+                    continue
+                if hi is not None and key > hi:
+                    return
+                row_ids = self._filter(key, leaf.postings[pos])
+                if row_ids:
+                    yield key, row_ids
+            leaf = leaf.next_leaf
+
+    def items(self) -> Iterator[tuple[object, list[RowId]]]:
+        """All live ``(key, row_ids)`` pairs in key order."""
+        return self.range()
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    # Introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of distinct keys (including fully tombstoned ones)."""
+        return self._n_keys
+
+    @property
+    def n_entries(self) -> int:
+        """Number of inserted entries (tombstones not subtracted)."""
+        return self._n_entries
+
+    def height(self) -> int:
+        """Tree height (1 = just a root leaf)."""
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            height += 1
+            node = node.children[0]
+        return height
+
+    def check_invariants(self) -> None:
+        """Verify ordering and fanout invariants; raises IndexError_ if broken.
+
+        Used by property tests.
+        """
+        def walk(node, lo, hi, depth) -> int:
+            keys = node.keys
+            for a, b in zip(keys, keys[1:]):
+                if not a < b:
+                    raise IndexError_(f"keys out of order: {a!r} >= {b!r}")
+            if keys:
+                if lo is not None and keys[0] < lo:
+                    raise IndexError_(f"key {keys[0]!r} below subtree bound {lo!r}")
+                if hi is not None and keys[-1] >= hi:
+                    raise IndexError_(f"key {keys[-1]!r} above subtree bound {hi!r}")
+            if len(keys) > self.order:
+                raise IndexError_(f"node overflow: {len(keys)} > {self.order}")
+            if node.is_leaf:
+                if len(node.postings) != len(keys):
+                    raise IndexError_("leaf postings/keys length mismatch")
+                return 1
+            if len(node.children) != len(keys) + 1:
+                raise IndexError_("internal fanout mismatch")
+            depths = set()
+            bounds = [lo, *keys, hi]
+            for i, child in enumerate(node.children):
+                depths.add(walk(child, bounds[i], bounds[i + 1], depth + 1))
+            if len(depths) != 1:
+                raise IndexError_("leaves at differing depths")
+            return next(iter(depths)) + 1
+
+        walk(self._root, None, None, 0)

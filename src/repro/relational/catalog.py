@@ -1,0 +1,110 @@
+"""The database catalog: tables, indexes, and the query entry point."""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.exceptions import DuplicateTableError, TableNotFoundError
+from repro.relational.storage import BufferPool, PageStore
+from repro.relational.table import Table
+from repro.relational.types import Schema
+
+
+class Database:
+    """A mini database instance: a data directory plus a buffer pool.
+
+    ``data_dir=None`` creates a private temporary directory that is removed
+    by :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        data_dir: str | Path | None = None,
+        buffer_pool_pages: int = 4096,
+    ) -> None:
+        if data_dir is None:
+            self._owns_dir = True
+            self.data_dir = Path(tempfile.mkdtemp(prefix="repro_db_"))
+        else:
+            self._owns_dir = False
+            self.data_dir = Path(data_dir)
+            self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.buffer_pool = BufferPool(buffer_pool_pages)
+        self._tables: dict[str, Table] = {}
+
+    # Table management -----------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        """CREATE TABLE; raises DuplicateTableError if the name is taken."""
+        if name in self._tables:
+            raise DuplicateTableError(f"table {name!r} already exists")
+        store = PageStore(name, schema, self.data_dir / name, self.buffer_pool)
+        table = Table(name, schema, store)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table; raises TableNotFoundError if absent."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError(
+                f"no table {name!r}; available: {sorted(self._tables)}"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        """True if the table exists."""
+        return name in self._tables
+
+    def drop_table(self, name: str) -> None:
+        """DROP TABLE (idempotent on missing tables is NOT allowed)."""
+        table = self.table(name)
+        table.destroy()
+        del self._tables[name]
+
+    def list_tables(self) -> list[str]:
+        """Names of all tables."""
+        return sorted(self._tables)
+
+    # Queries ----------------------------------------------------------------
+
+    def execute(self, sql: str):
+        """Run a SELECT statement; returns a ResultSet.
+
+        Imported lazily to keep catalog <-> executor imports acyclic.
+        """
+        from repro.relational.executor import execute_select
+        from repro.sql.parser import parse_select
+
+        return execute_select(self, parse_select(sql))
+
+    # Cold/warm control --------------------------------------------------------
+
+    def evict_all(self) -> None:
+        """Empty the buffer pool — the next query runs cold."""
+        self.buffer_pool.clear()
+
+    def warm_table(self, name: str) -> int:
+        """Touch every page of a table so it is memory-resident; returns pages."""
+        table = self.table(name)
+        count = 0
+        for _ in table.scan_pages():
+            count += 1
+        return count
+
+    # Lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop in-memory state; removes the data directory if owned."""
+        self._tables.clear()
+        self.buffer_pool.clear()
+        if self._owns_dir:
+            shutil.rmtree(self.data_dir, ignore_errors=True)
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,186 @@
+"""Vectorized expression evaluation over column chunks.
+
+An *environment* maps column names to equal-length numpy arrays (one page's
+chunks, or a whole result column).  Evaluation returns an array of that
+length; scalar results broadcast.  Aggregate calls never reach this module —
+the executor substitutes their finalized values first.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.exceptions import ColumnNotFoundError, SqlAnalysisError
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    Literal,
+    Star,
+    UnaryOp,
+)
+
+ScalarFunction = Callable[..., np.ndarray]
+
+#: Registry of scalar SQL functions (vectorized: arrays in, array out).
+SCALAR_FUNCTIONS: dict[str, ScalarFunction] = {
+    "abs": np.abs,
+    "sqrt": np.sqrt,
+    "ln": np.log,
+    "exp": np.exp,
+    "floor": np.floor,
+    "ceil": np.ceil,
+    "round": lambda x, nd=None: np.round(x, int(nd) if nd is not None else 0),
+    "power": np.power,
+    "greatest": np.maximum,
+    "least": np.minimum,
+    "width_bucket": None,  # installed below (needs special handling)
+}
+
+
+def _width_bucket(value, lo, hi, n_buckets):
+    """PostgreSQL ``width_bucket``: 1-based equi-width bucket number.
+
+    Values below ``lo`` return 0 and values >= ``hi`` return ``n_buckets+1``,
+    matching the PostgreSQL semantics the MADLib histogram queries rely on.
+    """
+    value = np.asarray(value, dtype=np.float64)
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    n = np.asarray(n_buckets)
+    width = (hi - lo) / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        bucket = np.floor((value - lo) / width).astype(np.int64) + 1
+    bucket = np.where(value < lo, 0, bucket)
+    bucket = np.where(value >= hi, np.asarray(n, dtype=np.int64) + 1, bucket)
+    return bucket
+
+
+SCALAR_FUNCTIONS["width_bucket"] = _width_bucket
+
+_ARITHMETIC = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "%": np.mod,
+}
+_COMPARISON = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def evaluate(
+    expr: Expression,
+    env: Mapping[str, np.ndarray],
+    n_rows: int,
+    extra_functions: Mapping[str, ScalarFunction] | None = None,
+) -> np.ndarray:
+    """Evaluate ``expr`` against ``env``; always returns a length-n array."""
+    result = _eval(expr, env, n_rows, extra_functions or {})
+    if np.ndim(result) == 0:
+        if isinstance(result, str) or result is None or isinstance(result, bool):
+            out = np.empty(n_rows, dtype=object)
+            out[:] = result
+            return out
+        return np.full(n_rows, result)
+    return np.asarray(result)
+
+
+def _eval(expr, env, n_rows, extra):
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise ColumnNotFoundError(
+                f"no column {expr.name!r}; available: {sorted(env)}"
+            ) from None
+    if isinstance(expr, Star):
+        raise SqlAnalysisError("'*' is only valid in SELECT lists and COUNT(*)")
+    if isinstance(expr, UnaryOp):
+        operand = _eval(expr.operand, env, n_rows, extra)
+        if expr.op == "-":
+            return np.negative(operand)
+        if expr.op == "not":
+            return np.logical_not(np.asarray(operand, dtype=bool))
+        raise SqlAnalysisError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, BinaryOp):
+        left = _eval(expr.left, env, n_rows, extra)
+        right = _eval(expr.right, env, n_rows, extra)
+        if expr.op in _ARITHMETIC:
+            return _ARITHMETIC[expr.op](left, right)
+        if expr.op in _COMPARISON:
+            return _COMPARISON[expr.op](left, right)
+        if expr.op == "and":
+            return np.logical_and(
+                np.asarray(left, dtype=bool), np.asarray(right, dtype=bool)
+            )
+        if expr.op == "or":
+            return np.logical_or(
+                np.asarray(left, dtype=bool), np.asarray(right, dtype=bool)
+            )
+        raise SqlAnalysisError(f"unknown operator {expr.op!r}")
+    if isinstance(expr, FunctionCall):
+        fn = extra.get(expr.name) or SCALAR_FUNCTIONS.get(expr.name)
+        if fn is None:
+            raise SqlAnalysisError(f"unknown function {expr.name!r}")
+        args = [_eval(a, env, n_rows, extra) for a in expr.args]
+        return fn(*args)
+    raise SqlAnalysisError(f"cannot evaluate {expr!r}")
+
+
+def contains_aggregate(expr: Expression, aggregate_names: set[str]) -> bool:
+    """True if the expression tree contains an aggregate function call."""
+    if isinstance(expr, FunctionCall):
+        if expr.name in aggregate_names:
+            return True
+        return any(contains_aggregate(a, aggregate_names) for a in expr.args)
+    if isinstance(expr, UnaryOp):
+        return contains_aggregate(expr.operand, aggregate_names)
+    if isinstance(expr, BinaryOp):
+        return contains_aggregate(expr.left, aggregate_names) or contains_aggregate(
+            expr.right, aggregate_names
+        )
+    return False
+
+
+def collect_aggregates(
+    expr: Expression, aggregate_names: set[str]
+) -> list[FunctionCall]:
+    """All aggregate calls in the tree, outermost first.
+
+    Nested aggregates (``sum(avg(x))``) are rejected by the executor, so the
+    calls returned here have aggregate-free arguments.
+    """
+    found: list[FunctionCall] = []
+
+    def walk(node):
+        if isinstance(node, FunctionCall):
+            if node.name in aggregate_names:
+                found.append(node)
+                for arg in node.args:
+                    if contains_aggregate(arg, aggregate_names):
+                        raise SqlAnalysisError(
+                            "nested aggregate calls are not supported"
+                        )
+                return
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, BinaryOp):
+            walk(node.left)
+            walk(node.right)
+
+    walk(expr)
+    return found

@@ -1,0 +1,165 @@
+"""Aggregate function framework and the built-in aggregates.
+
+Aggregates consume *segments*: for each group, the executor hands the
+aggregate contiguous arrays of that group's argument values, one call per
+page segment (vectorized partial aggregation, as modern column-oriented
+executors do).  ``finalize`` turns the accumulated state into the output
+value.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import SqlAnalysisError
+
+
+class Aggregate:
+    """Base class for aggregate functions.
+
+    Subclasses override :meth:`create`, :meth:`update` and :meth:`finalize`.
+    ``update`` receives one numpy array per argument, holding one group's
+    values from one page.
+    """
+
+    #: Number of arguments the aggregate takes (-1 = any).
+    arity: int = 1
+
+    def create(self) -> Any:
+        """Fresh per-group state."""
+        raise NotImplementedError
+
+    def update(self, state: Any, *segments: np.ndarray) -> Any:
+        """Fold one segment of values into the state; returns new state."""
+        raise NotImplementedError
+
+    def finalize(self, state: Any):
+        """Produce the aggregate's value from the state."""
+        raise NotImplementedError
+
+
+class SumAggregate(Aggregate):
+    """``sum(x)``."""
+
+    def create(self):
+        return 0.0
+
+    def update(self, state, values):
+        return state + float(values.sum())
+
+    def finalize(self, state):
+        return state
+
+
+class CountAggregate(Aggregate):
+    """``count(x)`` and ``count(*)`` (the executor passes any column)."""
+
+    def create(self):
+        return 0
+
+    def update(self, state, values):
+        return state + int(values.shape[0])
+
+    def finalize(self, state):
+        return state
+
+
+class AvgAggregate(Aggregate):
+    """``avg(x)``."""
+
+    def create(self):
+        return (0.0, 0)
+
+    def update(self, state, values):
+        total, count = state
+        return (total + float(values.sum()), count + int(values.shape[0]))
+
+    def finalize(self, state):
+        total, count = state
+        if count == 0:
+            raise SqlAnalysisError("avg over zero rows")
+        return total / count
+
+
+class MinAggregate(Aggregate):
+    """``min(x)``."""
+
+    def create(self):
+        return None
+
+    def update(self, state, values):
+        seg_min = values.min()
+        return seg_min if state is None or seg_min < state else state
+
+    def finalize(self, state):
+        if state is None:
+            raise SqlAnalysisError("min over zero rows")
+        return state
+
+
+class MaxAggregate(Aggregate):
+    """``max(x)``."""
+
+    def create(self):
+        return None
+
+    def update(self, state, values):
+        seg_max = values.max()
+        return seg_max if state is None or seg_max > state else state
+
+    def finalize(self, state):
+        if state is None:
+            raise SqlAnalysisError("max over zero rows")
+        return state
+
+
+class StddevAggregate(Aggregate):
+    """``stddev_samp(x)`` via streaming sum / sum-of-squares."""
+
+    def create(self):
+        return (0.0, 0.0, 0)
+
+    def update(self, state, values):
+        s, ss, n = state
+        return (
+            s + float(values.sum()),
+            ss + float((values.astype(np.float64) ** 2).sum()),
+            n + int(values.shape[0]),
+        )
+
+    def finalize(self, state):
+        s, ss, n = state
+        if n < 2:
+            raise SqlAnalysisError("stddev needs at least two rows")
+        var = max(0.0, (ss - s * s / n) / (n - 1))
+        return float(np.sqrt(var))
+
+
+class ArrayAggAggregate(Aggregate):
+    """``array_agg(x)`` — concatenates the group's values in scan order."""
+
+    def create(self):
+        return []
+
+    def update(self, state, values):
+        state.append(np.asarray(values))
+        return state
+
+    def finalize(self, state):
+        if not state:
+            return np.array([])
+        return np.concatenate(state)
+
+
+#: Built-in aggregate registry.  MADLib adds its own entries on top.
+AGGREGATES: dict[str, Aggregate] = {
+    "sum": SumAggregate(),
+    "count": CountAggregate(),
+    "avg": AvgAggregate(),
+    "min": MinAggregate(),
+    "max": MaxAggregate(),
+    "stddev": StddevAggregate(),
+    "array_agg": ArrayAggAggregate(),
+}

@@ -1,0 +1,105 @@
+"""The smart-meter table layouts of paper Figure 9.
+
+Three ways to store the same dataset in the relational engine:
+
+* ``READINGS`` — one row per reading (``household_id, hour, consumption,
+  temperature``) with a B-tree index on the household id.  This is the
+  paper's Table 1 and its default for all single-server experiments.
+* ``ARRAYS`` — one row per household with the full year of readings in two
+  ``FLOAT[]`` columns (the paper's Table 2); cuts 3-line from 19.6 to 11.3
+  minutes in the paper.
+* ``DAILY`` — the in-between layout the paper also tried: one row per
+  household per day with 24-element arrays.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.relational.catalog import Database
+from repro.relational.table import Table
+from repro.relational.types import Column, ColumnType, Schema
+from repro.timeseries.calendar import HOURS_PER_DAY
+from repro.timeseries.series import Dataset
+
+
+class TableLayout(enum.Enum):
+    """Which Figure 9 layout a table uses."""
+
+    READINGS = "readings"
+    ARRAYS = "arrays"
+    DAILY = "daily"
+
+
+READINGS_SCHEMA = Schema(
+    [
+        Column("household_id", ColumnType.TEXT),
+        Column("hour", ColumnType.INT),
+        Column("consumption", ColumnType.FLOAT),
+        Column("temperature", ColumnType.FLOAT),
+    ]
+)
+
+ARRAYS_SCHEMA = Schema(
+    [
+        Column("household_id", ColumnType.TEXT),
+        Column("consumption", ColumnType.FLOAT_ARRAY),
+        Column("temperature", ColumnType.FLOAT_ARRAY),
+    ]
+)
+
+DAILY_SCHEMA = Schema(
+    [
+        Column("household_id", ColumnType.TEXT),
+        Column("day", ColumnType.INT),
+        Column("consumption", ColumnType.FLOAT_ARRAY),
+        Column("temperature", ColumnType.FLOAT_ARRAY),
+    ]
+)
+
+
+def load_dataset(
+    db: Database,
+    dataset: Dataset,
+    layout: TableLayout,
+    table_name: str | None = None,
+    build_index: bool = True,
+) -> Table:
+    """Create and bulk-load a table for ``dataset`` in the given layout.
+
+    Returns the loaded table; a B-tree index on ``household_id`` is built
+    unless ``build_index`` is False (the paper always builds it for the
+    readings layout).
+    """
+    name = table_name or layout.value
+    if layout is TableLayout.READINGS:
+        table = db.create_table(name, READINGS_SCHEMA)
+        table.bulk_load(
+            (cid, hour, dataset.consumption[i, hour], dataset.temperature[i, hour])
+            for i, cid in enumerate(dataset.consumer_ids)
+            for hour in range(dataset.n_hours)
+        )
+    elif layout is TableLayout.ARRAYS:
+        table = db.create_table(name, ARRAYS_SCHEMA)
+        table.bulk_load(
+            (cid, dataset.consumption[i], dataset.temperature[i])
+            for i, cid in enumerate(dataset.consumer_ids)
+        )
+    elif layout is TableLayout.DAILY:
+        table = db.create_table(name, DAILY_SCHEMA)
+        n_days = dataset.n_hours // HOURS_PER_DAY
+        table.bulk_load(
+            (
+                cid,
+                day,
+                dataset.consumption[i, day * HOURS_PER_DAY : (day + 1) * HOURS_PER_DAY],
+                dataset.temperature[i, day * HOURS_PER_DAY : (day + 1) * HOURS_PER_DAY],
+            )
+            for i, cid in enumerate(dataset.consumer_ids)
+            for day in range(n_days)
+        )
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown layout {layout!r}")
+    if build_index:
+        table.create_index("household_id")
+    return table

@@ -1,0 +1,119 @@
+"""In-database analytics functions, modelled on MADLib [17].
+
+The paper's PostgreSQL implementation calls MADLib's statistical aggregates
+directly from SQL.  This module provides the equivalents as aggregates for
+the mini engine:
+
+* ``madlib_hist(value, n_buckets)`` — per-group equi-width histogram over
+  the group's own min..max (collect-based, which is why the paper observes
+  MADLib's high memory footprint);
+* ``madlib_quantile(value, q)`` — exact percentile with linear
+  interpolation (collect-based);
+* ``madlib_linregr(y, x1, ..., xk)`` — streaming multiple linear
+  regression via normal equations (an intercept column is implicit), the
+  workhorse behind both the 3-line segments and the PAR hour models.
+
+Register them with :func:`madlib_aggregates` when executing queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.histogram import equi_width_histogram
+from repro.core.stats import percentile_linear
+from repro.exceptions import SqlAnalysisError
+from repro.relational.functions import Aggregate
+
+
+class MadlibHistAggregate(Aggregate):
+    """``madlib_hist(value, n_buckets)`` -> (edges, counts) arrays."""
+
+    arity = 2
+
+    def create(self):
+        return ([], None)
+
+    def update(self, state, values, n_buckets):
+        collected, n = state
+        collected.append(np.asarray(values, dtype=np.float64))
+        return (collected, int(n_buckets[0]) if n is None else n)
+
+    def finalize(self, state):
+        collected, n = state
+        if not collected:
+            raise SqlAnalysisError("madlib_hist over zero rows")
+        result = equi_width_histogram(np.concatenate(collected), n)
+        return np.concatenate([result.edges, result.counts.astype(np.float64)])
+
+
+class MadlibQuantileAggregate(Aggregate):
+    """``madlib_quantile(value, q)`` -> the q-th percentile (q in 0..100)."""
+
+    arity = 2
+
+    def create(self):
+        return ([], None)
+
+    def update(self, state, values, q):
+        collected, quantile = state
+        collected.append(np.asarray(values, dtype=np.float64))
+        return (collected, float(q[0]) if quantile is None else quantile)
+
+    def finalize(self, state):
+        collected, quantile = state
+        if not collected:
+            raise SqlAnalysisError("madlib_quantile over zero rows")
+        data = np.sort(np.concatenate(collected))
+        return percentile_linear(data, quantile)
+
+
+class MadlibLinregrAggregate(Aggregate):
+    """``madlib_linregr(y, x1, ..., xk)`` -> coefficient array.
+
+    Streams the normal equations: accumulates ``X'X`` and ``X'y`` per
+    segment (with an implicit leading intercept column) and solves at
+    finalize.  Output layout: ``[intercept, coef_x1, ..., coef_xk]``.
+    """
+
+    arity = -1
+
+    def create(self):
+        return None
+
+    def update(self, state, y, *xs):
+        if not xs:
+            raise SqlAnalysisError("madlib_linregr needs at least one regressor")
+        design = np.column_stack(
+            [np.ones(y.shape[0])] + [np.asarray(x, dtype=np.float64) for x in xs]
+        )
+        y = np.asarray(y, dtype=np.float64)
+        xtx = design.T @ design
+        xty = design.T @ y
+        if state is None:
+            return (xtx, xty, y.shape[0])
+        return (state[0] + xtx, state[1] + xty, state[2] + y.shape[0])
+
+    def finalize(self, state):
+        if state is None:
+            raise SqlAnalysisError("madlib_linregr over zero rows")
+        xtx, xty, n = state
+        if n < xtx.shape[0]:
+            raise SqlAnalysisError(
+                f"madlib_linregr: {n} rows for {xtx.shape[0]} coefficients"
+            )
+        try:
+            return np.linalg.solve(xtx, xty)
+        except np.linalg.LinAlgError:
+            # Collinear regressors: fall back to the pseudo-inverse, which
+            # is what MADLib's decomposition-based solver effectively does.
+            return np.linalg.lstsq(xtx, xty, rcond=None)[0]
+
+
+def madlib_aggregates() -> dict[str, Aggregate]:
+    """The registry fragment to pass to ``execute_select(aggregates=...)``."""
+    return {
+        "madlib_hist": MadlibHistAggregate(),
+        "madlib_quantile": MadlibQuantileAggregate(),
+        "madlib_linregr": MadlibLinregrAggregate(),
+    }

@@ -1,0 +1,99 @@
+"""Schema and column types for the mini relational engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ColumnNotFoundError, DataError
+
+
+class ColumnType(enum.Enum):
+    """Supported column types.
+
+    ``FLOAT_ARRAY`` is the PostgreSQL array type the paper uses for its
+    second table layout (all of a household's readings in one row).
+    """
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    FLOAT_ARRAY = "float[]"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The dtype used for column chunks of this type."""
+        if self is ColumnType.INT:
+            return np.dtype(np.int64)
+        if self is ColumnType.FLOAT:
+            return np.dtype(np.float64)
+        return np.dtype(object)
+
+    def coerce(self, value):
+        """Coerce one Python value for storage; raises DataError if invalid."""
+        if value is None:
+            raise DataError("NULL values are not supported by this engine")
+        if self is ColumnType.INT:
+            return int(value)
+        if self is ColumnType.FLOAT:
+            return float(value)
+        if self is ColumnType.TEXT:
+            return str(value)
+        arr = np.asarray(value, dtype=np.float64)
+        if arr.ndim != 1:
+            raise DataError(f"array column values must be 1-D, got {arr.shape}")
+        return arr
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column definition."""
+
+    name: str
+    type: ColumnType
+
+
+class Schema:
+    """An ordered set of columns with name lookup."""
+
+    def __init__(self, columns: list[Column] | tuple[Column, ...]) -> None:
+        if not columns:
+            raise DataError("a schema needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise DataError(f"duplicate column names in schema: {names}")
+        self.columns = tuple(columns)
+        self._by_name = {c.name: i for i, c in enumerate(self.columns)}
+
+    @property
+    def names(self) -> list[str]:
+        """Column names in order."""
+        return [c.name for c in self.columns]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def index_of(self, name: str) -> int:
+        """Position of a column; raises ColumnNotFoundError if absent."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ColumnNotFoundError(
+                f"no column {name!r}; available: {self.names}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        """Column definition by name."""
+        return self.columns[self.index_of(name)]
+
+    def has_column(self, name: str) -> bool:
+        """True if the schema contains ``name``."""
+        return name in self._by_name

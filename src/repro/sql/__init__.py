@@ -1,0 +1,39 @@
+"""A small SQL front end shared by the relational engine and Hive analogue.
+
+Supports the subset the benchmark needs::
+
+    SELECT <exprs> FROM <table> [WHERE <expr>] [GROUP BY <exprs>]
+        [ORDER BY <expr> [ASC|DESC], ...] [LIMIT <n>]
+
+with arithmetic, comparisons, boolean logic, function calls (scalar,
+aggregate, and — in the Hive dialect — table functions) and ``COUNT(*)``.
+
+The module is split conventionally: :mod:`repro.sql.lexer` tokenizes,
+:mod:`repro.sql.ast` defines the tree, :mod:`repro.sql.parser` builds it.
+"""
+
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    FunctionCall,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    UnaryOp,
+)
+from repro.sql.parser import parse_select
+
+__all__ = [
+    "BinaryOp",
+    "ColumnRef",
+    "FunctionCall",
+    "Literal",
+    "OrderItem",
+    "SelectItem",
+    "SelectStatement",
+    "Star",
+    "UnaryOp",
+    "parse_select",
+]

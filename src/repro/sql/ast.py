@@ -1,0 +1,160 @@
+"""Abstract syntax tree of the SQL subset.
+
+All nodes are frozen dataclasses; expression nodes expose
+``referenced_columns()`` so planners can bind them against a schema without
+walking the tree themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+Expression = Union[
+    "ColumnRef", "Literal", "Star", "UnaryOp", "BinaryOp", "FunctionCall"
+]
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A reference to a column, e.g. ``consumption``."""
+
+    name: str
+
+    def referenced_columns(self) -> set[str]:
+        """Column names this expression reads."""
+        return {self.name}
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: number, string, boolean or NULL."""
+
+    value: float | int | str | bool | None
+
+    def referenced_columns(self) -> set[str]:
+        """Column names this expression reads (none)."""
+        return set()
+
+
+@dataclass(frozen=True)
+class Star:
+    """The ``*`` in ``SELECT *`` or ``COUNT(*)``."""
+
+    def referenced_columns(self) -> set[str]:
+        """``*`` is expanded by the planner, not bound here."""
+        return set()
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """Unary operator: ``-x`` or ``NOT x``."""
+
+    op: str
+    operand: Expression
+
+    def referenced_columns(self) -> set[str]:
+        """Column names this expression reads."""
+        return self.operand.referenced_columns()
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Binary operator: arithmetic, comparison, AND/OR."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def referenced_columns(self) -> set[str]:
+        """Column names this expression reads."""
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A function call, scalar or aggregate: ``fn(arg, ...)``.
+
+    Function names are normalized to lower case.  ``COUNT(*)`` is
+    represented as a call whose single argument is :class:`Star`.
+    """
+
+    name: str
+    args: tuple[Expression, ...]
+
+    def referenced_columns(self) -> set[str]:
+        """Column names this expression reads."""
+        cols: set[str] = set()
+        for arg in self.args:
+            cols |= arg.referenced_columns()
+        return cols
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection in the SELECT list, with an optional alias."""
+
+    expression: Expression
+    alias: str | None = None
+
+    def output_name(self, default: str) -> str:
+        """Column name in the result: alias, bare column name, or default.
+
+        A qualified reference (``e.name``) is labelled by its bare column
+        name, as SQL does.
+        """
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, ColumnRef):
+            return self.expression.name.rsplit(".", 1)[-1]
+        return default
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """One INNER JOIN: the joined table, its alias, and the ON condition."""
+
+    table: str
+    alias: str | None
+    on: Expression
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed SELECT query."""
+
+    items: tuple[SelectItem, ...]
+    table: str
+    table_alias: str | None = None
+    joins: tuple["JoinClause", ...] = field(default_factory=tuple)
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = field(default_factory=tuple)
+    having: Expression | None = None
+    order_by: tuple[OrderItem, ...] = field(default_factory=tuple)
+    limit: int | None = None
+    distinct: bool = False
+
+    def referenced_columns(self) -> set[str]:
+        """All column names the query reads anywhere."""
+        cols: set[str] = set()
+        for item in self.items:
+            cols |= item.expression.referenced_columns()
+        if self.where is not None:
+            cols |= self.where.referenced_columns()
+        for expr in self.group_by:
+            cols |= expr.referenced_columns()
+        if self.having is not None:
+            cols |= self.having.referenced_columns()
+        for join in self.joins:
+            cols |= join.on.referenced_columns()
+        for item in self.order_by:
+            cols |= item.expression.referenced_columns()
+        return cols

@@ -1,0 +1,357 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (precedence low to high)::
+
+    select    := SELECT [DISTINCT] items FROM identifier [alias]
+                 ([INNER] JOIN identifier [alias] ON expr)* [WHERE expr]
+                 [GROUP BY exprs [HAVING expr]] [ORDER BY order_items]
+                 [LIMIT number]
+    expr      := or_expr
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := NOT not_expr | comparison
+    comparison:= additive [NOT] BETWEEN additive AND additive
+               | additive [NOT] IN '(' expr (, expr)* ')'
+               | additive ((= | != | <> | < | <= | > | >=) additive)?
+    (BETWEEN and IN desugar to comparisons at parse time)
+    additive  := multiplicative ((+ | -) multiplicative)*
+    multiplicative := unary ((* | / | %) unary)*
+    unary     := - unary | primary
+    primary   := number | string | TRUE | FALSE | NULL | '(' expr ')'
+               | identifier '(' [expr (, expr)* | *] ')' | identifier | *
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SqlSyntaxError
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    JoinClause,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    UnaryOp,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+_COMPARISONS = ("=", "!=", "<>", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise SqlSyntaxError(
+                f"expected {word}, found {self.current.text!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def expect_operator(self, op: str) -> Token:
+        if not self.current.is_operator(op):
+            raise SqlSyntaxError(
+                f"expected {op!r}, found {self.current.text!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    # Statement --------------------------------------------------------
+
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("SELECT")
+        distinct = False
+        if self.current.is_keyword("DISTINCT"):
+            self.advance()
+            distinct = True
+        items = [self._select_item()]
+        while self.current.is_operator(","):
+            self.advance()
+            items.append(self._select_item())
+
+        self.expect_keyword("FROM")
+        table_token = self.advance()
+        if table_token.type is not TokenType.IDENTIFIER:
+            raise SqlSyntaxError(
+                f"expected table name, found {table_token.text!r}",
+                table_token.position,
+            )
+        table_alias = None
+        if self.current.type is TokenType.IDENTIFIER:
+            table_alias = self.advance().text
+
+        joins: list[JoinClause] = []
+        while self.current.is_keyword("JOIN") or self.current.is_keyword("INNER"):
+            if self.current.is_keyword("INNER"):
+                self.advance()
+            self.expect_keyword("JOIN")
+            join_table = self.advance()
+            if join_table.type is not TokenType.IDENTIFIER:
+                raise SqlSyntaxError(
+                    f"expected table name, found {join_table.text!r}",
+                    join_table.position,
+                )
+            join_alias = None
+            if self.current.type is TokenType.IDENTIFIER:
+                join_alias = self.advance().text
+            self.expect_keyword("ON")
+            joins.append(
+                JoinClause(
+                    table=join_table.text, alias=join_alias, on=self._expression()
+                )
+            )
+
+        where = None
+        if self.current.is_keyword("WHERE"):
+            self.advance()
+            where = self._expression()
+
+        group_by: list[Expression] = []
+        if self.current.is_keyword("GROUP"):
+            self.advance()
+            self.expect_keyword("BY")
+            group_by.append(self._expression())
+            while self.current.is_operator(","):
+                self.advance()
+                group_by.append(self._expression())
+
+        having = None
+        if self.current.is_keyword("HAVING"):
+            if not group_by:
+                raise SqlSyntaxError(
+                    "HAVING requires GROUP BY", self.current.position
+                )
+            self.advance()
+            having = self._expression()
+
+        order_by: list[OrderItem] = []
+        if self.current.is_keyword("ORDER"):
+            self.advance()
+            self.expect_keyword("BY")
+            order_by.append(self._order_item())
+            while self.current.is_operator(","):
+                self.advance()
+                order_by.append(self._order_item())
+
+        limit = None
+        if self.current.is_keyword("LIMIT"):
+            self.advance()
+            number = self.advance()
+            if number.type is not TokenType.NUMBER or "." in number.text:
+                raise SqlSyntaxError(
+                    f"LIMIT requires an integer, found {number.text!r}",
+                    number.position,
+                )
+            limit = int(number.text)
+
+        if self.current.type is not TokenType.EOF:
+            raise SqlSyntaxError(
+                f"unexpected trailing input {self.current.text!r}",
+                self.current.position,
+            )
+        return SelectStatement(
+            items=tuple(items),
+            table=table_token.text,
+            table_alias=table_alias,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _select_item(self) -> SelectItem:
+        expr = self._expression()
+        alias = None
+        if self.current.is_keyword("AS"):
+            self.advance()
+            alias_token = self.advance()
+            if alias_token.type is not TokenType.IDENTIFIER:
+                raise SqlSyntaxError(
+                    f"expected alias, found {alias_token.text!r}",
+                    alias_token.position,
+                )
+            alias = alias_token.text
+        elif self.current.type is TokenType.IDENTIFIER:
+            # Bare alias: SELECT expr name
+            alias = self.advance().text
+        return SelectItem(expression=expr, alias=alias)
+
+    def _order_item(self) -> OrderItem:
+        expr = self._expression()
+        ascending = True
+        if self.current.is_keyword("ASC"):
+            self.advance()
+        elif self.current.is_keyword("DESC"):
+            self.advance()
+            ascending = False
+        return OrderItem(expression=expr, ascending=ascending)
+
+    # Expressions ------------------------------------------------------
+
+    def _expression(self) -> Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expression:
+        left = self._and_expr()
+        while self.current.is_keyword("OR"):
+            self.advance()
+            left = BinaryOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expression:
+        left = self._not_expr()
+        while self.current.is_keyword("AND"):
+            self.advance()
+            left = BinaryOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expression:
+        if self.current.is_keyword("NOT"):
+            self.advance()
+            return UnaryOp("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expression:
+        left = self._additive()
+        negated = False
+        if self.current.is_keyword("NOT"):
+            # Only consumed when a BETWEEN/IN follows (x NOT BETWEEN ...).
+            lookahead = self.tokens[self.pos + 1]
+            if lookahead.is_keyword("BETWEEN") or lookahead.is_keyword("IN"):
+                self.advance()
+                negated = True
+        if self.current.is_keyword("BETWEEN"):
+            # Desugar: x BETWEEN lo AND hi -> x >= lo AND x <= hi.
+            self.advance()
+            lo = self._additive()
+            self.expect_keyword("AND")
+            hi = self._additive()
+            expr = BinaryOp(
+                "and", BinaryOp(">=", left, lo), BinaryOp("<=", left, hi)
+            )
+            return UnaryOp("not", expr) if negated else expr
+        if self.current.is_keyword("IN"):
+            # Desugar: x IN (a, b) -> x = a OR x = b.
+            self.advance()
+            self.expect_operator("(")
+            values = [self._expression()]
+            while self.current.is_operator(","):
+                self.advance()
+                values.append(self._expression())
+            self.expect_operator(")")
+            expr = BinaryOp("=", left, values[0])
+            for v in values[1:]:
+                expr = BinaryOp("or", expr, BinaryOp("=", left, v))
+            return UnaryOp("not", expr) if negated else expr
+        if negated:  # pragma: no cover - lookahead guarantees BETWEEN/IN
+            raise SqlSyntaxError("dangling NOT", self.current.position)
+        if self.current.type is TokenType.OPERATOR and self.current.text in _COMPARISONS:
+            op = self.advance().text
+            if op == "<>":
+                op = "!="
+            return BinaryOp(op, left, self._additive())
+        return left
+
+    def _additive(self) -> Expression:
+        left = self._multiplicative()
+        while self.current.type is TokenType.OPERATOR and self.current.text in ("+", "-"):
+            op = self.advance().text
+            left = BinaryOp(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> Expression:
+        left = self._unary()
+        while self.current.type is TokenType.OPERATOR and self.current.text in ("*", "/", "%"):
+            op = self.advance().text
+            left = BinaryOp(op, left, self._unary())
+        return left
+
+    def _unary(self) -> Expression:
+        if self.current.is_operator("-"):
+            self.advance()
+            return UnaryOp("-", self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expression:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            text = token.text
+            if "." in text or "e" in text or "E" in text:
+                return Literal(float(text))
+            return Literal(int(text))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.text)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return Literal(None)
+        if token.is_operator("("):
+            self.advance()
+            expr = self._expression()
+            self.expect_operator(")")
+            return expr
+        if token.is_operator("*"):
+            self.advance()
+            return Star()
+        if token.type is TokenType.IDENTIFIER:
+            self.advance()
+            if self.current.is_operator("."):
+                self.advance()
+                column = self.advance()
+                if column.type is not TokenType.IDENTIFIER:
+                    raise SqlSyntaxError(
+                        f"expected column after '.', found {column.text!r}",
+                        column.position,
+                    )
+                return ColumnRef(f"{token.text}.{column.text}")
+            if self.current.is_operator("("):
+                self.advance()
+                args: list[Expression] = []
+                if self.current.is_operator(")"):
+                    self.advance()
+                else:
+                    if self.current.is_operator("*"):
+                        self.advance()
+                        args.append(Star())
+                    else:
+                        args.append(self._expression())
+                    while self.current.is_operator(","):
+                        self.advance()
+                        args.append(self._expression())
+                    self.expect_operator(")")
+                return FunctionCall(token.text.lower(), tuple(args))
+            return ColumnRef(token.text)
+        raise SqlSyntaxError(
+            f"unexpected token {token.text!r}", token.position
+        )
+
+
+def parse_select(text: str) -> SelectStatement:
+    """Parse one SELECT statement; raises :class:`SqlSyntaxError` on errors."""
+    return _Parser(text).parse_select()

@@ -1,0 +1,30 @@
+"""Hourly time-series substrate: calendar math, series types, data quality.
+
+This subpackage contains everything the benchmark needs to represent a year
+of hourly smart-meter readings: the hourly calendar (8760 points), the
+consumption/temperature series containers, missing-data handling and the SAX
+symbolic representation extension.
+"""
+
+from repro.timeseries.calendar import (
+    DAYS_PER_YEAR,
+    HOURS_PER_DAY,
+    HOURS_PER_YEAR,
+    day_index,
+    hour_of_day,
+    hour_of_year,
+    hours_grid,
+)
+from repro.timeseries.series import ConsumerSeries, Dataset
+
+__all__ = [
+    "DAYS_PER_YEAR",
+    "HOURS_PER_DAY",
+    "HOURS_PER_YEAR",
+    "ConsumerSeries",
+    "Dataset",
+    "day_index",
+    "hour_of_day",
+    "hour_of_year",
+    "hours_grid",
+]

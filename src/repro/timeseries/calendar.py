@@ -1,0 +1,51 @@
+"""Calendar arithmetic for one benchmark year of hourly readings.
+
+The benchmark (paper, Section 3) fixes the input unit to *one year of hourly
+measurements*: 365 x 24 = 8760 points per consumer.  All series in this
+package are indexed by *hour of year* ``t`` in ``[0, 8760)``; these helpers
+convert between that index, the day index and the hour of day.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+HOURS_PER_DAY = 24
+DAYS_PER_YEAR = 365
+HOURS_PER_YEAR = HOURS_PER_DAY * DAYS_PER_YEAR  # 8760, as in the paper
+
+
+def hour_of_day(t: int | np.ndarray) -> int | np.ndarray:
+    """Return the hour of day ``[0, 24)`` for hour-of-year index ``t``."""
+    return t % HOURS_PER_DAY
+
+
+def day_index(t: int | np.ndarray) -> int | np.ndarray:
+    """Return the day index ``[0, 365)`` for hour-of-year index ``t``."""
+    return t // HOURS_PER_DAY
+
+
+def hour_of_year(day: int | np.ndarray, hour: int | np.ndarray) -> int | np.ndarray:
+    """Return the hour-of-year index for ``(day, hour-of-day)``."""
+    return day * HOURS_PER_DAY + hour
+
+
+def hours_grid(n_hours: int = HOURS_PER_YEAR) -> np.ndarray:
+    """Return ``arange(n_hours)`` — the canonical time axis."""
+    return np.arange(n_hours, dtype=np.int64)
+
+
+def day_hour_matrix(values: np.ndarray) -> np.ndarray:
+    """Reshape a flat hourly series into a ``(days, 24)`` matrix.
+
+    The series length must be a multiple of 24.  This is the layout used by
+    the PAR algorithm, which groups readings by hour of day.
+    """
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValueError(f"expected a 1-D series, got shape {values.shape}")
+    if values.shape[0] % HOURS_PER_DAY != 0:
+        raise ValueError(
+            f"series length {values.shape[0]} is not a whole number of days"
+        )
+    return values.reshape(-1, HOURS_PER_DAY)

@@ -1,0 +1,177 @@
+"""Series and dataset containers.
+
+The benchmark input (paper, Section 3) is ``n`` consumption time series, one
+per consumer, each accompanied by an external temperature series of the same
+length.  :class:`ConsumerSeries` holds one consumer; :class:`Dataset` holds
+the whole input as dense matrices so that vectorized engines can work on it
+directly while file-based engines serialize it through :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.timeseries.calendar import HOURS_PER_DAY
+
+
+def _as_float_vector(values: Sequence[float] | np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise DataError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise DataError(f"{name} must be non-empty")
+    return arr
+
+
+@dataclass(frozen=True)
+class ConsumerSeries:
+    """One consumer: an id, hourly consumption (kWh) and hourly temperature.
+
+    Both series must have the same length.  Consumption may contain NaN for
+    missing readings (see :mod:`repro.timeseries.quality`); the analytics
+    algorithms require NaN-free input and will reject it otherwise.
+    """
+
+    consumer_id: str
+    consumption: np.ndarray
+    temperature: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "consumption", _as_float_vector(self.consumption, "consumption")
+        )
+        object.__setattr__(
+            self, "temperature", _as_float_vector(self.temperature, "temperature")
+        )
+        if self.consumption.shape != self.temperature.shape:
+            raise DataError(
+                "consumption and temperature lengths differ: "
+                f"{self.consumption.shape[0]} vs {self.temperature.shape[0]}"
+            )
+        self.consumption.flags.writeable = False
+        self.temperature.flags.writeable = False
+
+    @property
+    def n_hours(self) -> int:
+        """Number of hourly readings in the series."""
+        return int(self.consumption.shape[0])
+
+    @property
+    def n_days(self) -> int:
+        """Number of whole days covered by the series."""
+        return self.n_hours // HOURS_PER_DAY
+
+    def has_missing(self) -> bool:
+        """Return True if any consumption reading is NaN."""
+        return bool(np.isnan(self.consumption).any())
+
+
+@dataclass
+class Dataset:
+    """A benchmark input: ``n`` consumers with aligned hourly series.
+
+    Internally stored as two ``(n, n_hours)`` float64 matrices plus the list
+    of consumer ids, which is the layout the reference (numpy) kernels use.
+    """
+
+    consumer_ids: list[str]
+    consumption: np.ndarray
+    temperature: np.ndarray
+    name: str = "dataset"
+    _id_index: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.consumption = np.asarray(self.consumption, dtype=np.float64)
+        self.temperature = np.asarray(self.temperature, dtype=np.float64)
+        if self.consumption.ndim != 2:
+            raise DataError(
+                f"consumption must be (n, hours), got shape {self.consumption.shape}"
+            )
+        if self.consumption.shape != self.temperature.shape:
+            raise DataError(
+                "consumption and temperature shapes differ: "
+                f"{self.consumption.shape} vs {self.temperature.shape}"
+            )
+        if len(self.consumer_ids) != self.consumption.shape[0]:
+            raise DataError(
+                f"{len(self.consumer_ids)} ids but "
+                f"{self.consumption.shape[0]} consumption rows"
+            )
+        self._id_index = {cid: i for i, cid in enumerate(self.consumer_ids)}
+        if len(self._id_index) != len(self.consumer_ids):
+            raise DataError("consumer ids must be unique")
+
+    @classmethod
+    def from_consumers(
+        cls, consumers: Sequence[ConsumerSeries], name: str = "dataset"
+    ) -> "Dataset":
+        """Build a dataset from individual consumer series of equal length."""
+        if not consumers:
+            raise DataError("cannot build a dataset from zero consumers")
+        lengths = {c.n_hours for c in consumers}
+        if len(lengths) != 1:
+            raise DataError(f"consumers have differing lengths: {sorted(lengths)}")
+        return cls(
+            consumer_ids=[c.consumer_id for c in consumers],
+            consumption=np.stack([c.consumption for c in consumers]),
+            temperature=np.stack([c.temperature for c in consumers]),
+            name=name,
+        )
+
+    @property
+    def n_consumers(self) -> int:
+        """Number of consumers (time series) in the dataset."""
+        return int(self.consumption.shape[0])
+
+    @property
+    def n_hours(self) -> int:
+        """Number of hourly readings per consumer."""
+        return int(self.consumption.shape[1])
+
+    def consumer(self, consumer_id: str) -> ConsumerSeries:
+        """Return a single consumer's series by id."""
+        try:
+            row = self._id_index[consumer_id]
+        except KeyError:
+            raise DataError(f"unknown consumer id: {consumer_id!r}") from None
+        return ConsumerSeries(
+            consumer_id=consumer_id,
+            consumption=self.consumption[row].copy(),
+            temperature=self.temperature[row].copy(),
+        )
+
+    def __iter__(self) -> Iterator[ConsumerSeries]:
+        for i, cid in enumerate(self.consumer_ids):
+            yield ConsumerSeries(
+                consumer_id=cid,
+                consumption=self.consumption[i].copy(),
+                temperature=self.temperature[i].copy(),
+            )
+
+    def __len__(self) -> int:
+        return self.n_consumers
+
+    def subset(self, n: int, name: str | None = None) -> "Dataset":
+        """Return a dataset with the first ``n`` consumers (for size sweeps)."""
+        if not 0 < n <= self.n_consumers:
+            raise DataError(
+                f"subset size {n} out of range 1..{self.n_consumers}"
+            )
+        return Dataset(
+            consumer_ids=self.consumer_ids[:n],
+            consumption=self.consumption[:n],
+            temperature=self.temperature[:n],
+            name=name or f"{self.name}[:{n}]",
+        )
+
+    def approx_csv_bytes(self) -> int:
+        """Approximate size of this dataset serialized as reading-per-row CSV.
+
+        Used to express benchmark x-axes in the paper's GB units; one row is
+        roughly ``id,timestamp,consumption,temperature`` ~ 36 bytes.
+        """
+        return self.n_consumers * self.n_hours * 36

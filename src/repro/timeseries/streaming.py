@@ -1,0 +1,281 @@
+"""Streaming (one-pass) statistics for meter data.
+
+The paper's future work (Section 6) calls for "real-time applications using
+high-frequency smart meters ... using data stream processing technologies".
+These are the building blocks such a deployment needs — each processes one
+reading at a time in O(1) memory:
+
+* :class:`OnlineStats` — Welford mean/variance;
+* :class:`P2Quantile` — the P-squared streaming quantile estimator
+  (Jain & Chlamtac), for percentile alerts without storing readings;
+* :class:`StreamingHistogram` — the Ben-Haim & Tom-Tov merging histogram,
+  which is what Hive's built-in ``histogram_numeric`` implements, so this
+  doubles as the approximate counterpart of benchmark Task 1;
+* :class:`OnlineHourlyProfile` — exponentially weighted per-hour-of-day
+  consumption profile, the streaming counterpart of the PAR daily profile.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.timeseries.calendar import HOURS_PER_DAY
+
+
+class OnlineStats:
+    """Streaming count/mean/variance (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, value: float) -> None:
+        """Fold one observation in."""
+        self.n += 1
+        delta = value - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self) -> float:
+        """Running mean (0.0 before any data)."""
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (requires n >= 2)."""
+        if self.n < 2:
+            raise DataError("variance needs at least two observations")
+        return self._m2 / (self.n - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Combine two independent accumulators (parallel streams)."""
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n, self._mean, self._m2 = other.n, other._mean, other._m2
+            return self
+        total = self.n + other.n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.n * other.n / total
+        self._mean += delta * other.n / total
+        self.n = total
+        return self
+
+
+class P2Quantile:
+    """The P-squared algorithm: streaming estimation of one quantile.
+
+    Keeps five markers whose positions are adjusted with parabolic
+    interpolation; memory is O(1) regardless of stream length.
+    """
+
+    def __init__(self, quantile: float) -> None:
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+        self.quantile = quantile
+        self._initial: list[float] = []
+        self._heights: list[float] = []
+        self._positions: list[float] = []
+        self._desired: list[float] = []
+        self._increments: list[float] = []
+        self.n = 0
+
+    def update(self, value: float) -> None:
+        """Fold one observation in."""
+        self.n += 1
+        if len(self._initial) < 5:
+            bisect.insort(self._initial, value)
+            if len(self._initial) == 5:
+                q = self.quantile
+                self._heights = list(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [1.0, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5.0]
+                self._increments = [0.0, q / 2, q, (1 + q) / 2, 1.0]
+            return
+        h = self._heights
+        pos = self._positions
+        if value < h[0]:
+            h[0] = value
+            cell = 0
+        elif value >= h[4]:
+            h[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= h[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            pos[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # Adjust interior markers.
+        for i in range(1, 4):
+            d = self._desired[i] - pos[i]
+            if (d >= 1.0 and pos[i + 1] - pos[i] > 1.0) or (
+                d <= -1.0 and pos[i - 1] - pos[i] < -1.0
+            ):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:  # fall back to linear interpolation
+                    j = i + int(step)
+                    h[i] += step * (h[j] - h[i]) / (pos[j] - pos[i])
+                pos[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, pos = self._heights, self._positions
+        return h[i] + step / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + step) * (h[i + 1] - h[i]) / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - step) * (h[i] - h[i - 1]) / (pos[i] - pos[i - 1])
+        )
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate."""
+        if self.n == 0:
+            raise DataError("no observations yet")
+        if len(self._initial) < 5:
+            data = self._initial
+            rank = self.quantile * (len(data) - 1)
+            lo = int(rank)
+            hi = min(lo + 1, len(data) - 1)
+            frac = rank - lo
+            return data[lo] * (1 - frac) + data[hi] * frac
+        return self._heights[2]
+
+
+@dataclass(frozen=True)
+class _Centroid:
+    position: float
+    count: float
+
+
+class StreamingHistogram:
+    """Ben-Haim & Tom-Tov merging histogram (Hive's ``histogram_numeric``).
+
+    Maintains at most ``max_bins`` (position, count) centroids; inserting a
+    value adds a unit centroid and merges the two closest.  Supports
+    merging with other sketches (for distributed streams) and querying the
+    approximate count below a threshold.
+    """
+
+    def __init__(self, max_bins: int = 32) -> None:
+        if max_bins < 2:
+            raise ValueError(f"max_bins must be >= 2, got {max_bins}")
+        self.max_bins = max_bins
+        self._bins: list[_Centroid] = []
+        self.n = 0
+
+    def update(self, value: float) -> None:
+        """Fold one observation in."""
+        self.n += 1
+        positions = [b.position for b in self._bins]
+        idx = bisect.bisect_left(positions, value)
+        if idx < len(self._bins) and self._bins[idx].position == value:
+            old = self._bins[idx]
+            self._bins[idx] = _Centroid(old.position, old.count + 1)
+        else:
+            self._bins.insert(idx, _Centroid(value, 1.0))
+            self._shrink()
+
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Absorb another sketch."""
+        for b in other._bins:
+            positions = [c.position for c in self._bins]
+            idx = bisect.bisect_left(positions, b.position)
+            self._bins.insert(idx, b)
+        self.n += other.n
+        self._shrink()
+        return self
+
+    def _shrink(self) -> None:
+        while len(self._bins) > self.max_bins:
+            gaps = [
+                self._bins[i + 1].position - self._bins[i].position
+                for i in range(len(self._bins) - 1)
+            ]
+            i = int(np.argmin(gaps))
+            a, b = self._bins[i], self._bins[i + 1]
+            total = a.count + b.count
+            merged = _Centroid(
+                (a.position * a.count + b.position * b.count) / total, total
+            )
+            self._bins[i : i + 2] = [merged]
+
+    @property
+    def bins(self) -> list[tuple[float, float]]:
+        """Current (position, count) centroids in position order."""
+        return [(b.position, b.count) for b in self._bins]
+
+    def count_below(self, threshold: float) -> float:
+        """Approximate number of observations <= ``threshold``.
+
+        The standard Ben-Haim & Tom-Tov *sum* procedure: full counts for
+        centroids well below the threshold, half of the straddling
+        centroid, and trapezoidal interpolation between the straddling
+        pair.
+        """
+        if not self._bins:
+            return 0.0
+        if threshold < self._bins[0].position:
+            return 0.0
+        if threshold >= self._bins[-1].position:
+            return float(self.n)
+        # Find i with position_i <= threshold < position_{i+1}.
+        positions = [b.position for b in self._bins]
+        i = bisect.bisect_right(positions, threshold) - 1
+        left, right = self._bins[i], self._bins[i + 1]
+        span = right.position - left.position
+        frac = (threshold - left.position) / span if span > 0 else 0.0
+        mb = left.count + (right.count - left.count) * frac
+        total = sum(b.count for b in self._bins[:i])
+        total += left.count / 2.0
+        total += (left.count + mb) * frac / 2.0
+        return float(total)
+
+
+class OnlineHourlyProfile:
+    """Exponentially weighted per-hour-of-day profile (streaming PAR-lite).
+
+    Feed readings in time order; ``profile`` converges to the recent
+    typical consumption per hour of day, discounting the past with rate
+    ``alpha`` per observation of that hour.
+    """
+
+    def __init__(self, alpha: float = 0.05) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._profile = np.zeros(HOURS_PER_DAY)
+        self._seen = np.zeros(HOURS_PER_DAY, dtype=np.int64)
+
+    def update(self, t: int, value: float) -> None:
+        """Fold in the reading at hour-of-year index ``t``."""
+        hour = t % HOURS_PER_DAY
+        if self._seen[hour] == 0:
+            self._profile[hour] = value
+        else:
+            self._profile[hour] += self.alpha * (value - self._profile[hour])
+        self._seen[hour] += 1
+
+    @property
+    def profile(self) -> np.ndarray:
+        """Current 24-value profile (copies)."""
+        return self._profile.copy()
+
+    def is_warm(self, min_days: int = 7) -> bool:
+        """True once every hour of day has at least ``min_days`` samples."""
+        return bool((self._seen >= min_days).all())

@@ -1,0 +1,112 @@
+"""Tests for the streaming anomaly detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.weather import make_temperature_series
+from repro.exceptions import DataError
+from repro.timeseries.anomaly import Alert, DetectorConfig, MeterAnomalyDetector
+from repro.timeseries.calendar import HOURS_PER_DAY
+
+
+def _steady_feed(days=60, seed=0):
+    rng = np.random.default_rng(seed)
+    n = days * HOURS_PER_DAY
+    hours = np.arange(n) % HOURS_PER_DAY
+    consumption = 0.8 + 0.4 * np.sin(2 * np.pi * (hours - 18) / 24)
+    consumption = consumption + rng.normal(0, 0.03, n)
+    temperature = make_temperature_series(n, seed=seed + 1)
+    # Compensate heating so the expected-value correction has signal.
+    consumption = consumption + 0.05 * np.maximum(0.0, 15.0 - temperature)
+    return consumption, temperature
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(alpha=0.0)
+        with pytest.raises(ValueError):
+            DetectorConfig(z_threshold=0.0)
+        with pytest.raises(ValueError):
+            DetectorConfig(min_std=0.0)
+        with pytest.raises(ValueError):
+            DetectorConfig(outlier_discount=0.5)
+
+
+class TestDetector:
+    def test_quiet_on_normal_data(self):
+        consumption, temperature = _steady_feed()
+        detector = MeterAnomalyDetector()
+        alerts = detector.scan(consumption, temperature)
+        # A well-behaved feed may produce a handful of weather-edge alerts
+        # but must not page constantly.
+        assert len(alerts) < consumption.size * 0.005
+
+    def test_detects_stuck_meter(self):
+        consumption, temperature = _steady_feed()
+        consumption = consumption.copy()
+        start = 40 * HOURS_PER_DAY
+        consumption[start : start + 6] = 0.0
+        alerts = MeterAnomalyDetector().scan(consumption, temperature)
+        hit = {a.t for a in alerts if start <= a.t < start + 6}
+        assert len(hit) == 6
+        assert all(a.kind == "drop" for a in alerts if a.t in hit)
+
+    def test_detects_runaway_load(self):
+        consumption, temperature = _steady_feed()
+        consumption = consumption.copy()
+        start = 45 * HOURS_PER_DAY + 12
+        consumption[start : start + 4] *= 6.0
+        alerts = MeterAnomalyDetector().scan(consumption, temperature)
+        hit = [a for a in alerts if start <= a.t < start + 4]
+        assert len(hit) == 4
+        assert all(a.kind == "spike" for a in hit)
+
+    def test_no_alerts_during_warmup(self):
+        consumption, temperature = _steady_feed(days=10)
+        consumption = consumption.copy()
+        consumption[24] = 50.0  # wild outlier inside the warm-up window
+        detector = MeterAnomalyDetector(DetectorConfig(warmup_days=14))
+        alerts = detector.scan(consumption, temperature)
+        assert alerts == []
+        assert not detector.is_warm
+
+    def test_outage_does_not_teach_zero_is_normal(self):
+        consumption, temperature = _steady_feed(days=90)
+        consumption = consumption.copy()
+        start = 40 * HOURS_PER_DAY
+        consumption[start : start + 48] = 0.0  # two-day outage
+        detector = MeterAnomalyDetector()
+        detector.scan(consumption[: start + 48], temperature[: start + 48])
+        # Right after the outage, the model still expects normal levels.
+        hour = (start + 48) % HOURS_PER_DAY
+        assert detector.expected(hour, 18.0) > 0.3
+
+    def test_cold_weather_raises_expectation(self):
+        detector = MeterAnomalyDetector()
+        consumption, temperature = _steady_feed(days=30)
+        detector.scan(consumption, temperature)
+        assert detector.expected(12, -15.0) > detector.expected(12, 20.0) + 1.0
+
+    def test_alert_fields(self):
+        consumption, temperature = _steady_feed()
+        consumption = consumption.copy()
+        t_anomaly = 50 * HOURS_PER_DAY
+        consumption[t_anomaly] = 40.0
+        alerts = MeterAnomalyDetector().scan(consumption, temperature)
+        (alert,) = [a for a in alerts if a.t == t_anomaly]
+        assert isinstance(alert, Alert)
+        assert alert.kwh == 40.0
+        assert alert.z_score > 5.0
+        assert alert.expected < 10.0
+
+    def test_invalid_inputs(self):
+        detector = MeterAnomalyDetector()
+        with pytest.raises(DataError, match="non-finite"):
+            detector.observe(0, float("nan"), 10.0)
+        with pytest.raises(DataError, match="hour"):
+            detector.expected(24, 10.0)
+        with pytest.raises(DataError):
+            detector.scan(np.ones(5), np.ones(6))

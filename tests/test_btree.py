@@ -1,0 +1,122 @@
+"""Unit and property tests for the B-tree index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import IndexError_
+from repro.relational.btree import BTreeIndex
+
+
+def _tree_with(keys, order=4):
+    tree = BTreeIndex("t", order=order)
+    for i, key in enumerate(keys):
+        tree.insert(key, (0, i))
+    return tree
+
+
+class TestBTreeBasics:
+    def test_insert_and_search(self):
+        tree = _tree_with(["b", "a", "c"])
+        assert tree.search("a") == [(0, 1)]
+        assert tree.search("b") == [(0, 0)]
+        assert tree.search("missing") == []
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BTreeIndex("t")
+        tree.insert("x", (0, 1))
+        tree.insert("x", (0, 2))
+        assert tree.search("x") == [(0, 1), (0, 2)]
+        assert len(tree) == 1
+        assert tree.n_entries == 2
+
+    def test_null_key_rejected(self):
+        with pytest.raises(IndexError_, match="NULL"):
+            BTreeIndex("t").insert(None, (0, 0))
+
+    def test_order_bound(self):
+        with pytest.raises(ValueError):
+            BTreeIndex("t", order=2)
+
+    def test_splits_grow_height(self):
+        tree = _tree_with(range(100), order=4)
+        assert tree.height() > 1
+        tree.check_invariants()
+        for k in range(100):
+            assert tree.search(k), k
+
+    def test_range_scan_sorted(self):
+        rng = np.random.default_rng(0)
+        keys = rng.permutation(200).tolist()
+        tree = _tree_with(keys, order=8)
+        scanned = [k for k, _ in tree.range(25, 150)]
+        assert scanned == list(range(25, 151))
+
+    def test_range_open_bounds(self):
+        tree = _tree_with(range(20), order=4)
+        assert [k for k, _ in tree.range()] == list(range(20))
+        assert [k for k, _ in tree.range(lo=15)] == list(range(15, 20))
+        assert [k for k, _ in tree.range(hi=4)] == list(range(5))
+
+    def test_range_empty_when_lo_above_hi(self):
+        tree = _tree_with(range(10))
+        assert list(tree.range(5, 2)) == []
+
+    def test_delete_tombstones(self):
+        tree = BTreeIndex("t")
+        tree.insert("a", (0, 0))
+        tree.insert("a", (0, 1))
+        tree.delete("a", (0, 0))
+        assert tree.search("a") == [(0, 1)]
+
+    def test_fully_deleted_key_disappears_from_range(self):
+        tree = _tree_with(["a", "b", "c"])
+        tree.delete("b", (0, 1))
+        assert [k for k, _ in tree.items()] == ["a", "c"]
+
+    def test_rebuild_compacts(self):
+        tree = _tree_with(range(50), order=4)
+        for k in range(0, 50, 2):
+            tree.delete(k, (0, k))
+        tree.rebuild()
+        assert len(tree) == 25
+        assert [k for k, _ in tree.items()] == list(range(1, 50, 2))
+        tree.check_invariants()
+
+
+class TestBTreeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), max_size=300), st.sampled_from([4, 8, 64]))
+    def test_matches_dict_reference(self, keys, order):
+        """The B-tree agrees with a dict-of-lists reference model."""
+        tree = BTreeIndex("t", order=order)
+        reference: dict[int, list] = {}
+        for i, key in enumerate(keys):
+            tree.insert(key, (0, i))
+            reference.setdefault(key, []).append((0, i))
+        tree.check_invariants()
+        for key in set(keys):
+            assert tree.search(key) == reference[key]
+        assert [k for k, _ in tree.items()] == sorted(reference)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 100), min_size=1, max_size=150),
+        st.integers(-10, 110),
+        st.integers(-10, 110),
+    )
+    def test_range_scan_matches_filter(self, keys, lo, hi):
+        tree = _tree_with(keys, order=8)
+        got = [k for k, _ in tree.range(lo, hi)]
+        expected = sorted({k for k in keys if lo <= k <= hi})
+        assert got == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.text(min_size=1, max_size=5), max_size=100))
+    def test_string_keys(self, keys):
+        tree = _tree_with(keys, order=8)
+        tree.check_invariants()
+        assert [k for k, _ in tree.items()] == sorted(set(keys))

@@ -1,0 +1,60 @@
+"""Unit tests for the hourly calendar helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.timeseries import calendar
+
+
+def test_constants_match_paper():
+    # The paper fixes one year of hourly data: 365 * 24 = 8760 points.
+    assert calendar.HOURS_PER_YEAR == 8760
+    assert calendar.HOURS_PER_DAY == 24
+    assert calendar.DAYS_PER_YEAR == 365
+
+
+def test_hour_of_day_scalar_and_array():
+    assert calendar.hour_of_day(0) == 0
+    assert calendar.hour_of_day(25) == 1
+    np.testing.assert_array_equal(
+        calendar.hour_of_day(np.array([0, 23, 24, 47])), [0, 23, 0, 23]
+    )
+
+
+def test_day_index():
+    assert calendar.day_index(0) == 0
+    assert calendar.day_index(23) == 0
+    assert calendar.day_index(24) == 1
+    assert calendar.day_index(8759) == 364
+
+
+def test_hour_of_year_roundtrip():
+    t = np.arange(8760)
+    recon = calendar.hour_of_year(calendar.day_index(t), calendar.hour_of_day(t))
+    np.testing.assert_array_equal(recon, t)
+
+
+def test_hours_grid():
+    grid = calendar.hours_grid(48)
+    assert grid.shape == (48,)
+    assert grid[0] == 0 and grid[-1] == 47
+
+
+def test_day_hour_matrix_shape():
+    values = np.arange(72, dtype=float)
+    m = calendar.day_hour_matrix(values)
+    assert m.shape == (3, 24)
+    assert m[1, 0] == 24.0
+    assert m[2, 23] == 71.0
+
+
+def test_day_hour_matrix_rejects_partial_days():
+    with pytest.raises(ValueError, match="whole number of days"):
+        calendar.day_hour_matrix(np.arange(25, dtype=float))
+
+
+def test_day_hour_matrix_rejects_2d():
+    with pytest.raises(ValueError, match="1-D"):
+        calendar.day_hour_matrix(np.zeros((2, 24)))

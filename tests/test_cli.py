@@ -1,0 +1,113 @@
+"""Tests for the smartbench and smartmeter-datagen command-line tools."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import cli as smartbench
+from repro.harness import datagen_cli
+from repro.io.csvio import read_partitioned, read_unpartitioned
+from repro.io.issda import read_cer_file
+
+
+class TestSmartbenchCli:
+    def test_list(self, capsys):
+        assert smartbench.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "table1" in out
+
+    def test_no_arguments_is_usage_error(self, capsys):
+        assert smartbench.main([]) == 2
+        assert "nothing to do" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self, capsys):
+        assert smartbench.main(["--figure", "fig999"]) == 2
+        assert "unknown figure ids" in capsys.readouterr().err
+
+    def test_run_one_figure_with_csv(self, capsys, tmp_path):
+        assert smartbench.main(["--figure", "table1", "--csv", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Statistical functions" in out
+        assert (tmp_path / "table1.csv").exists()
+
+
+class TestDatagenCli:
+    def test_partitioned_output(self, tmp_path, capsys):
+        code = datagen_cli.main(
+            [
+                "--consumers", "6", "--days", "20",
+                "--out", str(tmp_path), "--layout", "partitioned",
+                "--seed-consumers", "8", "--clusters", "3",
+            ]
+        )
+        assert code == 0
+        data = read_partitioned(tmp_path)
+        assert data.n_consumers == 6
+        assert data.n_hours == 20 * 24
+
+    def test_unpartitioned_output(self, tmp_path):
+        code = datagen_cli.main(
+            [
+                "--consumers", "4", "--days", "15",
+                "--out", str(tmp_path), "--layout", "unpartitioned",
+                "--seed-consumers", "8", "--clusters", "3",
+            ]
+        )
+        assert code == 0
+        data = read_unpartitioned(tmp_path / "readings.csv")
+        assert data.n_consumers == 4
+
+    def test_cer_output(self, tmp_path):
+        code = datagen_cli.main(
+            [
+                "--consumers", "3", "--days", "10",
+                "--out", str(tmp_path), "--layout", "cer",
+                "--seed-consumers", "8", "--clusters", "3",
+            ]
+        )
+        assert code == 0
+        series = read_cer_file(tmp_path / "readings_cer.txt")
+        assert len(series) == 3
+        assert next(iter(series.values())).size == 240
+
+    def test_seed_csv_input(self, tmp_path):
+        # Generate a seed, write it, then use it as the --seed-csv input.
+        assert datagen_cli.main(
+            [
+                "--consumers", "5", "--days", "12",
+                "--out", str(tmp_path / "stage1"), "--layout", "unpartitioned",
+                "--seed-consumers", "8", "--clusters", "3",
+            ]
+        ) == 0
+        code = datagen_cli.main(
+            [
+                "--consumers", "7", "--days", "12",
+                "--out", str(tmp_path / "stage2"), "--layout", "partitioned",
+                "--seed-csv", str(tmp_path / "stage1" / "readings.csv"),
+                "--clusters", "3",
+            ]
+        )
+        assert code == 0
+        assert read_partitioned(tmp_path / "stage2").n_consumers == 7
+
+    def test_invalid_arguments(self, capsys):
+        assert datagen_cli.main(
+            ["--consumers", "0", "--out", "x"]
+        ) == 2
+        assert datagen_cli.main(
+            ["--consumers", "3", "--days", "2", "--out", "x"]
+        ) == 2
+
+    def test_deterministic_given_rng_seed(self, tmp_path):
+        for sub in ("a", "b"):
+            datagen_cli.main(
+                [
+                    "--consumers", "3", "--days", "10",
+                    "--out", str(tmp_path / sub), "--layout", "unpartitioned",
+                    "--seed-consumers", "8", "--clusters", "3",
+                    "--rng-seed", "42",
+                ]
+            )
+        a = (tmp_path / "a" / "readings.csv").read_text()
+        b = (tmp_path / "b" / "readings.csv").read_text()
+        assert a == b

@@ -1,0 +1,263 @@
+"""Unit and integration tests for the simulated cluster substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.costmodel import CostModel, schedule
+from repro.cluster.dfs import SimDFS, input_splits
+from repro.cluster.job import JobRunner, MapReduceJob, estimate_bytes, stable_hash
+from repro.cluster.topology import ClusterSpec
+from repro.exceptions import DfsError, JobError
+
+
+@pytest.fixture()
+def spec():
+    return ClusterSpec(n_workers=4, cores_per_worker=2)
+
+
+@pytest.fixture()
+def dfs(spec):
+    return SimDFS(spec, block_size=200, replication=2, seed=1)
+
+
+class TestClusterSpec:
+    def test_defaults_match_paper(self):
+        spec = ClusterSpec()
+        assert spec.n_workers == 16
+        assert spec.cores_per_worker == 12
+        assert spec.total_slots == 192
+
+    def test_with_workers(self):
+        assert ClusterSpec().with_workers(4).n_workers == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(n_workers=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(cores_per_worker=0)
+
+
+class TestSimDFS:
+    def test_write_and_read(self, dfs):
+        lines = [f"line {i} with some padding text" for i in range(40)]
+        dfs.write_lines("/data/a.txt", lines)
+        assert dfs.read_file("/data/a.txt") == lines
+        assert dfs.exists("/data/a.txt")
+        assert dfs.file_bytes("/data/a.txt") == sum(len(l) + 1 for l in lines)
+
+    def test_blocks_cover_all_lines(self, dfs):
+        lines = [f"{i:040d}" for i in range(100)]
+        dfs.write_lines("/b.txt", lines)
+        blocks = dfs.file_blocks("/b.txt")
+        assert len(blocks) > 1
+        recon = []
+        for b in blocks:
+            recon.extend(dfs.read_block("/b.txt", b.index))
+        assert recon == lines
+        assert sum(b.n_lines for b in blocks) == 100
+
+    def test_replication_on_distinct_nodes(self, dfs):
+        dfs.write_lines("/c.txt", ["x" * 50] * 20)
+        for block in dfs.file_blocks("/c.txt"):
+            assert len(set(block.nodes)) == len(block.nodes) == 2
+
+    def test_duplicate_write_rejected(self, dfs):
+        dfs.write_lines("/d.txt", ["a"])
+        with pytest.raises(DfsError, match="already exists"):
+            dfs.write_lines("/d.txt", ["b"])
+
+    def test_missing_file_rejected(self, dfs):
+        with pytest.raises(DfsError, match="no file"):
+            dfs.read_file("/nope")
+        with pytest.raises(DfsError):
+            dfs.delete("/nope")
+
+    def test_ls_prefix(self, dfs):
+        dfs.write_lines("/x/1", ["a"])
+        dfs.write_lines("/x/2", ["a"])
+        dfs.write_lines("/y/1", ["a"])
+        assert dfs.ls("/x/") == ["/x/1", "/x/2"]
+
+    def test_empty_file_has_one_block(self, dfs):
+        dfs.write_lines("/empty", [])
+        assert len(dfs.file_blocks("/empty")) == 1
+
+    def test_splits_respect_non_splittable(self, dfs):
+        lines = [f"{i:040d}" for i in range(100)]
+        dfs.write_lines("/split.txt", lines, splittable=True)
+        dfs.write_lines("/whole.txt", lines, splittable=False)
+        s1 = input_splits(dfs, ["/split.txt"])
+        s2 = input_splits(dfs, ["/whole.txt"])
+        assert len(s1) == len(dfs.file_blocks("/split.txt"))
+        assert len(s2) == 1
+        assert s2[0].n_lines == 100
+
+
+class TestScheduler:
+    def test_single_task(self, spec):
+        phase = schedule(spec, [5.0], [7.0], [(0,)])
+        assert phase.makespan_s == 5.0
+        assert phase.tasks[0].local
+
+    def test_parallel_tasks_fill_slots(self, spec):
+        # 8 slots, 8 equal tasks: makespan = one task.
+        phase = schedule(spec, [2.0] * 8, [2.0] * 8, [()] * 8)
+        assert phase.makespan_s == pytest.approx(2.0)
+
+    def test_more_tasks_than_slots_waves(self, spec):
+        phase = schedule(spec, [1.0] * 16, [1.0] * 16, [()] * 16)
+        assert phase.makespan_s == pytest.approx(2.0)
+
+    def test_locality_preferred_when_free(self, spec):
+        # One task preferring node 3, everything free: should run local.
+        phase = schedule(spec, [1.0], [10.0], [(3,)])
+        assert phase.tasks[0].node == 3
+        assert phase.locality_fraction == 1.0
+
+    def test_remote_chosen_when_local_backed_up(self, spec):
+        # Many tasks all preferring node 0: some must spill to other nodes.
+        phase = schedule(spec, [1.0] * 12, [1.2] * 12, [(0,)] * 12)
+        nodes = {t.node for t in phase.tasks}
+        assert len(nodes) > 1
+        assert phase.makespan_s < 6.0  # far better than all-local serialization
+
+    def test_empty_phase(self, spec):
+        assert schedule(spec, [], [], []).makespan_s == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(0.1, 5.0), min_size=1, max_size=40))
+    def test_makespan_bounds_property(self, durations):
+        """Makespan is between max(duration) and serial sum."""
+        spec = ClusterSpec(n_workers=3, cores_per_worker=2)
+        phase = schedule(spec, durations, durations, [()] * len(durations))
+        assert phase.makespan_s >= max(durations) - 1e-9
+        assert phase.makespan_s <= sum(durations) + 1e-9
+        # All slots respected: no more than 6 tasks overlap at any instant.
+        events = sorted(
+            [(t.start_s, 1) for t in phase.tasks] + [(t.end_s, -1) for t in phase.tasks]
+        )
+        load = 0
+        for _, delta in events:
+            load += delta
+            assert load <= spec.total_slots
+
+
+class TestMapReduce:
+    def test_word_count(self, dfs):
+        dfs.write_lines("/wc.txt", ["a b a", "b c", "a"])
+        job = MapReduceJob(
+            name="wordcount",
+            mapper=lambda lines: (
+                (w, 1) for line in lines for w in line.split()
+            ),
+            reducer=lambda key, values: [(key, sum(values))],
+            n_reducers=3,
+        )
+        results, report = JobRunner(dfs).run(job, ["/wc.txt"])
+        assert dict(results) == {"a": 3, "b": 2, "c": 1}
+        assert report.counters.map_input_records == 3
+        assert report.counters.map_output_records == 6
+        assert report.sim_seconds > 0
+
+    def test_combiner_reduces_shuffle(self, dfs):
+        lines = ["k v"] * 500
+        dfs.write_lines("/comb.txt", lines)
+        mapper = lambda ls: (("k", 1) for _ in ls)
+        reducer = lambda key, values: [(key, sum(values))]
+        without = MapReduceJob("no_comb", mapper, reducer)
+        with_comb = MapReduceJob(
+            "comb", mapper, reducer, combiner=lambda k, vs: [(k, sum(vs))]
+        )
+        r1, rep1 = JobRunner(dfs).run(without, ["/comb.txt"])
+        r2, rep2 = JobRunner(dfs).run(with_comb, ["/comb.txt"])
+        assert dict(r1) == dict(r2) == {"k": 500}
+        assert rep2.counters.shuffle_bytes < rep1.counters.shuffle_bytes
+
+    def test_map_only_job(self, dfs):
+        dfs.write_lines("/m.txt", ["1", "2", "3"])
+        job = MapReduceJob(
+            name="square", mapper=lambda ls: ((int(l), int(l) ** 2) for l in ls)
+        )
+        results, report = JobRunner(dfs).run(job, ["/m.txt"])
+        assert sorted(results) == [(1, 1), (2, 4), (3, 9)]
+        assert report.reduce_phase is None
+        assert report.n_reduce_tasks == 0
+
+    def test_mapper_error_wrapped(self, dfs):
+        dfs.write_lines("/e.txt", ["boom"])
+        job = MapReduceJob(
+            name="bad", mapper=lambda ls: (_ for _ in ()).throw(RuntimeError("x"))
+        )
+        with pytest.raises(JobError, match="mapper failed"):
+            JobRunner(dfs).run(job, ["/e.txt"])
+
+    def test_reducer_error_wrapped(self, dfs):
+        dfs.write_lines("/e2.txt", ["a"])
+        job = MapReduceJob(
+            name="badr",
+            mapper=lambda ls: [("k", 1)],
+            reducer=lambda k, vs: (_ for _ in ()).throw(RuntimeError("y")),
+        )
+        with pytest.raises(JobError, match="reducer failed"):
+            JobRunner(dfs).run(job, ["/e2.txt"])
+
+    def test_empty_input_rejected(self, dfs):
+        job = MapReduceJob(name="none", mapper=lambda ls: [])
+        with pytest.raises(JobError, match="no input splits"):
+            JobRunner(dfs).run(job, [])
+
+    def test_combiner_without_reducer_rejected(self):
+        with pytest.raises(ValueError):
+            MapReduceJob(
+                name="x", mapper=lambda ls: [], combiner=lambda k, v: []
+            )
+
+    def test_deterministic_partitioning(self):
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash(("a", 1)) == stable_hash(("a", 1))
+
+    def test_estimate_bytes_shapes(self):
+        assert estimate_bytes("abcd") == 4
+        assert estimate_bytes(1.0) == 8
+        assert estimate_bytes(np.zeros(10)) == 80
+        assert estimate_bytes(("ab", 1.0)) == 8 + 2 + 8
+
+    def test_more_workers_do_not_slow_map_phase(self, dfs):
+        lines = [f"{i:060d}" for i in range(2000)]
+        dfs.write_lines("/scale.txt", lines)
+        job = MapReduceJob(
+            name="count", mapper=lambda ls: [("n", len(ls))],
+            reducer=lambda k, vs: [(k, sum(vs))],
+        )
+        small = JobRunner(dfs, spec=ClusterSpec(n_workers=2, cores_per_worker=2))
+        large = JobRunner(dfs, spec=ClusterSpec(n_workers=8, cores_per_worker=2))
+        _, rep_small = small.run(job, ["/scale.txt"])
+        _, rep_large = large.run(job, ["/scale.txt"])
+        assert rep_large.map_phase.makespan_s <= rep_small.map_phase.makespan_s + 1e-9
+
+
+class TestCostModel:
+    def test_map_duration_terms(self):
+        cm = CostModel(
+            disk_bytes_per_s=100.0,
+            net_bytes_per_s=10.0,
+            task_startup_s=1.0,
+            compute_scale=2.0,
+        )
+        local = cm.map_duration(bytes_in=200, compute_s=0.5, local=True)
+        remote = cm.map_duration(bytes_in=200, compute_s=0.5, local=False)
+        assert local == pytest.approx(1.0 + 2.0 + 1.0)
+        assert remote > local
+
+    def test_reduce_duration_terms(self):
+        cm = CostModel(net_bytes_per_s=10.0, task_startup_s=0.0,
+                       sort_s_per_record=0.1, compute_scale=1.0)
+        assert cm.reduce_duration(100, 10, 2.0) == pytest.approx(10.0 + 1.0 + 2.0)
+
+    def test_with_overrides(self):
+        cm = CostModel().with_overrides(net_bytes_per_s=1.0)
+        assert cm.net_bytes_per_s == 1.0

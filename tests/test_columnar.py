@@ -1,0 +1,201 @@
+"""Unit and property tests for the column store and its hand-written operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.columnar.colstore import ZONE_BLOCK, ColumnStore
+from repro.columnar import operators as ops
+from repro.core.histogram import equi_width_histogram
+from repro.core.stats import ols_line, percentile_linear
+from repro.exceptions import StorageError
+
+
+@pytest.fixture()
+def store(tmp_path, small_seed):
+    cs = ColumnStore(tmp_path / "colstore")
+    cs.ingest_dataset(small_seed, "readings")
+    return cs
+
+
+class TestColumnStore:
+    def test_ingest_and_open(self, store, small_seed):
+        table = store.open("readings")
+        assert table.n_rows == small_seed.n_consumers * small_seed.n_hours
+        assert table.n_households == small_seed.n_consumers
+        assert table.stride == small_seed.n_hours
+
+    def test_columns_memory_mapped(self, store):
+        table = store.open("readings")
+        col = table.column("consumption")
+        assert isinstance(col, np.memmap)
+
+    def test_household_slice_roundtrip(self, store, small_seed):
+        table = store.open("readings")
+        for i, cid in enumerate(small_seed.consumer_ids):
+            code = table.encode(cid)
+            sl = table.household_slice(code)
+            np.testing.assert_allclose(
+                np.asarray(table.column("consumption")[sl]),
+                small_seed.consumption[i],
+            )
+            assert table.decode(code) == cid
+
+    def test_unknown_column_and_id(self, store):
+        table = store.open("readings")
+        with pytest.raises(StorageError, match="no column"):
+            table.column("nope")
+        with pytest.raises(StorageError, match="unknown household"):
+            table.encode("nope")
+
+    def test_duplicate_ingest_rejected(self, store, small_seed):
+        with pytest.raises(StorageError, match="already exists"):
+            store.ingest_dataset(small_seed, "readings")
+
+    def test_drop(self, store):
+        store.drop("readings")
+        assert store.list_tables() == []
+        with pytest.raises(StorageError):
+            store.open("readings")
+
+    def test_zone_maps_bound_columns(self, store, small_seed):
+        table = store.open("readings")
+        zm = table.zone_maps["consumption"]
+        flat = small_seed.consumption.reshape(-1)
+        n_blocks = (flat.size + ZONE_BLOCK - 1) // ZONE_BLOCK
+        assert zm.mins.size == n_blocks
+        assert zm.mins.min() == pytest.approx(flat.min())
+        assert zm.maxs.max() == pytest.approx(flat.max())
+
+    def test_zone_map_pruning(self, store, small_seed):
+        table = store.open("readings")
+        zm = table.zone_maps["consumption"]
+        flat = small_seed.consumption.reshape(-1)
+        # A range covering everything overlaps all blocks.
+        assert zm.blocks_overlapping(flat.min(), flat.max()).size == zm.mins.size
+        # A range below the global min overlaps none.
+        assert zm.blocks_overlapping(flat.min() - 10, flat.min() - 5).size == 0
+
+
+class TestHandWrittenOperators:
+    """Every System C operator must agree with the reference kernels."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.integers(1, 300),
+            elements=st.floats(0, 100, allow_nan=False),
+        ),
+        st.integers(1, 15),
+    )
+    def test_histogram_matches_reference(self, values, buckets):
+        edges, counts = ops.histogram_equi_width(values, buckets)
+        ref = equi_width_histogram(values, buckets)
+        np.testing.assert_allclose(edges, ref.edges, atol=1e-9)
+        np.testing.assert_array_equal(counts, ref.counts)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.integers(1, 100),
+            elements=st.floats(-50, 50, allow_nan=False),
+        ),
+        st.floats(0, 100),
+    )
+    def test_percentile_matches_reference(self, values, q):
+        data = np.sort(values)
+        assert ops.percentile_sorted(data, q) == pytest.approx(
+            percentile_linear(data, q), abs=1e-9
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(-20, 20), st.floats(-20, 20)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_regression_matches_reference(self, pts):
+        x = np.array([p[0] for p in pts])
+        y = np.array([p[1] for p in pts])
+        slope, intercept, sse = ops.linear_regression_sums(x, y)
+        ref_line, ref_sse = ols_line(x, y)
+        assert slope == pytest.approx(ref_line.slope, abs=1e-7)
+        assert intercept == pytest.approx(ref_line.intercept, abs=1e-7)
+        assert sse == pytest.approx(ref_sse, abs=1e-6)
+
+    def test_grouped_percentiles_match_loop(self):
+        rng = np.random.default_rng(0)
+        bins = rng.integers(-5, 6, 5000)
+        values = rng.random(5000) * 10
+        got_bins, lower, upper, counts = ops.group_percentiles_by_bin(
+            bins, values, 10.0, 90.0, min_bin_count=3
+        )
+        for b, lo_v, hi_v, c in zip(got_bins, lower, upper, counts):
+            group = np.sort(values[bins == b])
+            assert c == group.size
+            assert lo_v == pytest.approx(percentile_linear(group, 10.0))
+            assert hi_v == pytest.approx(percentile_linear(group, 90.0))
+
+    def test_multiple_regression_matches_lstsq(self):
+        rng = np.random.default_rng(1)
+        design = np.column_stack([np.ones(80), rng.normal(size=(80, 3))])
+        y = design @ np.array([1.0, -2.0, 0.5, 3.0]) + rng.normal(0, 0.01, 80)
+        coeffs, sse = ops.multiple_regression_normal_equations(design, y)
+        ref = np.linalg.lstsq(design, y, rcond=None)[0]
+        np.testing.assert_allclose(coeffs, ref, atol=1e-8)
+        assert sse >= 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 12), st.integers(1, 6), st.integers(0, 2**31 - 1))
+    def test_batched_gaussian_solve_matches_numpy(self, m, k, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(m, k, k)) + k * np.eye(k)
+        b = rng.normal(size=(m, k))
+        ours = ops.batched_gaussian_solve(a, b)
+        theirs = np.linalg.solve(a, b[..., None])[..., 0]
+        np.testing.assert_allclose(ours, theirs, rtol=1e-8, atol=1e-8)
+
+    def test_batched_gaussian_solve_needs_pivoting(self):
+        # First pivot is zero in one system of the batch.
+        a = np.array([[[0.0, 1.0], [1.0, 0.0]], [[2.0, 0.0], [0.0, 2.0]]])
+        b = np.array([[3.0, 4.0], [2.0, 6.0]])
+        out = ops.batched_gaussian_solve(a, b)
+        np.testing.assert_allclose(out, [[4.0, 3.0], [1.0, 3.0]])
+
+    def test_batched_gaussian_solve_singular_rejected(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            ops.batched_gaussian_solve(np.zeros((1, 2, 2)), np.ones((1, 2)))
+
+    def test_batched_gaussian_solve_shape_checked(self):
+        with pytest.raises(ValueError):
+            ops.batched_gaussian_solve(np.ones((2, 3, 2)), np.ones((2, 3)))
+
+    def test_dot_product_blocked(self):
+        rng = np.random.default_rng(2)
+        x, y = rng.normal(size=3000), rng.normal(size=3000)
+        assert ops.dot_product_loop(x, y, block=256) == pytest.approx(
+            float(x @ y), rel=1e-12
+        )
+
+    def test_matmul_naive_matches_blas(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(17, 9))
+        b = rng.normal(size=(9, 13))
+        np.testing.assert_allclose(ops.matmul_naive(a, b), a @ b, atol=1e-10)
+
+    def test_matmul_shape_checked(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            ops.matmul_naive(np.ones((2, 3)), np.ones((2, 3)))
+
+    def test_top_k_excludes_self_and_orders(self):
+        scores = np.array([0.5, 0.9, 0.9, 0.1])
+        assert ops.top_k_by_score(scores, 2, exclude=1) == [2, 0]
+        assert ops.top_k_by_score(scores, 10, exclude=0) == [1, 2, 3]

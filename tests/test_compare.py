@@ -1,0 +1,83 @@
+"""Tests for the result-comparison (regression detection) tool."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import pytest
+
+from repro.harness.compare import compare_directories, compare_figure_csvs
+
+
+def _write(path: Path, header, rows):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+HEADER = ["task", "gb", "platform", "seconds"]
+BASE = [
+    ["threeline", "2", "matlab", "1.0"],
+    ["threeline", "2", "systemc", "0.5"],
+    ["par", "2", "matlab", "2.0"],
+]
+
+
+class TestCompareFigure:
+    def test_identical_runs_ratio_one(self, tmp_path):
+        _write(tmp_path / "a" / "fig7.csv", HEADER, BASE)
+        _write(tmp_path / "b" / "fig7.csv", HEADER, BASE)
+        cmp = compare_figure_csvs(tmp_path / "a" / "fig7.csv", tmp_path / "b" / "fig7.csv")
+        assert cmp.geometric_mean_ratio == pytest.approx(1.0)
+        assert cmp.n_rows == 3
+
+    def test_slowdown_detected(self, tmp_path):
+        slower = [[*r[:3], str(float(r[3]) * 2)] for r in BASE]
+        _write(tmp_path / "a" / "fig7.csv", HEADER, BASE)
+        _write(tmp_path / "b" / "fig7.csv", HEADER, slower)
+        cmp = compare_figure_csvs(tmp_path / "a" / "fig7.csv", tmp_path / "b" / "fig7.csv")
+        assert cmp.geometric_mean_ratio == pytest.approx(2.0)
+        assert cmp.worst_ratio == pytest.approx(2.0)
+
+    def test_partial_overlap_uses_shared_keys(self, tmp_path):
+        extra = BASE + [["histogram", "2", "matlab", "9.9"]]
+        _write(tmp_path / "a" / "fig7.csv", HEADER, BASE)
+        _write(tmp_path / "b" / "fig7.csv", HEADER, extra)
+        cmp = compare_figure_csvs(tmp_path / "a" / "fig7.csv", tmp_path / "b" / "fig7.csv")
+        assert cmp.n_rows == 3
+
+    def test_mismatched_headers_skipped(self, tmp_path):
+        _write(tmp_path / "a" / "x.csv", HEADER, BASE)
+        _write(tmp_path / "b" / "x.csv", ["other"], [["1"]])
+        assert compare_figure_csvs(tmp_path / "a" / "x.csv", tmp_path / "b" / "x.csv") is None
+
+    def test_non_numeric_metric_skipped(self, tmp_path):
+        rows = [["a", "b", "c", "not-a-number"]]
+        _write(tmp_path / "a" / "x.csv", HEADER, rows)
+        _write(tmp_path / "b" / "x.csv", HEADER, rows)
+        assert compare_figure_csvs(tmp_path / "a" / "x.csv", tmp_path / "b" / "x.csv") is None
+
+
+class TestCompareDirectories:
+    def test_report_and_flags(self, tmp_path):
+        _write(tmp_path / "a" / "fig7.csv", HEADER, BASE)
+        _write(
+            tmp_path / "b" / "fig7.csv",
+            HEADER,
+            [[*r[:3], str(float(r[3]) * 3)] for r in BASE],
+        )
+        _write(tmp_path / "a" / "fig9.csv", HEADER, BASE)
+        _write(tmp_path / "b" / "fig9.csv", HEADER, BASE)
+        result = compare_directories(tmp_path / "a", tmp_path / "b")
+        by_fig = {row[0]: row for row in result.rows}
+        assert by_fig["fig7"][-1] == "REGRESSION"
+        assert by_fig["fig9"][-1] == "ok"
+
+    def test_missing_counterpart_ignored(self, tmp_path):
+        _write(tmp_path / "a" / "only_old.csv", HEADER, BASE)
+        (tmp_path / "b").mkdir()
+        result = compare_directories(tmp_path / "a", tmp_path / "b")
+        assert result.rows == []

@@ -1,0 +1,108 @@
+"""Unit tests for the synthetic weather model and seed data set."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.seed import SeedConfig, archetype_names, make_seed_dataset
+from repro.datagen.weather import WeatherConfig, make_temperature_series
+from repro.timeseries.calendar import HOURS_PER_DAY
+
+
+class TestWeather:
+    def test_deterministic(self):
+        a = make_temperature_series(1000, seed=1)
+        b = make_temperature_series(1000, seed=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_series(self):
+        a = make_temperature_series(1000, seed=1)
+        b = make_temperature_series(1000, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_climate_has_cold_winter_and_warm_summer(self):
+        # The 3-line algorithm (paper Fig. 1) needs both heating and cooling
+        # regimes: winter well below 0 C and summer well above 25 C.
+        temps = make_temperature_series(8760, seed=7)
+        jan = temps[: 31 * 24]
+        jul = temps[181 * 24 : 212 * 24]
+        assert jan.mean() < -5.0
+        assert jul.mean() > 18.0
+        assert temps.min() < -15.0
+        assert temps.max() > 28.0
+
+    def test_annual_mean_near_config(self):
+        cfg = WeatherConfig(annual_mean_c=6.0)
+        temps = make_temperature_series(8760, cfg, seed=7)
+        assert temps.mean() == pytest.approx(6.0, abs=2.5)
+
+    def test_diurnal_cycle_afternoon_warmer_than_dawn(self):
+        temps = make_temperature_series(8760, seed=7)
+        by_hour = temps.reshape(-1, HOURS_PER_DAY).mean(axis=0)
+        assert by_hour[15] > by_hour[5] + 3.0
+
+    def test_partial_year_length(self):
+        assert make_temperature_series(100).shape == (100,)
+
+
+class TestSeedDataset:
+    def test_shape_and_ids(self):
+        ds = make_seed_dataset(SeedConfig(n_consumers=7, n_hours=240, seed=1))
+        assert ds.n_consumers == 7
+        assert ds.n_hours == 240
+        assert len(set(ds.consumer_ids)) == 7
+
+    def test_deterministic(self):
+        cfg = SeedConfig(n_consumers=4, n_hours=240, seed=9)
+        a = make_seed_dataset(cfg)
+        b = make_seed_dataset(cfg)
+        np.testing.assert_array_equal(a.consumption, b.consumption)
+
+    def test_consumption_nonnegative_with_standby_floor(self):
+        ds = make_seed_dataset(SeedConfig(n_consumers=5, n_hours=480, seed=2))
+        assert (ds.consumption >= SeedConfig().standby_load - 1e-12).all()
+
+    def test_consumers_differ(self):
+        ds = make_seed_dataset(SeedConfig(n_consumers=5, n_hours=480, seed=2))
+        for i in range(1, 5):
+            assert not np.allclose(ds.consumption[0], ds.consumption[i])
+
+    def test_shared_regional_temperature(self):
+        ds = make_seed_dataset(SeedConfig(n_consumers=3, n_hours=240, seed=2))
+        np.testing.assert_array_equal(ds.temperature[0], ds.temperature[1])
+
+    def test_explicit_temperature_used(self):
+        temp = np.linspace(-10, 30, 240)
+        ds = make_seed_dataset(
+            SeedConfig(n_consumers=2, n_hours=240, seed=2), temperature=temp
+        )
+        np.testing.assert_array_equal(ds.temperature[0], temp)
+
+    def test_temperature_shape_validated(self):
+        with pytest.raises(ValueError, match="shape"):
+            make_seed_dataset(
+                SeedConfig(n_consumers=2, n_hours=240), temperature=np.ones(10)
+            )
+
+    def test_partial_day_rejected(self):
+        with pytest.raises(ValueError, match="whole number of days"):
+            make_seed_dataset(SeedConfig(n_consumers=2, n_hours=25))
+
+    def test_zero_consumers_rejected(self):
+        with pytest.raises(ValueError):
+            make_seed_dataset(SeedConfig(n_consumers=0, n_hours=24))
+
+    def test_archetype_names_exposed(self):
+        names = archetype_names()
+        assert "evening_peak" in names
+        assert len(names) >= 5
+
+    def test_winter_consumption_shows_heating_in_aggregate(self):
+        # Electric-heat archetypes make aggregate winter consumption exceed
+        # shoulder-season consumption.
+        ds = make_seed_dataset(SeedConfig(n_consumers=30, n_hours=8760, seed=3))
+        temps = ds.temperature[0]
+        cold = ds.consumption[:, temps < -5].mean()
+        mild = ds.consumption[:, (temps > 12) & (temps < 18)].mean()
+        assert cold > mild

@@ -1,0 +1,104 @@
+"""Behavioural tests for engine internals beyond answer agreement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import Task
+from repro.core.threeline import PhaseTimes
+from repro.engines.base import LoadStats, create_engine
+from repro.harness.validate import validate_engines
+from repro.io.partition import DatasetLayout
+
+
+class TestLoadStats:
+    @pytest.mark.parametrize("name", ["matlab", "madlib", "systemc"])
+    def test_load_stats_populated(self, name, small_seed, tmp_path):
+        engine = create_engine(name)
+        stats = engine.load_dataset(small_seed, tmp_path)
+        assert isinstance(stats, LoadStats)
+        assert stats.seconds >= 0
+        assert stats.n_consumers == small_seed.n_consumers
+        assert stats.approx_bytes > 0
+        engine.close()
+
+    def test_matlab_materializes_one_file_per_consumer(self, small_seed, tmp_path):
+        engine = create_engine("matlab")
+        stats = engine.load_dataset(small_seed, tmp_path)
+        assert stats.n_files == small_seed.n_consumers
+        engine.close()
+
+    def test_systemc_reopen_cheaper_than_ingest(self, year_seed, tmp_path):
+        # Memory-mapped re-open: the warm/cold boundary the paper exploits.
+        # At a year of data the binary conversion clearly dominates a
+        # metadata-plus-mmap re-open.
+        import time
+
+        engine = create_engine("systemc")
+        ingest = engine.load_dataset(year_seed, tmp_path).seconds
+        tic = time.perf_counter()
+        engine.evict_caches()  # re-open = pure mmap
+        reopen = time.perf_counter() - tic
+        assert reopen < ingest
+        engine.close()
+
+
+class TestNumericLayouts:
+    def test_unpartitioned_attach_gives_same_answers(self, small_seed, tmp_path):
+        part_engine = create_engine("matlab")
+        part_engine.load_dataset(small_seed, tmp_path / "p")
+        part = part_engine.histogram()
+
+        unpart_engine = create_engine("matlab")
+        layout = DatasetLayout.materialize(
+            small_seed, tmp_path / "u", partitioned=False
+        )
+        unpart_engine.attach_layout(layout)
+        unpart = unpart_engine.histogram()
+
+        assert part.keys() == unpart.keys()
+        for cid in part:
+            np.testing.assert_allclose(part[cid].edges, unpart[cid].edges)
+        part_engine.close()
+        unpart_engine.close()
+
+
+class TestPhaseAccounting:
+    @pytest.mark.parametrize("name", ["matlab", "madlib", "systemc"])
+    def test_threeline_fills_phase_times(self, name, small_seed, tmp_path):
+        engine = create_engine(name)
+        engine.load_dataset(small_seed, tmp_path)
+        engine.phase_times = PhaseTimes()
+        engine.three_line()
+        assert engine.phase_times.t2_regression > 0
+        assert engine.phase_times.total() > 0
+        engine.close()
+
+
+class TestSystemCInternals:
+    def test_column_files_compressed_on_disk(self, small_seed, tmp_path):
+        engine = create_engine("systemc")
+        engine.load_dataset(small_seed, tmp_path)
+        table_dir = tmp_path / "colstore" / "readings"
+        rle = (table_dir / "household_code.rle.npz").stat().st_size
+        raw = (table_dir / "consumption.npy").stat().st_size
+        # The clustered int column is orders of magnitude smaller than a
+        # measurement column of the same row count.
+        assert rle < raw / 50
+        engine.close()
+
+    def test_tasks_work_from_compressed_columns(self, small_seed, tmp_path):
+        engine = create_engine("systemc")
+        engine.load_dataset(small_seed, tmp_path)
+        engine.evict_caches()  # forces re-open incl. RLE decode
+        result = engine.run_task(Task.HISTOGRAM)
+        assert len(result) == small_seed.n_consumers
+        engine.close()
+
+
+class TestValidateSweep:
+    def test_validate_engines_reports_all_ok(self):
+        result = validate_engines(n_consumers=6, hours=24 * 60)
+        assert len(result.rows) == 5 * 4  # engines x tasks
+        assert all(row[2] == "ok" for row in result.rows)

@@ -1,0 +1,205 @@
+"""Integration tests: the five platform engines agree with the reference.
+
+This is the repository's central correctness claim — platforms differ in
+*how* (file parsing, SQL, column slices, MapReduce), never in *what*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import BenchmarkSpec, Task, run_task_reference
+from repro.core.validation import compare_task_results
+from repro.datagen.seed import SeedConfig, make_seed_dataset
+from repro.engines.base import CAPABILITY_FUNCTIONS, ENGINE_NAMES, create_engine
+from repro.exceptions import EngineError
+from repro.io.formats import ClusterFormat
+from repro.relational.layouts import TableLayout
+
+
+@pytest.fixture(scope="module")
+def engine_dataset(tmp_path_factory):
+    # Big enough for all four tasks (PAR needs p+lags days; 3-line needs a
+    # wide temperature range), small enough to run all engines quickly.
+    # Round-tripped through the canonical CSV serialization once, so the
+    # reference and every engine see the same 6-decimal quantized values
+    # (engines re-serialize at the same precision, which round-trips
+    # exactly for values in this range).
+    from repro.io.csvio import read_unpartitioned, write_unpartitioned
+
+    raw = make_seed_dataset(SeedConfig(n_consumers=8, n_hours=24 * 120, seed=21))
+    path = tmp_path_factory.mktemp("engine_data") / "seed.csv"
+    write_unpartitioned(raw, path)
+    return read_unpartitioned(path)
+
+
+@pytest.fixture(scope="module")
+def reference(engine_dataset):
+    return {task: run_task_reference(engine_dataset, task) for task in Task}
+
+
+def _make_loaded(name, dataset, tmp_path, **kwargs):
+    engine = create_engine(name, **kwargs)
+    engine.load_dataset(dataset, tmp_path)
+    return engine
+
+
+@pytest.mark.parametrize("name", ENGINE_NAMES)
+class TestEngineAgreement:
+    @pytest.fixture()
+    def engine(self, name, engine_dataset, tmp_path):
+        engine = _make_loaded(name, engine_dataset, tmp_path)
+        yield engine
+        engine.close()
+
+    def test_histogram_matches_reference(self, engine, reference):
+        compare_task_results(
+            Task.HISTOGRAM, reference[Task.HISTOGRAM], engine.histogram()
+        )
+
+    def test_threeline_matches_reference(self, engine, reference):
+        compare_task_results(
+            Task.THREELINE, reference[Task.THREELINE], engine.three_line()
+        )
+
+    def test_par_matches_reference(self, engine, reference):
+        compare_task_results(Task.PAR, reference[Task.PAR], engine.par())
+
+    def test_similarity_matches_reference(self, engine, reference):
+        compare_task_results(
+            Task.SIMILARITY, reference[Task.SIMILARITY], engine.similarity()
+        )
+
+    def test_cold_equals_warm(self, engine, reference):
+        cold, _ = engine.timed_task(Task.HISTOGRAM, cold=True)
+        warm, _ = engine.timed_task(Task.HISTOGRAM, cold=False)
+        compare_task_results(Task.HISTOGRAM, cold, warm)
+
+    def test_capabilities_table_row(self, name, engine):
+        caps = engine.capabilities()
+        assert set(caps) == set(CAPABILITY_FUNCTIONS)
+        # Nobody had cosine similarity built in (paper Table 1).
+        assert caps["cosine"] == "hand-written"
+
+
+class TestEngineRegistry:
+    def test_all_names_construct(self):
+        for name in ENGINE_NAMES:
+            engine = create_engine(name)
+            assert engine.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(EngineError, match="unknown engine"):
+            create_engine("oracle")
+
+    def test_query_before_load_rejected(self):
+        for name in ENGINE_NAMES:
+            engine = create_engine(name)
+            with pytest.raises(EngineError, match="no data loaded"):
+                engine.histogram()
+
+
+class TestMadlibLayouts:
+    @pytest.mark.parametrize(
+        "layout", [TableLayout.READINGS, TableLayout.ARRAYS, TableLayout.DAILY]
+    )
+    def test_layouts_agree_on_all_tasks(
+        self, layout, engine_dataset, reference, tmp_path
+    ):
+        engine = _make_loaded(
+            "madlib", engine_dataset, tmp_path, layout=layout
+        )
+        try:
+            compare_task_results(
+                Task.HISTOGRAM, reference[Task.HISTOGRAM], engine.histogram()
+            )
+            compare_task_results(
+                Task.THREELINE, reference[Task.THREELINE], engine.three_line()
+            )
+            compare_task_results(Task.PAR, reference[Task.PAR], engine.par())
+        finally:
+            engine.close()
+
+
+class TestClusterFormats:
+    @pytest.mark.parametrize("engine_name", ["spark", "hive"])
+    @pytest.mark.parametrize("fmt", list(ClusterFormat))
+    def test_formats_agree_on_threeline(
+        self, engine_name, fmt, engine_dataset, reference, tmp_path
+    ):
+        engine = _make_loaded(
+            engine_name, engine_dataset, tmp_path, fmt=fmt, n_files=3
+        )
+        try:
+            compare_task_results(
+                Task.THREELINE, reference[Task.THREELINE], engine.three_line()
+            )
+        finally:
+            engine.close()
+
+    @pytest.mark.parametrize("engine_name", ["spark", "hive"])
+    def test_similarity_agrees_on_format1(
+        self, engine_name, engine_dataset, reference, tmp_path
+    ):
+        engine = _make_loaded(
+            engine_name,
+            engine_dataset,
+            tmp_path,
+            fmt=ClusterFormat.READING_PER_LINE,
+        )
+        try:
+            compare_task_results(
+                Task.SIMILARITY, reference[Task.SIMILARITY], engine.similarity()
+            )
+        finally:
+            engine.close()
+
+    def test_hive_udtf_and_udaf_agree_on_format3(
+        self, engine_dataset, tmp_path
+    ):
+        udtf = _make_loaded(
+            "hive", engine_dataset, tmp_path / "a",
+            fmt=ClusterFormat.FILE_PER_GROUP, n_files=3,
+        )
+        udaf = _make_loaded(
+            "hive", engine_dataset, tmp_path / "b",
+            fmt=ClusterFormat.FILE_PER_GROUP, n_files=3, force_udaf=True,
+        )
+        try:
+            compare_task_results(Task.PAR, udtf.par(), udaf.par())
+            # The UDTF path must be map-only; the UDAF path must shuffle.
+            assert udtf.session.reports[-1].n_reduce_tasks == 0
+            assert udaf.session.reports[-1].n_reduce_tasks > 0
+        finally:
+            udtf.close()
+            udaf.close()
+
+
+class TestSimulatedTime:
+    def test_cluster_engines_accumulate_sim_time(self, engine_dataset, tmp_path):
+        for name in ("spark", "hive"):
+            engine = _make_loaded(name, engine_dataset, tmp_path / name)
+            try:
+                engine.histogram()
+                assert engine.sim_seconds() > 0
+            finally:
+                engine.close()
+
+    def test_map_only_formats_beat_shuffle_format(self, engine_dataset, tmp_path):
+        # Paper Figures 13 vs 16: household-per-line (map-only) is faster
+        # than reading-per-line (map+reduce with a full shuffle).
+        times = {}
+        for fmt in (ClusterFormat.READING_PER_LINE, ClusterFormat.HOUSEHOLD_PER_LINE):
+            engine = _make_loaded(
+                "hive", engine_dataset, tmp_path / fmt.name, fmt=fmt
+            )
+            try:
+                engine.three_line()
+                times[fmt] = engine.sim_seconds()
+            finally:
+                engine.close()
+        assert (
+            times[ClusterFormat.HOUSEHOLD_PER_LINE]
+            < times[ClusterFormat.READING_PER_LINE]
+        )

@@ -1,0 +1,124 @@
+"""Tests for the extension features: equi-depth histograms, PAR forecasting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.histogram import equi_depth_histogram, equi_width_histogram
+from repro.core.par import ParConfig, fit_par
+from repro.exceptions import DataError
+
+positive_series = arrays(
+    np.float64,
+    st.integers(min_value=10, max_value=400),
+    elements=st.floats(0, 20, allow_nan=False),
+)
+
+
+class TestEquiDepthHistogram:
+    def test_buckets_roughly_equal_counts(self):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(1.0, 10_000)
+        result = equi_depth_histogram(values, 10)
+        # Each decile bucket holds ~1000 readings (ties aside).
+        assert result.counts.min() > 800
+        assert result.counts.max() < 1200
+
+    def test_all_readings_counted(self):
+        rng = np.random.default_rng(1)
+        values = rng.random(8760)
+        assert equi_depth_histogram(values, 10).total == 8760
+
+    def test_skewed_data_narrow_buckets_at_mass(self):
+        # Equi-depth adapts bucket widths to density: on a heavy-left
+        # exponential, the first bucket is far narrower than the last.
+        rng = np.random.default_rng(2)
+        values = rng.exponential(1.0, 5000)
+        result = equi_depth_histogram(values, 10)
+        widths = np.diff(result.edges)
+        assert widths[0] < widths[-1]
+
+    def test_constant_series_falls_back(self):
+        result = equi_depth_histogram(np.full(50, 2.0), 10)
+        assert result.total == 50
+
+    def test_nan_rejected(self):
+        values = np.ones(10)
+        values[0] = np.nan
+        with pytest.raises(DataError):
+            equi_depth_histogram(values)
+
+    @settings(max_examples=50, deadline=None)
+    @given(positive_series, st.integers(1, 12))
+    def test_total_preserved_property(self, values, buckets):
+        result = equi_depth_histogram(values, buckets)
+        assert result.total == values.size
+        # Same readings as the equi-width variant counts.
+        assert result.total == equi_width_histogram(values, buckets).total
+
+
+@pytest.fixture(scope="module")
+def forecast_setup():
+    rng = np.random.default_rng(7)
+    n = 24 * 250
+    temperature = rng.uniform(-20, 35, n)
+    hours = np.arange(n) % 24
+    activity = 0.6 + 0.3 * np.sin(2 * np.pi * (hours - 14) / 24)
+    consumption = (
+        activity + 0.1 * np.maximum(0.0, 15.0 - temperature)
+        + rng.normal(0, 0.03, n)
+    )
+    model = fit_par(
+        consumption, temperature, ParConfig(temperature_mode="degree_day")
+    )
+    return model, consumption, temperature, activity
+
+
+class TestParForecasting:
+    def test_one_day_forecast_accurate(self, forecast_setup):
+        model, consumption, temperature, activity = forecast_setup
+        recent = consumption[-3 * 24 :].reshape(3, 24)
+        temp_next = temperature[:24]
+        truth = activity[:24] + 0.1 * np.maximum(0.0, 15.0 - temp_next)
+        pred = model.forecast_day(recent, temp_next)
+        assert np.abs(pred - truth).mean() < 0.05
+
+    def test_multi_day_forecast_shapes_and_stability(self, forecast_setup):
+        model, consumption, temperature, activity = forecast_setup
+        recent = consumption[-3 * 24 :].reshape(3, 24)
+        temps = np.tile(temperature[:24], (5, 1))
+        out = model.forecast(recent, temps)
+        assert out.shape == (5, 24)
+        # Recursive forecasts must not blow up on a stable AR model.
+        assert np.isfinite(out).all()
+        assert out.max() < consumption.max() * 3
+
+    def test_cold_forecast_higher_than_mild(self, forecast_setup):
+        model, consumption, *_ = forecast_setup
+        recent = consumption[-3 * 24 :].reshape(3, 24)
+        cold = model.forecast_day(recent, np.full(24, -15.0))
+        mild = model.forecast_day(recent, np.full(24, 18.0))
+        assert cold.mean() > mild.mean() + 1.0
+
+    def test_shape_validation(self, forecast_setup):
+        model, consumption, temperature, _ = forecast_setup
+        with pytest.raises(DataError, match="recent_days"):
+            model.forecast_day(np.ones((2, 24)), temperature[:24])
+        with pytest.raises(DataError, match="24 values"):
+            model.forecast_day(np.ones((3, 24)), temperature[:23])
+        with pytest.raises(DataError, match="horizon"):
+            model.forecast(np.ones((3, 24)), temperature[:24])
+
+    def test_linear_mode_forecast_also_works(self):
+        rng = np.random.default_rng(8)
+        n = 24 * 100
+        temperature = rng.uniform(-10, 30, n)
+        consumption = 1.0 + 0.02 * temperature + rng.normal(0, 0.02, n)
+        model = fit_par(consumption, temperature)
+        recent = consumption[-3 * 24 :].reshape(3, 24)
+        pred = model.forecast_day(recent, np.full(24, 20.0))
+        assert pred.mean() == pytest.approx(1.4, abs=0.15)

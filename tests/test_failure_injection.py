@@ -1,0 +1,102 @@
+"""Fault-tolerance tests: task failures + retry in the MapReduce runner."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.dfs import SimDFS
+from repro.cluster.job import FailureInjector, JobRunner, MapReduceJob
+from repro.cluster.topology import ClusterSpec
+from repro.exceptions import JobError
+
+
+def _dfs():
+    dfs = SimDFS(ClusterSpec(n_workers=4, cores_per_worker=2), block_size=100)
+    dfs.write_lines("/data.txt", [f"{i % 7} 1" for i in range(300)])
+    return dfs
+
+
+def _job():
+    return MapReduceJob(
+        name="count-by-key",
+        mapper=lambda lines: ((l.split()[0], 1) for l in lines),
+        reducer=lambda key, values: [(key, sum(values))],
+        n_reducers=3,
+    )
+
+
+EXPECTED = {str(k): (300 // 7) + (1 if k < 300 % 7 else 0) for k in range(7)}
+
+
+class TestFailureInjector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureInjector(failure_probability=1.0)
+        with pytest.raises(ValueError):
+            FailureInjector(failure_probability=0.5, max_attempts=0)
+
+    def test_results_identical_under_failures(self):
+        dfs = _dfs()
+        clean, _ = JobRunner(dfs).run(_job(), ["/data.txt"])
+        flaky_runner = JobRunner(
+            dfs,
+            failure_injector=FailureInjector(failure_probability=0.3, seed=1),
+        )
+        flaky, report = flaky_runner.run(_job(), ["/data.txt"])
+        assert dict(flaky) == dict(clean) == EXPECTED
+        assert report.counters.failed_task_attempts > 0
+
+    def test_failures_cost_virtual_time(self):
+        dfs = _dfs()
+        _, clean_report = JobRunner(dfs).run(_job(), ["/data.txt"])
+        _, flaky_report = JobRunner(
+            dfs,
+            failure_injector=FailureInjector(
+                failure_probability=0.4, seed=2, wasted_fraction=1.0
+            ),
+        ).run(_job(), ["/data.txt"])
+        # Retries waste slots, so the makespan cannot shrink (and with
+        # ~40% failure rate it should clearly grow).
+        assert (
+            flaky_report.map_phase.makespan_s
+            > clean_report.map_phase.makespan_s * 0.99
+        )
+
+    def test_gives_up_after_max_attempts(self):
+        dfs = _dfs()
+        runner = JobRunner(
+            dfs,
+            failure_injector=FailureInjector(
+                failure_probability=0.95, seed=3, max_attempts=3
+            ),
+        )
+        with pytest.raises(JobError, match="giving up"):
+            runner.run(_job(), ["/data.txt"])
+
+    def test_zero_probability_is_clean_run(self):
+        dfs = _dfs()
+        runner = JobRunner(
+            dfs, failure_injector=FailureInjector(failure_probability=0.0)
+        )
+        results, report = runner.run(_job(), ["/data.txt"])
+        assert dict(results) == EXPECTED
+        assert report.counters.failed_task_attempts == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.floats(0.0, 0.5),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_correctness_invariant_property(self, probability, seed):
+        """Whatever fails, a completed job's answer never changes."""
+        dfs = _dfs()
+        runner = JobRunner(
+            dfs,
+            failure_injector=FailureInjector(
+                failure_probability=probability, seed=seed, max_attempts=50
+            ),
+        )
+        results, _ = runner.run(_job(), ["/data.txt"])
+        assert dict(results) == EXPECTED

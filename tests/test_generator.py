@@ -1,0 +1,121 @@
+"""Unit and integration tests for the Section 4 data generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.generator import GeneratorConfig, SmartMeterGenerator
+from repro.core.par import ParConfig, fit_par
+from repro.core.threeline import fit_three_lines
+from repro.exceptions import DataError
+
+
+@pytest.fixture(scope="module")
+def generator(year_seed):
+    return SmartMeterGenerator.fit(
+        year_seed, GeneratorConfig(n_clusters=4, seed=123)
+    )
+
+
+class TestFit:
+    def test_clusters_built(self, generator):
+        assert generator.n_clusters == 4
+        assert generator.clustering.centroids.shape == (4, 24)
+
+    def test_every_seed_consumer_profiled(self, generator, year_seed):
+        assert len(generator.seed_profiles) == year_seed.n_consumers
+        ids = {sp.consumer_id for sp in generator.seed_profiles}
+        assert ids == set(year_seed.consumer_ids)
+
+    def test_gradients_nonnegative(self, generator):
+        for sp in generator.seed_profiles:
+            assert sp.heating_gradient >= 0.0
+            assert sp.cooling_gradient >= 0.0
+
+    def test_too_many_clusters_rejected(self, year_seed):
+        with pytest.raises(DataError, match="clusters"):
+            SmartMeterGenerator.fit(
+                year_seed, GeneratorConfig(n_clusters=year_seed.n_consumers + 1)
+            )
+
+
+class TestGenerate:
+    def test_shapes_and_ids(self, generator, year_seed):
+        out = generator.generate(12, year_seed.temperature[0])
+        assert out.n_consumers == 12
+        assert out.n_hours == year_seed.n_hours
+        assert len(set(out.consumer_ids)) == 12
+
+    def test_successive_calls_give_fresh_ids_and_data(self, year_seed):
+        gen = SmartMeterGenerator.fit(
+            year_seed, GeneratorConfig(n_clusters=4, seed=1)
+        )
+        a = gen.generate(5, year_seed.temperature[0])
+        b = gen.generate(5, year_seed.temperature[0])
+        assert set(a.consumer_ids).isdisjoint(b.consumer_ids)
+        assert not np.allclose(a.consumption, b.consumption)
+
+    def test_deterministic_for_seed(self, year_seed):
+        temp = year_seed.temperature[0]
+        a = SmartMeterGenerator.fit(
+            year_seed, GeneratorConfig(n_clusters=4, seed=77)
+        ).generate(6, temp)
+        b = SmartMeterGenerator.fit(
+            year_seed, GeneratorConfig(n_clusters=4, seed=77)
+        ).generate(6, temp)
+        np.testing.assert_array_equal(a.consumption, b.consumption)
+
+    def test_nonnegative_consumption(self, generator, year_seed):
+        out = generator.generate(10, year_seed.temperature[0])
+        assert (out.consumption >= 0.0).all()
+
+    def test_temperature_validation(self, generator):
+        with pytest.raises(DataError, match="whole days"):
+            generator.generate(2, np.ones(25))
+
+    def test_n_consumers_validated(self, generator, year_seed):
+        with pytest.raises(ValueError):
+            generator.generate(0, year_seed.temperature[0])
+
+
+class TestRealism:
+    """The generated data must look like the seed to the benchmark tasks."""
+
+    def test_generated_consumption_in_seed_range(self, generator, year_seed):
+        out = generator.generate(20, year_seed.temperature[0])
+        assert out.consumption.mean() == pytest.approx(
+            year_seed.consumption.mean(), rel=0.5
+        )
+
+    def test_generated_consumers_have_thermal_response(self, generator, year_seed):
+        # Fit 3-line on a generated consumer whose donor had real gradients;
+        # on average the recovered heating gradient should be positive.
+        out = generator.generate(10, year_seed.temperature[0])
+        grads = [
+            fit_three_lines(out.consumption[i], out.temperature[i]).heating_gradient
+            for i in range(10)
+        ]
+        assert np.mean(grads) > 0.0
+
+    def test_generated_profiles_resemble_centroids(self, generator, year_seed):
+        # PAR on a generated consumer should recover a profile close to one
+        # of the generator's cluster centroids (that is its construction).
+        out = generator.generate(8, year_seed.temperature[0])
+        cfg = ParConfig(temperature_mode="degree_day")
+        for i in range(8):
+            profile = fit_par(out.consumption[i], out.temperature[i], cfg).profile
+            dists = np.linalg.norm(
+                generator.clustering.centroids - profile, axis=1
+            )
+            assert dists.min() < 1.5  # close to *some* centroid
+
+    def test_noise_sigma_increases_variance(self, year_seed):
+        temp = year_seed.temperature[0]
+        quiet = SmartMeterGenerator.fit(
+            year_seed, GeneratorConfig(n_clusters=4, noise_sigma=0.0, seed=3)
+        ).generate(5, temp)
+        noisy = SmartMeterGenerator.fit(
+            year_seed, GeneratorConfig(n_clusters=4, noise_sigma=0.5, seed=3)
+        ).generate(5, temp)
+        assert noisy.consumption.std() > quiet.consumption.std()

@@ -1,0 +1,178 @@
+"""Unit tests for the harness: scale, measure, threading model, report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.figures import FIGURES, run_figure
+from repro.harness.measure import measure, time_only
+from repro.harness.report import FigureResult
+from repro.harness.scale import (
+    CLUSTER_SCALE,
+    PAPER_CONSUMERS_PER_GB,
+    SINGLE_SERVER_SCALE,
+    Scale,
+)
+from repro.harness.threading_model import (
+    THREADING_PROFILES,
+    ThreadingProfile,
+)
+
+
+class TestScale:
+    def test_paper_constant(self):
+        # 27,300 consumers ~ 10 GB.
+        assert PAPER_CONSUMERS_PER_GB == pytest.approx(2730.0)
+
+    def test_consumers_scale_linearly(self):
+        scale = Scale(consumers_per_gb=4.0, hours=240)
+        assert scale.consumers_for_gb(10.0) == 40
+        assert scale.consumers_for_gb(5.0) == 20
+
+    def test_min_consumers_floor(self):
+        scale = Scale(consumers_per_gb=1.0, hours=240, min_consumers=6)
+        assert scale.consumers_for_gb(0.5) == 6
+
+    def test_household_scaling(self):
+        scale = CLUSTER_SCALE
+        assert scale.consumers_for_households(32000) == 320
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            SINGLE_SERVER_SCALE.consumers_for_gb(0)
+        with pytest.raises(ValueError):
+            SINGLE_SERVER_SCALE.consumers_for_households(0)
+
+    def test_shrink_factor_below_one(self):
+        assert SINGLE_SERVER_SCALE.shrink_factor() < 1.0
+        assert CLUSTER_SCALE.shrink_factor() < 1.0
+
+    def test_days(self):
+        assert Scale(consumers_per_gb=1, hours=48).days == 2
+
+
+class TestMeasure:
+    def test_time_only(self):
+        seconds, value = time_only(lambda: 42)
+        assert value == 42
+        assert seconds >= 0
+
+    def test_memory_tracked(self):
+        def allocate():
+            return np.zeros(500_000)  # ~4 MB
+
+        m = measure(allocate)
+        assert m.peak_mb > 3.0
+        assert m.value.shape == (500_000,)
+
+    def test_memory_skipped_when_disabled(self):
+        m = measure(lambda: 1, track_memory=False)
+        assert m.peak_bytes == 0
+
+
+class TestThreadingModel:
+    def test_single_thread_is_baseline(self):
+        for profile in THREADING_PROFILES.values():
+            assert profile.speedup(1) == pytest.approx(1.0)
+
+    def test_near_linear_to_four_then_diminishing(self):
+        # The Figure 10 shape for every platform.
+        for profile in THREADING_PROFILES.values():
+            assert profile.speedup(4) > 2.5
+            gain_lo = profile.speedup(4) / profile.speedup(2)
+            gain_hi = profile.speedup(8) / profile.speedup(4)
+            assert gain_hi < gain_lo
+
+    def test_monotone_nondecreasing(self):
+        profile = THREADING_PROFILES["matlab"]
+        speedups = [profile.speedup(p) for p in range(1, 9)]
+        assert all(b >= a - 1e-12 for a, b in zip(speedups, speedups[1:]))
+
+    def test_capped_beyond_hyperthreads(self):
+        profile = THREADING_PROFILES["systemc"]
+        assert profile.speedup(16) == pytest.approx(profile.speedup(8))
+
+    def test_madlib_scales_worst(self):
+        # Paper: Matlab appears to scale better than MADLib.
+        assert (
+            THREADING_PROFILES["madlib"].speedup(8)
+            < THREADING_PROFILES["matlab"].speedup(8)
+        )
+
+    def test_elapsed_inverse_of_speedup(self):
+        profile = THREADING_PROFILES["matlab"]
+        assert profile.elapsed(10.0, 4) == pytest.approx(10.0 / profile.speedup(4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThreadingProfile(serial_fraction=1.0, ht_efficiency=0.5)
+        with pytest.raises(ValueError):
+            ThreadingProfile(serial_fraction=0.1, ht_efficiency=2.0)
+        with pytest.raises(ValueError):
+            ThreadingProfile(0.1, 0.5).speedup(0)
+
+
+class TestFigureResult:
+    def test_row_shape_validated(self):
+        with pytest.raises(ValueError):
+            FigureResult("x", "t", ["a", "b"], [[1]])
+
+    def test_column_accessor(self):
+        result = FigureResult("x", "t", ["a", "b"], [[1, 2], [3, 4]])
+        assert result.column("b") == [2, 4]
+
+    def test_render_contains_everything(self):
+        result = FigureResult(
+            "fig0", "Example", ["name", "value"], [["alpha", 1.5]], notes=["hello"]
+        )
+        text = result.render()
+        assert "fig0" in text and "Example" in text
+        assert "alpha" in text and "1.5" in text
+        assert "note: hello" in text
+
+    def test_csv_roundtrip(self, tmp_path):
+        result = FigureResult("figx", "t", ["a", "b"], [[1, 2.5], [3, 4.0]])
+        path = result.save_csv(tmp_path)
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert content[1] == "1,2.5"
+
+    def test_to_points_sorted_by_series_then_x(self):
+        result = FigureResult(
+            "f", "t", ["x", "y", "s"],
+            [[2, 5.0, "b"], [1, 3.0, "b"], [1, 7.0, "a"]],
+        )
+        assert result.to_points("x", "y", "s") == [
+            (1.0, 7.0, "a"), (1.0, 3.0, "b"), (2.0, 5.0, "b"),
+        ]
+
+    def test_render_chart_contains_bars_and_values(self):
+        result = FigureResult(
+            "f", "Title", ["x", "y", "s"], [[1, 2.0, "a"], [2, 4.0, "a"]]
+        )
+        chart = result.render_chart("x", "y", "s")
+        assert "Title" in chart
+        lines = chart.splitlines()[1:]
+        assert lines[0].count("#") * 2 == pytest.approx(lines[1].count("#"), abs=1)
+
+    def test_render_chart_empty(self):
+        result = FigureResult("f", "t", ["x", "y", "s"], [])
+        assert result.render_chart("x", "y", "s") == "(no data)"
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {"table1"} | {f"fig{i}" for i in range(4, 20)}
+        assert expected <= set(FIGURES)
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError, match="unknown figure"):
+            run_figure("fig999")
+
+    def test_table1_runs(self):
+        result = run_figure("table1")
+        assert len(result.rows) == 5
+        assert result.column("platform") == [
+            "matlab", "madlib", "systemc", "spark", "hive",
+        ]

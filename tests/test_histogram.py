@@ -1,0 +1,116 @@
+"""Unit and property tests for Task 1 (consumption histograms)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.histogram import (
+    HistogramResult,
+    equi_width_histogram,
+    histograms_for_dataset,
+)
+from repro.exceptions import DataError
+
+consumption_series = arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=500),
+    elements=st.floats(0, 50, allow_nan=False),
+)
+
+
+class TestEquiWidthHistogram:
+    def test_benchmark_default_is_ten_buckets(self, small_seed):
+        result = equi_width_histogram(small_seed.consumption[0])
+        assert result.n_buckets == 10
+
+    def test_every_reading_counted(self):
+        rng = np.random.default_rng(0)
+        values = rng.random(8760) * 4
+        result = equi_width_histogram(values)
+        assert result.total == 8760
+
+    def test_equi_width(self):
+        values = np.random.default_rng(1).random(100)
+        result = equi_width_histogram(values, 10)
+        widths = np.diff(result.edges)
+        np.testing.assert_allclose(widths, widths[0])
+
+    def test_edges_span_min_max(self):
+        values = np.array([1.0, 2.0, 7.0, 4.0])
+        result = equi_width_histogram(values, 4)
+        assert result.edges[0] == 1.0
+        assert result.edges[-1] == 7.0
+
+    def test_known_counts(self):
+        values = np.array([0.0, 0.5, 1.0, 1.5, 2.0])
+        result = equi_width_histogram(values, 2)
+        np.testing.assert_array_equal(result.counts, [2, 3])
+
+    def test_constant_series_degenerates_gracefully(self):
+        result = equi_width_histogram(np.full(100, 3.0), 10)
+        assert result.total == 100
+        assert result.edges[0] == pytest.approx(2.5)
+        assert result.edges[-1] == pytest.approx(3.5)
+
+    def test_single_reading(self):
+        result = equi_width_histogram(np.array([5.0]), 10)
+        assert result.total == 1
+
+    def test_nan_rejected(self):
+        values = np.ones(10)
+        values[3] = np.nan
+        with pytest.raises(DataError, match="NaN"):
+            equi_width_histogram(values)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            equi_width_histogram(np.array([]))
+
+    def test_bad_bucket_count_rejected(self):
+        with pytest.raises(ValueError):
+            equi_width_histogram(np.ones(5), 0)
+
+    def test_result_invariant_checked(self):
+        with pytest.raises(DataError):
+            HistogramResult(edges=np.arange(3.0), counts=np.array([1, 2, 3]))
+
+    @settings(max_examples=80, deadline=None)
+    @given(consumption_series, st.integers(1, 20))
+    def test_total_equals_input_size_property(self, values, buckets):
+        """No reading is ever dropped, for any data and bucket count."""
+        result = equi_width_histogram(values, buckets)
+        assert result.total == values.size
+        assert result.n_buckets == buckets
+        assert (result.counts >= 0).all()
+
+    @settings(max_examples=50, deadline=None)
+    @given(consumption_series)
+    def test_counts_locate_values_property(self, values):
+        """Each bucket's count matches a direct range count."""
+        result = equi_width_histogram(values, 10)
+        edges = result.edges
+        for b in range(10):
+            lo, hi = edges[b], edges[b + 1]
+            if b == 9:
+                expected = ((values >= lo) & (values <= hi)).sum()
+            else:
+                expected = ((values >= lo) & (values < hi)).sum()
+            assert result.counts[b] == expected
+
+
+class TestDatasetHistograms:
+    def test_all_consumers_covered(self, small_seed):
+        results = histograms_for_dataset(small_seed)
+        assert set(results) == set(small_seed.consumer_ids)
+        for r in results.values():
+            assert r.total == small_seed.n_hours
+
+    def test_bucket_width_accessor(self, small_seed):
+        result = histograms_for_dataset(small_seed)[small_seed.consumer_ids[0]]
+        assert result.bucket_width() == pytest.approx(
+            (result.edges[-1] - result.edges[0]) / 10
+        )

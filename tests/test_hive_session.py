@@ -1,0 +1,180 @@
+"""Unit tests for the HiveQL session: tables, UDF kinds, query compilation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.dfs import SimDFS
+from repro.cluster.topology import ClusterSpec
+from repro.engines.hive.session import HiveSession
+from repro.engines.hive.udfs import HiveUDAF, HiveUDTF
+from repro.exceptions import SqlAnalysisError
+from repro.io.formats import ClusterFormat
+
+
+@pytest.fixture()
+def session():
+    dfs = SimDFS(ClusterSpec(n_workers=4, cores_per_worker=2), block_size=120)
+    lines = [
+        f"h{i % 3},{t},{0.5 + 0.1 * i + 0.01 * t:.6f},{5.0 + t:.4f}"
+        for i in range(3)
+        for t in range(8)
+    ]
+    dfs.write_lines("/readings.txt", lines)
+    hive = HiveSession(dfs)
+    hive.create_external_table(
+        "readings", ["/readings.txt"], ClusterFormat.READING_PER_LINE
+    )
+    return hive
+
+
+class TestDdl:
+    def test_duplicate_table_rejected(self, session):
+        with pytest.raises(SqlAnalysisError, match="already exists"):
+            session.create_external_table(
+                "readings", ["/readings.txt"], ClusterFormat.READING_PER_LINE
+            )
+
+    def test_unknown_table_rejected(self, session):
+        with pytest.raises(SqlAnalysisError, match="no table"):
+            session.execute("SELECT household_id FROM nope")
+
+
+class TestProjectionQueries:
+    def test_select_columns(self, session):
+        rows = session.execute("SELECT household_id, hour FROM readings")
+        assert len(rows) == 24
+        assert ("h0", 0) in rows
+
+    def test_where_filter(self, session):
+        rows = session.execute(
+            "SELECT household_id FROM readings WHERE hour >= 6"
+        )
+        assert len(rows) == 6  # 3 households x 2 hours
+
+    def test_expression_projection(self, session):
+        rows = session.execute(
+            "SELECT consumption * 2 FROM readings WHERE household_id = 'h0' AND hour = 0"
+        )
+        assert rows[0][0] == pytest.approx(1.0)
+
+    def test_registered_udf_in_projection(self, session):
+        session.register_udf("shout", lambda s: s.upper())
+        rows = session.execute("SELECT shout(household_id) FROM readings LIMIT 3")
+        assert all(r[0].startswith("H") for r in rows)
+
+    def test_unknown_udf_rejected(self, session):
+        with pytest.raises(Exception, match="unknown UDF"):
+            session.execute("SELECT nosuch(household_id) FROM readings")
+
+
+class TestAggregateQueries:
+    def test_builtin_count_group_by(self, session):
+        rows = session.execute(
+            "SELECT household_id, count(*) FROM readings GROUP BY household_id"
+        )
+        assert dict(rows) == {"h0": 8, "h1": 8, "h2": 8}
+
+    def test_builtin_sum_avg_min_max(self, session):
+        rows = session.execute(
+            "SELECT household_id, sum(hour), avg(hour), min(hour), max(hour) "
+            "FROM readings GROUP BY household_id"
+        )
+        for _, total, mean, lo, hi in rows:
+            assert total == 28
+            assert mean == pytest.approx(3.5)
+            assert (lo, hi) == (0, 7)
+
+    def test_where_applies_before_aggregation(self, session):
+        rows = session.execute(
+            "SELECT household_id, count(*) FROM readings WHERE hour < 4 "
+            "GROUP BY household_id"
+        )
+        assert dict(rows) == {"h0": 4, "h1": 4, "h2": 4}
+
+    def test_order_by_and_limit(self, session):
+        rows = session.execute(
+            "SELECT household_id, count(*) AS n FROM readings "
+            "GROUP BY household_id ORDER BY household_id DESC LIMIT 2"
+        )
+        assert [r[0] for r in rows] == ["h2", "h1"]
+
+    def test_custom_udaf(self, session):
+        class RangeUDAF(HiveUDAF):
+            def init(self):
+                return (float("inf"), float("-inf"))
+
+            def iterate(self, state, value):
+                return (min(state[0], value), max(state[1], value))
+
+            def merge(self, state, partial):
+                return (min(state[0], partial[0]), max(state[1], partial[1]))
+
+            def terminate(self, state):
+                return state[1] - state[0]
+
+        session.register_udaf("value_range", RangeUDAF)
+        rows = session.execute(
+            "SELECT household_id, value_range(hour) FROM readings "
+            "GROUP BY household_id"
+        )
+        assert all(r[1] == 7 for r in rows)
+
+    def test_bare_column_outside_group_by_rejected(self, session):
+        with pytest.raises(SqlAnalysisError, match="GROUP BY column"):
+            session.execute(
+                "SELECT hour, count(*) FROM readings GROUP BY household_id"
+            )
+
+    def test_group_by_expression_rejected(self, session):
+        with pytest.raises(SqlAnalysisError, match="plain columns"):
+            session.execute(
+                "SELECT count(*) FROM readings GROUP BY hour % 2"
+            )
+
+    def test_aggregate_runs_mapreduce(self, session):
+        session.execute(
+            "SELECT household_id, count(*) FROM readings GROUP BY household_id"
+        )
+        assert session.reports[-1].n_reduce_tasks > 0
+        assert session.sim_seconds > 0
+
+
+class TestUdtfQueries:
+    def test_udtf_is_map_only(self, session):
+        class FirstOfHousehold(HiveUDTF):
+            def process(self, rows):
+                seen = set()
+                for cid, hour in rows:
+                    if cid not in seen:
+                        seen.add(cid)
+                        yield (cid, hour)
+
+        session.register_udtf("first_seen", FirstOfHousehold())
+        rows = session.execute("SELECT first_seen(household_id, hour) FROM readings")
+        assert session.reports[-1].n_reduce_tasks == 0
+        assert {cid for cid, _ in rows} == {"h0", "h1", "h2"}
+
+    def test_order_by_unknown_output_rejected(self, session):
+        with pytest.raises(SqlAnalysisError, match="output columns"):
+            session.execute(
+                "SELECT household_id FROM readings ORDER BY consumption"
+            )
+
+
+class TestHouseholdFormatTable:
+    def test_array_schema(self):
+        dfs = SimDFS(ClusterSpec(n_workers=2, cores_per_worker=2))
+        dfs.write_lines(
+            "/hh.txt",
+            ["h0|1.0,2.0,3.0|5.0,6.0,7.0", "h1|4.0,5.0,6.0|8.0,9.0,10.0"],
+        )
+        hive = HiveSession(dfs)
+        hive.create_external_table(
+            "households", ["/hh.txt"], ClusterFormat.HOUSEHOLD_PER_LINE
+        )
+        hive.register_udf("series_sum", lambda arr: float(arr.sum()))
+        rows = hive.execute(
+            "SELECT household_id, series_sum(consumption) FROM households"
+        )
+        assert dict(rows) == {"h0": 6.0, "h1": 15.0}

@@ -1,0 +1,156 @@
+"""Unit tests for dataset file I/O: CSV round-trips, layouts, formats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetFormatError
+from repro.io.csvio import (
+    read_consumer_file,
+    read_partitioned,
+    read_unpartitioned,
+    write_partitioned,
+    write_unpartitioned,
+)
+from repro.io.formats import (
+    ClusterFormat,
+    decode_household_line,
+    decode_reading_line,
+    encode_household_lines,
+    encode_reading_lines,
+    group_households,
+)
+from repro.io.partition import DatasetLayout, split_unpartitioned_file
+
+
+class TestCsvRoundTrip:
+    def test_unpartitioned_roundtrip(self, small_seed, tmp_path):
+        path = write_unpartitioned(small_seed, tmp_path / "all.csv")
+        back = read_unpartitioned(path)
+        assert back.consumer_ids == small_seed.consumer_ids
+        np.testing.assert_allclose(
+            back.consumption, small_seed.consumption, atol=1e-6
+        )
+        np.testing.assert_allclose(
+            back.temperature, small_seed.temperature, atol=1e-4
+        )
+
+    def test_partitioned_roundtrip(self, small_seed, tmp_path):
+        files = write_partitioned(small_seed, tmp_path)
+        assert len(files) == small_seed.n_consumers
+        back = read_partitioned(tmp_path)
+        assert sorted(back.consumer_ids) == sorted(small_seed.consumer_ids)
+        idx = {cid: i for i, cid in enumerate(back.consumer_ids)}
+        for i, cid in enumerate(small_seed.consumer_ids):
+            np.testing.assert_allclose(
+                back.consumption[idx[cid]], small_seed.consumption[i], atol=1e-6
+            )
+
+    def test_read_single_consumer_file(self, small_seed, tmp_path):
+        files = write_partitioned(small_seed, tmp_path)
+        cons, temp = read_consumer_file(files[0])
+        assert cons.shape == (small_seed.n_hours,)
+        np.testing.assert_allclose(cons, small_seed.consumption[0], atol=1e-6)
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(DatasetFormatError, match="no consumer files"):
+            read_partitioned(tmp_path / "empty")
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(DatasetFormatError, match="header"):
+            read_unpartitioned(path)
+
+    def test_non_contiguous_household_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "household_id,hour,consumption,temperature\n"
+            "a,0,1.0,5.0\nb,0,1.0,5.0\na,1,1.0,5.0\n"
+        )
+        with pytest.raises(DatasetFormatError, match="not contiguous"):
+            read_unpartitioned(path)
+
+    def test_ragged_households_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "household_id,hour,consumption,temperature\n"
+            "a,0,1.0,5.0\na,1,1.0,5.0\nb,0,1.0,5.0\n"
+        )
+        with pytest.raises(DatasetFormatError, match="differing reading counts"):
+            read_unpartitioned(path)
+
+
+class TestLayouts:
+    def test_materialize_unpartitioned(self, small_seed, tmp_path):
+        layout = DatasetLayout.materialize(small_seed, tmp_path, partitioned=False)
+        assert layout.n_files == 1
+        assert layout.total_bytes() > 0
+
+    def test_materialize_partitioned(self, small_seed, tmp_path):
+        layout = DatasetLayout.materialize(small_seed, tmp_path, partitioned=True)
+        assert layout.n_files == small_seed.n_consumers
+
+    def test_split_matches_direct_partitioning(self, small_seed, tmp_path):
+        big = write_unpartitioned(small_seed, tmp_path / "all.csv")
+        split_files = split_unpartitioned_file(big, tmp_path / "split")
+        assert len(split_files) == small_seed.n_consumers
+        direct = read_partitioned(tmp_path / "split")
+        np.testing.assert_allclose(
+            np.sort(direct.consumption, axis=0),
+            np.sort(np.round(small_seed.consumption, 6), axis=0),
+            atol=1e-6,
+        )
+
+    def test_split_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("household_id,hour,consumption,temperature\n")
+        with pytest.raises(DatasetFormatError, match="no readings"):
+            split_unpartitioned_file(path, tmp_path / "out")
+
+
+class TestClusterFormats:
+    def test_reading_lines_roundtrip(self, small_seed):
+        lines = list(encode_reading_lines(small_seed))
+        assert len(lines) == small_seed.n_consumers * small_seed.n_hours
+        cid, hour, cons, temp = decode_reading_line(lines[0])
+        assert cid == small_seed.consumer_ids[0]
+        assert hour == 0
+        assert cons == pytest.approx(small_seed.consumption[0, 0], abs=1e-6)
+
+    def test_household_lines_roundtrip(self, small_seed):
+        lines = list(encode_household_lines(small_seed))
+        assert len(lines) == small_seed.n_consumers
+        cid, cons, temp = decode_household_line(lines[3])
+        assert cid == small_seed.consumer_ids[3]
+        np.testing.assert_allclose(cons, small_seed.consumption[3], atol=1e-6)
+        np.testing.assert_allclose(temp, small_seed.temperature[3], atol=1e-4)
+
+    def test_malformed_lines_rejected(self):
+        with pytest.raises(DatasetFormatError):
+            decode_reading_line("a,b,c")
+        with pytest.raises(DatasetFormatError):
+            decode_reading_line("a,x,1.0,2.0")
+        with pytest.raises(DatasetFormatError):
+            decode_household_line("no-pipes-here")
+        with pytest.raises(DatasetFormatError):
+            decode_household_line("id|1.0,2.0|3.0")  # length mismatch
+
+    def test_group_households_covers_all_exactly_once(self, small_seed):
+        groups = group_households(small_seed, 3)
+        flat = sorted(i for g in groups for i in g)
+        assert flat == list(range(small_seed.n_consumers))
+        sizes = [len(g) for g in groups]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_group_households_bounds(self, small_seed):
+        with pytest.raises(ValueError):
+            group_households(small_seed, 0)
+        with pytest.raises(ValueError):
+            group_households(small_seed, small_seed.n_consumers + 1)
+
+    def test_needs_reduce_flag(self):
+        assert ClusterFormat.READING_PER_LINE.needs_reduce
+        assert not ClusterFormat.HOUSEHOLD_PER_LINE.needs_reduce
+        assert not ClusterFormat.FILE_PER_GROUP.needs_reduce

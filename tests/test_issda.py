@@ -1,0 +1,133 @@
+"""Unit tests for the ISSDA CER format reader/writer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.seed import SeedConfig, make_seed_dataset
+from repro.exceptions import DatasetFormatError
+from repro.io.issda import (
+    cer_to_dataset,
+    decode_timecode,
+    encode_timecode,
+    read_cer_file,
+    write_cer_file,
+)
+from repro.timeseries.quality import impute
+
+
+class TestTimecodes:
+    def test_first_slot(self):
+        assert decode_timecode(101) == (0, 0)
+
+    def test_last_slot_of_day(self):
+        assert decode_timecode(148) == (0, 47)
+
+    def test_later_day(self):
+        assert decode_timecode(36547) == (364, 46)
+
+    def test_roundtrip(self):
+        for day in (0, 5, 364):
+            for slot in (0, 13, 47):
+                assert decode_timecode(encode_timecode(day, slot)) == (day, slot)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(DatasetFormatError):
+            decode_timecode(49)  # day 0
+        with pytest.raises(DatasetFormatError):
+            decode_timecode(199)  # slot 99
+        with pytest.raises(DatasetFormatError):
+            encode_timecode(0, 48)
+
+
+class TestReadWrite:
+    def test_roundtrip_hourly_series(self, tmp_path):
+        hourly = {
+            "m1": np.linspace(0.5, 2.0, 48),
+            "m2": np.linspace(1.0, 3.0, 48),
+        }
+        path = write_cer_file(tmp_path / "cer.txt", hourly)
+        back = read_cer_file(path)
+        assert set(back) == {"m1", "m2"}
+        np.testing.assert_allclose(back["m1"], hourly["m1"], atol=1e-3)
+        np.testing.assert_allclose(back["m2"], hourly["m2"], atol=1e-3)
+
+    def test_half_hours_summed(self, tmp_path):
+        path = tmp_path / "one.txt"
+        path.write_text("m 101 0.3\nm 102 0.4\n")
+        back = read_cer_file(path)
+        assert back["m"][0] == pytest.approx(0.7)
+
+    def test_missing_half_hour_becomes_nan(self, tmp_path):
+        path = tmp_path / "gap.txt"
+        path.write_text("m 101 0.3\nm 103 0.5\nm 104 0.5\n")  # slot 102 absent
+        back = read_cer_file(path)
+        assert np.isnan(back["m"][0])
+        assert back["m"][1] == pytest.approx(1.0)
+
+    def test_nan_hours_skipped_on_write(self, tmp_path):
+        series = {"m": np.array([1.0, np.nan] + [1.0] * 22)}
+        path = write_cer_file(tmp_path / "nan.txt", series)
+        back = read_cer_file(path)
+        assert np.isnan(back["m"][1])
+        assert back["m"][0] == pytest.approx(1.0)
+
+    def test_duplicate_reading_rejected(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        path.write_text("m 101 0.3\nm 101 0.4\n")
+        with pytest.raises(DatasetFormatError, match="duplicate"):
+            read_cer_file(path)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("m 101\n")
+        with pytest.raises(DatasetFormatError, match="expected 3 fields"):
+            read_cer_file(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("\n\n")
+        with pytest.raises(DatasetFormatError, match="no readings"):
+            read_cer_file(path)
+
+
+class TestCerToDataset:
+    def test_end_to_end_into_benchmark(self, tmp_path):
+        # A realistic pipeline: benchmark dataset -> CER file -> parse ->
+        # impute -> dataset -> the series survive the round trip.
+        source = make_seed_dataset(SeedConfig(n_consumers=3, n_hours=48, seed=1))
+        series = {
+            cid: source.consumption[i]
+            for i, cid in enumerate(source.consumer_ids)
+        }
+        path = write_cer_file(tmp_path / "trial.txt", series)
+        parsed = read_cer_file(path)
+        cleaned = {m: impute(v) for m, v in parsed.items()}
+        dataset = cer_to_dataset(cleaned, source.temperature[0])
+        assert dataset.n_consumers == 3
+        idx = {cid: i for i, cid in enumerate(dataset.consumer_ids)}
+        for cid in source.consumer_ids:
+            np.testing.assert_allclose(
+                dataset.consumption[idx[cid]],
+                series[cid],
+                atol=1e-3,
+            )
+
+    def test_ragged_meters_rejected(self):
+        with pytest.raises(DatasetFormatError, match="differing"):
+            cer_to_dataset(
+                {"a": np.ones(24), "b": np.ones(48)}, np.ones(24)
+            )
+
+    def test_nan_rejected(self):
+        with pytest.raises(DatasetFormatError, match="impute"):
+            cer_to_dataset({"a": np.array([np.nan] * 24)}, np.zeros(24))
+
+    def test_temperature_length_checked(self):
+        with pytest.raises(DatasetFormatError, match="temperature"):
+            cer_to_dataset({"a": np.ones(24)}, np.ones(48))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetFormatError, match="no meters"):
+            cer_to_dataset({}, np.ones(24))

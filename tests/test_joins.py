@@ -1,0 +1,206 @@
+"""Tests for JOIN support in the relational engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SqlAnalysisError
+from repro.relational.catalog import Database
+from repro.relational.types import Column, ColumnType, Schema
+from repro.sql.parser import parse_select
+
+
+@pytest.fixture()
+def db(tmp_path):
+    with Database(tmp_path / "db") as database:
+        emp = database.create_table(
+            "emp",
+            Schema(
+                [
+                    Column("name", ColumnType.TEXT),
+                    Column("dept", ColumnType.TEXT),
+                    Column("sal", ColumnType.FLOAT),
+                ]
+            ),
+        )
+        emp.bulk_load(
+            [
+                ("ann", "eng", 10.0),
+                ("bob", "ops", 8.0),
+                ("cat", "eng", 12.0),
+                ("dan", "hr", 7.0),  # hr has no dept row -> inner join drops
+            ]
+        )
+        dept = database.create_table(
+            "dept",
+            Schema([Column("dept", ColumnType.TEXT), Column("floor", ColumnType.INT)]),
+        )
+        dept.bulk_load([("eng", 3), ("ops", 1), ("lab", 9)])
+        yield database
+
+
+class TestParsing:
+    def test_join_clause_parsed(self):
+        stmt = parse_select("SELECT a.x FROM t1 a JOIN t2 b ON a.k = b.k")
+        assert stmt.table == "t1"
+        assert stmt.table_alias == "a"
+        assert stmt.joins[0].table == "t2"
+        assert stmt.joins[0].alias == "b"
+
+    def test_inner_keyword_optional(self):
+        a = parse_select("SELECT a.x FROM t a JOIN u b ON a.k = b.k")
+        b = parse_select("SELECT a.x FROM t a INNER JOIN u b ON a.k = b.k")
+        assert a.joins == b.joins
+
+    def test_qualified_refs(self):
+        stmt = parse_select("SELECT tbl.col FROM tbl")
+        assert stmt.items[0].expression.name == "tbl.col"
+        assert stmt.items[0].output_name("?") == "col"
+
+
+class TestExecution:
+    def test_inner_join_drops_unmatched(self, db):
+        rows = db.execute(
+            "SELECT e.name, d.floor FROM emp e JOIN dept d ON e.dept = d.dept "
+            "ORDER BY name"
+        ).rows
+        assert rows == [("ann", 3), ("bob", 1), ("cat", 3)]
+
+    def test_join_key_order_irrelevant(self, db):
+        a = db.execute(
+            "SELECT e.name FROM emp e JOIN dept d ON e.dept = d.dept ORDER BY name"
+        ).rows
+        b = db.execute(
+            "SELECT e.name FROM emp e JOIN dept d ON d.dept = e.dept ORDER BY name"
+        ).rows
+        assert a == b
+
+    def test_aggregate_over_join(self, db):
+        rows = db.execute(
+            "SELECT d.floor, sum(e.sal) FROM emp e JOIN dept d "
+            "ON e.dept = d.dept GROUP BY d.floor ORDER BY floor"
+        ).rows
+        assert rows == [(1, 8.0), (3, 22.0)]
+
+    def test_cross_join_on_true(self, db):
+        rows = db.execute(
+            "SELECT e.name, d.dept FROM emp e JOIN dept d ON TRUE"
+        ).rows
+        assert len(rows) == 4 * 3
+
+    def test_self_join_with_residual(self, db):
+        rows = db.execute(
+            "SELECT a.name, b.name FROM emp a JOIN emp b ON TRUE "
+            "WHERE a.sal > b.sal AND a.dept = 'eng'"
+        ).rows
+        assert ("cat", "ann") in rows
+        assert all(left in ("ann", "cat") for left, _ in rows)
+
+    def test_residual_condition_inside_on(self, db):
+        rows = db.execute(
+            "SELECT e.name FROM emp e JOIN dept d "
+            "ON e.dept = d.dept AND d.floor > 1 ORDER BY name"
+        ).rows
+        assert rows == [("ann",), ("cat",)]
+
+    def test_bare_names_resolve_when_unique(self, db):
+        rows = db.execute(
+            "SELECT name, floor FROM emp e JOIN dept d ON e.dept = d.dept "
+            "ORDER BY name"
+        ).rows
+        assert rows[0] == ("ann", 3)
+
+    def test_ambiguous_bare_name_rejected(self, db):
+        # Both tables have a 'dept' column.
+        with pytest.raises(Exception, match="dept"):
+            db.execute(
+                "SELECT dept FROM emp e JOIN dept d ON e.dept = d.dept"
+            )
+
+    def test_duplicate_alias_rejected(self, db):
+        with pytest.raises(SqlAnalysisError, match="alias"):
+            db.execute("SELECT a.name FROM emp a JOIN emp a ON TRUE")
+
+    def test_select_star_with_join_rejected(self, db):
+        with pytest.raises(SqlAnalysisError, match="SELECT \\*"):
+            db.execute("SELECT * FROM emp e JOIN dept d ON e.dept = d.dept")
+
+    def test_three_way_join(self, db):
+        db.create_table(
+            "floors",
+            Schema([Column("floor", ColumnType.INT), Column("city", ColumnType.TEXT)]),
+        ).bulk_load([(1, "york"), (3, "kent")])
+        rows = db.execute(
+            "SELECT e.name, f.city FROM emp e "
+            "JOIN dept d ON e.dept = d.dept "
+            "JOIN floors f ON d.floor = f.floor ORDER BY name"
+        ).rows
+        assert rows == [("ann", "kent"), ("bob", "york"), ("cat", "kent")]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abcd"), st.integers(0, 9)),
+            min_size=1, max_size=40,
+        ),
+        st.lists(
+            st.tuples(st.sampled_from("abcd"), st.integers(0, 9)),
+            min_size=1, max_size=40,
+        ),
+    )
+    def test_hash_join_matches_python_property(self, left, right):
+        with Database() as db:
+            lt = db.create_table(
+                "l", Schema([Column("k", ColumnType.TEXT), Column("v", ColumnType.INT)])
+            )
+            lt.bulk_load(left)
+            rt = db.create_table(
+                "r", Schema([Column("k", ColumnType.TEXT), Column("w", ColumnType.INT)])
+            )
+            rt.bulk_load(right)
+            got = db.execute(
+                "SELECT l.v, r.w FROM l JOIN r ON l.k = r.k"
+            ).rows
+            expected = sorted(
+                (lv, rw) for lk, lv in left for rk, rw in right if lk == rk
+            )
+            assert sorted(got) == expected
+
+
+class TestSimilarityAsSelfJoin:
+    def test_cosine_self_join_matches_kernel(self, tmp_path, small_seed):
+        """The paper's Hive similarity plan, expressed in our SQL engine."""
+        from repro.core.similarity import cosine_similarity_pair
+        from repro.relational.layouts import TableLayout, load_dataset
+
+        with Database(tmp_path / "simdb") as db:
+            load_dataset(db, small_seed, TableLayout.ARRAYS, build_index=False)
+
+            def cosine(x, y):
+                return cosine_similarity_pair(x, y)
+
+            from repro.relational.executor import execute_select
+
+            stmt = parse_select(
+                "SELECT a.household_id, b.household_id, "
+                "cosine(a.consumption, b.consumption) AS sim "
+                "FROM arrays a JOIN arrays b ON TRUE "
+                "WHERE a.household_id != b.household_id"
+            )
+            result = execute_select(
+                db, stmt, scalar_functions={"cosine": np.vectorize(cosine)}
+            )
+            n = small_seed.n_consumers
+            assert len(result) == n * (n - 1)
+            # Spot-check one pair against the kernel.
+            row = result.rows[0]
+            i = small_seed.consumer_ids.index(row[0])
+            j = small_seed.consumer_ids.index(row[1])
+            assert row[2] == pytest.approx(
+                cosine_similarity_pair(
+                    small_seed.consumption[i], small_seed.consumption[j]
+                )
+            )

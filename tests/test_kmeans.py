@@ -1,0 +1,117 @@
+"""Unit and property tests for the from-scratch k-means."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kmeans import kmeans
+from repro.exceptions import DataError
+
+
+def _blobs(seed=0, per_blob=30, centers=((0, 0), (10, 10), (-10, 8))):
+    rng = np.random.default_rng(seed)
+    pts = np.vstack(
+        [rng.normal(c, 0.5, size=(per_blob, 2)) for c in centers]
+    )
+    return pts, np.repeat(np.arange(len(centers)), per_blob)
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self):
+        points, truth = _blobs()
+        result = kmeans(points, 3, seed=1)
+        # Every true blob must map to exactly one cluster label.
+        mapping = {}
+        for label, t in zip(result.labels, truth):
+            mapping.setdefault(t, set()).add(int(label))
+        assert all(len(s) == 1 for s in mapping.values())
+        assert len({next(iter(s)) for s in mapping.values()}) == 3
+
+    def test_deterministic_given_seed(self):
+        points, _ = _blobs()
+        a = kmeans(points, 3, seed=5)
+        b = kmeans(points, 3, seed=5)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+
+    def test_converges_on_blobs(self):
+        points, _ = _blobs()
+        result = kmeans(points, 3, seed=1)
+        assert result.converged
+
+    def test_k_equals_n(self):
+        points = np.arange(10, dtype=float).reshape(5, 2)
+        result = kmeans(points, 5, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-18)
+        assert sorted(result.labels.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_k_one_centroid_is_mean(self):
+        points, _ = _blobs()
+        result = kmeans(points, 1, seed=0)
+        np.testing.assert_allclose(result.centroids[0], points.mean(axis=0))
+
+    def test_no_empty_clusters(self):
+        # Pathological: many duplicate points, k close to n distinct values.
+        points = np.repeat(np.arange(4.0), 10).reshape(-1, 1)
+        result = kmeans(points, 4, seed=2)
+        assert (result.cluster_sizes() > 0).all()
+
+    def test_members_accessor(self):
+        points, _ = _blobs()
+        result = kmeans(points, 3, seed=1)
+        total = sum(result.members(c).size for c in range(3))
+        assert total == points.shape[0]
+        with pytest.raises(ValueError):
+            result.members(3)
+
+    def test_invalid_k_rejected(self):
+        points = np.ones((3, 2))
+        with pytest.raises(ValueError):
+            kmeans(points, 0)
+        with pytest.raises(ValueError):
+            kmeans(points, 4)
+
+    def test_nan_rejected(self):
+        points = np.ones((5, 2))
+        points[0, 0] = np.nan
+        with pytest.raises(DataError):
+            kmeans(points, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            kmeans(np.empty((0, 2)), 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(2, 25),
+        st.integers(1, 5),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_invariants_property(self, n, k, seed):
+        """Labels in range, all clusters non-empty, inertia is the true SSE."""
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(n, 3))
+        k = min(k, n)
+        result = kmeans(points, k, seed=seed)
+        assert result.labels.shape == (n,)
+        assert ((result.labels >= 0) & (result.labels < k)).all()
+        assert (result.cluster_sizes() > 0).all()
+        direct = sum(
+            float(((points[i] - result.centroids[result.labels[i]]) ** 2).sum())
+            for i in range(n)
+        )
+        assert result.inertia == pytest.approx(direct, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_more_clusters_never_increase_inertia(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(40, 2))
+        inertia_2 = kmeans(points, 2, seed=seed).inertia
+        inertia_8 = kmeans(points, 8, seed=seed).inertia
+        # k-means is a local optimizer, so allow slack — but 8 clusters
+        # collapsing to worse than 2 would indicate a broken implementation.
+        assert inertia_8 <= inertia_2 * 1.5

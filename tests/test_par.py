@@ -1,0 +1,120 @@
+"""Unit tests for Task 3 (PAR daily profiles)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.par import ParConfig, fit_par, par_for_dataset, profiles_matrix
+from repro.exceptions import DataError, InsufficientDataError
+from repro.timeseries.calendar import HOURS_PER_DAY
+
+
+class TestParConfig:
+    def test_defaults_match_paper(self):
+        cfg = ParConfig()
+        assert cfg.p == 3  # paper: p = 3, as in [8]
+        assert cfg.temperature_mode == "linear"
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            ParConfig(p=0)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ParConfig(temperature_mode="cubic")
+
+
+class TestFitPar:
+    def test_profile_has_24_values(self, year_seed):
+        model = fit_par(year_seed.consumption[0], year_seed.temperature[0])
+        assert model.profile.shape == (HOURS_PER_DAY,)
+        assert len(model.hour_models) == HOURS_PER_DAY
+
+    def test_degree_day_mode_recovers_activity(self, uncorrelated_consumer):
+        consumption, temperature, truth = uncorrelated_consumer
+        model = fit_par(
+            consumption,
+            temperature,
+            ParConfig(temperature_mode="degree_day", t_heat=15.0, t_cool=20.0),
+        )
+        np.testing.assert_allclose(model.profile, truth["activity"], atol=0.08)
+
+    def test_linear_mode_profile_positive_and_periodic(self, uncorrelated_consumer):
+        consumption, temperature, truth = uncorrelated_consumer
+        model = fit_par(consumption, temperature)
+        # Linear mode approximates; the shape (peak hour) must still match.
+        assert int(model.profile.argmax()) == int(truth["activity"].argmax())
+
+    def test_coefficient_layout(self, uncorrelated_consumer):
+        consumption, temperature, _ = uncorrelated_consumer
+        cfg = ParConfig(p=3, temperature_mode="degree_day")
+        model = fit_par(consumption, temperature, cfg)
+        hm = model.hour_models[12]
+        assert hm.coefficients.shape == (1 + 3 + 2,)
+        assert hm.lag_coefficients(3).shape == (3,)
+        assert hm.temperature_coefficients(3).shape == (2,)
+        assert hm.intercept == pytest.approx(float(hm.coefficients[0]))
+
+    def test_temperature_coefficients_signs(self, uncorrelated_consumer):
+        # Heating & cooling responses are positive loads in the truth model.
+        consumption, temperature, _ = uncorrelated_consumer
+        model = fit_par(
+            consumption, temperature, ParConfig(temperature_mode="degree_day")
+        )
+        temp_coeffs = np.array(
+            [m.temperature_coefficients(3) for m in model.hour_models]
+        )
+        assert temp_coeffs[:, 0].mean() > 0.05  # heating
+        assert temp_coeffs[:, 1].mean() > 0.03  # cooling
+
+    def test_autoregressive_signal_detected(self):
+        # Build a series with strong day-to-day persistence at each hour.
+        rng = np.random.default_rng(8)
+        days, p = 200, 3
+        y = np.empty((days, HOURS_PER_DAY))
+        y[0:p] = rng.random((p, HOURS_PER_DAY)) + 1.0
+        for d in range(p, days):
+            y[d] = 0.2 + 0.8 * y[d - 1] + rng.normal(0, 0.05, HOURS_PER_DAY)
+        temperature = rng.uniform(-10, 30, days * HOURS_PER_DAY)
+        model = fit_par(y.ravel(), temperature)
+        lag1 = np.array([m.lag_coefficients(3)[0] for m in model.hour_models])
+        assert lag1.mean() > 0.5
+
+    def test_sse_nonnegative_and_total(self, year_seed):
+        model = fit_par(year_seed.consumption[0], year_seed.temperature[0])
+        assert all(m.sse >= 0 for m in model.hour_models)
+        assert model.total_sse() == pytest.approx(
+            sum(m.sse for m in model.hour_models)
+        )
+
+    def test_observation_count(self, year_seed):
+        model = fit_par(year_seed.consumption[0], year_seed.temperature[0])
+        assert all(m.n_observations == 365 - 3 for m in model.hour_models)
+
+    def test_too_few_days_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            fit_par(np.ones(24 * 5), np.ones(24 * 5))
+
+    def test_nan_rejected(self):
+        values = np.ones(24 * 30)
+        values[5] = np.nan
+        with pytest.raises(DataError, match="NaN"):
+            fit_par(values, np.zeros(24 * 30))
+
+    def test_partial_day_rejected(self):
+        with pytest.raises(ValueError, match="whole number of days"):
+            fit_par(np.ones(25), np.ones(25))
+
+
+class TestDatasetPar:
+    def test_all_consumers(self, year_seed):
+        models = par_for_dataset(year_seed)
+        assert set(models) == set(year_seed.consumer_ids)
+
+    def test_profiles_matrix_order(self, year_seed):
+        models = par_for_dataset(year_seed)
+        ids, matrix = profiles_matrix(models)
+        assert matrix.shape == (year_seed.n_consumers, HOURS_PER_DAY)
+        for i, cid in enumerate(ids):
+            np.testing.assert_array_equal(matrix[i], models[cid].profile)

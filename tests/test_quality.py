@@ -1,0 +1,98 @@
+"""Unit tests for missing-data handling (timeseries.quality)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.timeseries.quality import find_gaps, gap_report, impute
+
+
+def _series_with_gaps():
+    values = np.sin(np.arange(240) / 5.0) + 2.0
+    values[10:13] = np.nan  # short gap (3)
+    values[100:120] = np.nan  # long gap (20)
+    values[239] = np.nan  # boundary gap (1)
+    return values
+
+
+class TestGapDetection:
+    def test_find_gaps_positions(self):
+        gaps = find_gaps(_series_with_gaps())
+        assert gaps == [(10, 3), (100, 20), (239, 1)]
+
+    def test_find_gaps_empty_when_complete(self):
+        assert find_gaps(np.ones(24)) == []
+
+    def test_gap_report(self):
+        report = gap_report(_series_with_gaps())
+        assert report.n_missing == 24
+        assert report.n_gaps == 3
+        assert report.longest_gap == 20
+        assert report.missing_fraction == pytest.approx(24 / 240)
+        assert not report.is_complete
+
+    def test_gap_report_complete(self):
+        assert gap_report(np.ones(10)).is_complete
+
+
+class TestImpute:
+    def test_linear_fills_all(self):
+        out = impute(_series_with_gaps(), strategy="linear")
+        assert not np.isnan(out).any()
+
+    def test_linear_interpolates_correctly(self):
+        values = np.array([1.0, np.nan, 3.0])
+        out = impute(values, strategy="linear")
+        assert out[1] == pytest.approx(2.0)
+
+    def test_hourly_mean_uses_profile(self):
+        # Two days; hour 5 of day 2 missing -> filled with day 1's hour 5.
+        values = np.arange(48, dtype=float)
+        values[29] = np.nan  # day 1, hour 5
+        out = impute(values, strategy="hourly_mean")
+        assert out[29] == pytest.approx(5.0)
+
+    def test_hybrid_short_gap_is_linear(self):
+        values = np.ones(48) * 7.0
+        values[10] = np.nan
+        out = impute(values, strategy="hybrid", max_linear_gap=6)
+        assert out[10] == pytest.approx(7.0)
+
+    def test_hybrid_long_gap_uses_hourly_mean(self):
+        # Strong diurnal pattern, a 30-hour gap: linear interpolation would
+        # flatten the pattern, the hybrid must preserve it.
+        n = 24 * 10
+        hours = np.arange(n) % 24
+        values = (hours == 12) * 5.0 + 1.0
+        values[100:130] = np.nan
+        out = impute(values, strategy="hybrid", max_linear_gap=6)
+        gap_hours = hours[100:130]
+        expected = (gap_hours == 12) * 5.0 + 1.0
+        np.testing.assert_allclose(out[100:130], expected)
+
+    def test_complete_series_returned_copy(self):
+        values = np.ones(24)
+        out = impute(values)
+        assert out is not values
+        np.testing.assert_array_equal(out, values)
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(DataError, match="no present readings"):
+            impute(np.full(24, np.nan))
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            impute(np.ones(24), strategy="magic")
+
+    def test_2d_rejected(self):
+        with pytest.raises(DataError, match="1-D"):
+            impute(np.ones((2, 24)))
+
+    def test_imputation_preserves_present_values(self):
+        values = _series_with_gaps()
+        present = ~np.isnan(values)
+        for strategy in ("linear", "hourly_mean", "hybrid"):
+            out = impute(values, strategy=strategy)
+            np.testing.assert_array_equal(out[present], values[present])

@@ -1,0 +1,243 @@
+"""Integration tests: SQL end-to-end through the mini relational engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    ColumnNotFoundError,
+    DuplicateTableError,
+    SqlAnalysisError,
+    TableNotFoundError,
+)
+from repro.relational.catalog import Database
+from repro.relational.layouts import TableLayout, load_dataset
+from repro.relational.madlib import madlib_aggregates
+from repro.relational.types import Column, ColumnType, Schema
+
+
+@pytest.fixture()
+def db(tmp_path):
+    with Database(tmp_path / "db") as database:
+        table = database.create_table(
+            "sales",
+            Schema(
+                [
+                    Column("region", ColumnType.TEXT),
+                    Column("amount", ColumnType.FLOAT),
+                    Column("units", ColumnType.INT),
+                ]
+            ),
+        )
+        rows = [
+            ("north", 10.0, 1),
+            ("north", 20.0, 2),
+            ("south", 5.0, 1),
+            ("south", 15.0, 3),
+            ("east", 40.0, 4),
+        ]
+        table.bulk_load(rows)
+        yield database
+
+
+class TestCatalog:
+    def test_create_and_lookup(self, db):
+        assert db.has_table("sales")
+        assert db.list_tables() == ["sales"]
+        with pytest.raises(TableNotFoundError):
+            db.table("nope")
+
+    def test_duplicate_rejected(self, db):
+        with pytest.raises(DuplicateTableError):
+            db.create_table("sales", Schema([Column("x", ColumnType.INT)]))
+
+    def test_drop(self, db):
+        db.drop_table("sales")
+        assert not db.has_table("sales")
+
+
+class TestQueries:
+    def test_projection(self, db):
+        result = db.execute("SELECT region, amount FROM sales")
+        assert result.columns == ["region", "amount"]
+        assert len(result) == 5
+
+    def test_select_star(self, db):
+        result = db.execute("SELECT * FROM sales")
+        assert result.columns == ["region", "amount", "units"]
+
+    def test_where_filter(self, db):
+        result = db.execute("SELECT amount FROM sales WHERE amount > 10")
+        assert sorted(r[0] for r in result) == [15.0, 20.0, 40.0]
+
+    def test_compound_predicate(self, db):
+        result = db.execute(
+            "SELECT amount FROM sales WHERE amount > 5 AND units < 4"
+        )
+        assert sorted(r[0] for r in result) == [10.0, 15.0, 20.0]
+
+    def test_arithmetic_projection(self, db):
+        result = db.execute("SELECT amount / units AS unit_price FROM sales")
+        assert result.columns == ["unit_price"]
+        assert 10.0 in [r[0] for r in result]
+
+    def test_scalar_functions(self, db):
+        result = db.execute("SELECT greatest(amount, 15) FROM sales WHERE region = 'north'")
+        assert sorted(r[0] for r in result) == [15.0, 20.0]
+
+    def test_global_aggregate(self, db):
+        assert db.execute("SELECT sum(amount) FROM sales").scalar() == 90.0
+        assert db.execute("SELECT count(*) FROM sales").scalar() == 5
+
+    def test_group_by(self, db):
+        result = db.execute(
+            "SELECT region, sum(amount) AS total FROM sales GROUP BY region"
+        )
+        totals = dict(result.rows)
+        assert totals == {"north": 30.0, "south": 20.0, "east": 40.0}
+
+    def test_aggregate_expression(self, db):
+        result = db.execute(
+            "SELECT region, sum(amount) / count(*) AS mean FROM sales "
+            "GROUP BY region ORDER BY mean DESC"
+        )
+        assert result.rows[0] == ("east", 40.0)
+
+    def test_avg_min_max_stddev(self, db):
+        row = db.execute(
+            "SELECT avg(amount), min(amount), max(amount), stddev(amount) FROM sales"
+        ).rows[0]
+        assert row[0] == pytest.approx(18.0)
+        assert row[1] == 5.0
+        assert row[2] == 40.0
+        assert row[3] == pytest.approx(np.std([10, 20, 5, 15, 40], ddof=1))
+
+    def test_order_by_and_limit(self, db):
+        result = db.execute(
+            "SELECT region, amount FROM sales ORDER BY amount DESC LIMIT 2"
+        )
+        assert [r[1] for r in result] == [40.0, 20.0]
+
+    def test_order_by_ascending_text(self, db):
+        result = db.execute("SELECT region FROM sales GROUP BY region ORDER BY region")
+        assert [r[0] for r in result] == ["east", "north", "south"]
+
+    def test_empty_aggregate_returns_one_row(self, db):
+        result = db.execute("SELECT count(*) FROM sales WHERE amount > 1000")
+        assert result.scalar() == 0
+
+    def test_bare_column_outside_group_rejected(self, db):
+        with pytest.raises(SqlAnalysisError, match="GROUP BY"):
+            db.execute("SELECT units, sum(amount) FROM sales GROUP BY region")
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(ColumnNotFoundError):
+            db.execute("SELECT nope FROM sales")
+
+    def test_unknown_function_rejected(self, db):
+        with pytest.raises(SqlAnalysisError, match="unknown function"):
+            db.execute("SELECT frobnicate(amount) FROM sales")
+
+    def test_scalar_accessor_validates_shape(self, db):
+        with pytest.raises(SqlAnalysisError, match="1x1"):
+            db.execute("SELECT amount FROM sales").scalar()
+
+
+class TestIndexUse:
+    def test_index_scan_equals_seq_scan(self, db):
+        table = db.table("sales")
+        table.create_index("region")
+        with_index = db.execute(
+            "SELECT amount FROM sales WHERE region = 'north'"
+        )
+        assert sorted(r[0] for r in with_index) == [10.0, 20.0]
+
+    def test_index_plus_residual_filter(self, db):
+        db.table("sales").create_index("region")
+        result = db.execute(
+            "SELECT amount FROM sales WHERE region = 'south' AND amount > 10"
+        )
+        assert [r[0] for r in result] == [15.0]
+
+    def test_index_miss_returns_empty(self, db):
+        db.table("sales").create_index("region")
+        assert len(db.execute("SELECT * FROM sales WHERE region = 'west'")) == 0
+
+
+class TestColdWarm:
+    def test_evict_then_query_still_correct(self, db):
+        warm = db.execute("SELECT sum(amount) FROM sales").scalar()
+        db.evict_all()
+        cold = db.execute("SELECT sum(amount) FROM sales").scalar()
+        assert warm == cold
+        assert db.buffer_pool.stats.misses >= 1
+
+    def test_warm_table_touches_pages(self, db):
+        db.evict_all()
+        pages = db.warm_table("sales")
+        assert pages == db.table("sales").n_pages
+
+
+class TestMadlibAggregates:
+    def test_quantile_matches_numpy(self, db):
+        from repro.relational.executor import execute_select
+        from repro.sql.parser import parse_select
+
+        stmt = parse_select("SELECT madlib_quantile(amount, 50) FROM sales")
+        out = execute_select(db, stmt, aggregates=madlib_aggregates())
+        assert out.scalar() == pytest.approx(np.percentile([10, 20, 5, 15, 40], 50))
+
+    def test_linregr_recovers_line(self, tmp_path):
+        with Database(tmp_path / "db2") as db2:
+            table = db2.create_table(
+                "pts",
+                Schema([Column("x", ColumnType.FLOAT), Column("y", ColumnType.FLOAT)]),
+            )
+            xs = np.linspace(0, 10, 50)
+            table.bulk_load((x, 2.0 * x + 1.0) for x in xs)
+            from repro.relational.executor import execute_select
+            from repro.sql.parser import parse_select
+
+            stmt = parse_select("SELECT madlib_linregr(y, x) FROM pts")
+            coeffs = execute_select(db2, stmt, aggregates=madlib_aggregates()).scalar()
+            np.testing.assert_allclose(coeffs, [1.0, 2.0], atol=1e-9)
+
+    def test_hist_counts_sum_to_rows(self, db):
+        from repro.relational.executor import execute_select
+        from repro.sql.parser import parse_select
+
+        stmt = parse_select(
+            "SELECT region, madlib_hist(amount, 4) FROM sales GROUP BY region"
+        )
+        out = execute_select(db, stmt, aggregates=madlib_aggregates())
+        for region, packed in out.rows:
+            counts = packed[5:]  # 5 edges then 4 counts
+            expected = {"north": 2, "south": 2, "east": 1}[region]
+            assert counts.sum() == expected
+
+
+class TestLayouts:
+    def test_readings_layout_roundtrip(self, tmp_path, small_seed):
+        with Database(tmp_path / "db") as db:
+            table = load_dataset(db, small_seed, TableLayout.READINGS)
+            assert table.n_rows == small_seed.n_consumers * small_seed.n_hours
+            cid = small_seed.consumer_ids[3]
+            result = db.execute(
+                f"SELECT consumption FROM readings WHERE household_id = '{cid}' "
+                "ORDER BY consumption"
+            )
+            assert len(result) == small_seed.n_hours
+
+    def test_arrays_layout_one_row_per_household(self, tmp_path, small_seed):
+        with Database(tmp_path / "db") as db:
+            table = load_dataset(db, small_seed, TableLayout.ARRAYS)
+            assert table.n_rows == small_seed.n_consumers
+            result = db.execute("SELECT household_id, consumption FROM arrays")
+            row = dict(result.rows)[small_seed.consumer_ids[0]]
+            np.testing.assert_array_equal(row, small_seed.consumption[0])
+
+    def test_daily_layout_row_count(self, tmp_path, small_seed):
+        with Database(tmp_path / "db") as db:
+            table = load_dataset(db, small_seed, TableLayout.DAILY)
+            assert table.n_rows == small_seed.n_consumers * (small_seed.n_hours // 24)

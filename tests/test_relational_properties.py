@@ -1,0 +1,137 @@
+"""Property tests: the SQL engine vs a plain-Python reference model.
+
+Hypothesis generates random tables and query parameters; the executor's
+answers must match naive Python computation over the same rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.catalog import Database
+from repro.relational.types import Column, ColumnType, Schema
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.integers(-50, 50),
+        st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def _load(tmp_path_factory, rows):
+    db = Database()
+    table = db.create_table(
+        "t",
+        Schema(
+            [
+                Column("k", ColumnType.TEXT),
+                Column("i", ColumnType.INT),
+                Column("x", ColumnType.FLOAT),
+            ]
+        ),
+    )
+    table.bulk_load(rows)
+    return db
+
+
+class TestAgainstReferenceModel:
+    @settings(max_examples=40, deadline=None)
+    @given(rows_strategy, st.integers(-50, 50))
+    def test_filter_matches_python(self, rows, threshold):
+        db = _load(None, rows)
+        try:
+            got = db.execute(f"SELECT i FROM t WHERE i > {threshold}").rows
+            expected = [r[1] for r in rows if r[1] > threshold]
+            assert sorted(v for (v,) in got) == sorted(expected)
+        finally:
+            db.close()
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows_strategy)
+    def test_group_by_sum_matches_python(self, rows):
+        db = _load(None, rows)
+        try:
+            got = dict(
+                db.execute("SELECT k, sum(x) FROM t GROUP BY k").rows
+            )
+            expected: dict[str, float] = {}
+            for k, _, x in rows:
+                expected[k] = expected.get(k, 0.0) + x
+            assert set(got) == set(expected)
+            for k in expected:
+                assert got[k] == pytest.approx(expected[k], abs=1e-6)
+        finally:
+            db.close()
+
+    @settings(max_examples=30, deadline=None)
+    @given(rows_strategy, st.integers(-50, 0), st.integers(0, 50))
+    def test_between_matches_python(self, rows, lo, hi):
+        db = _load(None, rows)
+        try:
+            got = db.execute(
+                f"SELECT count(*) FROM t WHERE i BETWEEN {lo} AND {hi}"
+            ).scalar()
+            expected = sum(1 for r in rows if lo <= r[1] <= hi)
+            assert got == expected
+        finally:
+            db.close()
+
+    @settings(max_examples=30, deadline=None)
+    @given(rows_strategy)
+    def test_distinct_matches_python(self, rows):
+        db = _load(None, rows)
+        try:
+            got = db.execute("SELECT DISTINCT k FROM t").rows
+            assert sorted(v for (v,) in got) == sorted({r[0] for r in rows})
+        finally:
+            db.close()
+
+    @settings(max_examples=30, deadline=None)
+    @given(rows_strategy, st.integers(1, 10))
+    def test_order_limit_matches_python(self, rows, limit):
+        db = _load(None, rows)
+        try:
+            got = db.execute(
+                f"SELECT i FROM t ORDER BY i LIMIT {limit}"
+            ).rows
+            expected = sorted(r[1] for r in rows)[:limit]
+            assert [v for (v,) in got] == expected
+        finally:
+            db.close()
+
+    @settings(max_examples=25, deadline=None)
+    @given(rows_strategy)
+    def test_index_scan_equals_seq_scan(self, rows):
+        db = _load(None, rows)
+        try:
+            without = db.execute("SELECT i FROM t WHERE k = 'a'").rows
+            db.table("t").create_index("k")
+            with_index = db.execute("SELECT i FROM t WHERE k = 'a'").rows
+            assert sorted(without) == sorted(with_index)
+        finally:
+            db.close()
+
+    @settings(max_examples=25, deadline=None)
+    @given(rows_strategy)
+    def test_having_matches_python(self, rows):
+        db = _load(None, rows)
+        try:
+            got = dict(
+                db.execute(
+                    "SELECT k, count(*) FROM t GROUP BY k HAVING count(*) >= 2"
+                ).rows
+            )
+            counts: dict[str, int] = {}
+            for k, *_ in rows:
+                counts[k] = counts.get(k, 0) + 1
+            expected = {k: c for k, c in counts.items() if c >= 2}
+            assert got == expected
+        finally:
+            db.close()

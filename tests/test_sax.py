@@ -1,0 +1,127 @@
+"""Unit and property tests for the SAX symbolic representation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import DataError
+from repro.timeseries.sax import (
+    SaxEncoder,
+    gaussian_breakpoints,
+    paa,
+    znormalize,
+)
+
+finite_series = arrays(
+    np.float64,
+    st.integers(min_value=24, max_value=200),
+    elements=st.floats(-100, 100, allow_nan=False),
+)
+
+
+class TestBreakpoints:
+    def test_known_values_alphabet_4(self):
+        # Classic SAX table: a=4 -> (-0.6745, 0, 0.6745).
+        bp = gaussian_breakpoints(4)
+        np.testing.assert_allclose(bp, [-0.6745, 0.0, 0.6745], atol=1e-4)
+
+    def test_monotone_increasing(self):
+        for a in range(2, 21):
+            bp = gaussian_breakpoints(a)
+            assert (np.diff(bp) > 0).all()
+            assert bp.shape == (a - 1,)
+
+    def test_symmetric(self):
+        bp = gaussian_breakpoints(8)
+        np.testing.assert_allclose(bp, -bp[::-1], atol=1e-9)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_breakpoints(1)
+        with pytest.raises(ValueError):
+            gaussian_breakpoints(99)
+
+
+class TestZnormalize:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        z = znormalize(rng.random(500))
+        assert abs(z.mean()) < 1e-12
+        assert z.std() == pytest.approx(1.0)
+
+    def test_constant_series_is_zero(self):
+        np.testing.assert_array_equal(znormalize(np.full(10, 3.3)), np.zeros(10))
+
+
+class TestPaa:
+    def test_exact_division(self):
+        values = np.array([1.0, 3.0, 5.0, 7.0])
+        np.testing.assert_allclose(paa(values, 2), [2.0, 6.0])
+
+    def test_identity_when_segments_equal_length(self):
+        values = np.arange(6, dtype=float)
+        np.testing.assert_allclose(paa(values, 6), values)
+
+    def test_single_segment_is_mean(self):
+        values = np.array([2.0, 4.0, 9.0])
+        np.testing.assert_allclose(paa(values, 1), [5.0])
+
+    def test_fractional_segments_preserve_mean(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        reduced = paa(values, 2)
+        assert reduced.mean() == pytest.approx(values.mean())
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            paa(np.ones(4), 5)
+        with pytest.raises(DataError):
+            paa(np.array([]), 1)
+
+
+class TestSaxEncoder:
+    def test_word_length_and_alphabet(self):
+        enc = SaxEncoder(n_segments=8, alphabet_size=4)
+        word = enc.encode(np.sin(np.arange(96) / 7.0))
+        assert len(word) == 8
+        assert set(word) <= set("abcd")
+
+    def test_rising_series_rises_through_alphabet(self):
+        enc = SaxEncoder(n_segments=4, alphabet_size=4)
+        word = enc.encode(np.arange(96, dtype=float))
+        assert word == "".join(sorted(word))
+        assert word[0] == "a" and word[-1] == "d"
+
+    def test_mindist_zero_for_identical_words(self):
+        enc = SaxEncoder(n_segments=6, alphabet_size=5)
+        assert enc.mindist("abcdea"[:6], "abcdea"[:6], 96) == 0.0
+
+    def test_mindist_symmetry(self):
+        enc = SaxEncoder(n_segments=4, alphabet_size=6)
+        assert enc.mindist("abca", "dcba", 96) == enc.mindist("dcba", "abca", 96)
+
+    def test_mindist_rejects_bad_words(self):
+        enc = SaxEncoder(n_segments=4, alphabet_size=4)
+        with pytest.raises(DataError):
+            enc.mindist("abc", "abcd", 96)
+        with pytest.raises(DataError):
+            enc.mindist("abcz", "abcd", 96)
+
+    @settings(max_examples=50, deadline=None)
+    @given(finite_series, finite_series)
+    def test_mindist_lower_bounds_euclidean(self, a, b):
+        """MINDIST must never exceed the true Euclidean distance.
+
+        This is THE soundness property of SAX pruning: equal-length
+        z-normalized series, same encoder.
+        """
+        n = min(a.size, b.size)
+        a, b = a[:n], b[:n]
+        enc = SaxEncoder(n_segments=min(8, n), alphabet_size=5)
+        za, zb = znormalize(a), znormalize(b)
+        true_dist = float(np.linalg.norm(za - zb))
+        lower = enc.mindist(enc.encode(a), enc.encode(b), n)
+        assert lower <= true_dist + 1e-6

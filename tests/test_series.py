@@ -1,0 +1,105 @@
+"""Unit tests for ConsumerSeries and Dataset containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.timeseries.series import ConsumerSeries, Dataset
+
+
+def _consumer(cid="c1", n=48):
+    rng = np.random.default_rng(0)
+    return ConsumerSeries(cid, rng.random(n), rng.normal(10, 5, n))
+
+
+class TestConsumerSeries:
+    def test_basic_properties(self):
+        c = _consumer(n=48)
+        assert c.n_hours == 48
+        assert c.n_days == 2
+        assert not c.has_missing()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError, match="lengths differ"):
+            ConsumerSeries("c", np.ones(10), np.ones(9))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError, match="non-empty"):
+            ConsumerSeries("c", np.array([]), np.array([]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(DataError, match="1-D"):
+            ConsumerSeries("c", np.ones((2, 3)), np.ones((2, 3)))
+
+    def test_missing_detection(self):
+        values = np.ones(24)
+        values[3] = np.nan
+        c = ConsumerSeries("c", values, np.zeros(24))
+        assert c.has_missing()
+
+    def test_arrays_are_immutable(self):
+        c = _consumer()
+        with pytest.raises(ValueError):
+            c.consumption[0] = 99.0
+
+
+class TestDataset:
+    def test_from_consumers(self):
+        ds = Dataset.from_consumers([_consumer("a"), _consumer("b")])
+        assert ds.n_consumers == 2
+        assert ds.n_hours == 48
+        assert len(ds) == 2
+
+    def test_from_consumers_rejects_mixed_lengths(self):
+        with pytest.raises(DataError, match="differing lengths"):
+            Dataset.from_consumers([_consumer("a", 24), _consumer("b", 48)])
+
+    def test_from_consumers_rejects_empty(self):
+        with pytest.raises(DataError, match="zero consumers"):
+            Dataset.from_consumers([])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(DataError, match="unique"):
+            Dataset(["a", "a"], np.ones((2, 24)), np.zeros((2, 24)))
+
+    def test_id_count_mismatch_rejected(self):
+        with pytest.raises(DataError, match="ids but"):
+            Dataset(["a"], np.ones((2, 24)), np.zeros((2, 24)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DataError, match="shapes differ"):
+            Dataset(["a", "b"], np.ones((2, 24)), np.zeros((2, 25)))
+
+    def test_consumer_lookup(self):
+        ds = Dataset.from_consumers([_consumer("a"), _consumer("b")])
+        c = ds.consumer("b")
+        assert c.consumer_id == "b"
+        np.testing.assert_array_equal(c.consumption, ds.consumption[1])
+
+    def test_consumer_lookup_unknown(self):
+        ds = Dataset.from_consumers([_consumer("a")])
+        with pytest.raises(DataError, match="unknown consumer"):
+            ds.consumer("zzz")
+
+    def test_iteration_preserves_order(self):
+        ds = Dataset.from_consumers([_consumer("a"), _consumer("b"), _consumer("c")])
+        assert [c.consumer_id for c in ds] == ["a", "b", "c"]
+
+    def test_subset(self):
+        ds = Dataset.from_consumers([_consumer(f"c{i}") for i in range(5)])
+        sub = ds.subset(2)
+        assert sub.n_consumers == 2
+        assert sub.consumer_ids == ["c0", "c1"]
+
+    def test_subset_bounds(self):
+        ds = Dataset.from_consumers([_consumer("a")])
+        with pytest.raises(DataError):
+            ds.subset(0)
+        with pytest.raises(DataError):
+            ds.subset(2)
+
+    def test_approx_csv_bytes_scales_with_consumers(self):
+        ds = Dataset.from_consumers([_consumer(f"c{i}") for i in range(4)])
+        assert ds.approx_csv_bytes() == 2 * ds.subset(2).approx_csv_bytes()

@@ -1,0 +1,151 @@
+"""Unit and property tests for Task 4 (top-k cosine similarity)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.similarity import (
+    cosine_similarity_matrix,
+    cosine_similarity_pair,
+    top_k_similar,
+    top_k_similar_pairwise,
+)
+from repro.exceptions import DataError
+
+matrices = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 12), st.integers(2, 30)),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+
+
+def _ids(n):
+    return [f"c{i}" for i in range(n)]
+
+
+class TestCosineMatrix:
+    def test_self_similarity_is_one(self):
+        rng = np.random.default_rng(0)
+        m = rng.random((5, 20)) + 0.1
+        sims = cosine_similarity_matrix(m)
+        np.testing.assert_allclose(np.diag(sims), 1.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(1)
+        sims = cosine_similarity_matrix(rng.normal(size=(6, 10)))
+        np.testing.assert_allclose(sims, sims.T, atol=1e-12)
+
+    def test_orthogonal_vectors(self):
+        m = np.array([[1.0, 0.0], [0.0, 1.0]])
+        sims = cosine_similarity_matrix(m)
+        assert sims[0, 1] == pytest.approx(0.0)
+
+    def test_opposite_vectors(self):
+        m = np.array([[1.0, 2.0], [-1.0, -2.0]])
+        assert cosine_similarity_matrix(m)[0, 1] == pytest.approx(-1.0)
+
+    def test_zero_row_convention(self):
+        m = np.array([[0.0, 0.0], [1.0, 1.0]])
+        sims = cosine_similarity_matrix(m)
+        assert sims[0, 0] == 0.0
+        assert sims[0, 1] == 0.0
+
+    def test_scale_invariance(self):
+        rng = np.random.default_rng(2)
+        m = rng.random((4, 8)) + 0.1
+        scaled = m * np.array([[1.0], [7.0], [0.3], [100.0]])
+        np.testing.assert_allclose(
+            cosine_similarity_matrix(m), cosine_similarity_matrix(scaled), atol=1e-12
+        )
+
+    def test_1d_rejected(self):
+        with pytest.raises(DataError):
+            cosine_similarity_matrix(np.ones(5))
+
+    @settings(max_examples=60, deadline=None)
+    @given(matrices)
+    def test_bounded_property(self, m):
+        sims = cosine_similarity_matrix(m)
+        assert (sims <= 1.0 + 1e-9).all()
+        assert (sims >= -1.0 - 1e-9).all()
+
+
+class TestPairKernel:
+    def test_matches_matrix(self):
+        rng = np.random.default_rng(3)
+        m = rng.normal(size=(6, 12))
+        sims = cosine_similarity_matrix(m)
+        for i in range(6):
+            for j in range(6):
+                assert cosine_similarity_pair(m[i], m[j]) == pytest.approx(
+                    sims[i, j], abs=1e-12
+                )
+
+    def test_zero_norm(self):
+        assert cosine_similarity_pair(np.zeros(3), np.ones(3)) == 0.0
+
+
+class TestTopK:
+    def test_benchmark_k_default(self):
+        rng = np.random.default_rng(4)
+        m = rng.random((15, 24))
+        result = top_k_similar(m, _ids(15), k=10)
+        assert all(len(v) == 10 for v in result.values())
+
+    def test_excludes_self(self):
+        rng = np.random.default_rng(5)
+        m = rng.random((8, 10))
+        result = top_k_similar(m, _ids(8), k=7)
+        for cid, neighbours in result.items():
+            assert cid not in {n for n, _ in neighbours}
+
+    def test_scores_descending(self):
+        rng = np.random.default_rng(6)
+        result = top_k_similar(rng.normal(size=(10, 16)), _ids(10), k=9)
+        for neighbours in result.values():
+            scores = [s for _, s in neighbours]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_identical_series_found_first(self):
+        rng = np.random.default_rng(7)
+        base = rng.random(20) + 0.5
+        m = np.vstack([base, base * 2.0, rng.random((4, 20))])
+        result = top_k_similar(m, _ids(6), k=3)
+        # Rows 0 and 1 are colinear -> cosine similarity exactly 1.
+        assert result["c0"][0][0] == "c1"
+        assert result["c0"][0][1] == pytest.approx(1.0)
+
+    def test_k_larger_than_population_truncated(self):
+        rng = np.random.default_rng(8)
+        result = top_k_similar(rng.random((4, 6)), _ids(4), k=10)
+        assert all(len(v) == 3 for v in result.values())
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            top_k_similar(np.ones((3, 3)), _ids(3), k=0)
+
+    def test_ids_length_checked(self):
+        with pytest.raises(DataError):
+            top_k_similar(np.ones((3, 3)), _ids(2), k=1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrices, st.integers(1, 11))
+    def test_pairwise_agrees_with_vectorized_property(self, m, k):
+        """The hand-written loop and the matrix path are the same function."""
+        ids = _ids(m.shape[0])
+        fast = top_k_similar(m, ids, k)
+        slow = top_k_similar_pairwise(m, ids, k)
+        for cid in ids:
+            scores_fast = np.array([s for _, s in fast[cid]])
+            scores_slow = np.array([s for _, s in slow[cid]])
+            np.testing.assert_allclose(scores_fast, scores_slow, atol=1e-9)
+
+    def test_deterministic_tie_break_by_index(self):
+        # Three identical rows: neighbours must be ordered by index.
+        m = np.tile(np.arange(1.0, 6.0), (4, 1))
+        result = top_k_similar(m, _ids(4), k=3)
+        assert [n for n, _ in result["c3"]] == ["c0", "c1", "c2"]

@@ -1,0 +1,146 @@
+"""Unit tests for the RDD layer (lazy lineage, shuffle, cache, broadcast)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.dfs import SimDFS
+from repro.cluster.topology import ClusterSpec
+from repro.engines.spark.rdd import SparkContext
+from repro.exceptions import EngineError
+
+
+@pytest.fixture()
+def sc():
+    dfs = SimDFS(ClusterSpec(n_workers=4, cores_per_worker=2), block_size=100)
+    dfs.write_lines("/nums.txt", [str(i) for i in range(100)])
+    dfs.write_lines("/words.txt", ["a b", "b c c", "a"])
+    return SparkContext(dfs)
+
+
+class TestNarrowTransformations:
+    def test_map(self, sc):
+        out = sc.text_file("/nums.txt").map(int).map(lambda x: x * 2).collect()
+        assert sorted(out) == [2 * i for i in range(100)]
+
+    def test_filter(self, sc):
+        out = sc.text_file("/nums.txt").map(int).filter(lambda x: x % 10 == 0).collect()
+        assert sorted(out) == [0, 10, 20, 30, 40, 50, 60, 70, 80, 90]
+
+    def test_flat_map(self, sc):
+        out = sc.text_file("/words.txt").flat_map(str.split).collect()
+        assert sorted(out) == ["a", "a", "b", "b", "c", "c"]
+
+    def test_map_partitions(self, sc):
+        out = sc.text_file("/nums.txt").map_partitions(
+            lambda lines: [sum(int(l) for l in lines)]
+        ).collect()
+        assert sum(out) == sum(range(100))
+        assert len(out) > 1  # multiple splits -> multiple partition sums
+
+    def test_count(self, sc):
+        assert sc.text_file("/nums.txt").count() == 100
+
+    def test_lazy_until_action(self, sc):
+        rdd = sc.text_file("/nums.txt").map(int)
+        assert sc.reports == []  # nothing ran yet
+        rdd.collect()
+        assert len(sc.reports) == 1
+
+
+class TestWideTransformations:
+    def test_group_by_key(self, sc):
+        out = (
+            sc.text_file("/words.txt")
+            .flat_map(str.split)
+            .map(lambda w: (w, 1))
+            .group_by_key()
+            .map_values(len)
+            .collect_as_map()
+        )
+        assert out == {"a": 2, "b": 2, "c": 2}
+
+    def test_reduce_by_key(self, sc):
+        out = (
+            sc.text_file("/words.txt")
+            .flat_map(str.split)
+            .map(lambda w: (w, 1))
+            .reduce_by_key(lambda a, b: a + b)
+            .collect_as_map()
+        )
+        assert out == {"a": 2, "b": 2, "c": 2}
+
+    def test_reduce_by_key_combines_map_side(self, sc):
+        rdd = (
+            sc.text_file("/nums.txt")
+            .map(lambda _: ("k", 1))
+            .reduce_by_key(lambda a, b: a + b)
+        )
+        assert rdd.collect_as_map() == {"k": 100}
+        report = sc.reports[-1]
+        # Map-side combining collapsed each split to a single record.
+        assert report.counters.combine_output_records < 100
+
+    def test_post_shuffle_narrow_runs_in_reducer(self, sc):
+        out = (
+            sc.text_file("/words.txt")
+            .flat_map(str.split)
+            .map(lambda w: (w, 1))
+            .group_by_key()
+            .map_values(sum)
+            .map(lambda kv: (kv[0].upper(), kv[1]))
+            .collect_as_map()
+        )
+        assert out == {"A": 2, "B": 2, "C": 2}
+        assert len(sc.reports) == 1  # everything fused into one job
+
+    def test_second_shuffle_rejected(self, sc):
+        rdd = (
+            sc.text_file("/words.txt")
+            .flat_map(str.split)
+            .map(lambda w: (w, 1))
+            .group_by_key()
+        )
+        with pytest.raises(EngineError, match="already contains a shuffle"):
+            rdd.group_by_key()
+
+
+class TestCaching:
+    def test_cache_avoids_recompute(self, sc):
+        base = sc.text_file("/nums.txt").map(int).cache()
+        first = base.collect()
+        jobs_after_first = len(sc.reports)
+        second = base.collect()
+        assert first == second
+        assert len(sc.reports) == jobs_after_first  # no new job
+
+    def test_child_of_cached_reads_cache(self, sc):
+        base = sc.text_file("/nums.txt").map(int).cache()
+        base.collect()
+        jobs = len(sc.reports)
+        doubled = base.map(lambda x: x * 2).collect()
+        assert sorted(doubled) == [2 * i for i in range(100)]
+        assert len(sc.reports) == jobs  # served from memory, no DFS job
+
+    def test_cached_bytes_tracked(self, sc):
+        base = sc.text_file("/nums.txt").cache()
+        base.collect()
+        assert sc.cached_bytes > 0
+
+
+class TestBroadcastAndAccounting:
+    def test_broadcast_value_and_bytes(self, sc):
+        b = sc.broadcast({"x": 1})
+        assert b.value == {"x": 1}
+        assert b.n_bytes > 0
+        assert sc.broadcast_bytes == b.n_bytes
+
+    def test_sim_seconds_accumulate(self, sc):
+        before = sc.sim_seconds
+        sc.text_file("/nums.txt").map(int).collect()
+        assert sc.sim_seconds > before
+
+    def test_peak_memory_combines_sources(self, sc):
+        sc.text_file("/nums.txt").cache().collect()
+        sc.broadcast([1.0] * 100)
+        assert sc.peak_memory_bytes() >= sc.cached_bytes

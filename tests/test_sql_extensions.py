@@ -1,0 +1,172 @@
+"""Tests for the SQL extensions: DISTINCT, HAVING, BETWEEN, IN."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SqlAnalysisError, SqlSyntaxError
+from repro.relational.catalog import Database
+from repro.relational.types import Column, ColumnType, Schema
+from repro.sql.ast import BinaryOp, UnaryOp
+from repro.sql.parser import parse_select
+
+
+@pytest.fixture()
+def db(tmp_path):
+    with Database(tmp_path / "db") as database:
+        table = database.create_table(
+            "orders",
+            Schema(
+                [
+                    Column("region", ColumnType.TEXT),
+                    Column("amount", ColumnType.FLOAT),
+                ]
+            ),
+        )
+        table.bulk_load(
+            [
+                ("north", 10.0),
+                ("north", 10.0),
+                ("north", 30.0),
+                ("south", 5.0),
+                ("south", 7.0),
+                ("east", 100.0),
+            ]
+        )
+        yield database
+
+
+class TestParsing:
+    def test_distinct_flag(self):
+        assert parse_select("SELECT DISTINCT a FROM t").distinct
+        assert not parse_select("SELECT a FROM t").distinct
+
+    def test_having_parsed(self):
+        stmt = parse_select(
+            "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 2"
+        )
+        assert stmt.having is not None
+        assert stmt.referenced_columns() == {"a"}
+
+    def test_having_without_group_by_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="HAVING requires GROUP BY"):
+            parse_select("SELECT a FROM t HAVING a > 1")
+
+    def test_between_desugars(self):
+        stmt = parse_select("SELECT a FROM t WHERE a BETWEEN 1 AND 5")
+        assert isinstance(stmt.where, BinaryOp)
+        assert stmt.where.op == "and"
+        assert stmt.where.left.op == ">="
+        assert stmt.where.right.op == "<="
+
+    def test_not_between_desugars(self):
+        stmt = parse_select("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 5")
+        assert isinstance(stmt.where, UnaryOp)
+        assert stmt.where.op == "not"
+
+    def test_in_desugars_to_equality_chain(self):
+        stmt = parse_select("SELECT a FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(stmt.where, BinaryOp)
+        assert stmt.where.op == "or"
+
+    def test_between_binds_tighter_than_logical_and(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b = 2"
+        )
+        assert stmt.where.op == "and"
+        # Right side of the outer AND is the b = 2 comparison.
+        assert stmt.where.right.op == "="
+
+
+class TestExecution:
+    def test_distinct_rows(self, db):
+        rows = db.execute("SELECT DISTINCT region, amount FROM orders").rows
+        assert len(rows) == 5  # the duplicate (north, 10.0) collapses
+
+    def test_distinct_single_column(self, db):
+        rows = db.execute("SELECT DISTINCT region FROM orders ORDER BY region").rows
+        assert [r[0] for r in rows] == ["east", "north", "south"]
+
+    def test_having_filters_groups(self, db):
+        rows = db.execute(
+            "SELECT region, count(*) FROM orders GROUP BY region "
+            "HAVING count(*) >= 2 ORDER BY region"
+        ).rows
+        assert rows == [("north", 3), ("south", 2)]
+
+    def test_having_aggregate_not_in_select(self, db):
+        # HAVING may use an aggregate that the SELECT list does not.
+        rows = db.execute(
+            "SELECT region FROM orders GROUP BY region HAVING sum(amount) > 40"
+        ).rows
+        assert sorted(r[0] for r in rows) == ["east", "north"]
+
+    def test_having_without_group_rejected_at_execution(self, db):
+        # The parser already blocks textual HAVING-without-GROUP-BY; the
+        # executor guards programmatic statements too.
+        from repro.relational.executor import execute_select
+        from repro.sql.ast import ColumnRef, Literal, SelectItem, SelectStatement
+
+        stmt = SelectStatement(
+            items=(SelectItem(ColumnRef("region")),),
+            table="orders",
+            having=BinaryOp(">", ColumnRef("amount"), Literal(1)),
+        )
+        with pytest.raises(SqlAnalysisError, match="HAVING requires GROUP BY"):
+            execute_select(db, stmt)
+
+    def test_between_filter(self, db):
+        rows = db.execute(
+            "SELECT amount FROM orders WHERE amount BETWEEN 6 AND 30 ORDER BY amount"
+        ).rows
+        assert [r[0] for r in rows] == [7.0, 10.0, 10.0, 30.0]
+
+    def test_in_filter(self, db):
+        rows = db.execute(
+            "SELECT amount FROM orders WHERE region IN ('south', 'east') "
+            "ORDER BY amount"
+        ).rows
+        assert [r[0] for r in rows] == [5.0, 7.0, 100.0]
+
+    def test_not_in_filter(self, db):
+        rows = db.execute(
+            "SELECT DISTINCT region FROM orders WHERE region NOT IN ('north')"
+        ).rows
+        assert sorted(r[0] for r in rows) == ["east", "south"]
+
+    def test_distinct_on_array_columns(self, tmp_path):
+        with Database(tmp_path / "db2") as db2:
+            table = db2.create_table(
+                "vecs",
+                Schema(
+                    [
+                        Column("id", ColumnType.TEXT),
+                        Column("v", ColumnType.FLOAT_ARRAY),
+                    ]
+                ),
+            )
+            table.bulk_load(
+                [
+                    ("a", np.array([1.0, 2.0])),
+                    ("a", np.array([1.0, 2.0])),
+                    ("b", np.array([3.0, 4.0])),
+                ]
+            )
+            rows = db2.execute("SELECT DISTINCT id, v FROM vecs").rows
+            assert len(rows) == 2
+
+    def test_hive_dialect_rejects_distinct(self, db):
+        from repro.cluster.dfs import SimDFS
+        from repro.cluster.topology import ClusterSpec
+        from repro.engines.hive.session import HiveSession
+        from repro.io.formats import ClusterFormat
+
+        dfs = SimDFS(ClusterSpec(n_workers=2, cores_per_worker=2))
+        dfs.write_lines("/r.txt", ["h0,0,1.0,5.0"])
+        hive = HiveSession(dfs)
+        hive.create_external_table(
+            "readings", ["/r.txt"], ClusterFormat.READING_PER_LINE
+        )
+        with pytest.raises(SqlAnalysisError, match="DISTINCT/HAVING"):
+            hive.execute("SELECT DISTINCT household_id FROM readings")

@@ -1,0 +1,179 @@
+"""Unit tests for the SQL lexer and parser."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SqlSyntaxError
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    FunctionCall,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.sql.lexer import TokenType, tokenize
+from repro.sql.parser import parse_select
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a, 1.5 FROM t")
+        kinds = [t.type for t in tokens]
+        assert kinds == [
+            TokenType.KEYWORD,
+            TokenType.IDENTIFIER,
+            TokenType.OPERATOR,
+            TokenType.NUMBER,
+            TokenType.KEYWORD,
+            TokenType.IDENTIFIER,
+            TokenType.EOF,
+        ]
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("select")[0].is_keyword("SELECT")
+        assert tokenize("SeLeCt")[0].is_keyword("SELECT")
+
+    def test_identifiers_preserve_case(self):
+        assert tokenize("MyTable")[0].text == "MyTable"
+
+    def test_string_literal(self):
+        token = tokenize("'hello world'")[0]
+        assert token.type is TokenType.STRING
+        assert token.text == "hello world"
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_scientific_notation(self):
+        token = tokenize("1.5e-3")[0]
+        assert token.type is TokenType.NUMBER
+        assert token.text == "1.5e-3"
+
+    def test_multichar_operators(self):
+        texts = [t.text for t in tokenize("<= >= <> != =")[:-1]]
+        assert texts == ["<=", ">=", "<>", "!=", "="]
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("SELECT @")
+
+
+class TestParser:
+    def test_simple_select(self):
+        stmt = parse_select("SELECT a, b FROM t")
+        assert stmt.table == "t"
+        assert [i.expression for i in stmt.items] == [ColumnRef("a"), ColumnRef("b")]
+
+    def test_select_star(self):
+        stmt = parse_select("SELECT * FROM readings")
+        assert isinstance(stmt.items[0].expression, Star)
+
+    def test_aliases(self):
+        stmt = parse_select("SELECT a AS x, b y, a + b FROM t")
+        assert stmt.items[0].output_name("?") == "x"
+        assert stmt.items[1].output_name("?") == "y"
+        assert stmt.items[2].output_name("col3") == "col3"
+
+    def test_where_clause(self):
+        stmt = parse_select("SELECT a FROM t WHERE a > 3 AND b = 'x'")
+        assert isinstance(stmt.where, BinaryOp)
+        assert stmt.where.op == "and"
+
+    def test_group_by(self):
+        stmt = parse_select("SELECT id, count(*) FROM t GROUP BY id")
+        assert stmt.group_by == (ColumnRef("id"),)
+        call = stmt.items[1].expression
+        assert isinstance(call, FunctionCall)
+        assert call.name == "count"
+        assert isinstance(call.args[0], Star)
+
+    def test_order_by_directions(self):
+        stmt = parse_select("SELECT a FROM t ORDER BY a DESC, b ASC, c")
+        assert [o.ascending for o in stmt.order_by] == [False, True, True]
+
+    def test_limit(self):
+        assert parse_select("SELECT a FROM t LIMIT 10").limit == 10
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlSyntaxError, match="integer"):
+            parse_select("SELECT a FROM t LIMIT 2.5")
+
+    def test_operator_precedence(self):
+        stmt = parse_select("SELECT a + b * 2 FROM t")
+        expr = stmt.items[0].expression
+        assert isinstance(expr, BinaryOp)
+        assert expr.op == "+"
+        assert isinstance(expr.right, BinaryOp)
+        assert expr.right.op == "*"
+
+    def test_parentheses_override_precedence(self):
+        expr = parse_select("SELECT (a + b) * 2 FROM t").items[0].expression
+        assert expr.op == "*"
+        assert isinstance(expr.left, BinaryOp)
+        assert expr.left.op == "+"
+
+    def test_unary_minus_and_not(self):
+        stmt = parse_select("SELECT -a FROM t WHERE NOT b > 1")
+        assert isinstance(stmt.items[0].expression, UnaryOp)
+        assert isinstance(stmt.where, UnaryOp)
+        assert stmt.where.op == "not"
+
+    def test_function_with_args(self):
+        expr = parse_select("SELECT percentile(c, 90) FROM t").items[0].expression
+        assert expr == FunctionCall("percentile", (ColumnRef("c"), Literal(90)))
+
+    def test_function_names_lowercased(self):
+        expr = parse_select("SELECT SUM(a) FROM t").items[0].expression
+        assert expr.name == "sum"
+
+    def test_literals(self):
+        stmt = parse_select("SELECT 1, 2.5, 'x', TRUE, FALSE, NULL FROM t")
+        values = [i.expression.value for i in stmt.items]
+        assert values == [1, 2.5, "x", True, False, None]
+
+    def test_neq_normalized(self):
+        a = parse_select("SELECT a FROM t WHERE a <> 1").where
+        b = parse_select("SELECT a FROM t WHERE a != 1").where
+        assert a == b
+
+    def test_referenced_columns(self):
+        stmt = parse_select(
+            "SELECT a, sum(b) FROM t WHERE c > 1 GROUP BY a ORDER BY d"
+        )
+        assert stmt.referenced_columns() == {"a", "b", "c", "d"}
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="expected FROM"):
+            parse_select("SELECT a")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="trailing"):
+            parse_select("SELECT a FROM t xyzzy trailing")
+
+    def test_bad_table_name_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="table name"):
+            parse_select("SELECT a FROM 123")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from(["a", "b", "count(*)", "sum(a)", "a+b", "a*2"]),
+            min_size=1,
+            max_size=4,
+        ),
+        st.sampled_from(["", " WHERE a > 0", " WHERE a = 1 AND b < 2"]),
+        st.sampled_from(["", " GROUP BY a", " GROUP BY a, b"]),
+        st.sampled_from(["", " ORDER BY a", " ORDER BY a DESC"]),
+        st.sampled_from(["", " LIMIT 5"]),
+    )
+    def test_grammar_combinations_parse(self, items, where, group, order, limit):
+        """Any combination of supported clauses must parse cleanly."""
+        sql = f"SELECT {', '.join(items)} FROM t{where}{group}{order}{limit}"
+        stmt = parse_select(sql)
+        assert stmt.table == "t"
+        assert len(stmt.items) == len(items)

@@ -1,0 +1,163 @@
+"""Unit and property tests for the shared statistical kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import (
+    Line,
+    PrefixSumOLS,
+    gaussian_elimination_solve,
+    ols_line,
+    ols_multi,
+    percentile_linear,
+)
+from repro.exceptions import InsufficientDataError
+
+
+class TestLine:
+    def test_predict(self):
+        line = Line(2.0, 1.0)
+        assert line.predict(3.0) == 7.0
+        np.testing.assert_array_equal(line.predict(np.array([0.0, 1.0])), [1.0, 3.0])
+
+    def test_intersection(self):
+        a = Line(1.0, 0.0)
+        b = Line(-1.0, 4.0)
+        assert a.intersection_x(b) == pytest.approx(2.0)
+
+    def test_parallel_lines_no_intersection(self):
+        assert Line(1.0, 0.0).intersection_x(Line(1.0, 5.0)) is None
+
+
+class TestOlsLine:
+    def test_exact_line_recovered(self):
+        x = np.arange(10, dtype=float)
+        y = 3.0 * x - 2.0
+        line, sse = ols_line(x, y)
+        assert line.slope == pytest.approx(3.0)
+        assert line.intercept == pytest.approx(-2.0)
+        assert sse == pytest.approx(0.0, abs=1e-18)
+
+    def test_single_point(self):
+        line, sse = ols_line(np.array([5.0]), np.array([7.0]))
+        assert line.slope == 0.0
+        assert line.intercept == 7.0
+        assert sse == 0.0
+
+    def test_degenerate_x(self):
+        line, sse = ols_line(np.array([2.0, 2.0, 2.0]), np.array([1.0, 2.0, 3.0]))
+        assert line.slope == 0.0
+        assert line.intercept == pytest.approx(2.0)
+        assert sse == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            ols_line(np.array([]), np.array([]))
+
+
+class TestPrefixSumOLS:
+    def test_matches_direct_fit_on_segments(self):
+        rng = np.random.default_rng(1)
+        x = np.sort(rng.normal(0, 10, 40))
+        y = 0.5 * x + rng.normal(0, 1, 40)
+        ps = PrefixSumOLS(x, y)
+        for i, j in [(0, 40), (0, 5), (10, 30), (38, 40)]:
+            line_ps, sse_ps = ps.fit(i, j)
+            line_d, sse_d = ols_line(x[i:j], y[i:j])
+            assert line_ps.slope == pytest.approx(line_d.slope, abs=1e-9)
+            assert line_ps.intercept == pytest.approx(line_d.intercept, abs=1e-9)
+            assert sse_ps == pytest.approx(sse_d, abs=1e-7)
+
+    def test_invalid_segment_rejected(self):
+        ps = PrefixSumOLS(np.arange(5.0), np.arange(5.0))
+        with pytest.raises(ValueError):
+            ps.fit(3, 3)
+        with pytest.raises(ValueError):
+            ps.fit(0, 6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    def test_sse_nonnegative_property(self, pts):
+        x = np.array([p[0] for p in pts])
+        y = np.array([p[1] for p in pts])
+        ps = PrefixSumOLS(x, y)
+        for i in range(len(pts)):
+            for j in range(i + 1, len(pts) + 1):
+                assert ps.sse(i, j) >= 0.0
+
+
+class TestPercentileLinear:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+        st.floats(0, 100),
+    )
+    def test_matches_numpy_linear_method(self, values, q):
+        data = np.sort(np.array(values))
+        ours = percentile_linear(data, q)
+        theirs = float(np.percentile(data, q, method="linear"))
+        assert ours == pytest.approx(theirs, rel=1e-9, abs=1e-9)
+
+    def test_bounds(self):
+        data = np.array([1.0, 2.0, 3.0])
+        assert percentile_linear(data, 0) == 1.0
+        assert percentile_linear(data, 100) == 3.0
+        assert percentile_linear(data, 50) == 2.0
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            percentile_linear(np.array([1.0]), 101)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            percentile_linear(np.array([]), 50)
+
+
+class TestOlsMulti:
+    def test_exact_plane(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(50, 2))
+        design = np.column_stack([np.ones(50), x])
+        y = 1.0 + 2.0 * x[:, 0] - 3.0 * x[:, 1]
+        coeffs, sse = ols_multi(design, y)
+        np.testing.assert_allclose(coeffs, [1.0, 2.0, -3.0], atol=1e-9)
+        assert sse == pytest.approx(0.0, abs=1e-15)
+
+    def test_underdetermined_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            ols_multi(np.ones((2, 3)), np.ones(2))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ols_multi(np.ones((5, 2)), np.ones(4))
+
+
+class TestGaussianElimination:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 8), st.integers(0, 2**31 - 1))
+    def test_matches_numpy_solve(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(n, n)) + n * np.eye(n)  # well-conditioned
+        b = rng.normal(size=n)
+        ours = gaussian_elimination_solve(a, b)
+        theirs = np.linalg.solve(a, b)
+        np.testing.assert_allclose(ours, theirs, rtol=1e-8, atol=1e-8)
+
+    def test_singular_rejected(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            gaussian_elimination_solve(np.zeros((2, 2)), np.ones(2))
+
+    def test_pivoting_handles_zero_leading_element(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        b = np.array([2.0, 3.0])
+        np.testing.assert_allclose(gaussian_elimination_solve(a, b), [3.0, 2.0])

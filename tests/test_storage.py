@@ -1,0 +1,117 @@
+"""Unit tests for pages, buffer pool and page store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StorageError
+from repro.relational.storage import BufferPool, Page, PageStore
+from repro.relational.types import Column, ColumnType, Schema
+
+
+def _page(n=4, offset=0):
+    return Page(
+        columns={
+            "id": np.array([f"c{offset + i}" for i in range(n)], dtype=object),
+            "v": np.arange(offset, offset + n, dtype=np.float64),
+        },
+        n_rows=n,
+    )
+
+
+_SCHEMA = Schema([Column("id", ColumnType.TEXT), Column("v", ColumnType.FLOAT)])
+
+
+class TestPage:
+    def test_column_access(self):
+        page = _page()
+        np.testing.assert_array_equal(page.column("v"), [0.0, 1.0, 2.0, 3.0])
+        with pytest.raises(StorageError, match="no column"):
+            page.column("zzz")
+
+    def test_row_materialization(self):
+        page = _page()
+        assert page.row(2) == ("c2", 2.0)
+        with pytest.raises(StorageError):
+            page.row(4)
+
+    def test_nbytes_positive(self):
+        assert _page().nbytes() > 0
+
+
+class TestBufferPool:
+    def test_hit_miss_accounting(self):
+        pool = BufferPool(capacity_pages=2)
+        assert pool.get(("t", 0)) is None
+        pool.put(("t", 0), _page())
+        assert pool.get(("t", 0)) is not None
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+        assert pool.stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        pool = BufferPool(capacity_pages=2)
+        pool.put(("t", 0), _page())
+        pool.put(("t", 1), _page())
+        pool.get(("t", 0))  # 0 is now most recent
+        pool.put(("t", 2), _page())  # evicts 1
+        assert pool.get(("t", 1)) is None
+        assert pool.get(("t", 0)) is not None
+        assert pool.stats.evictions == 1
+
+    def test_drop_table_removes_only_that_table(self):
+        pool = BufferPool(capacity_pages=4)
+        pool.put(("a", 0), _page())
+        pool.put(("b", 0), _page())
+        pool.drop_table("a")
+        assert pool.get(("a", 0)) is None
+        assert pool.get(("b", 0)) is not None
+
+    def test_clear(self):
+        pool = BufferPool(capacity_pages=4)
+        pool.put(("a", 0), _page())
+        pool.clear()
+        assert len(pool) == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            BufferPool(capacity_pages=0)
+
+
+class TestPageStore:
+    def test_roundtrip_through_disk(self, tmp_path):
+        pool = BufferPool(capacity_pages=4)
+        store = PageStore("t", _SCHEMA, tmp_path / "t", pool)
+        pid = store.append_page(_page())
+        pool.clear()  # force a disk read
+        page = store.read_page(pid)
+        np.testing.assert_array_equal(page.column("v"), [0.0, 1.0, 2.0, 3.0])
+        assert pool.stats.misses >= 1
+
+    def test_read_served_from_pool_when_warm(self, tmp_path):
+        pool = BufferPool(capacity_pages=4)
+        store = PageStore("t", _SCHEMA, tmp_path / "t", pool)
+        pid = store.append_page(_page())
+        before = pool.stats.hits
+        store.read_page(pid)
+        assert pool.stats.hits == before + 1
+
+    def test_out_of_range_page(self, tmp_path):
+        store = PageStore("t", _SCHEMA, tmp_path / "t", BufferPool(4))
+        with pytest.raises(StorageError, match="out of range"):
+            store.read_page(0)
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        store = PageStore("t", _SCHEMA, tmp_path / "t", BufferPool(4))
+        bad = Page(columns={"other": np.ones(2)}, n_rows=2)
+        with pytest.raises(StorageError, match="do not match schema"):
+            store.append_page(bad)
+
+    def test_destroy_removes_files(self, tmp_path):
+        pool = BufferPool(4)
+        store = PageStore("t", _SCHEMA, tmp_path / "t", pool)
+        store.append_page(_page())
+        store.destroy()
+        assert store.n_pages == 0
+        assert not list((tmp_path / "t").glob("*.bin"))

@@ -1,0 +1,190 @@
+"""Unit and property tests for the streaming statistics module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DataError
+from repro.timeseries.streaming import (
+    OnlineHourlyProfile,
+    OnlineStats,
+    P2Quantile,
+    StreamingHistogram,
+)
+
+streams = st.lists(st.floats(-100, 100), min_size=2, max_size=400)
+
+
+class TestOnlineStats:
+    @settings(max_examples=60, deadline=None)
+    @given(streams)
+    def test_matches_numpy(self, values):
+        stats = OnlineStats()
+        for v in values:
+            stats.update(v)
+        assert stats.mean == pytest.approx(np.mean(values), abs=1e-9)
+        assert stats.variance == pytest.approx(np.var(values, ddof=1), abs=1e-7)
+
+    @settings(max_examples=40, deadline=None)
+    @given(streams, streams)
+    def test_merge_equals_concat(self, a, b):
+        left, right = OnlineStats(), OnlineStats()
+        for v in a:
+            left.update(v)
+        for v in b:
+            right.update(v)
+        left.merge(right)
+        combined = a + b
+        assert left.n == len(combined)
+        assert left.mean == pytest.approx(np.mean(combined), abs=1e-9)
+        assert left.variance == pytest.approx(np.var(combined, ddof=1), abs=1e-6)
+
+    def test_merge_with_empty(self):
+        stats = OnlineStats()
+        stats.update(1.0)
+        stats.update(3.0)
+        stats.merge(OnlineStats())
+        assert stats.n == 2
+        empty = OnlineStats()
+        empty.merge(stats)
+        assert empty.mean == pytest.approx(2.0)
+
+    def test_variance_needs_two(self):
+        stats = OnlineStats()
+        stats.update(1.0)
+        with pytest.raises(DataError):
+            _ = stats.variance
+
+
+class TestP2Quantile:
+    def test_median_of_known_distribution(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 2.0, 20_000)
+        estimator = P2Quantile(0.5)
+        for v in data:
+            estimator.update(v)
+        assert estimator.value == pytest.approx(np.median(data), abs=0.1)
+
+    def test_tail_quantile(self):
+        rng = np.random.default_rng(1)
+        data = rng.exponential(1.0, 20_000)
+        estimator = P2Quantile(0.9)
+        for v in data:
+            estimator.update(v)
+        assert estimator.value == pytest.approx(
+            np.percentile(data, 90), rel=0.1
+        )
+
+    def test_small_streams_exact(self):
+        estimator = P2Quantile(0.5)
+        for v in [5.0, 1.0, 3.0]:
+            estimator.update(v)
+        assert estimator.value == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            _ = P2Quantile(0.5).value
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(0, 1000), min_size=50, max_size=400))
+    def test_estimate_within_range_property(self, values):
+        estimator = P2Quantile(0.5)
+        for v in values:
+            estimator.update(v)
+        assert min(values) - 1e-9 <= estimator.value <= max(values) + 1e-9
+
+
+class TestStreamingHistogram:
+    def test_counts_preserved(self):
+        rng = np.random.default_rng(2)
+        hist = StreamingHistogram(max_bins=16)
+        for v in rng.normal(size=1000):
+            hist.update(v)
+        assert hist.n == 1000
+        assert sum(c for _, c in hist.bins) == pytest.approx(1000)
+        assert len(hist.bins) <= 16
+
+    def test_bins_sorted(self):
+        hist = StreamingHistogram(max_bins=8)
+        for v in [5.0, 1.0, 9.0, 3.0, 7.0] * 10:
+            hist.update(v)
+        positions = [p for p, _ in hist.bins]
+        assert positions == sorted(positions)
+
+    def test_count_below_accuracy(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(0, 1, 5000)
+        hist = StreamingHistogram(max_bins=64)
+        for v in data:
+            hist.update(v)
+        for threshold in (-1.0, 0.0, 1.0):
+            true_count = (data <= threshold).sum()
+            approx = hist.count_below(threshold)
+            assert approx == pytest.approx(true_count, rel=0.1)
+
+    def test_count_below_extremes(self):
+        hist = StreamingHistogram(max_bins=8)
+        for v in [1.0, 2.0, 3.0]:
+            hist.update(v)
+        assert hist.count_below(0.0) == 0.0
+        assert hist.count_below(10.0) == 3.0
+
+    def test_merge_matches_combined_stream(self):
+        rng = np.random.default_rng(4)
+        a_data = rng.normal(0, 1, 1000)
+        b_data = rng.normal(3, 1, 1000)
+        a = StreamingHistogram(max_bins=32)
+        b = StreamingHistogram(max_bins=32)
+        for v in a_data:
+            a.update(v)
+        for v in b_data:
+            b.update(v)
+        a.merge(b)
+        assert a.n == 2000
+        combined = np.concatenate([a_data, b_data])
+        assert a.count_below(1.5) == pytest.approx(
+            (combined <= 1.5).sum(), rel=0.15
+        )
+
+    def test_min_bins_validated(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(max_bins=1)
+
+
+class TestOnlineHourlyProfile:
+    def test_converges_to_periodic_signal(self):
+        profile_true = 1.0 + np.sin(2 * np.pi * np.arange(24) / 24)
+        tracker = OnlineHourlyProfile(alpha=0.2)
+        rng = np.random.default_rng(5)
+        for t in range(24 * 60):
+            tracker.update(t, profile_true[t % 24] + rng.normal(0, 0.01))
+        np.testing.assert_allclose(tracker.profile, profile_true, atol=0.05)
+
+    def test_adapts_to_regime_change(self):
+        tracker = OnlineHourlyProfile(alpha=0.3)
+        for t in range(24 * 30):
+            tracker.update(t, 1.0)
+        for t in range(24 * 30, 24 * 60):
+            tracker.update(t, 2.0)
+        assert (tracker.profile > 1.9).all()
+
+    def test_warmup(self):
+        tracker = OnlineHourlyProfile()
+        assert not tracker.is_warm(min_days=1)
+        for t in range(24):
+            tracker.update(t, 1.0)
+        assert tracker.is_warm(min_days=1)
+        assert not tracker.is_warm(min_days=2)
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            OnlineHourlyProfile(alpha=0.0)

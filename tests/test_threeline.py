@@ -1,0 +1,153 @@
+"""Unit and property tests for Task 2 (3-line thermal regression)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.threeline import (
+    PhaseTimes,
+    ThreeLineConfig,
+    fit_three_lines,
+    three_lines_for_dataset,
+)
+from repro.exceptions import DataError, InsufficientDataError
+
+
+class TestFitThreeLines:
+    def test_recovers_known_gradients(self, uncorrelated_consumer):
+        consumption, temperature, truth = uncorrelated_consumer
+        model = fit_three_lines(consumption, temperature)
+        assert model.heating_gradient == pytest.approx(
+            truth["heating_gradient"], rel=0.15
+        )
+        assert model.cooling_gradient == pytest.approx(
+            truth["cooling_gradient"], rel=0.15
+        )
+
+    def test_breakpoints_near_balance_temperatures(self, uncorrelated_consumer):
+        consumption, temperature, truth = uncorrelated_consumer
+        model = fit_three_lines(consumption, temperature)
+        b1, b2 = model.band_upper.breakpoints
+        assert b1 == pytest.approx(truth["t_heat"], abs=3.0)
+        assert b2 == pytest.approx(truth["t_cool"], abs=3.0)
+
+    def test_base_load_near_minimum_activity(self, uncorrelated_consumer):
+        consumption, temperature, truth = uncorrelated_consumer
+        model = fit_three_lines(consumption, temperature)
+        # Base load ~ 10th percentile of activity = near min of the daily
+        # activity curve (0.3 at the trough of the sinusoid).
+        assert model.base_load == pytest.approx(truth["activity"].min(), abs=0.12)
+
+    def test_lines_are_continuous(self, uncorrelated_consumer):
+        consumption, temperature, _ = uncorrelated_consumer
+        model = fit_three_lines(consumption, temperature)
+        assert model.band_upper.max_discontinuity() < 1e-9
+        assert model.band_lower.max_discontinuity() < 1e-9
+
+    def test_upper_band_above_lower_band(self, uncorrelated_consumer):
+        consumption, temperature, _ = uncorrelated_consumer
+        model = fit_three_lines(consumption, temperature)
+        grid = np.linspace(*model.temperature_range, 50)
+        upper = model.band_upper.predict(grid)
+        lower = model.band_lower.predict(grid)
+        # 90th percentile model should dominate the 10th percentile model
+        # across (nearly) the whole observed range.
+        assert (upper >= lower - 1e-6).mean() > 0.95
+
+    def test_breakpoints_ordered(self, year_seed):
+        models = three_lines_for_dataset(year_seed)
+        for m in models.values():
+            assert m.band_upper.breakpoints[0] < m.band_upper.breakpoints[1]
+            assert m.band_lower.breakpoints[0] < m.band_lower.breakpoints[1]
+
+    def test_flat_consumer_has_near_zero_gradients(self):
+        rng = np.random.default_rng(5)
+        n = 24 * 365
+        temperature = rng.uniform(-20, 35, n)
+        consumption = 1.0 + rng.normal(0, 0.05, n)
+        model = fit_three_lines(consumption, temperature)
+        assert abs(model.heating_gradient) < 0.02
+        assert abs(model.cooling_gradient) < 0.02
+        assert model.base_load == pytest.approx(1.0, abs=0.15)
+
+    def test_phase_times_accumulated(self, uncorrelated_consumer):
+        consumption, temperature, _ = uncorrelated_consumer
+        phases = PhaseTimes()
+        fit_three_lines(consumption, temperature, phases=phases)
+        assert phases.t1_quantiles > 0
+        assert phases.t2_regression > 0
+        assert phases.t3_adjust >= 0
+        assert phases.total() == pytest.approx(
+            phases.t1_quantiles + phases.t2_regression + phases.t3_adjust
+        )
+
+    def test_regression_dominates_phases(self, year_seed):
+        # Paper Fig. 6: T2 (regression/breakpoint search) is the most
+        # costly component of the 3-line algorithm.
+        phases = PhaseTimes()
+        three_lines_for_dataset(year_seed, phases=phases)
+        assert phases.t2_regression > phases.t1_quantiles
+        assert phases.t2_regression > phases.t3_adjust
+
+    def test_narrow_temperature_range_rejected(self):
+        rng = np.random.default_rng(0)
+        n = 500
+        temperature = rng.uniform(19.9, 20.1, n)  # single bin
+        consumption = rng.random(n)
+        with pytest.raises(InsufficientDataError):
+            fit_three_lines(consumption, temperature)
+
+    def test_nan_rejected(self):
+        values = np.ones(100)
+        values[0] = np.nan
+        with pytest.raises(DataError, match="NaN"):
+            fit_three_lines(values, np.linspace(-10, 30, 100))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            fit_three_lines(np.ones(10), np.ones(11))
+
+    def test_summary_keys(self, uncorrelated_consumer):
+        consumption, temperature, _ = uncorrelated_consumer
+        summary = fit_three_lines(consumption, temperature).summary()
+        assert set(summary) == {"heating_gradient", "cooling_gradient", "base_load"}
+
+
+class TestPiecewisePredict:
+    def test_predict_uses_correct_segment(self, uncorrelated_consumer):
+        consumption, temperature, _ = uncorrelated_consumer
+        band = fit_three_lines(consumption, temperature).band_upper
+        b1, b2 = band.breakpoints
+        left, mid, right = band.lines
+        assert band.predict(b1 - 5.0) == pytest.approx(left.predict(b1 - 5.0))
+        assert band.predict((b1 + b2) / 2) == pytest.approx(
+            mid.predict((b1 + b2) / 2)
+        )
+        assert band.predict(b2 + 5.0) == pytest.approx(right.predict(b2 + 5.0))
+
+    def test_predict_vectorized_matches_scalar(self, uncorrelated_consumer):
+        consumption, temperature, _ = uncorrelated_consumer
+        band = fit_three_lines(consumption, temperature).band_lower
+        xs = np.linspace(-20, 30, 7)
+        vec = band.predict(xs)
+        for x, v in zip(xs, vec):
+            assert band.predict(float(x)) == pytest.approx(v)
+
+
+class TestConfig:
+    def test_wider_bins_reduce_point_count(self, uncorrelated_consumer):
+        consumption, temperature, _ = uncorrelated_consumer
+        narrow = fit_three_lines(
+            consumption, temperature, ThreeLineConfig(bin_width=1.0)
+        )
+        wide = fit_three_lines(
+            consumption, temperature, ThreeLineConfig(bin_width=5.0)
+        )
+        # Coarse bins blur the percentile curve, but both settings must
+        # still find a clearly positive heating slope of the same order.
+        assert narrow.heating_gradient > 0.05
+        assert wide.heating_gradient > 0.05
+        assert wide.heating_gradient == pytest.approx(
+            narrow.heating_gradient, rel=0.6
+        )

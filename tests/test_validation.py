@@ -1,0 +1,142 @@
+"""Unit tests for cross-engine result validation (the failure paths)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import BenchmarkSpec, Task, run_task_reference
+from repro.core.histogram import HistogramResult
+from repro.core.validation import (
+    ValidationFailure,
+    compare_histograms,
+    compare_par,
+    compare_similarity,
+    compare_task_results,
+    compare_threeline,
+)
+
+
+def _hist(edges, counts):
+    return HistogramResult(
+        edges=np.asarray(edges, dtype=np.float64),
+        counts=np.asarray(counts, dtype=np.int64),
+    )
+
+
+class TestCompareHistograms:
+    def test_identical_pass(self):
+        a = {"c": _hist([0, 1, 2], [3, 4])}
+        compare_histograms(a, {"c": _hist([0, 1, 2], [3, 4])})
+
+    def test_key_mismatch(self):
+        with pytest.raises(ValidationFailure, match="consumer sets differ"):
+            compare_histograms({"a": _hist([0, 1], [1])}, {"b": _hist([0, 1], [1])})
+
+    def test_edge_mismatch(self):
+        with pytest.raises(ValidationFailure, match="edges differ"):
+            compare_histograms(
+                {"c": _hist([0, 1, 2], [3, 4])},
+                {"c": _hist([0, 1, 2.5], [3, 4])},
+            )
+
+    def test_count_mismatch(self):
+        with pytest.raises(ValidationFailure, match="counts differ"):
+            compare_histograms(
+                {"c": _hist([0, 1, 2], [3, 4])},
+                {"c": _hist([0, 1, 2], [4, 3])},
+            )
+
+
+class TestCompareModels:
+    @pytest.fixture(scope="class")
+    def models(self, year_seed):
+        return run_task_reference(year_seed, Task.THREELINE)
+
+    def test_threeline_self_pass(self, models):
+        compare_threeline(models, models)
+
+    def test_threeline_gradient_mismatch(self, models):
+        import dataclasses
+
+        cid = next(iter(models))
+        broken = dict(models)
+        broken[cid] = dataclasses.replace(
+            models[cid], heating_gradient=models[cid].heating_gradient + 1.0
+        )
+        with pytest.raises(ValidationFailure, match="heating_gradient"):
+            compare_threeline(models, broken)
+
+    def test_par_self_pass(self, year_seed):
+        par = run_task_reference(year_seed, Task.PAR)
+        compare_par(par, par)
+
+    def test_par_profile_mismatch(self, year_seed):
+        import dataclasses
+
+        par = run_task_reference(year_seed, Task.PAR)
+        cid = next(iter(par))
+        broken = dict(par)
+        broken[cid] = dataclasses.replace(
+            par[cid], profile=par[cid].profile + 0.5
+        )
+        with pytest.raises(ValidationFailure, match="profiles differ"):
+            compare_par(par, broken)
+
+
+class TestCompareSimilarity:
+    def test_tied_scores_may_reorder(self):
+        a = {"c": [("x", 0.9), ("y", 0.9)]}
+        b = {"c": [("y", 0.9), ("x", 0.9)]}
+        compare_similarity(a, b)  # no raise: scores identical
+
+    def test_score_mismatch(self):
+        a = {"c": [("x", 0.9)]}
+        b = {"c": [("x", 0.7)]}
+        with pytest.raises(ValidationFailure, match="score vectors differ"):
+            compare_similarity(a, b)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationFailure, match="lengths differ"):
+            compare_similarity({"c": [("x", 0.9)]}, {"c": []})
+
+    def test_cutoff_ties_are_interchangeable(self):
+        # A disagreement exactly at the k-th-place score is a legitimate
+        # tie: either neighbour is a valid top-k answer.
+        a = {"c": [("x", 0.9), ("y", 0.5)]}
+        b = {"c": [("x", 0.9), ("z", 0.5)]}
+        compare_similarity(a, b)  # no raise
+
+    def test_neighbour_set_mismatch_beyond_ties(self):
+        # Disagreement strictly above the cut-off score is a real error.
+        a = {"c": [("x", 0.9), ("y", 0.5)]}
+        b = {"c": [("z", 0.9), ("y", 0.5)]}
+        with pytest.raises(ValidationFailure, match="beyond ties"):
+            compare_similarity(a, b)
+
+
+class TestDispatch:
+    def test_dispatch_covers_all_tasks(self, small_seed):
+        for task in Task:
+            result = run_task_reference(small_seed, task)
+            compare_task_results(task, result, result)
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError, match="unknown task"):
+            compare_task_results("nope", {}, {})
+
+
+class TestBenchmarkSpec:
+    def test_paper_constants(self):
+        spec = BenchmarkSpec()
+        assert spec.n_buckets == 10
+        assert spec.top_k == 10
+        assert spec.par.p == 3
+
+    def test_task_titles(self):
+        assert Task.THREELINE.title == "3-line"
+        assert Task.HISTOGRAM.title == "Histogram"
+
+    def test_unknown_task_in_reference_runner(self, small_seed):
+        with pytest.raises(ValueError, match="unknown task"):
+            run_task_reference(small_seed, "bogus")
