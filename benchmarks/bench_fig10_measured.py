@@ -1,0 +1,39 @@
+"""Figure 10 (measured): real process-pool speedup vs the Amdahl model.
+
+Shape assertions are host-aware: the ISSUE's >1.5x-at-4-workers criterion
+only applies on machines with at least 4 cores — on smaller hosts this
+bench still exercises the full measurement path and checks graceful
+degradation (every worker count completes and reports sane numbers).
+"""
+
+import os
+
+from conftest import run_once, series
+
+from repro.harness.single_server import fig10_measured
+
+MULTICORE = (os.cpu_count() or 1) >= 4
+
+
+def test_fig10_measured_shape(benchmark, quick_scale):
+    result = run_once(
+        benchmark, lambda: fig10_measured(scale=quick_scale, workers=(1, 2, 4))
+    )
+
+    def row(task, workers):
+        return series(result, task=task, workers=workers)[0]
+
+    for task in ("threeline", "par", "histogram", "similarity"):
+        for workers in (1, 2, 4):
+            r = row(task, workers)
+            assert r["seconds"] > 0.0
+            assert r["measured_speedup"] > 0.0
+            # The model column mirrors fig10's Amdahl curve.
+            assert r["modeled_speedup"] <= workers
+        assert row(task, 1)["measured_speedup"] == 1.0
+
+    if MULTICORE:
+        # The acceptance criterion: real speedup on real cores for the
+        # heavy tasks (histogram is too cheap to amortize pool startup).
+        assert row("threeline", 4)["measured_speedup"] > 1.5
+        assert row("similarity", 4)["measured_speedup"] > 1.5

@@ -51,12 +51,20 @@ PER_CONSUMER_TASKS = (Task.HISTOGRAM, Task.THREELINE, Task.PAR)
 
 @dataclass(frozen=True)
 class BenchmarkSpec:
-    """A concrete benchmark configuration (defaults = the paper's)."""
+    """A concrete benchmark configuration (defaults = the paper's).
+
+    ``n_jobs`` selects process-parallel execution of the tasks
+    (:mod:`repro.parallel`): 1 = serial (the default), N > 1 = N worker
+    processes, 0 / None-like negative conventions follow
+    :func:`repro.parallel.executor.effective_n_jobs`.  Results are
+    bit-identical for every value — it is purely a performance knob.
+    """
 
     n_buckets: int = NUM_BUCKETS
     top_k: int = TOP_K
     par: ParConfig = field(default_factory=lambda: ParConfig(p=AR_ORDER))
     threeline: ThreeLineConfig = field(default_factory=ThreeLineConfig)
+    n_jobs: int = 1
 
 
 def run_task_reference(
@@ -69,8 +77,17 @@ def run_task_reference(
     :class:`~repro.core.threeline.ThreeLineModel`,
     :class:`~repro.core.par.ParModel`, or a list of ``(neighbour_id, score)``
     pairs for similarity.
+
+    With ``spec.n_jobs != 1`` the task fans out over a process pool
+    (:func:`repro.parallel.run_task_parallel`) — same kernels, same
+    (bit-identical) output.
     """
     spec = spec or BenchmarkSpec()
+    if spec.n_jobs != 1:
+        # Lazy import: repro.parallel depends on this module.
+        from repro.parallel import run_task_parallel
+
+        return run_task_parallel(dataset, task, spec)
     if task is Task.HISTOGRAM:
         return histograms_for_dataset(dataset, spec.n_buckets)
     if task is Task.THREELINE:

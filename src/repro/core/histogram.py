@@ -43,9 +43,25 @@ class HistogramResult:
         """Total number of readings counted."""
         return int(self.counts.sum())
 
+    def bucket_widths(self) -> np.ndarray:
+        """Width of every bucket (they differ for equi-depth histograms)."""
+        return np.diff(self.edges)
+
     def bucket_width(self) -> float:
-        """Common width of the equi-width buckets."""
-        return float(self.edges[1] - self.edges[0])
+        """Common width of the buckets of an equi-width histogram.
+
+        Raises :class:`~repro.exceptions.DataError` when the edges are not
+        (approximately) equally spaced — an equi-depth histogram has no
+        single bucket width; use :meth:`bucket_widths` for those.
+        """
+        widths = self.bucket_widths()
+        first = float(widths[0])
+        if not np.allclose(widths, first, rtol=1e-9, atol=0.0):
+            raise DataError(
+                "buckets are not equi-width (widths range "
+                f"{widths.min():g}..{widths.max():g}); use bucket_widths()"
+            )
+        return first
 
 
 def equi_width_histogram(values: np.ndarray, n_buckets: int = 10) -> HistogramResult:

@@ -25,13 +25,25 @@ from repro.exceptions import DataError
 #: descending score order (ties broken by ascending neighbour position).
 Neighbours = list[tuple[str, float]]
 
+#: Row-block size of the blocked reference computation.  Fixed (not tuned
+#: per call) so that the serial reference and the process-parallel path of
+#: :mod:`repro.parallel` issue the *same* BLAS calls and stay bit-identical.
+SIMILARITY_BLOCK_ROWS = 64
 
-def cosine_similarity_matrix(matrix: np.ndarray) -> np.ndarray:
-    """Dense ``(n, n)`` cosine similarity of the rows of ``matrix``.
 
-    All-zero rows have undefined cosine similarity; by convention their
-    similarity to everything (including themselves) is 0.
+def clip_scores(scores: np.ndarray) -> np.ndarray:
+    """Clip cosine scores to the valid ``[-1, 1]`` range, in place if possible.
+
+    Squaring subnormal-range values underflows, which can push a computed
+    ratio (including self-similarity) marginally past 1.  Every similarity
+    implementation in the package — reference and engines — funnels its raw
+    scores through this one helper so they cannot disagree on the boundary.
     """
+    return np.clip(scores, -1.0, 1.0)
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Rows scaled to unit L2 norm; all-zero rows stay all-zero."""
     matrix = np.asarray(matrix, dtype=np.float64)
     if matrix.ndim != 2:
         raise DataError(f"expected a 2-D matrix, got shape {matrix.shape}")
@@ -39,9 +51,35 @@ def cosine_similarity_matrix(matrix: np.ndarray) -> np.ndarray:
     safe = np.where(norms > 0.0, norms, 1.0)
     normalized = matrix / safe[:, None]
     normalized[norms == 0.0] = 0.0
-    # Clip for numerical safety: squaring subnormal-range values underflows
-    # and can push self-similarity marginally past 1.
-    return np.clip(normalized @ normalized.T, -1.0, 1.0)
+    return normalized
+
+
+def cosine_similarity_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Dense ``(n, n)`` cosine similarity of the rows of ``matrix``.
+
+    All-zero rows have undefined cosine similarity; by convention their
+    similarity to everything (including themselves) is 0.
+    """
+    normalized = normalize_rows(matrix)
+    return clip_scores(normalized @ normalized.T)
+
+
+def cosine_similarity_block(
+    normalized: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """Rows ``lo:hi`` of the cosine similarity matrix, from normalized rows.
+
+    ``normalized`` must come from :func:`normalize_rows`.  This is the unit
+    of work of the blocked similarity computation: both the serial reference
+    (:func:`top_k_similar`) and the process-parallel row-range path compute
+    similarity block by block with this function, so their results agree
+    bit for bit for any distribution of blocks over workers.
+    """
+    if not 0 <= lo < hi <= normalized.shape[0]:
+        raise DataError(
+            f"block [{lo}, {hi}) out of range for {normalized.shape[0]} rows"
+        )
+    return clip_scores(normalized[lo:hi] @ normalized.T)
 
 
 def rank_row(scores: np.ndarray, row: int, k: int) -> list[tuple[int, float]]:
@@ -61,17 +99,30 @@ def rank_row(scores: np.ndarray, row: int, k: int) -> list[tuple[int, float]]:
 def top_k_similar(
     matrix: np.ndarray, ids: list[str], k: int = 10
 ) -> dict[str, Neighbours]:
-    """Vectorized top-k cosine similarity search over all rows."""
+    """Vectorized top-k cosine similarity search over all rows.
+
+    Computed in fixed-size row blocks (:data:`SIMILARITY_BLOCK_ROWS`):
+    normalize rows once, then one matrix product per block and a partial
+    sort per row.  Blocking bounds the dense score buffer at
+    ``block_rows x n`` instead of ``n x n`` and makes the computation
+    decomposable over processes without changing a single bit of output.
+    """
     matrix = np.asarray(matrix, dtype=np.float64)
     if matrix.shape[0] != len(ids):
         raise DataError(f"{matrix.shape[0]} rows but {len(ids)} ids")
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    sims = cosine_similarity_matrix(matrix)
-    return {
-        ids[row]: [(ids[i], score) for i, score in rank_row(sims[row], row, k)]
-        for row in range(len(ids))
-    }
+    normalized = normalize_rows(matrix)
+    n = len(ids)
+    results: dict[str, Neighbours] = {}
+    for lo in range(0, n, SIMILARITY_BLOCK_ROWS):
+        hi = min(n, lo + SIMILARITY_BLOCK_ROWS)
+        sims = cosine_similarity_block(normalized, lo, hi)
+        for row in range(lo, hi):
+            results[ids[row]] = [
+                (ids[i], score) for i, score in rank_row(sims[row - lo], row, k)
+            ]
+    return results
 
 
 def cosine_similarity_pair(x: np.ndarray, y: np.ndarray) -> float:
@@ -85,7 +136,7 @@ def cosine_similarity_pair(x: np.ndarray, y: np.ndarray) -> float:
     ny = float(np.dot(y, y)) ** 0.5
     if nx == 0.0 or ny == 0.0:
         return 0.0
-    return min(1.0, max(-1.0, dot / (nx * ny)))
+    return float(clip_scores(np.float64(dot / (nx * ny))))
 
 
 def top_k_similar_pairwise(

@@ -26,10 +26,16 @@ import numpy as np
 from repro.core.benchmark import BenchmarkSpec
 from repro.core.histogram import HistogramResult, equi_width_histogram
 from repro.core.par import fit_par
-from repro.core.similarity import rank_row
+from repro.core.similarity import clip_scores, rank_row
 from repro.core.threeline import PhaseTimes, fit_bands
 from repro.engines.base import BUILTIN, HAND_WRITTEN, AnalyticsEngine, LoadStats
 from repro.exceptions import EngineError
+from repro.parallel import (
+    effective_n_jobs,
+    parallel_map_consumers,
+    parallel_similarity,
+)
+from repro.parallel import kernels as parallel_kernels
 from repro.relational.catalog import Database
 from repro.relational.executor import execute_select
 from repro.relational.layouts import TableLayout, load_dataset
@@ -131,10 +137,33 @@ class MadlibEngine(AnalyticsEngine):
             )
         return out
 
+    def _matrix_dataset(self) -> Dataset:
+        """The fetched household arrays as dense matrices for the pool.
+
+        The SQL fetch stays in the driver (serial — it is the database
+        round-trip); only the per-consumer statistics fan out, matching
+        the paper's PL driver + parallel backend split.
+        """
+        arrays = self._household_arrays()
+        ids = list(arrays)
+        return Dataset(
+            consumer_ids=ids,
+            consumption=np.stack([arrays[cid][0] for cid in ids]),
+            temperature=np.stack([arrays[cid][1] for cid in ids]),
+            name="madlib",
+        )
+
     # Tasks ---------------------------------------------------------------------
 
     def histogram(self, spec: BenchmarkSpec | None = None):
         spec = spec or BenchmarkSpec()
+        if effective_n_jobs(spec.n_jobs) > 1:
+            return parallel_map_consumers(
+                parallel_kernels.histogram_kernel,
+                self._matrix_dataset(),
+                n_jobs=spec.n_jobs,
+                n_buckets=spec.n_buckets,
+            )
         if self.layout is TableLayout.READINGS:
             result = self._query(
                 f"SELECT household_id, madlib_hist(consumption, {spec.n_buckets}) "
@@ -155,6 +184,15 @@ class MadlibEngine(AnalyticsEngine):
     def three_line(self, spec: BenchmarkSpec | None = None):
         spec = spec or BenchmarkSpec()
         cfg = spec.threeline
+        if effective_n_jobs(spec.n_jobs) > 1:
+            # Workers run the full reference 3-line per consumer; the
+            # in-database T1 split is a serial-path refinement only.
+            return parallel_map_consumers(
+                parallel_kernels.threeline_kernel,
+                self._matrix_dataset(),
+                n_jobs=spec.n_jobs,
+                config=cfg,
+            )
         tic = time.perf_counter()
         points: dict[str, list[tuple[float, float, float, int]]] = {}
         if self.layout is TableLayout.READINGS:
@@ -202,6 +240,13 @@ class MadlibEngine(AnalyticsEngine):
 
     def par(self, spec: BenchmarkSpec | None = None):
         spec = spec or BenchmarkSpec()
+        if effective_n_jobs(spec.n_jobs) > 1:
+            return parallel_map_consumers(
+                parallel_kernels.par_kernel,
+                self._matrix_dataset(),
+                n_jobs=spec.n_jobs,
+                config=spec.par,
+            )
         # MADLib's time-series module stands in as the built-in PAR; the
         # database contributes the grouping/reassembly of each series.
         return {
@@ -214,6 +259,10 @@ class MadlibEngine(AnalyticsEngine):
         arrays = self._household_arrays()
         ids = list(arrays)
         matrix = np.stack([arrays[cid][0] for cid in ids])
+        if effective_n_jobs(spec.n_jobs) > 1:
+            return parallel_similarity(
+                matrix, ids, spec.top_k, n_jobs=spec.n_jobs
+            )
         # Hand-written PL-style similarity: explicit pairwise dot products.
         norms = np.sqrt((matrix * matrix).sum(axis=1))
         results = {}
@@ -227,6 +276,7 @@ class MadlibEngine(AnalyticsEngine):
                     scores[j] = float(np.dot(matrix[i], matrix[j])) / (
                         norms[i] * norms[j]
                     )
+            scores = clip_scores(scores)
             results[ids[i]] = [
                 (ids[j], s) for j, s in rank_row(scores, i, spec.top_k)
             ]

@@ -27,8 +27,14 @@ import numpy as np
 from repro.core.benchmark import BenchmarkSpec
 from repro.core.histogram import equi_width_histogram
 from repro.core.par import fit_par
-from repro.core.similarity import rank_row
+from repro.core.similarity import clip_scores, rank_row
 from repro.core.threeline import PhaseTimes, fit_three_lines
+from repro.parallel import (
+    effective_n_jobs,
+    parallel_map_consumers,
+    parallel_similarity,
+)
+from repro.parallel import kernels as parallel_kernels
 from repro.engines.base import (
     BUILTIN,
     HAND_WRITTEN,
@@ -125,6 +131,13 @@ class NumericEngine(AnalyticsEngine):
     def histogram(self, spec: BenchmarkSpec | None = None):
         spec = spec or BenchmarkSpec()
         data = self._read_all()
+        if effective_n_jobs(spec.n_jobs) > 1:
+            return parallel_map_consumers(
+                parallel_kernels.histogram_kernel,
+                data,
+                n_jobs=spec.n_jobs,
+                n_buckets=spec.n_buckets,
+            )
         return {
             cid: equi_width_histogram(data.consumption[i], spec.n_buckets)
             for i, cid in enumerate(data.consumer_ids)
@@ -133,6 +146,15 @@ class NumericEngine(AnalyticsEngine):
     def three_line(self, spec: BenchmarkSpec | None = None):
         spec = spec or BenchmarkSpec()
         data = self._read_all()
+        if effective_n_jobs(spec.n_jobs) > 1:
+            # Parallel instances are shared-nothing (the paper ran one
+            # Matlab per core); phase timing stays a serial-only feature.
+            return parallel_map_consumers(
+                parallel_kernels.threeline_kernel,
+                data,
+                n_jobs=spec.n_jobs,
+                config=spec.threeline,
+            )
         return {
             cid: fit_three_lines(
                 data.consumption[i],
@@ -146,6 +168,13 @@ class NumericEngine(AnalyticsEngine):
     def par(self, spec: BenchmarkSpec | None = None):
         spec = spec or BenchmarkSpec()
         data = self._read_all()
+        if effective_n_jobs(spec.n_jobs) > 1:
+            return parallel_map_consumers(
+                parallel_kernels.par_kernel,
+                data,
+                n_jobs=spec.n_jobs,
+                config=spec.par,
+            )
         return {
             cid: fit_par(data.consumption[i], data.temperature[i], spec.par)
             for i, cid in enumerate(data.consumer_ids)
@@ -156,6 +185,10 @@ class NumericEngine(AnalyticsEngine):
         data = self._read_all()
         matrix = data.consumption
         ids = data.consumer_ids
+        if effective_n_jobs(spec.n_jobs) > 1:
+            return parallel_similarity(
+                matrix, ids, spec.top_k, n_jobs=spec.n_jobs
+            )
         # Hand-written similarity: loop over consumers, one vectorized
         # matrix-vector product per consumer (the Matlab idiom).
         norms = np.sqrt((matrix * matrix).sum(axis=1))
@@ -165,7 +198,7 @@ class NumericEngine(AnalyticsEngine):
             if norms[row] == 0.0:
                 scores = np.zeros(len(ids))
             else:
-                scores = (matrix @ matrix[row]) / (safe * norms[row])
+                scores = clip_scores((matrix @ matrix[row]) / (safe * norms[row]))
                 scores[norms == 0.0] = 0.0
             results[ids[row]] = [
                 (ids[j], s) for j, s in rank_row(scores, row, spec.top_k)

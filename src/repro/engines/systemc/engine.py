@@ -31,6 +31,7 @@ from repro.columnar import operators as ops
 from repro.columnar.colstore import ColumnStore, ColumnTable
 from repro.core.benchmark import BenchmarkSpec
 from repro.core.histogram import HistogramResult
+from repro.core.similarity import clip_scores
 from repro.core.par import HourModel, ParModel
 from repro.core.stats import Line
 from repro.core.threeline import (
@@ -41,6 +42,11 @@ from repro.core.threeline import (
 )
 from repro.engines.base import HAND_WRITTEN, AnalyticsEngine, LoadStats
 from repro.exceptions import EngineError, InsufficientDataError
+from repro.parallel import (
+    effective_n_jobs,
+    parallel_map_consumers,
+    parallel_similarity,
+)
 from repro.timeseries.calendar import HOURS_PER_DAY
 from repro.timeseries.series import Dataset
 
@@ -108,6 +114,13 @@ class SystemCEngine(AnalyticsEngine):
     def histogram(self, spec: BenchmarkSpec | None = None):
         spec = spec or BenchmarkSpec()
         table = self._require_table()
+        if effective_n_jobs(spec.n_jobs) > 1:
+            return parallel_map_consumers(
+                histogram_kernel,
+                self._matrix_dataset(),
+                n_jobs=spec.n_jobs,
+                n_buckets=spec.n_buckets,
+            )
         out = {}
         for code in range(table.n_households):
             cons, _ = self._household(code)
@@ -119,126 +132,49 @@ class SystemCEngine(AnalyticsEngine):
         spec = spec or BenchmarkSpec()
         cfg = spec.threeline
         table = self._require_table()
+        if effective_n_jobs(spec.n_jobs) > 1:
+            return parallel_map_consumers(
+                threeline_kernel,
+                self._matrix_dataset(),
+                n_jobs=spec.n_jobs,
+                config=cfg,
+            )
         out = {}
         for code in range(table.n_households):
             cons, temp = self._household(code)
-            out[table.decode(code)] = self._three_line_one(cons, temp, cfg)
+            out[table.decode(code)] = three_line_one(
+                cons, temp, cfg, self.phase_times
+            )
         return out
-
-    def _three_line_one(
-        self, cons: np.ndarray, temp: np.ndarray, cfg: ThreeLineConfig
-    ) -> ThreeLineModel:
-        tic = time.perf_counter()
-        bins = np.round(temp / cfg.bin_width).astype(np.int64)
-        got_bins, lower, upper, counts = ops.group_percentiles_by_bin(
-            bins, cons, cfg.lower_percentile, cfg.upper_percentile, cfg.min_bin_count
-        )
-        temps = got_bins.astype(np.float64) * cfg.bin_width
-        self.phase_times.t1_quantiles += time.perf_counter() - tic
-
-        tic = time.perf_counter()
-        weights = counts if cfg.weight_by_count else None
-        l_fit = _search_breakpoints(temps, lower, weights, cfg.min_segment_points)
-        u_fit = _search_breakpoints(temps, upper, weights, cfg.min_segment_points)
-        self.phase_times.t2_regression += time.perf_counter() - tic
-
-        tic = time.perf_counter()
-        band_lower = _join_lines(temps, *l_fit)
-        band_upper = _join_lines(temps, *u_fit)
-        t_lo, t_hi = float(temps[0]), float(temps[-1])
-        candidates = np.array(
-            [t_lo, band_lower.breakpoints[0], band_lower.breakpoints[1], t_hi]
-        )
-        model = ThreeLineModel(
-            band_upper=band_upper,
-            band_lower=band_lower,
-            heating_gradient=-band_upper.lines[0].slope,
-            cooling_gradient=band_upper.lines[2].slope,
-            base_load=float(band_lower.predict(candidates).min()),
-            temperature_range=(t_lo, t_hi),
-        )
-        self.phase_times.t3_adjust += time.perf_counter() - tic
-        return model
 
     def par(self, spec: BenchmarkSpec | None = None):
         spec = spec or BenchmarkSpec()
         cfg = spec.par
         table = self._require_table()
+        if effective_n_jobs(spec.n_jobs) > 1:
+            return parallel_map_consumers(
+                par_kernel, self._matrix_dataset(), n_jobs=spec.n_jobs, config=cfg
+            )
         out = {}
         for code in range(table.n_households):
             cons, temp = self._household(code)
-            out[table.decode(code)] = self._par_one(cons, temp, cfg)
+            out[table.decode(code)] = par_one(cons, temp, cfg)
         return out
 
-    def _par_one(self, cons: np.ndarray, temp: np.ndarray, cfg) -> ParModel:
-        """Batched PAR: all 24 hour-models solved in one vectorized pass.
+    def _matrix_dataset(self) -> Dataset:
+        """The clustered columns as dense matrices, for the worker pool.
 
-        A column engine assembles the 24 normal-equation systems from
-        columnar slices and solves them together with the hand-written
-        batched Gaussian elimination — the per-hour loop only packages
-        results.
+        Clustered storage with a fixed per-household stride means this is
+        a pair of reshapes over the memory-mapped columns — no per-row
+        gathering.
         """
-        n_days = cons.size // HOURS_PER_DAY
-        cons_dh = cons[: n_days * HOURS_PER_DAY].reshape(n_days, HOURS_PER_DAY)
-        temp_dh = temp[: n_days * HOURS_PER_DAY].reshape(n_days, HOURS_PER_DAY)
-        n_temp_cols = 1 if cfg.temperature_mode == "linear" else 2
-        if n_days < cfg.p + 1 + cfg.p + n_temp_cols:
-            raise InsufficientDataError(f"PAR needs more days, got {n_days}")
-
-        n_obs = n_days - cfg.p
-        y = cons_dh[cfg.p :, :]  # (n_obs, 24)
-        t = temp_dh[cfg.p :, :]
-        lags = np.stack(
-            [cons_dh[cfg.p - lag : n_days - lag, :] for lag in range(1, cfg.p + 1)],
-            axis=2,
-        )  # (n_obs, 24, p)
-        if cfg.temperature_mode == "linear":
-            temp_cols = t[:, :, None]
-        else:
-            temp_cols = np.stack(
-                [np.maximum(0.0, cfg.t_heat - t), np.maximum(0.0, t - cfg.t_cool)],
-                axis=2,
-            )
-        ones = np.ones((n_obs, HOURS_PER_DAY, 1))
-        design = np.concatenate([ones, lags, temp_cols], axis=2)  # (n_obs, 24, k)
-
-        # Normal equations per hour: X'X (24, k, k) and X'y (24, k).
-        design_h = design.transpose(1, 0, 2)  # (24, n_obs, k)
-        y_h = y.T  # (24, n_obs)
-        xtx = design_h.transpose(0, 2, 1) @ design_h
-        xty = (design_h * y_h[:, :, None]).sum(axis=1)
-        try:
-            coeffs = ops.batched_gaussian_solve(xtx, xty)  # (24, k)
-        except np.linalg.LinAlgError:
-            coeffs = np.stack(
-                [np.linalg.lstsq(design_h[h], y_h[h], rcond=None)[0]
-                 for h in range(HOURS_PER_DAY)]
-            )
-        resid = y_h - (design_h @ coeffs[:, :, None])[:, :, 0]
-        sse = (resid**2).sum(axis=1)
-
-        temp_coeffs = coeffs[:, 1 + cfg.p :]
-        if cfg.temperature_mode == "linear":
-            thermal = temp_coeffs[:, 0] * (t.mean(axis=0) - cfg.t_ref)
-        else:
-            thermal = (temp_cols.mean(axis=0) * temp_coeffs).sum(axis=1)
-        profile = y.mean(axis=0) - thermal
-
-        hour_models = tuple(
-            HourModel(
-                hour=h,
-                coefficients=coeffs[h],
-                sse=float(sse[h]),
-                n_observations=n_obs,
-            )
-            for h in range(HOURS_PER_DAY)
-        )
-        return ParModel(
-            profile=profile,
-            hour_models=hour_models,
-            p=cfg.p,
-            temperature_mode=cfg.temperature_mode,
-            config=cfg,
+        table = self._require_table()
+        n, stride = table.n_households, table.stride
+        return Dataset(
+            consumer_ids=[table.decode(code) for code in range(n)],
+            consumption=np.asarray(table.column("consumption")).reshape(n, stride),
+            temperature=np.asarray(table.column("temperature")).reshape(n, stride),
+            name="systemc",
         )
 
     def similarity(self, spec: BenchmarkSpec | None = None):
@@ -247,6 +183,13 @@ class SystemCEngine(AnalyticsEngine):
         n = table.n_households
         stride = table.stride
         cons = np.asarray(table.column("consumption")).reshape(n, stride)
+        if effective_n_jobs(spec.n_jobs) > 1:
+            return parallel_similarity(
+                cons,
+                [table.decode(code) for code in range(n)],
+                spec.top_k,
+                n_jobs=spec.n_jobs,
+            )
         # Hand-written: explicit norm computation, one elementwise
         # multiply-and-sum per (consumer, all-others) row — no BLAS matmul.
         norms = np.sqrt((cons * cons).sum(axis=1))
@@ -257,14 +200,155 @@ class SystemCEngine(AnalyticsEngine):
             else:
                 scores = (cons * cons[i]).sum(axis=1)
                 with np.errstate(invalid="ignore", divide="ignore"):
-                    scores = np.where(
-                        norms > 0.0, scores / (norms * norms[i]), 0.0
+                    scores = clip_scores(
+                        np.where(norms > 0.0, scores / (norms * norms[i]), 0.0)
                     )
             top = ops.top_k_by_score(scores, spec.top_k, exclude=i)
             out[table.decode(i)] = [
                 (table.decode(j), float(scores[j])) for j in top
             ]
         return out
+
+
+# Hand-written per-consumer task kernels ------------------------------------
+#
+# Module-level (not methods) so the process pool can pickle references to
+# them; the serial task methods call the same functions, keeping serial and
+# parallel execution numerically identical.
+
+
+def three_line_one(
+    cons: np.ndarray,
+    temp: np.ndarray,
+    cfg: ThreeLineConfig,
+    phases: PhaseTimes | None = None,
+) -> ThreeLineModel:
+    """The 3-line algorithm for one consumer, hand-written operators."""
+    tic = time.perf_counter()
+    bins = np.round(temp / cfg.bin_width).astype(np.int64)
+    got_bins, lower, upper, counts = ops.group_percentiles_by_bin(
+        bins, cons, cfg.lower_percentile, cfg.upper_percentile, cfg.min_bin_count
+    )
+    temps = got_bins.astype(np.float64) * cfg.bin_width
+    t1 = time.perf_counter() - tic
+
+    tic = time.perf_counter()
+    weights = counts if cfg.weight_by_count else None
+    l_fit = _search_breakpoints(temps, lower, weights, cfg.min_segment_points)
+    u_fit = _search_breakpoints(temps, upper, weights, cfg.min_segment_points)
+    t2 = time.perf_counter() - tic
+
+    tic = time.perf_counter()
+    band_lower = _join_lines(temps, *l_fit)
+    band_upper = _join_lines(temps, *u_fit)
+    t_lo, t_hi = float(temps[0]), float(temps[-1])
+    candidates = np.array(
+        [t_lo, band_lower.breakpoints[0], band_lower.breakpoints[1], t_hi]
+    )
+    model = ThreeLineModel(
+        band_upper=band_upper,
+        band_lower=band_lower,
+        heating_gradient=-band_upper.lines[0].slope,
+        cooling_gradient=band_upper.lines[2].slope,
+        base_load=float(band_lower.predict(candidates).min()),
+        temperature_range=(t_lo, t_hi),
+    )
+    t3 = time.perf_counter() - tic
+    if phases is not None:
+        phases.add(PhaseTimes(t1, t2, t3))
+    return model
+
+
+def par_one(cons: np.ndarray, temp: np.ndarray, cfg) -> ParModel:
+    """Batched PAR: all 24 hour-models solved in one vectorized pass.
+
+    A column engine assembles the 24 normal-equation systems from
+    columnar slices and solves them together with the hand-written
+    batched Gaussian elimination — the per-hour loop only packages
+    results.
+    """
+    n_days = cons.size // HOURS_PER_DAY
+    cons_dh = cons[: n_days * HOURS_PER_DAY].reshape(n_days, HOURS_PER_DAY)
+    temp_dh = temp[: n_days * HOURS_PER_DAY].reshape(n_days, HOURS_PER_DAY)
+    n_temp_cols = 1 if cfg.temperature_mode == "linear" else 2
+    if n_days < cfg.p + 1 + cfg.p + n_temp_cols:
+        raise InsufficientDataError(f"PAR needs more days, got {n_days}")
+
+    n_obs = n_days - cfg.p
+    y = cons_dh[cfg.p :, :]  # (n_obs, 24)
+    t = temp_dh[cfg.p :, :]
+    lags = np.stack(
+        [cons_dh[cfg.p - lag : n_days - lag, :] for lag in range(1, cfg.p + 1)],
+        axis=2,
+    )  # (n_obs, 24, p)
+    if cfg.temperature_mode == "linear":
+        temp_cols = t[:, :, None]
+    else:
+        temp_cols = np.stack(
+            [np.maximum(0.0, cfg.t_heat - t), np.maximum(0.0, t - cfg.t_cool)],
+            axis=2,
+        )
+    ones = np.ones((n_obs, HOURS_PER_DAY, 1))
+    design = np.concatenate([ones, lags, temp_cols], axis=2)  # (n_obs, 24, k)
+
+    # Normal equations per hour: X'X (24, k, k) and X'y (24, k).
+    design_h = design.transpose(1, 0, 2)  # (24, n_obs, k)
+    y_h = y.T  # (24, n_obs)
+    xtx = design_h.transpose(0, 2, 1) @ design_h
+    xty = (design_h * y_h[:, :, None]).sum(axis=1)
+    try:
+        coeffs = ops.batched_gaussian_solve(xtx, xty)  # (24, k)
+    except np.linalg.LinAlgError:
+        coeffs = np.stack(
+            [np.linalg.lstsq(design_h[h], y_h[h], rcond=None)[0]
+             for h in range(HOURS_PER_DAY)]
+        )
+    resid = y_h - (design_h @ coeffs[:, :, None])[:, :, 0]
+    sse = (resid**2).sum(axis=1)
+
+    temp_coeffs = coeffs[:, 1 + cfg.p :]
+    if cfg.temperature_mode == "linear":
+        thermal = temp_coeffs[:, 0] * (t.mean(axis=0) - cfg.t_ref)
+    else:
+        thermal = (temp_cols.mean(axis=0) * temp_coeffs).sum(axis=1)
+    profile = y.mean(axis=0) - thermal
+
+    hour_models = tuple(
+        HourModel(
+            hour=h,
+            coefficients=coeffs[h],
+            sse=float(sse[h]),
+            n_observations=n_obs,
+        )
+        for h in range(HOURS_PER_DAY)
+    )
+    return ParModel(
+        profile=profile,
+        hour_models=hour_models,
+        p=cfg.p,
+        temperature_mode=cfg.temperature_mode,
+        config=cfg,
+    )
+
+
+def histogram_kernel(
+    cons: np.ndarray, temp: np.ndarray, *, n_buckets: int
+) -> HistogramResult:
+    """Pool-friendly wrapper over the hand-written histogram operator."""
+    edges, counts = ops.histogram_equi_width(cons, n_buckets)
+    return HistogramResult(edges=edges, counts=counts)
+
+
+def threeline_kernel(
+    cons: np.ndarray, temp: np.ndarray, *, config: ThreeLineConfig
+) -> ThreeLineModel:
+    """Pool-friendly wrapper over :func:`three_line_one` (no phase timing)."""
+    return three_line_one(cons, temp, config)
+
+
+def par_kernel(cons: np.ndarray, temp: np.ndarray, *, config) -> ParModel:
+    """Pool-friendly wrapper over :func:`par_one`."""
+    return par_one(cons, temp, config)
 
 
 # 3-line fitting pieces (hand-written, mirroring the reference algorithm) ----

@@ -44,6 +44,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write each result as CSV under DIR",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for figures that run benchmark tasks "
+            "(0 = all cores; figures without a jobs knob ignore it)"
+        ),
+    )
+    parser.add_argument(
         "--validate",
         action="store_true",
         help="run all tasks on all five engines and verify they agree",
@@ -89,7 +99,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     for figure_id in ids:
         tic = time.perf_counter()
-        result = run_figure(figure_id)
+        result = run_figure(figure_id, jobs=args.jobs)
         elapsed = time.perf_counter() - tic
         print(result.render())
         print(f"  [{figure_id} regenerated in {elapsed:.1f}s]")

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
 from repro.harness import cluster_figures, extensions, single_server
@@ -17,6 +18,10 @@ FIGURES: dict[str, tuple[Callable[[], FigureResult], str]] = {
     "fig8": (single_server.figure8, "Peak memory per task per platform"),
     "fig9": (single_server.figure9, "MADLib table layouts (rows/arrays/daily)"),
     "fig10": (single_server.figure10, "Multi-threaded speedup (4-core/8-HT model)"),
+    "fig10_measured": (
+        single_server.fig10_measured,
+        "Measured process-parallel speedup vs the Amdahl model",
+    ),
     "fig11": (cluster_figures.figure11, "System C vs Spark/Hive on synthetic data"),
     "fig12": (cluster_figures.figure12, "Throughput per server"),
     "fig13": (cluster_figures.figure13, "Format 1 execution times"),
@@ -38,12 +43,19 @@ FIGURES: dict[str, tuple[Callable[[], FigureResult], str]] = {
 }
 
 
-def run_figure(figure_id: str) -> FigureResult:
-    """Run one registered figure by id."""
+def run_figure(figure_id: str, jobs: int | None = None) -> FigureResult:
+    """Run one registered figure by id.
+
+    ``jobs`` (the CLI ``--jobs`` knob) is forwarded to figures whose
+    runner accepts a ``jobs`` parameter — the rest ignore it silently,
+    so one flag can apply to a mixed ``--all`` run.
+    """
     try:
         runner, _ = FIGURES[figure_id]
     except KeyError:
         raise KeyError(
             f"unknown figure {figure_id!r}; choose from {sorted(FIGURES)}"
         ) from None
+    if jobs is not None and "jobs" in inspect.signature(runner).parameters:
+        return runner(jobs=jobs)
     return runner()

@@ -29,11 +29,21 @@ class Measurement:
         return self.peak_bytes / (1024.0 * 1024.0)
 
 
+#: One slot per in-flight ``measure`` call.  tracemalloc keeps a single
+#: global peak, so a nested ``measure`` calling ``reset_peak`` would wipe
+#: whatever peak the outer measurement had already reached.  Before a
+#: nested call resets, it banks the observed peak into its parent's slot;
+#: the parent reports the max of what it saw and what nested calls banked.
+_banked_peaks: list[int] = []
+
+
 def measure(fn: Callable[[], object], track_memory: bool = True) -> Measurement:
     """Run ``fn`` once, measuring wall time and (optionally) peak memory.
 
     Memory tracking uses tracemalloc, which roughly doubles running time —
-    timing-sensitive figures pass ``track_memory=False``.
+    timing-sensitive figures pass ``track_memory=False``.  Calls may nest
+    (e.g. a figure measuring a task that measures a phase); each level
+    reports the peak reached during its own callable.
     """
     if not track_memory:
         tic = time.perf_counter()
@@ -42,16 +52,21 @@ def measure(fn: Callable[[], object], track_memory: bool = True) -> Measurement:
     already_tracing = tracemalloc.is_tracing()
     if not already_tracing:
         tracemalloc.start()
+    elif _banked_peaks:
+        _, prior_peak = tracemalloc.get_traced_memory()
+        _banked_peaks[-1] = max(_banked_peaks[-1], prior_peak)
     tracemalloc.reset_peak()
+    _banked_peaks.append(0)
     tic = time.perf_counter()
     try:
         value = fn()
         seconds = time.perf_counter() - tic
         _, peak = tracemalloc.get_traced_memory()
     finally:
+        banked = _banked_peaks.pop()
         if not already_tracing:
             tracemalloc.stop()
-    return Measurement(seconds=seconds, peak_bytes=peak, value=value)
+    return Measurement(seconds=seconds, peak_bytes=max(peak, banked), value=value)
 
 
 def time_only(fn: Callable[[], object]) -> tuple[float, object]:

@@ -10,6 +10,7 @@ otherwise, matching the paper's protocol.
 
 from __future__ import annotations
 
+import os
 import tempfile
 import time
 from pathlib import Path
@@ -17,7 +18,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.columnar.operators import matmul_naive
-from repro.core.benchmark import Task
+from repro.core.benchmark import BenchmarkSpec, Task
 from repro.core.threeline import PhaseTimes
 from repro.engines.base import CAPABILITY_FUNCTIONS, ENGINE_NAMES, create_engine
 from repro.harness.datasets import seed_dataset
@@ -31,6 +32,11 @@ from repro.harness.threading_model import (
 )
 from repro.io.csvio import read_partitioned, read_unpartitioned, write_unpartitioned
 from repro.io.partition import DatasetLayout, split_unpartitioned_file
+from repro.parallel import (
+    effective_n_jobs,
+    parallel_similarity,
+    run_task_parallel,
+)
 from repro.relational.layouts import TableLayout
 
 #: The three platforms of the single-server experiments.
@@ -174,9 +180,15 @@ _SIMILARITY_CAP_GB = 4.0
 def figure7(
     scale: Scale = SINGLE_SERVER_SCALE,
     sizes_gb: tuple[float, ...] = (2.0, 4.0, 6.0, 8.0, 10.0),
+    jobs: int = 1,
 ) -> FigureResult:
-    """Figure 7: single-threaded cold-start times, 4 tasks x 3 platforms."""
+    """Figure 7: single-threaded cold-start times, 4 tasks x 3 platforms.
+
+    ``jobs`` > 1 (the CLI ``--jobs`` knob) reruns the experiment with each
+    engine fanning its tasks over that many worker processes.
+    """
     workdir = _workdir()
+    spec = BenchmarkSpec(n_jobs=jobs)
     rows = []
     for gb in sizes_gb:
         dataset = seed_dataset(scale.consumers_for_gb(gb), scale.hours)
@@ -189,12 +201,15 @@ def figure7(
                     and gb > _SIMILARITY_CAP_GB
                 ):
                     continue  # the paper's curves end at 4 GB here
-                _, seconds = engine.timed_task(task, cold=True)
+                _, seconds = engine.timed_task(task, spec, cold=True)
                 rows.append([task.value, gb, name, seconds])
             engine.close()
+    title = "Single-threaded execution times (cold start, seconds)"
+    if jobs != 1:
+        title = f"Execution times at n_jobs={jobs} (cold start, seconds)"
     return FigureResult(
         figure_id="fig7",
-        title="Single-threaded execution times (cold start, seconds)",
+        title=title,
         columns=["task", "gb", "platform", "seconds"],
         rows=rows,
         notes=[
@@ -287,6 +302,80 @@ def figure10(
         columns=["task", "platform", "threads", "speedup", "single_thread_s"],
         rows=rows,
         notes=["near-linear to 4 threads, diminishing 4->8 (hyperthreads)"],
+    )
+
+
+def fig10_measured(
+    scale: Scale = SINGLE_SERVER_SCALE,
+    workers: tuple[int, ...] = (1, 2, 4, 8),
+    jobs: int | None = None,
+) -> FigureResult:
+    """Figure 10, *measured*: real process-pool speedup beside the model.
+
+    :func:`figure10` scales one measured single-thread time with the
+    documented Amdahl model; this experiment actually runs each task at
+    every worker count on the reference kernels (:mod:`repro.parallel`)
+    and reports measured wall-clock speedup next to the modeled curve.
+    On hosts with fewer cores than ``max(workers)`` the measured column
+    flattens at the core count — the model column still shows the
+    paper-hardware expectation.  ``jobs`` (the CLI ``--jobs`` knob) caps
+    the worker axis at that count.
+    """
+    if jobs is not None:
+        jobs = effective_n_jobs(jobs)  # resolve 0/negative conventions
+        workers = tuple(sorted({1, *(w for w in workers if w < jobs), jobs}))
+    per_consumer = seed_dataset(scale.consumers_for_gb(10.0), scale.hours)
+    # Similarity is quadratic in consumers: use the paper's 40k-household
+    # axis, with blocks small enough that every worker count gets several.
+    sim_consumers = scale.consumers_for_households(40_000)
+    sim_dataset = seed_dataset(sim_consumers, scale.hours)
+    sim_block_rows = max(1, sim_consumers // 32)
+    profile = THREADING_PROFILES["matlab"]  # reference kernels = Matlab analogue
+    rows = []
+    for task in _TASKS:
+        task_profile = profile
+        if task is Task.SIMILARITY:
+            task_profile = ThreadingProfile(
+                serial_fraction=min(
+                    0.99, profile.serial_fraction + SIMILARITY_EXTRA_SERIAL
+                ),
+                ht_efficiency=profile.ht_efficiency,
+            )
+        base_s: float | None = None
+        for p in workers:
+            if task is Task.SIMILARITY:
+                seconds, _ = time_only(
+                    lambda p=p: parallel_similarity(
+                        sim_dataset.consumption,
+                        sim_dataset.consumer_ids,
+                        n_jobs=p,
+                        block_rows=sim_block_rows,
+                    )
+                )
+            else:
+                seconds, _ = time_only(
+                    lambda p=p, t=task: run_task_parallel(
+                        per_consumer, t, n_jobs=p
+                    )
+                )
+            if base_s is None:
+                base_s = seconds
+            measured = base_s / seconds if seconds > 0 else float("inf")
+            rows.append(
+                [task.value, p, seconds, measured, task_profile.speedup(p)]
+            )
+    return FigureResult(
+        figure_id="fig10_measured",
+        title="Measured process-parallel speedup vs the Amdahl model",
+        columns=["task", "workers", "seconds", "measured_speedup", "modeled_speedup"],
+        rows=rows,
+        notes=[
+            f"per-consumer tasks: {per_consumer.n_consumers} consumers x "
+            f"{scale.hours} hours; similarity: {sim_consumers} consumers "
+            "(40k-household axis)",
+            f"host cores: {os.cpu_count()}; measured speedup saturates there",
+            "modeled column = the Figure 10 Amdahl profile (matlab analogue)",
+        ],
     )
 
 

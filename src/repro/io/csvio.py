@@ -77,20 +77,33 @@ def read_consumer_file(path: str | Path) -> tuple[np.ndarray, np.ndarray]:
     return data[:, 0].copy(), data[:, 1].copy()
 
 
-def read_partitioned(directory: str | Path, name: str = "dataset") -> Dataset:
-    """Read a directory of per-consumer CSV files into a Dataset."""
+def _read_consumer_files(paths: list[Path]) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Parse a batch of consumer files (the unit shipped to worker processes)."""
+    return [read_consumer_file(path) for path in paths]
+
+
+def read_partitioned(
+    directory: str | Path, name: str = "dataset", n_jobs: int = 1
+) -> Dataset:
+    """Read a directory of per-consumer CSV files into a Dataset.
+
+    ``n_jobs`` > 1 parses the files across that many worker processes
+    (:func:`repro.parallel.parallel_map_items`) — file order, and hence
+    the dataset, is identical for every value.
+    """
     directory = Path(directory)
     files = sorted(directory.glob("*.csv"))
     if not files:
         raise DatasetFormatError(f"no consumer files found in {directory}")
-    ids: list[str] = []
-    cons_rows: list[np.ndarray] = []
-    temp_rows: list[np.ndarray] = []
-    for path in files:
-        cons, temp = read_consumer_file(path)
-        ids.append(path.stem)
-        cons_rows.append(cons)
-        temp_rows.append(temp)
+    if n_jobs != 1:
+        from repro.parallel import parallel_map_items  # lazy: avoids cycle
+
+        parsed = parallel_map_items(_read_consumer_files, files, n_jobs=n_jobs)
+    else:
+        parsed = _read_consumer_files(files)
+    ids = [path.stem for path in files]
+    cons_rows = [cons for cons, _ in parsed]
+    temp_rows = [temp for _, temp in parsed]
     lengths = {len(c) for c in cons_rows}
     if len(lengths) != 1:
         raise DatasetFormatError(

@@ -1,0 +1,54 @@
+"""repro.parallel — real process-parallel execution of the benchmark tasks.
+
+The paper's Figure 10 measures multi-core speedup of the four tasks; this
+package is the substrate that makes the reproduction *measure* rather
+than only model it (the Amdahl model of
+:mod:`repro.harness.threading_model` stays, for validating the measured
+curve against the paper's published one).
+
+Layers:
+
+* :mod:`repro.parallel.shm` — zero-copy publication of the
+  ``(n_consumers, n_hours)`` matrices to workers via
+  ``multiprocessing.shared_memory``, with a pickle fallback;
+* :mod:`repro.parallel.kernels` — picklable per-consumer kernels and the
+  worker entry points;
+* :mod:`repro.parallel.executor` — the pool: per-consumer chunk fan-out,
+  blocked-row-range similarity, serial fallback;
+* :mod:`repro.parallel.tasks` — benchmark-task dispatch
+  (:func:`run_task_parallel`).
+
+Every path is bit-identical to the serial reference for any ``n_jobs``.
+"""
+
+from repro.parallel.executor import (
+    effective_n_jobs,
+    parallel_map_consumers,
+    parallel_map_items,
+    parallel_similarity,
+)
+from repro.parallel.shm import (
+    DatasetHandles,
+    MatrixHandle,
+    MatrixPublisher,
+    attach_matrix,
+    iter_chunks,
+    publish_dataset,
+    shared_memory_available,
+)
+from repro.parallel.tasks import run_task_parallel
+
+__all__ = [
+    "DatasetHandles",
+    "MatrixHandle",
+    "MatrixPublisher",
+    "attach_matrix",
+    "effective_n_jobs",
+    "iter_chunks",
+    "parallel_map_consumers",
+    "parallel_map_items",
+    "parallel_similarity",
+    "publish_dataset",
+    "run_task_parallel",
+    "shared_memory_available",
+]

@@ -1,0 +1,208 @@
+"""Process-pool execution of the benchmark tasks.
+
+The three per-consumer tasks (histogram, 3-line, PAR) fan out over
+contiguous consumer chunks; top-k similarity fans out over fixed-size row
+blocks.  Input matrices travel to workers through shared memory
+(:mod:`repro.parallel.shm`), results come back by pickle (they are small:
+models, not matrices).
+
+Determinism contract: for a given dataset and spec, every ``n_jobs`` —
+including the in-process serial path — produces *bit-identical* results.
+Per-consumer kernels touch one row at a time, so distribution cannot
+change them; similarity achieves it by making the fixed-size row block
+(not the worker's share) the unit of computation, so the exact same BLAS
+calls run no matter how blocks land on workers.
+
+Degradation ladder: no ``multiprocessing.shared_memory`` -> matrices are
+pickled to workers; process pool cannot be created at all -> the task runs
+serially in-process.  Both fallbacks are silent and produce identical
+results — ``n_jobs`` is a performance knob, never a correctness one.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.core.similarity import SIMILARITY_BLOCK_ROWS, Neighbours, top_k_similar
+from repro.exceptions import DataError
+from repro.parallel import kernels
+from repro.parallel.shm import (
+    MatrixHandle,
+    MatrixPublisher,
+    iter_chunks,
+    publish_dataset,
+)
+
+
+def effective_n_jobs(n_jobs: int | None) -> int:
+    """Resolve an ``n_jobs`` knob into a concrete worker count.
+
+    ``None`` or ``0`` mean "all cores"; negative counts back from the core
+    count (``-1`` = all cores, ``-2`` = all but one, joblib-style); any
+    positive value is taken as-is.  Always at least 1.
+    """
+    cores = os.cpu_count() or 1
+    if n_jobs is None or n_jobs == 0:
+        return cores
+    if n_jobs < 0:
+        return max(1, cores + 1 + n_jobs)
+    return n_jobs
+
+
+def _make_pool(n_workers: int):
+    """A process pool, or None when this platform cannot fork/spawn one."""
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(max_workers=n_workers)
+    except (ImportError, NotImplementedError, OSError, PermissionError):
+        return None
+
+
+def parallel_map_consumers(
+    kernel: Callable[..., Any],
+    dataset,
+    *,
+    n_jobs: int | None = None,
+    use_shared_memory: bool = True,
+    **kernel_kwargs: Any,
+) -> dict[str, Any]:
+    """Apply a per-consumer kernel to every consumer, fanned over processes.
+
+    ``kernel`` must be a module-level callable with signature
+    ``kernel(consumption_row, temperature_row, **kernel_kwargs)`` (see
+    :mod:`repro.parallel.kernels` for the reference set).  Returns
+    ``{consumer_id: result}`` in dataset order, bit-identical to the
+    serial loop for any ``n_jobs``.
+    """
+    n = dataset.n_consumers
+    jobs = min(effective_n_jobs(n_jobs), n)
+    if jobs <= 1:
+        return {
+            cid: kernel(
+                dataset.consumption[i], dataset.temperature[i], **kernel_kwargs
+            )
+            for i, cid in enumerate(dataset.consumer_ids)
+        }
+    pool = _make_pool(jobs)
+    if pool is None:
+        return parallel_map_consumers(
+            kernel, dataset, n_jobs=1, **kernel_kwargs
+        )
+    with pool, MatrixPublisher(use_shared_memory) as publisher:
+        handles = publish_dataset(publisher, dataset)
+        futures = [
+            pool.submit(
+                kernels.run_consumer_chunk, handles, kernel, lo, hi, kernel_kwargs
+            )
+            for lo, hi in iter_chunks(n, jobs)
+        ]
+        results: list[Any] = []
+        for future in futures:  # submission order == consumer order
+            results.extend(future.result())
+    return dict(zip(dataset.consumer_ids, results))
+
+
+def parallel_similarity(
+    matrix: np.ndarray,
+    ids: Sequence[str],
+    k: int = 10,
+    *,
+    n_jobs: int | None = None,
+    block_rows: int = SIMILARITY_BLOCK_ROWS,
+    use_shared_memory: bool = True,
+) -> dict[str, Neighbours]:
+    """Top-k cosine similarity over blocked row ranges, process-parallel.
+
+    ``block_rows`` is the unit of computation, not the per-worker share:
+    the same blocks are computed whatever ``n_jobs`` is, only their
+    placement changes — which is what keeps every worker count
+    bit-identical to the serial reference (:func:`top_k_similar` computes
+    the identical blocks in-process when ``block_rows`` matches its
+    default).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != len(ids):
+        raise DataError(
+            f"matrix shape {matrix.shape} does not match {len(ids)} ids"
+        )
+    if block_rows < 1:
+        raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+    n = len(ids)
+    blocks = [
+        (lo, min(n, lo + block_rows)) for lo in range(0, n, block_rows)
+    ]
+    jobs = min(effective_n_jobs(n_jobs), len(blocks))
+    if jobs <= 1:
+        return _serial_similarity(matrix, list(ids), k, block_rows)
+    pool = _make_pool(jobs)
+    if pool is None:
+        return _serial_similarity(matrix, list(ids), k, block_rows)
+    with pool, MatrixPublisher(use_shared_memory) as publisher:
+        handle = publisher.publish(matrix)
+        # Contiguous runs of blocks per worker: preserves each worker's
+        # sequential access pattern over the shared matrix.
+        futures = [
+            pool.submit(
+                kernels.run_similarity_blocks, handle, blocks[b_lo:b_hi], k
+            )
+            for b_lo, b_hi in iter_chunks(len(blocks), jobs)
+        ]
+        by_row: dict[int, list[tuple[int, float]]] = {}
+        for future in futures:
+            for row, neighbours in future.result():
+                by_row[row] = neighbours
+    return {
+        ids[row]: [(ids[j], score) for j, score in by_row[row]]
+        for row in range(n)
+    }
+
+
+def _serial_similarity(
+    matrix: np.ndarray, ids: list[str], k: int, block_rows: int
+) -> dict[str, Neighbours]:
+    """In-process blocked similarity (the n_jobs=1 / no-pool path)."""
+    if block_rows == SIMILARITY_BLOCK_ROWS:
+        return top_k_similar(matrix, ids, k)
+    out: dict[str, Neighbours] = {}
+    for (row, neighbours) in kernels.run_similarity_blocks(
+        MatrixHandle(shape=matrix.shape, dtype=str(matrix.dtype), inline=matrix),
+        [(lo, min(len(ids), lo + block_rows)) for lo in range(0, len(ids), block_rows)],
+        k,
+    ):
+        out[ids[row]] = [(ids[j], score) for j, score in neighbours]
+    return out
+
+
+def parallel_map_items(
+    fn: Callable[[list], list],
+    items: Sequence,
+    *,
+    n_jobs: int | None = None,
+) -> list:
+    """Generic ordered fan-out: apply a chunk function to slices of items.
+
+    ``fn`` takes a list slice and returns a list of the same length; the
+    concatenated results preserve item order.  Used for work that is not
+    matrix-shaped (e.g. parsing per-consumer CSV files in
+    :func:`repro.io.csvio.read_partitioned`).  Falls back to one
+    in-process call when pools are unavailable or pointless.
+    """
+    items = list(items)
+    jobs = min(effective_n_jobs(n_jobs), len(items)) if items else 1
+    if jobs <= 1:
+        return fn(items)
+    pool = _make_pool(jobs)
+    if pool is None:
+        return fn(items)
+    with pool:
+        futures = [
+            pool.submit(fn, items[lo:hi]) for lo, hi in iter_chunks(len(items), jobs)
+        ]
+        out: list = []
+        for future in futures:
+            out.extend(future.result())
+    return out

@@ -1,0 +1,125 @@
+"""Picklable per-consumer kernels and worker entry points.
+
+Everything in this module runs inside worker processes, so it must be
+importable by name (module-level functions only — the pool pickles
+references, not closures).  The per-consumer kernels are thin wrappers
+over the reference kernels of :mod:`repro.core`; engines with hand-written
+operators (System C) pass their own module-level kernels instead.
+
+A kernel has the uniform signature::
+
+    kernel(consumption_row, temperature_row, **kwargs) -> result
+
+which is exactly the shape of the paper's "embarrassingly parallel across
+consumers" tasks (Section 3.5): one consumer in, one result out, no
+cross-consumer state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.histogram import equi_width_histogram
+from repro.core.par import ParConfig, fit_par
+from repro.core.similarity import (
+    cosine_similarity_block,
+    normalize_rows,
+    rank_row,
+)
+from repro.core.threeline import ThreeLineConfig, fit_three_lines
+from repro.parallel.shm import DatasetHandles, MatrixHandle, attach_matrix
+
+# Per-consumer reference kernels -------------------------------------------
+
+
+def histogram_kernel(
+    consumption: np.ndarray, temperature: np.ndarray, *, n_buckets: int = 10
+):
+    """Task 1 for one consumer (temperature unused, uniform signature)."""
+    return equi_width_histogram(consumption, n_buckets)
+
+
+def threeline_kernel(
+    consumption: np.ndarray,
+    temperature: np.ndarray,
+    *,
+    config: ThreeLineConfig | None = None,
+):
+    """Task 2 for one consumer (phase timing is a serial-only feature)."""
+    return fit_three_lines(consumption, temperature, config)
+
+
+def par_kernel(
+    consumption: np.ndarray,
+    temperature: np.ndarray,
+    *,
+    config: ParConfig | None = None,
+):
+    """Task 3 for one consumer."""
+    return fit_par(consumption, temperature, config)
+
+
+# Worker entry points -------------------------------------------------------
+
+
+def run_consumer_chunk(
+    handles: DatasetHandles,
+    kernel: Callable[..., Any],
+    lo: int,
+    hi: int,
+    kwargs: dict[str, Any],
+) -> list[Any]:
+    """Apply ``kernel`` to consumers ``lo:hi`` of a published dataset.
+
+    Rows are materialized as copies so kernels see ordinary writable
+    arrays regardless of whether the matrix arrived via shared memory.
+    """
+    consumption = attach_matrix(handles.consumption)
+    temperature = attach_matrix(handles.temperature)
+    return [
+        kernel(consumption[i].copy(), temperature[i].copy(), **kwargs)
+        for i in range(lo, hi)
+    ]
+
+
+#: Worker-side cache of normalized similarity matrices, keyed by the
+#: consumption matrix's shared-memory name.  Normalizing is O(n * hours)
+#: against the O(n^2 * hours) similarity itself, but one worker typically
+#: handles many row blocks of the same matrix — no need to redo it.
+_normalized_cache: dict[str, np.ndarray] = {}
+
+
+def _normalized_for(handle: MatrixHandle) -> np.ndarray:
+    matrix = attach_matrix(handle)
+    key = handle.shm_name
+    if key is None:
+        return normalize_rows(matrix)
+    cached = _normalized_cache.get(key)
+    if cached is None or cached.shape != matrix.shape:
+        cached = normalize_rows(matrix)
+        _normalized_cache[key] = cached
+    return cached
+
+
+def run_similarity_blocks(
+    handle: MatrixHandle,
+    blocks: list[tuple[int, int]],
+    k: int,
+) -> list[tuple[int, list[tuple[int, float]]]]:
+    """Compute top-k neighbours for the given row blocks.
+
+    Returns ``(row_index, [(neighbour_index, score), ...])`` pairs; the
+    parent maps indices back to consumer ids.  Each block is computed with
+    :func:`~repro.core.similarity.cosine_similarity_block` — the same unit
+    of work the serial reference uses, so results are bit-identical no
+    matter how blocks land on workers.
+    """
+    normalized = _normalized_for(handle)
+    out: list[tuple[int, list[tuple[int, float]]]] = []
+    for lo, hi in blocks:
+        sims = cosine_similarity_block(normalized, lo, hi)
+        for row in range(lo, hi):
+            out.append((row, rank_row(sims[row - lo], row, k)))
+    return out

@@ -1,0 +1,48 @@
+"""Benchmark-task dispatch over the parallel substrate.
+
+:func:`run_task_parallel` is the parallel twin of
+:func:`repro.core.benchmark.run_task_reference`: same reference kernels,
+same output, fanned over a process pool.  ``run_task_reference`` routes
+here automatically when its spec carries ``n_jobs != 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.benchmark import BenchmarkSpec, Task
+from repro.parallel import kernels
+from repro.parallel.executor import parallel_map_consumers, parallel_similarity
+
+
+def run_task_parallel(
+    dataset,
+    task: Task,
+    spec: BenchmarkSpec | None = None,
+    n_jobs: int | None = None,
+) -> dict[str, Any]:
+    """Run one benchmark task with the reference kernels, process-parallel.
+
+    ``n_jobs`` overrides ``spec.n_jobs`` when given.  Bit-identical to
+    :func:`~repro.core.benchmark.run_task_reference` for every worker
+    count (see :mod:`repro.parallel.executor` for the contract).
+    """
+    spec = spec or BenchmarkSpec()
+    jobs = spec.n_jobs if n_jobs is None else n_jobs
+    if task is Task.HISTOGRAM:
+        return parallel_map_consumers(
+            kernels.histogram_kernel, dataset, n_jobs=jobs, n_buckets=spec.n_buckets
+        )
+    if task is Task.THREELINE:
+        return parallel_map_consumers(
+            kernels.threeline_kernel, dataset, n_jobs=jobs, config=spec.threeline
+        )
+    if task is Task.PAR:
+        return parallel_map_consumers(
+            kernels.par_kernel, dataset, n_jobs=jobs, config=spec.par
+        )
+    if task is Task.SIMILARITY:
+        return parallel_similarity(
+            dataset.consumption, dataset.consumer_ids, spec.top_k, n_jobs=jobs
+        )
+    raise ValueError(f"unknown task: {task!r}")

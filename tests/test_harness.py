@@ -70,6 +70,32 @@ class TestMeasure:
         m = measure(lambda: 1, track_memory=False)
         assert m.peak_bytes == 0
 
+    def test_nested_measure_preserves_outer_peak(self):
+        # Regression: a nested measure() resets tracemalloc's single global
+        # peak; without banking, the outer measurement would lose any peak
+        # it reached (and released) before the nested call.
+        def outer():
+            big = np.zeros(500_000)  # ~4 MB, freed before the nested call
+            total = float(big.sum())
+            del big
+            inner = measure(lambda: np.zeros(100).sum())
+            assert inner.peak_mb < 1.0  # nested call reports only its own
+            return total
+
+        m = measure(outer)
+        assert m.peak_mb > 3.0
+
+    def test_nested_measure_reports_inner_peak_to_both(self):
+        inner_result = {}
+
+        def outer():
+            inner_result["m"] = measure(lambda: np.zeros(500_000).sum())
+            return 1
+
+        m = measure(outer)
+        assert inner_result["m"].peak_mb > 3.0  # child saw its allocation
+        assert m.peak_mb > 3.0  # parent includes the child's allocation
+
 
 class TestThreadingModel:
     def test_single_thread_is_baseline(self):

@@ -114,3 +114,20 @@ class TestDatasetHistograms:
         assert result.bucket_width() == pytest.approx(
             (result.edges[-1] - result.edges[0]) / 10
         )
+
+    def test_bucket_widths_per_bucket(self):
+        result = HistogramResult(
+            edges=np.array([0.0, 1.0, 3.0, 7.0]),
+            counts=np.array([5, 5, 5]),
+        )
+        assert np.allclose(result.bucket_widths(), [1.0, 2.0, 4.0])
+
+    def test_bucket_width_raises_for_non_equi_width(self):
+        # Regression: equi-depth edges used to silently return the first
+        # bucket's width instead of flagging that no single width exists.
+        result = HistogramResult(
+            edges=np.array([0.0, 1.0, 3.0, 7.0]),
+            counts=np.array([5, 5, 5]),
+        )
+        with pytest.raises(DataError, match="bucket_widths"):
+            result.bucket_width()

@@ -118,3 +118,85 @@ class TestDatasetPar:
         assert matrix.shape == (year_seed.n_consumers, HOURS_PER_DAY)
         for i, cid in enumerate(ids):
             np.testing.assert_array_equal(matrix[i], models[cid].profile)
+
+
+class TestForecast:
+    """Round-trip: fit a noise-free AR(2) recurrence, forecasting continues it."""
+
+    INTERCEPT = 1.5
+    LAGS = (0.5, 0.3)  # lag-1, lag-2 coefficients (stable: sum < 1)
+    TEMP_C = 0.1
+
+    def _synthetic(self, n_days=60, seed=1):
+        """A consumer generated exactly by the PAR linear-mode equation."""
+        rng = np.random.default_rng(seed)
+        temp = rng.uniform(5.0, 25.0, size=(n_days, HOURS_PER_DAY))
+        y = np.empty((n_days, HOURS_PER_DAY))
+        y[:2] = rng.uniform(1.0, 2.0, size=(2, HOURS_PER_DAY))
+        for d in range(2, n_days):
+            y[d] = (
+                self.INTERCEPT
+                + self.LAGS[0] * y[d - 1]
+                + self.LAGS[1] * y[d - 2]
+                + self.TEMP_C * temp[d]
+            )
+        return y, temp
+
+    def _fit(self):
+        y, temp = self._synthetic()
+        model = fit_par(y.ravel(), temp.ravel(), ParConfig(p=2))
+        return model, y, temp
+
+    def test_fit_recovers_known_coefficients(self):
+        model, _, _ = self._fit()
+        for hm in model.hour_models:
+            assert hm.intercept == pytest.approx(self.INTERCEPT, abs=1e-6)
+            np.testing.assert_allclose(
+                hm.lag_coefficients(2), self.LAGS, atol=1e-6
+            )
+            np.testing.assert_allclose(
+                hm.temperature_coefficients(2), [self.TEMP_C], atol=1e-8
+            )
+            assert hm.sse == pytest.approx(0.0, abs=1e-10)
+
+    def test_forecast_day_continues_recurrence(self):
+        model, y, _ = self._fit()
+        rng = np.random.default_rng(99)
+        next_temp = rng.uniform(5.0, 25.0, size=HOURS_PER_DAY)
+        expected = (
+            self.INTERCEPT
+            + self.LAGS[0] * y[-1]
+            + self.LAGS[1] * y[-2]
+            + self.TEMP_C * next_temp
+        )
+        got = model.forecast_day(y[-2:], next_temp)
+        np.testing.assert_allclose(got, expected, atol=1e-6)
+
+    def test_multi_day_forecast_feeds_predictions_back_as_lags(self):
+        model, y, _ = self._fit()
+        rng = np.random.default_rng(7)
+        horizon_temp = rng.uniform(5.0, 25.0, size=(4, HOURS_PER_DAY))
+        got = model.forecast(y[-2:], horizon_temp)
+        assert got.shape == (4, HOURS_PER_DAY)
+        # Continue the true recurrence by hand: day d's lags are the
+        # *forecasts* for days d-1 and d-2 once the window moves past the
+        # observed data.
+        window = [y[-2], y[-1]]
+        for d in range(4):
+            expected = (
+                self.INTERCEPT
+                + self.LAGS[0] * window[-1]
+                + self.LAGS[1] * window[-2]
+                + self.TEMP_C * horizon_temp[d]
+            )
+            np.testing.assert_allclose(got[d], expected, atol=1e-5)
+            window.append(got[d])
+
+    def test_forecast_shape_validation(self):
+        model, y, _ = self._fit()
+        with pytest.raises(DataError):
+            model.forecast_day(y[-3:], np.full(HOURS_PER_DAY, 15.0))
+        with pytest.raises(DataError):
+            model.forecast_day(y[-2:], np.full(23, 15.0))
+        with pytest.raises(DataError):
+            model.forecast(y[-2:], np.full((2, 23), 15.0))

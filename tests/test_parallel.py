@@ -1,0 +1,209 @@
+"""Tests for :mod:`repro.parallel` — process-pool task execution.
+
+The headline contract is bit-identity: for any ``n_jobs`` (including the
+serial in-process path and both degradation fallbacks) every task returns
+exactly the same result.  These tests enforce it on the seed dataset for
+all four benchmark tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import BenchmarkSpec, Task, run_task_reference
+from repro.parallel import (
+    MatrixPublisher,
+    attach_matrix,
+    effective_n_jobs,
+    iter_chunks,
+    parallel_map_consumers,
+    parallel_map_items,
+    parallel_similarity,
+    publish_dataset,
+    run_task_parallel,
+    shared_memory_available,
+)
+from repro.parallel import kernels
+
+
+ALL_TASKS = (Task.HISTOGRAM, Task.THREELINE, Task.PAR, Task.SIMILARITY)
+
+
+def assert_results_identical(task: Task, a: dict, b: dict) -> None:
+    """Bitwise equality of two task result dicts (order included)."""
+    assert list(a) == list(b)
+    for cid in a:
+        ra, rb = a[cid], b[cid]
+        if task is Task.HISTOGRAM:
+            assert np.array_equal(ra.edges, rb.edges)
+            assert np.array_equal(ra.counts, rb.counts)
+        elif task is Task.THREELINE:
+            assert ra.base_load == rb.base_load
+            assert ra.heating_gradient == rb.heating_gradient
+            assert ra.cooling_gradient == rb.cooling_gradient
+            for la, lb in zip(ra.band_upper.lines, rb.band_upper.lines):
+                assert la.slope == lb.slope and la.intercept == lb.intercept
+        elif task is Task.PAR:
+            assert np.array_equal(ra.profile, rb.profile)
+            for ha, hb in zip(ra.hour_models, rb.hour_models):
+                assert np.array_equal(ha.coefficients, hb.coefficients)
+                assert ha.sse == hb.sse
+        else:  # similarity: ids and scores, exactly
+            assert ra == rb
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("task", ALL_TASKS, ids=[t.value for t in ALL_TASKS])
+    @pytest.mark.parametrize("n_jobs", [2, 4])
+    def test_matches_serial_reference(self, small_seed, task, n_jobs):
+        serial = run_task_reference(small_seed, task)
+        parallel = run_task_parallel(small_seed, task, n_jobs=n_jobs)
+        assert_results_identical(task, serial, parallel)
+
+    @pytest.mark.parametrize("task", ALL_TASKS, ids=[t.value for t in ALL_TASKS])
+    def test_spec_n_jobs_routes_through_reference_runner(self, small_seed, task):
+        serial = run_task_reference(small_seed, task)
+        via_spec = run_task_reference(
+            small_seed, task, BenchmarkSpec(n_jobs=2)
+        )
+        assert_results_identical(task, serial, via_spec)
+
+    def test_pickle_fallback_identical(self, small_seed):
+        serial = run_task_reference(small_seed, Task.HISTOGRAM)
+        no_shm = parallel_map_consumers(
+            kernels.histogram_kernel,
+            small_seed,
+            n_jobs=2,
+            use_shared_memory=False,
+            n_buckets=10,
+        )
+        assert_results_identical(Task.HISTOGRAM, serial, no_shm)
+
+    def test_similarity_pickle_fallback_identical(self, small_seed):
+        with_shm = parallel_similarity(
+            small_seed.consumption, small_seed.consumer_ids, n_jobs=2
+        )
+        without = parallel_similarity(
+            small_seed.consumption,
+            small_seed.consumer_ids,
+            n_jobs=2,
+            use_shared_memory=False,
+        )
+        assert with_shm == without
+
+    def test_similarity_small_blocks_identical(self, small_seed):
+        reference = parallel_similarity(
+            small_seed.consumption, small_seed.consumer_ids, n_jobs=1
+        )
+        blocked = parallel_similarity(
+            small_seed.consumption,
+            small_seed.consumer_ids,
+            n_jobs=2,
+            block_rows=3,
+        )
+        assert list(reference) == list(blocked)
+        for cid in reference:
+            ids_a = [j for j, _ in reference[cid]]
+            ids_b = [j for j, _ in blocked[cid]]
+            assert ids_a == ids_b
+            for (_, sa), (_, sb) in zip(reference[cid], blocked[cid]):
+                assert sa == pytest.approx(sb, abs=1e-12)
+
+
+class TestSerialFallback:
+    def test_pool_failure_falls_back_to_serial(self, small_seed, monkeypatch):
+        from repro.parallel import executor
+
+        monkeypatch.setattr(executor, "_make_pool", lambda n: None)
+        serial = run_task_reference(small_seed, Task.HISTOGRAM)
+        fallen_back = run_task_parallel(small_seed, Task.HISTOGRAM, n_jobs=4)
+        assert_results_identical(Task.HISTOGRAM, serial, fallen_back)
+
+    def test_similarity_pool_failure_falls_back(self, small_seed, monkeypatch):
+        from repro.parallel import executor
+
+        monkeypatch.setattr(executor, "_make_pool", lambda n: None)
+        serial = run_task_reference(small_seed, Task.SIMILARITY)
+        fallen_back = run_task_parallel(small_seed, Task.SIMILARITY, n_jobs=4)
+        assert serial == fallen_back
+
+
+class TestSharedMemory:
+    def test_publish_and_attach_round_trip(self, small_seed):
+        with MatrixPublisher() as publisher:
+            handles = publish_dataset(publisher, small_seed)
+            cons = attach_matrix(handles.consumption)
+            assert np.array_equal(cons, small_seed.consumption)
+            if shared_memory_available():
+                assert handles.consumption.uses_shared_memory
+            assert handles.consumer_ids == tuple(small_seed.consumer_ids)
+
+    def test_inline_fallback_round_trip(self, small_seed):
+        with MatrixPublisher(use_shared_memory=False) as publisher:
+            handle = publisher.publish(small_seed.consumption)
+            assert not handle.uses_shared_memory
+            assert np.array_equal(attach_matrix(handle), small_seed.consumption)
+
+
+class TestChunking:
+    def test_chunks_cover_range_without_overlap(self):
+        for n in (1, 7, 10, 64, 101):
+            for n_chunks in (1, 2, 3, 8, 200):
+                spans = list(iter_chunks(n, n_chunks))
+                assert spans[0][0] == 0
+                assert spans[-1][1] == n
+                for (a_lo, a_hi), (b_lo, b_hi) in zip(spans, spans[1:]):
+                    assert a_hi == b_lo
+                sizes = [hi - lo for lo, hi in spans]
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_empty_range_yields_nothing(self):
+        assert list(iter_chunks(0, 4)) == []
+
+    def test_never_more_chunks_than_items(self):
+        assert len(list(iter_chunks(3, 100))) == 3
+
+
+class TestEffectiveNJobs:
+    def test_explicit_positive_taken_as_is(self):
+        assert effective_n_jobs(3) == 3
+
+    def test_none_and_zero_mean_all_cores(self):
+        import os
+
+        cores = os.cpu_count() or 1
+        assert effective_n_jobs(None) == cores
+        assert effective_n_jobs(0) == cores
+
+    def test_negative_counts_back_joblib_style(self):
+        import os
+
+        cores = os.cpu_count() or 1
+        assert effective_n_jobs(-1) == cores
+        assert effective_n_jobs(-cores - 10) == 1
+
+
+class TestParallelMapItems:
+    def test_order_preserved(self):
+        double = lambda xs: [x * 2 for x in xs]  # noqa: E731
+        items = list(range(23))
+        assert parallel_map_items(double, items, n_jobs=1) == double(items)
+
+    def test_empty_items(self):
+        assert parallel_map_items(lambda xs: xs, [], n_jobs=4) == []
+
+
+class TestEngineParallelAgreement:
+    """Engines with n_jobs > 1 agree with their own serial output."""
+
+    @pytest.mark.parametrize("engine_name", ["matlab", "systemc"])
+    def test_histogram_agrees(self, small_seed, tmp_path, engine_name):
+        from repro.engines.base import create_engine
+
+        engine = create_engine(engine_name)
+        engine.load_dataset(small_seed, tmp_path)
+        serial = engine.histogram(BenchmarkSpec())
+        parallel = engine.histogram(BenchmarkSpec(n_jobs=2))
+        assert_results_identical(Task.HISTOGRAM, serial, parallel)
+        engine.close()

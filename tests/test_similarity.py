@@ -149,3 +149,66 @@ class TestTopK:
         m = np.tile(np.arange(1.0, 6.0), (4, 1))
         result = top_k_similar(m, _ids(4), k=3)
         assert [n for n, _ in result["c3"]] == ["c0", "c1", "c2"]
+
+
+class TestScoreClipping:
+    """Rounding can push cosines past +/-1; every path must clip.
+
+    Regression for the numeric engine's unclipped hand-written similarity:
+    near-underflow magnitudes make the dot/norm division land a few ulps
+    outside [-1, 1] for (anti)parallel series, which then breaks any
+    downstream acos/angle computation.
+    """
+
+    def _tiny_parallel_matrix(self):
+        rng = np.random.default_rng(42)
+        base = rng.normal(size=48)
+        return np.stack(
+            [
+                base * 1e-150,
+                base * 3e-150,  # exactly parallel to row 0
+                base * -2e-150,  # exactly anti-parallel
+                rng.normal(size=48) * 1e-150,
+            ]
+        )
+
+    def test_matrix_scores_bounded_near_underflow(self):
+        sims = cosine_similarity_matrix(self._tiny_parallel_matrix())
+        assert (sims <= 1.0).all() and (sims >= -1.0).all()
+        assert sims[0, 1] == pytest.approx(1.0)
+        assert sims[0, 2] == pytest.approx(-1.0)
+
+    def test_pair_scores_bounded_near_underflow(self):
+        m = self._tiny_parallel_matrix()
+        assert -1.0 <= cosine_similarity_pair(m[0], m[1]) <= 1.0
+        assert cosine_similarity_pair(m[0], m[1]) == pytest.approx(1.0)
+        assert cosine_similarity_pair(m[0], m[2]) == pytest.approx(-1.0)
+
+    def test_clip_scores_helper(self):
+        from repro.core.similarity import clip_scores
+
+        scores = np.array([-1.0 - 1e-16, -0.5, 0.5, 1.0 + 1e-16])
+        clipped = clip_scores(scores)
+        assert clipped.min() == -1.0 and clipped.max() == 1.0
+
+    def test_engines_agree_with_reference_near_underflow(self, tmp_path):
+        from repro.engines.systemc.engine import SystemCEngine
+        from repro.timeseries.series import Dataset
+
+        m = self._tiny_parallel_matrix()
+        dataset = Dataset(
+            consumer_ids=_ids(4),
+            consumption=m,
+            temperature=np.zeros_like(m) + 15.0,
+            name="tiny",
+        )
+        reference = top_k_similar(m, _ids(4), k=3)
+        engine = SystemCEngine()
+        engine.load_dataset(dataset, tmp_path)
+        got = engine.similarity()
+        assert set(got) == set(reference)
+        for cid in reference:
+            assert [j for j, _ in got[cid]] == [j for j, _ in reference[cid]]
+            for (_, se), (_, sr) in zip(got[cid], reference[cid]):
+                assert -1.0 <= se <= 1.0
+                assert se == pytest.approx(sr, abs=1e-9)
