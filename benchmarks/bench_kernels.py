@@ -1,0 +1,93 @@
+"""Batched-kernel speedups: the dispatch layer's headline numbers.
+
+Asserts the acceptance claim for ``repro.batched``: at 1000 synthetic
+consumers the batched whole-matrix kernels beat the per-consumer loop by
+at least 5x for the histogram and PAR tasks, while returning results the
+equivalence tests prove identical (bit-identical for histogram/3-line,
+documented tolerance for PAR).  The 3-line task is measured and reported
+but has no speedup floor — its cost is dominated by the shared T2/T3
+segmented fits, so batching T1 buys little.
+
+``benchmarks/regress.py`` runs the same measurements standalone (no
+pytest) and writes ``BENCH_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.benchmark import BenchmarkSpec, Task, run_task_reference
+from repro.datagen.seed import SeedConfig, make_seed_dataset
+
+#: Benchmark scenario: a month of hourly readings per consumer.
+N_CONSUMERS = 1000
+N_HOURS = 24 * 30
+#: The acceptance floor for histogram and PAR.
+MIN_SPEEDUP = 5.0
+_REPEATS = 3
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_seed_dataset(
+        SeedConfig(n_consumers=N_CONSUMERS, n_hours=N_HOURS, seed=1234)
+    )
+
+
+def _best_of(fn, repeats=_REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _speedup(dataset, task):
+    loop = _best_of(
+        lambda: run_task_reference(dataset, task, BenchmarkSpec(kernel="loop"))
+    )
+    batched = _best_of(
+        lambda: run_task_reference(dataset, task, BenchmarkSpec(kernel="batched"))
+    )
+    return loop / batched, loop, batched
+
+
+@pytest.mark.parametrize("task", [Task.HISTOGRAM, Task.PAR])
+def test_batched_kernel_speedup_floor(benchmark, dataset, task):
+    """Batched histogram and PAR are >= 5x the per-consumer loop."""
+    speedup, loop_s, batched_s = _speedup(dataset, task)
+    benchmark.pedantic(
+        lambda: run_task_reference(
+            dataset, task, BenchmarkSpec(kernel="batched")
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info.update(
+        task=task.value, loop_s=loop_s, batched_s=batched_s, speedup=speedup
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"{task.value}: batched {batched_s * 1e3:.1f} ms vs loop "
+        f"{loop_s * 1e3:.1f} ms = {speedup:.2f}x, below {MIN_SPEEDUP}x"
+    )
+
+
+def test_batched_threeline_reported(benchmark, dataset):
+    """3-line is measured for the record; no floor (T2/T3 dominate)."""
+    speedup, loop_s, batched_s = _speedup(dataset, Task.THREELINE)
+    benchmark.pedantic(
+        lambda: run_task_reference(
+            dataset, Task.THREELINE, BenchmarkSpec(kernel="batched")
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info.update(
+        task="threeline", loop_s=loop_s, batched_s=batched_s, speedup=speedup
+    )
+    assert batched_s > 0 and loop_s > 0

@@ -1,0 +1,160 @@
+"""Benchmark-regression harness for the batched kernels.
+
+Measures loop vs batched vs batched+parallel wall times for the three
+per-consumer tasks at several consumer counts and writes the numbers to
+``BENCH_kernels.json`` (committed at the repo root so regressions show
+up in review).  Runs standalone — no pytest required::
+
+    python benchmarks/regress.py            # full sweep, repo-root JSON
+    python benchmarks/regress.py --quick    # one small scale (CI smoke)
+    python benchmarks/regress.py --out path/to.json
+
+Exit status is non-zero if, at the largest measured scale with at least
+1000 consumers, histogram or PAR fall below the 5x speedup floor — the
+same claim ``bench_kernels.py`` asserts under pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core.benchmark import BenchmarkSpec, Task, run_task_reference  # noqa: E402
+from repro.datagen.seed import SeedConfig, make_seed_dataset  # noqa: E402
+
+#: A month of hourly readings per consumer.
+N_HOURS = 24 * 30
+#: Consumer counts for the full sweep / the --quick CI smoke run.
+FULL_SCALES = (250, 1000, 2000)
+QUICK_SCALES = (100,)
+#: Worker count for the batched+parallel column.
+PARALLEL_JOBS = 2
+#: Speedup floor enforced at the largest n >= 1000 (full sweep only).
+MIN_SPEEDUP = 5.0
+
+TASKS = (Task.HISTOGRAM, Task.THREELINE, Task.PAR)
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure(scales, repeats):
+    """Wall times for every (task, n, kernel strategy) combination."""
+    # Warm up every code path on a tiny dataset first so lazy imports and
+    # one-time setup are not billed to the first measured combination.
+    tiny = make_seed_dataset(SeedConfig(n_consumers=10, n_hours=N_HOURS, seed=1))
+    for task in TASKS:
+        for spec in (BenchmarkSpec(), BenchmarkSpec(kernel="batched")):
+            run_task_reference(tiny, task, spec)
+    rows = []
+    for n in scales:
+        dataset = make_seed_dataset(
+            SeedConfig(n_consumers=n, n_hours=N_HOURS, seed=1234)
+        )
+        for task in TASKS:
+            timings = {}
+            for label, spec in (
+                ("loop", BenchmarkSpec(kernel="loop")),
+                ("batched", BenchmarkSpec(kernel="batched")),
+                (
+                    "batched_parallel",
+                    BenchmarkSpec(kernel="batched", n_jobs=PARALLEL_JOBS),
+                ),
+            ):
+                timings[label] = _best_of(
+                    lambda spec=spec: run_task_reference(dataset, task, spec),
+                    repeats,
+                )
+            rows.append(
+                {
+                    "task": task.value,
+                    "n_consumers": n,
+                    "hours": N_HOURS,
+                    "loop_s": round(timings["loop"], 6),
+                    "batched_s": round(timings["batched"], 6),
+                    "batched_parallel_s": round(timings["batched_parallel"], 6),
+                    "speedup_batched": round(
+                        timings["loop"] / timings["batched"], 3
+                    ),
+                    "speedup_batched_parallel": round(
+                        timings["loop"] / timings["batched_parallel"], 3
+                    ),
+                }
+            )
+            print(
+                f"n={n:>5} {task.value:<10} loop {timings['loop'] * 1e3:8.1f} ms"
+                f"  batched {timings['batched'] * 1e3:8.1f} ms"
+                f"  (+{PARALLEL_JOBS} jobs {timings['batched_parallel'] * 1e3:8.1f} ms)"
+                f"  speedup {timings['loop'] / timings['batched']:5.2f}x"
+            )
+    return rows
+
+
+def check_floor(rows):
+    """True when histogram and PAR hold the floor at the largest n >= 1000."""
+    eligible = [r["n_consumers"] for r in rows if r["n_consumers"] >= 1000]
+    if not eligible:
+        return True  # quick mode: too small to enforce the floor
+    n = max(eligible)
+    ok = True
+    for task in ("histogram", "par"):
+        row = next(
+            r for r in rows if r["task"] == task and r["n_consumers"] == n
+        )
+        if row["speedup_batched"] < MIN_SPEEDUP:
+            print(
+                f"FLOOR MISS: {task} at n={n} is "
+                f"{row['speedup_batched']}x < {MIN_SPEEDUP}x",
+                file=sys.stderr,
+            )
+            ok = False
+    return ok
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="one small scale, single repeat (CI smoke run)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parents[1] / "BENCH_kernels.json",
+        help="output JSON path (default: repo-root BENCH_kernels.json)",
+    )
+    args = parser.parse_args(argv)
+
+    scales = QUICK_SCALES if args.quick else FULL_SCALES
+    repeats = 1 if args.quick else 3
+    rows = measure(scales, repeats)
+    payload = {
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "hours": N_HOURS,
+        "cpu_count": os.cpu_count(),
+        "quick": args.quick,
+        "parallel_jobs": PARALLEL_JOBS,
+        "min_speedup_floor": MIN_SPEEDUP,
+        "results": rows,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if check_floor(rows) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""repro.batched — whole-matrix implementations of the per-consumer tasks.
+
+The reference runner and the process pool both execute the three
+per-consumer tasks (histogram, 3-line, PAR) as a Python-level loop that
+calls a numpy kernel once per consumer — thousands of tiny numpy calls
+whose interpreter overhead dwarfs the arithmetic.  This package processes
+*all n consumers in a handful of numpy calls*, the same
+algorithm-vs-platform-efficiency gap the paper measures between Matlab's
+vectorized built-ins and hand-written UDFs (Section 5.3):
+
+* :mod:`repro.batched.histogram` — one ``np.bincount`` over row-offset
+  bucket codes computed from the full ``(n, hours)`` consumption matrix,
+  replicating numpy's own bucket-index algorithm so the counts are
+  *bit-identical* to the per-consumer loop;
+* :mod:`repro.batched.threeline` — phase T1 (per-temperature-bin
+  percentiles) via a single lexsort of (consumer, bin, value) keys and
+  vectorized segment percentiles, feeding the existing
+  :class:`~repro.core.stats.PrefixSumOLS`-based T2/T3; bit-identical;
+* :mod:`repro.batched.par` — the ``n x 24`` hour-model normal equations
+  assembled with einsum and solved with one batched
+  ``np.linalg.solve``, falling back to the reference per-model ``lstsq``
+  for ill-conditioned systems; agrees with the loop within a documented,
+  tested tolerance (see :data:`repro.batched.par.PAR_PROFILE_RTOL`);
+* :mod:`repro.batched.dispatch` — the kernel dispatch layer
+  (``loop | batched | auto``) that composes with the
+  :mod:`repro.parallel` process pool: workers run the batched kernel on
+  their consumer chunk.
+
+Select the batched kernels through ``BenchmarkSpec(kernel="batched")``,
+the ``smartbench --kernel`` CLI flag, or by calling
+:func:`~repro.batched.dispatch.run_batched_task` directly.
+"""
+
+from repro.batched.dispatch import (
+    AUTO_BATCH_MIN_CONSUMERS,
+    resolve_kernel,
+    run_batched_task,
+    wants_batched,
+)
+from repro.batched.histogram import batched_histograms
+from repro.batched.par import batched_par
+from repro.batched.threeline import batched_three_lines
+
+__all__ = [
+    "AUTO_BATCH_MIN_CONSUMERS",
+    "batched_histograms",
+    "batched_par",
+    "batched_three_lines",
+    "resolve_kernel",
+    "run_batched_task",
+    "wants_batched",
+]

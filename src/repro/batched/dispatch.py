@@ -1,0 +1,130 @@
+"""Kernel dispatch: loop vs batched, composed with the process pool.
+
+Three strategies, selected through ``BenchmarkSpec(kernel=...)`` or the
+``smartbench --kernel`` flag:
+
+* ``"loop"`` — the reference per-consumer Python loop (the default;
+  existing behaviour, bit for bit);
+* ``"batched"`` — the whole-matrix kernels of this package;
+* ``"auto"`` — batched when the dataset has at least
+  :data:`AUTO_BATCH_MIN_CONSUMERS` consumers, loop below that (tiny
+  inputs don't amortize the batched setup).
+
+Composition with :mod:`repro.parallel`: with ``n_jobs != 1`` the batched
+kernel runs *inside each worker* on that worker's contiguous consumer
+chunk (:func:`repro.parallel.executor.parallel_map_consumer_chunks`) —
+the pool splits the matrix, the batched kernel eats each slice whole.
+Because every batched kernel treats consumers independently (histogram
+rows, per-(consumer, bin) lexsort segments, per-hour-model Gram
+systems), chunking cannot change the results: any ``kernel`` ×
+``n_jobs`` combination agrees with the serial loop reference within the
+package's equivalence contract (bit-identical for histogram/3-line,
+documented tolerance for PAR — see :mod:`repro.batched.par`).
+
+Only the three per-consumer tasks dispatch here; similarity is
+all-pairs and already whole-matrix in its reference form.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.benchmark import (
+    KERNEL_STRATEGIES,
+    PER_CONSUMER_TASKS,
+    BenchmarkSpec,
+    Task,
+)
+from repro.core.par import ParConfig
+from repro.core.threeline import ThreeLineConfig
+
+from repro.batched.histogram import batched_histograms
+from repro.batched.par import batched_par
+from repro.batched.threeline import batched_three_lines
+
+#: ``"auto"`` switches to the batched kernels at this consumer count.
+#: Below it the batched setup (key construction, einsum dispatch) costs
+#: about as much as the loop it replaces.
+AUTO_BATCH_MIN_CONSUMERS = 8
+
+
+def resolve_kernel(kernel: str, n_consumers: int) -> str:
+    """Resolve a strategy name to the concrete kernel: loop or batched."""
+    if kernel not in KERNEL_STRATEGIES:
+        raise ValueError(
+            f"unknown kernel strategy {kernel!r}; "
+            f"expected one of {KERNEL_STRATEGIES}"
+        )
+    if kernel == "auto":
+        return "batched" if n_consumers >= AUTO_BATCH_MIN_CONSUMERS else "loop"
+    return kernel
+
+
+def wants_batched(kernel: str, n_consumers: int) -> bool:
+    """True when the strategy resolves to the batched kernels."""
+    return resolve_kernel(kernel, n_consumers) == "batched"
+
+
+# Chunk kernels --------------------------------------------------------------
+#
+# Uniform picklable signature — ``chunk_kernel(consumption_matrix,
+# temperature_matrix, **kwargs) -> list[result]`` — the whole-matrix twin
+# of the per-consumer kernels in :mod:`repro.parallel.kernels`.  Workers
+# import them by name, so they must stay module-level.
+
+
+def histogram_chunk_kernel(consumption, temperature, *, n_buckets: int = 10):
+    """Task 1 for a consumer chunk (temperature unused, uniform signature)."""
+    return batched_histograms(consumption, n_buckets)
+
+
+def threeline_chunk_kernel(
+    consumption, temperature, *, config: ThreeLineConfig | None = None
+):
+    """Task 2 for a consumer chunk (phase timing is a serial-only feature)."""
+    return batched_three_lines(consumption, temperature, config)
+
+
+def par_chunk_kernel(
+    consumption, temperature, *, config: ParConfig | None = None
+):
+    """Task 3 for a consumer chunk."""
+    return batched_par(consumption, temperature, config)
+
+
+def chunk_kernel_for(
+    task: Task, spec: BenchmarkSpec
+) -> tuple[Callable[..., list], dict[str, Any]]:
+    """The batched chunk kernel and its kwargs for a per-consumer task."""
+    if task is Task.HISTOGRAM:
+        return histogram_chunk_kernel, {"n_buckets": spec.n_buckets}
+    if task is Task.THREELINE:
+        return threeline_chunk_kernel, {"config": spec.threeline}
+    if task is Task.PAR:
+        return par_chunk_kernel, {"config": spec.par}
+    raise ValueError(
+        f"task {task!r} has no batched kernel; "
+        f"batched dispatch covers {[t.value for t in PER_CONSUMER_TASKS]}"
+    )
+
+
+def run_batched_task(
+    dataset, task: Task, spec: BenchmarkSpec | None = None
+) -> dict[str, Any]:
+    """Run a per-consumer task with the batched kernels.
+
+    Honours ``spec.n_jobs`` by fanning consumer chunks over the process
+    pool with the batched kernel applied per chunk.  Returns
+    ``{consumer_id: result}`` in dataset order, like
+    :func:`~repro.core.benchmark.run_task_reference`.
+    """
+    spec = spec or BenchmarkSpec()
+    chunk_kernel, kwargs = chunk_kernel_for(task, spec)
+    if spec.n_jobs != 1:
+        from repro.parallel.executor import parallel_map_consumer_chunks
+
+        return parallel_map_consumer_chunks(
+            chunk_kernel, dataset, n_jobs=spec.n_jobs, **kwargs
+        )
+    results = chunk_kernel(dataset.consumption, dataset.temperature, **kwargs)
+    return dict(zip(dataset.consumer_ids, results))

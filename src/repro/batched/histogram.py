@@ -1,0 +1,179 @@
+"""Task 1 over the whole ``(n, hours)`` matrix in a handful of numpy calls.
+
+The per-consumer loop calls ``np.histogram`` once per consumer; for
+thousands of consumers the per-call overhead (argument checking, edge
+construction, a fresh output array) is a large share of each call.  This
+module buckets every consumer's readings with one short vectorized
+pipeline per cache-sized block of rows and a single ``np.bincount`` over
+row-offset bucket codes.
+
+Bit-identity contract: results are *bit-identical* to
+:func:`repro.core.histogram.equi_width_histogram` applied row by row.
+The fast path does not replicate numpy's arithmetic op for op — it uses
+a cheaper multiply-only position (``value * scale - shift``, truncate)
+— so bit-identity is preserved by a guard: any reading whose fractional
+bucket position lands within a per-row safety margin of a boundary is
+re-bucketed with numpy's exact algorithm (scaled index, truncate, then
+the +-1 correction against the true edge values) and the counts are
+repaired.  Away from the margin the cheap code and numpy's code provably
+agree, because both equal true interval membership; inside the margin
+the exact recomputation decides.  Rows whose margin is too wide to be
+selective (extreme offsets where ``value * scale - shift`` cancels
+catastrophically) fall back to the reference kernel wholesale.  The
+tests in ``tests/test_batched.py`` enforce exact equality of edges and
+counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.histogram import HistogramResult, equi_width_histogram
+from repro.exceptions import DataError
+
+#: Rows per pipeline block: keeps the position/code scratch buffers
+#: (block x hours doubles) inside the CPU caches for typical year-long
+#: hourly series.
+_BLOCK_ROWS = 64
+
+#: Safety margin multiplier: the fast position differs from numpy's
+#: scaled index by a few ULPs of the operands; 64 machine epsilons of
+#: slack is orders of magnitude beyond the rounding bound while still
+#: flagging only a handful of readings per row (typically the row min
+#: and max, whose positions are exactly 0 and ``n_buckets``).
+_MARGIN_EPS = 64 * np.finfo(np.float64).eps
+
+#: Rows whose safety margin exceeds this fraction of a bucket stop being
+#: selective (most readings would be double-checked) and fall back to
+#: the per-row reference kernel instead.
+_MARGIN_LIMIT = 0.25
+
+
+def numpy_bucket_codes(
+    values: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    edges: np.ndarray,
+    n_buckets: int,
+) -> np.ndarray:
+    """numpy's exact bucket index for flat ``values`` with per-value ranges.
+
+    Replicates the ``np.histogram`` uniform-bins fast path step for step:
+    scaled-index truncation (divide by the span first, then scale by the
+    bucket count — the operation order matters), then the +-1 correction
+    against the true edge values, decrement before increment.  ``lo`` and
+    ``hi`` give each value's range and ``edges`` the matching
+    ``(len(values), n_buckets + 1)`` edge rows.
+    """
+    f_idx = ((values - lo) / (hi - lo)) * n_buckets
+    codes = f_idx.astype(np.intp)
+    codes[codes == n_buckets] -= 1
+    rows = np.arange(values.size)
+    codes[values < edges[rows, codes]] -= 1
+    codes[(values >= edges[rows, codes + 1]) & (codes != n_buckets - 1)] += 1
+    return codes
+
+
+def batched_histograms(
+    consumption: np.ndarray, n_buckets: int = 10
+) -> list[HistogramResult]:
+    """Task 1 for all consumers at once; one result per matrix row.
+
+    Bit-identical to calling
+    :func:`~repro.core.histogram.equi_width_histogram` on each row,
+    including the degenerate-range handling for constant rows.
+    """
+    if n_buckets < 1:
+        raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
+    values = np.asarray(consumption, dtype=np.float64)
+    if values.ndim != 2 or values.size == 0:
+        raise DataError(
+            f"expected a non-empty (n, hours) matrix, got shape {values.shape}"
+        )
+    if np.isnan(values).any():
+        raise DataError("series contains NaN; impute before analysis")
+    n, hours = values.shape
+
+    lo = values.min(axis=1)
+    hi = values.max(axis=1)
+    # Degenerate ranges (constant rows, or a spread below float
+    # resolution for this bucket count) get the same unit-range centring
+    # the per-consumer kernel applies.
+    degenerate = (hi <= lo) | ((hi - lo) / n_buckets == 0.0)
+    lo = np.where(degenerate, lo - 0.5, lo)
+    hi = np.where(degenerate, hi + 0.5, hi)
+    # Per-row edges: np.linspace with array endpoints applies the same
+    # elementwise arithmetic as the scalar call inside np.histogram, so
+    # the edge matrix matches the per-row edges bit for bit.
+    edges = np.linspace(lo, hi, n_buckets + 1, axis=1)
+
+    scale = n_buckets / (hi - lo)
+    shift = lo * scale
+    # Position-space margin around each boundary inside which the cheap
+    # position is not trusted; grows with the cancellation in
+    # ``value * scale - shift`` for rows offset far from zero.
+    margin = _MARGIN_EPS * (n_buckets + scale * np.maximum(np.abs(lo), np.abs(hi)))
+    slow = margin >= _MARGIN_LIMIT
+    counts = np.empty((n, n_buckets), dtype=np.int64)
+
+    block = min(_BLOCK_ROWS, n)
+    pos = np.empty((block, hours))
+    frac = np.empty((block, hours))
+    # int32 halves the code-buffer traffic; positions of valid rows lie
+    # in [-1, n_buckets + 1], far inside its range.
+    codes = np.empty((block, hours), dtype=np.int32)
+    near_lo = np.empty((block, hours), dtype=bool)
+    near_hi = np.empty((block, hours), dtype=bool)
+    local_offsets = (np.arange(block, dtype=np.int32) * n_buckets)[:, None]
+    upper = 1.0 - margin
+    fix_rows: list[np.ndarray] = []
+    fix_vals: list[np.ndarray] = []
+    fix_old: list[np.ndarray] = []
+    for start in range(0, n, block):
+        end = min(n, start + block)
+        m = end - start
+        v = values[start:end]
+        p, f, c = pos[:m], frac[:m], codes[:m]
+        suspect = near_lo[:m]
+        np.multiply(v, scale[start:end, None], out=p)
+        np.subtract(p, shift[start:end, None], out=p)
+        c[:] = p  # truncate toward zero
+        np.subtract(p, c, out=f)  # fractional position (negative if p < 0)
+        np.less(f, margin[start:end, None], out=suspect)
+        np.greater(f, upper[start:end, None], out=near_hi[:m])
+        np.logical_or(suspect, near_hi[:m], out=suspect)
+        np.clip(c, 0, n_buckets - 1, out=c)
+        # Every row flags at least its min and max (their positions are
+        # exactly 0 and n_buckets), so gather unconditionally.
+        srows, scols = np.nonzero(suspect)
+        fix_rows.append(start + srows)
+        fix_vals.append(v[srows, scols])
+        fix_old.append(c[srows, scols].astype(np.intp))
+        np.add(c, local_offsets[:m], out=c)
+        counts[start:end] = np.bincount(
+            c.ravel(), minlength=m * n_buckets
+        ).reshape(m, n_buckets)
+
+    # Exact fixup: re-bucket every flagged reading with numpy's own
+    # algorithm and repair the counts where the cheap code differed.
+    if fix_rows:
+        rows = np.concatenate(fix_rows)
+        vals = np.concatenate(fix_vals)
+        old = np.concatenate(fix_old)
+        keep = ~slow[rows]  # slow rows are recounted wholesale below
+        rows, vals, old = rows[keep], vals[keep], old[keep]
+        if rows.size:
+            new = numpy_bucket_codes(vals, lo[rows], hi[rows], edges[rows], n_buckets)
+            moved = new != old
+            if moved.any():
+                np.subtract.at(counts, (rows[moved], old[moved]), 1)
+                np.add.at(counts, (rows[moved], new[moved]), 1)
+
+    for r in np.flatnonzero(slow):
+        ref = equi_width_histogram(values[r], n_buckets)
+        counts[r] = ref.counts
+        edges[r] = ref.edges
+
+    return [
+        HistogramResult(edges=edges[i], counts=counts[i]) for i in range(n)
+    ]

@@ -1,0 +1,197 @@
+"""Task 3 via stacked normal equations: all ``n x 24`` hour-models at once.
+
+The per-consumer loop solves ``24`` least-squares systems per consumer
+with ``np.linalg.lstsq`` — an SVD per hour-model, thousands of tiny
+LAPACK calls.  This module assembles the Gram matrices (``X'X``, ``X'y``)
+of *every* hour-model of *every* consumer with one einsum each and solves
+them with a single batched ``np.linalg.solve``.
+
+Equivalence contract (documented tolerance — not bit-identity):
+
+* the design matrices are assembled from the same slices as the
+  reference, so the *systems* are exact;
+* solving the normal equations instead of the SVD least-squares changes
+  the rounding path.  For a system with condition number ``cond(X'X)``
+  the two answers agree to roughly ``eps * cond(X'X)`` relative error.
+  The Gram matrices are symmetric positive semi-definite, so their
+  condition number is the eigenvalue ratio from one batched
+  ``np.linalg.eigvalsh``; hour-models whose condition exceeds
+  :data:`BATCHED_SOLVE_MAX_CONDITION` (or that are rank-deficient —
+  e.g. constant temperature makes the temperature column collinear with
+  the intercept, and all-zero consumption zeroes the lag columns) fall
+  back to the reference per-model ``lstsq`` on the identical design
+  matrix;
+* the guaranteed (and tested — ``tests/test_batched.py``) agreement with
+  the loop reference is ``rtol=PAR_COEFF_RTOL, atol=PAR_COEFF_ATOL`` on
+  coefficients and ``rtol=PAR_PROFILE_RTOL, atol=PAR_PROFILE_ATOL`` on
+  profiles and SSE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.par import HourModel, ParConfig, ParModel
+from repro.exceptions import DataError, InsufficientDataError
+from repro.timeseries.calendar import HOURS_PER_DAY
+
+#: Hour-models whose normal-equations condition number (the eigenvalue
+#: ratio of the symmetric Gram matrix) exceeds this fall back to the
+#: reference per-model lstsq.  eps * 1e8 ~ 2e-8 bounds the relative
+#: solve error well inside the documented tolerances below.
+BATCHED_SOLVE_MAX_CONDITION = 1e8
+
+#: Documented agreement between batched and loop PAR (see module docstring).
+PAR_COEFF_RTOL = 1e-6
+PAR_COEFF_ATOL = 1e-9
+PAR_PROFILE_RTOL = 1e-6
+PAR_PROFILE_ATOL = 1e-8
+
+#: Cap on the design-tensor footprint per internal batch, in float64
+#: elements (~100 MB); consumers are processed in slices of this budget.
+_DESIGN_ELEMENT_BUDGET = 12_000_000
+
+
+def _batched_par_chunk(
+    cons_dh: np.ndarray, temp_dh: np.ndarray, cfg: ParConfig
+) -> list[ParModel]:
+    """PAR for one consumer slice; inputs are ``(m, n_days, 24)``."""
+    m, n_days, _ = cons_dh.shape
+    p = cfg.p
+    n_obs = n_days - p
+    n_temp = 1 if cfg.temperature_mode == "linear" else 2
+    k = 1 + p + n_temp
+
+    # Assemble the design stack directly in its final
+    # (consumer, hour, observation, column) layout — each column is one
+    # strided write, with no concatenate pass and no transpose copy.
+    # The columns match the reference design exactly: intercept, then
+    # lags 1..p, then the temperature column(s).
+    X4 = np.empty((m, HOURS_PER_DAY, n_obs, k))
+    X4[:, :, :, 0] = 1.0
+    for lag in range(1, p + 1):
+        X4[:, :, :, lag] = cons_dh[:, p - lag : n_days - lag, :].transpose(0, 2, 1)
+    t_hour = temp_dh[:, p:, :].transpose(0, 2, 1)  # (m, 24, n_obs) view
+    if cfg.temperature_mode == "linear":
+        X4[:, :, :, 1 + p] = t_hour
+    else:
+        np.maximum(0.0, cfg.t_heat - t_hour, out=X4[:, :, :, 1 + p])
+        np.maximum(0.0, t_hour - cfg.t_cool, out=X4[:, :, :, 2 + p])
+
+    # One system per (consumer, hour): flatten to a (m * 24,) stack.
+    X = X4.reshape(-1, n_obs, k)
+    Y = np.ascontiguousarray(
+        cons_dh[:, p:, :].transpose(0, 2, 1)
+    ).reshape(-1, n_obs)
+    Xt = X.transpose(0, 2, 1)
+    xtx = Xt @ X  # batched BLAS matmul
+    xty = (Xt @ Y[:, :, None])[:, :, 0]
+
+    # Condition screening via the symmetric eigendecomposition — the
+    # Gram matrices are symmetric positive semi-definite, so the
+    # eigenvalue ratio IS the 2-norm condition number, at a fraction of
+    # the generic SVD-based ``np.linalg.cond`` cost.  Rank-deficient
+    # systems (smallest eigenvalue <= 0 up to rounding) must take the
+    # lstsq fallback: a consistent singular system has infinitely many
+    # exact solutions and only lstsq picks the same minimum-norm one as
+    # the reference.
+    with np.errstate(all="ignore"):
+        eigs = np.linalg.eigvalsh(xtx)
+    smallest, largest = eigs[:, 0], eigs[:, -1]
+    solvable = (smallest > 0) & (
+        largest < smallest * BATCHED_SOLVE_MAX_CONDITION
+    )
+    coeffs = np.zeros((X.shape[0], k))
+    if solvable.any():
+        try:
+            coeffs[solvable] = np.linalg.solve(
+                xtx[solvable], xty[solvable][:, :, None]
+            )[:, :, 0]
+        except np.linalg.LinAlgError:  # borderline pivot: keep correctness
+            solvable = np.zeros_like(solvable)
+    for idx in np.flatnonzero(~solvable):
+        coeffs[idx] = np.linalg.lstsq(X[idx], Y[idx], rcond=None)[0]
+
+    resid = Y - (X @ coeffs[:, :, None])[:, :, 0]
+    sse = (resid**2).sum(axis=1)
+
+    temp_coeffs = coeffs[:, 1 + p :]
+    if cfg.temperature_mode == "linear":
+        t_mean = t_hour.mean(axis=2).reshape(-1)  # per-(consumer, hour)
+        thermal = temp_coeffs[:, 0] * (t_mean - cfg.t_ref)
+    else:
+        tc_mean = X4[:, :, :, 1 + p :].mean(axis=2).reshape(-1, n_temp)
+        thermal = (tc_mean * temp_coeffs).sum(axis=1)
+    profile = (Y.mean(axis=1) - thermal).reshape(m, HOURS_PER_DAY)
+
+    coeffs = coeffs.reshape(m, HOURS_PER_DAY, k)
+    sse = sse.reshape(m, HOURS_PER_DAY)
+    models: list[ParModel] = []
+    for i in range(m):
+        hour_models = tuple(
+            HourModel(
+                hour=h,
+                coefficients=coeffs[i, h],
+                sse=float(sse[i, h]),
+                n_observations=n_obs,
+            )
+            for h in range(HOURS_PER_DAY)
+        )
+        models.append(
+            ParModel(
+                profile=profile[i],
+                hour_models=hour_models,
+                p=p,
+                temperature_mode=cfg.temperature_mode,
+                config=cfg,
+            )
+        )
+    return models
+
+
+def batched_par(
+    consumption: np.ndarray,
+    temperature: np.ndarray,
+    config: ParConfig | None = None,
+) -> list[ParModel]:
+    """Task 3 for all consumers at once; one model per matrix row.
+
+    Agrees with calling :func:`~repro.core.par.fit_par` on each row
+    within the documented tolerances (module docstring); error behaviour
+    (NaN input, too few days, length not a whole number of days) matches
+    the loop reference.
+    """
+    cfg = config or ParConfig()
+    consumption = np.asarray(consumption, dtype=np.float64)
+    temperature = np.asarray(temperature, dtype=np.float64)
+    if consumption.shape != temperature.shape or consumption.ndim != 2:
+        raise DataError(
+            f"consumption {consumption.shape} and temperature "
+            f"{temperature.shape} must be equal-shape (n, hours) matrices"
+        )
+    if np.isnan(consumption).any() or np.isnan(temperature).any():
+        raise DataError("series contains NaN; impute before analysis")
+    n, hours = consumption.shape
+    if hours % HOURS_PER_DAY != 0:
+        raise ValueError(
+            f"series length {hours} is not a whole number of days"
+        )
+    n_days = hours // HOURS_PER_DAY
+    n_temp_cols = 1 if cfg.temperature_mode == "linear" else 2
+    min_days = cfg.p + 1 + cfg.p + n_temp_cols
+    if n_days < min_days:
+        raise InsufficientDataError(
+            f"PAR with p={cfg.p} needs at least {min_days} days, got {n_days}"
+        )
+
+    cons_dh = consumption.reshape(n, n_days, HOURS_PER_DAY)
+    temp_dh = temperature.reshape(n, n_days, HOURS_PER_DAY)
+    k = 1 + cfg.p + n_temp_cols
+    chunk = max(
+        1, _DESIGN_ELEMENT_BUDGET // (HOURS_PER_DAY * max(1, n_days - cfg.p) * k)
+    )
+    models: list[ParModel] = []
+    for lo in range(0, n, chunk):
+        hi = min(n, lo + chunk)
+        models.extend(_batched_par_chunk(cons_dh[lo:hi], temp_dh[lo:hi], cfg))
+    return models

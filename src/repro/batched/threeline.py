@@ -1,0 +1,146 @@
+"""Task 2 with a batched T1: one lexsort for all consumers' percentiles.
+
+Phase T1 of the 3-line algorithm groups each consumer's readings by
+rounded temperature and takes the 10th/90th percentile of every group.
+The per-consumer loop pays an ``argsort`` plus a Python-level loop over
+temperature bins *per consumer*; this module does the grouping for the
+whole ``(n, hours)`` matrix with a single lexsort of
+``(consumer, temperature-bin, consumption)`` keys, after which every
+(consumer, bin) group is a contiguous, value-sorted segment.  Segment
+percentiles then come out of four gather operations (the
+``np.add.reduceat`` trick, applied to order statistics instead of sums).
+
+Phases T2 (breakpoint search) and T3 (continuity adjustment) are
+per-consumer by nature — the search is over one consumer's ~50
+percentile points — and reuse the existing
+:func:`repro.core.threeline.fit_bands` unchanged, which keeps the
+results *bit-identical* to the loop reference: the batched T1 produces
+the exact same point arrays (temps, percentiles, counts) the reference
+``_percentile_points`` builds, and identical inputs to ``fit_bands``
+yield identical models.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.threeline import (
+    PhaseTimes,
+    ThreeLineConfig,
+    ThreeLineModel,
+    fit_bands,
+)
+from repro.exceptions import DataError
+
+
+def _segment_percentile(
+    sorted_values: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+    q: float,
+) -> np.ndarray:
+    """Linear-interpolation percentile of each value-sorted segment.
+
+    Replicates :func:`repro.core.stats.percentile_linear` expression for
+    expression so the results are bit-identical.
+    """
+    rank = (q / 100.0) * (counts - 1)
+    lo = np.floor(rank).astype(np.int64)
+    hi = np.minimum(lo + 1, counts - 1)
+    frac = rank - lo
+    v_lo = sorted_values[starts + lo]
+    v_hi = sorted_values[starts + hi]
+    return v_lo * (1 - frac) + v_hi * frac
+
+
+def batched_percentile_points(
+    consumption: np.ndarray,
+    temperature: np.ndarray,
+    config: ThreeLineConfig,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Phase T1 for every consumer at once.
+
+    Returns ``(row_splits, temps, lower, upper, counts)``: the last four
+    arrays hold every kept percentile point, ordered by (consumer,
+    temperature); consumer ``i``'s points are the slice
+    ``row_splits[i]:row_splits[i + 1]``.  Point values are bit-identical
+    to the reference per-consumer ``_percentile_points``.
+    """
+    n, hours = consumption.shape
+    bins = np.round(temperature / config.bin_width).astype(np.int64)
+    # One composite integer key per reading — (consumer, bin) — so a
+    # two-key lexsort with the consumption value as tie-breaker leaves
+    # every (consumer, bin) group contiguous *and* value-sorted.
+    bin_lo = int(bins.min())
+    span = int(bins.max()) - bin_lo + 1
+    composite = (np.arange(n, dtype=np.int64) * span)[:, None] + (bins - bin_lo)
+    order = np.lexsort((consumption.ravel(), composite.ravel()))
+    sorted_comp = composite.ravel()[order]
+    sorted_cons = consumption.ravel()[order]
+
+    boundaries = np.flatnonzero(np.diff(sorted_comp)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [sorted_comp.size]])
+    counts = ends - starts
+
+    keep = counts >= config.min_bin_count
+    starts, counts = starts[keep], counts[keep]
+    seg_comp = sorted_comp[starts]
+    seg_row = seg_comp // span
+    seg_bin = seg_comp - seg_row * span + bin_lo
+
+    temps = seg_bin * config.bin_width
+    lower = _segment_percentile(
+        sorted_cons, starts, counts, config.lower_percentile
+    )
+    upper = _segment_percentile(
+        sorted_cons, starts, counts, config.upper_percentile
+    )
+    # Points are grouped by consumer in row order; searchsorted yields
+    # each consumer's slice (empty slices for consumers whose bins were
+    # all dropped — fit_bands raises for those, like the reference).
+    row_splits = np.searchsorted(seg_row, np.arange(n + 1))
+    return row_splits, temps, lower, upper, counts.astype(np.float64)
+
+
+def batched_three_lines(
+    consumption: np.ndarray,
+    temperature: np.ndarray,
+    config: ThreeLineConfig | None = None,
+    phases: PhaseTimes | None = None,
+) -> list[ThreeLineModel]:
+    """Task 2 for all consumers; T1 batched, T2+T3 via ``fit_bands``.
+
+    Bit-identical to calling
+    :func:`~repro.core.threeline.fit_three_lines` on each row.  With
+    ``phases``, the whole batched grouping is accounted to T1 in one
+    increment (the loop reference accumulates it per consumer; the
+    totals are comparable).
+    """
+    cfg = config or ThreeLineConfig()
+    consumption = np.asarray(consumption, dtype=np.float64)
+    temperature = np.asarray(temperature, dtype=np.float64)
+    if consumption.shape != temperature.shape or consumption.ndim != 2:
+        raise DataError(
+            f"consumption {consumption.shape} and temperature "
+            f"{temperature.shape} must be equal-shape (n, hours) matrices"
+        )
+    if np.isnan(consumption).any() or np.isnan(temperature).any():
+        raise DataError("series contains NaN; impute before analysis")
+
+    tic = time.perf_counter()
+    row_splits, temps, lower, upper, counts = batched_percentile_points(
+        consumption, temperature, cfg
+    )
+    if phases is not None:
+        phases.add(PhaseTimes(time.perf_counter() - tic, 0.0, 0.0))
+
+    models: list[ThreeLineModel] = []
+    for i in range(consumption.shape[0]):
+        s, e = row_splits[i], row_splits[i + 1]
+        models.append(
+            fit_bands(temps[s:e], lower[s:e], upper[s:e], counts[s:e], cfg, phases)
+        )
+    return models

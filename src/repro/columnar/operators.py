@@ -34,13 +34,19 @@ def histogram_equi_width(
     if hi <= lo or (hi - lo) / n_buckets == 0.0:
         lo, hi = lo - 0.5, hi + 0.5
     width = (hi - lo) / n_buckets
-    idx = ((values - lo) / width).astype(np.int64)
-    # Values exactly at the top edge belong to the last bucket.
-    idx[idx >= n_buckets] = n_buckets - 1
-    idx[idx < 0] = 0
-    counts = np.bincount(idx, minlength=n_buckets)
     edges = lo + width * np.arange(n_buckets + 1)
     edges[-1] = hi  # avoid accumulation error at the top edge
+    # Scaled-index bucketing: normalize by the full span, then scale by
+    # the bucket count.  The truncated index can land one bucket off
+    # within ~1 ULP of a boundary, so correct it against the actual edge
+    # values (decrement first, then increment) — without this, values a
+    # hair below an edge are counted in the wrong bucket and the counts
+    # diverge from the reference.
+    idx = (((values - lo) / (hi - lo)) * n_buckets).astype(np.int64)
+    idx[idx == n_buckets] -= 1  # top edge belongs to the last bucket
+    idx[values < edges[idx]] -= 1
+    idx[(values >= edges[idx + 1]) & (idx != n_buckets - 1)] += 1
+    counts = np.bincount(idx, minlength=n_buckets)
     return edges, counts
 
 

@@ -48,6 +48,13 @@ class Task(str, enum.Enum):
 #: similarity is quadratic and needs all-pairs access.
 PER_CONSUMER_TASKS = (Task.HISTOGRAM, Task.THREELINE, Task.PAR)
 
+#: Kernel dispatch strategies for the per-consumer tasks
+#: (:mod:`repro.batched.dispatch`): ``loop`` = the reference
+#: per-consumer Python loop, ``batched`` = the whole-matrix kernels of
+#: :mod:`repro.batched`, ``auto`` = batched above a consumer-count
+#: threshold.  Similarity ignores the knob (it is already whole-matrix).
+KERNEL_STRATEGIES = ("loop", "batched", "auto")
+
 
 @dataclass(frozen=True)
 class BenchmarkSpec:
@@ -58,6 +65,15 @@ class BenchmarkSpec:
     processes, 0 / None-like negative conventions follow
     :func:`repro.parallel.executor.effective_n_jobs`.  Results are
     bit-identical for every value — it is purely a performance knob.
+
+    ``kernel`` selects the per-consumer task implementation (one of
+    :data:`KERNEL_STRATEGIES`): the reference loop, the whole-matrix
+    batched kernels of :mod:`repro.batched`, or automatic selection by
+    dataset size.  Like ``n_jobs`` it is a performance knob: batched
+    results are bit-identical for histogram/3-line and within the
+    documented tolerance of :mod:`repro.batched.par` for PAR.  The two
+    knobs compose — with both set, workers run the batched kernel on
+    their consumer chunk.
     """
 
     n_buckets: int = NUM_BUCKETS
@@ -65,6 +81,14 @@ class BenchmarkSpec:
     par: ParConfig = field(default_factory=lambda: ParConfig(p=AR_ORDER))
     threeline: ThreeLineConfig = field(default_factory=ThreeLineConfig)
     n_jobs: int = 1
+    kernel: str = "loop"
+
+    def __post_init__(self) -> None:
+        if self.kernel not in KERNEL_STRATEGIES:
+            raise ValueError(
+                f"unknown kernel strategy {self.kernel!r}; "
+                f"expected one of {KERNEL_STRATEGIES}"
+            )
 
 
 def run_task_reference(
@@ -80,9 +104,18 @@ def run_task_reference(
 
     With ``spec.n_jobs != 1`` the task fans out over a process pool
     (:func:`repro.parallel.run_task_parallel`) — same kernels, same
-    (bit-identical) output.
+    (bit-identical) output.  With ``spec.kernel`` resolving to
+    ``batched`` the per-consumer tasks run the whole-matrix kernels of
+    :mod:`repro.batched` instead of the loop (composing with ``n_jobs``:
+    each worker runs the batched kernel on its chunk).
     """
     spec = spec or BenchmarkSpec()
+    if spec.kernel != "loop" and task in PER_CONSUMER_TASKS:
+        # Lazy import: repro.batched depends on this module.
+        from repro.batched.dispatch import run_batched_task, wants_batched
+
+        if wants_batched(spec.kernel, dataset.n_consumers):
+            return run_batched_task(dataset, task, spec)
     if spec.n_jobs != 1:
         # Lazy import: repro.parallel depends on this module.
         from repro.parallel import run_task_parallel

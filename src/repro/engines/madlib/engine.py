@@ -23,7 +23,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.benchmark import BenchmarkSpec
+from repro.batched.dispatch import run_batched_task, wants_batched
+from repro.core.benchmark import BenchmarkSpec, Task
 from repro.core.histogram import HistogramResult, equi_width_histogram
 from repro.core.par import fit_par
 from repro.core.similarity import clip_scores, rank_row
@@ -157,6 +158,12 @@ class MadlibEngine(AnalyticsEngine):
 
     def histogram(self, spec: BenchmarkSpec | None = None):
         spec = spec or BenchmarkSpec()
+        if spec.kernel != "loop":
+            # The SQL fetch stays the serial driver step; the statistics
+            # run on the whole fetched matrix at once.
+            data = self._matrix_dataset()
+            if wants_batched(spec.kernel, data.n_consumers):
+                return run_batched_task(data, Task.HISTOGRAM, spec)
         if effective_n_jobs(spec.n_jobs) > 1:
             return parallel_map_consumers(
                 parallel_kernels.histogram_kernel,
@@ -184,6 +191,10 @@ class MadlibEngine(AnalyticsEngine):
     def three_line(self, spec: BenchmarkSpec | None = None):
         spec = spec or BenchmarkSpec()
         cfg = spec.threeline
+        if spec.kernel != "loop":
+            data = self._matrix_dataset()
+            if wants_batched(spec.kernel, data.n_consumers):
+                return run_batched_task(data, Task.THREELINE, spec)
         if effective_n_jobs(spec.n_jobs) > 1:
             # Workers run the full reference 3-line per consumer; the
             # in-database T1 split is a serial-path refinement only.
@@ -240,6 +251,10 @@ class MadlibEngine(AnalyticsEngine):
 
     def par(self, spec: BenchmarkSpec | None = None):
         spec = spec or BenchmarkSpec()
+        if spec.kernel != "loop":
+            data = self._matrix_dataset()
+            if wants_batched(spec.kernel, data.n_consumers):
+                return run_batched_task(data, Task.PAR, spec)
         if effective_n_jobs(spec.n_jobs) > 1:
             return parallel_map_consumers(
                 parallel_kernels.par_kernel,

@@ -24,7 +24,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.benchmark import BenchmarkSpec
+from repro.batched.dispatch import run_batched_task, wants_batched
+from repro.core.benchmark import BenchmarkSpec, Task
 from repro.core.histogram import equi_width_histogram
 from repro.core.par import fit_par
 from repro.core.similarity import clip_scores, rank_row
@@ -131,6 +132,8 @@ class NumericEngine(AnalyticsEngine):
     def histogram(self, spec: BenchmarkSpec | None = None):
         spec = spec or BenchmarkSpec()
         data = self._read_all()
+        if wants_batched(spec.kernel, data.n_consumers):
+            return run_batched_task(data, Task.HISTOGRAM, spec)
         if effective_n_jobs(spec.n_jobs) > 1:
             return parallel_map_consumers(
                 parallel_kernels.histogram_kernel,
@@ -146,6 +149,8 @@ class NumericEngine(AnalyticsEngine):
     def three_line(self, spec: BenchmarkSpec | None = None):
         spec = spec or BenchmarkSpec()
         data = self._read_all()
+        if wants_batched(spec.kernel, data.n_consumers):
+            return run_batched_task(data, Task.THREELINE, spec)
         if effective_n_jobs(spec.n_jobs) > 1:
             # Parallel instances are shared-nothing (the paper ran one
             # Matlab per core); phase timing stays a serial-only feature.
@@ -168,6 +173,8 @@ class NumericEngine(AnalyticsEngine):
     def par(self, spec: BenchmarkSpec | None = None):
         spec = spec or BenchmarkSpec()
         data = self._read_all()
+        if wants_batched(spec.kernel, data.n_consumers):
+            return run_batched_task(data, Task.PAR, spec)
         if effective_n_jobs(spec.n_jobs) > 1:
             return parallel_map_consumers(
                 parallel_kernels.par_kernel,

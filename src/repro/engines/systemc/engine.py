@@ -27,9 +27,10 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.batched.dispatch import run_batched_task, wants_batched
 from repro.columnar import operators as ops
 from repro.columnar.colstore import ColumnStore, ColumnTable
-from repro.core.benchmark import BenchmarkSpec
+from repro.core.benchmark import BenchmarkSpec, Task
 from repro.core.histogram import HistogramResult
 from repro.core.similarity import clip_scores
 from repro.core.par import HourModel, ParModel
@@ -114,6 +115,10 @@ class SystemCEngine(AnalyticsEngine):
     def histogram(self, spec: BenchmarkSpec | None = None):
         spec = spec or BenchmarkSpec()
         table = self._require_table()
+        if wants_batched(spec.kernel, table.n_households):
+            # Whole-matrix kernels over the stride-reshaped columns — the
+            # column-store analogue of a platform's vectorized built-ins.
+            return run_batched_task(self._matrix_dataset(), Task.HISTOGRAM, spec)
         if effective_n_jobs(spec.n_jobs) > 1:
             return parallel_map_consumers(
                 histogram_kernel,
@@ -132,6 +137,8 @@ class SystemCEngine(AnalyticsEngine):
         spec = spec or BenchmarkSpec()
         cfg = spec.threeline
         table = self._require_table()
+        if wants_batched(spec.kernel, table.n_households):
+            return run_batched_task(self._matrix_dataset(), Task.THREELINE, spec)
         if effective_n_jobs(spec.n_jobs) > 1:
             return parallel_map_consumers(
                 threeline_kernel,
@@ -151,6 +158,8 @@ class SystemCEngine(AnalyticsEngine):
         spec = spec or BenchmarkSpec()
         cfg = spec.par
         table = self._require_table()
+        if wants_batched(spec.kernel, table.n_households):
+            return run_batched_task(self._matrix_dataset(), Task.PAR, spec)
         if effective_n_jobs(spec.n_jobs) > 1:
             return parallel_map_consumers(
                 par_kernel, self._matrix_dataset(), n_jobs=spec.n_jobs, config=cfg

@@ -54,6 +54,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--kernel",
+        choices=("loop", "batched", "auto"),
+        default=None,
+        metavar="STRATEGY",
+        help=(
+            "per-consumer kernel strategy: loop (reference), batched "
+            "(whole-matrix numpy kernels), or auto (batched above a size "
+            "threshold); figures without a kernel knob ignore it"
+        ),
+    )
+    parser.add_argument(
         "--validate",
         action="store_true",
         help="run all tasks on all five engines and verify they agree",
@@ -99,7 +110,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     for figure_id in ids:
         tic = time.perf_counter()
-        result = run_figure(figure_id, jobs=args.jobs)
+        result = run_figure(figure_id, jobs=args.jobs, kernel=args.kernel)
         elapsed = time.perf_counter() - tic
         print(result.render())
         print(f"  [{figure_id} regenerated in {elapsed:.1f}s]")

@@ -43,12 +43,15 @@ FIGURES: dict[str, tuple[Callable[[], FigureResult], str]] = {
 }
 
 
-def run_figure(figure_id: str, jobs: int | None = None) -> FigureResult:
+def run_figure(
+    figure_id: str, jobs: int | None = None, kernel: str | None = None
+) -> FigureResult:
     """Run one registered figure by id.
 
-    ``jobs`` (the CLI ``--jobs`` knob) is forwarded to figures whose
-    runner accepts a ``jobs`` parameter — the rest ignore it silently,
-    so one flag can apply to a mixed ``--all`` run.
+    ``jobs`` and ``kernel`` (the CLI ``--jobs`` / ``--kernel`` knobs)
+    are forwarded to figures whose runner accepts the matching
+    parameter — the rest ignore them silently, so one flag can apply to
+    a mixed ``--all`` run.
     """
     try:
         runner, _ = FIGURES[figure_id]
@@ -56,6 +59,10 @@ def run_figure(figure_id: str, jobs: int | None = None) -> FigureResult:
         raise KeyError(
             f"unknown figure {figure_id!r}; choose from {sorted(FIGURES)}"
         ) from None
-    if jobs is not None and "jobs" in inspect.signature(runner).parameters:
-        return runner(jobs=jobs)
-    return runner()
+    params = inspect.signature(runner).parameters
+    kwargs = {}
+    if jobs is not None and "jobs" in params:
+        kwargs["jobs"] = jobs
+    if kernel is not None and "kernel" in params:
+        kwargs["kernel"] = kernel
+    return runner(**kwargs)

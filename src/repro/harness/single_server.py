@@ -181,14 +181,17 @@ def figure7(
     scale: Scale = SINGLE_SERVER_SCALE,
     sizes_gb: tuple[float, ...] = (2.0, 4.0, 6.0, 8.0, 10.0),
     jobs: int = 1,
+    kernel: str = "loop",
 ) -> FigureResult:
     """Figure 7: single-threaded cold-start times, 4 tasks x 3 platforms.
 
     ``jobs`` > 1 (the CLI ``--jobs`` knob) reruns the experiment with each
-    engine fanning its tasks over that many worker processes.
+    engine fanning its tasks over that many worker processes; ``kernel``
+    (the ``--kernel`` knob) selects the per-consumer task implementation
+    (:data:`repro.core.benchmark.KERNEL_STRATEGIES`).
     """
     workdir = _workdir()
-    spec = BenchmarkSpec(n_jobs=jobs)
+    spec = BenchmarkSpec(n_jobs=jobs, kernel=kernel)
     rows = []
     for gb in sizes_gb:
         dataset = seed_dataset(scale.consumers_for_gb(gb), scale.hours)
@@ -207,6 +210,8 @@ def figure7(
     title = "Single-threaded execution times (cold start, seconds)"
     if jobs != 1:
         title = f"Execution times at n_jobs={jobs} (cold start, seconds)"
+    if kernel != "loop":
+        title += f" [kernel={kernel}]"
     return FigureResult(
         figure_id="fig7",
         title=title,

@@ -23,6 +23,7 @@ Every path is bit-identical to the serial reference for any ``n_jobs``.
 
 from repro.parallel.executor import (
     effective_n_jobs,
+    parallel_map_consumer_chunks,
     parallel_map_consumers,
     parallel_map_items,
     parallel_similarity,
@@ -45,6 +46,7 @@ __all__ = [
     "attach_matrix",
     "effective_n_jobs",
     "iter_chunks",
+    "parallel_map_consumer_chunks",
     "parallel_map_consumers",
     "parallel_map_items",
     "parallel_similarity",

@@ -106,6 +106,52 @@ def parallel_map_consumers(
     return dict(zip(dataset.consumer_ids, results))
 
 
+def parallel_map_consumer_chunks(
+    chunk_kernel: Callable[..., list],
+    dataset,
+    *,
+    n_jobs: int | None = None,
+    use_shared_memory: bool = True,
+    **kernel_kwargs: Any,
+) -> dict[str, Any]:
+    """Apply a whole-matrix chunk kernel to consumer chunks, over processes.
+
+    The chunk-granular twin of :func:`parallel_map_consumers` for the
+    batched kernels (:mod:`repro.batched`): ``chunk_kernel`` must be a
+    module-level callable with signature ``chunk_kernel(consumption_matrix,
+    temperature_matrix, **kernel_kwargs) -> list[result]`` (one result
+    per row).  Each worker runs it once on its contiguous consumer slice;
+    with one worker (or no pool) it runs once in-process on the whole
+    matrix.  Returns ``{consumer_id: result}`` in dataset order — because
+    the batched kernels treat consumers independently, the results do not
+    depend on how the matrix is chunked.
+    """
+    n = dataset.n_consumers
+    jobs = min(effective_n_jobs(n_jobs), n)
+    if jobs <= 1:
+        results = chunk_kernel(
+            dataset.consumption, dataset.temperature, **kernel_kwargs
+        )
+        return dict(zip(dataset.consumer_ids, results))
+    pool = _make_pool(jobs)
+    if pool is None:
+        return parallel_map_consumer_chunks(
+            chunk_kernel, dataset, n_jobs=1, **kernel_kwargs
+        )
+    with pool, MatrixPublisher(use_shared_memory) as publisher:
+        handles = publish_dataset(publisher, dataset)
+        futures = [
+            pool.submit(
+                kernels.run_matrix_chunk, handles, chunk_kernel, lo, hi, kernel_kwargs
+            )
+            for lo, hi in iter_chunks(n, jobs)
+        ]
+        results: list[Any] = []
+        for future in futures:  # submission order == consumer order
+            results.extend(future.result())
+    return dict(zip(dataset.consumer_ids, results))
+
+
 def parallel_similarity(
     matrix: np.ndarray,
     ids: Sequence[str],

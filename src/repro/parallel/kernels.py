@@ -84,6 +84,27 @@ def run_consumer_chunk(
     ]
 
 
+def run_matrix_chunk(
+    handles: DatasetHandles,
+    chunk_kernel: Callable[..., list],
+    lo: int,
+    hi: int,
+    kwargs: dict[str, Any],
+) -> list[Any]:
+    """Apply a whole-matrix chunk kernel to consumers ``lo:hi``.
+
+    The chunk-granular twin of :func:`run_consumer_chunk`: instead of a
+    per-consumer kernel looped over rows, ``chunk_kernel`` (see
+    :mod:`repro.batched.dispatch`) takes the ``(hi - lo, hours)`` slices
+    whole and returns one result per row.
+    """
+    consumption = attach_matrix(handles.consumption)
+    temperature = attach_matrix(handles.temperature)
+    return chunk_kernel(
+        consumption[lo:hi].copy(), temperature[lo:hi].copy(), **kwargs
+    )
+
+
 #: Worker-side cache of normalized similarity matrices, keyed by the
 #: consumption matrix's shared-memory name.  Normalizing is O(n * hours)
 #: against the O(n^2 * hours) similarity itself, but one worker typically

@@ -1,0 +1,326 @@
+"""Batched whole-matrix kernels agree with the per-consumer loop.
+
+The contract under test (see ``src/repro/batched/``): histogram and
+3-line results are *bit-identical* to the loop reference; PAR agrees
+within the tolerances documented in :mod:`repro.batched.par`.  The
+agreement must hold through every dispatch route — direct kernel calls,
+``run_task_reference`` with every ``kernel`` x ``n_jobs`` combination,
+and the three single-server engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batched import (
+    AUTO_BATCH_MIN_CONSUMERS,
+    batched_histograms,
+    batched_par,
+    batched_three_lines,
+    resolve_kernel,
+    run_batched_task,
+    wants_batched,
+)
+from repro.batched.par import (
+    PAR_COEFF_ATOL,
+    PAR_COEFF_RTOL,
+    PAR_PROFILE_ATOL,
+    PAR_PROFILE_RTOL,
+)
+from repro.core.benchmark import (
+    KERNEL_STRATEGIES,
+    BenchmarkSpec,
+    Task,
+    run_task_reference,
+)
+from repro.core.histogram import equi_width_histogram
+from repro.core.par import ParConfig, fit_par
+from repro.core.threeline import fit_three_lines
+from repro.core.validation import compare_task_results
+from repro.datagen.seed import SeedConfig, make_seed_dataset
+from repro.exceptions import DataError, InsufficientDataError
+from repro.timeseries.series import Dataset
+
+
+def _dataset(n=12, hours=24 * 30, seed=42):
+    return make_seed_dataset(
+        SeedConfig(n_consumers=n, n_hours=hours, seed=seed)
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return _dataset()
+
+
+def _assert_histograms_identical(reference, batched):
+    assert np.array_equal(reference.edges, batched.edges)
+    assert np.array_equal(reference.counts, batched.counts)
+
+
+class TestBatchedHistogram:
+    def test_bit_identical_on_seed_data(self, dataset):
+        results = batched_histograms(dataset.consumption)
+        for i in range(dataset.n_consumers):
+            _assert_histograms_identical(
+                equi_width_histogram(dataset.consumption[i]), results[i]
+            )
+
+    @pytest.mark.parametrize(
+        "row",
+        [
+            np.full(48, 3.7),  # constant row -> degenerate unit range
+            np.zeros(48),  # all-zero consumer
+            -np.linspace(0.1, 5.0, 48),  # negative readings
+            np.repeat(np.linspace(0.0, 1.0, 8), 6),  # values exactly on edges
+            np.linspace(1e6, 1e6 + 1.0, 48),  # large offset, small span
+        ],
+        ids=["constant", "all-zero", "negative", "on-edge-ties", "offset"],
+    )
+    def test_bit_identical_on_edge_rows(self, row):
+        results = batched_histograms(row[None])
+        _assert_histograms_identical(equi_width_histogram(row), results[0])
+
+    def test_single_consumer_matrix(self):
+        row = np.random.default_rng(3).gamma(2.0, 0.5, 100)
+        results = batched_histograms(row[None])
+        assert len(results) == 1
+        _assert_histograms_identical(equi_width_histogram(row), results[0])
+
+    def test_fuzz_bit_identity(self):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            n = int(rng.integers(1, 20))
+            hours = int(rng.integers(1, 120))
+            buckets = int(rng.integers(1, 14))
+            matrix = rng.normal(
+                rng.uniform(-50, 50), rng.uniform(1e-6, 50), size=(n, hours)
+            )
+            results = batched_histograms(matrix, buckets)
+            for i in range(n):
+                _assert_histograms_identical(
+                    equi_width_histogram(matrix[i], buckets), results[i]
+                )
+
+    def test_validation_matches_reference(self):
+        with pytest.raises(ValueError, match="n_buckets"):
+            batched_histograms(np.ones((2, 4)), 0)
+        with pytest.raises(DataError, match="matrix"):
+            batched_histograms(np.ones(4))
+        nan = np.ones((2, 4))
+        nan[1, 2] = np.nan
+        with pytest.raises(DataError, match="NaN"):
+            batched_histograms(nan)
+
+
+class TestBatchedThreeLine:
+    def test_bit_identical_on_seed_data(self, dataset):
+        results = batched_three_lines(dataset.consumption, dataset.temperature)
+        for i in range(dataset.n_consumers):
+            ref = fit_three_lines(
+                dataset.consumption[i], dataset.temperature[i]
+            )
+            got = results[i]
+            for side in ("band_upper", "band_lower"):
+                ref_band, got_band = getattr(ref, side), getattr(got, side)
+                assert ref_band.breakpoints == got_band.breakpoints
+                assert ref_band.sse == got_band.sse
+                for ref_line, got_line in zip(ref_band.lines, got_band.lines):
+                    assert ref_line.slope == got_line.slope
+                    assert ref_line.intercept == got_line.intercept
+            assert ref.base_load == got.base_load
+            assert ref.heating_gradient == got.heating_gradient
+            assert ref.cooling_gradient == got.cooling_gradient
+
+    def test_all_zero_consumption_row(self, dataset):
+        cons = dataset.consumption.copy()
+        cons[2] = 0.0
+        results = batched_three_lines(cons, dataset.temperature)
+        ref = fit_three_lines(cons[2], dataset.temperature[2])
+        assert ref.base_load == results[2].base_load
+        assert ref.band_upper.sse == results[2].band_upper.sse
+
+    def test_constant_temperature_raise_parity(self, dataset):
+        temp = dataset.temperature.copy()
+        temp[1] = 18.0  # one rounded bin -> too few percentile points
+        with pytest.raises(InsufficientDataError):
+            fit_three_lines(dataset.consumption[1], temp[1])
+        with pytest.raises(InsufficientDataError):
+            batched_three_lines(dataset.consumption, temp)
+
+
+class TestBatchedPar:
+    def _assert_par_close(self, ref, got):
+        assert np.allclose(
+            ref.profile, got.profile,
+            rtol=PAR_PROFILE_RTOL, atol=PAR_PROFILE_ATOL,
+        )
+        for h in range(24):
+            assert np.allclose(
+                ref.hour_models[h].coefficients,
+                got.hour_models[h].coefficients,
+                rtol=PAR_COEFF_RTOL, atol=PAR_COEFF_ATOL,
+            )
+            assert np.isclose(
+                ref.hour_models[h].sse,
+                got.hour_models[h].sse,
+                rtol=PAR_PROFILE_RTOL, atol=PAR_PROFILE_ATOL,
+            )
+            assert (
+                ref.hour_models[h].n_observations
+                == got.hour_models[h].n_observations
+            )
+
+    @pytest.mark.parametrize("mode", ["linear", "degree_day"])
+    def test_within_documented_tolerance(self, dataset, mode):
+        cfg = ParConfig(temperature_mode=mode)
+        results = batched_par(dataset.consumption, dataset.temperature, cfg)
+        for i in range(dataset.n_consumers):
+            ref = fit_par(dataset.consumption[i], dataset.temperature[i], cfg)
+            self._assert_par_close(ref, results[i])
+
+    def test_rank_deficient_rows_take_lstsq_fallback(self, dataset):
+        # All-zero consumption zeroes the lag columns; constant
+        # temperature makes the temperature column collinear with the
+        # intercept.  Both make the normal equations singular, and both
+        # must match the reference lstsq answer.
+        cons = dataset.consumption.copy()
+        temp = dataset.temperature.copy()
+        cons[3] = 0.0
+        temp[5] = 18.0
+        results = batched_par(cons, temp)
+        for i in (3, 5):
+            self._assert_par_close(fit_par(cons[i], temp[i]), results[i])
+
+    def test_single_consumer(self, dataset):
+        results = batched_par(
+            dataset.consumption[:1], dataset.temperature[:1]
+        )
+        self._assert_par_close(
+            fit_par(dataset.consumption[0], dataset.temperature[0]),
+            results[0],
+        )
+
+    def test_partial_day_raise_parity(self, dataset):
+        cons = dataset.consumption[:, :-1]
+        temp = dataset.temperature[:, :-1]
+        with pytest.raises(ValueError, match="whole number of days"):
+            batched_par(cons, temp)
+        with pytest.raises(ValueError, match="whole number of days"):
+            fit_par(cons[0], temp[0])
+
+    def test_too_few_days_raise_parity(self, dataset):
+        cons = dataset.consumption[:, : 24 * 5]
+        temp = dataset.temperature[:, : 24 * 5]
+        with pytest.raises(InsufficientDataError):
+            batched_par(cons, temp)
+        with pytest.raises(InsufficientDataError):
+            fit_par(cons[0], temp[0])
+
+
+class TestDispatch:
+    def test_kernel_strategies_exposed(self):
+        assert KERNEL_STRATEGIES == ("loop", "batched", "auto")
+
+    def test_spec_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError, match="kernel"):
+            BenchmarkSpec(kernel="vectorised")
+
+    def test_resolve_kernel(self):
+        assert resolve_kernel("loop", 1000) == "loop"
+        assert resolve_kernel("batched", 1) == "batched"
+        assert resolve_kernel("auto", AUTO_BATCH_MIN_CONSUMERS) == "batched"
+        assert resolve_kernel("auto", AUTO_BATCH_MIN_CONSUMERS - 1) == "loop"
+        with pytest.raises(ValueError, match="kernel"):
+            resolve_kernel("vectorised", 10)
+
+    def test_wants_batched(self):
+        assert wants_batched("batched", 1)
+        assert not wants_batched("loop", 10**6)
+        assert wants_batched("auto", AUTO_BATCH_MIN_CONSUMERS)
+
+    @pytest.mark.parametrize("task", [Task.HISTOGRAM, Task.THREELINE, Task.PAR])
+    @pytest.mark.parametrize("kernel", ["batched", "auto"])
+    def test_run_task_reference_matches_loop(self, dataset, task, kernel):
+        loop = run_task_reference(dataset, task, BenchmarkSpec())
+        got = run_task_reference(dataset, task, BenchmarkSpec(kernel=kernel))
+        compare_task_results(task, loop, got)
+        if task == Task.HISTOGRAM:
+            for cid in loop:
+                _assert_histograms_identical(loop[cid], got[cid])
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_batched_composes_with_parallel_chunking(self, dataset, jobs):
+        # Chunking must not change results: histogram rows are
+        # independent and the 3-line/PAR chunks reproduce the same
+        # per-consumer systems regardless of the split.
+        for task in (Task.HISTOGRAM, Task.PAR):
+            loop = run_task_reference(dataset, task, BenchmarkSpec())
+            got = run_task_reference(
+                dataset, task, BenchmarkSpec(kernel="batched", n_jobs=jobs)
+            )
+            compare_task_results(task, loop, got)
+            if task == Task.HISTOGRAM:
+                for cid in loop:
+                    _assert_histograms_identical(loop[cid], got[cid])
+
+    def test_run_batched_task_defaults_to_serial_spec(self, dataset):
+        got = run_batched_task(dataset, Task.HISTOGRAM)
+        loop = run_task_reference(dataset, Task.HISTOGRAM, BenchmarkSpec())
+        assert set(got) == set(loop)
+        for cid in loop:
+            _assert_histograms_identical(loop[cid], got[cid])
+
+    def test_auto_below_threshold_stays_loop(self):
+        small = _dataset(n=AUTO_BATCH_MIN_CONSUMERS - 1, hours=24 * 30)
+        loop = run_task_reference(small, Task.HISTOGRAM, BenchmarkSpec())
+        got = run_task_reference(
+            small, Task.HISTOGRAM, BenchmarkSpec(kernel="auto")
+        )
+        for cid in loop:
+            _assert_histograms_identical(loop[cid], got[cid])
+
+
+class TestEngineKernelAgreement:
+    @pytest.fixture(scope="class")
+    def loaded_engines(self, dataset, tmp_path_factory):
+        from repro.engines.base import create_engine
+
+        engines = []
+        for name in ("matlab", "madlib", "systemc"):
+            engine = create_engine(name)
+            engine.load_dataset(
+                dataset, tmp_path_factory.mktemp(f"kernel_{name}")
+            )
+            engines.append(engine)
+        yield engines
+        for engine in engines:
+            engine.close()
+
+    @pytest.mark.parametrize("task", [Task.HISTOGRAM, Task.THREELINE, Task.PAR])
+    def test_batched_kernel_matches_loop_kernel(self, loaded_engines, task):
+        method = {
+            Task.HISTOGRAM: "histogram",
+            Task.THREELINE: "three_line",
+            Task.PAR: "par",
+        }[task]
+        for engine in loaded_engines:
+            loop = getattr(engine, method)(BenchmarkSpec())
+            batched = getattr(engine, method)(BenchmarkSpec(kernel="batched"))
+            compare_task_results(task, loop, batched)
+
+
+class TestBatchedNotDivisibleHours:
+    def test_histogram_any_hours(self):
+        # Histogram has no day structure: 25 hours is fine and identical.
+        matrix = np.random.default_rng(11).gamma(2.0, 0.5, size=(5, 25))
+        results = batched_histograms(matrix)
+        for i in range(5):
+            _assert_histograms_identical(
+                equi_width_histogram(matrix[i]), results[i]
+            )
+
+    def test_dataset_keys_preserve_order(self, dataset):
+        got = run_batched_task(dataset, Task.HISTOGRAM)
+        assert list(got) == list(dataset.consumer_ids)
