@@ -109,22 +109,45 @@ def chunk_kernel_for(
 
 
 def run_batched_task(
-    dataset, task: Task, spec: BenchmarkSpec | None = None
+    dataset, task: Task, spec: BenchmarkSpec | None = None, report=None
 ) -> dict[str, Any]:
     """Run a per-consumer task with the batched kernels.
 
     Honours ``spec.n_jobs`` by fanning consumer chunks over the process
     pool with the batched kernel applied per chunk.  Returns
     ``{consumer_id: result}`` in dataset order, like
-    :func:`~repro.core.benchmark.run_task_reference`.
+    :func:`~repro.core.benchmark.run_task_reference`.  The spec's
+    resilience knobs apply: pooled runs are supervised, and under
+    ``on_error="quarantine"`` poisoned rows are located by bisection
+    (chunking-invariance makes the splitting harmless) and reported
+    instead of raising.
     """
+    from repro.resilience.policy import policy_for_spec
+
     spec = spec or BenchmarkSpec()
     chunk_kernel, kwargs = chunk_kernel_for(task, spec)
+    policy = policy_for_spec(spec)
     if spec.n_jobs != 1:
         from repro.parallel.executor import parallel_map_consumer_chunks
 
         return parallel_map_consumer_chunks(
-            chunk_kernel, dataset, n_jobs=spec.n_jobs, **kwargs
+            chunk_kernel,
+            dataset,
+            n_jobs=spec.n_jobs,
+            policy=policy,
+            report=report,
+            task_label=task.value,
+            **kwargs,
+        )
+    if policy.quarantine:
+        from repro.parallel.executor import _finalize_consumer_results
+        from repro.resilience.worker import guarded_matrix
+
+        results = guarded_matrix(
+            chunk_kernel, dataset.consumption, dataset.temperature, kwargs
+        )
+        return _finalize_consumer_results(
+            dataset.consumer_ids, results, task.value, report
         )
     results = chunk_kernel(dataset.consumption, dataset.temperature, **kwargs)
     return dict(zip(dataset.consumer_ids, results))

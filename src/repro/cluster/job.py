@@ -25,6 +25,7 @@ from repro.cluster.costmodel import CostModel, PhaseSchedule, schedule
 from repro.cluster.dfs import InputSplit, SimDFS, input_splits
 from repro.cluster.topology import ClusterSpec
 from repro.exceptions import JobError
+from repro.resilience.backoff import AttemptAccount
 
 #: A mapper consumes one split's lines and yields (key, value) pairs.
 Mapper = Callable[[list[str]], Iterable[tuple]]
@@ -78,6 +79,15 @@ class FailureInjector:
             raise ValueError("failure_probability must be in [0, 1)")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+
+    def new_account(self) -> AttemptAccount:
+        """A fresh attempt account with this injector's budget.
+
+        Shared with the real supervised pool
+        (:mod:`repro.resilience.supervisor`) so simulated and real fault
+        tolerance count attempts the same way.
+        """
+        return AttemptAccount(max_attempts=self.max_attempts)
 
 
 @dataclass(frozen=True)
@@ -152,24 +162,25 @@ class JobRunner:
     def _run_with_retries(self, job_name: str, task_label: str, attempt_fn):
         """Execute a task body under the failure injector.
 
-        Returns ``(result, retry_multiplier)`` where the multiplier scales
-        the task's virtual duration to account for wasted attempts.
+        Returns ``(result, account)`` — the shared
+        :class:`~repro.resilience.backoff.AttemptAccount` records the
+        wasted attempts, exactly as the real supervised pool counts them.
         """
         injector = self.failure_injector
         if injector is None:
-            return attempt_fn(), 1.0
-        failures = 0
+            return attempt_fn(), AttemptAccount(max_attempts=1)
+        account = injector.new_account()
         while True:
             if self._failure_rng.random() < injector.failure_probability:
-                failures += 1
-                if failures >= injector.max_attempts:
+                account.fail()
+                if account.exhausted:
                     raise JobError(
                         f"job {job_name!r}: {task_label} failed "
-                        f"{failures} attempts; giving up"
+                        f"{account.failures} attempts; giving up"
                     )
                 continue
             result = attempt_fn()
-            return result, 1.0 + failures * injector.wasted_fraction
+            return result, account
 
     def run(
         self, job: MapReduceJob, paths: list[str]
@@ -262,14 +273,16 @@ class JobRunner:
                 return out, out
 
             tic = time.perf_counter()
-            (raw_out, out), mult = self._run_with_retries(
+            (raw_out, out), account = self._run_with_retries(
                 job.name, f"map task {split.path}:{split.block_index}", attempt
             )
             computes.append(time.perf_counter() - tic)
-            if mult > 1.0:
-                counters.failed_task_attempts += round(
-                    (mult - 1.0) / self.failure_injector.wasted_fraction
-                )
+            counters.failed_task_attempts += account.failures
+            mult = (
+                account.retry_multiplier(self.failure_injector.wasted_fraction)
+                if self.failure_injector is not None
+                else 1.0
+            )
             counters.map_output_records += len(raw_out)
             if job.combiner is not None:
                 counters.combine_output_records += len(out)

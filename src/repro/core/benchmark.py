@@ -74,6 +74,15 @@ class BenchmarkSpec:
     documented tolerance of :mod:`repro.batched.par` for PAR.  The two
     knobs compose — with both set, workers run the batched kernel on
     their consumer chunk.
+
+    The resilience knobs (``max_retries``, ``task_timeout_s``,
+    ``on_error``) govern the supervised execution layer
+    (:mod:`repro.resilience`): retry budget for crashed/timed-out pool
+    chunks, per-chunk timeout, and whether a per-consumer ``DataError``
+    raises (default) or quarantines the consumer into the run report.
+    ``None`` means "inherit the process-wide default policy" (see
+    :func:`repro.resilience.policy.get_default_policy`), which is how
+    the CLI flags reach figure runners that build their own specs.
     """
 
     n_buckets: int = NUM_BUCKETS
@@ -82,6 +91,9 @@ class BenchmarkSpec:
     threeline: ThreeLineConfig = field(default_factory=ThreeLineConfig)
     n_jobs: int = 1
     kernel: str = "loop"
+    max_retries: int | None = None
+    task_timeout_s: float | None = None
+    on_error: str | None = None
 
     def __post_init__(self) -> None:
         if self.kernel not in KERNEL_STRATEGIES:
@@ -89,10 +101,23 @@ class BenchmarkSpec:
                 f"unknown kernel strategy {self.kernel!r}; "
                 f"expected one of {KERNEL_STRATEGIES}"
             )
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0.0:
+            raise ValueError(
+                f"task_timeout_s must be > 0, got {self.task_timeout_s}"
+            )
+        if self.on_error not in (None, "raise", "quarantine"):
+            raise ValueError(
+                f"unknown on_error mode {self.on_error!r}; "
+                f"expected 'raise' or 'quarantine'"
+            )
 
 
 def run_task_reference(
-    dataset: Dataset, task: Task, spec: BenchmarkSpec | None = None
+    dataset: Dataset, task: Task, spec: BenchmarkSpec | None = None, report=None
 ) -> dict[str, Any]:
     """Run one benchmark task with the reference kernels.
 
@@ -108,6 +133,12 @@ def run_task_reference(
     ``batched`` the per-consumer tasks run the whole-matrix kernels of
     :mod:`repro.batched` instead of the loop (composing with ``n_jobs``:
     each worker runs the batched kernel on its chunk).
+
+    ``report`` (an :class:`~repro.resilience.report.ExecutionReport`)
+    collects retry counters and — when the spec's resolved ``on_error``
+    mode is ``"quarantine"`` — the consumers whose kernels raised
+    ``DataError`` instead of producing a result; those consumers are
+    omitted from the returned dict.
     """
     spec = spec or BenchmarkSpec()
     if spec.kernel != "loop" and task in PER_CONSUMER_TASKS:
@@ -115,12 +146,22 @@ def run_task_reference(
         from repro.batched.dispatch import run_batched_task, wants_batched
 
         if wants_batched(spec.kernel, dataset.n_consumers):
-            return run_batched_task(dataset, task, spec)
+            return run_batched_task(dataset, task, spec, report=report)
     if spec.n_jobs != 1:
         # Lazy import: repro.parallel depends on this module.
         from repro.parallel import run_task_parallel
 
-        return run_task_parallel(dataset, task, spec)
+        return run_task_parallel(dataset, task, spec, report=report)
+    # Lazy import: repro.resilience sits above repro.core in the layering.
+    from repro.resilience.policy import policy_for_spec
+
+    if task in PER_CONSUMER_TASKS and policy_for_spec(spec).quarantine:
+        # Quarantine needs the guarded row loop; run_task_parallel with
+        # n_jobs=1 takes the serial in-process path with the same
+        # reference kernels — bit-identical for the healthy consumers.
+        from repro.parallel import run_task_parallel
+
+        return run_task_parallel(dataset, task, spec, report=report)
     if task is Task.HISTOGRAM:
         return histograms_for_dataset(dataset, spec.n_buckets)
     if task is Task.THREELINE:

@@ -79,16 +79,27 @@ class AnalyticsEngine(abc.ABC):
     # Convenience ---------------------------------------------------------
 
     def run_task(
-        self, task: Task, spec: BenchmarkSpec | None = None
+        self, task: Task, spec: BenchmarkSpec | None = None, report=None
     ) -> dict[str, Any]:
-        """Dispatch a task by enum value."""
+        """Dispatch a task by enum value.
+
+        ``report`` (an :class:`~repro.resilience.report.ExecutionReport`)
+        is forwarded to engines whose task methods accept it; engines
+        predating the resilience layer still work unchanged.
+        """
         methods = {
             Task.HISTOGRAM: self.histogram,
             Task.THREELINE: self.three_line,
             Task.PAR: self.par,
             Task.SIMILARITY: self.similarity,
         }
-        return methods[task](spec)
+        method = methods[task]
+        if report is not None:
+            import inspect
+
+            if "report" in inspect.signature(method).parameters:
+                return method(spec, report=report)
+        return method(spec)
 
     def timed_task(
         self, task: Task, spec: BenchmarkSpec | None = None, cold: bool = False

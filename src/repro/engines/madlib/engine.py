@@ -37,6 +37,7 @@ from repro.parallel import (
     parallel_similarity,
 )
 from repro.parallel import kernels as parallel_kernels
+from repro.resilience.policy import policy_for_spec
 from repro.relational.catalog import Database
 from repro.relational.executor import execute_select
 from repro.relational.layouts import TableLayout, load_dataset
@@ -156,19 +157,23 @@ class MadlibEngine(AnalyticsEngine):
 
     # Tasks ---------------------------------------------------------------------
 
-    def histogram(self, spec: BenchmarkSpec | None = None):
+    def histogram(self, spec: BenchmarkSpec | None = None, report=None):
         spec = spec or BenchmarkSpec()
+        policy = policy_for_spec(spec)
         if spec.kernel != "loop":
             # The SQL fetch stays the serial driver step; the statistics
             # run on the whole fetched matrix at once.
             data = self._matrix_dataset()
             if wants_batched(spec.kernel, data.n_consumers):
-                return run_batched_task(data, Task.HISTOGRAM, spec)
-        if effective_n_jobs(spec.n_jobs) > 1:
+                return run_batched_task(data, Task.HISTOGRAM, spec, report=report)
+        if effective_n_jobs(spec.n_jobs) > 1 or policy.quarantine:
             return parallel_map_consumers(
                 parallel_kernels.histogram_kernel,
                 self._matrix_dataset(),
                 n_jobs=spec.n_jobs,
+                policy=policy,
+                report=report,
+                task_label=Task.HISTOGRAM.value,
                 n_buckets=spec.n_buckets,
             )
         if self.layout is TableLayout.READINGS:
@@ -188,20 +193,24 @@ class MadlibEngine(AnalyticsEngine):
             for cid, (cons, _) in self._household_arrays().items()
         }
 
-    def three_line(self, spec: BenchmarkSpec | None = None):
+    def three_line(self, spec: BenchmarkSpec | None = None, report=None):
         spec = spec or BenchmarkSpec()
+        policy = policy_for_spec(spec)
         cfg = spec.threeline
         if spec.kernel != "loop":
             data = self._matrix_dataset()
             if wants_batched(spec.kernel, data.n_consumers):
-                return run_batched_task(data, Task.THREELINE, spec)
-        if effective_n_jobs(spec.n_jobs) > 1:
+                return run_batched_task(data, Task.THREELINE, spec, report=report)
+        if effective_n_jobs(spec.n_jobs) > 1 or policy.quarantine:
             # Workers run the full reference 3-line per consumer; the
             # in-database T1 split is a serial-path refinement only.
             return parallel_map_consumers(
                 parallel_kernels.threeline_kernel,
                 self._matrix_dataset(),
                 n_jobs=spec.n_jobs,
+                policy=policy,
+                report=report,
+                task_label=Task.THREELINE.value,
                 config=cfg,
             )
         tic = time.perf_counter()
@@ -249,17 +258,21 @@ class MadlibEngine(AnalyticsEngine):
             out[cid] = fit_bands(temps, lower, upper, counts, cfg, self.phase_times)
         return out
 
-    def par(self, spec: BenchmarkSpec | None = None):
+    def par(self, spec: BenchmarkSpec | None = None, report=None):
         spec = spec or BenchmarkSpec()
+        policy = policy_for_spec(spec)
         if spec.kernel != "loop":
             data = self._matrix_dataset()
             if wants_batched(spec.kernel, data.n_consumers):
-                return run_batched_task(data, Task.PAR, spec)
-        if effective_n_jobs(spec.n_jobs) > 1:
+                return run_batched_task(data, Task.PAR, spec, report=report)
+        if effective_n_jobs(spec.n_jobs) > 1 or policy.quarantine:
             return parallel_map_consumers(
                 parallel_kernels.par_kernel,
                 self._matrix_dataset(),
                 n_jobs=spec.n_jobs,
+                policy=policy,
+                report=report,
+                task_label=Task.PAR.value,
                 config=spec.par,
             )
         # MADLib's time-series module stands in as the built-in PAR; the
@@ -269,14 +282,20 @@ class MadlibEngine(AnalyticsEngine):
             for cid, (cons, temp) in self._household_arrays().items()
         }
 
-    def similarity(self, spec: BenchmarkSpec | None = None):
+    def similarity(self, spec: BenchmarkSpec | None = None, report=None):
         spec = spec or BenchmarkSpec()
         arrays = self._household_arrays()
         ids = list(arrays)
         matrix = np.stack([arrays[cid][0] for cid in ids])
         if effective_n_jobs(spec.n_jobs) > 1:
             return parallel_similarity(
-                matrix, ids, spec.top_k, n_jobs=spec.n_jobs
+                matrix,
+                ids,
+                spec.top_k,
+                n_jobs=spec.n_jobs,
+                policy=policy_for_spec(spec),
+                report=report,
+                task_label=Task.SIMILARITY.value,
             )
         # Hand-written PL-style similarity: explicit pairwise dot products.
         norms = np.sqrt((matrix * matrix).sum(axis=1))

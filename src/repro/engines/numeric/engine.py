@@ -36,6 +36,7 @@ from repro.parallel import (
     parallel_similarity,
 )
 from repro.parallel import kernels as parallel_kernels
+from repro.resilience.policy import policy_for_spec
 from repro.engines.base import (
     BUILTIN,
     HAND_WRITTEN,
@@ -129,16 +130,20 @@ class NumericEngine(AnalyticsEngine):
 
     # Tasks ---------------------------------------------------------------------
 
-    def histogram(self, spec: BenchmarkSpec | None = None):
+    def histogram(self, spec: BenchmarkSpec | None = None, report=None):
         spec = spec or BenchmarkSpec()
+        policy = policy_for_spec(spec)
         data = self._read_all()
         if wants_batched(spec.kernel, data.n_consumers):
-            return run_batched_task(data, Task.HISTOGRAM, spec)
-        if effective_n_jobs(spec.n_jobs) > 1:
+            return run_batched_task(data, Task.HISTOGRAM, spec, report=report)
+        if effective_n_jobs(spec.n_jobs) > 1 or policy.quarantine:
             return parallel_map_consumers(
                 parallel_kernels.histogram_kernel,
                 data,
                 n_jobs=spec.n_jobs,
+                policy=policy,
+                report=report,
+                task_label=Task.HISTOGRAM.value,
                 n_buckets=spec.n_buckets,
             )
         return {
@@ -146,18 +151,22 @@ class NumericEngine(AnalyticsEngine):
             for i, cid in enumerate(data.consumer_ids)
         }
 
-    def three_line(self, spec: BenchmarkSpec | None = None):
+    def three_line(self, spec: BenchmarkSpec | None = None, report=None):
         spec = spec or BenchmarkSpec()
+        policy = policy_for_spec(spec)
         data = self._read_all()
         if wants_batched(spec.kernel, data.n_consumers):
-            return run_batched_task(data, Task.THREELINE, spec)
-        if effective_n_jobs(spec.n_jobs) > 1:
+            return run_batched_task(data, Task.THREELINE, spec, report=report)
+        if effective_n_jobs(spec.n_jobs) > 1 or policy.quarantine:
             # Parallel instances are shared-nothing (the paper ran one
             # Matlab per core); phase timing stays a serial-only feature.
             return parallel_map_consumers(
                 parallel_kernels.threeline_kernel,
                 data,
                 n_jobs=spec.n_jobs,
+                policy=policy,
+                report=report,
+                task_label=Task.THREELINE.value,
                 config=spec.threeline,
             )
         return {
@@ -170,16 +179,20 @@ class NumericEngine(AnalyticsEngine):
             for i, cid in enumerate(data.consumer_ids)
         }
 
-    def par(self, spec: BenchmarkSpec | None = None):
+    def par(self, spec: BenchmarkSpec | None = None, report=None):
         spec = spec or BenchmarkSpec()
+        policy = policy_for_spec(spec)
         data = self._read_all()
         if wants_batched(spec.kernel, data.n_consumers):
-            return run_batched_task(data, Task.PAR, spec)
-        if effective_n_jobs(spec.n_jobs) > 1:
+            return run_batched_task(data, Task.PAR, spec, report=report)
+        if effective_n_jobs(spec.n_jobs) > 1 or policy.quarantine:
             return parallel_map_consumers(
                 parallel_kernels.par_kernel,
                 data,
                 n_jobs=spec.n_jobs,
+                policy=policy,
+                report=report,
+                task_label=Task.PAR.value,
                 config=spec.par,
             )
         return {
@@ -187,14 +200,20 @@ class NumericEngine(AnalyticsEngine):
             for i, cid in enumerate(data.consumer_ids)
         }
 
-    def similarity(self, spec: BenchmarkSpec | None = None):
+    def similarity(self, spec: BenchmarkSpec | None = None, report=None):
         spec = spec or BenchmarkSpec()
         data = self._read_all()
         matrix = data.consumption
         ids = data.consumer_ids
         if effective_n_jobs(spec.n_jobs) > 1:
             return parallel_similarity(
-                matrix, ids, spec.top_k, n_jobs=spec.n_jobs
+                matrix,
+                ids,
+                spec.top_k,
+                n_jobs=spec.n_jobs,
+                policy=policy_for_spec(spec),
+                report=report,
+                task_label=Task.SIMILARITY.value,
             )
         # Hand-written similarity: loop over consumers, one vectorized
         # matrix-vector product per consumer (the Matlab idiom).

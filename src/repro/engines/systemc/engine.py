@@ -48,6 +48,7 @@ from repro.parallel import (
     parallel_map_consumers,
     parallel_similarity,
 )
+from repro.resilience.policy import policy_for_spec
 from repro.timeseries.calendar import HOURS_PER_DAY
 from repro.timeseries.series import Dataset
 
@@ -112,18 +113,24 @@ class SystemCEngine(AnalyticsEngine):
 
     # Tasks ------------------------------------------------------------------
 
-    def histogram(self, spec: BenchmarkSpec | None = None):
+    def histogram(self, spec: BenchmarkSpec | None = None, report=None):
         spec = spec or BenchmarkSpec()
+        policy = policy_for_spec(spec)
         table = self._require_table()
         if wants_batched(spec.kernel, table.n_households):
             # Whole-matrix kernels over the stride-reshaped columns — the
             # column-store analogue of a platform's vectorized built-ins.
-            return run_batched_task(self._matrix_dataset(), Task.HISTOGRAM, spec)
-        if effective_n_jobs(spec.n_jobs) > 1:
+            return run_batched_task(
+                self._matrix_dataset(), Task.HISTOGRAM, spec, report=report
+            )
+        if effective_n_jobs(spec.n_jobs) > 1 or policy.quarantine:
             return parallel_map_consumers(
                 histogram_kernel,
                 self._matrix_dataset(),
                 n_jobs=spec.n_jobs,
+                policy=policy,
+                report=report,
+                task_label=Task.HISTOGRAM.value,
                 n_buckets=spec.n_buckets,
             )
         out = {}
@@ -133,17 +140,23 @@ class SystemCEngine(AnalyticsEngine):
             out[table.decode(code)] = HistogramResult(edges=edges, counts=counts)
         return out
 
-    def three_line(self, spec: BenchmarkSpec | None = None):
+    def three_line(self, spec: BenchmarkSpec | None = None, report=None):
         spec = spec or BenchmarkSpec()
+        policy = policy_for_spec(spec)
         cfg = spec.threeline
         table = self._require_table()
         if wants_batched(spec.kernel, table.n_households):
-            return run_batched_task(self._matrix_dataset(), Task.THREELINE, spec)
-        if effective_n_jobs(spec.n_jobs) > 1:
+            return run_batched_task(
+                self._matrix_dataset(), Task.THREELINE, spec, report=report
+            )
+        if effective_n_jobs(spec.n_jobs) > 1 or policy.quarantine:
             return parallel_map_consumers(
                 threeline_kernel,
                 self._matrix_dataset(),
                 n_jobs=spec.n_jobs,
+                policy=policy,
+                report=report,
+                task_label=Task.THREELINE.value,
                 config=cfg,
             )
         out = {}
@@ -154,15 +167,24 @@ class SystemCEngine(AnalyticsEngine):
             )
         return out
 
-    def par(self, spec: BenchmarkSpec | None = None):
+    def par(self, spec: BenchmarkSpec | None = None, report=None):
         spec = spec or BenchmarkSpec()
+        policy = policy_for_spec(spec)
         cfg = spec.par
         table = self._require_table()
         if wants_batched(spec.kernel, table.n_households):
-            return run_batched_task(self._matrix_dataset(), Task.PAR, spec)
-        if effective_n_jobs(spec.n_jobs) > 1:
+            return run_batched_task(
+                self._matrix_dataset(), Task.PAR, spec, report=report
+            )
+        if effective_n_jobs(spec.n_jobs) > 1 or policy.quarantine:
             return parallel_map_consumers(
-                par_kernel, self._matrix_dataset(), n_jobs=spec.n_jobs, config=cfg
+                par_kernel,
+                self._matrix_dataset(),
+                n_jobs=spec.n_jobs,
+                policy=policy,
+                report=report,
+                task_label=Task.PAR.value,
+                config=cfg,
             )
         out = {}
         for code in range(table.n_households):
@@ -186,7 +208,7 @@ class SystemCEngine(AnalyticsEngine):
             name="systemc",
         )
 
-    def similarity(self, spec: BenchmarkSpec | None = None):
+    def similarity(self, spec: BenchmarkSpec | None = None, report=None):
         spec = spec or BenchmarkSpec()
         table = self._require_table()
         n = table.n_households
@@ -198,6 +220,9 @@ class SystemCEngine(AnalyticsEngine):
                 [table.decode(code) for code in range(n)],
                 spec.top_k,
                 n_jobs=spec.n_jobs,
+                policy=policy_for_spec(spec),
+                report=report,
+                task_label=Task.SIMILARITY.value,
             )
         # Hand-written: explicit norm computation, one elementwise
         # multiply-and-sum per (consumer, all-others) row — no BLAS matmul.

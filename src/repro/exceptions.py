@@ -76,3 +76,11 @@ class JobError(ClusterError):
 
 class EngineError(ReproError):
     """An analytics engine was used incorrectly (e.g. query before load)."""
+
+
+class ResilienceError(ReproError):
+    """Base class for supervised-execution failures (repro.resilience)."""
+
+
+class WorkerCrashError(ResilienceError):
+    """A pooled chunk kept crashing or timing out past its retry budget."""

@@ -6,11 +6,16 @@ Examples::
     smartbench --figure fig7
     smartbench --figure table1 --figure fig6 --csv results/
     smartbench --all --csv results/
+    smartbench --all --run-dir runs/nightly     # journal as you go
+    smartbench --resume runs/nightly            # skip journaled figures
+    smartbench --figure fig10_measured --max-retries 4 --timeout 120
+    smartbench --figure fig7 --inject-failures kill=0.3,seed=7
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -65,6 +70,54 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "retry budget per parallel chunk for crashed/timed-out workers "
+            "(default 2)"
+        ),
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-chunk timeout for parallel task execution (default: none)",
+    )
+    parser.add_argument(
+        "--inject-failures",
+        nargs="?",
+        const="on",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministically kill/delay live workers for fault-tolerance "
+            "testing; SPEC is key=value pairs, e.g. "
+            "'kill=0.3,delay=0.1,delay_s=0.05,seed=7,attempts=1' "
+            "(bare flag = default kill plan)"
+        ),
+    )
+    parser.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "journal each completed figure under DIR so an interrupted run "
+            "can be resumed with --resume DIR"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help=(
+            "resume a journaled run: skip figures already recorded under "
+            "DIR, journal the rest there"
+        ),
+    )
+    parser.add_argument(
         "--validate",
         action="store_true",
         help="run all tasks on all five engines and verify they agree",
@@ -79,6 +132,51 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate_args(args) -> str | None:
+    """Cross-flag validation; returns an error message or None."""
+    if args.jobs is not None:
+        floor = -(os.cpu_count() or 1)
+        if args.jobs < floor:
+            return (
+                f"--jobs {args.jobs} is below the minimum {floor} "
+                f"(-cpu_count); use 0 for all cores or a negative value "
+                f"no smaller than {floor} for cores-minus-N"
+            )
+    if args.max_retries is not None and args.max_retries < 0:
+        return f"--max-retries must be >= 0, got {args.max_retries}"
+    if args.timeout is not None and args.timeout <= 0:
+        return f"--timeout must be > 0 seconds, got {args.timeout}"
+    if args.run_dir and args.resume:
+        return "--run-dir and --resume are mutually exclusive"
+    return None
+
+
+def _configure_resilience(args) -> str | None:
+    """Install the process-wide policy from CLI flags; error msg or None."""
+    faults = None
+    if args.inject_failures is not None:
+        from repro.resilience.faults import FaultPlan
+
+        try:
+            faults = FaultPlan.from_string(args.inject_failures)
+        except ValueError as exc:
+            return f"--inject-failures: {exc}"
+    if (
+        args.max_retries is None
+        and args.timeout is None
+        and faults is None
+    ):
+        return None
+    from repro.resilience.policy import configure_defaults
+
+    configure_defaults(
+        max_retries=args.max_retries,
+        task_timeout_s=args.timeout,
+        faults=faults,
+    )
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -87,6 +185,10 @@ def main(argv: list[str] | None = None) -> int:
         for figure_id, (_, description) in FIGURES.items():
             print(f"{figure_id.ljust(width)}  {description}")
         return 0
+    error = _validate_args(args) or _configure_resilience(args)
+    if error:
+        print(f"smartbench: {error}", file=sys.stderr)
+        return 2
     if args.validate:
         from repro.harness.validate import validate_engines
 
@@ -99,7 +201,30 @@ def main(argv: list[str] | None = None) -> int:
         result = compare_directories(*args.compare)
         print(result.render())
         return 0 if all(r[-1] == "ok" for r in result.rows) else 1
+
+    journal = None
+    run_dir = args.run_dir or args.resume
+    if run_dir:
+        from repro.resilience.journal import RunJournal
+
+        journal = RunJournal(run_dir)
+        if args.resume and not journal.exists():
+            print(
+                f"smartbench: --resume {args.resume}: no run journal found "
+                f"(expected {journal.manifest_path})",
+                file=sys.stderr,
+            )
+            return 2
+
     ids = list(FIGURES) if args.all else args.figure
+    if not ids and args.resume and journal is not None:
+        # Resume with no explicit selection: finish the recorded run.
+        manifest = journal.manifest()
+        ids = list(manifest.get("figures", []))
+        if args.jobs is None:
+            args.jobs = manifest.get("jobs")
+        if args.kernel is None:
+            args.kernel = manifest.get("kernel")
     if not ids:
         print("nothing to do: pass --figure ID (repeatable), --all, "
               "--validate or --list")
@@ -108,13 +233,45 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         print(f"unknown figure ids: {unknown}; see --list", file=sys.stderr)
         return 2
+
+    if journal is not None:
+        journal.begin(ids, jobs=args.jobs, kernel=args.kernel)
+
     for figure_id in ids:
+        if journal is not None and journal.is_complete(figure_id):
+            result = journal.load_result(figure_id)
+            print(result.render())
+            print(f"  [{figure_id} already journaled; skipped]")
+            print()
+            if args.csv:
+                path = result.save_csv(args.csv)
+                print(f"  csv: {path}")
+            continue
         tic = time.perf_counter()
-        result = run_figure(figure_id, jobs=args.jobs, kernel=args.kernel)
+        try:
+            result = run_figure(figure_id, jobs=args.jobs, kernel=args.kernel)
+        except KeyboardInterrupt:
+            if journal is not None:
+                done = [i for i in ids if journal.is_complete(i)]
+                print(
+                    f"\nsmartbench: interrupted during {figure_id} "
+                    f"({len(done)}/{len(ids)} figures journaled); "
+                    f"resume with: smartbench --resume {run_dir}",
+                    file=sys.stderr,
+                )
+            else:
+                print("\nsmartbench: interrupted", file=sys.stderr)
+            return 130
         elapsed = time.perf_counter() - tic
         print(result.render())
         print(f"  [{figure_id} regenerated in {elapsed:.1f}s]")
         print()
+        if journal is not None:
+            journal.record(
+                result,
+                elapsed_s=elapsed,
+                params={"jobs": args.jobs, "kernel": args.kernel},
+            )
         if args.csv:
             path = result.save_csv(args.csv)
             print(f"  csv: {path}")

@@ -99,6 +99,43 @@ class FigureResult:
         ]
         return sorted(points, key=lambda p: (p[2], p[0]))
 
+    def to_json_dict(self) -> dict:
+        """JSON-safe dict for the run journal (:mod:`repro.resilience.journal`)."""
+        def safe(value):
+            if isinstance(value, bool) or value is None:
+                return value
+            if isinstance(value, (int, float, str)):
+                return value
+            try:
+                import numpy as np
+
+                if isinstance(value, np.integer):
+                    return int(value)
+                if isinstance(value, np.floating):
+                    return float(value)
+            except ImportError:  # pragma: no cover
+                pass
+            return str(value)
+
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [[safe(v) for v in row] for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "FigureResult":
+        """Inverse of :meth:`to_json_dict` (rows come back as lists)."""
+        return cls(
+            figure_id=data["figure_id"],
+            title=data["title"],
+            columns=list(data["columns"]),
+            rows=[list(row) for row in data["rows"]],
+            notes=list(data.get("notes", [])),
+        )
+
     def save_csv(self, directory: str | Path) -> Path:
         """Write the rows as ``<figure_id>.csv`` under ``directory``."""
         directory = Path(directory)

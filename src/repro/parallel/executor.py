@@ -13,15 +13,28 @@ change them; similarity achieves it by making the fixed-size row block
 (not the worker's share) the unit of computation, so the exact same BLAS
 calls run no matter how blocks land on workers.
 
+Fault tolerance: every pooled fan-out runs under the supervisor of
+:mod:`repro.resilience.supervisor` — worker crashes and chunk timeouts
+respawn the pool and re-run only the incomplete chunks, governed by an
+:class:`~repro.resilience.policy.ExecutionPolicy` (retry budget,
+timeout, backoff, optional fault injection).  Since retried chunks run
+the same deterministic kernels on the same slices, the determinism
+contract extends through crashes.  With ``policy.on_error ==
+"quarantine"`` a per-consumer ``DataError`` becomes a
+:class:`~repro.resilience.report.QuarantineRecord` in the execution
+report instead of killing the batch.
+
 Degradation ladder: no ``multiprocessing.shared_memory`` -> matrices are
 pickled to workers; process pool cannot be created at all -> the task runs
-serially in-process.  Both fallbacks are silent and produce identical
-results — ``n_jobs`` is a performance knob, never a correctness one.
+serially in-process with a ``RuntimeWarning`` naming the reason.  Both
+fallbacks produce identical results — ``n_jobs`` is a performance knob,
+never a correctness one.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -35,6 +48,11 @@ from repro.parallel.shm import (
     iter_chunks,
     publish_dataset,
 )
+from repro.resilience import worker as resilience_worker
+from repro.resilience.policy import ExecutionPolicy, get_default_policy
+from repro.resilience.report import ExecutionReport, QuarantineRecord
+from repro.resilience.supervisor import supervised_map
+from repro.resilience.worker import QuarantinedRow
 
 
 def effective_n_jobs(n_jobs: int | None) -> int:
@@ -52,14 +70,64 @@ def effective_n_jobs(n_jobs: int | None) -> int:
     return n_jobs
 
 
+#: Why the last ``_make_pool`` call returned None (for the fallback warning).
+_last_pool_error: str | None = None
+
+
 def _make_pool(n_workers: int):
     """A process pool, or None when this platform cannot fork/spawn one."""
+    global _last_pool_error
     try:
         from concurrent.futures import ProcessPoolExecutor
 
-        return ProcessPoolExecutor(max_workers=n_workers)
-    except (ImportError, NotImplementedError, OSError, PermissionError):
+        pool = ProcessPoolExecutor(max_workers=n_workers)
+        _last_pool_error = None
+        return pool
+    except (ImportError, NotImplementedError, OSError, PermissionError) as exc:
+        _last_pool_error = f"{type(exc).__name__}: {exc}"
         return None
+
+
+def _warn_serial_fallback(jobs: int) -> None:
+    """One warning naming why ``n_jobs`` was ignored (satellite fix)."""
+    reason = _last_pool_error or "pool creation returned no executor"
+    warnings.warn(
+        f"process pool unavailable ({reason}); "
+        f"running serially in-process, n_jobs={jobs} ignored",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _finalize_consumer_results(
+    consumer_ids: Sequence[str],
+    results: list[Any],
+    task_label: str,
+    report: ExecutionReport | None,
+) -> dict[str, Any]:
+    """Map row results to consumer ids, extracting quarantine sentinels."""
+    out: dict[str, Any] = {}
+    records: list[QuarantineRecord] = []
+    for cid, result in zip(consumer_ids, results):
+        if isinstance(result, QuarantinedRow):
+            records.append(
+                QuarantineRecord(cid, task_label, result.error_type, result.message)
+            )
+        else:
+            out[cid] = result
+    if records:
+        if report is not None:
+            for record in records:
+                report.quarantine(record)
+        else:
+            # No report to carry the records: don't lose them silently.
+            warnings.warn(
+                f"{task_label}: quarantined {len(records)} consumer(s): "
+                + "; ".join(str(r) for r in records),
+                RuntimeWarning,
+                stacklevel=3,
+            )
+    return out
 
 
 def parallel_map_consumers(
@@ -68,6 +136,9 @@ def parallel_map_consumers(
     *,
     n_jobs: int | None = None,
     use_shared_memory: bool = True,
+    policy: ExecutionPolicy | None = None,
+    report: ExecutionReport | None = None,
+    task_label: str | None = None,
     **kernel_kwargs: Any,
 ) -> dict[str, Any]:
     """Apply a per-consumer kernel to every consumer, fanned over processes.
@@ -76,11 +147,20 @@ def parallel_map_consumers(
     ``kernel(consumption_row, temperature_row, **kernel_kwargs)`` (see
     :mod:`repro.parallel.kernels` for the reference set).  Returns
     ``{consumer_id: result}`` in dataset order, bit-identical to the
-    serial loop for any ``n_jobs``.
+    serial loop for any ``n_jobs`` — crashes and retries included.
     """
+    policy = policy or get_default_policy()
+    label = task_label or getattr(kernel, "__name__", "consumers")
     n = dataset.n_consumers
     jobs = min(effective_n_jobs(n_jobs), n)
     if jobs <= 1:
+        if policy.quarantine:
+            results = resilience_worker.guarded_rows(
+                kernel, dataset.consumption, dataset.temperature, kernel_kwargs
+            )
+            return _finalize_consumer_results(
+                dataset.consumer_ids, results, label, report
+            )
         return {
             cid: kernel(
                 dataset.consumption[i], dataset.temperature[i], **kernel_kwargs
@@ -89,21 +169,38 @@ def parallel_map_consumers(
         }
     pool = _make_pool(jobs)
     if pool is None:
+        _warn_serial_fallback(jobs)
         return parallel_map_consumers(
-            kernel, dataset, n_jobs=1, **kernel_kwargs
+            kernel,
+            dataset,
+            n_jobs=1,
+            use_shared_memory=use_shared_memory,
+            policy=policy,
+            report=report,
+            task_label=task_label,
+            **kernel_kwargs,
         )
-    with pool, MatrixPublisher(use_shared_memory) as publisher:
+    entry = (
+        resilience_worker.run_consumer_chunk_quarantined
+        if policy.quarantine
+        else kernels.run_consumer_chunk
+    )
+    with MatrixPublisher(use_shared_memory) as publisher:
         handles = publish_dataset(publisher, dataset)
-        futures = [
-            pool.submit(
-                kernels.run_consumer_chunk, handles, kernel, lo, hi, kernel_kwargs
-            )
+        entries = [
+            (entry, (handles, kernel, lo, hi, kernel_kwargs))
             for lo, hi in iter_chunks(n, jobs)
         ]
-        results: list[Any] = []
-        for future in futures:  # submission order == consumer order
-            results.extend(future.result())
-    return dict(zip(dataset.consumer_ids, results))
+        chunk_results = supervised_map(
+            entries,
+            pool=pool,
+            pool_factory=lambda: _make_pool(jobs),
+            policy=policy,
+            report=report,
+            label=label,
+        )
+    results = [r for chunk in chunk_results for r in chunk]
+    return _finalize_consumer_results(dataset.consumer_ids, results, label, report)
 
 
 def parallel_map_consumer_chunks(
@@ -112,6 +209,9 @@ def parallel_map_consumer_chunks(
     *,
     n_jobs: int | None = None,
     use_shared_memory: bool = True,
+    policy: ExecutionPolicy | None = None,
+    report: ExecutionReport | None = None,
+    task_label: str | None = None,
     **kernel_kwargs: Any,
 ) -> dict[str, Any]:
     """Apply a whole-matrix chunk kernel to consumer chunks, over processes.
@@ -124,32 +224,63 @@ def parallel_map_consumer_chunks(
     with one worker (or no pool) it runs once in-process on the whole
     matrix.  Returns ``{consumer_id: result}`` in dataset order — because
     the batched kernels treat consumers independently, the results do not
-    depend on how the matrix is chunked.
+    depend on how the matrix is chunked.  Under quarantine mode a
+    ``DataError`` from the kernel triggers recursive bisection down to the
+    poisoned rows (valid for the same chunking-invariance reason).
     """
+    policy = policy or get_default_policy()
+    label = task_label or getattr(chunk_kernel, "__name__", "consumer_chunks")
     n = dataset.n_consumers
     jobs = min(effective_n_jobs(n_jobs), n)
     if jobs <= 1:
+        if policy.quarantine:
+            results = resilience_worker.guarded_matrix(
+                chunk_kernel,
+                dataset.consumption,
+                dataset.temperature,
+                kernel_kwargs,
+            )
+            return _finalize_consumer_results(
+                dataset.consumer_ids, results, label, report
+            )
         results = chunk_kernel(
             dataset.consumption, dataset.temperature, **kernel_kwargs
         )
         return dict(zip(dataset.consumer_ids, results))
     pool = _make_pool(jobs)
     if pool is None:
+        _warn_serial_fallback(jobs)
         return parallel_map_consumer_chunks(
-            chunk_kernel, dataset, n_jobs=1, **kernel_kwargs
+            chunk_kernel,
+            dataset,
+            n_jobs=1,
+            use_shared_memory=use_shared_memory,
+            policy=policy,
+            report=report,
+            task_label=task_label,
+            **kernel_kwargs,
         )
-    with pool, MatrixPublisher(use_shared_memory) as publisher:
+    entry = (
+        resilience_worker.run_matrix_chunk_quarantined
+        if policy.quarantine
+        else kernels.run_matrix_chunk
+    )
+    with MatrixPublisher(use_shared_memory) as publisher:
         handles = publish_dataset(publisher, dataset)
-        futures = [
-            pool.submit(
-                kernels.run_matrix_chunk, handles, chunk_kernel, lo, hi, kernel_kwargs
-            )
+        entries = [
+            (entry, (handles, chunk_kernel, lo, hi, kernel_kwargs))
             for lo, hi in iter_chunks(n, jobs)
         ]
-        results: list[Any] = []
-        for future in futures:  # submission order == consumer order
-            results.extend(future.result())
-    return dict(zip(dataset.consumer_ids, results))
+        chunk_results = supervised_map(
+            entries,
+            pool=pool,
+            pool_factory=lambda: _make_pool(jobs),
+            policy=policy,
+            report=report,
+            label=label,
+        )
+    results = [r for chunk in chunk_results for r in chunk]
+    return _finalize_consumer_results(dataset.consumer_ids, results, label, report)
 
 
 def parallel_similarity(
@@ -160,6 +291,9 @@ def parallel_similarity(
     n_jobs: int | None = None,
     block_rows: int = SIMILARITY_BLOCK_ROWS,
     use_shared_memory: bool = True,
+    policy: ExecutionPolicy | None = None,
+    report: ExecutionReport | None = None,
+    task_label: str | None = None,
 ) -> dict[str, Neighbours]:
     """Top-k cosine similarity over blocked row ranges, process-parallel.
 
@@ -168,7 +302,9 @@ def parallel_similarity(
     placement changes — which is what keeps every worker count
     bit-identical to the serial reference (:func:`top_k_similar` computes
     the identical blocks in-process when ``block_rows`` matches its
-    default).
+    default).  Quarantine does not apply here (similarity is all-pairs,
+    not per-consumer); crashes and timeouts retry like the other entry
+    points.
     """
     matrix = np.asarray(matrix, dtype=np.float64)
     if matrix.ndim != 2 or matrix.shape[0] != len(ids):
@@ -177,6 +313,8 @@ def parallel_similarity(
         )
     if block_rows < 1:
         raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+    policy = policy or get_default_policy()
+    label = task_label or "similarity"
     n = len(ids)
     blocks = [
         (lo, min(n, lo + block_rows)) for lo in range(0, n, block_rows)
@@ -186,20 +324,27 @@ def parallel_similarity(
         return _serial_similarity(matrix, list(ids), k, block_rows)
     pool = _make_pool(jobs)
     if pool is None:
+        _warn_serial_fallback(jobs)
         return _serial_similarity(matrix, list(ids), k, block_rows)
-    with pool, MatrixPublisher(use_shared_memory) as publisher:
+    with MatrixPublisher(use_shared_memory) as publisher:
         handle = publisher.publish(matrix)
         # Contiguous runs of blocks per worker: preserves each worker's
         # sequential access pattern over the shared matrix.
-        futures = [
-            pool.submit(
-                kernels.run_similarity_blocks, handle, blocks[b_lo:b_hi], k
-            )
+        entries = [
+            (kernels.run_similarity_blocks, (handle, blocks[b_lo:b_hi], k))
             for b_lo, b_hi in iter_chunks(len(blocks), jobs)
         ]
+        chunk_results = supervised_map(
+            entries,
+            pool=pool,
+            pool_factory=lambda: _make_pool(jobs),
+            policy=policy,
+            report=report,
+            label=label,
+        )
         by_row: dict[int, list[tuple[int, float]]] = {}
-        for future in futures:
-            for row, neighbours in future.result():
+        for chunk in chunk_results:
+            for row, neighbours in chunk:
                 by_row[row] = neighbours
     return {
         ids[row]: [(ids[j], score) for j, score in by_row[row]]
@@ -228,6 +373,9 @@ def parallel_map_items(
     items: Sequence,
     *,
     n_jobs: int | None = None,
+    policy: ExecutionPolicy | None = None,
+    report: ExecutionReport | None = None,
+    task_label: str | None = None,
 ) -> list:
     """Generic ordered fan-out: apply a chunk function to slices of items.
 
@@ -235,7 +383,8 @@ def parallel_map_items(
     concatenated results preserve item order.  Used for work that is not
     matrix-shaped (e.g. parsing per-consumer CSV files in
     :func:`repro.io.csvio.read_partitioned`).  Falls back to one
-    in-process call when pools are unavailable or pointless.
+    in-process call when pools are unavailable or pointless; pooled runs
+    are supervised like the matrix entry points.
     """
     items = list(items)
     jobs = min(effective_n_jobs(n_jobs), len(items)) if items else 1
@@ -243,12 +392,22 @@ def parallel_map_items(
         return fn(items)
     pool = _make_pool(jobs)
     if pool is None:
+        _warn_serial_fallback(jobs)
         return fn(items)
-    with pool:
-        futures = [
-            pool.submit(fn, items[lo:hi]) for lo, hi in iter_chunks(len(items), jobs)
-        ]
-        out: list = []
-        for future in futures:
-            out.extend(future.result())
+    policy = policy or get_default_policy()
+    label = task_label or getattr(fn, "__name__", "items")
+    entries = [
+        (fn, (items[lo:hi],)) for lo, hi in iter_chunks(len(items), jobs)
+    ]
+    chunk_results = supervised_map(
+        entries,
+        pool=pool,
+        pool_factory=lambda: _make_pool(jobs),
+        policy=policy,
+        report=report,
+        label=label,
+    )
+    out: list = []
+    for chunk in chunk_results:
+        out.extend(chunk)
     return out

@@ -3,7 +3,8 @@
 :func:`run_task_parallel` is the parallel twin of
 :func:`repro.core.benchmark.run_task_reference`: same reference kernels,
 same output, fanned over a process pool.  ``run_task_reference`` routes
-here automatically when its spec carries ``n_jobs != 1``.
+here automatically when its spec carries ``n_jobs != 1`` (or resilience
+knobs that need the supervised path, e.g. quarantine).
 """
 
 from __future__ import annotations
@@ -13,6 +14,8 @@ from typing import Any
 from repro.core.benchmark import BenchmarkSpec, Task
 from repro.parallel import kernels
 from repro.parallel.executor import parallel_map_consumers, parallel_similarity
+from repro.resilience.policy import ExecutionPolicy, policy_for_spec
+from repro.resilience.report import ExecutionReport
 
 
 def run_task_parallel(
@@ -20,29 +23,48 @@ def run_task_parallel(
     task: Task,
     spec: BenchmarkSpec | None = None,
     n_jobs: int | None = None,
+    policy: ExecutionPolicy | None = None,
+    report: ExecutionReport | None = None,
 ) -> dict[str, Any]:
     """Run one benchmark task with the reference kernels, process-parallel.
 
     ``n_jobs`` overrides ``spec.n_jobs`` when given.  Bit-identical to
     :func:`~repro.core.benchmark.run_task_reference` for every worker
-    count (see :mod:`repro.parallel.executor` for the contract).
+    count (see :mod:`repro.parallel.executor` for the contract).  The
+    execution policy resolves from the spec's resilience knobs unless
+    passed explicitly; ``report`` collects retry counters and quarantine
+    records when provided.
     """
     spec = spec or BenchmarkSpec()
     jobs = spec.n_jobs if n_jobs is None else n_jobs
+    policy = policy or policy_for_spec(spec)
+    common = {"policy": policy, "report": report, "task_label": task.value}
     if task is Task.HISTOGRAM:
         return parallel_map_consumers(
-            kernels.histogram_kernel, dataset, n_jobs=jobs, n_buckets=spec.n_buckets
+            kernels.histogram_kernel,
+            dataset,
+            n_jobs=jobs,
+            n_buckets=spec.n_buckets,
+            **common,
         )
     if task is Task.THREELINE:
         return parallel_map_consumers(
-            kernels.threeline_kernel, dataset, n_jobs=jobs, config=spec.threeline
+            kernels.threeline_kernel,
+            dataset,
+            n_jobs=jobs,
+            config=spec.threeline,
+            **common,
         )
     if task is Task.PAR:
         return parallel_map_consumers(
-            kernels.par_kernel, dataset, n_jobs=jobs, config=spec.par
+            kernels.par_kernel, dataset, n_jobs=jobs, config=spec.par, **common
         )
     if task is Task.SIMILARITY:
         return parallel_similarity(
-            dataset.consumption, dataset.consumer_ids, spec.top_k, n_jobs=jobs
+            dataset.consumption,
+            dataset.consumer_ids,
+            spec.top_k,
+            n_jobs=jobs,
+            **common,
         )
     raise ValueError(f"unknown task: {task!r}")

@@ -1,0 +1,54 @@
+"""repro.resilience — fault-tolerant execution of the benchmark tasks.
+
+The paper's platform comparison leans on Hadoop/Spark precisely because
+they survive task failures; this package gives the repository's *real*
+process-parallel layer (:mod:`repro.parallel`) the same operational
+story, in four pieces:
+
+* :mod:`repro.resilience.supervisor` — chunk-level retry with pool
+  respawn, per-chunk timeouts, and exponential backoff
+  (:mod:`repro.resilience.backoff`, shared with the simulated cluster's
+  :class:`~repro.cluster.job.FailureInjector`);
+* :mod:`repro.resilience.worker` — per-consumer ``DataError``
+  quarantine (bad rows become records in the run report instead of
+  killing the batch);
+* :mod:`repro.resilience.journal` — checkpoint/resume for multi-figure
+  ``smartbench`` runs;
+* :mod:`repro.resilience.faults` — deterministic real fault injection
+  (kill/delay live workers) so all of the above is chaos-testable.
+
+Success paths stay bit-identical to serial execution for every
+``n_jobs``, including runs where injected crashes force retries: chunks
+re-run the same deterministic kernels on the same slices.
+"""
+
+from repro.resilience.backoff import AttemptAccount, BackoffSchedule
+from repro.resilience.faults import FAULTS_ENV_VAR, FaultPlan
+from repro.resilience.journal import RunJournal
+from repro.resilience.policy import (
+    ExecutionPolicy,
+    configure_defaults,
+    get_default_policy,
+    policy_for_spec,
+    set_default_policy,
+)
+from repro.resilience.report import ExecutionReport, QuarantineRecord
+from repro.resilience.supervisor import supervised_map
+from repro.resilience.worker import QuarantinedRow
+
+__all__ = [
+    "AttemptAccount",
+    "BackoffSchedule",
+    "ExecutionPolicy",
+    "ExecutionReport",
+    "FAULTS_ENV_VAR",
+    "FaultPlan",
+    "QuarantineRecord",
+    "QuarantinedRow",
+    "RunJournal",
+    "configure_defaults",
+    "get_default_policy",
+    "policy_for_spec",
+    "set_default_policy",
+    "supervised_map",
+]

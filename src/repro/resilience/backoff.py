@@ -1,0 +1,102 @@
+"""Shared retry bookkeeping: backoff schedule and attempt accounting.
+
+Both fault-tolerance layers of this repository draw from this module so
+simulated and real recovery stay consistent:
+
+* the *real* supervised process pool (:mod:`repro.resilience.supervisor`)
+  sleeps :meth:`BackoffSchedule.delay_s` between retry rounds and tracks
+  per-chunk attempts with :class:`AttemptAccount`;
+* the *simulated* MapReduce failure injector
+  (:class:`repro.cluster.job.FailureInjector`) accounts its virtual-time
+  retries with the same :class:`AttemptAccount` (it previously carried a
+  duplicate failure counter plus a lossy multiplier round-trip).
+
+Jitter is deterministic: the schedule seeds a ``numpy`` generator from
+``(seed, key, attempt)``, so a given run configuration always produces
+the same delays — retries never make results or timing irreproducible.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _key_entropy(key: int | str) -> int:
+    """A non-negative 32-bit entropy word for a schedule key."""
+    if isinstance(key, int):
+        return key & 0xFFFFFFFF
+    return zlib.crc32(str(key).encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class BackoffSchedule:
+    """Exponential backoff with deterministic seeded jitter.
+
+    ``delay_s(attempt)`` grows as ``base_delay_s * multiplier ** attempt``
+    capped at ``max_delay_s``; ``jitter`` then shaves off a deterministic
+    pseudo-random fraction in ``[0, jitter)`` of the raw delay (full
+    jitter shortens, never lengthens, so the cap is a true upper bound).
+    """
+
+    base_delay_s: float = 0.02
+    multiplier: float = 2.0
+    max_delay_s: float = 1.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_delay_s < 0.0:
+            raise ValueError(f"base_delay_s must be >= 0, got {self.base_delay_s}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_delay_s < self.base_delay_s:
+            raise ValueError("max_delay_s must be >= base_delay_s")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+
+    def delay_s(self, attempt: int, key: int | str = 0) -> float:
+        """The delay before retry number ``attempt`` (0-based) of ``key``."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        raw = min(self.max_delay_s, self.base_delay_s * self.multiplier**attempt)
+        if self.jitter <= 0.0 or raw <= 0.0:
+            return raw
+        rng = np.random.default_rng([self.seed, _key_entropy(key), attempt])
+        return raw * (1.0 - self.jitter * float(rng.random()))
+
+
+@dataclass
+class AttemptAccount:
+    """Failure counter for one retried unit of work.
+
+    ``max_attempts`` is the total attempt budget (first try included);
+    :meth:`fail` records one failed attempt, :attr:`exhausted` says the
+    budget is spent, and :meth:`retry_multiplier` converts the failures
+    into the virtual-time duration multiplier the simulated cluster uses
+    (each wasted attempt costs ``wasted_fraction`` of the task duration).
+    """
+
+    max_attempts: int
+    failures: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def fail(self) -> None:
+        """Record one failed attempt."""
+        self.failures += 1
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every attempt in the budget has failed."""
+        return self.failures >= self.max_attempts
+
+    def retry_multiplier(self, wasted_fraction: float) -> float:
+        """Virtual-duration multiplier for the wasted attempts."""
+        return 1.0 + self.failures * wasted_fraction

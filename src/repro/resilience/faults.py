@@ -1,0 +1,162 @@
+"""Real fault injection for chaos-testing the supervised pool.
+
+A :class:`FaultPlan` rides into worker processes with every guarded chunk
+(:func:`repro.resilience.worker.run_guarded`) and can *actually* kill the
+live worker (``os._exit``) or delay it — the real-process counterpart of
+the virtual-time :class:`repro.cluster.job.FailureInjector`, sharing its
+deterministic-seed semantics: whether a given (label, chunk, attempt)
+triple is hit is a pure function of the plan's seed, so chaos runs are
+exactly reproducible.
+
+Faults only fire while ``attempt < max_fault_attempts`` (default: the
+first attempt), which guarantees convergence: once the supervisor retries
+a chunk past that horizon it runs clean.  Kills are also suppressed in
+the parent process (``parent_pid`` guard) so the in-process serial
+fallback can never take the whole benchmark down.
+
+Plans come from the ``--inject-failures`` CLI flag or the
+``REPRO_INJECT_FAULTS`` environment variable, both using the spec syntax
+``kill=0.3,delay=0.1,delay_s=0.05,seed=7,attempts=1`` (a bare ``on`` /
+``1`` / empty value selects :data:`DEFAULT_KILL_PROBABILITY`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Kill probability used when fault injection is enabled without a spec.
+DEFAULT_KILL_PROBABILITY = 0.25
+
+#: Environment variable consulted by the default execution policy.
+FAULTS_ENV_VAR = "REPRO_INJECT_FAULTS"
+
+#: Exit code of workers killed by injected faults (distinctive in logs).
+FAULT_EXIT_CODE = 170
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic worker-killing/delaying schedule for chaos runs."""
+
+    kill_probability: float = 0.0
+    delay_probability: float = 0.0
+    delay_s: float = 0.05
+    seed: int = 0
+    max_fault_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.kill_probability <= 1.0:
+            raise ValueError(
+                f"kill probability must be in [0, 1], got {self.kill_probability}"
+            )
+        if not 0.0 <= self.delay_probability <= 1.0:
+            raise ValueError(
+                f"delay probability must be in [0, 1], got {self.delay_probability}"
+            )
+        if self.delay_s < 0.0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+        if self.max_fault_attempts < 0:
+            raise ValueError(
+                f"max_fault_attempts must be >= 0, got {self.max_fault_attempts}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """True when this plan can actually do something."""
+        return (
+            self.kill_probability > 0.0 or self.delay_probability > 0.0
+        ) and self.max_fault_attempts > 0
+
+    def _rng(self, label: str, chunk_index: int, attempt: int):
+        return np.random.default_rng(
+            [
+                self.seed,
+                zlib.crc32(label.encode("utf-8")),
+                chunk_index & 0xFFFFFFFF,
+                attempt,
+            ]
+        )
+
+    def should_kill(self, label: str, chunk_index: int, attempt: int) -> bool:
+        """Deterministically decide whether this attempt gets killed."""
+        if attempt >= self.max_fault_attempts or self.kill_probability <= 0.0:
+            return False
+        return float(self._rng(label, chunk_index, attempt).random()) < (
+            self.kill_probability
+        )
+
+    def should_delay(self, label: str, chunk_index: int, attempt: int) -> bool:
+        """Deterministically decide whether this attempt gets delayed."""
+        if attempt >= self.max_fault_attempts or self.delay_probability <= 0.0:
+            return False
+        # Second draw of the same stream: independent of the kill draw.
+        rng = self._rng(label, chunk_index, attempt)
+        rng.random()
+        return float(rng.random()) < self.delay_probability
+
+    def apply(
+        self, label: str, chunk_index: int, attempt: int, parent_pid: int
+    ) -> None:
+        """Fire the scheduled fault for this attempt, if any (worker side).
+
+        Kills never fire in the process identified by ``parent_pid``: the
+        in-process serial fallback must survive its own chaos plan.
+        """
+        if not self.active:
+            return
+        if self.should_delay(label, chunk_index, attempt):
+            time.sleep(self.delay_s)
+        if self.should_kill(label, chunk_index, attempt) and (
+            os.getpid() != parent_pid
+        ):
+            os._exit(FAULT_EXIT_CODE)
+
+    @classmethod
+    def from_string(cls, spec: str) -> "FaultPlan":
+        """Parse a ``key=value,...`` fault spec (CLI / env syntax)."""
+        text = spec.strip()
+        if text.lower() in ("", "1", "on", "true", "yes"):
+            return cls(kill_probability=DEFAULT_KILL_PROBABILITY)
+        fields: dict[str, float | int] = {}
+        names = {
+            "kill": ("kill_probability", float),
+            "delay": ("delay_probability", float),
+            "delay_s": ("delay_s", float),
+            "seed": ("seed", int),
+            "attempts": ("max_fault_attempts", int),
+        }
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if key not in names or not sep:
+                raise ValueError(
+                    f"bad fault spec {spec!r}: expected key=value pairs with "
+                    f"keys in {sorted(names)}, got {part!r}"
+                )
+            field, convert = names[key]
+            try:
+                fields[field] = convert(value.strip())
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad fault spec {spec!r}: {key}={value.strip()!r} "
+                    f"is not a number"
+                ) from exc
+        return cls(**fields)
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan | None":
+        """The plan configured via :data:`FAULTS_ENV_VAR`, or None."""
+        spec = os.environ.get(FAULTS_ENV_VAR)
+        if spec is None or not spec.strip():
+            return None
+        return cls.from_string(spec)

@@ -1,0 +1,112 @@
+"""Checkpoint/resume journal for multi-figure benchmark runs.
+
+Layout of a run directory (``smartbench --run-dir RUN`` creates it,
+``smartbench --resume RUN`` reads it)::
+
+    RUN/
+      run.json              # manifest: figure ids, jobs/kernel knobs
+      journal/
+        <figure_id>.json    # one completed figure's full result
+
+Each figure's result is journaled the moment it completes, with an
+atomic write (tmp file + ``os.replace``) so a crash or Ctrl-C can never
+leave a half-written record.  Resuming skips every journaled figure —
+its result is loaded and re-rendered instead of recomputed — and runs
+the rest, so an interrupted run finishes without re-executing work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    os.replace(tmp, path)
+
+
+class RunJournal:
+    """One run directory's manifest and per-figure result journal."""
+
+    def __init__(self, run_dir: str | Path) -> None:
+        self.run_dir = Path(run_dir)
+        self.journal_dir = self.run_dir / "journal"
+        self.manifest_path = self.run_dir / "run.json"
+
+    # Manifest ----------------------------------------------------------
+
+    def begin(
+        self,
+        figure_ids: list[str],
+        jobs: int | None = None,
+        kernel: str | None = None,
+    ) -> None:
+        """Create/extend the manifest for this run's figure list."""
+        self.journal_dir.mkdir(parents=True, exist_ok=True)
+        manifest = self.manifest()
+        known = manifest.get("figures", [])
+        manifest["figures"] = known + [f for f in figure_ids if f not in known]
+        if jobs is not None:
+            manifest["jobs"] = jobs
+        if kernel is not None:
+            manifest["kernel"] = kernel
+        manifest.setdefault("created_unix", time.time())
+        _atomic_write_json(self.manifest_path, manifest)
+
+    def manifest(self) -> dict[str, Any]:
+        """The run manifest, or an empty dict for a fresh directory."""
+        if not self.manifest_path.exists():
+            return {}
+        return json.loads(self.manifest_path.read_text())
+
+    def exists(self) -> bool:
+        """True when this directory holds a started run."""
+        return self.manifest_path.exists()
+
+    # Per-figure journal ------------------------------------------------
+
+    def _entry_path(self, figure_id: str) -> Path:
+        return self.journal_dir / f"{figure_id}.json"
+
+    def is_complete(self, figure_id: str) -> bool:
+        """True when this figure's result is already journaled."""
+        return self._entry_path(figure_id).exists()
+
+    def pending(self, figure_ids: list[str]) -> list[str]:
+        """The figures of the list that still need to run."""
+        return [f for f in figure_ids if not self.is_complete(f)]
+
+    def record(
+        self,
+        result,
+        elapsed_s: float,
+        params: dict[str, Any] | None = None,
+    ) -> Path:
+        """Journal one completed FigureResult atomically."""
+        self.journal_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "figure": result.to_json_dict(),
+            "elapsed_s": elapsed_s,
+            "params": params or {},
+            "recorded_unix": time.time(),
+        }
+        path = self._entry_path(result.figure_id)
+        _atomic_write_json(path, payload)
+        return path
+
+    def load_result(self, figure_id: str):
+        """Rehydrate a journaled figure's FigureResult."""
+        # Lazy import: the harness imports this package for the CLI flow.
+        from repro.harness.report import FigureResult
+
+        payload = json.loads(self._entry_path(figure_id).read_text())
+        return FigureResult.from_json_dict(payload["figure"])
+
+    def load_entry(self, figure_id: str) -> dict[str, Any]:
+        """The raw journal payload (figure dict, elapsed time, params)."""
+        return json.loads(self._entry_path(figure_id).read_text())

@@ -1,0 +1,129 @@
+"""Execution policy: the knobs that govern supervised execution.
+
+One frozen :class:`ExecutionPolicy` travels from the spec/CLI down to the
+supervisor.  Precedence, highest first:
+
+1. an explicit ``policy=`` argument to a parallel entry point;
+2. per-spec knobs (``BenchmarkSpec(max_retries=..., task_timeout_s=...,
+   on_error=...)``) — ``None`` means "inherit";
+3. the process-wide default policy (:func:`set_default_policy` /
+   :func:`configure_defaults`, set by the CLI flags), whose fault plan
+   falls back to the ``REPRO_INJECT_FAULTS`` environment variable.
+
+The default policy retries crashed/timed-out chunks (``max_retries=2``)
+but never retries kernel exceptions, so default behaviour on healthy
+runs is byte-for-byte what it was before this layer existed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.resilience.backoff import BackoffSchedule
+from repro.resilience.faults import FaultPlan
+
+#: Valid ``on_error`` modes: re-raise kernel errors (default) or convert
+#: per-consumer ``DataError`` into quarantine records.
+ON_ERROR_MODES = ("raise", "quarantine")
+
+#: Retry budget (beyond the first attempt) for crashed/timed-out chunks.
+DEFAULT_MAX_RETRIES = 2
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How the supervised pool treats failures for one execution."""
+
+    max_retries: int = DEFAULT_MAX_RETRIES
+    task_timeout_s: float | None = None
+    on_error: str = "raise"
+    backoff: BackoffSchedule = field(default_factory=BackoffSchedule)
+    faults: FaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0.0:
+            raise ValueError(
+                f"task_timeout_s must be > 0, got {self.task_timeout_s}"
+            )
+        if self.on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"unknown on_error mode {self.on_error!r}; "
+                f"expected one of {ON_ERROR_MODES}"
+            )
+
+    @property
+    def quarantine(self) -> bool:
+        """True when per-consumer ``DataError`` becomes a quarantine record."""
+        return self.on_error == "quarantine"
+
+
+#: The explicitly configured process-wide default (None = derive fresh).
+_default_policy: ExecutionPolicy | None = None
+
+
+def get_default_policy() -> ExecutionPolicy:
+    """The process-wide default policy.
+
+    When none has been set explicitly, a fresh default is derived on each
+    call so late changes to ``REPRO_INJECT_FAULTS`` are honoured (tests
+    and CI toggle it between runs).
+    """
+    if _default_policy is not None:
+        return _default_policy
+    return ExecutionPolicy(faults=FaultPlan.from_env())
+
+
+def set_default_policy(policy: ExecutionPolicy | None) -> None:
+    """Install (or with ``None`` clear) the process-wide default policy."""
+    global _default_policy
+    _default_policy = policy
+
+
+def configure_defaults(
+    *,
+    max_retries: int | None = None,
+    task_timeout_s: float | None = None,
+    on_error: str | None = None,
+    faults: FaultPlan | None = None,
+) -> ExecutionPolicy:
+    """Override selected fields of the default policy (CLI entry point).
+
+    Only the given fields change; the rest keep their current default
+    values.  Returns the installed policy.
+    """
+    base = get_default_policy()
+    overrides: dict = {}
+    if max_retries is not None:
+        overrides["max_retries"] = max_retries
+    if task_timeout_s is not None:
+        overrides["task_timeout_s"] = task_timeout_s
+    if on_error is not None:
+        overrides["on_error"] = on_error
+    if faults is not None:
+        overrides["faults"] = faults
+    policy = replace(base, **overrides)
+    set_default_policy(policy)
+    return policy
+
+
+def policy_for_spec(spec) -> ExecutionPolicy:
+    """Resolve a BenchmarkSpec's resilience knobs against the default.
+
+    Spec fields set to ``None`` inherit from :func:`get_default_policy`;
+    non-None fields win.  Specs without the knobs (duck-typed callers)
+    get the default policy unchanged.
+    """
+    policy = get_default_policy()
+    overrides: dict = {}
+    max_retries = getattr(spec, "max_retries", None)
+    if max_retries is not None:
+        overrides["max_retries"] = max_retries
+    task_timeout_s = getattr(spec, "task_timeout_s", None)
+    if task_timeout_s is not None:
+        overrides["task_timeout_s"] = task_timeout_s
+    on_error = getattr(spec, "on_error", None)
+    if on_error is not None:
+        overrides["on_error"] = on_error
+    return replace(policy, **overrides) if overrides else policy

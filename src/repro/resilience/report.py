@@ -1,0 +1,77 @@
+"""Execution reports: retry counters and quarantine records.
+
+An :class:`ExecutionReport` is the mutable sink the supervised execution
+layer writes into while a task runs: how many chunk attempts failed, how
+often the pool had to be respawned or fell back in-process, and which
+consumers were quarantined.  Callers that care pass one in
+(``run_task_reference(..., report=...)``); callers that don't get the
+default raise-on-error behaviour and can ignore it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One consumer whose kernel raised instead of producing a result."""
+
+    consumer_id: str
+    task: str
+    error_type: str
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.task}: consumer {self.consumer_id!r} quarantined "
+            f"({self.error_type}: {self.message})"
+        )
+
+
+@dataclass
+class ExecutionReport:
+    """Counters and quarantine records from one supervised execution."""
+
+    failed_task_attempts: int = 0
+    pool_respawns: int = 0
+    timeouts: int = 0
+    in_process_fallbacks: int = 0
+    quarantined: list[QuarantineRecord] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing went wrong (no retries, no quarantines)."""
+        return (
+            self.failed_task_attempts == 0
+            and self.pool_respawns == 0
+            and self.timeouts == 0
+            and not self.quarantined
+        )
+
+    def quarantine(self, record: QuarantineRecord) -> None:
+        """Append one quarantine record."""
+        self.quarantined.append(record)
+
+    def merge(self, other: "ExecutionReport") -> None:
+        """Fold another report's counters and records into this one."""
+        self.failed_task_attempts += other.failed_task_attempts
+        self.pool_respawns += other.pool_respawns
+        self.timeouts += other.timeouts
+        self.in_process_fallbacks += other.in_process_fallbacks
+        self.quarantined.extend(other.quarantined)
+
+    def summary(self) -> str:
+        """One human-readable line (figure notes, CLI output)."""
+        parts = []
+        if self.failed_task_attempts:
+            parts.append(f"{self.failed_task_attempts} failed task attempts")
+        if self.pool_respawns:
+            parts.append(f"{self.pool_respawns} pool respawns")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} chunk timeouts")
+        if self.in_process_fallbacks:
+            parts.append(f"{self.in_process_fallbacks} in-process fallbacks")
+        if self.quarantined:
+            parts.append(f"{len(self.quarantined)} consumers quarantined")
+        return "; ".join(parts) if parts else "clean run"

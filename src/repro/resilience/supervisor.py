@@ -1,0 +1,180 @@
+"""The supervised process pool: retry, respawn, and timeout handling.
+
+:func:`supervised_map` is the fault-tolerant replacement for the bare
+submit-and-collect loop the executor used to run: it submits every chunk
+to the pool, and when a worker dies (``BrokenProcessPool``) or a chunk
+exceeds its timeout it
+
+1. harvests every future that already completed cleanly — only the
+   incomplete chunks re-run;
+2. terminates and discards the broken pool;
+3. charges one failed attempt to every still-incomplete chunk (blame is
+   unattributable once the pool is broken), raising
+   :class:`~repro.exceptions.WorkerCrashError` when a chunk's budget
+   (``policy.max_retries`` + 1 attempts) is spent;
+4. sleeps the deterministic backoff delay and respawns a fresh pool.
+
+Kernel exceptions (anything that is not a pool-infrastructure failure)
+are *not* retryable — re-running deterministic code on the same input
+cannot help — and propagate immediately, preserving the pre-supervision
+error behaviour.  Because chunks re-run the exact same deterministic
+kernels on the exact same slices, results after any number of crashes
+are bit-identical to an undisturbed run.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import os
+import time
+from typing import Any, Callable
+
+from repro.exceptions import WorkerCrashError
+from repro.resilience.backoff import AttemptAccount
+from repro.resilience.policy import ExecutionPolicy
+from repro.resilience.report import ExecutionReport
+from repro.resilience.worker import run_guarded
+
+#: Slot marker for chunks that have not produced a result yet.
+_PENDING = object()
+
+#: Failure types that mean "the pool broke", not "the kernel is wrong".
+_INFRASTRUCTURE_ERRORS = (cf.BrokenExecutor, cf.TimeoutError, cf.CancelledError)
+
+
+def supervised_map(
+    entries: list[tuple[Callable[..., Any], tuple]],
+    *,
+    pool,
+    pool_factory: Callable[[], Any],
+    policy: ExecutionPolicy,
+    report: ExecutionReport | None = None,
+    label: str = "task",
+) -> list[Any]:
+    """Run ``(entry, args)`` chunks on the pool with supervision.
+
+    Returns one result per entry, in entry order.  Takes ownership of
+    ``pool`` (shuts it down before returning); ``pool_factory`` builds
+    replacements after a crash and may return ``None``, in which case
+    the remaining chunks run in-process (where injected kills are
+    suppressed, so the fallback always makes progress).
+    """
+    report = report if report is not None else ExecutionReport()
+    parent_pid = os.getpid()
+    n = len(entries)
+    results: list[Any] = [_PENDING] * n
+    accounts = [AttemptAccount(policy.max_retries + 1) for _ in range(n)]
+    round_index = 0
+    try:
+        while True:
+            incomplete = [i for i in range(n) if results[i] is _PENDING]
+            if not incomplete:
+                return results
+            if pool is None:
+                report.in_process_fallbacks += 1
+                for i in incomplete:
+                    entry, args = entries[i]
+                    results[i] = run_guarded(
+                        entry,
+                        args,
+                        label,
+                        i,
+                        accounts[i].failures,
+                        policy.faults,
+                        parent_pid,
+                    )
+                return results
+            futures = {
+                i: pool.submit(
+                    run_guarded,
+                    entries[i][0],
+                    entries[i][1],
+                    label,
+                    i,
+                    accounts[i].failures,
+                    policy.faults,
+                    parent_pid,
+                )
+                for i in incomplete
+            }
+            failure: BaseException | None = None
+            for i in incomplete:
+                try:
+                    results[i] = futures[i].result(timeout=policy.task_timeout_s)
+                except _INFRASTRUCTURE_ERRORS as exc:
+                    failure = exc
+                    if isinstance(exc, cf.TimeoutError):
+                        report.timeouts += 1
+                    break
+            if failure is None:
+                return results
+            _harvest_completed(futures, results, failure)
+            _terminate_pool(pool)
+            pool = None
+            still = [i for i in range(n) if results[i] is _PENDING]
+            exhausted: list[int] = []
+            for i in still:
+                accounts[i].fail()
+                report.failed_task_attempts += 1
+                if accounts[i].exhausted:
+                    exhausted.append(i)
+            if exhausted:
+                raise WorkerCrashError(
+                    f"{label}: chunk {exhausted[0]} failed "
+                    f"{accounts[exhausted[0]].failures} attempts "
+                    f"({type(failure).__name__}: {failure}); giving up"
+                ) from failure
+            time.sleep(policy.backoff.delay_s(round_index, label))
+            round_index += 1
+            pool = pool_factory()
+            if pool is not None:
+                report.pool_respawns += 1
+    finally:
+        if pool is not None:
+            try:
+                pool.shutdown(wait=True, cancel_futures=True)
+            except Exception:  # pragma: no cover - teardown is best-effort
+                pass
+
+
+def _harvest_completed(
+    futures: dict[int, Any], results: list[Any], failure: BaseException
+) -> None:
+    """Collect clean results that finished before the failure surfaced.
+
+    Kernel exceptions found while harvesting propagate — they are real
+    errors on real inputs, and retrying deterministic code cannot fix
+    them.  Infrastructure errors on sibling futures are ignored; those
+    chunks simply stay incomplete and re-run.
+    """
+    for i, fut in futures.items():
+        if results[i] is not _PENDING or not fut.done():
+            continue
+        try:
+            exc = fut.exception(timeout=0)
+        except cf.CancelledError:
+            continue
+        if exc is None:
+            results[i] = fut.result()
+        elif not isinstance(exc, _INFRASTRUCTURE_ERRORS):
+            raise exc
+
+
+def _terminate_pool(pool) -> None:
+    """Best-effort kill of a (possibly broken) pool and its workers.
+
+    Plain ``shutdown`` cannot stop *running* workers (a timed-out chunk
+    keeps computing), so the worker processes are terminated directly
+    first; ``_processes`` is CPython's pool internals, hence the
+    defensive getattr.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already dead is fine
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - teardown is best-effort
+        pass

@@ -1,0 +1,137 @@
+"""Worker-side guards: fault injection wrapper and quarantining entries.
+
+Everything here runs inside pool workers, so it is module-level and
+picklable by reference, like :mod:`repro.parallel.kernels`.  Two jobs:
+
+* :func:`run_guarded` wraps any worker entry point with the execution
+  policy's :class:`~repro.resilience.faults.FaultPlan`, so injected
+  kills/delays hit *live* workers mid-task;
+* the ``*_quarantined`` entries mirror the plain entries of
+  :mod:`repro.parallel.kernels` but convert a per-consumer ``DataError``
+  into a :class:`QuarantinedRow` sentinel instead of letting it kill the
+  whole batch.  For whole-matrix chunk kernels — which see many
+  consumers per call — the bad rows are located by recursive bisection
+  (:func:`guarded_matrix`), which is valid because every batched kernel
+  is chunking-invariant (see :mod:`repro.batched.dispatch`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.resilience.faults import FaultPlan
+
+if TYPE_CHECKING:  # import cycle: repro.parallel imports this package
+    from repro.parallel.shm import DatasetHandles
+
+
+@dataclass(frozen=True)
+class QuarantinedRow:
+    """In-band marker: this consumer's kernel raised a ``DataError``."""
+
+    error_type: str
+    message: str
+
+
+def run_guarded(
+    entry: Callable[..., Any],
+    args: tuple,
+    label: str,
+    chunk_index: int,
+    attempt: int,
+    faults: FaultPlan | None,
+    parent_pid: int,
+) -> Any:
+    """Run a worker entry point under the fault plan (chaos hook)."""
+    if faults is not None:
+        faults.apply(label, chunk_index, attempt, parent_pid)
+    return entry(*args)
+
+
+# Quarantining twins of the repro.parallel.kernels worker entries --------
+
+
+def guarded_rows(
+    kernel: Callable[..., Any],
+    consumption: np.ndarray,
+    temperature: np.ndarray,
+    kwargs: dict[str, Any],
+) -> list[Any]:
+    """Per-consumer kernel over rows, DataError -> QuarantinedRow."""
+    out: list[Any] = []
+    for i in range(consumption.shape[0]):
+        try:
+            out.append(
+                kernel(consumption[i].copy(), temperature[i].copy(), **kwargs)
+            )
+        except DataError as exc:
+            out.append(QuarantinedRow(type(exc).__name__, str(exc)))
+    return out
+
+
+def guarded_matrix(
+    chunk_kernel: Callable[..., list],
+    consumption: np.ndarray,
+    temperature: np.ndarray,
+    kwargs: dict[str, Any],
+) -> list[Any]:
+    """Whole-matrix chunk kernel with bad rows located by bisection.
+
+    Happy path: one kernel call, zero overhead.  When the kernel raises
+    ``DataError`` the slice is split in half and each half retried,
+    down to single rows — only the poisoned rows become
+    :class:`QuarantinedRow`, and because the batched kernels are
+    chunking-invariant the surviving rows' results are unchanged by the
+    splitting.
+    """
+    n = consumption.shape[0]
+    if n == 0:
+        return []
+    try:
+        return list(chunk_kernel(consumption, temperature, **kwargs))
+    except DataError as exc:
+        if n == 1:
+            return [QuarantinedRow(type(exc).__name__, str(exc))]
+    mid = n // 2
+    return guarded_matrix(
+        chunk_kernel, consumption[:mid], temperature[:mid], kwargs
+    ) + guarded_matrix(chunk_kernel, consumption[mid:], temperature[mid:], kwargs)
+
+
+def run_consumer_chunk_quarantined(
+    handles: DatasetHandles,
+    kernel: Callable[..., Any],
+    lo: int,
+    hi: int,
+    kwargs: dict[str, Any],
+) -> list[Any]:
+    """Quarantining twin of :func:`repro.parallel.kernels.run_consumer_chunk`."""
+    from repro.parallel.shm import attach_matrix
+
+    consumption = attach_matrix(handles.consumption)
+    temperature = attach_matrix(handles.temperature)
+    return guarded_rows(kernel, consumption[lo:hi], temperature[lo:hi], kwargs)
+
+
+def run_matrix_chunk_quarantined(
+    handles: DatasetHandles,
+    chunk_kernel: Callable[..., list],
+    lo: int,
+    hi: int,
+    kwargs: dict[str, Any],
+) -> list[Any]:
+    """Quarantining twin of :func:`repro.parallel.kernels.run_matrix_chunk`."""
+    from repro.parallel.shm import attach_matrix
+
+    consumption = attach_matrix(handles.consumption)
+    temperature = attach_matrix(handles.temperature)
+    return guarded_matrix(
+        chunk_kernel,
+        consumption[lo:hi].copy(),
+        temperature[lo:hi].copy(),
+        kwargs,
+    )

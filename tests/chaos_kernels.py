@@ -1,0 +1,65 @@
+"""Chaos kernels for the fault-tolerance tests.
+
+These live at module level (not inside a test) so they pickle by
+reference into pool workers.  The killing kernel identifies target
+consumers by a content hash of their consumption row — stable across
+chunking, attempts, and worker processes — and hard-kills the worker
+(``os._exit``) the *first* time each target row is seen, using a marker
+file as cross-process "already fired" state.  Re-runs therefore
+succeed, which is exactly the recovery path the supervisor must take.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.histogram import equi_width_histogram
+from repro.exceptions import DataError
+
+#: Exit code used by the chaos kernels (distinct from the fault
+#: injector's FAULT_EXIT_CODE so post-mortems can tell them apart).
+CHAOS_EXIT_CODE = 171
+
+
+def row_key(consumption: np.ndarray) -> int:
+    """Stable content hash of one consumer's consumption row."""
+    return zlib.crc32(np.ascontiguousarray(consumption, dtype=np.float64).tobytes())
+
+
+def killing_histogram_kernel(
+    consumption: np.ndarray,
+    temperature: np.ndarray,
+    *,
+    n_buckets: int = 10,
+    marker_dir: str = "",
+    kill_keys: tuple = (),
+) -> object:
+    """Histogram kernel that kills its worker once per targeted row.
+
+    ``kill_keys`` holds :func:`row_key` hashes of the rows to die on;
+    ``marker_dir`` is a directory where a marker file per key records
+    that the kill already happened (so the retry completes).
+    """
+    key = row_key(consumption)
+    if key in kill_keys:
+        marker = Path(marker_dir) / f"killed-{key}"
+        if not marker.exists():
+            marker.touch()
+            os._exit(CHAOS_EXIT_CODE)
+    return equi_width_histogram(consumption, n_buckets)
+
+
+def strict_histogram_kernel(
+    consumption: np.ndarray,
+    temperature: np.ndarray,
+    *,
+    n_buckets: int = 10,
+) -> object:
+    """Histogram kernel that raises DataError on non-finite input."""
+    if not np.isfinite(consumption).all():
+        raise DataError("non-finite consumption values")
+    return equi_width_histogram(consumption, n_buckets)

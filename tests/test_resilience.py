@@ -1,0 +1,448 @@
+"""Tests for :mod:`repro.resilience` — supervised pools, quarantine, resume.
+
+The chaos tests here kill *live* worker processes (``os._exit``) and
+assert that the supervisor recovers with bit-identical results; the
+resume tests interrupt a journaled ``smartbench`` run and prove the
+second invocation never recomputes journaled figures.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import BenchmarkSpec, Task, run_task_reference
+from repro.exceptions import DataError, WorkerCrashError
+from repro.harness import cli
+from repro.harness.figures import FIGURES
+from repro.harness.report import FigureResult
+from repro.parallel import parallel_map_consumers, run_task_parallel
+from repro.parallel import executor
+from repro.resilience import (
+    AttemptAccount,
+    BackoffSchedule,
+    ExecutionPolicy,
+    ExecutionReport,
+    FAULTS_ENV_VAR,
+    FaultPlan,
+    RunJournal,
+    set_default_policy,
+)
+from repro.timeseries.series import Dataset
+from tests import chaos_kernels
+from tests.test_parallel import ALL_TASKS, assert_results_identical
+
+#: Fast backoff so chaos tests do not sleep their way through CI.
+FAST_BACKOFF = BackoffSchedule(base_delay_s=0.01, max_delay_s=0.05)
+
+
+@pytest.fixture(autouse=True)
+def _clean_resilience_state(monkeypatch):
+    """Each test starts with no env fault plan and no installed default."""
+    monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+    set_default_policy(None)
+    yield
+    set_default_policy(None)
+
+
+@pytest.fixture
+def poisoned_seed(small_seed) -> Dataset:
+    """small_seed with one consumer's consumption NaN-poisoned."""
+    consumption = small_seed.consumption.copy()
+    consumption[3, 7] = np.nan
+    return Dataset(
+        consumer_ids=list(small_seed.consumer_ids),
+        consumption=consumption,
+        temperature=small_seed.temperature.copy(),
+        name="poisoned",
+    )
+
+
+class TestBackoffSchedule:
+    def test_deterministic_and_capped(self):
+        sched = BackoffSchedule(base_delay_s=0.1, multiplier=2.0, max_delay_s=0.3)
+        for attempt in range(6):
+            a = sched.delay_s(attempt, key="histogram")
+            b = sched.delay_s(attempt, key="histogram")
+            assert a == b  # seeded jitter is reproducible
+            assert 0.0 < a <= 0.3
+
+    def test_jitter_only_shortens(self):
+        sched = BackoffSchedule(base_delay_s=0.2, multiplier=1.0, jitter=0.9)
+        raw = 0.2
+        delays = {sched.delay_s(0, key=k) for k in range(20)}
+        assert all(d <= raw for d in delays)
+        assert len(delays) > 1  # different keys jitter differently
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffSchedule(base_delay_s=-0.1)
+        with pytest.raises(ValueError):
+            BackoffSchedule(multiplier=0.5)
+        with pytest.raises(ValueError):
+            BackoffSchedule(jitter=1.5)
+        with pytest.raises(ValueError):
+            BackoffSchedule(base_delay_s=0.5, max_delay_s=0.1)
+
+
+class TestAttemptAccount:
+    def test_budget_and_multiplier(self):
+        account = AttemptAccount(max_attempts=3)
+        assert not account.exhausted
+        account.fail()
+        account.fail()
+        assert not account.exhausted
+        account.fail()
+        assert account.exhausted
+        assert account.retry_multiplier(0.5) == 1.0 + 3 * 0.5
+
+    def test_rejects_zero_budget(self):
+        with pytest.raises(ValueError):
+            AttemptAccount(max_attempts=0)
+
+
+class TestFaultPlan:
+    def test_from_string_full_spec(self):
+        plan = FaultPlan.from_string("kill=0.3,delay=0.1,delay_s=0.25,seed=7,attempts=2")
+        assert plan.kill_probability == 0.3
+        assert plan.delay_probability == 0.1
+        assert plan.delay_s == 0.25
+        assert plan.seed == 7
+        assert plan.max_fault_attempts == 2
+
+    @pytest.mark.parametrize("bare", ["", "1", "on", "true", "yes", " ON "])
+    def test_bare_flag_selects_default_kill_plan(self, bare):
+        plan = FaultPlan.from_string(bare)
+        assert plan.kill_probability > 0.0
+        assert plan.active
+
+    @pytest.mark.parametrize("bad", ["kill=banana", "frobnicate=1", "kill"])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.from_string(bad)
+
+    def test_decisions_are_deterministic(self):
+        plan = FaultPlan(kill_probability=0.5, seed=3)
+        decisions = [plan.should_kill("par", i, 0) for i in range(32)]
+        assert decisions == [plan.should_kill("par", i, 0) for i in range(32)]
+        assert any(decisions) and not all(decisions)
+
+    def test_faults_stop_past_attempt_horizon(self):
+        plan = FaultPlan(kill_probability=1.0, max_fault_attempts=1)
+        assert plan.should_kill("histogram", 0, 0)
+        assert not plan.should_kill("histogram", 0, 1)
+
+    def test_parent_process_is_never_killed(self):
+        plan = FaultPlan(kill_probability=1.0)
+        # If the pid guard failed this would take the test process down.
+        plan.apply("histogram", 0, 0, parent_pid=os.getpid())
+
+
+class TestWorkerCrashRecovery:
+    @pytest.mark.parametrize("task", ALL_TASKS, ids=[t.value for t in ALL_TASKS])
+    def test_env_driven_kills_stay_bit_identical(self, small_seed, monkeypatch, task):
+        serial = run_task_reference(small_seed, task)
+        monkeypatch.setenv(FAULTS_ENV_VAR, "kill=1.0,seed=5")
+        report = ExecutionReport()
+        survived = run_task_parallel(small_seed, task, n_jobs=2, report=report)
+        assert_results_identical(task, serial, survived)
+        if task is not Task.SIMILARITY:
+            # 10 consumers fit one similarity block, so that task runs
+            # serially here; the pooled similarity path is chaos-tested
+            # separately with small blocks below.
+            assert report.failed_task_attempts >= 1
+            assert report.pool_respawns >= 1
+
+    def test_similarity_blocks_survive_kills(self, small_seed, monkeypatch):
+        from repro.parallel import parallel_similarity
+
+        # Bit-identity is per block partitioning: compare against the
+        # serial path computing the *same* 2-row blocks.
+        serial = executor._serial_similarity(
+            np.asarray(small_seed.consumption, dtype=np.float64),
+            list(small_seed.consumer_ids),
+            10,
+            block_rows=2,
+        )
+        report = ExecutionReport()
+        policy = ExecutionPolicy(
+            backoff=FAST_BACKOFF,
+            faults=FaultPlan(kill_probability=1.0, seed=5),
+        )
+        survived = parallel_similarity(
+            small_seed.consumption,
+            small_seed.consumer_ids,
+            10,
+            n_jobs=2,
+            block_rows=2,
+            policy=policy,
+            report=report,
+            task_label="similarity",
+        )
+        # block_rows changes the block partitioning but not the scores'
+        # top-k ordering on this dataset; crashes must not change it
+        # either.
+        assert list(survived) == list(serial)
+        for cid in serial:
+            assert survived[cid] == serial[cid]
+        assert report.failed_task_attempts >= 1
+        assert report.pool_respawns >= 1
+
+    def test_chaos_kernel_kills_live_workers_once(self, small_seed, tmp_path):
+        targets = (
+            chaos_kernels.row_key(small_seed.consumption[0]),
+            chaos_kernels.row_key(small_seed.consumption[7]),
+        )
+        report = ExecutionReport()
+        policy = ExecutionPolicy(max_retries=10, backoff=FAST_BACKOFF)
+        survived = parallel_map_consumers(
+            chaos_kernels.killing_histogram_kernel,
+            small_seed,
+            n_jobs=2,
+            policy=policy,
+            report=report,
+            task_label="histogram",
+            n_buckets=10,
+            marker_dir=str(tmp_path),
+            kill_keys=targets,
+        )
+        serial = run_task_reference(small_seed, Task.HISTOGRAM)
+        assert_results_identical(Task.HISTOGRAM, serial, survived)
+        # Both targeted workers actually died (markers exist), and the
+        # supervisor recorded the carnage.
+        assert len(list(tmp_path.glob("killed-*"))) == 2
+        assert report.failed_task_attempts >= 1
+        assert report.pool_respawns >= 1
+
+    def test_exhausted_retries_give_up_with_clear_error(self, small_seed):
+        policy = ExecutionPolicy(
+            max_retries=2,
+            backoff=FAST_BACKOFF,
+            faults=FaultPlan(kill_probability=1.0, max_fault_attempts=10),
+        )
+        # max_retries=2 means 3 total attempts (first try + 2 retries).
+        with pytest.raises(WorkerCrashError, match=r"failed 3 attempts.*giving up"):
+            run_task_parallel(
+                small_seed, Task.HISTOGRAM, n_jobs=2, policy=policy
+            )
+
+    def test_timeouts_recover_bit_identically(self, small_seed):
+        serial = run_task_reference(small_seed, Task.HISTOGRAM)
+        report = ExecutionReport()
+        policy = ExecutionPolicy(
+            task_timeout_s=0.6,
+            backoff=FAST_BACKOFF,
+            faults=FaultPlan(delay_probability=1.0, delay_s=5.0),
+        )
+        survived = run_task_parallel(
+            small_seed, Task.HISTOGRAM, n_jobs=2, policy=policy, report=report
+        )
+        assert_results_identical(Task.HISTOGRAM, serial, survived)
+        assert report.timeouts >= 1
+        assert report.pool_respawns >= 1
+
+
+class TestQuarantine:
+    QUARANTINE = BenchmarkSpec(on_error="quarantine")
+
+    def _check(self, small_seed, result, report):
+        healthy = run_task_reference(small_seed, Task.HISTOGRAM)
+        bad_id = small_seed.consumer_ids[3]
+        assert list(result) == [c for c in small_seed.consumer_ids if c != bad_id]
+        for cid in result:  # healthy consumers are untouched
+            assert np.array_equal(result[cid].edges, healthy[cid].edges)
+            assert np.array_equal(result[cid].counts, healthy[cid].counts)
+        assert len(report.quarantined) == 1
+        record = report.quarantined[0]
+        assert record.consumer_id == bad_id
+        assert record.task == Task.HISTOGRAM.value
+        assert record.error_type == "DataError"
+
+    def test_strict_default_raises(self, poisoned_seed):
+        with pytest.raises(DataError):
+            run_task_reference(poisoned_seed, Task.HISTOGRAM)
+
+    def test_serial_quarantine(self, small_seed, poisoned_seed):
+        report = ExecutionReport()
+        result = run_task_reference(
+            poisoned_seed, Task.HISTOGRAM, self.QUARANTINE, report=report
+        )
+        self._check(small_seed, result, report)
+
+    def test_parallel_quarantine(self, small_seed, poisoned_seed):
+        report = ExecutionReport()
+        result = run_task_reference(
+            poisoned_seed,
+            Task.HISTOGRAM,
+            BenchmarkSpec(n_jobs=2, on_error="quarantine"),
+            report=report,
+        )
+        self._check(small_seed, result, report)
+
+    def test_batched_bisection_quarantine(self, small_seed, poisoned_seed):
+        report = ExecutionReport()
+        result = run_task_reference(
+            poisoned_seed,
+            Task.HISTOGRAM,
+            BenchmarkSpec(kernel="batched", on_error="quarantine"),
+            report=report,
+        )
+        self._check(small_seed, result, report)
+
+    def test_quarantine_without_report_warns(self, poisoned_seed):
+        with pytest.warns(RuntimeWarning, match="quarantined 1 consumer"):
+            run_task_reference(poisoned_seed, Task.HISTOGRAM, self.QUARANTINE)
+
+
+def _fake_figure(figure_id: str) -> FigureResult:
+    return FigureResult(
+        figure_id=figure_id,
+        title=f"fake {figure_id}",
+        columns=["x", "y"],
+        rows=[[1, 2.5], ["a", None]],
+    )
+
+
+class TestFigureResultJson:
+    def test_round_trip(self):
+        result = FigureResult(
+            figure_id="fx",
+            title="t",
+            columns=["a", "b"],
+            rows=[[np.int64(3), np.float64(1.5)], ["s", True]],
+            notes=["n1"],
+        )
+        back = FigureResult.from_json_dict(result.to_json_dict())
+        assert back.figure_id == "fx"
+        assert back.columns == ["a", "b"]
+        assert back.rows == [[3, 1.5], ["s", True]]
+        assert back.notes == ["n1"]
+        import json
+
+        json.dumps(result.to_json_dict())  # actually JSON-serializable
+
+
+class TestJournalResume:
+    @pytest.fixture
+    def fake_figures(self):
+        """Swap FIGURES' contents in place (cli binds the same dict)."""
+        saved = dict(FIGURES)
+        FIGURES.clear()
+        yield FIGURES
+        FIGURES.clear()
+        FIGURES.update(saved)
+
+    def test_interrupt_then_resume_skips_journaled_work(
+        self, fake_figures, tmp_path, capsys
+    ):
+        calls: list[str] = []
+
+        def ok(figure_id):
+            def runner():
+                calls.append(figure_id)
+                return _fake_figure(figure_id)
+
+            return runner
+
+        def interrupt():
+            raise KeyboardInterrupt
+
+        fake_figures.update(
+            {
+                "fa": (ok("fa"), "fake a"),
+                "fb": (ok("fb"), "fake b"),
+                "fc": (interrupt, "fake c (interrupts)"),
+                "fd": (ok("fd"), "fake d"),
+            }
+        )
+        run_dir = tmp_path / "run"
+        rc = cli.main(["--all", "--run-dir", str(run_dir)])
+        assert rc == 130
+        assert calls == ["fa", "fb"]
+        assert "resume with" in capsys.readouterr().err
+        journal = RunJournal(run_dir)
+        assert journal.is_complete("fa") and journal.is_complete("fb")
+        assert not journal.is_complete("fc")
+        mtimes = {
+            fid: (run_dir / "journal" / f"{fid}.json").stat().st_mtime_ns
+            for fid in ("fa", "fb")
+        }
+
+        # Resume: journaled figures must not recompute — make them bombs.
+        def bomb():
+            raise AssertionError("journaled figure was recomputed")
+
+        fake_figures["fa"] = (bomb, "fake a")
+        fake_figures["fb"] = (bomb, "fake b")
+        fake_figures["fc"] = (ok("fc"), "fake c (fixed)")
+        rc = cli.main(["--resume", str(run_dir)])
+        assert rc == 0
+        assert calls == ["fa", "fb", "fc", "fd"]
+        out = capsys.readouterr().out
+        assert out.count("already journaled; skipped") == 2
+        for fid, before in mtimes.items():
+            after = (run_dir / "journal" / f"{fid}.json").stat().st_mtime_ns
+            assert after == before  # journal entries untouched on resume
+        assert journal.pending(["fa", "fb", "fc", "fd"]) == []
+        # The journaled result is rendered from the journal, faithfully.
+        assert journal.load_result("fa").rows == [[1, 2.5], ["a", None]]
+
+    def test_resume_requires_existing_journal(self, tmp_path, capsys):
+        rc = cli.main(["--resume", str(tmp_path / "nope")])
+        assert rc == 2
+        assert "no run journal found" in capsys.readouterr().err
+
+
+class TestCliFlags:
+    def test_jobs_below_cpu_floor_rejected(self, capsys):
+        floor = -(os.cpu_count() or 1)
+        rc = cli.main(["--figure", "table1", "--jobs", str(floor - 1)])
+        assert rc == 2
+        assert "below the minimum" in capsys.readouterr().err
+
+    def test_jobs_at_floor_accepted_by_validation(self):
+        floor = -(os.cpu_count() or 1)
+        args = cli.build_parser().parse_args(["--jobs", str(floor)])
+        assert cli._validate_args(args) is None
+
+    @pytest.mark.parametrize(
+        "argv, fragment",
+        [
+            (["--max-retries", "-1"], "--max-retries"),
+            (["--timeout", "0"], "--timeout"),
+            (["--timeout", "-3"], "--timeout"),
+            (["--inject-failures", "kill=banana"], "--inject-failures"),
+            (["--run-dir", "a", "--resume", "b"], "mutually exclusive"),
+        ],
+    )
+    def test_bad_flags_exit_2(self, capsys, tmp_path, argv, fragment):
+        rc = cli.main(["--figure", "table1"] + argv)
+        assert rc == 2
+        assert fragment in capsys.readouterr().err
+
+    def test_flags_install_default_policy(self):
+        from repro.resilience.policy import get_default_policy
+
+        args = cli.build_parser().parse_args(
+            ["--max-retries", "5", "--timeout", "9.5", "--inject-failures"]
+        )
+        assert cli._configure_resilience(args) is None
+        policy = get_default_policy()
+        assert policy.max_retries == 5
+        assert policy.task_timeout_s == 9.5
+        assert policy.faults is not None and policy.faults.active
+
+
+class TestSerialFallbackWarning:
+    def test_warning_names_the_reason(self, small_seed, monkeypatch):
+        def no_pool(n_workers):
+            executor._last_pool_error = "OSError: fork is broken"
+            return None
+
+        monkeypatch.setattr(executor, "_make_pool", no_pool)
+        with pytest.warns(RuntimeWarning, match="fork is broken"):
+            result = run_task_parallel(small_seed, Task.HISTOGRAM, n_jobs=4)
+        serial = run_task_reference(small_seed, Task.HISTOGRAM)
+        assert_results_identical(Task.HISTOGRAM, serial, result)
