@@ -83,6 +83,13 @@ class BenchmarkSpec:
     ``None`` means "inherit the process-wide default policy" (see
     :func:`repro.resilience.policy.get_default_policy`), which is how
     the CLI flags reach figure runners that build their own specs.
+
+    ``on_dirty`` is the data-plane counterpart (:mod:`repro.ingest`):
+    how engines and readers treat dirty input files — ``strict`` raises
+    (default behaviour), ``repair`` fixes and logs, ``quarantine`` drops
+    dirty consumers and proceeds on the clean subset.  ``None`` inherits
+    the process-wide ingest default (the ``--on-dirty`` CLI flag, see
+    :func:`repro.ingest.policy.get_default_ingest_config`).
     """
 
     n_buckets: int = NUM_BUCKETS
@@ -94,6 +101,7 @@ class BenchmarkSpec:
     max_retries: int | None = None
     task_timeout_s: float | None = None
     on_error: str | None = None
+    on_dirty: str | None = None
 
     def __post_init__(self) -> None:
         if self.kernel not in KERNEL_STRATEGIES:
@@ -113,6 +121,11 @@ class BenchmarkSpec:
             raise ValueError(
                 f"unknown on_error mode {self.on_error!r}; "
                 f"expected 'raise' or 'quarantine'"
+            )
+        if self.on_dirty not in (None, "strict", "repair", "quarantine"):
+            raise ValueError(
+                f"unknown on_dirty policy {self.on_dirty!r}; "
+                f"expected 'strict', 'repair' or 'quarantine'"
             )
 
 

@@ -51,6 +51,31 @@ class AnalyticsEngine(abc.ABC):
     def load_dataset(self, dataset: Dataset, workdir: str | Path) -> LoadStats:
         """Materialize a dataset in the engine's native storage."""
 
+    def load_validated(
+        self,
+        dataset: Dataset,
+        workdir: str | Path,
+        config=None,
+        quality=None,
+        report=None,
+    ) -> LoadStats:
+        """Run the ingest layer over ``dataset``, then load the survivors.
+
+        ``config`` is an :class:`~repro.ingest.policy.IngestConfig` (or a
+        policy name; None inherits the process default): under ``strict``
+        any gap / non-finite / negative / absurd reading raises before the
+        engine sees the data, ``repair`` fixes and logs, ``quarantine``
+        loads only the clean consumers.  Findings land in ``quality`` (a
+        :class:`~repro.ingest.report.QualityReport`) and quarantines in
+        ``report`` (an :class:`~repro.resilience.report.ExecutionReport`).
+        """
+        from repro.ingest.reader import ingest_dataset  # lazy: layering
+
+        clean = ingest_dataset(
+            dataset, config=config, quality=quality, report=report
+        )
+        return self.load_dataset(clean, workdir)
+
     @abc.abstractmethod
     def histogram(self, spec: BenchmarkSpec | None = None) -> dict[str, Any]:
         """Task 1: per-consumer equi-width histograms."""

@@ -74,7 +74,16 @@ class MadlibEngine(AnalyticsEngine):
     # Loading ------------------------------------------------------------
 
     def load_dataset(self, dataset: Dataset, workdir: str | Path) -> LoadStats:
-        """Bulk-load the dataset into a fresh database in this layout."""
+        """Bulk-load the dataset into a fresh database in this layout.
+
+        The process-wide ingest policy (``--on-dirty``) is applied first:
+        under the default strict policy this is an exact no-op, otherwise
+        dirty households are repaired or quarantined before they reach the
+        bulk loader.
+        """
+        from repro.ingest.reader import ingest_ambient  # lazy: layering
+
+        dataset = ingest_ambient(dataset)
         if self._db is not None:
             self._db.close()
         tic = time.perf_counter()

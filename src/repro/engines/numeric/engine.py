@@ -35,6 +35,7 @@ from repro.parallel import (
     parallel_map_consumers,
     parallel_similarity,
 )
+from repro.ingest.policy import ingest_config_for_spec
 from repro.parallel import kernels as parallel_kernels
 from repro.resilience.policy import policy_for_spec
 from repro.engines.base import (
@@ -102,30 +103,53 @@ class NumericEngine(AnalyticsEngine):
             raise EngineError("numeric engine: no data loaded")
         return self._layout
 
-    def _read_all(self) -> Dataset:
-        """Parse the input files into memory (the cold-start cost)."""
+    def _read_all(
+        self, spec: BenchmarkSpec | None = None, report=None
+    ) -> Dataset:
+        """Parse the input files into memory (the cold-start cost).
+
+        The spec's ``on_dirty`` policy (or the process default) governs
+        how dirty files are treated: ``strict`` keeps the original
+        vectorized fast path and raises, ``repair`` / ``quarantine``
+        route through :mod:`repro.ingest.reader` — bit-identical on clean
+        files — with quarantined consumers landing in ``report``.
+        """
         if self._cache is not None:
             return self._cache
         layout = self._require_layout()
+        config = ingest_config_for_spec(spec)
         if layout.partitioned:
-            ids: list[str] = []
-            cons: list[np.ndarray] = []
-            temps: list[np.ndarray] = []
-            for path in layout.files:
-                c, t = read_consumer_file(path)
-                ids.append(path.stem)
-                cons.append(c)
-                temps.append(t)
-            self._cache = Dataset(
-                consumer_ids=ids,
-                consumption=np.stack(cons),
-                temperature=np.stack(temps),
-                name="numeric",
-            )
+            if config.strict:
+                ids: list[str] = []
+                cons: list[np.ndarray] = []
+                temps: list[np.ndarray] = []
+                for path in layout.files:
+                    c, t = read_consumer_file(path)
+                    ids.append(path.stem)
+                    cons.append(c)
+                    temps.append(t)
+                self._cache = Dataset(
+                    consumer_ids=ids,
+                    consumption=np.stack(cons),
+                    temperature=np.stack(temps),
+                    name="numeric",
+                )
+            else:
+                from repro.ingest.reader import ingest_consumer_files
+
+                self._cache = ingest_consumer_files(
+                    list(layout.files),
+                    source=str(layout.root),
+                    name="numeric",
+                    config=config,
+                    report=report,
+                )
         else:
             # One big file: Matlab must index the whole file to find each
             # consumer's rows — the slow path of the paper's Figure 5.
-            self._cache = read_unpartitioned(layout.files[0], name="numeric")
+            self._cache = read_unpartitioned(
+                layout.files[0], name="numeric", on_dirty=config, report=report
+            )
         return self._cache
 
     # Tasks ---------------------------------------------------------------------
@@ -133,7 +157,7 @@ class NumericEngine(AnalyticsEngine):
     def histogram(self, spec: BenchmarkSpec | None = None, report=None):
         spec = spec or BenchmarkSpec()
         policy = policy_for_spec(spec)
-        data = self._read_all()
+        data = self._read_all(spec, report=report)
         if wants_batched(spec.kernel, data.n_consumers):
             return run_batched_task(data, Task.HISTOGRAM, spec, report=report)
         if effective_n_jobs(spec.n_jobs) > 1 or policy.quarantine:
@@ -154,7 +178,7 @@ class NumericEngine(AnalyticsEngine):
     def three_line(self, spec: BenchmarkSpec | None = None, report=None):
         spec = spec or BenchmarkSpec()
         policy = policy_for_spec(spec)
-        data = self._read_all()
+        data = self._read_all(spec, report=report)
         if wants_batched(spec.kernel, data.n_consumers):
             return run_batched_task(data, Task.THREELINE, spec, report=report)
         if effective_n_jobs(spec.n_jobs) > 1 or policy.quarantine:
@@ -182,7 +206,7 @@ class NumericEngine(AnalyticsEngine):
     def par(self, spec: BenchmarkSpec | None = None, report=None):
         spec = spec or BenchmarkSpec()
         policy = policy_for_spec(spec)
-        data = self._read_all()
+        data = self._read_all(spec, report=report)
         if wants_batched(spec.kernel, data.n_consumers):
             return run_batched_task(data, Task.PAR, spec, report=report)
         if effective_n_jobs(spec.n_jobs) > 1 or policy.quarantine:
@@ -202,7 +226,7 @@ class NumericEngine(AnalyticsEngine):
 
     def similarity(self, spec: BenchmarkSpec | None = None, report=None):
         spec = spec or BenchmarkSpec()
-        data = self._read_all()
+        data = self._read_all(spec, report=report)
         matrix = data.consumption
         ids = data.consumer_ids
         if effective_n_jobs(spec.n_jobs) > 1:

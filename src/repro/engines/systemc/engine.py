@@ -75,7 +75,14 @@ class SystemCEngine(AnalyticsEngine):
     # Loading -----------------------------------------------------------
 
     def load_dataset(self, dataset: Dataset, workdir: str | Path) -> LoadStats:
-        """Convert to binary column files once; open is then just mmap."""
+        """Convert to binary column files once; open is then just mmap.
+
+        The process-wide ingest policy (``--on-dirty``) is applied first;
+        under the default strict policy this is an exact no-op.
+        """
+        from repro.ingest.reader import ingest_ambient  # lazy: layering
+
+        dataset = ingest_ambient(dataset)
         tic = time.perf_counter()
         self._store = ColumnStore(Path(workdir) / "colstore")
         self._table = self._store.ingest_dataset(dataset, "readings")

@@ -10,6 +10,8 @@ Examples::
     smartbench --resume runs/nightly            # skip journaled figures
     smartbench --figure fig10_measured --max-retries 4 --timeout 120
     smartbench --figure fig7 --inject-failures kill=0.3,seed=7
+    smartbench --figure fig5 --inject-dirty seed=7 --on-dirty quarantine \
+        --quality-report quality.json
 """
 
 from __future__ import annotations
@@ -100,6 +102,39 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--on-dirty",
+        choices=("strict", "repair", "quarantine"),
+        default=None,
+        metavar="POLICY",
+        help=(
+            "ingest policy for dirty input data: strict (raise, the "
+            "default), repair (fix and log), or quarantine (drop dirty "
+            "consumers and proceed on the clean subset)"
+        ),
+    )
+    parser.add_argument(
+        "--quality-report",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a JSON data-quality report (per-consumer issues, "
+            "repairs and quarantines from every ingest pass) to PATH"
+        ),
+    )
+    parser.add_argument(
+        "--inject-dirty",
+        nargs="?",
+        const="on",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministically corrupt written data files for "
+            "dirty-data chaos testing; SPEC is key=value pairs, e.g. "
+            "'gaps=0.03,spikes=0.02,dups=0.02,garbage=0.01,"
+            "consumers=0.3,truncate=1,seed=7' (bare flag = default mix)"
+        ),
+    )
+    parser.add_argument(
         "--run-dir",
         metavar="DIR",
         default=None,
@@ -177,6 +212,40 @@ def _configure_resilience(args) -> str | None:
     return None
 
 
+def _configure_ingest(args):
+    """Install the ingest policy / dirty injector / quality sink from flags.
+
+    Returns ``(error_message, quality_report)`` — the report is non-None
+    when ``--quality-report`` asked for one (the caller saves it at exit).
+    """
+    if args.inject_dirty is not None:
+        from repro.ingest.injector import DirtyPlan, set_default_dirty_plan
+
+        try:
+            set_default_dirty_plan(DirtyPlan.from_string(args.inject_dirty))
+        except ValueError as exc:
+            return f"--inject-dirty: {exc}", None
+    if args.on_dirty is not None:
+        from repro.ingest.policy import configure_ingest_defaults
+
+        configure_ingest_defaults(policy=args.on_dirty)
+    quality = None
+    if args.quality_report is not None:
+        from repro.ingest.report import QualityReport, set_active_quality_report
+
+        quality = QualityReport(source="smartbench")
+        set_active_quality_report(quality)
+    return None, quality
+
+
+def _save_quality_report(quality, args) -> None:
+    """Write the ambient quality report collected over the run."""
+    if quality is None:
+        return
+    path = quality.save(args.quality_report)
+    print(f"quality report: {path} ({quality.summary()})")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -186,6 +255,9 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{figure_id.ljust(width)}  {description}")
         return 0
     error = _validate_args(args) or _configure_resilience(args)
+    quality = None
+    if not error:
+        error, quality = _configure_ingest(args)
     if error:
         print(f"smartbench: {error}", file=sys.stderr)
         return 2
@@ -194,6 +266,7 @@ def main(argv: list[str] | None = None) -> int:
 
         result = validate_engines()
         print(result.render())
+        _save_quality_report(quality, args)
         return 0 if all(r[2] == "ok" for r in result.rows) else 1
     if args.compare:
         from repro.harness.compare import compare_directories
@@ -261,6 +334,7 @@ def main(argv: list[str] | None = None) -> int:
                 )
             else:
                 print("\nsmartbench: interrupted", file=sys.stderr)
+            _save_quality_report(quality, args)
             return 130
         elapsed = time.perf_counter() - tic
         print(result.render())
@@ -275,6 +349,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.csv:
             path = result.save_csv(args.csv)
             print(f"  csv: {path}")
+    _save_quality_report(quality, args)
     return 0
 
 

@@ -1,0 +1,95 @@
+"""Dirty-data ingestion: validate, repair or quarantine real meter feeds.
+
+The paper assumes complete, clean hourly series (Section 2.1 defers meter
+data quality to orthogonal work), but every real feed — including the CER
+trial the paper recommends — arrives with gaps, duplicates, spikes,
+garbage tokens and truncated files.  This package is the data-plane
+counterpart of :mod:`repro.resilience`: where that layer keeps the
+*execution* alive through crashing workers, this one keeps the *load*
+alive through bad rows.
+
+Pieces:
+
+* :mod:`~repro.ingest.policy` — the ``strict | repair | quarantine``
+  :class:`IngestConfig`, its process-wide default (the ``--on-dirty``
+  flag) and spec resolution;
+* :mod:`~repro.ingest.validators` — row/series validators producing
+  :class:`DataIssue` records;
+* :mod:`~repro.ingest.repair` — the logged repair path (dedup, reorder,
+  spike clamp, imputation via :mod:`repro.timeseries.quality`);
+* :mod:`~repro.ingest.report` — per-consumer :class:`QualityReport`
+  (the ``--quality-report`` artifact);
+* :mod:`~repro.ingest.reader` — tolerant readers for both CSV layouts,
+  in-memory datasets, and CER feeds;
+* :mod:`~repro.ingest.injector` — the seeded :class:`DirtyPlan` corruptor
+  behind ``--inject-dirty``, for chaos-testing all of the above.
+"""
+
+from repro.ingest.injector import (
+    DIRTY_ENV_VAR,
+    DirtyManifest,
+    DirtyPlan,
+    corrupt_partitioned_files,
+    corrupt_unpartitioned_file,
+    get_default_dirty_plan,
+    set_default_dirty_plan,
+)
+from repro.ingest.policy import (
+    INGEST_POLICIES,
+    IngestConfig,
+    configure_ingest_defaults,
+    get_default_ingest_config,
+    ingest_config_for_spec,
+    resolve_ingest_config,
+    set_default_ingest_config,
+)
+from repro.ingest.reader import (
+    ingest_ambient,
+    ingest_cer_series,
+    ingest_consumer_files,
+    ingest_dataset,
+    ingest_partitioned,
+    ingest_unpartitioned,
+)
+from repro.ingest.repair import UnrepairableError, repair_series
+from repro.ingest.report import (
+    ConsumerQuality,
+    DataIssue,
+    QualityReport,
+    RepairAction,
+    get_active_quality_report,
+    set_active_quality_report,
+)
+from repro.ingest.validators import validate_values
+
+__all__ = [
+    "DIRTY_ENV_VAR",
+    "DirtyManifest",
+    "DirtyPlan",
+    "INGEST_POLICIES",
+    "IngestConfig",
+    "ConsumerQuality",
+    "DataIssue",
+    "QualityReport",
+    "RepairAction",
+    "UnrepairableError",
+    "configure_ingest_defaults",
+    "corrupt_partitioned_files",
+    "corrupt_unpartitioned_file",
+    "get_active_quality_report",
+    "get_default_dirty_plan",
+    "get_default_ingest_config",
+    "ingest_ambient",
+    "ingest_cer_series",
+    "ingest_config_for_spec",
+    "ingest_consumer_files",
+    "ingest_dataset",
+    "ingest_partitioned",
+    "ingest_unpartitioned",
+    "repair_series",
+    "resolve_ingest_config",
+    "set_active_quality_report",
+    "set_default_dirty_plan",
+    "set_default_ingest_config",
+    "validate_values",
+]

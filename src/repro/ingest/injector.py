@@ -1,0 +1,351 @@
+"""Seeded dirty-data injection: the data-plane analogue of ``--inject-failures``.
+
+Where :class:`repro.resilience.faults.FaultPlan` kills live *workers*, a
+:class:`DirtyPlan` corrupts written *files* — gaps (dropped rows), spikes,
+duplicated rows, garbage tokens, and whole-file truncation — so the ingest
+layer can be chaos-tested end to end: write clean data, corrupt it with a
+known seed, load it back under each policy, and check that exactly the
+corrupted consumers are flagged while the clean ones pass through
+bit-identically.
+
+Determinism matches the fault plan's semantics: every decision is a pure
+function of ``(seed, consumer_id, row_index)``, so the same plan applied
+to the same files always produces the same corruption, and the returned
+:class:`DirtyManifest` names exactly which consumers were hit and how.
+
+Plans come from the ``--inject-dirty`` CLI flag or the
+``REPRO_INJECT_DIRTY`` environment variable, using the spec syntax
+``gaps=0.03,spikes=0.02,dups=0.02,garbage=0.01,consumers=0.3,truncate=1,seed=7``
+(a bare ``on``/``1``/empty value selects the default mix).  When a plan is
+installed process-wide, :meth:`repro.io.partition.DatasetLayout.materialize`
+corrupts every layout it writes — which is how ``smartbench --inject-dirty``
+reaches the figure runners.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+#: Environment variable consulted when no plan was set explicitly.
+DIRTY_ENV_VAR = "REPRO_INJECT_DIRTY"
+
+#: Default corruption mix for a bare ``--inject-dirty`` flag.
+DEFAULT_GAP_PROBABILITY = 0.03
+DEFAULT_SPIKE_PROBABILITY = 0.02
+DEFAULT_DUPLICATE_PROBABILITY = 0.02
+DEFAULT_GARBAGE_PROBABILITY = 0.01
+DEFAULT_CONSUMER_FRACTION = 0.3
+
+#: Fraction of a truncation victim's rows that survive.
+TRUNCATE_KEEP_FRACTION = 0.6
+
+#: The token written where a garbage corruption hits a numeric field.
+GARBAGE_TOKEN = "#ERR"
+
+#: Corruption kinds, as they appear in manifests and quality reports.
+KINDS = ("gap", "spike", "duplicate", "garbage", "truncated")
+
+
+@dataclass
+class DirtyManifest:
+    """What a plan actually did: consumer -> corruption kinds applied."""
+
+    corrupted: dict[str, list[str]] = field(default_factory=dict)
+    n_rows_corrupted: int = 0
+    n_rows_total: int = 0
+
+    @property
+    def consumer_ids(self) -> list[str]:
+        """Ids of consumers with at least one corruption, sorted."""
+        return sorted(self.corrupted)
+
+    @property
+    def corrupted_fraction(self) -> float:
+        """Fraction of all data rows that were corrupted."""
+        return (
+            self.n_rows_corrupted / self.n_rows_total if self.n_rows_total else 0.0
+        )
+
+    def add(self, consumer_id: str, kind: str, n_rows: int = 1) -> None:
+        kinds = self.corrupted.setdefault(consumer_id, [])
+        if kind not in kinds:
+            kinds.append(kind)
+        self.n_rows_corrupted += n_rows
+
+    def merge(self, other: "DirtyManifest") -> None:
+        for cid, kinds in other.corrupted.items():
+            for kind in kinds:
+                self.add(cid, kind, 0)
+        self.n_rows_corrupted += other.n_rows_corrupted
+        self.n_rows_total += other.n_rows_total
+
+
+@dataclass(frozen=True)
+class DirtyPlan:
+    """Deterministic file-corruption schedule for ingest chaos runs."""
+
+    gap_probability: float = 0.0
+    spike_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    garbage_probability: float = 0.0
+    consumer_fraction: float = DEFAULT_CONSUMER_FRACTION
+    truncate_files: int = 0
+    spike_factor: float = 1000.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "gap_probability",
+            "spike_probability",
+            "duplicate_probability",
+            "garbage_probability",
+            "consumer_fraction",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.truncate_files < 0:
+            raise ValueError(
+                f"truncate_files must be >= 0, got {self.truncate_files}"
+            )
+        if self.spike_factor <= 1.0:
+            raise ValueError(f"spike_factor must be > 1, got {self.spike_factor}")
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+
+    @property
+    def row_probability(self) -> float:
+        """Total per-row corruption probability for a hit consumer."""
+        return (
+            self.gap_probability
+            + self.spike_probability
+            + self.duplicate_probability
+            + self.garbage_probability
+        )
+
+    @property
+    def active(self) -> bool:
+        """True when this plan can actually corrupt something."""
+        return self.row_probability > 0.0 or self.truncate_files > 0
+
+    @classmethod
+    def from_string(cls, spec: str) -> "DirtyPlan":
+        """Parse a ``key=value,...`` dirty spec (CLI / env syntax)."""
+        text = spec.strip()
+        if text.lower() in ("", "1", "on", "true", "yes"):
+            return cls(
+                gap_probability=DEFAULT_GAP_PROBABILITY,
+                spike_probability=DEFAULT_SPIKE_PROBABILITY,
+                duplicate_probability=DEFAULT_DUPLICATE_PROBABILITY,
+                garbage_probability=DEFAULT_GARBAGE_PROBABILITY,
+                truncate_files=1,
+            )
+        names = {
+            "gaps": ("gap_probability", float),
+            "spikes": ("spike_probability", float),
+            "dups": ("duplicate_probability", float),
+            "garbage": ("garbage_probability", float),
+            "consumers": ("consumer_fraction", float),
+            "truncate": ("truncate_files", int),
+            "spike_factor": ("spike_factor", float),
+            "seed": ("seed", int),
+        }
+        fields: dict[str, float | int] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if key not in names or not sep:
+                raise ValueError(
+                    f"bad dirty spec {spec!r}: expected key=value pairs with "
+                    f"keys in {sorted(names)}, got {part!r}"
+                )
+            name, convert = names[key]
+            try:
+                fields[name] = convert(value.strip())
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad dirty spec {spec!r}: {key}={value.strip()!r} "
+                    f"is not a number"
+                ) from exc
+        return cls(**fields)
+
+    @classmethod
+    def from_env(cls) -> "DirtyPlan | None":
+        """The plan configured via :data:`DIRTY_ENV_VAR`, or None."""
+        spec = os.environ.get(DIRTY_ENV_VAR)
+        if spec is None or not spec.strip():
+            return None
+        return cls.from_string(spec)
+
+    # Deterministic draws -------------------------------------------------
+
+    def _rng(self, consumer_id: str) -> np.random.Generator:
+        return np.random.default_rng(
+            [self.seed, zlib.crc32(consumer_id.encode("utf-8"))]
+        )
+
+    def hits_consumer(self, consumer_id: str) -> bool:
+        """Whether this consumer's rows are in the corruption pool."""
+        if not self.active:
+            return False
+        return float(self._rng(consumer_id).random()) < self.consumer_fraction
+
+    def truncation_victims(self, consumer_ids: Iterable[str]) -> set[str]:
+        """The ``truncate_files`` consumers whose series get cut short.
+
+        Victims are chosen by a seeded hash ranking, so they are a pure
+        function of the plan and the id set (independent of file order).
+        """
+        ids = sorted(set(consumer_ids))
+        if self.truncate_files <= 0 or not ids:
+            return set()
+        ranked = sorted(
+            ids, key=lambda cid: zlib.crc32(f"{self.seed}:{cid}".encode("utf-8"))
+        )
+        return set(ranked[: self.truncate_files])
+
+    def corrupt_rows(
+        self,
+        consumer_id: str,
+        rows: list[str],
+        consumption_field: int,
+        manifest: DirtyManifest,
+        truncate: bool = False,
+    ) -> list[str]:
+        """Apply the plan to one consumer's CSV data rows.
+
+        ``rows`` are text lines without terminators; ``consumption_field``
+        is the comma-separated index of the consumption column.  Returns
+        the corrupted row list and records what happened in ``manifest``.
+        """
+        manifest.n_rows_total += len(rows)
+        out_rows = rows
+        if truncate:
+            keep = max(1, int(len(rows) * TRUNCATE_KEEP_FRACTION))
+            if keep < len(rows):
+                out_rows = rows[:keep]
+                manifest.add(consumer_id, "truncated", len(rows) - keep)
+        if not self.hits_consumer(consumer_id) or self.row_probability <= 0.0:
+            return out_rows if out_rows is not rows else list(rows)
+        rng = self._rng(consumer_id)
+        rng.random()  # skip the consumer-hit draw; row draws follow
+        draws = rng.random(len(out_rows))
+        p_gap = self.gap_probability
+        p_spike = p_gap + self.spike_probability
+        p_dup = p_spike + self.duplicate_probability
+        p_garbage = p_dup + self.garbage_probability
+        corrupted: list[str] = []
+        for row, u in zip(out_rows, draws):
+            if u < p_gap:
+                manifest.add(consumer_id, "gap")
+                continue
+            if u < p_spike:
+                fields = row.split(",")
+                value = abs(float(fields[consumption_field]))
+                fields[consumption_field] = (
+                    f"{value * self.spike_factor + self.spike_factor:.6f}"
+                )
+                corrupted.append(",".join(fields))
+                manifest.add(consumer_id, "spike")
+                continue
+            if u < p_dup:
+                corrupted.append(row)
+                corrupted.append(row)
+                manifest.add(consumer_id, "duplicate")
+                continue
+            if u < p_garbage:
+                fields = row.split(",")
+                fields[consumption_field] = GARBAGE_TOKEN
+                corrupted.append(",".join(fields))
+                manifest.add(consumer_id, "garbage")
+                continue
+            corrupted.append(row)
+        return corrupted
+
+
+def corrupt_partitioned_files(
+    files: Iterable[Path], plan: DirtyPlan
+) -> DirtyManifest:
+    """Corrupt a directory of per-consumer CSV files in place."""
+    manifest = DirtyManifest()
+    files = [Path(f) for f in files]
+    victims = plan.truncation_victims(f.stem for f in files)
+    for path in files:
+        text = path.read_text()
+        lines = text.split("\n")
+        trailing = lines.pop() if lines and lines[-1] == "" else None
+        header, rows = lines[0], lines[1:]
+        rows = plan.corrupt_rows(
+            path.stem,
+            rows,
+            consumption_field=1,
+            manifest=manifest,
+            truncate=path.stem in victims,
+        )
+        body = "\n".join([header, *rows])
+        path.write_text(body + ("\n" if trailing is not None else ""))
+    return manifest
+
+
+def corrupt_unpartitioned_file(path: str | Path, plan: DirtyPlan) -> DirtyManifest:
+    """Corrupt one big readings CSV in place (per-household decisions).
+
+    Truncation victims lose the tail of their row block, which is what a
+    half-written file looks like after splitting.
+    """
+    path = Path(path)
+    manifest = DirtyManifest()
+    text = path.read_text()
+    lines = text.split("\n")
+    trailing = lines.pop() if lines and lines[-1] == "" else None
+    header, rows = lines[0], lines[1:]
+
+    # Group contiguous rows by household id (the canonical layout).
+    groups: list[tuple[str, list[str]]] = []
+    current: str | None = None
+    for row in rows:
+        cid = row.split(",", 1)[0]
+        if cid != current:
+            groups.append((cid, []))
+            current = cid
+        groups[-1][1].append(row)
+    victims = plan.truncation_victims(cid for cid, _ in groups)
+    out_rows: list[str] = []
+    for cid, group in groups:
+        out_rows.extend(
+            plan.corrupt_rows(
+                cid,
+                group,
+                consumption_field=2,
+                manifest=manifest,
+                truncate=cid in victims,
+            )
+        )
+    path.write_text("\n".join([header, *out_rows]) + ("\n" if trailing is not None else ""))
+    return manifest
+
+
+#: The explicitly installed process-wide plan (None = consult the env).
+_default_plan: DirtyPlan | None = None
+
+
+def get_default_dirty_plan() -> DirtyPlan | None:
+    """The process-wide dirty plan: explicit install, else the env var."""
+    if _default_plan is not None:
+        return _default_plan
+    return DirtyPlan.from_env()
+
+
+def set_default_dirty_plan(plan: DirtyPlan | None) -> None:
+    """Install (or with ``None`` clear) the process-wide dirty plan."""
+    global _default_plan
+    _default_plan = plan

@@ -1,0 +1,152 @@
+"""Ingest policy: how the data plane treats dirty input.
+
+The execution layer (:mod:`repro.resilience`) decides what happens when a
+*kernel* fails; this module decides what happens when the *data* is bad
+before any kernel runs.  One frozen :class:`IngestConfig` travels from the
+CLI (``--on-dirty``) or a :class:`~repro.core.benchmark.BenchmarkSpec`
+(``on_dirty=``) down to the readers.  Three policies:
+
+``strict``
+    Any quality issue raises :class:`~repro.exceptions.DatasetFormatError`.
+    This is the default and is byte-for-byte the pre-ingest behaviour —
+    clean inputs take exactly the old fast parsing paths.
+``repair``
+    Fixable issues are repaired in place (duplicate dedup, reorder, spike
+    clamp, gap imputation via :mod:`repro.timeseries.quality`), each repair
+    logged in the :class:`~repro.ingest.report.QualityReport`; unrepairable
+    consumers still raise.
+``quarantine``
+    Consumers with *any* issue are dropped from the dataset and recorded —
+    both in the quality report and, when the caller passes an
+    :class:`~repro.resilience.report.ExecutionReport`, as
+    :class:`~repro.resilience.report.QuarantineRecord` entries — so the
+    benchmark proceeds bit-identically on the clean subset.
+
+Precedence mirrors :mod:`repro.resilience.policy`, highest first: an
+explicit config argument, a spec's ``on_dirty`` knob, then the
+process-wide default installed by :func:`configure_ingest_defaults`
+(the ``--on-dirty`` CLI flag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Valid ingest policies, in increasing order of tolerance.
+INGEST_POLICIES = ("strict", "repair", "quarantine")
+
+#: Consumption above this many kWh in one hour is treated as a spike
+#: (household feeds run a few kWh/hour; the CER trial tops out far below
+#: this).  Repair clamps to the threshold; strict/quarantine flag it.
+DEFAULT_MAX_CONSUMPTION_KWH = 100.0
+
+#: A series missing more than this fraction of its readings is
+#: unrepairable: imputation would be making the data up.
+DEFAULT_MAX_MISSING_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """How the ingest layer treats one load's dirty data."""
+
+    policy: str = "strict"
+    max_consumption_kwh: float = DEFAULT_MAX_CONSUMPTION_KWH
+    max_missing_fraction: float = DEFAULT_MAX_MISSING_FRACTION
+    impute_strategy: str = "hybrid"
+    max_linear_gap: int = 6
+
+    def __post_init__(self) -> None:
+        if self.policy not in INGEST_POLICIES:
+            raise ValueError(
+                f"unknown ingest policy {self.policy!r}; "
+                f"expected one of {INGEST_POLICIES}"
+            )
+        if self.max_consumption_kwh <= 0.0:
+            raise ValueError(
+                f"max_consumption_kwh must be > 0, got {self.max_consumption_kwh}"
+            )
+        if not 0.0 <= self.max_missing_fraction <= 1.0:
+            raise ValueError(
+                "max_missing_fraction must be in [0, 1], "
+                f"got {self.max_missing_fraction}"
+            )
+
+    @property
+    def strict(self) -> bool:
+        """True when any issue must raise (the pass-through fast path)."""
+        return self.policy == "strict"
+
+    @property
+    def repairs(self) -> bool:
+        """True when fixable issues are repaired instead of raising."""
+        return self.policy == "repair"
+
+    @property
+    def quarantines(self) -> bool:
+        """True when dirty consumers are dropped instead of raising."""
+        return self.policy == "quarantine"
+
+
+#: The explicitly configured process-wide default (None = plain strict).
+_default_config: IngestConfig | None = None
+
+
+def get_default_ingest_config() -> IngestConfig:
+    """The process-wide default ingest config (strict unless configured)."""
+    if _default_config is not None:
+        return _default_config
+    return IngestConfig()
+
+
+def set_default_ingest_config(config: IngestConfig | None) -> None:
+    """Install (or with ``None`` clear) the process-wide default config."""
+    global _default_config
+    _default_config = config
+
+
+def configure_ingest_defaults(
+    *,
+    policy: str | None = None,
+    max_consumption_kwh: float | None = None,
+    max_missing_fraction: float | None = None,
+    impute_strategy: str | None = None,
+    max_linear_gap: int | None = None,
+) -> IngestConfig:
+    """Override selected fields of the default config (CLI entry point)."""
+    base = get_default_ingest_config()
+    overrides: dict = {}
+    if policy is not None:
+        overrides["policy"] = policy
+    if max_consumption_kwh is not None:
+        overrides["max_consumption_kwh"] = max_consumption_kwh
+    if max_missing_fraction is not None:
+        overrides["max_missing_fraction"] = max_missing_fraction
+    if impute_strategy is not None:
+        overrides["impute_strategy"] = impute_strategy
+    if max_linear_gap is not None:
+        overrides["max_linear_gap"] = max_linear_gap
+    config = replace(base, **overrides)
+    set_default_ingest_config(config)
+    return config
+
+
+def resolve_ingest_config(on_dirty: "str | IngestConfig | None") -> IngestConfig:
+    """Resolve a reader's ``on_dirty`` argument to a concrete config.
+
+    ``None`` inherits the process-wide default; a policy name overrides
+    just the policy; a full :class:`IngestConfig` wins outright.
+    """
+    if on_dirty is None:
+        return get_default_ingest_config()
+    if isinstance(on_dirty, IngestConfig):
+        return on_dirty
+    return replace(get_default_ingest_config(), policy=on_dirty)
+
+
+def ingest_config_for_spec(spec) -> IngestConfig:
+    """Resolve a BenchmarkSpec's ``on_dirty`` knob against the default.
+
+    ``None`` (or a spec without the knob) inherits the default config;
+    a policy name set on the spec wins.
+    """
+    return resolve_ingest_config(getattr(spec, "on_dirty", None))

@@ -1,0 +1,584 @@
+"""Policy-driven ingestion: dirty CSV/CER feeds in, validated Datasets out.
+
+These are the tolerant counterparts of the strict readers in
+:mod:`repro.io.csvio` and :mod:`repro.io.issda`.  Each one parses without
+raising, collects per-consumer :class:`~repro.ingest.report.DataIssue`
+records, and then applies the :class:`~repro.ingest.policy.IngestConfig`
+policy: ``strict`` raises on the first issue, ``repair`` fixes what is
+fixable (logging every repair), and ``quarantine`` drops dirty consumers —
+emitting :class:`~repro.resilience.report.QuarantineRecord` entries into
+the caller's :class:`~repro.resilience.report.ExecutionReport` so the
+data-plane quarantine composes with the execution-plane one from PR 4 —
+and proceeds bit-identically on the clean subset.
+
+On clean input every function returns exactly what the strict readers
+return: the same parsed float64 values in the same order (both parse
+decimal text through correctly-rounded IEEE conversion), which the test
+suite asserts as the pass-through invariant — including the
+``n_jobs > 1`` file-parallel path.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import DatasetFormatError
+from repro.ingest.policy import IngestConfig, resolve_ingest_config
+from repro.ingest.report import (
+    ConsumerQuality,
+    DataIssue,
+    QualityReport,
+    RepairAction,
+    publish,
+)
+from repro.ingest.repair import (
+    UnrepairableError,
+    repair_series,
+    structural_repairs,
+)
+from repro.ingest.validators import (
+    ISSUE_DUPLICATE_HOUR,
+    ISSUE_GAP,
+    ISSUE_GARBAGE_TOKEN,
+    ISSUE_NON_CONTIGUOUS,
+    ISSUE_UNREADABLE,
+    RawSeries,
+    assemble_series,
+    expected_hours,
+    first_issue_message,
+    parse_reading_fields,
+    validate_values,
+)
+from repro.io.csvio import PARTITIONED_HEADER, UNPARTITIONED_HEADER
+from repro.resilience.report import ExecutionReport, QuarantineRecord
+from repro.timeseries.series import Dataset
+
+#: ``error_type`` used for ingest quarantine records, so execution-plane
+#: (kernel) and data-plane (ingest) quarantines are distinguishable in a
+#: merged ExecutionReport.
+DIRTY_DATA_ERROR = "DirtyDataError"
+
+#: Placeholder for feeds without a temperature column (CER).
+_NO_TEMP = np.empty(0)
+
+
+def _finish(
+    quality: QualityReport,
+    sink: QualityReport | None,
+) -> QualityReport:
+    """Publish one load's report to the explicit and ambient sinks."""
+    if sink is not None:
+        sink.merge(quality)
+    publish(quality)
+    return quality
+
+
+def _apply_policy(
+    consumer_id: str,
+    cons: np.ndarray,
+    temp: np.ndarray,
+    issues: list[DataIssue],
+    config: IngestConfig,
+    quality: QualityReport,
+    report: ExecutionReport | None,
+    source: str,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Resolve one consumer's issues under the policy.
+
+    Returns the (possibly repaired) series, or None when the consumer is
+    quarantined.  Raises under ``strict``, or under ``repair`` when the
+    series is unrepairable.
+    """
+    if not issues:
+        quality.record(ConsumerQuality(consumer_id))
+        return cons, temp
+    if config.strict:
+        raise DatasetFormatError(
+            f"{source}: {first_issue_message(consumer_id, issues)}"
+        )
+    if config.quarantines:
+        entry = ConsumerQuality(consumer_id, action="quarantined", issues=issues)
+        quality.record(entry)
+        if report is not None:
+            report.quarantine(
+                QuarantineRecord(
+                    consumer_id=consumer_id,
+                    task="ingest",
+                    error_type=DIRTY_DATA_ERROR,
+                    message="; ".join(str(i) for i in issues),
+                )
+            )
+        return None
+    # repair: structural problems were absorbed by dense assembly, value
+    # problems get fixed now; unrepairable series still raise.
+    try:
+        cons, temp, repairs = repair_series(cons, temp, config, consumer_id)
+    except UnrepairableError as exc:
+        raise UnrepairableError(f"{source}: {exc}") from exc
+    quality.record(
+        ConsumerQuality(
+            consumer_id,
+            action="repaired",
+            issues=issues,
+            repairs=structural_repairs(issues) + repairs,
+        )
+    )
+    return cons, temp
+
+
+def _build_dataset(
+    name: str,
+    source: str,
+    survivors: list[tuple[str, np.ndarray, np.ndarray]],
+    n_total: int,
+) -> Dataset:
+    if not survivors:
+        raise DatasetFormatError(
+            f"{source}: all {n_total} consumers were dirty; nothing to load"
+        )
+    return Dataset(
+        consumer_ids=[cid for cid, _, _ in survivors],
+        consumption=np.stack([c for _, c, _ in survivors]),
+        temperature=np.stack([t for _, _, t in survivors]),
+        name=name,
+    )
+
+
+# Partitioned (file per consumer) ----------------------------------------
+
+
+def _parse_partitioned_file(path: Path) -> RawSeries:
+    """Tolerantly parse one per-consumer CSV file."""
+    raw = RawSeries(consumer_id=path.stem)
+    try:
+        with path.open(newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader, None)
+            if header != PARTITIONED_HEADER:
+                raw.issues.append(
+                    DataIssue(
+                        ISSUE_UNREADABLE, f"unexpected header {header!r}", line=1
+                    )
+                )
+                return raw
+            for row in reader:
+                if not row:
+                    continue
+                parsed = parse_reading_fields(row, reader.line_num, raw.issues)
+                if parsed is not None:
+                    raw.add_row(*parsed)
+    except OSError as exc:
+        raw.issues.append(DataIssue(ISSUE_UNREADABLE, str(exc)))
+    return raw
+
+
+def _parse_partitioned_files(paths: list[Path]) -> list[RawSeries]:
+    """Chunk parser shipped to worker processes (must stay picklable)."""
+    return [_parse_partitioned_file(path) for path in paths]
+
+
+def ingest_partitioned(
+    directory: str | Path,
+    name: str = "dataset",
+    n_jobs: int = 1,
+    config: IngestConfig | str | None = None,
+    quality: QualityReport | None = None,
+    report: ExecutionReport | None = None,
+) -> Dataset:
+    """Read a directory of per-consumer CSV files under an ingest policy.
+
+    The tolerant twin of :func:`repro.io.csvio.read_partitioned`: same
+    directory contract, same ``n_jobs`` process-parallel parsing, but dirty
+    files flow into the policy instead of raising mid-parse.
+    """
+    directory = Path(directory)
+    files = sorted(directory.glob("*.csv"))
+    if not files:
+        raise DatasetFormatError(f"no consumer files found in {directory}")
+    return ingest_consumer_files(
+        files,
+        source=str(directory),
+        name=name,
+        n_jobs=n_jobs,
+        config=config,
+        quality=quality,
+        report=report,
+    )
+
+
+def ingest_consumer_files(
+    files: list[Path],
+    source: str,
+    name: str = "dataset",
+    n_jobs: int = 1,
+    config: IngestConfig | str | None = None,
+    quality: QualityReport | None = None,
+    report: ExecutionReport | None = None,
+) -> Dataset:
+    """Ingest an explicit list of per-consumer CSV files, in list order.
+
+    :func:`ingest_partitioned` delegates here after globbing; engines that
+    track their own file layout (:class:`~repro.io.partition.DatasetLayout`)
+    call this directly so consumer order matches the layout's, not the
+    glob's.
+    """
+    config = resolve_ingest_config(config)
+    files = [Path(f) for f in files]
+    if not files:
+        raise DatasetFormatError(f"no consumer files to ingest from {source}")
+    if n_jobs != 1:
+        from repro.parallel import parallel_map_items  # lazy: avoids cycle
+
+        parsed = parallel_map_items(
+            _parse_partitioned_files, files, n_jobs=n_jobs
+        )
+    else:
+        parsed = _parse_partitioned_files(files)
+
+    n_hours = expected_hours(
+        [max(raw.hours) + 1 if raw.hours else 0 for raw in parsed]
+    )
+    if n_hours == 0:
+        raise DatasetFormatError(
+            f"{source}: no parseable readings in any consumer file"
+        )
+    local = QualityReport(source=source)
+    survivors: list[tuple[str, np.ndarray, np.ndarray]] = []
+    for raw in parsed:
+        cons, temp, issues = assemble_series(raw, n_hours)
+        issues = raw.issues + issues + validate_values(cons, temp, config)
+        kept = _apply_policy(
+            raw.consumer_id, cons, temp, issues, config, local, report,
+            source=source,
+        )
+        if kept is not None:
+            survivors.append((raw.consumer_id, kept[0], kept[1]))
+    dataset = _build_dataset(name, source, survivors, len(parsed))
+    _finish(local, quality)
+    return dataset
+
+
+# Un-partitioned (one big file) ------------------------------------------
+
+
+def ingest_unpartitioned(
+    path: str | Path,
+    name: str = "dataset",
+    config: IngestConfig | str | None = None,
+    quality: QualityReport | None = None,
+    report: ExecutionReport | None = None,
+) -> Dataset:
+    """Read the one-big-file CSV format under an ingest policy.
+
+    The tolerant twin of :func:`repro.io.csvio.read_unpartitioned`.  A bad
+    header is always fatal (nothing in the file can be trusted); bad rows
+    are charged to the household in their first column, and non-contiguous
+    household blocks are merged with a logged issue instead of raising.
+    """
+    config = resolve_ingest_config(config)
+    path = Path(path)
+    order: list[str] = []
+    raws: dict[str, RawSeries] = {}
+    flagged_non_contiguous: set[str] = set()
+    current: str | None = None
+    try:
+        with path.open(newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader, None)
+            if header != UNPARTITIONED_HEADER:
+                raise DatasetFormatError(f"{path}: unexpected header {header!r}")
+            for row in reader:
+                if not row or (len(row) == 1 and not row[0]):
+                    continue
+                cid = row[0]
+                raw = raws.get(cid)
+                if raw is None:
+                    raw = RawSeries(consumer_id=cid)
+                    raws[cid] = raw
+                    order.append(cid)
+                elif cid != current and cid not in flagged_non_contiguous:
+                    raw.issues.append(
+                        DataIssue(
+                            ISSUE_NON_CONTIGUOUS,
+                            "household rows are not contiguous",
+                            line=reader.line_num,
+                        )
+                    )
+                    flagged_non_contiguous.add(cid)
+                current = cid
+                parsed = parse_reading_fields(row[1:], reader.line_num, raw.issues)
+                if parsed is not None:
+                    raw.add_row(*parsed)
+    except OSError as exc:
+        raise DatasetFormatError(f"cannot read {path}: {exc}") from exc
+    if not order:
+        raise DatasetFormatError(f"{path} contains no readings")
+
+    n_hours = expected_hours(
+        [max(raws[cid].hours) + 1 if raws[cid].hours else 0 for cid in order]
+    )
+    if n_hours == 0:
+        raise DatasetFormatError(f"{path}: no parseable readings")
+    local = QualityReport(source=str(path))
+    survivors: list[tuple[str, np.ndarray, np.ndarray]] = []
+    for cid in order:
+        raw = raws[cid]
+        cons, temp, issues = assemble_series(raw, n_hours)
+        issues = raw.issues + issues + validate_values(cons, temp, config)
+        kept = _apply_policy(
+            cid, cons, temp, issues, config, local, report, source=str(path)
+        )
+        if kept is not None:
+            survivors.append((cid, kept[0], kept[1]))
+    dataset = _build_dataset(name, str(path), survivors, len(order))
+    _finish(local, quality)
+    return dataset
+
+
+# In-memory datasets (engine load paths) ---------------------------------
+
+
+def ingest_dataset(
+    dataset: Dataset,
+    config: IngestConfig | str | None = None,
+    quality: QualityReport | None = None,
+    report: ExecutionReport | None = None,
+) -> Dataset:
+    """Validate an in-memory Dataset under an ingest policy.
+
+    This is the hook the engines run before bulk-loading: datasets that
+    arrive from parsed files (or a generator) get the same value-level
+    checks as the file readers — gaps, non-finite, negative and absurd
+    consumption.  A fully clean dataset is returned unchanged (the same
+    object), so the strict/clean path costs one vectorized scan.
+    """
+    config = resolve_ingest_config(config)
+    local = QualityReport(source=dataset.name)
+    survivors: list[tuple[str, np.ndarray, np.ndarray]] = []
+    changed = False
+    for i, cid in enumerate(dataset.consumer_ids):
+        cons = dataset.consumption[i]
+        temp = dataset.temperature[i]
+        issues = validate_values(cons, temp, config)
+        n_missing = int(np.isnan(cons).sum() + np.isnan(temp).sum())
+        if n_missing:
+            issues = issues + [
+                DataIssue(ISSUE_GAP, "missing readings", count=n_missing)
+            ]
+        kept = _apply_policy(
+            cid, cons, temp, issues, config, local, report, source=dataset.name
+        )
+        if kept is None:
+            changed = True
+            continue
+        if kept[0] is not cons or kept[1] is not temp:
+            changed = True
+        survivors.append((cid, kept[0], kept[1]))
+    _finish(local, quality)
+    if not changed and len(survivors) == dataset.n_consumers:
+        return dataset
+    return _build_dataset(
+        dataset.name, dataset.name, survivors, dataset.n_consumers
+    )
+
+
+def ingest_ambient(dataset: Dataset, report: ExecutionReport | None = None) -> Dataset:
+    """Apply the process-wide default ingest policy to a dataset.
+
+    The engines call this on load so the ``--on-dirty`` CLI flag reaches
+    them without threading a config through every figure runner.  Under
+    the default (strict) policy this is an exact no-op — no scan, no copy.
+    """
+    from repro.ingest.policy import get_default_ingest_config
+
+    config = get_default_ingest_config()
+    if config.strict:
+        return dataset
+    return ingest_dataset(dataset, config=config, report=report)
+
+
+# CER (ISSDA) feeds -------------------------------------------------------
+
+
+def ingest_cer_series(
+    path: str | Path,
+    config: IngestConfig | str | None = None,
+    quality: QualityReport | None = None,
+    report: ExecutionReport | None = None,
+    with_offsets: bool = False,
+):
+    """Parse a CER-format file under an ingest policy.
+
+    The tolerant twin of :func:`repro.io.issda.read_cer_file`, sharing its
+    return contract: hourly series starting at each meter's first observed
+    day (NaN where readings are missing — gaps are *normal* in the
+    archive, so they never count as issues here).  Dirty means structural
+    or value problems: malformed lines, duplicate timecodes, infinite,
+    negative or absurd readings.  With ``with_offsets`` the per-meter
+    0-based first day rides along as a second dict.
+    """
+    from repro.io.issda import SLOTS_PER_DAY, decode_timecode
+
+    config = resolve_ingest_config(config)
+    path = Path(path)
+    slots: dict[str, dict[int, float]] = {}
+    day_range: dict[str, tuple[int, int]] = {}
+    issues_by_meter: dict[str, list[DataIssue]] = {}
+    repairs_by_meter: dict[str, int] = {}
+    local = QualityReport(source=str(path))
+    try:
+        with path.open() as fh:
+            for line_no, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                parts = line.split()
+                meter = parts[0] if parts else ""
+                meter_issues = issues_by_meter.setdefault(meter, [])
+                if len(parts) != 3:
+                    meter_issues.append(
+                        DataIssue(
+                            ISSUE_GARBAGE_TOKEN,
+                            f"expected 3 fields, got {len(parts)}",
+                            line=line_no,
+                        )
+                    )
+                    continue
+                _, code_text, kwh_text = parts
+                try:
+                    code = int(code_text)
+                    kwh = float(kwh_text)
+                    day, slot = decode_timecode(code)
+                except (ValueError, DatasetFormatError):
+                    meter_issues.append(
+                        DataIssue(
+                            ISSUE_GARBAGE_TOKEN,
+                            f"malformed reading {line!r}",
+                            line=line_no,
+                        )
+                    )
+                    continue
+                meter_slots = slots.setdefault(meter, {})
+                key = day * SLOTS_PER_DAY + slot
+                if key in meter_slots:
+                    meter_issues.append(
+                        DataIssue(
+                            ISSUE_DUPLICATE_HOUR,
+                            f"duplicate reading for timecode {code}",
+                            line=line_no,
+                        )
+                    )
+                    repairs_by_meter[meter] = repairs_by_meter.get(meter, 0) + 1
+                    continue  # keep the first reading
+                meter_slots[key] = kwh
+                lo, hi = day_range.get(meter, (day, day))
+                day_range[meter] = (min(lo, day), max(hi, day))
+    except OSError as exc:
+        raise DatasetFormatError(f"cannot read {path}: {exc}") from exc
+    if not slots and not any(issues_by_meter.values()):
+        raise DatasetFormatError(f"{path} contains no readings")
+
+    out: dict[str, np.ndarray] = {}
+    offsets: dict[str, int] = {}
+    n_meters = 0
+    for meter in sorted(set(slots) | {m for m, i in issues_by_meter.items() if i}):
+        if not meter:
+            # Lines whose first token vanished entirely: file-level noise.
+            for issue in issues_by_meter.get(meter, []):
+                local.file_issue(issue)
+            continue
+        n_meters += 1
+        issues = issues_by_meter.get(meter, [])
+        meter_slots = slots.get(meter, {})
+        if not meter_slots:
+            issues = issues + [DataIssue("empty", "no parseable readings")]
+            hourly = np.empty(0)
+            first_day = 0
+        else:
+            first_day, last_day = day_range[meter]
+            n_days = last_day - first_day + 1
+            half_hourly = np.full(n_days * SLOTS_PER_DAY, np.nan)
+            base = first_day * SLOTS_PER_DAY
+            for key, kwh in meter_slots.items():
+                half_hourly[key - base] = kwh
+            hourly = half_hourly.reshape(-1, 2).sum(axis=1)
+            issues = issues + validate_values(hourly, _NO_TEMP, config)
+        if not issues:
+            local.record(ConsumerQuality(meter))
+            out[meter] = hourly
+            offsets[meter] = first_day
+            continue
+        if config.strict:
+            raise DatasetFormatError(
+                f"{path}: {first_issue_message(meter, issues)}"
+            )
+        if config.quarantines:
+            local.record(
+                ConsumerQuality(meter, action="quarantined", issues=issues)
+            )
+            if report is not None:
+                report.quarantine(
+                    QuarantineRecord(
+                        consumer_id=meter,
+                        task="ingest",
+                        error_type=DIRTY_DATA_ERROR,
+                        message="; ".join(str(i) for i in issues),
+                    )
+                )
+            continue
+        # repair: duplicates were deduped (first wins) and garbage lines
+        # dropped during parsing; clamp value problems but leave gaps —
+        # imputation is the CER caller's explicit next step.
+        if hourly.size == 0:
+            raise UnrepairableError(
+                f"{path}: meter {meter!r} has no parseable readings"
+            )
+        repairs = []
+        n_dups = repairs_by_meter.get(meter, 0)
+        if n_dups:
+            repairs.append(
+                RepairAction("dedup", n_dups, "kept first reading per timecode")
+            )
+        n_dropped = sum(
+            i.count for i in issues if i.kind == ISSUE_GARBAGE_TOKEN
+        )
+        if n_dropped:
+            repairs.append(RepairAction("drop-garbage-lines", n_dropped))
+        finite = np.isfinite(hourly)
+        negative = finite & (hourly < 0.0)
+        if negative.any():
+            hourly = hourly.copy()
+            hourly[negative] = 0.0
+            repairs.append(RepairAction("clamp-negative", int(negative.sum())))
+        spikes = np.isfinite(hourly) & (hourly > config.max_consumption_kwh)
+        if spikes.any():
+            hourly = hourly.copy()
+            hourly[spikes] = config.max_consumption_kwh
+            repairs.append(
+                RepairAction(
+                    "clamp-spike",
+                    int(spikes.sum()),
+                    f"clamped to {config.max_consumption_kwh:g} kWh",
+                )
+            )
+        n_inf = int(np.isinf(hourly).sum())
+        if n_inf:
+            hourly = hourly.copy()
+            hourly[np.isinf(hourly)] = np.nan
+            repairs.append(RepairAction("drop-non-finite", n_inf))
+        local.record(
+            ConsumerQuality(meter, action="repaired", issues=issues, repairs=repairs)
+        )
+        out[meter] = hourly
+        offsets[meter] = first_day
+    if not out:
+        raise DatasetFormatError(
+            f"{path}: all {n_meters} meters were dirty; nothing to load"
+        )
+    _finish(local, quality)
+    if with_offsets:
+        return out, offsets
+    return out

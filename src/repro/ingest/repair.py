@@ -1,0 +1,137 @@
+"""The repair path: turn a flagged series into a clean one, logging each fix.
+
+Called only under the ``repair`` policy.  Structural problems (duplicate
+hours, out-of-order rows, rows beyond the expected range) were already
+resolved by dense assembly in :mod:`repro.ingest.validators`; here they
+are converted into logged :class:`~repro.ingest.report.RepairAction`
+records, and the value-level problems are actually fixed:
+
+* infinite readings become NaN (then imputed);
+* negative consumption clamps to zero;
+* spikes clamp to the config's ``max_consumption_kwh``;
+* gaps (NaN) are imputed with :func:`repro.timeseries.quality.impute`
+  using the config's strategy — the same machinery a deployment's MDM
+  cleaning step would run.
+
+A series stays unrepairable — :class:`UnrepairableError` — when too much
+of it is missing (``max_missing_fraction``) or imputation is impossible
+(no present readings, or an hour of day with no data at all).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError, DatasetFormatError
+from repro.ingest.policy import IngestConfig
+from repro.ingest.report import DataIssue, RepairAction
+from repro.ingest.validators import (
+    ISSUE_DUPLICATE_HOUR,
+    ISSUE_LENGTH_MISMATCH,
+    ISSUE_OUT_OF_ORDER,
+)
+from repro.timeseries.quality import impute
+
+#: Structural issue kinds that dense assembly already fixed; repair mode
+#: just relabels them as applied repairs.
+_STRUCTURAL_REPAIRS = {
+    ISSUE_DUPLICATE_HOUR: ("dedup", "kept first reading per hour"),
+    ISSUE_OUT_OF_ORDER: ("reorder", "rows placed by hour index"),
+    ISSUE_LENGTH_MISMATCH: ("drop-extra-rows", "rows beyond expected hours"),
+}
+
+
+class UnrepairableError(DatasetFormatError):
+    """A consumer's series cannot be repaired under the current config."""
+
+
+def structural_repairs(issues: list[DataIssue]) -> list[RepairAction]:
+    """Repair records for the issues dense assembly already absorbed."""
+    return [
+        RepairAction(kind, issue.count, detail)
+        for issue in issues
+        for kind, detail in [_STRUCTURAL_REPAIRS.get(issue.kind, (None, None))]
+        if kind is not None
+    ]
+
+
+def repair_series(
+    consumption: np.ndarray,
+    temperature: np.ndarray,
+    config: IngestConfig,
+    consumer_id: str = "?",
+) -> tuple[np.ndarray, np.ndarray, list[RepairAction]]:
+    """Fix value-level problems in one assembled series.
+
+    Returns new ``(consumption, temperature, repairs)`` arrays; the inputs
+    are not modified.  A series that needs no fixing comes back equal to
+    the input (the pass-through invariant for clean data).  Raises
+    :class:`UnrepairableError` when the damage exceeds what imputation can
+    honestly fill.
+    """
+    cons = np.asarray(consumption, dtype=np.float64).copy()
+    temp = np.asarray(temperature, dtype=np.float64).copy()
+    repairs: list[RepairAction] = []
+
+    n_inf = int(np.isinf(cons).sum() + np.isinf(temp).sum())
+    if n_inf:
+        cons[np.isinf(cons)] = np.nan
+        temp[np.isinf(temp)] = np.nan
+        repairs.append(
+            RepairAction("drop-non-finite", n_inf, "infinite readings -> imputed")
+        )
+
+    finite = np.isfinite(cons)
+    negative = finite & (cons < 0.0)
+    if negative.any():
+        cons[negative] = 0.0
+        repairs.append(RepairAction("clamp-negative", int(negative.sum())))
+
+    spikes = np.isfinite(cons) & (cons > config.max_consumption_kwh)
+    if spikes.any():
+        cons[spikes] = config.max_consumption_kwh
+        repairs.append(
+            RepairAction(
+                "clamp-spike",
+                int(spikes.sum()),
+                f"clamped to {config.max_consumption_kwh:g} kWh",
+            )
+        )
+
+    n_missing = int(np.isnan(cons).sum())
+    if n_missing:
+        fraction = n_missing / cons.size
+        if fraction > config.max_missing_fraction:
+            raise UnrepairableError(
+                f"consumer {consumer_id!r}: {fraction:.0%} of readings missing "
+                f"(> {config.max_missing_fraction:.0%} limit)"
+            )
+        try:
+            cons = impute(
+                cons,
+                strategy=config.impute_strategy,
+                max_linear_gap=config.max_linear_gap,
+            )
+        except DataError as exc:
+            raise UnrepairableError(
+                f"consumer {consumer_id!r}: imputation failed: {exc}"
+            ) from exc
+        repairs.append(
+            RepairAction("impute", n_missing, f"strategy={config.impute_strategy}")
+        )
+
+    n_temp_missing = int(np.isnan(temp).sum())
+    if n_temp_missing:
+        if n_temp_missing == temp.size:
+            raise UnrepairableError(
+                f"consumer {consumer_id!r}: temperature series entirely missing"
+            )
+        try:
+            temp = impute(temp, strategy="linear")
+        except DataError as exc:
+            raise UnrepairableError(
+                f"consumer {consumer_id!r}: temperature imputation failed: {exc}"
+            ) from exc
+        repairs.append(RepairAction("impute-temperature", n_temp_missing))
+
+    return cons, temp, repairs

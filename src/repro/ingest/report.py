@@ -1,0 +1,206 @@
+"""Quality reports: what the ingest layer found and what it did about it.
+
+A :class:`QualityReport` is the data-plane counterpart of
+:class:`repro.resilience.report.ExecutionReport`: per-consumer issue and
+repair records plus whole-load counters, serializable to JSON so chaos
+runs can archive exactly which consumers arrived dirty (the CI dirty-smoke
+job uploads it as an artifact).
+
+Only *dirty* consumers get per-consumer entries — on a million-consumer
+load the report stays proportional to the damage, not the data.  Clean
+consumers are counted in :attr:`QualityReport.n_clean`.
+
+The CLI installs an ambient report (:func:`set_active_quality_report`) so
+``--quality-report`` can collect findings from readers buried inside
+figure runners without threading a parameter through every call site.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Consumer dispositions, in the order the policies escalate.
+ACTIONS = ("clean", "repaired", "quarantined")
+
+
+@dataclass(frozen=True)
+class DataIssue:
+    """One quality problem found in the input."""
+
+    kind: str
+    message: str
+    line: int | None = None  # 1-based line in the source file, when known
+    count: int = 1
+
+    def __str__(self) -> str:
+        where = f" (line {self.line})" if self.line is not None else ""
+        times = f" x{self.count}" if self.count > 1 else ""
+        return f"{self.kind}{times}: {self.message}{where}"
+
+
+@dataclass(frozen=True)
+class RepairAction:
+    """One repair the ingest layer applied, and to how many readings."""
+
+    kind: str
+    count: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"{self.kind} x{self.count}{detail}"
+
+
+@dataclass
+class ConsumerQuality:
+    """Everything the ingest layer found/did for one consumer."""
+
+    consumer_id: str
+    action: str = "clean"
+    issues: list[DataIssue] = field(default_factory=list)
+    repairs: list[RepairAction] = field(default_factory=list)
+
+    @property
+    def dirty(self) -> bool:
+        """True when any issue was found."""
+        return bool(self.issues)
+
+    def describe(self) -> str:
+        """One line naming the worst of it (quarantine messages)."""
+        issues = "; ".join(str(i) for i in self.issues) or "no issues"
+        return f"{self.consumer_id}: {issues}"
+
+
+@dataclass
+class QualityReport:
+    """Issue/repair records from one (or several merged) ingest passes."""
+
+    source: str = ""
+    consumers: dict[str, ConsumerQuality] = field(default_factory=dict)
+    file_issues: list[DataIssue] = field(default_factory=list)
+    n_clean: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when no consumer- or file-level issue was found."""
+        return not self.consumers and not self.file_issues
+
+    @property
+    def dirty_consumer_ids(self) -> list[str]:
+        """Ids of consumers that had at least one issue."""
+        return [cid for cid, q in self.consumers.items() if q.dirty]
+
+    @property
+    def quarantined_ids(self) -> list[str]:
+        """Ids of consumers the load dropped."""
+        return [
+            cid for cid, q in self.consumers.items() if q.action == "quarantined"
+        ]
+
+    @property
+    def repaired_ids(self) -> list[str]:
+        """Ids of consumers the load repaired."""
+        return [cid for cid, q in self.consumers.items() if q.action == "repaired"]
+
+    def record(self, quality: ConsumerQuality) -> None:
+        """Add one dirty consumer's record (clean ones just bump a counter)."""
+        if not quality.dirty:
+            self.n_clean += 1
+            return
+        self.consumers[quality.consumer_id] = quality
+
+    def file_issue(self, issue: DataIssue) -> None:
+        """Add one issue not attributable to a single consumer."""
+        self.file_issues.append(issue)
+
+    def merge(self, other: "QualityReport") -> None:
+        """Fold another report's records into this one."""
+        self.consumers.update(other.consumers)
+        self.file_issues.extend(other.file_issues)
+        self.n_clean += other.n_clean
+        if not self.source:
+            self.source = other.source
+
+    def summary(self) -> str:
+        """One human-readable line (CLI output, figure notes)."""
+        if self.clean:
+            return f"{self.n_clean} consumers clean"
+        parts = [f"{self.n_clean} clean"]
+        repaired = self.repaired_ids
+        quarantined = self.quarantined_ids
+        if repaired:
+            parts.append(f"{len(repaired)} repaired")
+        if quarantined:
+            parts.append(f"{len(quarantined)} quarantined")
+        flagged = len(self.consumers) - len(repaired) - len(quarantined)
+        if flagged:
+            parts.append(f"{flagged} flagged")
+        if self.file_issues:
+            parts.append(f"{len(self.file_issues)} file-level issues")
+        return ", ".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (the ``--quality-report`` artifact)."""
+        return {
+            "source": self.source,
+            "n_clean": self.n_clean,
+            "summary": self.summary(),
+            "file_issues": [
+                {
+                    "kind": i.kind,
+                    "message": i.message,
+                    "line": i.line,
+                    "count": i.count,
+                }
+                for i in self.file_issues
+            ],
+            "consumers": {
+                cid: {
+                    "action": q.action,
+                    "issues": [
+                        {
+                            "kind": i.kind,
+                            "message": i.message,
+                            "line": i.line,
+                            "count": i.count,
+                        }
+                        for i in q.issues
+                    ],
+                    "repairs": [
+                        {"kind": r.kind, "count": r.count, "detail": r.detail}
+                        for r in q.repairs
+                    ],
+                }
+                for cid, q in self.consumers.items()
+            },
+        }
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the report as JSON; returns the path written."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+
+#: The ambient report readers publish into when one is installed.
+_active_report: QualityReport | None = None
+
+
+def get_active_quality_report() -> QualityReport | None:
+    """The ambient quality report, or None when none is installed."""
+    return _active_report
+
+
+def set_active_quality_report(report: QualityReport | None) -> None:
+    """Install (or with ``None`` clear) the ambient quality report."""
+    global _active_report
+    _active_report = report
+
+
+def publish(report: QualityReport) -> None:
+    """Merge one load's report into the ambient sink, if installed."""
+    if _active_report is not None and _active_report is not report:
+        _active_report.merge(report)

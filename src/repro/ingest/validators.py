@@ -1,0 +1,239 @@
+"""Row- and series-level validators for dirty meter feeds.
+
+The tolerant parsers in :mod:`repro.ingest.reader` never raise on a bad
+row; they collect :class:`~repro.ingest.report.DataIssue` records through
+the helpers here and let the policy layer decide what the issues mean.
+Two levels:
+
+* **row level** — wrong column counts and garbage tokens, found while
+  parsing (:func:`parse_reading_fields`);
+* **series level** — structure and value checks on the assembled hourly
+  series (:func:`assemble_series`, :func:`validate_values`): duplicate or
+  out-of-order hours, gaps, truncation, rows beyond the expected range,
+  non-finite / negative / absurd consumption.
+
+Assembly is also where the *structural* repairs implicitly happen: filling
+a dense hour-indexed array keeps the first reading per hour (dedup) in
+hour order (reorder), so the repair path only has to log them and fix the
+value-level problems.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ingest.policy import IngestConfig
+from repro.ingest.report import DataIssue
+
+# Issue kinds, grouped by where they are found.
+ISSUE_BAD_COLUMNS = "bad-columns"
+ISSUE_GARBAGE_TOKEN = "garbage-token"
+ISSUE_DUPLICATE_HOUR = "duplicate-hour"
+ISSUE_OUT_OF_ORDER = "out-of-order"
+ISSUE_GAP = "gap"
+ISSUE_SHORT_SERIES = "short-series"
+ISSUE_LENGTH_MISMATCH = "length-mismatch"
+ISSUE_NON_FINITE = "non-finite"
+ISSUE_NEGATIVE = "negative"
+ISSUE_SPIKE = "spike"
+ISSUE_UNREADABLE = "unreadable-file"
+ISSUE_NON_CONTIGUOUS = "non-contiguous"
+ISSUE_EMPTY = "empty"
+
+
+@dataclass
+class RawSeries:
+    """One consumer's readings as parsed, before assembly/validation."""
+
+    consumer_id: str
+    hours: list[int] = field(default_factory=list)
+    consumption: list[float] = field(default_factory=list)
+    temperature: list[float] = field(default_factory=list)
+    issues: list[DataIssue] = field(default_factory=list)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.hours)
+
+    def add_row(self, hour: int, cons: float, temp: float) -> None:
+        self.hours.append(hour)
+        self.consumption.append(cons)
+        self.temperature.append(temp)
+
+
+def parse_reading_fields(
+    fields: list[str], line_no: int, issues: list[DataIssue]
+) -> tuple[int, float, float] | None:
+    """Parse ``[hour, consumption, temperature]`` tokens from one row.
+
+    Returns the parsed triple, or None (recording an issue) when the row
+    is structurally wrong or contains a garbage token.  Non-finite values
+    parse successfully here — they are *value* problems, caught by
+    :func:`validate_values` on the assembled series.
+    """
+    if len(fields) != 3:
+        issues.append(
+            DataIssue(
+                ISSUE_BAD_COLUMNS,
+                f"expected 3 fields, got {len(fields)}: {','.join(fields)!r}",
+                line=line_no,
+            )
+        )
+        return None
+    hour_text, cons_text, temp_text = fields
+    try:
+        hour = int(hour_text)
+        cons = float(cons_text)
+        temp = float(temp_text)
+    except ValueError:
+        issues.append(
+            DataIssue(
+                ISSUE_GARBAGE_TOKEN,
+                f"non-numeric reading {','.join(fields)!r}",
+                line=line_no,
+            )
+        )
+        return None
+    if hour < 0:
+        issues.append(
+            DataIssue(ISSUE_GARBAGE_TOKEN, f"negative hour index {hour}", line=line_no)
+        )
+        return None
+    return hour, cons, temp
+
+
+def assemble_series(
+    raw: RawSeries, n_hours: int
+) -> tuple[np.ndarray, np.ndarray, list[DataIssue]]:
+    """Place parsed rows into dense hour-indexed arrays of length ``n_hours``.
+
+    Returns ``(consumption, temperature, issues)`` where missing hours are
+    NaN.  Detected here: duplicate hours (first reading wins), out-of-order
+    rows, rows beyond the expected hour range (dropped), trailing
+    truncation, and interior gaps.  A clean, ordered, complete series
+    passes through with its parsed values untouched.
+    """
+    issues: list[DataIssue] = []
+    cons = np.full(n_hours, np.nan)
+    temp = np.full(n_hours, np.nan)
+    filled = np.zeros(n_hours, dtype=bool)
+    n_dup = 0
+    n_ooo = 0
+    n_beyond = 0
+    last_hour = -1
+    max_hour = -1
+    for hour, c, t in zip(raw.hours, raw.consumption, raw.temperature):
+        if hour >= n_hours:
+            n_beyond += 1
+            continue
+        if filled[hour]:
+            n_dup += 1
+        else:
+            cons[hour] = c
+            temp[hour] = t
+            filled[hour] = True
+        if hour <= last_hour:
+            n_ooo += 1
+        last_hour = hour
+        max_hour = max(max_hour, hour)
+    if n_dup:
+        issues.append(
+            DataIssue(ISSUE_DUPLICATE_HOUR, "repeated hour index", count=n_dup)
+        )
+    # Duplicates necessarily break monotonicity; only count the rows that
+    # are out of order for some *other* reason (true shuffling).
+    if n_ooo > n_dup:
+        issues.append(
+            DataIssue(ISSUE_OUT_OF_ORDER, "rows not in hour order", count=n_ooo - n_dup)
+        )
+    if n_beyond:
+        issues.append(
+            DataIssue(
+                ISSUE_LENGTH_MISMATCH,
+                f"rows beyond expected {n_hours} hours",
+                count=n_beyond,
+            )
+        )
+    if max_hour < 0:
+        issues.append(DataIssue(ISSUE_EMPTY, "no parseable readings"))
+        return cons, temp, issues
+    if max_hour + 1 < n_hours:
+        issues.append(
+            DataIssue(
+                ISSUE_SHORT_SERIES,
+                f"series ends at hour {max_hour} of expected {n_hours}",
+                count=n_hours - (max_hour + 1),
+            )
+        )
+    n_interior_missing = int((~filled[: max_hour + 1]).sum())
+    if n_interior_missing:
+        issues.append(
+            DataIssue(ISSUE_GAP, "missing readings", count=n_interior_missing)
+        )
+    return cons, temp, issues
+
+
+def validate_values(
+    cons: np.ndarray, temp: np.ndarray, config: IngestConfig
+) -> list[DataIssue]:
+    """Value-level checks on an assembled series (NaN = gap, checked above).
+
+    Consumption must be finite, non-negative and below the config's spike
+    threshold; temperature must be finite (negative temperatures are
+    perfectly valid).
+    """
+    issues: list[DataIssue] = []
+    n_inf = int(np.isinf(cons).sum() + np.isinf(temp).sum())
+    if n_inf:
+        issues.append(
+            DataIssue(ISSUE_NON_FINITE, "infinite reading", count=n_inf)
+        )
+    finite = np.isfinite(cons)
+    n_negative = int((cons[finite] < 0.0).sum())
+    if n_negative:
+        issues.append(
+            DataIssue(ISSUE_NEGATIVE, "negative consumption", count=n_negative)
+        )
+    n_spike = int((cons[finite] > config.max_consumption_kwh).sum())
+    if n_spike:
+        peak = float(np.nanmax(np.where(np.isinf(cons), np.nan, cons)))
+        issues.append(
+            DataIssue(
+                ISSUE_SPIKE,
+                f"consumption above {config.max_consumption_kwh:g} kWh "
+                f"(peak {peak:g})",
+                count=n_spike,
+            )
+        )
+    return issues
+
+
+def expected_hours(lengths: list[int]) -> int:
+    """The expected series length: the most common per-consumer length.
+
+    Ties break toward the longer length, so one truncated file among
+    equals never drags the whole load short.  Lengths of zero (files with
+    no parseable rows) don't vote.
+    """
+    votes: dict[int, int] = {}
+    for length in lengths:
+        if length > 0:
+            votes[length] = votes.get(length, 0) + 1
+    if not votes:
+        return 0
+    best = max(votes.items(), key=lambda kv: (kv[1], kv[0]))
+    return best[0]
+
+
+def first_issue_message(consumer_id: str, issues: list[DataIssue]) -> str:
+    """Strict-mode error text: the first (most actionable) issue."""
+    issue = issues[0]
+    return f"consumer {consumer_id!r}: {issue}"
+
+
+def is_finite_number(value: float) -> bool:
+    """True for ordinary floats (not NaN/inf)."""
+    return math.isfinite(value)

@@ -10,6 +10,8 @@ every engine parses identical bytes.
 from __future__ import annotations
 
 import csv
+import math
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -93,18 +95,81 @@ def write_partitioned(dataset: Dataset, directory: str | Path) -> list[Path]:
     return paths
 
 
+def _describe_bad_consumer_row(path: Path) -> str | None:
+    """Locate the first malformed row of a consumer file, for error text.
+
+    Only runs after the vectorized fast path has already failed (or found
+    non-finite data), so the extra pass costs nothing on clean files.
+    """
+    expected = len(PARTITIONED_HEADER)
+    try:
+        with path.open(newline="") as fh:
+            reader = csv.reader(fh)
+            next(reader, None)
+            for row in reader:
+                if not row:
+                    continue
+                if len(row) != expected:
+                    return (
+                        f"{path}:{reader.line_num}: expected {expected} "
+                        f"columns, got {len(row)} in row {row!r}"
+                    )
+                for token in row:
+                    try:
+                        value = float(token)
+                    except ValueError:
+                        return (
+                            f"{path}:{reader.line_num}: non-numeric token "
+                            f"{token!r}"
+                        )
+                    if not math.isfinite(value):
+                        return (
+                            f"{path}:{reader.line_num}: non-finite reading "
+                            f"{token!r}"
+                        )
+    except OSError:
+        return None
+    return None
+
+
 def read_consumer_file(path: str | Path) -> tuple[np.ndarray, np.ndarray]:
-    """Read one partitioned consumer file -> (consumption, temperature)."""
+    """Read one partitioned consumer file -> (consumption, temperature).
+
+    Rows with extra or missing columns and non-finite readings are
+    rejected with a :class:`DatasetFormatError` naming the offending
+    line; the happy path stays one vectorized ``np.loadtxt`` call.
+    """
     path = Path(path)
     try:
-        data = np.loadtxt(
-            path, delimiter=",", skiprows=1, usecols=(1, 2), ndmin=2
-        )
-    except (OSError, ValueError) as exc:
+        with warnings.catch_warnings():
+            # Empty files raise our own DatasetFormatError below; numpy's
+            # "input contained no data" warning is just noise before that.
+            warnings.filterwarnings(
+                "ignore", message="loadtxt: input contained no data"
+            )
+            data = np.loadtxt(path, delimiter=",", skiprows=1, ndmin=2)
+    except OSError as exc:
         raise DatasetFormatError(f"cannot parse consumer file {path}: {exc}") from exc
+    except ValueError as exc:
+        raise DatasetFormatError(
+            _describe_bad_consumer_row(path)
+            or f"cannot parse consumer file {path}: {exc}"
+        ) from exc
     if data.size == 0:
         raise DatasetFormatError(f"consumer file {path} has no readings")
-    return data[:, 0].copy(), data[:, 1].copy()
+    if data.shape[1] != len(PARTITIONED_HEADER):
+        raise DatasetFormatError(
+            _describe_bad_consumer_row(path)
+            or (
+                f"{path}: expected {len(PARTITIONED_HEADER)} columns, "
+                f"got {data.shape[1]}"
+            )
+        )
+    if not np.isfinite(data).all():
+        raise DatasetFormatError(
+            _describe_bad_consumer_row(path) or f"{path}: non-finite reading"
+        )
+    return data[:, 1].copy(), data[:, 2].copy()
 
 
 def _read_consumer_files(paths: list[Path]) -> list[tuple[np.ndarray, np.ndarray]]:
@@ -112,15 +177,46 @@ def _read_consumer_files(paths: list[Path]) -> list[tuple[np.ndarray, np.ndarray
     return [read_consumer_file(path) for path in paths]
 
 
+def _active_ingest_config(on_dirty):
+    """Resolve ``on_dirty`` against the process default (lazy import)."""
+    from repro.ingest.policy import resolve_ingest_config  # avoids cycle
+
+    return resolve_ingest_config(on_dirty)
+
+
 def read_partitioned(
-    directory: str | Path, name: str = "dataset", n_jobs: int = 1
+    directory: str | Path,
+    name: str = "dataset",
+    n_jobs: int = 1,
+    on_dirty: str | None = None,
+    quality=None,
+    report=None,
 ) -> Dataset:
     """Read a directory of per-consumer CSV files into a Dataset.
 
     ``n_jobs`` > 1 parses the files across that many worker processes
     (:func:`repro.parallel.parallel_map_items`) — file order, and hence
     the dataset, is identical for every value.
+
+    ``on_dirty`` selects the ingest policy (``strict`` | ``repair`` |
+    ``quarantine``; None inherits the process default, normally strict).
+    Non-strict policies route through :mod:`repro.ingest.reader` —
+    bit-identical on clean input — collecting findings into ``quality``
+    (a :class:`~repro.ingest.report.QualityReport`) and quarantines into
+    ``report`` (an :class:`~repro.resilience.report.ExecutionReport`).
     """
+    config = _active_ingest_config(on_dirty)
+    if not config.strict:
+        from repro.ingest.reader import ingest_partitioned  # lazy: cycle
+
+        return ingest_partitioned(
+            directory,
+            name=name,
+            n_jobs=n_jobs,
+            config=config,
+            quality=quality,
+            report=report,
+        )
     directory = Path(directory)
     files = sorted(directory.glob("*.csv"))
     if not files:
@@ -147,12 +243,29 @@ def read_partitioned(
     )
 
 
-def read_unpartitioned(path: str | Path, name: str = "dataset") -> Dataset:
+def read_unpartitioned(
+    path: str | Path,
+    name: str = "dataset",
+    on_dirty: str | None = None,
+    quality=None,
+    report=None,
+) -> Dataset:
     """Read the one-big-file CSV format into a Dataset.
 
     Readings for one household must be contiguous and hour-ordered, which is
     how :func:`write_unpartitioned` lays them out.
+
+    ``on_dirty`` / ``quality`` / ``report`` behave as in
+    :func:`read_partitioned`: a non-strict ingest policy tolerates and
+    repairs or quarantines dirty households instead of raising.
     """
+    config = _active_ingest_config(on_dirty)
+    if not config.strict:
+        from repro.ingest.reader import ingest_unpartitioned  # lazy: cycle
+
+        return ingest_unpartitioned(
+            path, name=name, config=config, quality=quality, report=report
+        )
     path = Path(path)
     ids: list[str] = []
     seen: set[str] = set()  # membership lookups; `ids` keeps file order
@@ -181,8 +294,16 @@ def read_unpartitioned(path: str | Path, name: str = "dataset") -> Dataset:
                     cons_rows.append([])
                     temp_rows.append([])
                     current_id = cid
-                cons_rows[-1].append(float(row[2]))
-                temp_rows[-1].append(float(row[3]))
+                try:
+                    cons_value = float(row[2])
+                    temp_value = float(row[3])
+                except ValueError:
+                    raise DatasetFormatError(
+                        f"{path}:{reader.line_num}: non-numeric reading "
+                        f"in row {row!r}"
+                    ) from None
+                cons_rows[-1].append(cons_value)
+                temp_rows[-1].append(temp_value)
     except OSError as exc:
         raise DatasetFormatError(f"cannot read {path}: {exc}") from exc
     if not ids:

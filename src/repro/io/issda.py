@@ -53,18 +53,48 @@ def encode_timecode(day: int, slot: int) -> int:
 
 def read_cer_file(
     path: str | Path,
-) -> dict[str, np.ndarray]:
+    with_offsets: bool = False,
+    on_dirty: str | None = None,
+    quality=None,
+    report=None,
+):
     """Parse one CER-format file into hourly series per meter.
 
-    Returns ``{meter_id: hourly_kwh}`` where each array covers the full
-    day range seen for that meter (missing readings become NaN — pass the
-    result through :mod:`repro.timeseries.quality` before analysis).
-    Half-hour pairs are summed into hours; an hour is NaN if either half
-    is missing.
+    Returns ``{meter_id: hourly_kwh}`` where each array covers the day
+    range *observed* for that meter — it starts at the meter's first
+    recorded day, not day 0, so a meter enrolled late in the trial is not
+    dominated by phantom leading gaps when the series reaches imputation.
+    Missing readings within the range become NaN — pass the result through
+    :mod:`repro.timeseries.quality` before analysis.  Half-hour pairs are
+    summed into hours; an hour is NaN if either half is missing.
+
+    ``with_offsets`` additionally returns ``{meter_id: first_day}`` (the
+    0-based day each series starts at) as a second dict, for callers that
+    need absolute trial time.
+
+    ``on_dirty`` selects the ingest policy (``strict`` | ``repair`` |
+    ``quarantine``; None inherits the process default).  Non-strict
+    policies route through :func:`repro.ingest.reader.ingest_cer_series`:
+    malformed lines, duplicates and absurd readings are repaired or
+    quarantine their meter instead of raising, with findings collected
+    into ``quality`` / ``report``.
     """
+    from repro.ingest.policy import resolve_ingest_config  # lazy: cycle
+
+    config = resolve_ingest_config(on_dirty)
+    if not config.strict:
+        from repro.ingest.reader import ingest_cer_series  # lazy: cycle
+
+        return ingest_cer_series(
+            path,
+            config=config,
+            quality=quality,
+            report=report,
+            with_offsets=with_offsets,
+        )
     path = Path(path)
     raw: dict[str, dict[int, float]] = {}
-    max_day: dict[str, int] = {}
+    day_range: dict[str, tuple[int, int]] = {}
     try:
         with path.open() as fh:
             for line_no, line in enumerate(fh, 1):
@@ -93,20 +123,27 @@ def read_cer_file(
                         f"{meter!r} timecode {code}"
                     )
                 slots[key] = kwh
-                max_day[meter] = max(max_day.get(meter, 0), day)
+                lo, hi = day_range.get(meter, (day, day))
+                day_range[meter] = (min(lo, day), max(hi, day))
     except OSError as exc:
         raise DatasetFormatError(f"cannot read {path}: {exc}") from exc
     if not raw:
         raise DatasetFormatError(f"{path} contains no readings")
 
     out: dict[str, np.ndarray] = {}
+    offsets: dict[str, int] = {}
     for meter, slots in raw.items():
-        n_days = max_day[meter] + 1
+        first_day, last_day = day_range[meter]
+        n_days = last_day - first_day + 1
         half_hourly = np.full(n_days * SLOTS_PER_DAY, np.nan)
+        base = first_day * SLOTS_PER_DAY
         for key, kwh in slots.items():
-            half_hourly[key] = kwh
+            half_hourly[key - base] = kwh
         pairs = half_hourly.reshape(-1, 2)
         out[meter] = pairs.sum(axis=1)  # NaN if either half missing
+        offsets[meter] = first_day
+    if with_offsets:
+        return out, offsets
     return out
 
 

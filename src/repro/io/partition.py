@@ -46,13 +46,39 @@ class DatasetLayout:
     def materialize(
         cls, dataset: Dataset, root: str | Path, partitioned: bool
     ) -> "DatasetLayout":
-        """Write ``dataset`` under ``root`` in the requested layout."""
+        """Write ``dataset`` under ``root`` in the requested layout.
+
+        When a process-wide dirty plan is installed (``--inject-dirty`` /
+        ``REPRO_INJECT_DIRTY``), the written files are corrupted by it —
+        the chaos hook that lets a whole figure run exercise the ingest
+        layer end to end.
+        """
         root = Path(root)
         if partitioned:
             files = tuple(write_partitioned(dataset, root / "consumers"))
         else:
             files = (write_unpartitioned(dataset, root / "readings.csv"),)
-        return cls(root=root, partitioned=partitioned, files=files)
+        layout = cls(root=root, partitioned=partitioned, files=files)
+        _maybe_corrupt(layout)
+        return layout
+
+
+def _maybe_corrupt(layout: "DatasetLayout") -> None:
+    """Apply the process-wide dirty plan, if one is active (chaos runs)."""
+    from repro.ingest.injector import get_default_dirty_plan  # lazy: cycle
+
+    plan = get_default_dirty_plan()
+    if plan is None or not plan.active:
+        return
+    from repro.ingest.injector import (
+        corrupt_partitioned_files,
+        corrupt_unpartitioned_file,
+    )
+
+    if layout.partitioned:
+        corrupt_partitioned_files(layout.files, plan)
+    else:
+        corrupt_unpartitioned_file(layout.files[0], plan)
 
 
 def split_unpartitioned_file(

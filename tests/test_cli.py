@@ -31,6 +31,52 @@ class TestSmartbenchCli:
         assert (tmp_path / "table1.csv").exists()
 
 
+class TestSmartbenchIngestFlags:
+    @pytest.fixture(autouse=True)
+    def _reset_ingest_globals(self, monkeypatch):
+        monkeypatch.delenv("REPRO_INJECT_DIRTY", raising=False)
+        yield
+        from repro.ingest import (
+            set_active_quality_report,
+            set_default_dirty_plan,
+            set_default_ingest_config,
+        )
+
+        set_default_ingest_config(None)
+        set_default_dirty_plan(None)
+        set_active_quality_report(None)
+
+    def test_on_dirty_installs_default_policy(self):
+        from repro.ingest import get_default_ingest_config
+
+        assert smartbench.main(["--figure", "table1", "--on-dirty", "repair"]) == 0
+        assert get_default_ingest_config().repairs
+
+    def test_on_dirty_rejects_unknown_policy(self, capsys):
+        with pytest.raises(SystemExit):
+            smartbench.main(["--figure", "table1", "--on-dirty", "lenient"])
+
+    def test_quality_report_written(self, tmp_path, capsys):
+        path = tmp_path / "quality.json"
+        code = smartbench.main(
+            ["--figure", "table1", "--quality-report", str(path)]
+        )
+        assert code == 0
+        assert path.exists()
+        assert "quality report" in capsys.readouterr().out
+
+    def test_inject_dirty_installs_plan(self):
+        from repro.ingest import get_default_dirty_plan
+
+        assert smartbench.main(["--figure", "table1", "--inject-dirty"]) == 0
+        plan = get_default_dirty_plan()
+        assert plan is not None and plan.active
+
+    def test_bad_inject_spec_is_usage_error(self, capsys):
+        assert smartbench.main(["--figure", "table1", "--inject-dirty", "x=1"]) == 2
+        assert "--inject-dirty" in capsys.readouterr().err
+
+
 class TestDatagenCli:
     def test_partitioned_output(self, tmp_path, capsys):
         code = datagen_cli.main(

@@ -1,0 +1,530 @@
+"""Unit tests for the dirty-data ingestion layer (repro.ingest)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import BenchmarkSpec
+from repro.exceptions import DatasetFormatError
+from repro.ingest import (
+    ConsumerQuality,
+    DataIssue,
+    DirtyPlan,
+    IngestConfig,
+    QualityReport,
+    UnrepairableError,
+    configure_ingest_defaults,
+    corrupt_partitioned_files,
+    get_default_ingest_config,
+    ingest_config_for_spec,
+    ingest_dataset,
+    repair_series,
+    resolve_ingest_config,
+    set_active_quality_report,
+    set_default_dirty_plan,
+    set_default_ingest_config,
+    validate_values,
+)
+from repro.ingest.reader import ingest_partitioned, ingest_unpartitioned
+from repro.ingest.validators import (
+    ISSUE_BAD_COLUMNS,
+    ISSUE_DUPLICATE_HOUR,
+    ISSUE_GAP,
+    ISSUE_GARBAGE_TOKEN,
+    ISSUE_NEGATIVE,
+    ISSUE_NON_FINITE,
+    ISSUE_OUT_OF_ORDER,
+    ISSUE_SHORT_SERIES,
+    ISSUE_SPIKE,
+    RawSeries,
+    assemble_series,
+    expected_hours,
+    parse_reading_fields,
+)
+from repro.io.csvio import (
+    read_partitioned,
+    read_unpartitioned,
+    write_partitioned,
+    write_unpartitioned,
+)
+from repro.resilience.report import ExecutionReport
+
+
+@pytest.fixture(autouse=True)
+def _reset_ingest_globals(monkeypatch):
+    """Keep the ambient ingest state from leaking across tests.
+
+    These tests assert *exact* quarantine sets, so a stray
+    ``REPRO_INJECT_DIRTY`` in the environment (e.g. the CI dirty-smoke
+    job) must not add corruption of its own.
+    """
+    monkeypatch.delenv("REPRO_INJECT_DIRTY", raising=False)
+    yield
+    set_default_ingest_config(None)
+    set_default_dirty_plan(None)
+    set_active_quality_report(None)
+
+
+class TestIngestConfig:
+    def test_default_is_strict(self):
+        assert get_default_ingest_config().strict
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown ingest policy"):
+            IngestConfig(policy="lenient")
+
+    def test_resolve_precedence(self):
+        configure_ingest_defaults(policy="repair")
+        assert resolve_ingest_config(None).repairs
+        assert resolve_ingest_config("quarantine").quarantines
+        explicit = IngestConfig(policy="strict", max_consumption_kwh=5.0)
+        assert resolve_ingest_config(explicit) is explicit
+
+    def test_policy_override_keeps_other_defaults(self):
+        configure_ingest_defaults(max_consumption_kwh=42.0)
+        config = resolve_ingest_config("repair")
+        assert config.repairs
+        assert config.max_consumption_kwh == 42.0
+
+    def test_spec_knob_wins_over_default(self):
+        configure_ingest_defaults(policy="repair")
+        assert ingest_config_for_spec(BenchmarkSpec()).repairs
+        spec = BenchmarkSpec(on_dirty="quarantine")
+        assert ingest_config_for_spec(spec).quarantines
+
+    def test_spec_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="on_dirty"):
+            BenchmarkSpec(on_dirty="lenient")
+
+
+class TestValidators:
+    def test_parse_good_row(self):
+        issues: list[DataIssue] = []
+        assert parse_reading_fields(["3", "1.5", "-2.0"], 4, issues) == (
+            3,
+            1.5,
+            -2.0,
+        )
+        assert not issues
+
+    def test_parse_bad_columns(self):
+        issues: list[DataIssue] = []
+        assert parse_reading_fields(["1", "2.0"], 7, issues) is None
+        assert issues[0].kind == ISSUE_BAD_COLUMNS
+        assert issues[0].line == 7
+
+    def test_parse_garbage_token(self):
+        issues: list[DataIssue] = []
+        assert parse_reading_fields(["1", "#ERR", "3.0"], 2, issues) is None
+        assert issues[0].kind == ISSUE_GARBAGE_TOKEN
+
+    def test_parse_negative_hour(self):
+        issues: list[DataIssue] = []
+        assert parse_reading_fields(["-1", "1.0", "3.0"], 2, issues) is None
+        assert issues[0].kind == ISSUE_GARBAGE_TOKEN
+
+    def test_assemble_clean_passthrough(self):
+        raw = RawSeries("c")
+        for h in range(5):
+            raw.add_row(h, float(h), 10.0 + h)
+        cons, temp, issues = assemble_series(raw, 5)
+        assert not issues
+        np.testing.assert_array_equal(cons, np.arange(5.0))
+
+    def test_assemble_duplicate_keeps_first(self):
+        raw = RawSeries("c")
+        raw.add_row(0, 1.0, 5.0)
+        raw.add_row(1, 2.0, 5.0)
+        raw.add_row(1, 99.0, 5.0)
+        cons, _, issues = assemble_series(raw, 2)
+        assert cons[1] == 2.0
+        assert [i.kind for i in issues] == [ISSUE_DUPLICATE_HOUR]
+
+    def test_assemble_out_of_order_reordered(self):
+        raw = RawSeries("c")
+        for h in (1, 0, 2):
+            raw.add_row(h, float(h), 5.0)
+        cons, _, issues = assemble_series(raw, 3)
+        np.testing.assert_array_equal(cons, [0.0, 1.0, 2.0])
+        assert [i.kind for i in issues] == [ISSUE_OUT_OF_ORDER]
+
+    def test_assemble_gap_and_truncation(self):
+        raw = RawSeries("c")
+        raw.add_row(0, 1.0, 5.0)
+        raw.add_row(2, 1.0, 5.0)  # hour 1 missing, hours 3-4 truncated
+        cons, _, issues = assemble_series(raw, 5)
+        kinds = {i.kind for i in issues}
+        assert kinds == {ISSUE_SHORT_SERIES, ISSUE_GAP}
+        assert np.isnan(cons[1]) and np.isnan(cons[3])
+
+    def test_validate_values_kinds(self):
+        config = IngestConfig(policy="repair", max_consumption_kwh=10.0)
+        cons = np.array([1.0, -2.0, np.inf, 50.0])
+        temp = np.array([5.0, -20.0, 5.0, 5.0])  # negative temps are fine
+        kinds = [i.kind for i in validate_values(cons, temp, config)]
+        assert kinds == [ISSUE_NON_FINITE, ISSUE_NEGATIVE, ISSUE_SPIKE]
+
+    def test_validate_clean_is_empty(self):
+        config = IngestConfig()
+        assert validate_values(np.ones(4), np.zeros(4), config) == []
+
+    def test_expected_hours_mode(self):
+        assert expected_hours([24, 24, 24, 10]) == 24
+
+    def test_expected_hours_tie_breaks_long(self):
+        assert expected_hours([10, 24]) == 24
+
+    def test_expected_hours_zeros_dont_vote(self):
+        assert expected_hours([0, 0, 12]) == 12
+        assert expected_hours([0, 0]) == 0
+
+
+class TestRepair:
+    def test_clean_series_unchanged(self):
+        cons = np.arange(24.0)
+        temp = np.ones(24)
+        out_c, out_t, repairs = repair_series(cons, temp, IngestConfig())
+        assert repairs == []
+        np.testing.assert_array_equal(out_c, cons)
+        np.testing.assert_array_equal(out_t, temp)
+
+    def test_value_repairs_logged(self):
+        config = IngestConfig(policy="repair", max_consumption_kwh=10.0)
+        cons = np.ones(48)
+        cons[0] = -3.0
+        cons[1] = 500.0
+        cons[2] = np.inf
+        cons[3] = np.nan
+        out, _, repairs = repair_series(cons, np.ones(48), config)
+        assert out[0] == 0.0
+        assert out[1] == 10.0
+        assert np.isfinite(out).all()
+        kinds = [r.kind for r in repairs]
+        assert kinds == ["drop-non-finite", "clamp-negative", "clamp-spike", "impute"]
+
+    def test_too_much_missing_unrepairable(self):
+        config = IngestConfig(policy="repair", max_missing_fraction=0.2)
+        cons = np.ones(10)
+        cons[:5] = np.nan
+        with pytest.raises(UnrepairableError, match="missing"):
+            repair_series(cons, np.ones(10), config, "c42")
+
+    def test_all_missing_temperature_unrepairable(self):
+        config = IngestConfig(policy="repair")
+        with pytest.raises(UnrepairableError, match="temperature"):
+            repair_series(np.ones(4), np.full(4, np.nan), config)
+
+
+class TestQualityReport:
+    def test_clean_consumers_only_counted(self):
+        report = QualityReport()
+        report.record(ConsumerQuality("a"))
+        assert report.n_clean == 1
+        assert report.consumers == {}
+        assert report.clean
+
+    def test_dirty_consumer_recorded(self):
+        report = QualityReport()
+        report.record(
+            ConsumerQuality(
+                "b", action="quarantined", issues=[DataIssue("gap", "missing")]
+            )
+        )
+        assert report.quarantined_ids == ["b"]
+        assert not report.clean
+
+    def test_merge_and_summary(self):
+        a = QualityReport(source="x")
+        a.record(ConsumerQuality("a"))
+        b = QualityReport()
+        b.record(
+            ConsumerQuality(
+                "b", action="repaired", issues=[DataIssue("spike", "big")]
+            )
+        )
+        a.merge(b)
+        assert "1 clean" in a.summary()
+        assert "1 repaired" in a.summary()
+
+    def test_save_roundtrips_json(self, tmp_path):
+        report = QualityReport(source="test")
+        report.record(
+            ConsumerQuality(
+                "c9", action="quarantined", issues=[DataIssue("gap", "missing", line=3)]
+            )
+        )
+        path = report.save(tmp_path / "q.json")
+        data = json.loads(path.read_text())
+        assert data["source"] == "test"
+        assert data["consumers"]["c9"]["action"] == "quarantined"
+        assert data["consumers"]["c9"]["issues"][0]["line"] == 3
+
+
+class TestDirtyPlan:
+    def test_bare_flag_is_default_mix(self):
+        plan = DirtyPlan.from_string("on")
+        assert plan.active
+        assert plan.truncate_files == 1
+
+    def test_full_spec(self):
+        plan = DirtyPlan.from_string(
+            "gaps=0.1,spikes=0.05,dups=0.02,garbage=0.01,"
+            "consumers=0.5,truncate=2,seed=9"
+        )
+        assert plan.gap_probability == 0.1
+        assert plan.consumer_fraction == 0.5
+        assert plan.truncate_files == 2
+        assert plan.seed == 9
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(ValueError, match="bad dirty spec"):
+            DirtyPlan.from_string("chaos=1.0")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError, match="not a number"):
+            DirtyPlan.from_string("gaps=lots")
+
+    def test_corruption_is_deterministic(self, small_seed, tmp_path):
+        plan = DirtyPlan.from_string("gaps=0.1,spikes=0.05,consumers=0.5,seed=3")
+        files_a = write_partitioned(small_seed, tmp_path / "a")
+        files_b = write_partitioned(small_seed, tmp_path / "b")
+        manifest_a = corrupt_partitioned_files(files_a, plan)
+        manifest_b = corrupt_partitioned_files(files_b, plan)
+        assert manifest_a.consumer_ids == manifest_b.consumer_ids
+        assert manifest_a.n_rows_corrupted == manifest_b.n_rows_corrupted
+        for fa, fb in zip(files_a, files_b):
+            assert fa.read_text() == fb.read_text()
+
+    def test_truncation_victims_fixed_count(self):
+        plan = DirtyPlan(truncate_files=2, seed=1)
+        ids = [f"c{i}" for i in range(10)]
+        victims = plan.truncation_victims(ids)
+        assert len(victims) == 2
+        assert victims == plan.truncation_victims(reversed(ids))
+
+    def test_inactive_plan_corrupts_nothing(self, small_seed, tmp_path):
+        files = write_partitioned(small_seed, tmp_path)
+        before = [f.read_text() for f in files]
+        manifest = corrupt_partitioned_files(files, DirtyPlan(seed=5))
+        assert manifest.consumer_ids == []
+        assert [f.read_text() for f in files] == before
+
+
+def _dirty_partitioned(dataset, tmp_path, spec="gaps=0.08,spikes=0.04,dups=0.04,garbage=0.03,consumers=0.6,truncate=1,seed=13"):
+    plan = DirtyPlan.from_string(spec)
+    files = write_partitioned(dataset, tmp_path / "consumers")
+    manifest = corrupt_partitioned_files(files, plan)
+    assert manifest.consumer_ids, "plan must corrupt at least one consumer"
+    return tmp_path / "consumers", manifest
+
+
+class TestPolicies:
+    def test_strict_raises_on_dirty(self, small_seed, tmp_path):
+        directory, _ = _dirty_partitioned(small_seed, tmp_path)
+        with pytest.raises(DatasetFormatError):
+            read_partitioned(directory)
+
+    def test_repair_returns_full_clean_dataset(self, small_seed, tmp_path):
+        directory, manifest = _dirty_partitioned(small_seed, tmp_path)
+        quality = QualityReport()
+        back = read_partitioned(directory, on_dirty="repair", quality=quality)
+        assert sorted(back.consumer_ids) == sorted(small_seed.consumer_ids)
+        assert np.isfinite(back.consumption).all()
+        assert np.isfinite(back.temperature).all()
+        assert sorted(quality.repaired_ids) == manifest.consumer_ids
+
+    def test_quarantine_drops_exactly_corrupted(self, small_seed, tmp_path):
+        directory, manifest = _dirty_partitioned(small_seed, tmp_path)
+        quality = QualityReport()
+        report = ExecutionReport()
+        back = read_partitioned(
+            directory, on_dirty="quarantine", quality=quality, report=report
+        )
+        expected_survivors = sorted(
+            set(small_seed.consumer_ids) - set(manifest.consumer_ids)
+        )
+        assert sorted(back.consumer_ids) == expected_survivors
+        assert sorted(quality.quarantined_ids) == manifest.consumer_ids
+        assert sorted(r.consumer_id for r in report.quarantined) == (
+            manifest.consumer_ids
+        )
+        assert all(r.error_type == "DirtyDataError" for r in report.quarantined)
+        assert all(r.task == "ingest" for r in report.quarantined)
+
+    def test_all_dirty_raises(self, tmp_path):
+        directory = tmp_path / "consumers"
+        directory.mkdir()
+        (directory / "a.csv").write_text(
+            "hour,consumption,temperature\n0,1.0,1.0\n2,1.0,1.0\n"
+        )
+        with pytest.raises(DatasetFormatError, match="all 1 consumers"):
+            ingest_partitioned(directory, config="quarantine")
+
+    def test_no_parseable_readings_raises(self, tmp_path):
+        directory = tmp_path / "consumers"
+        directory.mkdir()
+        (directory / "a.csv").write_text("hour,consumption,temperature\n0,#ERR,1.0\n")
+        with pytest.raises(DatasetFormatError, match="no parseable readings"):
+            ingest_partitioned(directory, config="quarantine")
+
+    def test_truncated_file_is_flagged(self, small_seed, tmp_path):
+        directory, manifest = _dirty_partitioned(
+            small_seed, tmp_path, spec="consumers=0.0,truncate=1,seed=2"
+        )
+        (victim,) = [
+            cid for cid, kinds in manifest.corrupted.items() if "truncated" in kinds
+        ]
+        quality = QualityReport()
+        back = read_partitioned(directory, on_dirty="quarantine", quality=quality)
+        assert victim not in back.consumer_ids
+        assert quality.quarantined_ids == [victim]
+
+    def test_garbage_file_quarantined(self, small_seed, tmp_path):
+        directory = tmp_path / "consumers"
+        write_partitioned(small_seed, directory)
+        (directory / "zz_binary.csv").write_bytes(b"\x00\x01\x02 not a csv at all")
+        quality = QualityReport()
+        back = ingest_partitioned(directory, config="quarantine", quality=quality)
+        assert "zz_binary" not in back.consumer_ids
+        assert quality.quarantined_ids == ["zz_binary"]
+
+    def test_unpartitioned_policies(self, small_seed, tmp_path):
+        from repro.ingest import corrupt_unpartitioned_file
+
+        path = write_unpartitioned(small_seed, tmp_path / "all.csv")
+        plan = DirtyPlan.from_string(
+            "gaps=0.05,spikes=0.03,garbage=0.02,consumers=0.5,seed=21"
+        )
+        manifest = corrupt_unpartitioned_file(path, plan)
+        assert manifest.consumer_ids
+        with pytest.raises(DatasetFormatError):
+            read_unpartitioned(path)
+        quality = QualityReport()
+        back = read_unpartitioned(path, on_dirty="quarantine", quality=quality)
+        assert sorted(quality.quarantined_ids) == manifest.consumer_ids
+        assert sorted(back.consumer_ids) == sorted(
+            set(small_seed.consumer_ids) - set(manifest.consumer_ids)
+        )
+
+    def test_ingest_dataset_clean_is_same_object(self, small_seed):
+        assert ingest_dataset(small_seed, config="repair") is small_seed
+
+    def test_ingest_dataset_quarantines_nan_consumer(self, small_seed):
+        cons = small_seed.consumption.copy()
+        cons[2, 10:20] = np.nan
+        from repro.timeseries.series import Dataset
+
+        dirty = Dataset(
+            consumer_ids=list(small_seed.consumer_ids),
+            consumption=cons,
+            temperature=small_seed.temperature.copy(),
+            name="dirty",
+        )
+        report = ExecutionReport()
+        back = ingest_dataset(dirty, config="quarantine", report=report)
+        assert back.n_consumers == small_seed.n_consumers - 1
+        assert [r.consumer_id for r in report.quarantined] == [
+            small_seed.consumer_ids[2]
+        ]
+
+
+class TestPassThrough:
+    """Clean inputs must come back bit-identical under every policy/path."""
+
+    @pytest.mark.parametrize("policy", ["strict", "repair", "quarantine"])
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_partitioned(self, small_seed, tmp_path, policy, n_jobs):
+        write_partitioned(small_seed, tmp_path / "consumers")
+        reference = read_partitioned(tmp_path / "consumers")
+        back = read_partitioned(
+            tmp_path / "consumers", n_jobs=n_jobs, on_dirty=policy
+        )
+        assert back.consumer_ids == reference.consumer_ids
+        assert np.array_equal(back.consumption, reference.consumption)
+        assert np.array_equal(back.temperature, reference.temperature)
+
+    @pytest.mark.parametrize("policy", ["strict", "repair", "quarantine"])
+    def test_unpartitioned(self, small_seed, tmp_path, policy):
+        path = write_unpartitioned(small_seed, tmp_path / "all.csv")
+        reference = read_unpartitioned(path)
+        back = read_unpartitioned(path, on_dirty=policy)
+        assert back.consumer_ids == reference.consumer_ids
+        assert np.array_equal(back.consumption, reference.consumption)
+        assert np.array_equal(back.temperature, reference.temperature)
+
+    def test_clean_load_records_clean_counts(self, small_seed, tmp_path):
+        write_partitioned(small_seed, tmp_path / "consumers")
+        quality = QualityReport()
+        ingest_partitioned(
+            tmp_path / "consumers", config="quarantine", quality=quality
+        )
+        assert quality.clean
+        assert quality.n_clean == small_seed.n_consumers
+
+    def test_ambient_quality_sink_collects(self, small_seed, tmp_path):
+        write_partitioned(small_seed, tmp_path / "consumers")
+        ambient = QualityReport(source="ambient")
+        set_active_quality_report(ambient)
+        read_partitioned(tmp_path / "consumers", on_dirty="repair")
+        assert ambient.n_clean == small_seed.n_consumers
+
+
+class TestEngineWiring:
+    def test_numeric_engine_quarantines_via_spec(self, small_seed, tmp_path):
+        from repro.engines.numeric.engine import NumericEngine
+
+        engine = NumericEngine()
+        engine.load_dataset(small_seed, tmp_path)
+        files = sorted((tmp_path / "consumers").glob("*.csv"))
+        # Corrupt one consumer's file by hand: a garbage consumption token.
+        text = files[0].read_text().splitlines()
+        text[5] = text[5].rsplit(",", 2)[0] + ",#ERR,1.0"
+        files[0].write_text("\n".join(text) + "\n")
+        engine.evict_caches()
+        spec = BenchmarkSpec(on_dirty="quarantine")
+        report = ExecutionReport()
+        results = engine.histogram(spec, report=report)
+        assert files[0].stem not in results
+        assert len(results) == small_seed.n_consumers - 1
+        assert [r.consumer_id for r in report.quarantined] == [files[0].stem]
+
+    def test_load_validated_applies_policy(self, small_seed, tmp_path):
+        from repro.engines.systemc.engine import SystemCEngine
+        from repro.timeseries.series import Dataset
+
+        cons = small_seed.consumption.copy()
+        cons[0, 0] = np.nan
+        dirty = Dataset(
+            consumer_ids=list(small_seed.consumer_ids),
+            consumption=cons,
+            temperature=small_seed.temperature.copy(),
+            name="dirty",
+        )
+        engine = SystemCEngine()
+        stats = engine.load_validated(
+            dirty, tmp_path, config="quarantine"
+        )
+        assert stats.n_consumers == small_seed.n_consumers - 1
+
+    def test_ambient_policy_reaches_engine_load(self, small_seed, tmp_path):
+        from repro.engines.madlib.engine import MadlibEngine
+        from repro.timeseries.series import Dataset
+
+        cons = small_seed.consumption.copy()
+        cons[1, 3] = -5.0
+        dirty = Dataset(
+            consumer_ids=list(small_seed.consumer_ids),
+            consumption=cons,
+            temperature=small_seed.temperature.copy(),
+            name="dirty",
+        )
+        configure_ingest_defaults(policy="quarantine")
+        engine = MadlibEngine()
+        try:
+            stats = engine.load_dataset(dirty, tmp_path)
+            assert stats.n_consumers == small_seed.n_consumers - 1
+        finally:
+            engine.close()

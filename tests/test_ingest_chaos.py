@@ -1,0 +1,203 @@
+"""Chaos round-trip tests: seeded corruption -> ingest -> verified recovery.
+
+This is the ISSUE's acceptance scenario: corrupt a written dataset with a
+seeded :class:`~repro.ingest.injector.DirtyPlan` (>= 5% of rows across
+>= 20% of consumers, including one truncated file), load it back under
+``quarantine``, and check the load completes, reports exactly the
+corrupted consumers, and returns the survivors bit-identical to an
+uncorrupted load of the same subset.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import BenchmarkSpec, Task, run_task_reference
+from repro.ingest import (
+    DirtyPlan,
+    QualityReport,
+    corrupt_partitioned_files,
+    corrupt_unpartitioned_file,
+    set_active_quality_report,
+    set_default_dirty_plan,
+    set_default_ingest_config,
+)
+from repro.io.csvio import (
+    read_partitioned,
+    read_unpartitioned,
+    write_partitioned,
+    write_unpartitioned,
+)
+from repro.resilience.report import ExecutionReport
+from repro.timeseries.series import Dataset
+
+#: The acceptance-scenario plan: heavy enough to guarantee >= 5% of rows
+#: and >= 20% of consumers corrupted on the 10-consumer fixture.
+CHAOS_SPEC = (
+    "gaps=0.06,spikes=0.04,dups=0.03,garbage=0.03,"
+    "consumers=0.6,truncate=1,seed=13"
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_ingest_globals(monkeypatch):
+    monkeypatch.delenv("REPRO_INJECT_DIRTY", raising=False)
+    yield
+    set_default_ingest_config(None)
+    set_default_dirty_plan(None)
+    set_active_quality_report(None)
+
+
+def _subset(dataset: Dataset, consumer_ids: list[str]) -> Dataset:
+    index = {cid: i for i, cid in enumerate(dataset.consumer_ids)}
+    rows = [index[cid] for cid in consumer_ids]
+    return Dataset(
+        consumer_ids=consumer_ids,
+        consumption=dataset.consumption[rows],
+        temperature=dataset.temperature[rows],
+        name=dataset.name,
+    )
+
+
+class TestChaosRoundTripPartitioned:
+    @pytest.fixture()
+    def chaos(self, small_seed, tmp_path):
+        """(clean_reference, survivors, manifest, quality, report)."""
+        clean_dir = tmp_path / "clean"
+        dirty_dir = tmp_path / "dirty"
+        write_partitioned(small_seed, clean_dir)
+        files = write_partitioned(small_seed, dirty_dir)
+        plan = DirtyPlan.from_string(CHAOS_SPEC)
+        manifest = corrupt_partitioned_files(files, plan)
+        reference = read_partitioned(clean_dir)
+        quality = QualityReport()
+        report = ExecutionReport()
+        survivors = read_partitioned(
+            dirty_dir, on_dirty="quarantine", quality=quality, report=report
+        )
+        return reference, survivors, manifest, quality, report
+
+    def test_corruption_meets_acceptance_floor(self, small_seed, chaos):
+        _, _, manifest, _, _ = chaos
+        assert manifest.corrupted_fraction >= 0.05
+        assert len(manifest.consumer_ids) >= 0.2 * small_seed.n_consumers
+        assert any(
+            "truncated" in kinds for kinds in manifest.corrupted.values()
+        )
+
+    def test_every_corrupted_consumer_reported(self, chaos):
+        _, _, manifest, quality, report = chaos
+        assert sorted(quality.quarantined_ids) == manifest.consumer_ids
+        assert sorted(r.consumer_id for r in report.quarantined) == (
+            manifest.consumer_ids
+        )
+
+    def test_survivors_bit_identical_to_clean_subset(self, chaos):
+        reference, survivors, manifest, _, _ = chaos
+        expected_ids = [
+            cid
+            for cid in reference.consumer_ids
+            if cid not in set(manifest.consumer_ids)
+        ]
+        assert survivors.consumer_ids == expected_ids
+        clean_subset = _subset(reference, expected_ids)
+        assert np.array_equal(survivors.consumption, clean_subset.consumption)
+        assert np.array_equal(survivors.temperature, clean_subset.temperature)
+
+    def test_task_results_match_clean_subset(self, chaos):
+        reference, survivors, manifest, _, _ = chaos
+        clean_subset = _subset(reference, survivors.consumer_ids)
+        spec = BenchmarkSpec()
+        from_dirty = run_task_reference(survivors, Task.HISTOGRAM, spec)
+        from_clean = run_task_reference(clean_subset, Task.HISTOGRAM, spec)
+        assert from_dirty.keys() == from_clean.keys()
+        for cid in from_dirty:
+            assert np.array_equal(from_dirty[cid].edges, from_clean[cid].edges)
+            assert np.array_equal(from_dirty[cid].counts, from_clean[cid].counts)
+
+    def test_parallel_ingest_matches_serial(self, small_seed, tmp_path):
+        dirty_dir = tmp_path / "dirty"
+        files = write_partitioned(small_seed, dirty_dir)
+        corrupt_partitioned_files(files, DirtyPlan.from_string(CHAOS_SPEC))
+        serial = read_partitioned(dirty_dir, on_dirty="quarantine")
+        parallel = read_partitioned(dirty_dir, on_dirty="quarantine", n_jobs=2)
+        assert serial.consumer_ids == parallel.consumer_ids
+        assert np.array_equal(serial.consumption, parallel.consumption)
+
+    def test_repair_recovers_every_consumer(self, small_seed, tmp_path):
+        dirty_dir = tmp_path / "dirty"
+        files = write_partitioned(small_seed, dirty_dir)
+        # No truncation: a 40%-missing tail would exceed the repair limit.
+        corrupt_partitioned_files(
+            files,
+            DirtyPlan.from_string(
+                "gaps=0.06,spikes=0.04,dups=0.03,garbage=0.03,"
+                "consumers=0.6,seed=13"
+            ),
+        )
+        quality = QualityReport()
+        back = read_partitioned(dirty_dir, on_dirty="repair", quality=quality)
+        assert sorted(back.consumer_ids) == sorted(small_seed.consumer_ids)
+        assert np.isfinite(back.consumption).all()
+        assert quality.repaired_ids  # the corruption was actually seen
+
+
+class TestChaosRoundTripUnpartitioned:
+    def test_quarantine_round_trip(self, small_seed, tmp_path):
+        clean_path = write_unpartitioned(small_seed, tmp_path / "clean.csv")
+        dirty_path = write_unpartitioned(small_seed, tmp_path / "dirty.csv")
+        manifest = corrupt_unpartitioned_file(
+            dirty_path, DirtyPlan.from_string(CHAOS_SPEC)
+        )
+        assert manifest.consumer_ids
+        reference = read_unpartitioned(clean_path)
+        quality = QualityReport()
+        survivors = read_unpartitioned(
+            dirty_path, on_dirty="quarantine", quality=quality
+        )
+        assert sorted(quality.quarantined_ids) == manifest.consumer_ids
+        expected_ids = [
+            cid
+            for cid in reference.consumer_ids
+            if cid not in set(manifest.consumer_ids)
+        ]
+        assert survivors.consumer_ids == expected_ids
+        clean_subset = _subset(reference, expected_ids)
+        assert np.array_equal(survivors.consumption, clean_subset.consumption)
+
+
+class TestChaosCli:
+    def test_figure_run_under_injection(self, tmp_path):
+        from repro.harness.cli import main
+
+        quality_path = tmp_path / "quality.json"
+        code = main(
+            [
+                "--figure",
+                "fig5",
+                "--inject-dirty",
+                "gaps=0.04,spikes=0.02,dups=0.02,garbage=0.02,"
+                "consumers=0.4,truncate=1,seed=7",
+                "--on-dirty",
+                "quarantine",
+                "--quality-report",
+                str(quality_path),
+            ]
+        )
+        assert code == 0
+        data = json.loads(quality_path.read_text())
+        quarantined = [
+            cid
+            for cid, entry in data["consumers"].items()
+            if entry["action"] == "quarantined"
+        ]
+        assert quarantined, "seeded injection must quarantine someone"
+
+    def test_bad_dirty_spec_rejected(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["--figure", "fig5", "--inject-dirty", "chaos=1"]) == 2
+        assert "--inject-dirty" in capsys.readouterr().err

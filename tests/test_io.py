@@ -82,6 +82,79 @@ class TestCsvRoundTrip:
             read_unpartitioned(path)
 
 
+class TestDirtyInputMessages:
+    """Malformed input must fail with the file path and line number."""
+
+    def test_unpartitioned_non_numeric_names_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "household_id,hour,consumption,temperature\n"
+            "a,0,1.0,5.0\n"
+            "a,1,oops,5.0\n"
+        )
+        with pytest.raises(
+            DatasetFormatError, match=r"bad\.csv:3: non-numeric reading"
+        ):
+            read_unpartitioned(path)
+
+    def test_unpartitioned_non_numeric_temperature_names_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "household_id,hour,consumption,temperature\n"
+            "a,0,1.0,#ERR\n"
+        )
+        with pytest.raises(
+            DatasetFormatError, match=r"bad\.csv:2: non-numeric reading"
+        ):
+            read_unpartitioned(path)
+
+    def test_consumer_file_extra_column_names_line(self, tmp_path):
+        path = tmp_path / "c.csv"
+        path.write_text(
+            "hour,consumption,temperature\n0,1.0,5.0,9.9\n1,1.0,5.0,9.9\n"
+        )
+        with pytest.raises(
+            DatasetFormatError, match=r"c\.csv:2: expected 3 columns, got 4"
+        ):
+            read_consumer_file(path)
+
+    def test_consumer_file_missing_column_names_line(self, tmp_path):
+        path = tmp_path / "c.csv"
+        path.write_text("hour,consumption,temperature\n0,1.0,5.0\n1,1.0\n")
+        with pytest.raises(
+            DatasetFormatError, match=r"c\.csv:3: expected 3 columns, got 2"
+        ):
+            read_consumer_file(path)
+
+    def test_consumer_file_garbage_token_names_line(self, tmp_path):
+        path = tmp_path / "c.csv"
+        path.write_text("hour,consumption,temperature\n0,1.0,5.0\n1,#ERR,5.0\n")
+        with pytest.raises(
+            DatasetFormatError, match=r"c\.csv:3: non-numeric token '#ERR'"
+        ):
+            read_consumer_file(path)
+
+    def test_consumer_file_non_finite_names_line(self, tmp_path):
+        path = tmp_path / "c.csv"
+        path.write_text("hour,consumption,temperature\n0,inf,5.0\n1,1.0,5.0\n")
+        with pytest.raises(
+            DatasetFormatError, match=r"c\.csv:2: non-finite reading"
+        ):
+            read_consumer_file(path)
+
+    def test_consumer_file_nan_rejected(self, tmp_path):
+        path = tmp_path / "c.csv"
+        path.write_text("hour,consumption,temperature\n0,1.0,nan\n")
+        with pytest.raises(DatasetFormatError, match="non-finite"):
+            read_consumer_file(path)
+
+    def test_consumer_file_empty_rejected(self, tmp_path):
+        path = tmp_path / "c.csv"
+        path.write_text("hour,consumption,temperature\n")
+        with pytest.raises(DatasetFormatError, match="no readings"):
+            read_consumer_file(path)
+
+
 class TestLayouts:
     def test_materialize_unpartitioned(self, small_seed, tmp_path):
         layout = DatasetLayout.materialize(small_seed, tmp_path, partitioned=False)

@@ -92,6 +92,75 @@ class TestReadWrite:
             read_cer_file(path)
 
 
+class TestFirstDayTrimming:
+    def test_series_starts_at_first_observed_day(self, tmp_path):
+        # Meter enrolled on day 3: the series must not carry three phantom
+        # days of leading NaN.
+        path = tmp_path / "late.txt"
+        path.write_text("m 401 0.3\nm 402 0.4\n")
+        back = read_cer_file(path)
+        assert back["m"].size == 24  # one observed day, not four
+        assert back["m"][0] == pytest.approx(0.7)
+
+    def test_with_offsets_reports_first_day(self, tmp_path):
+        path = tmp_path / "mixed.txt"
+        path.write_text(
+            "a 101 0.5\na 102 0.5\n"  # enrolled day 0
+            "b 401 0.3\nb 402 0.3\n"  # enrolled day 3
+        )
+        series, offsets = read_cer_file(path, with_offsets=True)
+        assert offsets == {"a": 0, "b": 3}
+        assert series["a"].size == 24
+        assert series["b"].size == 24
+
+    def test_range_spans_first_to_last_observed_day(self, tmp_path):
+        path = tmp_path / "span.txt"
+        path.write_text("m 201 0.5\nm 401 0.5\n")  # days 1 and 3
+        series, offsets = read_cer_file(path, with_offsets=True)
+        assert offsets["m"] == 1
+        assert series["m"].size == 3 * 24  # days 1..3 inclusive
+
+    def test_ingest_path_matches_strict_on_clean_file(self, tmp_path):
+        path = tmp_path / "clean.txt"
+        path.write_text("a 301 0.5\na 302 0.5\nb 101 0.2\nb 102 0.2\n")
+        strict, strict_offsets = read_cer_file(path, with_offsets=True)
+        repair, repair_offsets = read_cer_file(
+            path, with_offsets=True, on_dirty="repair"
+        )
+        assert strict_offsets == repair_offsets
+        for meter in strict:
+            np.testing.assert_array_equal(strict[meter], repair[meter])
+
+
+class TestCerIngestPolicies:
+    def test_duplicate_deduped_under_repair(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        path.write_text("m 101 0.3\nm 101 0.9\nm 102 0.4\n")
+        back = read_cer_file(path, on_dirty="repair")
+        assert back["m"][0] == pytest.approx(0.7)  # first reading won
+
+    def test_garbage_line_quarantines_meter(self, tmp_path):
+        path = tmp_path / "mixed.txt"
+        path.write_text(
+            "good 101 0.3\ngood 102 0.4\n"
+            "bad 101 oops\nbad 102 0.4\n"
+        )
+        from repro.ingest import QualityReport
+
+        quality = QualityReport()
+        back = read_cer_file(path, on_dirty="quarantine", quality=quality)
+        assert set(back) == {"good"}
+        assert quality.quarantined_ids == ["bad"]
+
+    def test_gaps_are_not_issues_for_cer(self, tmp_path):
+        # Gaps are normal in the archive; a gappy meter is not dirty.
+        path = tmp_path / "gap.txt"
+        path.write_text("m 101 0.3\nm 103 0.5\nm 104 0.5\n")
+        back = read_cer_file(path, on_dirty="quarantine")
+        assert np.isnan(back["m"][0])
+        assert back["m"][1] == pytest.approx(1.0)
+
+
 class TestCerToDataset:
     def test_end_to_end_into_benchmark(self, tmp_path):
         # A realistic pipeline: benchmark dataset -> CER file -> parse ->

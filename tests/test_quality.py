@@ -96,3 +96,62 @@ class TestImpute:
         for strategy in ("linear", "hourly_mean", "hybrid"):
             out = impute(values, strategy=strategy)
             np.testing.assert_array_equal(out[present], values[present])
+
+
+class TestImputeBoundaries:
+    """Edge cases the ingest repair path leans on (ISSUE 5 satellite)."""
+
+    def test_hybrid_leading_boundary_gap(self):
+        hours = np.arange(240) % 24
+        values = (hours == 12) * 5.0 + 1.0
+        values[:4] = np.nan  # short gap touching the left boundary
+        out = impute(values, strategy="hybrid", max_linear_gap=6)
+        assert not np.isnan(out).any()
+        np.testing.assert_array_equal(out[4:], values[4:])
+
+    def test_hybrid_trailing_boundary_gap(self):
+        hours = np.arange(240) % 24
+        values = (hours == 12) * 5.0 + 1.0
+        values[-4:] = np.nan  # short gap touching the right boundary
+        out = impute(values, strategy="hybrid", max_linear_gap=6)
+        assert not np.isnan(out).any()
+        np.testing.assert_array_equal(out[:-4], values[:-4])
+
+    def test_hybrid_long_boundary_gap(self):
+        hours = np.arange(240) % 24
+        values = (hours == 12) * 5.0 + 1.0
+        values[:30] = np.nan  # long gap at the boundary -> hourly mean
+        out = impute(values, strategy="hybrid", max_linear_gap=6)
+        expected = (hours[:30] == 12) * 5.0 + 1.0
+        np.testing.assert_allclose(out[:30], expected)
+
+    def test_hybrid_all_nan_rejected(self):
+        with pytest.raises(DataError, match="no present readings"):
+            impute(np.full(48, np.nan), strategy="hybrid")
+
+    def test_gap_exactly_max_linear_gap_is_linear(self):
+        # A linear ramp is restored exactly by linear interpolation but not
+        # by the hourly-mean profile, so the boundary case is observable.
+        values = np.arange(240, dtype=float)
+        values[50:56] = np.nan  # gap of exactly max_linear_gap
+        out = impute(values, strategy="hybrid", max_linear_gap=6)
+        np.testing.assert_allclose(out[50:56], np.arange(50.0, 56.0))
+
+    def test_gap_one_past_max_linear_gap_is_hourly_mean(self):
+        values = np.arange(240, dtype=float)
+        values[50:57] = np.nan  # gap of max_linear_gap + 1
+        out = impute(values, strategy="hybrid", max_linear_gap=6)
+        ramp = np.arange(50.0, 57.0)
+        assert not np.allclose(out[50:57], ramp)
+
+    def test_impute_idempotent(self):
+        values = _series_with_gaps()
+        for strategy in ("linear", "hourly_mean", "hybrid"):
+            once = impute(values, strategy=strategy)
+            twice = impute(once, strategy=strategy)
+            np.testing.assert_array_equal(once, twice)
+
+    def test_complete_series_identity(self):
+        values = np.sin(np.arange(120) / 3.0) + 2.0
+        out = impute(values, strategy="hybrid")
+        np.testing.assert_array_equal(out, values)
