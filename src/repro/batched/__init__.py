@@ -14,8 +14,10 @@ vectorized built-ins and hand-written UDFs (Section 5.3):
   *bit-identical* to the per-consumer loop;
 * :mod:`repro.batched.threeline` — phase T1 (per-temperature-bin
   percentiles) via a single lexsort of (consumer, bin, value) keys and
-  vectorized segment percentiles, feeding the existing
-  :class:`~repro.core.stats.PrefixSumOLS`-based T2/T3; bit-identical;
+  vectorized segment percentiles; phases T2/T3 run *stacked* across all
+  consumers (ragged point lists padded dense, prefix-sum SSE over every
+  breakpoint pair at once, with a per-consumer sequential-scan fallback
+  on near-ties); bit-identical to the loop reference;
 * :mod:`repro.batched.par` — the ``n x 24`` hour-model normal equations
   assembled with einsum and solved with one batched
   ``np.linalg.solve``, falling back to the reference per-model ``lstsq``
@@ -39,10 +41,11 @@ from repro.batched.dispatch import (
 )
 from repro.batched.histogram import batched_histograms
 from repro.batched.par import batched_par
-from repro.batched.threeline import batched_three_lines
+from repro.batched.threeline import batched_fit_bands, batched_three_lines
 
 __all__ = [
     "AUTO_BATCH_MIN_CONSUMERS",
+    "batched_fit_bands",
     "batched_histograms",
     "batched_par",
     "batched_three_lines",

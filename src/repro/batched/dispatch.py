@@ -149,5 +149,16 @@ def run_batched_task(
         return _finalize_consumer_results(
             dataset.consumer_ids, results, task.value, report
         )
+    # Serial batched runs prime the measured dispatch cost model: the
+    # per-item estimate recorded here is what lets a later pooled run of
+    # the same task choose its chunk count (or decline to dispatch).
+    import time
+
+    from repro.cluster.costmodel import get_kernel_cost_tracker
+
+    tic = time.perf_counter()
     results = chunk_kernel(dataset.consumption, dataset.temperature, **kwargs)
+    get_kernel_cost_tracker().observe(
+        task.value, time.perf_counter() - tic, dataset.n_consumers
+    )
     return dict(zip(dataset.consumer_ids, results))

@@ -1,4 +1,4 @@
-"""Task 2 with a batched T1: one lexsort for all consumers' percentiles.
+"""Task 2 fully batched: T1 lexsort grouping, T2/T3 stacked least squares.
 
 Phase T1 of the 3-line algorithm groups each consumer's readings by
 rounded temperature and takes the 10th/90th percentile of every group.
@@ -10,14 +10,32 @@ whole ``(n, hours)`` matrix with a single lexsort of
 percentiles then come out of four gather operations (the
 ``np.add.reduceat`` trick, applied to order statistics instead of sums).
 
-Phases T2 (breakpoint search) and T3 (continuity adjustment) are
-per-consumer by nature — the search is over one consumer's ~50
-percentile points — and reuse the existing
-:func:`repro.core.threeline.fit_bands` unchanged, which keeps the
-results *bit-identical* to the loop reference: the batched T1 produces
-the exact same point arrays (temps, percentiles, counts) the reference
-``_percentile_points`` builds, and identical inputs to ``fit_bands``
-yield identical models.
+Phases T2 (breakpoint search) and T3 (continuity adjustment) are batched
+the way :mod:`repro.batched.par` stacks normal equations.  Each
+consumer's ~50 percentile points are padded into a ragged-to-dense
+``(n, max_points)`` representation; per-row prefix sums of
+``w, wx, wy, wx^2, wxy, wy^2`` replicate :class:`repro.core.stats.
+PrefixSumOLS` expression for expression, so the SSE of *every* candidate
+segment of *every* consumer comes out of a handful of whole-matrix
+gathers.  The O(points^2) breakpoint-pair search then collapses to one
+``argmin`` per consumer over a shared candidate grid (invalid pairs
+masked to ``+inf`` per consumer, so padding cannot change any answer).
+
+Equivalence contract — **bit-identical** to per-consumer ``fit_bands``:
+
+* every arithmetic expression (segment SSE, line fits, the T3
+  intersection/adjustment, the derived gradients and base load) is the
+  reference expression applied elementwise, so each consumer's floats
+  go through the identical IEEE-754 operation sequence;
+* the reference selects breakpoints with a sequential ``total <
+  best - 1e-15`` scan, which ``argmin`` reproduces exactly whenever a
+  single candidate attains the minimum within that tolerance.  The rare
+  consumers with near-ties (degenerate data — e.g. an all-zero
+  consumption row makes every candidate's SSE exactly 0.0) fall back to
+  the literal sequential scan over the precomputed totals, which costs
+  O(candidates) trivial comparisons and preserves the reference's
+  first-wins tie behaviour bit for bit.  ``tests/test_batched.py``
+  exercises both paths.
 """
 
 from __future__ import annotations
@@ -32,7 +50,14 @@ from repro.core.threeline import (
     ThreeLineModel,
     fit_bands,
 )
-from repro.exceptions import DataError
+from repro.core.stats import Line
+from repro.core.threeline import PiecewiseLines
+from repro.exceptions import DataError, InsufficientDataError
+
+#: Cap on the (consumer-chunk x candidate-pair) footprint of the T2
+#: search, in float64 elements (~64 MB across the handful of
+#: temporaries); consumers are processed in slices of this budget.
+_PAIR_ELEMENT_BUDGET = 8_000_000
 
 
 def _segment_percentile(
@@ -105,19 +130,355 @@ def batched_percentile_points(
     return row_splits, temps, lower, upper, counts.astype(np.float64)
 
 
+# T2/T3 stacked least squares ------------------------------------------------
+#
+# Each helper below replicates one reference expression from
+# repro.core.stats.PrefixSumOLS / repro.core.threeline elementwise; the
+# comments name the replicated callable.  Do not "simplify" the algebra:
+# changing the operation order changes the rounding path and breaks the
+# bit-identity contract.
+
+
+def _prefix_sums(x: np.ndarray, y: np.ndarray, w: np.ndarray) -> dict:
+    """Per-row prefix sums with a leading zero (PrefixSumOLS.__init__).
+
+    ``x``/``y``/``w`` are zero-padded ``(m, P)`` matrices; padding sits
+    past each row's valid prefix, so the valid prefix sums are the exact
+    sequential ``np.cumsum`` values the reference computes per consumer.
+    """
+    m, P = x.shape
+
+    def acc(values: np.ndarray) -> np.ndarray:
+        out = np.zeros((m, P + 1))
+        np.cumsum(values, axis=1, out=out[:, 1:])
+        return out
+
+    return {
+        "sw": acc(w),
+        "sx": acc(w * x),
+        "sy": acc(w * y),
+        "sxx": acc(w * x * x),
+        "sxy": acc(w * x * y),
+        "syy": acc(w * y * y),
+    }
+
+
+def _segment_terms(ps: dict, rows, a, b) -> tuple:
+    """Windowed sums of segments ``[a, b)`` (PrefixSumOLS.fit prologue)."""
+    return tuple(
+        ps[key][rows, b] - ps[key][rows, a]
+        for key in ("sw", "sx", "sy", "sxx", "sxy", "syy")
+    )
+
+
+def _segment_sse(ps: dict, rows, a, b) -> np.ndarray:
+    """SSE of the best line over each segment (PrefixSumOLS.sse)."""
+    sw, sx, sy, sxx, sxy, syy = _segment_terms(ps, rows, a, b)
+    with np.errstate(all="ignore"):
+        varx = sxx - sx * sx / sw
+        covxy = sxy - sx * sy / sw
+        vary = syy - sy * sy / sw
+        slope = covxy / varx
+        sse = np.where(
+            varx < 1e-12,
+            np.maximum(0.0, vary),
+            np.maximum(0.0, vary - slope * covxy),
+        )
+    return np.where(b - a == 1, 0.0, sse)
+
+
+def _segment_lines(ps: dict, rows, a, b) -> tuple[np.ndarray, np.ndarray]:
+    """Slope and intercept of the best line per segment (PrefixSumOLS.fit)."""
+    sw, sx, sy, sxx, sxy, syy = _segment_terms(ps, rows, a, b)
+    with np.errstate(all="ignore"):
+        mean = sy / sw
+        varx = sxx - sx * sx / sw
+        covxy = sxy - sx * sy / sw
+        slope = covxy / varx
+        intercept = (sy - slope * sx) / sw
+        degenerate = (b - a == 1) | (varx < 1e-12)
+        slope = np.where(degenerate, 0.0, slope)
+        intercept = np.where(degenerate, mean, intercept)
+    return slope, intercept
+
+
+def _scan_candidates(totals: np.ndarray, valid: np.ndarray) -> int:
+    """The reference T2 selection loop, verbatim, over precomputed totals.
+
+    Replicates ``_best_breakpoints``'s ``total < best - 1e-15`` update
+    rule (first candidate wins ties) for the rare consumers whose
+    minimum is not unique within the tolerance — argmin alone cannot
+    reproduce the sequential tie behaviour there.
+    """
+    best_val = None
+    best_p = -1
+    for p in np.flatnonzero(valid):
+        t = totals[p]
+        if best_val is None or t < best_val - 1e-15:
+            best_val = t
+            best_p = p
+    return best_p
+
+
+def _stacked_breakpoints(
+    ps: dict, sizes: np.ndarray, min_pts: int, grid: dict
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Phase T2 for one band over a consumer slice: best (i, j) + total SSE."""
+    m = sizes.size
+    rows = np.arange(m)[:, None]
+    pi, pj, i_vals, j_vals = grid["pi"], grid["pj"], grid["i_vals"], grid["j_vals"]
+
+    left = _segment_sse(ps, rows, 0, i_vals[None, :])
+    right = _segment_sse(ps, rows, j_vals[None, :], sizes[:, None])
+    mid = _segment_sse(ps, rows, pi[None, :], pj[None, :])
+    # Reference association order: (sse_left + sse_mid) + sse_right.
+    totals = (left[:, pi - i_vals[0]] + mid) + right[:, pj - j_vals[0]]
+    valid = pj[None, :] <= (sizes - min_pts)[:, None]
+    totals[~valid] = np.inf
+
+    flat_rows = np.arange(m)
+    best = np.argmin(totals, axis=1)
+    best_total = totals[flat_rows, best]
+    # Near-ties within the scan tolerance: replay the sequential rule.
+    near = totals <= best_total[:, None] + 1e-15
+    for c in np.flatnonzero(near.sum(axis=1) > 1):
+        best[c] = _scan_candidates(totals[c], valid[c])
+        best_total[c] = totals[c, best[c]]
+    return pi[best], pj[best], best_total
+
+
+def _join_lines(
+    outer_s: np.ndarray,
+    outer_i: np.ndarray,
+    inner_s: np.ndarray,
+    inner_i: np.ndarray,
+    gap_lo: np.ndarray,
+    gap_hi: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Phase T3 join of an outer line onto the middle one (_make_continuous).
+
+    Returns ``(new_intercept, breakpoint_x, adjusted)``; the slope never
+    changes (the reference shifts only the intercept).
+    """
+    with np.errstate(all="ignore"):
+        denom = outer_s - inner_s  # Line.intersection_x
+        cross = (inner_i - outer_i) / denom
+        use_cross = (np.abs(denom) >= 1e-12) & (gap_lo <= cross) & (cross <= gap_hi)
+        mid_x = 0.5 * (gap_lo + gap_hi)
+        target = inner_s * mid_x + inner_i  # inner.predict(breakpoint_x)
+        fixed_i = target - outer_s * mid_x
+    bp = np.where(use_cross, cross, mid_x)
+    new_i = np.where(use_cross, outer_i, fixed_i)
+    return new_i, bp, ~use_cross
+
+
+def _band_fit(ps: dict, sizes: np.ndarray, min_pts: int, grid: dict) -> dict:
+    """Phase T2 for one band over a consumer slice, fully stacked."""
+    rows = np.arange(sizes.size)
+    i, j, total = _stacked_breakpoints(ps, sizes, min_pts, grid)
+    left_s, left_i = _segment_lines(ps, rows, np.zeros_like(i), i)
+    mid_s, mid_i = _segment_lines(ps, rows, i, j)
+    right_s, right_i = _segment_lines(ps, rows, j, sizes)
+    return {
+        "i": i,
+        "j": j,
+        "sse": total,
+        "slopes": (left_s, mid_s, right_s),
+        "intercepts": (left_i, mid_i, right_i),
+    }
+
+
+def _band_join(fit: dict, temps_pad: np.ndarray) -> dict:
+    """Phase T3 for one band over a consumer slice (_make_continuous)."""
+    rows = np.arange(fit["sse"].size)
+    i, j = fit["i"], fit["j"]
+    left_s, mid_s, right_s = fit["slopes"]
+    left_i, mid_i, right_i = fit["intercepts"]
+    # The gap between adjacent segments is [temps[i-1], temps[i]].
+    new_left_i, b1, adj1 = _join_lines(
+        left_s, left_i, mid_s, mid_i, temps_pad[rows, i - 1], temps_pad[rows, i]
+    )
+    new_right_i, b2, adj2 = _join_lines(
+        right_s, right_i, mid_s, mid_i, temps_pad[rows, j - 1], temps_pad[rows, j]
+    )
+    return {
+        "slopes": (left_s, mid_s, right_s),
+        "intercepts": (new_left_i, mid_i, new_right_i),
+        "b1": b1,
+        "b2": b2,
+        "sse": fit["sse"],
+        "adjusted": adj1 | adj2,
+    }
+
+
+def _piecewise_min(band: dict, x: np.ndarray) -> np.ndarray:
+    """Minimum of PiecewiseLines.predict over candidate columns ``x``."""
+    (ls, ms, rs), (li, mi, ri) = band["slopes"], band["intercepts"]
+    b1, b2 = band["b1"][:, None], band["b2"][:, None]
+    pred = np.where(
+        x < b1,
+        ls[:, None] * x + li[:, None],
+        np.where(x < b2, ms[:, None] * x + mi[:, None], rs[:, None] * x + ri[:, None]),
+    )
+    return pred.min(axis=1)
+
+
+def _band_to_piecewise(band: dict, c: int) -> PiecewiseLines:
+    """Materialize one consumer's band as the reference dataclasses."""
+    (ls, ms, rs), (li, mi, ri) = band["slopes"], band["intercepts"]
+    return PiecewiseLines(
+        lines=(
+            Line(float(ls[c]), float(li[c])),
+            Line(float(ms[c]), float(mi[c])),
+            Line(float(rs[c]), float(ri[c])),
+        ),
+        breakpoints=(float(band["b1"][c]), float(band["b2"][c])),
+        sse=float(band["sse"][c]),
+        adjusted=bool(band["adjusted"][c]),
+    )
+
+
+def _pair_grid(P: int, min_pts: int) -> dict:
+    """All candidate (i, j) pairs for point counts up to ``P``.
+
+    Pairs are laid out in the reference's lexicographic loop order, so
+    index-into-grid positions can replay the sequential scan exactly.
+    """
+    i_vals = np.arange(min_pts, max(min_pts, P - 2 * min_pts) + 1)
+    j_vals = np.arange(2 * min_pts, max(2 * min_pts, P - min_pts) + 1)
+    pi_parts, pj_parts = [], []
+    for i in i_vals:
+        js = np.arange(i + min_pts, P - min_pts + 1)
+        pi_parts.append(np.full(js.size, i))
+        pj_parts.append(js)
+    return {
+        "pi": np.concatenate(pi_parts),
+        "pj": np.concatenate(pj_parts),
+        "i_vals": i_vals,
+        "j_vals": j_vals,
+    }
+
+
+def batched_fit_bands(
+    row_splits: np.ndarray,
+    temps: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    counts: np.ndarray,
+    config: ThreeLineConfig | None = None,
+    phases: PhaseTimes | None = None,
+) -> list[ThreeLineModel]:
+    """Phases T2+T3 for every consumer at once, bit-identical to ``fit_bands``.
+
+    Inputs are the flat point arrays of :func:`batched_percentile_points`
+    (consumer ``c`` owns slice ``row_splits[c]:row_splits[c+1]``).  Error
+    behaviour matches the per-consumer loop: the first consumer with too
+    few points raises :class:`~repro.exceptions.InsufficientDataError`
+    with the reference message, non-ascending temps raise
+    :class:`~repro.exceptions.DataError`.
+    """
+    cfg = config or ThreeLineConfig()
+    min_pts = cfg.min_segment_points
+    row_splits = np.asarray(row_splits, dtype=np.int64)
+    n = row_splits.size - 1
+    sizes_all = np.diff(row_splits)
+
+    # Replicate the reference's per-consumer error order: for the first
+    # offending consumer, non-ascending temps (fit_bands) outrank too few
+    # points (_best_breakpoints).  Point arrays are flat, so a backward
+    # temperature step inside a consumer is a descent position that is
+    # not a consumer boundary.
+    short = sizes_all < 3 * min_pts
+    descent = np.zeros(n, dtype=bool)
+    backward = np.flatnonzero(np.diff(temps) <= 0) + 1
+    backward = backward[~np.isin(backward, row_splits[1:-1])]
+    if backward.size:
+        descent[np.searchsorted(row_splits, backward, side="right") - 1] = True
+    bad = np.flatnonzero(short | descent)
+    if bad.size:
+        c = int(bad[0])
+        if descent[c] and sizes_all[c] >= 2:
+            raise DataError("percentile points must have strictly ascending temps")
+        raise InsufficientDataError(
+            f"{int(sizes_all[c])} percentile points cannot support "
+            f"three segments of >= {min_pts}"
+        )
+
+    P = int(sizes_all.max())
+    grid = _pair_grid(P, min_pts)
+    chunk = max(1, _PAIR_ELEMENT_BUDGET // max(1, grid["pi"].size))
+
+    models: list[ThreeLineModel] = []
+    t2_total = 0.0
+    t3_total = 0.0
+    for lo in range(0, n, chunk):
+        hi = min(n, lo + chunk)
+        sizes = sizes_all[lo:hi]
+        m = hi - lo
+        mask = np.arange(P)[None, :] < sizes[:, None]
+        x = np.zeros((m, P))
+        y_lo = np.zeros((m, P))
+        y_up = np.zeros((m, P))
+        w = np.zeros((m, P))
+        flat = slice(row_splits[lo], row_splits[hi])
+        x[mask] = temps[flat]
+        y_lo[mask] = lower[flat]
+        y_up[mask] = upper[flat]
+        # PrefixSumOLS weights: bin counts, or ones when unweighted.
+        w[mask] = counts[flat] if cfg.weight_by_count else 1.0
+
+        tic = time.perf_counter()
+        fit_lo = _band_fit(_prefix_sums(x, y_lo, w), sizes, min_pts, grid)
+        fit_up = _band_fit(_prefix_sums(x, y_up, w), sizes, min_pts, grid)
+        t2_total += time.perf_counter() - tic
+
+        tic = time.perf_counter()
+        band_lo = _band_join(fit_lo, x)
+        band_up = _band_join(fit_up, x)
+        rows = np.arange(m)
+        t_lo = x[rows, 0]
+        t_hi = x[rows, sizes - 1]
+        # Derived quantities (fit_bands): heating/cooling gradients come
+        # from the upper band's outer slopes; base load is the minimum of
+        # the lower band over [t_lo, b1, b2, t_hi].
+        candidates = np.stack(
+            [t_lo, band_lo["b1"], band_lo["b2"], t_hi], axis=1
+        )
+        base_load = _piecewise_min(band_lo, candidates)
+
+        for c in range(m):
+            b_lower = _band_to_piecewise(band_lo, c)
+            b_upper = _band_to_piecewise(band_up, c)
+            models.append(
+                ThreeLineModel(
+                    band_upper=b_upper,
+                    band_lower=b_lower,
+                    heating_gradient=float(-b_upper.lines[0].slope),
+                    cooling_gradient=float(b_upper.lines[2].slope),
+                    base_load=float(base_load[c]),
+                    temperature_range=(float(t_lo[c]), float(t_hi[c])),
+                )
+            )
+        t3_total += time.perf_counter() - tic
+
+    if phases is not None:
+        phases.add(PhaseTimes(0.0, t2_total, t3_total))
+    return models
+
+
 def batched_three_lines(
     consumption: np.ndarray,
     temperature: np.ndarray,
     config: ThreeLineConfig | None = None,
     phases: PhaseTimes | None = None,
 ) -> list[ThreeLineModel]:
-    """Task 2 for all consumers; T1 batched, T2+T3 via ``fit_bands``.
+    """Task 2 for all consumers; every phase batched.
 
     Bit-identical to calling
-    :func:`~repro.core.threeline.fit_three_lines` on each row.  With
-    ``phases``, the whole batched grouping is accounted to T1 in one
-    increment (the loop reference accumulates it per consumer; the
-    totals are comparable).
+    :func:`~repro.core.threeline.fit_three_lines` on each row (module
+    docstring states the contract).  With ``phases``, each batched phase
+    is accounted in one increment (the loop reference accumulates per
+    consumer; the totals are comparable).
     """
     cfg = config or ThreeLineConfig()
     consumption = np.asarray(consumption, dtype=np.float64)
@@ -137,10 +498,12 @@ def batched_three_lines(
     if phases is not None:
         phases.add(PhaseTimes(time.perf_counter() - tic, 0.0, 0.0))
 
-    models: list[ThreeLineModel] = []
-    for i in range(consumption.shape[0]):
-        s, e = row_splits[i], row_splits[i + 1]
-        models.append(
-            fit_bands(temps[s:e], lower[s:e], upper[s:e], counts[s:e], cfg, phases)
-        )
-    return models
+    return batched_fit_bands(row_splits, temps, lower, upper, counts, cfg, phases)
+
+
+__all__ = [
+    "batched_fit_bands",
+    "batched_percentile_points",
+    "batched_three_lines",
+    "fit_bands",
+]

@@ -30,6 +30,7 @@ ran.
 from __future__ import annotations
 
 import heapq
+import threading
 from dataclasses import dataclass, field, replace
 
 from repro.cluster.topology import ClusterSpec
@@ -159,3 +160,105 @@ def schedule(
         makespan_s=max(t.end_s for t in tasks),
         locality_fraction=n_local / n_tasks,
     )
+
+
+# Measured dispatch cost model ----------------------------------------------
+#
+# Unlike the virtual-time CostModel above, these two classes price *real*
+# process-pool dispatch on this machine: the warm pool measures its no-op
+# round-trip (repro.parallel.warmpool), serial runs record per-item kernel
+# compute, and the executor asks chunk_count() how many chunks — if any —
+# are worth dispatching.  This is what stops a 20 ms batched kernel from
+# being fanned out over a pool whose per-chunk overhead costs more than
+# the compute it parallelizes (the "batched_parallel slower than batched"
+# regression in BENCH_kernels.json).
+
+
+@dataclass(frozen=True)
+class DispatchCostModel:
+    """Chunk sizing from a measured per-dispatch overhead.
+
+    ``dispatch_overhead_s`` is the warm pool's no-op round-trip (submit,
+    pickle, schedule, return).  A chunk is only worth dispatching when
+    its compute share covers that overhead ``min_compute_per_dispatch``
+    times over — below that, fan-out time is dominated by marshalling
+    and the serial in-process run wins.
+    """
+
+    dispatch_overhead_s: float
+    #: Require each chunk's compute to be at least this multiple of the
+    #: dispatch overhead.  2x keeps overhead under ~1/3 of chunk wall
+    #: time while still letting ~10 ms kernels split across two workers.
+    min_compute_per_dispatch: float = 2.0
+
+    def chunk_count(
+        self,
+        n_items: int,
+        n_workers: int,
+        est_total_compute_s: float | None,
+    ) -> int:
+        """How many chunks to dispatch; below 2, run serially in-process.
+
+        With no compute estimate the model abstains and returns
+        ``n_workers`` (the pre-cost-model behaviour).
+        """
+        if n_items <= 0:
+            return 0
+        if est_total_compute_s is None:
+            return min(n_workers, n_items)
+        overhead = max(self.dispatch_overhead_s, 1e-6)
+        affordable = int(
+            est_total_compute_s / (self.min_compute_per_dispatch * overhead)
+        )
+        return max(0, min(n_workers, n_items, affordable))
+
+
+class KernelCostTracker:
+    """EWMA per-item compute estimates from measured serial runs.
+
+    The executor's serial paths call :meth:`observe` with wall-clock
+    seconds and item counts; pooled paths call :meth:`estimate_s_per_item`
+    to feed :class:`DispatchCostModel`.  The first pooled call for a
+    label may find no estimate yet — the model then abstains, and the
+    benchmark harness (which always measures serial before parallel)
+    naturally primes it.
+    """
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self._alpha = alpha
+        self._lock = threading.Lock()
+        self._estimates: dict[str, float] = {}
+
+    def observe(self, label: str, seconds: float, n_items: int) -> None:
+        """Record one measured serial run of ``n_items`` items."""
+        if n_items <= 0 or seconds < 0.0:
+            return
+        per_item = seconds / n_items
+        with self._lock:
+            previous = self._estimates.get(label)
+            if previous is None:
+                self._estimates[label] = per_item
+            else:
+                self._estimates[label] = (
+                    self._alpha * per_item + (1.0 - self._alpha) * previous
+                )
+
+    def estimate_s_per_item(self, label: str) -> float | None:
+        """Current estimate for a label, or None before any observation."""
+        with self._lock:
+            return self._estimates.get(label)
+
+    def reset(self) -> None:
+        """Forget all estimates (tests)."""
+        with self._lock:
+            self._estimates.clear()
+
+
+_kernel_cost_tracker = KernelCostTracker()
+
+
+def get_kernel_cost_tracker() -> KernelCostTracker:
+    """The process-wide kernel cost tracker singleton."""
+    return _kernel_cost_tracker

@@ -13,8 +13,13 @@ Layers:
   ``multiprocessing.shared_memory``, with a pickle fallback;
 * :mod:`repro.parallel.kernels` — picklable per-consumer kernels and the
   worker entry points;
+* :mod:`repro.parallel.warmpool` — the process-lifetime warm worker
+  pool every entry point leases instead of spawning per call;
+* :mod:`repro.parallel.results` — lossless fixed-width codecs that let
+  batched chunk results return through shared memory instead of pickle;
 * :mod:`repro.parallel.executor` — the pool: per-consumer chunk fan-out,
-  blocked-row-range similarity, serial fallback;
+  blocked-row-range similarity, measured-cost chunk sizing, serial
+  fallback;
 * :mod:`repro.parallel.tasks` — benchmark-task dispatch
   (:func:`run_task_parallel`).
 
@@ -28,6 +33,8 @@ from repro.parallel.executor import (
     parallel_map_items,
     parallel_similarity,
 )
+from repro.parallel.results import PackedChunk, codec_for
+from repro.parallel.warmpool import WarmPool, get_warm_pool, reset_warm_pool
 from repro.parallel.shm import (
     DatasetHandles,
     MatrixHandle,
@@ -43,14 +50,19 @@ __all__ = [
     "DatasetHandles",
     "MatrixHandle",
     "MatrixPublisher",
+    "PackedChunk",
+    "WarmPool",
     "attach_matrix",
+    "codec_for",
     "effective_n_jobs",
+    "get_warm_pool",
     "iter_chunks",
     "parallel_map_consumer_chunks",
     "parallel_map_consumers",
     "parallel_map_items",
     "parallel_similarity",
     "publish_dataset",
+    "reset_warm_pool",
     "run_task_parallel",
     "shared_memory_available",
 ]

@@ -3,8 +3,18 @@
 The three per-consumer tasks (histogram, 3-line, PAR) fan out over
 contiguous consumer chunks; top-k similarity fans out over fixed-size row
 blocks.  Input matrices travel to workers through shared memory
-(:mod:`repro.parallel.shm`), results come back by pickle (they are small:
-models, not matrices).
+(:mod:`repro.parallel.shm`).  Batched chunk results come back through a
+shared-memory result buffer (:mod:`repro.parallel.results`) when a
+lossless codec exists for the task; everything else returns by pickle.
+
+Dispatch economics: pools are *warm* — one process-lifetime
+``ProcessPoolExecutor`` leased from :mod:`repro.parallel.warmpool` and
+reused across calls, so sub-second kernels stop paying worker spawn per
+dispatch.  Chunk counts come from the measured cost model
+(:class:`repro.cluster.costmodel.DispatchCostModel`): the warm pool's
+no-op round-trip prices a dispatch, serial runs of the same task label
+price the compute, and fan-outs whose overhead would dominate run
+serially in-process instead.
 
 Determinism contract: for a given dataset and spec, every ``n_jobs`` —
 including the in-process serial path — produces *bit-identical* results.
@@ -34,20 +44,24 @@ never a correctness one.
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.cluster.costmodel import DispatchCostModel, get_kernel_cost_tracker
 from repro.core.similarity import SIMILARITY_BLOCK_ROWS, Neighbours, top_k_similar
 from repro.exceptions import DataError
 from repro.parallel import kernels
+from repro.parallel.results import codec_for
 from repro.parallel.shm import (
     MatrixHandle,
     MatrixPublisher,
     iter_chunks,
     publish_dataset,
 )
+from repro.parallel.warmpool import get_warm_pool
 from repro.resilience import worker as resilience_worker
 from repro.resilience.policy import ExecutionPolicy, get_default_policy
 from repro.resilience.report import ExecutionReport, QuarantineRecord
@@ -86,6 +100,33 @@ def _make_pool(n_workers: int):
     except (ImportError, NotImplementedError, OSError, PermissionError) as exc:
         _last_pool_error = f"{type(exc).__name__}: {exc}"
         return None
+
+
+def _lease_pool(jobs: int):
+    """Lease the process-lifetime warm pool at this worker count.
+
+    ``_make_pool`` is resolved through the module global at call time so
+    monkeypatched factories (tests) take effect; the warm pool compares
+    the factory by identity and never reuses a pool a different factory
+    built.
+    """
+    return get_warm_pool().lease(jobs, _make_pool)
+
+
+def _supervision_kwargs(jobs: int) -> dict[str, Any]:
+    """Warm-pool supervision wiring shared by every pooled entry point.
+
+    The supervisor does not own a warm pool (healthy pools outlive the
+    call), reports terminated pools so the warm cache drops them, and
+    respawns replacements *through* the warm pool so recovery from a
+    crash leaves the new pool warm rather than leaking it.
+    """
+    warm = get_warm_pool()
+    return {
+        "owns_pool": False,
+        "on_pool_failure": warm.invalidate,
+        "pool_factory": lambda: warm.respawn(jobs, _make_pool),
+    }
 
 
 def _warn_serial_fallback(jobs: int) -> None:
@@ -167,7 +208,7 @@ def parallel_map_consumers(
             )
             for i, cid in enumerate(dataset.consumer_ids)
         }
-    pool = _make_pool(jobs)
+    pool = _lease_pool(jobs)
     if pool is None:
         _warn_serial_fallback(jobs)
         return parallel_map_consumers(
@@ -194,10 +235,10 @@ def parallel_map_consumers(
         chunk_results = supervised_map(
             entries,
             pool=pool,
-            pool_factory=lambda: _make_pool(jobs),
             policy=policy,
             report=report,
             label=label,
+            **_supervision_kwargs(jobs),
         )
     results = [r for chunk in chunk_results for r in chunk]
     return _finalize_consumer_results(dataset.consumer_ids, results, label, report)
@@ -243,13 +284,30 @@ def parallel_map_consumer_chunks(
             return _finalize_consumer_results(
                 dataset.consumer_ids, results, label, report
             )
+        tic = time.perf_counter()
         results = chunk_kernel(
             dataset.consumption, dataset.temperature, **kernel_kwargs
         )
+        get_kernel_cost_tracker().observe(label, time.perf_counter() - tic, n)
         return dict(zip(dataset.consumer_ids, results))
-    pool = _make_pool(jobs)
+    pool = _lease_pool(jobs)
     if pool is None:
         _warn_serial_fallback(jobs)
+        return parallel_map_consumer_chunks(
+            chunk_kernel,
+            dataset,
+            n_jobs=1,
+            use_shared_memory=use_shared_memory,
+            policy=policy,
+            report=report,
+            task_label=task_label,
+            **kernel_kwargs,
+        )
+    n_chunks = _measured_chunk_count(label, n, jobs)
+    if n_chunks < 2:
+        # The measured cost model priced dispatch above the compute it
+        # would parallelize: run in-process, silently (this is the model
+        # working, not a degradation).
         return parallel_map_consumer_chunks(
             chunk_kernel,
             dataset,
@@ -267,20 +325,63 @@ def parallel_map_consumer_chunks(
     )
     with MatrixPublisher(use_shared_memory) as publisher:
         handles = publish_dataset(publisher, dataset)
-        entries = [
-            (entry, (handles, chunk_kernel, lo, hi, kernel_kwargs))
-            for lo, hi in iter_chunks(n, jobs)
-        ]
+        codec = None
+        result_view = None
+        if not policy.quarantine and handles.consumption.uses_shared_memory:
+            codec = codec_for(label, kernel_kwargs)
+            if codec is not None:
+                result_handle, result_view = publisher.allocate(
+                    (n, codec.width())
+                )
+                if result_handle is None:
+                    codec = None
+        if codec is not None:
+            entries = [
+                (
+                    kernels.run_matrix_chunk_packed,
+                    (handles, result_handle, codec, chunk_kernel, lo, hi,
+                     kernel_kwargs),
+                )
+                for lo, hi in iter_chunks(n, n_chunks)
+            ]
+        else:
+            entries = [
+                (entry, (handles, chunk_kernel, lo, hi, kernel_kwargs))
+                for lo, hi in iter_chunks(n, n_chunks)
+            ]
         chunk_results = supervised_map(
             entries,
             pool=pool,
-            pool_factory=lambda: _make_pool(jobs),
             policy=policy,
             report=report,
             label=label,
+            **_supervision_kwargs(jobs),
         )
-    results = [r for chunk in chunk_results for r in chunk]
+        if codec is not None:
+            # Workers wrote their disjoint row spans; one decode pass
+            # replaces n pickled model lists.
+            results = codec.decode(result_view)
+        else:
+            results = [r for chunk in chunk_results for r in chunk]
     return _finalize_consumer_results(dataset.consumer_ids, results, label, report)
+
+
+def _measured_chunk_count(label: str, n_items: int, jobs: int) -> int:
+    """Chunk count from the measured dispatch cost model.
+
+    Combines the warm pool's no-op round-trip with the kernel cost
+    tracker's per-item estimate (primed by serial runs of the same
+    label).  Without either measurement the model abstains and the
+    historical one-chunk-per-worker split stands.
+    """
+    estimate = get_kernel_cost_tracker().estimate_s_per_item(label)
+    if estimate is None:
+        return jobs
+    overhead = get_warm_pool().dispatch_overhead_s()
+    if overhead is None:
+        return jobs
+    model = DispatchCostModel(dispatch_overhead_s=overhead)
+    return model.chunk_count(n_items, jobs, estimate * n_items)
 
 
 def parallel_similarity(
@@ -322,7 +423,7 @@ def parallel_similarity(
     jobs = min(effective_n_jobs(n_jobs), len(blocks))
     if jobs <= 1:
         return _serial_similarity(matrix, list(ids), k, block_rows)
-    pool = _make_pool(jobs)
+    pool = _lease_pool(jobs)
     if pool is None:
         _warn_serial_fallback(jobs)
         return _serial_similarity(matrix, list(ids), k, block_rows)
@@ -337,10 +438,10 @@ def parallel_similarity(
         chunk_results = supervised_map(
             entries,
             pool=pool,
-            pool_factory=lambda: _make_pool(jobs),
             policy=policy,
             report=report,
             label=label,
+            **_supervision_kwargs(jobs),
         )
         by_row: dict[int, list[tuple[int, float]]] = {}
         for chunk in chunk_results:
@@ -390,7 +491,7 @@ def parallel_map_items(
     jobs = min(effective_n_jobs(n_jobs), len(items)) if items else 1
     if jobs <= 1:
         return fn(items)
-    pool = _make_pool(jobs)
+    pool = _lease_pool(jobs)
     if pool is None:
         _warn_serial_fallback(jobs)
         return fn(items)
@@ -402,10 +503,10 @@ def parallel_map_items(
     chunk_results = supervised_map(
         entries,
         pool=pool,
-        pool_factory=lambda: _make_pool(jobs),
         policy=policy,
         report=report,
         label=label,
+        **_supervision_kwargs(jobs),
     )
     out: list = []
     for chunk in chunk_results:

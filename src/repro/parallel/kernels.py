@@ -105,11 +105,46 @@ def run_matrix_chunk(
     )
 
 
+def run_matrix_chunk_packed(
+    handles: DatasetHandles,
+    result_handle: MatrixHandle,
+    codec,
+    chunk_kernel: Callable[..., list],
+    lo: int,
+    hi: int,
+    kwargs: dict[str, Any],
+):
+    """Chunk-kernel entry that writes results into a shared buffer.
+
+    The twin of :func:`run_matrix_chunk` for the warm-pool fast path:
+    instead of pickling the result list back, the worker encodes it into
+    rows ``[lo, hi)`` of the parent-allocated buffer (codecs in
+    :mod:`repro.parallel.results` are lossless) and returns only a tiny
+    span marker.  Chunks own disjoint row ranges, so concurrent writers
+    never overlap and a supervised retry simply rewrites its rows.
+    """
+    from repro.parallel.results import PackedChunk
+
+    consumption = attach_matrix(handles.consumption)
+    temperature = attach_matrix(handles.temperature)
+    results = chunk_kernel(
+        consumption[lo:hi].copy(), temperature[lo:hi].copy(), **kwargs
+    )
+    out = attach_matrix(result_handle, writable=True)
+    codec.encode(results, out[lo:hi])
+    return PackedChunk(lo, hi)
+
+
 #: Worker-side cache of normalized similarity matrices, keyed by the
 #: consumption matrix's shared-memory name.  Normalizing is O(n * hours)
 #: against the O(n^2 * hours) similarity itself, but one worker typically
 #: handles many row blocks of the same matrix — no need to redo it.
 _normalized_cache: dict[str, np.ndarray] = {}
+
+#: Warm-pool workers are process-lifetime, so cap the cache: each entry
+#: is a full (n, hours) float64 copy and unbounded growth across many
+#: published matrices would leak worker memory.
+_NORMALIZED_CACHE_MAX = 4
 
 
 def _normalized_for(handle: MatrixHandle) -> np.ndarray:
@@ -119,6 +154,8 @@ def _normalized_for(handle: MatrixHandle) -> np.ndarray:
         return normalize_rows(matrix)
     cached = _normalized_cache.get(key)
     if cached is None or cached.shape != matrix.shape:
+        while len(_normalized_cache) >= _NORMALIZED_CACHE_MAX:
+            _normalized_cache.pop(next(iter(_normalized_cache)))
         cached = normalize_rows(matrix)
         _normalized_cache[key] = cached
     return cached

@@ -1,0 +1,209 @@
+"""Fixed-width shared-memory result buffers for the batched task kernels.
+
+Pooled batched runs used to pickle every worker's result list back to the
+parent — for n=2000 PAR that is 2000 ``ParModel`` objects (each with 24
+``HourModel``s) serialized, piped, and rebuilt per call, a cost that
+scales with n and eats the parallel win on sub-second kernels.  Instead
+the parent allocates one ``(n_consumers, width)`` float64 matrix in
+shared memory, each worker *encodes* its chunk's results into its own
+disjoint ``[lo, hi)`` row slice, and returns only a tiny
+:class:`PackedChunk` marker; the parent decodes the matrix once at the
+end.
+
+Codecs are **lossless**: every encoded quantity is either already a
+float64, a small non-negative integer (counts, observation totals — exact
+in float64 up to 2**53), or a boolean (0.0/1.0).  Decoding therefore
+rebuilds objects bit-identical to the pickled path, and the package's
+``n_jobs``-invariance contract is unchanged.  Retries compose trivially:
+re-running a chunk rewrites the same rows with the same values.
+
+Quarantine runs keep the pickled path — their per-row
+``QuarantinedRow`` sentinels have no fixed-width encoding (and are rare
+by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.histogram import HistogramResult
+from repro.core.par import HourModel, ParConfig, ParModel
+from repro.core.stats import Line
+from repro.core.threeline import PiecewiseLines, ThreeLineModel
+from repro.timeseries.calendar import HOURS_PER_DAY
+
+
+@dataclass(frozen=True)
+class PackedChunk:
+    """Worker return marker: results live in the shared buffer rows."""
+
+    lo: int
+    hi: int
+
+
+@dataclass(frozen=True)
+class HistogramCodec:
+    """``HistogramResult`` <-> ``nb+1`` edges followed by ``nb`` counts."""
+
+    n_buckets: int
+
+    def width(self) -> int:
+        return 2 * self.n_buckets + 1
+
+    def encode(self, results: list, out: np.ndarray) -> None:
+        nb = self.n_buckets
+        for row, result in zip(out, results):
+            row[: nb + 1] = result.edges
+            row[nb + 1 :] = result.counts
+
+    def decode(self, rows: np.ndarray) -> list:
+        nb = self.n_buckets
+        return [
+            HistogramResult(
+                edges=row[: nb + 1].copy(),
+                counts=row[nb + 1 :].astype(np.int64),
+            )
+            for row in rows
+        ]
+
+
+#: Per-band layout: 3 slopes, 3 intercepts, 2 breakpoints, sse, adjusted.
+_BAND_WIDTH = 10
+
+
+def _encode_band(band: PiecewiseLines, out: np.ndarray) -> None:
+    out[0:3] = [line.slope for line in band.lines]
+    out[3:6] = [line.intercept for line in band.lines]
+    out[6:8] = band.breakpoints
+    out[8] = band.sse
+    out[9] = 1.0 if band.adjusted else 0.0
+
+
+def _decode_band(row: np.ndarray) -> PiecewiseLines:
+    return PiecewiseLines(
+        lines=(
+            Line(float(row[0]), float(row[3])),
+            Line(float(row[1]), float(row[4])),
+            Line(float(row[2]), float(row[5])),
+        ),
+        breakpoints=(float(row[6]), float(row[7])),
+        sse=float(row[8]),
+        adjusted=bool(row[9]),
+    )
+
+
+@dataclass(frozen=True)
+class ThreeLineCodec:
+    """``ThreeLineModel`` <-> two band blocks plus 5 derived scalars."""
+
+    def width(self) -> int:
+        return 2 * _BAND_WIDTH + 5
+
+    def encode(self, results: list, out: np.ndarray) -> None:
+        for row, model in zip(out, results):
+            _encode_band(model.band_upper, row[:_BAND_WIDTH])
+            _encode_band(model.band_lower, row[_BAND_WIDTH : 2 * _BAND_WIDTH])
+            row[2 * _BAND_WIDTH] = model.heating_gradient
+            row[2 * _BAND_WIDTH + 1] = model.cooling_gradient
+            row[2 * _BAND_WIDTH + 2] = model.base_load
+            row[2 * _BAND_WIDTH + 3 :] = model.temperature_range
+
+    def decode(self, rows: np.ndarray) -> list:
+        return [
+            ThreeLineModel(
+                band_upper=_decode_band(row[:_BAND_WIDTH]),
+                band_lower=_decode_band(row[_BAND_WIDTH : 2 * _BAND_WIDTH]),
+                heating_gradient=float(row[2 * _BAND_WIDTH]),
+                cooling_gradient=float(row[2 * _BAND_WIDTH + 1]),
+                base_load=float(row[2 * _BAND_WIDTH + 2]),
+                temperature_range=(
+                    float(row[2 * _BAND_WIDTH + 3]),
+                    float(row[2 * _BAND_WIDTH + 4]),
+                ),
+            )
+            for row in rows
+        ]
+
+
+@dataclass(frozen=True)
+class ParCodec:
+    """``ParModel`` <-> profile plus 24 ``(coefficients, sse, n_obs)`` blocks.
+
+    The coefficient count is fixed by the config (``1 + p`` AR terms plus
+    one or two temperature terms), so the layout is static per run; the
+    config itself travels with the codec and is reattached at decode.
+    """
+
+    config: ParConfig
+
+    def _n_coeffs(self) -> int:
+        temp_terms = 1 if self.config.temperature_mode == "linear" else 2
+        return 1 + self.config.p + temp_terms
+
+    def width(self) -> int:
+        return HOURS_PER_DAY * (self._n_coeffs() + 2) + HOURS_PER_DAY
+
+    def encode(self, results: list, out: np.ndarray) -> None:
+        k = self._n_coeffs()
+        for row, model in zip(out, results):
+            row[:HOURS_PER_DAY] = model.profile
+            for h, hour_model in enumerate(model.hour_models):
+                base = HOURS_PER_DAY + h * (k + 2)
+                row[base : base + k] = hour_model.coefficients
+                row[base + k] = hour_model.sse
+                row[base + k + 1] = hour_model.n_observations
+
+    def decode(self, rows: np.ndarray) -> list:
+        k = self._n_coeffs()
+        cfg = self.config
+        out = []
+        for row in rows:
+            hour_models = tuple(
+                HourModel(
+                    hour=h,
+                    coefficients=row[
+                        HOURS_PER_DAY + h * (k + 2) : HOURS_PER_DAY + h * (k + 2) + k
+                    ].copy(),
+                    sse=float(row[HOURS_PER_DAY + h * (k + 2) + k]),
+                    n_observations=int(row[HOURS_PER_DAY + h * (k + 2) + k + 1]),
+                )
+                for h in range(HOURS_PER_DAY)
+            )
+            out.append(
+                ParModel(
+                    profile=row[:HOURS_PER_DAY].copy(),
+                    hour_models=hour_models,
+                    p=cfg.p,
+                    temperature_mode=cfg.temperature_mode,
+                    config=cfg,
+                )
+            )
+        return out
+
+
+def codec_for(task_label: str, kernel_kwargs: dict[str, Any]):
+    """The result codec for a batched task label, or None (pickled path).
+
+    Labels are the ``Task.value`` strings the dispatch layer passes as
+    ``task_label``; unknown labels (custom chunk kernels) simply keep
+    the pickled return path.
+    """
+    if task_label == "histogram":
+        return HistogramCodec(n_buckets=kernel_kwargs.get("n_buckets", 10))
+    if task_label == "threeline":
+        return ThreeLineCodec()
+    if task_label == "par":
+        return ParCodec(config=kernel_kwargs.get("config") or ParConfig())
+    return None
+
+
+__all__ = [
+    "HistogramCodec",
+    "PackedChunk",
+    "ParCodec",
+    "ThreeLineCodec",
+    "codec_for",
+]

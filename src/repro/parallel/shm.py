@@ -85,23 +85,59 @@ class MatrixHandle:
 #: runs against the same published dataset.
 _attached: dict[str, tuple[object, np.ndarray]] = {}
 
+#: Cap on cached attachments.  Workers under the warm pool live for the
+#: whole process, so an unbounded cache would keep every dataset ever
+#: published mapped (unlinked POSIX segments stay allocated while
+#: mapped).  A worker task touches at most three segments (consumption,
+#: temperature, result buffer), so a small cap never evicts a segment
+#: the *current* task still reads — only mappings from finished tasks.
+_ATTACHED_CACHE_MAX = 8
 
-def attach_matrix(handle: MatrixHandle) -> np.ndarray:
-    """Resolve a handle into a read-only ndarray (worker side)."""
+
+def _evict_stale_attachments() -> None:
+    """Close oldest cached mappings once over the cap (insertion order)."""
+    while len(_attached) >= _ATTACHED_CACHE_MAX:
+        name = next(iter(_attached))
+        shm, _ = _attached.pop(name)
+        try:
+            shm.close()
+        except Exception:  # pragma: no cover - close is best-effort
+            pass
+
+
+def attach_matrix(handle: MatrixHandle, writable: bool = False) -> np.ndarray:
+    """Resolve a handle into an ndarray view (worker side).
+
+    The default view is read-only; ``writable=True`` is for result
+    buffers the worker fills in place (it requires a shared-memory
+    handle — an inline handle's writes could never reach the parent).
+    """
     if handle.inline is not None:
+        if writable:
+            raise ValueError("inline handles cannot back a writable buffer")
         return handle.inline
     if handle.shm_name is None:
         raise ValueError("handle carries neither shared memory nor inline data")
     cached = _attached.get(handle.shm_name)
-    if cached is not None:
-        return cached[1]
-    if _shared_memory is None:  # pragma: no cover - guarded by publisher
-        raise RuntimeError("shared memory unavailable but handle requires it")
-    shm = _attach_untracked(handle.shm_name)
-    array = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype), buffer=shm.buf)
-    array.flags.writeable = False
-    _attached[handle.shm_name] = (shm, array)
-    return array
+    if cached is None:
+        if _shared_memory is None:  # pragma: no cover - guarded by publisher
+            raise RuntimeError("shared memory unavailable but handle requires it")
+        _evict_stale_attachments()
+        shm = _attach_untracked(handle.shm_name)
+        array = np.ndarray(
+            handle.shape, dtype=np.dtype(handle.dtype), buffer=shm.buf
+        )
+        array.flags.writeable = False
+        cached = (shm, array)
+        _attached[handle.shm_name] = cached
+    if writable:
+        # Fresh view over the same mapping; the cached view stays
+        # read-only so plain input attachments are never handed out hot.
+        shm = cached[0]
+        return np.ndarray(
+            handle.shape, dtype=np.dtype(handle.dtype), buffer=shm.buf
+        )
+    return cached[1]
 
 
 def _detach_all() -> None:
@@ -140,6 +176,28 @@ class MatrixPublisher:
         return MatrixHandle(
             shape=matrix.shape, dtype=str(matrix.dtype), shm_name=shm.name
         )
+
+    def allocate(
+        self, shape: tuple[int, ...]
+    ) -> tuple[MatrixHandle | None, np.ndarray | None]:
+        """A zero-filled float64 shared buffer for workers to write into.
+
+        Returns the picklable handle plus the parent-side writable view
+        (valid until :meth:`close`).  Returns ``(None, None)`` without
+        shared memory — result buffers have no inline fallback, callers
+        keep the pickled-return path instead.
+        """
+        if not self.use_shared_memory:
+            return None, None
+        n_bytes = int(np.prod(shape)) * np.dtype(np.float64).itemsize
+        shm = _shared_memory.SharedMemory(create=True, size=max(1, n_bytes))
+        self._blocks.append(shm)
+        view = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+        view[:] = 0.0
+        handle = MatrixHandle(
+            shape=tuple(shape), dtype="float64", shm_name=shm.name
+        )
+        return handle, view
 
     def close(self) -> None:
         """Release every block this publisher created."""

@@ -1,0 +1,196 @@
+"""Process-lifetime warm worker pool.
+
+Every pooled entry point used to build a fresh ``ProcessPoolExecutor``
+per call and tear it down before returning, so sub-second kernels paid
+worker spawn (and, on spawn platforms, interpreter + import costs) on
+every dispatch — the reason ``BENCH_kernels.json`` showed
+``batched_parallel`` losing to serial batched everywhere.  This module
+keeps ONE pool alive for the life of the process and leases it out:
+
+* :meth:`WarmPool.lease` returns the cached pool when it is healthy,
+  built by the same factory, and large enough for the request; otherwise
+  it discards the old pool and builds a fresh one.  Comparing the
+  factory *by identity* keeps test monkeypatching honest — patching
+  ``executor._make_pool`` changes the factory object, so a lease under a
+  patch can never return a pool the patch did not build.
+* :meth:`WarmPool.invalidate` drops the cached reference after the
+  resilience supervisor has terminated a broken pool, and
+  :meth:`WarmPool.respawn` is handed to the supervisor as its
+  ``pool_factory`` — so a ``BrokenProcessPool`` recovery *recycles* the
+  warm pool (the replacement becomes the new warm pool) instead of
+  leaking an orphan executor.
+* :meth:`WarmPool.dispatch_overhead_s` measures the pool's no-op
+  round-trip latency (cached per pool generation) — the measured input
+  of the chunk-size cost model in :mod:`repro.cluster.costmodel`.
+
+The pool is shut down at interpreter exit via ``atexit``; tests can call
+:func:`reset_warm_pool` to force a cold start.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+import time
+from typing import Any, Callable
+
+#: Timeout for one no-op probe; a pool that cannot answer in this long
+#: is useless for sub-second kernels anyway.
+_PROBE_TIMEOUT_S = 30.0
+
+
+def _noop() -> None:
+    """Worker-side no-op for round-trip probing (module-level: picklable)."""
+
+
+class WarmPool:
+    """A lazily built, reused-until-broken process pool."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pool: Any = None
+        self._workers = 0
+        self._factory: Callable[[int], Any] | None = None
+        self._generation = 0
+        self._overhead_s: float | None = None
+        atexit.register(self.shutdown)
+
+    @staticmethod
+    def _healthy(pool: Any) -> bool:
+        """True when the executor can still accept submissions."""
+        if pool is None:
+            return False
+        # ProcessPoolExecutor internals, read defensively: `_broken` is
+        # falsy until a worker dies, `_shutdown_thread` truthy once
+        # shutdown() ran.  An attribute-less fake pool counts as healthy.
+        if getattr(pool, "_broken", False):
+            return False
+        if getattr(pool, "_shutdown_thread", False):
+            return False
+        return True
+
+    def lease(self, n_workers: int, factory: Callable[[int], Any]) -> Any:
+        """The warm pool, respawned first if unusable for this request.
+
+        A cached pool is reused when it was built by this same
+        ``factory`` object, has at least ``n_workers`` workers, and is
+        healthy.  May return ``None`` when ``factory`` does (platform
+        without process pools) — callers fall back to serial, exactly as
+        with a per-call pool.
+        """
+        with self._lock:
+            if (
+                self._pool is not None
+                and factory is self._factory
+                and self._workers >= n_workers
+                and self._healthy(self._pool)
+            ):
+                return self._pool
+            return self._respawn_locked(n_workers, factory)
+
+    def respawn(self, n_workers: int, factory: Callable[[int], Any]) -> Any:
+        """Discard the cached pool and make its replacement the warm one.
+
+        This is the supervisor's ``pool_factory`` under warm pooling:
+        the pool built to recover from a crash is registered here, so it
+        stays warm for subsequent dispatch calls instead of leaking.
+        """
+        with self._lock:
+            return self._respawn_locked(n_workers, factory)
+
+    def _respawn_locked(self, n_workers: int, factory: Callable[[int], Any]):
+        self._discard_locked()
+        pool = factory(n_workers)
+        self._pool = pool
+        self._workers = n_workers if pool is not None else 0
+        self._factory = factory
+        self._generation += 1
+        self._overhead_s = None
+        return pool
+
+    def _discard_locked(self) -> None:
+        pool, self._pool = self._pool, None
+        self._workers = 0
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - teardown is best-effort
+                pass
+
+    def invalidate(self, pool: Any = None) -> None:
+        """Forget a pool the supervisor terminated (no double-shutdown).
+
+        With no argument, drops whatever is cached.  With a pool, drops
+        the cache only if it still *is* that pool — a replacement
+        registered through :meth:`respawn` in the meantime stays warm.
+        """
+        with self._lock:
+            if pool is not None and pool is not self._pool:
+                return
+            # The supervisor already terminated the workers; shutdown
+            # here only reaps executor bookkeeping.
+            self._discard_locked()
+
+    def shutdown(self) -> None:
+        """Tear the warm pool down (atexit, tests)."""
+        with self._lock:
+            self._discard_locked()
+            self._factory = None
+            self._overhead_s = None
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the current pool's worker processes (for leak tests)."""
+        with self._lock:
+            processes = getattr(self._pool, "_processes", None) or {}
+            return list(processes.keys())
+
+    @property
+    def generation(self) -> int:
+        """Bumped every respawn; overhead measurements cache against it."""
+        with self._lock:
+            return self._generation
+
+    def dispatch_overhead_s(self) -> float | None:
+        """Measured no-op round-trip through the pool, or None.
+
+        The first probe also absorbs worker start-up (the pool is lazy),
+        which is exactly the warm-up a persistent pool amortizes; the
+        *minimum* of two probes is the steady-state dispatch cost the
+        chunk-size model should price.  Cached until the next respawn.
+        """
+        with self._lock:
+            pool = self._pool
+            cached = self._overhead_s
+        if pool is None or not self._healthy(pool):
+            return None
+        if cached is not None:
+            return cached
+        try:
+            overhead = None
+            for _ in range(2):
+                tic = time.perf_counter()
+                pool.submit(_noop).result(timeout=_PROBE_TIMEOUT_S)
+                elapsed = time.perf_counter() - tic
+                overhead = elapsed if overhead is None else min(overhead, elapsed)
+        except Exception:
+            return None
+        with self._lock:
+            if pool is self._pool:
+                self._overhead_s = overhead
+        return overhead
+
+
+_warm_pool = WarmPool()
+
+
+def get_warm_pool() -> WarmPool:
+    """The process-wide warm pool singleton."""
+    return _warm_pool
+
+
+def reset_warm_pool() -> None:
+    """Shut the singleton down so the next lease starts cold (tests)."""
+    _warm_pool.shutdown()
+
+
+__all__ = ["WarmPool", "get_warm_pool", "reset_warm_pool"]

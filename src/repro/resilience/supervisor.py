@@ -50,14 +50,23 @@ def supervised_map(
     policy: ExecutionPolicy,
     report: ExecutionReport | None = None,
     label: str = "task",
+    owns_pool: bool = True,
+    on_pool_failure: Callable[[Any], None] | None = None,
 ) -> list[Any]:
     """Run ``(entry, args)`` chunks on the pool with supervision.
 
-    Returns one result per entry, in entry order.  Takes ownership of
-    ``pool`` (shuts it down before returning); ``pool_factory`` builds
-    replacements after a crash and may return ``None``, in which case
-    the remaining chunks run in-process (where injected kills are
-    suppressed, so the fallback always makes progress).
+    Returns one result per entry, in entry order.  With ``owns_pool``
+    (the default) the pool is shut down before returning; pass
+    ``owns_pool=False`` for a *warm* pool that the caller keeps alive
+    across calls — a healthy pool is then left running, and only broken
+    or timed-out pools are terminated.  ``on_pool_failure`` is invoked
+    with each pool this supervisor terminates, so a warm-pool owner can
+    drop its cached reference (its ``pool_factory`` should then register
+    the replacement as the new warm pool — that is what makes crash
+    recovery *recycle* the warm pool instead of leaking executors).
+    ``pool_factory`` may return ``None``, in which case the remaining
+    chunks run in-process (where injected kills are suppressed, so the
+    fallback always makes progress).
     """
     report = report if report is not None else ExecutionReport()
     parent_pid = os.getpid()
@@ -84,33 +93,47 @@ def supervised_map(
                         parent_pid,
                     )
                 return results
-            futures = {
-                i: pool.submit(
-                    run_guarded,
-                    entries[i][0],
-                    entries[i][1],
-                    label,
-                    i,
-                    accounts[i].failures,
-                    policy.faults,
-                    parent_pid,
-                )
-                for i in incomplete
-            }
             failure: BaseException | None = None
-            for i in incomplete:
-                try:
-                    results[i] = futures[i].result(timeout=policy.task_timeout_s)
-                except _INFRASTRUCTURE_ERRORS as exc:
-                    failure = exc
-                    if isinstance(exc, cf.TimeoutError):
-                        report.timeouts += 1
-                    break
+            futures: dict[int, Any] = {}
+            try:
+                for i in incomplete:
+                    futures[i] = pool.submit(
+                        run_guarded,
+                        entries[i][0],
+                        entries[i][1],
+                        label,
+                        i,
+                        accounts[i].failures,
+                        policy.faults,
+                        parent_pid,
+                    )
+            except _INFRASTRUCTURE_ERRORS as exc:
+                # A warm pool can arrive with a worker already dying (the
+                # breakage only surfaces at submit); treat it like any
+                # other pool failure and respawn.
+                failure = exc
+            if failure is None:
+                for i in incomplete:
+                    try:
+                        results[i] = futures[i].result(
+                            timeout=policy.task_timeout_s
+                        )
+                    except _INFRASTRUCTURE_ERRORS as exc:
+                        failure = exc
+                        if isinstance(exc, cf.TimeoutError):
+                            report.timeouts += 1
+                        break
             if failure is None:
                 return results
-            _harvest_completed(futures, results, failure)
+            # Terminate before harvesting: harvesting can raise a kernel
+            # exception, and the failed pool must not outlive this call
+            # even then (completed futures keep their results after
+            # shutdown, so harvesting after termination loses nothing).
             _terminate_pool(pool)
+            if on_pool_failure is not None:
+                on_pool_failure(pool)
             pool = None
+            _harvest_completed(futures, results, failure)
             still = [i for i in range(n) if results[i] is _PENDING]
             exhausted: list[int] = []
             for i in still:
@@ -130,7 +153,7 @@ def supervised_map(
             if pool is not None:
                 report.pool_respawns += 1
     finally:
-        if pool is not None:
+        if pool is not None and owns_pool:
             try:
                 pool.shutdown(wait=True, cancel_futures=True)
             except Exception:  # pragma: no cover - teardown is best-effort

@@ -15,6 +15,7 @@ import pytest
 
 from repro.batched import (
     AUTO_BATCH_MIN_CONSUMERS,
+    batched_fit_bands,
     batched_histograms,
     batched_par,
     batched_three_lines,
@@ -22,6 +23,7 @@ from repro.batched import (
     run_batched_task,
     wants_batched,
 )
+from repro.batched.threeline import batched_percentile_points
 from repro.batched.par import (
     PAR_COEFF_ATOL,
     PAR_COEFF_RTOL,
@@ -36,7 +38,12 @@ from repro.core.benchmark import (
 )
 from repro.core.histogram import equi_width_histogram
 from repro.core.par import ParConfig, fit_par
-from repro.core.threeline import fit_three_lines
+from repro.core.threeline import (
+    PhaseTimes,
+    ThreeLineConfig,
+    fit_bands,
+    fit_three_lines,
+)
 from repro.core.validation import compare_task_results
 from repro.datagen.seed import SeedConfig, make_seed_dataset
 from repro.exceptions import DataError, InsufficientDataError
@@ -57,6 +64,22 @@ def dataset():
 def _assert_histograms_identical(reference, batched):
     assert np.array_equal(reference.edges, batched.edges)
     assert np.array_equal(reference.counts, batched.counts)
+
+
+def _assert_threeline_identical(ref, got):
+    """Every float of a 3-line model matches bit for bit."""
+    for side in ("band_upper", "band_lower"):
+        ref_band, got_band = getattr(ref, side), getattr(got, side)
+        assert ref_band.breakpoints == got_band.breakpoints
+        assert ref_band.sse == got_band.sse
+        assert ref_band.adjusted == got_band.adjusted
+        for ref_line, got_line in zip(ref_band.lines, got_band.lines):
+            assert ref_line.slope == got_line.slope
+            assert ref_line.intercept == got_line.intercept
+    assert ref.base_load == got.base_load
+    assert ref.heating_gradient == got.heating_gradient
+    assert ref.cooling_gradient == got.cooling_gradient
+    assert ref.temperature_range == got.temperature_range
 
 
 class TestBatchedHistogram:
@@ -121,17 +144,7 @@ class TestBatchedThreeLine:
             ref = fit_three_lines(
                 dataset.consumption[i], dataset.temperature[i]
             )
-            got = results[i]
-            for side in ("band_upper", "band_lower"):
-                ref_band, got_band = getattr(ref, side), getattr(got, side)
-                assert ref_band.breakpoints == got_band.breakpoints
-                assert ref_band.sse == got_band.sse
-                for ref_line, got_line in zip(ref_band.lines, got_band.lines):
-                    assert ref_line.slope == got_line.slope
-                    assert ref_line.intercept == got_line.intercept
-            assert ref.base_load == got.base_load
-            assert ref.heating_gradient == got.heating_gradient
-            assert ref.cooling_gradient == got.cooling_gradient
+            _assert_threeline_identical(ref, results[i])
 
     def test_all_zero_consumption_row(self, dataset):
         cons = dataset.consumption.copy()
@@ -148,6 +161,151 @@ class TestBatchedThreeLine:
             fit_three_lines(dataset.consumption[1], temp[1])
         with pytest.raises(InsufficientDataError):
             batched_three_lines(dataset.consumption, temp)
+
+    def test_phase_times_populated(self, dataset):
+        phases = PhaseTimes()
+        batched_three_lines(dataset.consumption, dataset.temperature, None, phases)
+        assert phases.t1_quantiles > 0.0
+        assert phases.t2_regression > 0.0
+        assert phases.t3_adjust > 0.0
+
+
+class TestBatchedThreeLineEdgeCases:
+    """Stacked T2/T3 stays bit-identical on the paths that could diverge.
+
+    The stacked search replaces the reference's sequential breakpoint
+    scan with a whole-matrix argmin plus a sequential-scan fallback on
+    near-ties, and pads ragged per-consumer point lists into a dense
+    matrix — degenerate bands, dropped consumers, and mixed point counts
+    are exactly where that machinery could break the contract.
+    """
+
+    def test_degenerate_tie_rows_bit_identical(self, dataset):
+        # An all-zero consumption row makes every candidate's SSE exactly
+        # 0.0 (the sequential-scan tie fallback); a constant row makes
+        # every segment fit degenerate (varx ~ 0 branch); a pure ramp
+        # makes every segment fit exact.
+        cons = dataset.consumption.copy()
+        cons[0] = 0.0
+        cons[1] = 2.5
+        cons[2] = np.linspace(0.0, 4.0, cons.shape[1])
+        results = batched_three_lines(cons, dataset.temperature)
+        for i in range(dataset.n_consumers):
+            ref = fit_three_lines(cons[i], dataset.temperature[i])
+            _assert_threeline_identical(ref, results[i])
+
+    def test_tie_rows_force_adjusted_and_unadjusted_joins(self, dataset):
+        # The degenerate rows above exercise both T3 branches; check the
+        # adjusted flags agree rather than silently comparing equal bands.
+        cons = dataset.consumption.copy()
+        cons[0] = 0.0
+        results = batched_three_lines(cons, dataset.temperature)
+        ref = fit_three_lines(cons[0], dataset.temperature[0])
+        assert results[0].band_lower.adjusted == ref.band_lower.adjusted
+        assert results[0].band_upper.adjusted == ref.band_upper.adjusted
+
+    def test_fewer_than_three_bins_raise_parity(self, dataset):
+        # Two rounded temperature bins -> 2 percentile points, below the
+        # 3 * min_segment_points floor.  The reference message names the
+        # point count; the batched one must match it exactly.
+        temp = dataset.temperature.copy()
+        half = temp.shape[1] // 2
+        temp[3] = 18.0
+        temp[3, half:] = 19.0
+        with pytest.raises(InsufficientDataError) as ref_exc:
+            fit_three_lines(dataset.consumption[3], temp[3])
+        with pytest.raises(InsufficientDataError) as got_exc:
+            batched_three_lines(dataset.consumption, temp)
+        assert str(got_exc.value) == str(ref_exc.value)
+
+    def test_all_dropped_consumer_raise_parity(self, dataset):
+        # Every reading in its own bin -> every bin below min_bin_count
+        # -> zero percentile points survive for that consumer.
+        temp = dataset.temperature.copy()
+        temp[4] = np.arange(temp.shape[1], dtype=np.float64)
+        with pytest.raises(InsufficientDataError) as ref_exc:
+            fit_three_lines(dataset.consumption[4], temp[4])
+        with pytest.raises(InsufficientDataError) as got_exc:
+            batched_three_lines(dataset.consumption, temp)
+        assert "0 percentile points" in str(got_exc.value)
+        assert str(got_exc.value) == str(ref_exc.value)
+
+    def test_first_bad_consumer_wins(self, dataset):
+        # Reference loops consumers in order, so the first offender's
+        # error surfaces; give consumers 2 and 5 different failures and
+        # check consumer 2's (all-dropped) message wins.
+        temp = dataset.temperature.copy()
+        temp[2] = np.arange(temp.shape[1], dtype=np.float64)
+        temp[5] = 18.0
+        with pytest.raises(InsufficientDataError) as got_exc:
+            batched_three_lines(dataset.consumption, temp)
+        with pytest.raises(InsufficientDataError) as ref_exc:
+            fit_three_lines(dataset.consumption[2], temp[2])
+        assert str(got_exc.value) == str(ref_exc.value)
+
+    def test_nan_heavy_raise_parity(self, dataset):
+        cons = dataset.consumption.copy()
+        cons[::2] = np.nan
+        with pytest.raises(DataError, match="NaN") as got_exc:
+            batched_three_lines(cons, dataset.temperature)
+        with pytest.raises(DataError, match="NaN") as ref_exc:
+            fit_three_lines(cons[0], dataset.temperature[0])
+        assert str(got_exc.value) == str(ref_exc.value)
+        temp = dataset.temperature.copy()
+        temp[1, 7] = np.nan
+        with pytest.raises(DataError, match="NaN"):
+            batched_three_lines(dataset.consumption, temp)
+
+    def test_fit_bands_direct_bit_identity(self, dataset):
+        cfg = ThreeLineConfig()
+        row_splits, temps, lower, upper, counts = batched_percentile_points(
+            dataset.consumption, dataset.temperature, cfg
+        )
+        got = batched_fit_bands(row_splits, temps, lower, upper, counts, cfg)
+        for c in range(dataset.n_consumers):
+            sl = slice(row_splits[c], row_splits[c + 1])
+            ref = fit_bands(temps[sl], lower[sl], upper[sl], counts[sl], cfg)
+            _assert_threeline_identical(ref, got[c])
+
+    def test_fit_bands_descending_temps_raise_parity(self):
+        temps = np.array([10.0, 12.0, 11.0, 13.0, 14.0, 15.0])
+        vals = np.linspace(1.0, 2.0, 6)
+        counts = np.full(6, 5.0)
+        with pytest.raises(DataError) as ref_exc:
+            fit_bands(temps, vals, vals, counts)
+        with pytest.raises(DataError) as got_exc:
+            batched_fit_bands(
+                np.array([0, 6]), temps, vals, vals, counts
+            )
+        assert str(got_exc.value) == str(ref_exc.value)
+
+    def test_unweighted_config_bit_identical(self, dataset):
+        cfg = ThreeLineConfig(weight_by_count=False)
+        results = batched_three_lines(
+            dataset.consumption, dataset.temperature, cfg
+        )
+        for i in range(dataset.n_consumers):
+            ref = fit_three_lines(
+                dataset.consumption[i], dataset.temperature[i], cfg
+            )
+            _assert_threeline_identical(ref, results[i])
+
+    def test_ragged_point_counts_bit_identical(self):
+        # Consumers with very different numbers of surviving bins stress
+        # the ragged-to-dense padding: narrow rows must not read their
+        # neighbours' padding columns.
+        rng = np.random.default_rng(19)
+        n, hours = 8, 24 * 30
+        temp = rng.uniform(-10, 30, size=(n, hours))
+        for i in range(n):
+            # Shrink consumer i's temperature span so point counts vary.
+            span = 6 + 3 * i
+            temp[i] = np.round(rng.uniform(0, span, size=hours))
+        cons = rng.gamma(2.0, 0.5, size=(n, hours))
+        results = batched_three_lines(cons, temp)
+        for i in range(n):
+            ref = fit_three_lines(cons[i], temp[i])
+            _assert_threeline_identical(ref, results[i])
 
 
 class TestBatchedPar:
@@ -250,20 +408,28 @@ class TestDispatch:
             for cid in loop:
                 _assert_histograms_identical(loop[cid], got[cid])
 
-    @pytest.mark.parametrize("jobs", [2, 4])
-    def test_batched_composes_with_parallel_chunking(self, dataset, jobs):
-        # Chunking must not change results: histogram rows are
-        # independent and the 3-line/PAR chunks reproduce the same
-        # per-consumer systems regardless of the split.
-        for task in (Task.HISTOGRAM, Task.PAR):
-            loop = run_task_reference(dataset, task, BenchmarkSpec())
-            got = run_task_reference(
-                dataset, task, BenchmarkSpec(kernel="batched", n_jobs=jobs)
-            )
-            compare_task_results(task, loop, got)
-            if task == Task.HISTOGRAM:
-                for cid in loop:
-                    _assert_histograms_identical(loop[cid], got[cid])
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    @pytest.mark.parametrize(
+        "task", [Task.HISTOGRAM, Task.THREELINE, Task.PAR]
+    )
+    def test_batched_composes_with_parallel_chunking(self, dataset, task, jobs):
+        # The full kernel x n_jobs matrix: chunking must not change
+        # results — histogram rows are independent, the stacked 3-line
+        # T2/T3 treats each padded row independently, and the PAR chunks
+        # reproduce the same per-consumer systems regardless of the
+        # split.  Histogram and 3-line must be bit-identical, PAR within
+        # its documented tolerance (compare_task_results).
+        loop = run_task_reference(dataset, task, BenchmarkSpec())
+        got = run_task_reference(
+            dataset, task, BenchmarkSpec(kernel="batched", n_jobs=jobs)
+        )
+        compare_task_results(task, loop, got)
+        if task == Task.HISTOGRAM:
+            for cid in loop:
+                _assert_histograms_identical(loop[cid], got[cid])
+        elif task == Task.THREELINE:
+            for cid in loop:
+                _assert_threeline_identical(loop[cid], got[cid])
 
     def test_run_batched_task_defaults_to_serial_spec(self, dataset):
         got = run_batched_task(dataset, Task.HISTOGRAM)

@@ -244,6 +244,94 @@ class TestWorkerCrashRecovery:
         assert report.pool_respawns >= 1
 
 
+class TestWarmPoolLifecycle:
+    """Crash recovery must recycle the warm pool, never leak workers.
+
+    The executor leases a process-lifetime warm pool
+    (:mod:`repro.parallel.warmpool`); when the supervisor kills a broken
+    pool it invalidates the cached reference and registers the respawned
+    pool as the new warm one.  A leak here would accumulate orphaned
+    worker processes for the rest of the parent's lifetime.
+    """
+
+    @staticmethod
+    def _live_child_pids(exclude=()):
+        import multiprocessing
+
+        # active_children() also joins finished children, reaping
+        # zombies, so what remains is genuinely alive.
+        return {
+            p.pid
+            for p in multiprocessing.active_children()
+            if p.is_alive() and p.pid not in exclude
+        }
+
+    def test_no_zombie_workers_after_forced_crash(self, small_seed):
+        import time
+
+        from repro.parallel.warmpool import get_warm_pool, reset_warm_pool
+
+        reset_warm_pool()
+        baseline = self._live_child_pids()
+        policy = ExecutionPolicy(
+            backoff=FAST_BACKOFF,
+            faults=FaultPlan(kill_probability=1.0, seed=5),
+        )
+        report = ExecutionReport()
+        survived = run_task_parallel(
+            small_seed, Task.HISTOGRAM, n_jobs=2, policy=policy, report=report
+        )
+        serial = run_task_reference(small_seed, Task.HISTOGRAM)
+        assert_results_identical(Task.HISTOGRAM, serial, survived)
+        assert report.pool_respawns >= 1
+        # Every live child must be either pre-existing or a worker of
+        # the *current* warm pool; terminated workers can take a moment
+        # to be reaped, so poll briefly before declaring a leak.
+        deadline = time.monotonic() + 10.0
+        while True:
+            allowed = baseline | set(get_warm_pool().worker_pids())
+            leaked = self._live_child_pids() - allowed
+            if not leaked or time.monotonic() > deadline:
+                break
+            time.sleep(0.05)
+        assert not leaked, f"leaked worker processes: {sorted(leaked)}"
+
+    def test_warm_pool_reused_across_calls(self, small_seed):
+        from repro.parallel.warmpool import get_warm_pool, reset_warm_pool
+
+        reset_warm_pool()
+        run_task_parallel(small_seed, Task.HISTOGRAM, n_jobs=2)
+        first_generation = get_warm_pool().generation
+        first_pids = set(get_warm_pool().worker_pids())
+        assert first_pids  # the dispatch actually leased a pool
+        run_task_parallel(small_seed, Task.PAR, n_jobs=2)
+        # No crash happened, so the second dispatch must reuse the same
+        # pool instead of respawning.
+        assert get_warm_pool().generation == first_generation
+        assert set(get_warm_pool().worker_pids()) == first_pids
+
+    def test_crash_respawn_becomes_new_warm_pool(self, small_seed):
+        from repro.parallel.warmpool import get_warm_pool, reset_warm_pool
+
+        reset_warm_pool()
+        run_task_parallel(small_seed, Task.HISTOGRAM, n_jobs=2)
+        generation_before = get_warm_pool().generation
+        policy = ExecutionPolicy(
+            backoff=FAST_BACKOFF,
+            faults=FaultPlan(kill_probability=1.0, seed=5),
+        )
+        run_task_parallel(
+            small_seed, Task.HISTOGRAM, n_jobs=2, policy=policy
+        )
+        # The supervisor terminated the crashed pool and registered its
+        # replacement, so the warm pool advanced generations and is
+        # healthy for the next caller.
+        assert get_warm_pool().generation > generation_before
+        serial = run_task_reference(small_seed, Task.HISTOGRAM)
+        survived = run_task_parallel(small_seed, Task.HISTOGRAM, n_jobs=2)
+        assert_results_identical(Task.HISTOGRAM, serial, survived)
+
+
 class TestQuarantine:
     QUARANTINE = BenchmarkSpec(on_error="quarantine")
 
