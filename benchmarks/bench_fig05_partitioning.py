@@ -1,23 +1,40 @@
-"""Figure 5: file partitioning impact on Matlab's 3-line algorithm."""
+"""Figure 5: partitioning impact — file layouts and the v1/v2 column stores."""
 
 from conftest import run_once, series
 
 from repro.harness.single_server import figure5
 
 
-def test_fig5_partitioned_files_win(benchmark, quick_scale):
+def test_fig5_partitioning_wins(benchmark, quick_scale):
     result = run_once(benchmark, lambda: figure5(scale=quick_scale))
 
     # Paper: Matlab operates much more efficiently when each consumer's
     # data is in its own file; the gap holds at the largest size.
-    largest = max(r["gb"] for r in series(result))
-    part = series(result, gb=largest, layout="partitioned")[0]["seconds"]
-    unpart = series(result, gb=largest, layout="un-partitioned")[0]["seconds"]
+    matlab = series(result, platform="matlab")
+    largest = max(r["gb"] for r in matlab)
+    part = series(result, platform="matlab", gb=largest, layout="partitioned")[0]["seconds"]
+    unpart = series(result, platform="matlab", gb=largest, layout="un-partitioned")[0]["seconds"]
     assert part < unpart
 
-    # Running time grows with data size on the partitioned layout.
-    sizes = sorted({r["gb"] for r in series(result)})
+    # Running time grows with data size on the partitioned file layout.
+    sizes = sorted({r["gb"] for r in matlab})
     part_times = [
-        series(result, gb=gb, layout="partitioned")[0]["seconds"] for gb in sizes
+        series(result, platform="matlab", gb=gb, layout="partitioned")[0]["seconds"]
+        for gb in sizes
     ]
     assert part_times[-1] > part_times[0] * 0.8  # allow jitter, forbid shrink
+
+    # Storage v2: the figure now also compares System C's v1 memmap store
+    # against the v2 partitioned store on the same axis.
+    v2_sizes = sorted({r["gb"] for r in series(result, platform="systemc")})
+    assert v2_sizes == sizes, "systemc storage rows missing sizes"
+    for gb in v2_sizes:
+        v1 = series(result, platform="systemc", gb=gb, layout="v1-memmap")
+        v2 = series(result, platform="systemc", gb=gb, layout="v2-partitioned")
+        assert len(v1) == 1 and len(v2) == 1
+        assert v1[0]["seconds"] > 0 and v2[0]["seconds"] > 0
+    v2_times = [
+        series(result, platform="systemc", gb=gb, layout="v2-partitioned")[0]["seconds"]
+        for gb in v2_sizes
+    ]
+    assert v2_times[-1] > v2_times[0] * 0.8  # cost grows with size on v2 too

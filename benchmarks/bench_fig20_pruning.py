@@ -1,0 +1,39 @@
+"""Figure 20: zone-map pruning, compression and out-of-core budget claims."""
+
+from conftest import run_once, series
+
+from repro.harness.storage_figures import figure20
+
+
+def _metric(result, name):
+    rows = series(result, metric=name)
+    assert len(rows) == 1, f"expected one {name} row"
+    return rows[0]
+
+
+def test_fig20_storage_claims(benchmark, quick_scale):
+    result = run_once(
+        benchmark, lambda: figure20(scale=quick_scale, n_consumers=600)
+    )
+
+    full = _metric(result, "full_scan")
+    pruned = _metric(result, "pruned_scan")
+    zonemap = _metric(result, "zonemap_scan")
+    ooc = _metric(result, "out_of_core_sweep")
+    compressed = _metric(result, "compressed_bytes")
+
+    # Pruning reads a strict subset of partitions and rows.
+    assert pruned["value"] < full["value"]  # partitions scanned
+    assert pruned["rows"] < full["rows"]
+    assert pruned["seconds_or_bytes"] < full["seconds_or_bytes"]
+
+    # A predicate no reading satisfies decodes zero partitions.
+    assert zonemap["value"] == 0
+    assert zonemap["rows"] == 0
+
+    # The out-of-core sweep honours its memory budget: the peak decoded
+    # batch never exceeds it.
+    assert ooc["value"] <= ooc["reference"]
+
+    # Meter-precision readings compress to at most half the raw bytes.
+    assert compressed["value"] <= 0.5 * compressed["reference"]

@@ -1,4 +1,4 @@
-"""Benchmark-regression harness for the batched kernels.
+"""Benchmark-regression harness for the batched kernels and the v2 store.
 
 Measures loop vs batched vs batched+parallel wall times for the three
 per-consumer tasks at several consumer counts and writes the numbers to
@@ -8,6 +8,14 @@ up in review).  Runs standalone — no pytest required::
     python benchmarks/regress.py            # full sweep, repo-root JSON
     python benchmarks/regress.py --quick    # one small scale (CI smoke)
     python benchmarks/regress.py --out path/to.json
+    python benchmarks/regress.py --storage  # storage-v2 gates -> BENCH_storage.json
+
+``--storage`` switches to the columnar-storage-v2 suite: full vs pruned
+scan speed, compressed size vs raw, the out-of-core memory budget, and
+bit-identity of all four tasks between the v1 memmap and v2 partitioned
+stores.  Results land in ``BENCH_storage.json`` and the same gates are
+enforced via the exit status (quick mode waives the scan-speed floor,
+which needs n=1000 to be meaningful).
 
 Exit status is non-zero if, at the largest measured scale with at least
 1000 consumers, any task falls below the 5x batched speedup floor, or
@@ -180,6 +188,211 @@ def check_floor(rows):
     return ok
 
 
+# Storage v2 suite -----------------------------------------------------------
+
+#: Scan-gate scale: 1000 consumers x 90 days -> a 4 x 3 partition grid
+#: at the default 256-consumer x 30-day tile, so the selective scan
+#: (one group x one month) decodes 1 of 12 partitions.
+STORAGE_SCAN_N = 1000
+STORAGE_HOURS = 24 * 90
+QUICK_STORAGE_SCAN_N = 100
+#: Bit-identity scale (all four tasks run twice, so kept moderate).
+STORAGE_IDENTITY_N = 300
+QUICK_STORAGE_IDENTITY_N = 40
+#: The configured out-of-core budget for the large-scale run.
+STORAGE_BUDGET_BYTES = 64 * 1024 * 1024
+#: Gates.
+STORAGE_MIN_SCAN_SPEEDUP = 5.0
+STORAGE_MAX_COMPRESSION_RATIO = 0.5
+
+ALL_TASKS = (Task.HISTOGRAM, Task.THREELINE, Task.PAR, Task.SIMILARITY)
+
+
+def _drain_scan(table, **scan_kwargs) -> float:
+    total = 0.0
+    for batch in table.scan(**scan_kwargs):
+        total += float(batch.columns["consumption"].sum())
+    return total
+
+
+def measure_storage(quick: bool, repeats: int):
+    """The storage-v2 measurement suite; returns the JSON payload body."""
+    import tempfile
+
+    from repro.columnar.colstore import ColumnStore
+    from repro.columnar.outofcore import iter_consumer_blocks
+    from repro.columnar.partstore import PartitionedStore
+    from repro.core.validation import (
+        ValidationFailure,
+        assert_identical_task_results,
+    )
+    from repro.datagen.seed import quantize_readings
+    from repro.engines.base import create_engine
+
+    workdir = Path(tempfile.mkdtemp(prefix="regress_storage_"))
+    n_scan = QUICK_STORAGE_SCAN_N if quick else STORAGE_SCAN_N
+    dataset = quantize_readings(
+        make_seed_dataset(
+            SeedConfig(n_consumers=n_scan, n_hours=STORAGE_HOURS, seed=1234)
+        )
+    )
+
+    store = PartitionedStore(workdir / "v2")
+    table = store.ingest_dataset(dataset)
+    v1_table = ColumnStore(workdir / "v1").ingest_dataset(dataset, "readings")
+    v1_bytes = sum(
+        f.stat().st_size for f in v1_table.directory.iterdir() if f.is_file()
+    )
+
+    # Scan gate: full vs one-group-one-month selective scan.
+    full_s = _best_of(lambda: _drain_scan(table), repeats)
+    full_parts = table.last_scan_stats.partitions_scanned
+    c_hi = min(table.consumers_per_part, n_scan)
+    h_hi = min(table.days_per_part * 24, table.n_hours)
+    pruned_s = _best_of(
+        lambda: _drain_scan(
+            table, consumer_range=(0, c_hi), hour_range=(0, h_hi)
+        ),
+        repeats,
+    )
+    pruned_parts = table.last_scan_stats.partitions_scanned
+    scan = {
+        "n_consumers": n_scan,
+        "hours": STORAGE_HOURS,
+        "full_s": round(full_s, 6),
+        "pruned_s": round(pruned_s, 6),
+        "speedup": round(full_s / pruned_s, 3) if pruned_s > 0 else None,
+        "partitions_total": table.last_scan_stats.partitions_total,
+        "partitions_full": full_parts,
+        "partitions_pruned_scan": pruned_parts,
+        "min_speedup_floor": STORAGE_MIN_SCAN_SPEEDUP,
+    }
+    print(
+        f"scan      n={n_scan:>5} full {full_s * 1e3:8.1f} ms "
+        f"({full_parts} parts)  pruned {pruned_s * 1e3:8.1f} ms "
+        f"({pruned_parts} parts)  speedup {full_s / pruned_s:5.2f}x"
+    )
+
+    # Compression gate.
+    raw = table.raw_bytes()
+    compressed = table.compressed_bytes()
+    compression = {
+        "raw_bytes": raw,
+        "compressed_bytes": compressed,
+        "ratio": round(compressed / raw, 4),
+        "v1_store_bytes": v1_bytes,
+        "max_ratio": STORAGE_MAX_COMPRESSION_RATIO,
+    }
+    print(
+        f"compress  {compressed}/{raw} bytes = {compressed / raw:5.3f}x raw "
+        f"(v1 store {v1_bytes / raw:5.3f}x)"
+    )
+
+    # Out-of-core gate: a full per-consumer sweep under the configured
+    # budget.  The block chooser budgets the assembled block matrices at
+    # half the budget (the other half covers decode scratch); the scan
+    # itself raises if any single partition cannot fit.
+    table.scan_peak_bytes = 0
+    peak_block = 0
+    blocks = 0
+    for _c0, _ids, matrices in iter_consumer_blocks(
+        table, memory_budget_bytes=STORAGE_BUDGET_BYTES
+    ):
+        peak_block = max(
+            peak_block, sum(m.nbytes for m in matrices.values())
+        )
+        blocks += 1
+    out_of_core = {
+        "n_consumers": n_scan,
+        "hours": STORAGE_HOURS,
+        "budget_bytes": STORAGE_BUDGET_BYTES,
+        "blocks": blocks,
+        "peak_block_bytes": peak_block,
+        "peak_batch_bytes": table.scan_peak_bytes,
+        "completed": True,
+    }
+    print(
+        f"ooc       {blocks} blocks, peak block "
+        f"{peak_block / 1e6:.1f} MB / budget "
+        f"{STORAGE_BUDGET_BYTES / 1e6:.1f} MB"
+    )
+
+    # Bit-identity gate: all four tasks, v1 vs v2 engines.
+    n_id = QUICK_STORAGE_IDENTITY_N if quick else STORAGE_IDENTITY_N
+    id_dataset = quantize_readings(
+        make_seed_dataset(
+            SeedConfig(n_consumers=n_id, n_hours=24 * 60, seed=77)
+        )
+    )
+    eng_v1 = create_engine("systemc")
+    eng_v1.load_dataset(id_dataset, workdir / "id_v1")
+    eng_v2 = create_engine(
+        "systemc", store="v2", memory_budget_bytes=STORAGE_BUDGET_BYTES
+    )
+    eng_v2.load_dataset(id_dataset, workdir / "id_v2")
+    identity_tasks = {}
+    for task in ALL_TASKS:
+        a = eng_v1.run_task(task)
+        b = eng_v2.run_task(task)
+        try:
+            assert_identical_task_results(task, a, b)
+            identity_tasks[task.value] = "identical"
+        except ValidationFailure as exc:
+            identity_tasks[task.value] = f"MISMATCH: {exc}"
+    bit_identity = {"n_consumers": n_id, "hours": 24 * 60,
+                    "tasks": identity_tasks}
+    print(f"identity  n={n_id}: " + ", ".join(
+        f"{t}={'ok' if v == 'identical' else 'MISMATCH'}"
+        for t, v in identity_tasks.items()
+    ))
+
+    return {
+        "scan": scan,
+        "compression": compression,
+        "out_of_core": out_of_core,
+        "bit_identity": bit_identity,
+    }
+
+
+def check_storage(body, quick: bool) -> bool:
+    """Enforce the storage gates; quick mode waives the scan-speed floor."""
+    ok = True
+    scan = body["scan"]
+    if not quick and (
+        scan["speedup"] is None
+        or scan["speedup"] < STORAGE_MIN_SCAN_SPEEDUP
+    ):
+        print(
+            f"STORAGE MISS: pruned scan speedup {scan['speedup']}x < "
+            f"{STORAGE_MIN_SCAN_SPEEDUP}x at n={scan['n_consumers']}",
+            file=sys.stderr,
+        )
+        ok = False
+    comp = body["compression"]
+    if comp["ratio"] > STORAGE_MAX_COMPRESSION_RATIO:
+        print(
+            f"STORAGE MISS: compression ratio {comp['ratio']}x > "
+            f"{STORAGE_MAX_COMPRESSION_RATIO}x raw",
+            file=sys.stderr,
+        )
+        ok = False
+    ooc = body["out_of_core"]
+    if not ooc["completed"] or ooc["peak_block_bytes"] * 2 > ooc["budget_bytes"]:
+        print(
+            f"STORAGE MISS: out-of-core peak block "
+            f"{ooc['peak_block_bytes']} bytes (x2 working-set model) "
+            f"exceeds budget {ooc['budget_bytes']}",
+            file=sys.stderr,
+        )
+        ok = False
+    for task, verdict in body["bit_identity"]["tasks"].items():
+        if verdict != "identical":
+            print(f"STORAGE MISS: {task} not bit-identical: {verdict}",
+                  file=sys.stderr)
+            ok = False
+    return ok
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -188,13 +401,43 @@ def main(argv=None):
         help="one small scale, single repeat (CI smoke run)",
     )
     parser.add_argument(
+        "--storage",
+        action="store_true",
+        help=(
+            "run the storage-v2 suite (scan pruning, compression, "
+            "out-of-core budget, v1/v2 bit-identity) instead of the "
+            "kernel sweep"
+        ),
+    )
+    parser.add_argument(
         "--out",
         type=Path,
-        default=Path(__file__).resolve().parents[1] / "BENCH_kernels.json",
-        help="output JSON path (default: repo-root BENCH_kernels.json)",
+        default=None,
+        help=(
+            "output JSON path (default: repo-root BENCH_kernels.json, "
+            "or BENCH_storage.json with --storage)"
+        ),
     )
     args = parser.parse_args(argv)
+    repo_root = Path(__file__).resolve().parents[1]
 
+    if args.storage:
+        out = args.out or repo_root / "BENCH_storage.json"
+        repeats = 1 if args.quick else 3
+        body = measure_storage(args.quick, repeats)
+        payload = {
+            "generated": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "cpu_count": os.cpu_count(),
+            "quick": args.quick,
+            **body,
+        }
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+        return 0 if check_storage(body, args.quick) else 1
+
+    out = args.out or repo_root / "BENCH_kernels.json"
     scales = QUICK_SCALES if args.quick else FULL_SCALES
     repeats = 1 if args.quick else 3
     rows = measure(scales, repeats)
@@ -208,8 +451,8 @@ def main(argv=None):
         "min_speedup_floor": MIN_SPEEDUP,
         "results": rows,
     }
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {args.out}")
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
     return 0 if check_floor(rows) else 1
 
 

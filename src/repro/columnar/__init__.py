@@ -5,16 +5,38 @@ series: tables are memory-mapped at load time (making loading almost free
 and the first scan cheap), and all statistical operators had to be written
 by hand in its procedural language.
 
-This package mirrors that architecture:
+This package mirrors that architecture across two storage generations:
 
-* :mod:`repro.columnar.colstore` — columns persisted as binary ``.npy``
-  files, opened with ``numpy.memmap``; household ids dictionary-encoded;
-  per-block zone maps for scan pruning;
+* :mod:`repro.columnar.colstore` — **v1**: columns persisted as binary
+  ``.npy`` files, opened with ``numpy.memmap``; household ids
+  dictionary-encoded; per-block zone maps for scan pruning;
+* :mod:`repro.columnar.partstore` — **v2**: date x consumer-range
+  partitions, per-partition zone maps, lossless float/dictionary
+  compression, append-only daily ingest with an operational state table,
+  and budgeted partition-at-a-time scans;
+* :mod:`repro.columnar.outofcore` — streaming task execution over v2
+  (consumer-block sweeps, blocked all-pairs similarity), bit-identical
+  to in-memory runs;
 * :mod:`repro.columnar.operators` — the hand-written statistical operators
   (histogram, quantiles, regression, matrix multiply) built from scratch on
   the raw columns, never calling the reference kernels.
 """
 
 from repro.columnar.colstore import ColumnStore, ColumnTable
+from repro.columnar.partstore import (
+    PartitionBatch,
+    PartitionedStore,
+    PartitionedTable,
+    PartitionInfo,
+    StateTable,
+)
 
-__all__ = ["ColumnStore", "ColumnTable"]
+__all__ = [
+    "ColumnStore",
+    "ColumnTable",
+    "PartitionBatch",
+    "PartitionInfo",
+    "PartitionedStore",
+    "PartitionedTable",
+    "StateTable",
+]

@@ -16,6 +16,7 @@ skip blocks.
 from __future__ import annotations
 
 import json
+import shutil
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -33,14 +34,49 @@ _META_FILE = "table.json"
 
 @dataclass(frozen=True)
 class ZoneMap:
-    """Per-block min/max for one numeric column."""
+    """Per-block min/max (plus NaN presence) for one numeric column.
+
+    ``mins``/``maxs`` are NaN-ignoring bounds; ``has_nan`` marks blocks
+    containing at least one NaN.  An all-NaN block carries
+    ``min = +inf, max = -inf`` (empty value range) with ``has_nan`` set.
+    ``has_nan`` may be ``None`` for zone maps persisted before it existed —
+    such maps are only sound over NaN-free columns (the v1 ingest path
+    guarantees that by construction).
+    """
 
     mins: np.ndarray
     maxs: np.ndarray
+    has_nan: np.ndarray | None = None
 
     def blocks_overlapping(self, lo: float, hi: float) -> np.ndarray:
-        """Indices of blocks whose [min, max] intersects [lo, hi]."""
-        return np.flatnonzero((self.maxs >= lo) & (self.mins <= hi))
+        """Indices of blocks whose values may intersect ``[lo, hi]``.
+
+        Defined behaviour at the edges:
+
+        * **NaN-bearing blocks are never pruned** — a NaN value has an
+          unknowable relationship to the range, so any block with
+          ``has_nan`` set is always a candidate;
+        * **empty zone maps** (zero blocks, e.g. an empty table) return
+          an empty index array;
+        * **NaN bounds are rejected** with :class:`StorageError` — a NaN
+          query bound would silently match nothing, which is never what a
+          caller meant.
+        """
+        if np.isnan(lo) or np.isnan(hi):
+            raise StorageError(
+                f"zone-map range bounds must not be NaN, got [{lo}, {hi}]"
+            )
+        if self.mins.size == 0:
+            return np.array([], dtype=np.int64)
+        mask = (self.maxs >= lo) & (self.mins <= hi)
+        if self.has_nan is not None:
+            mask |= self.has_nan.astype(bool)
+        return np.flatnonzero(mask)
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of zone-mapped blocks."""
+        return int(self.mins.size)
 
 
 class ColumnTable:
@@ -178,9 +214,10 @@ class ColumnStore:
 
         zone_meta: dict[str, dict] = {}
         for col_name in ("consumption", "temperature"):
-            mins, maxs = _build_zone_map(columns[col_name])
+            mins, maxs, has_nan = _build_zone_map(columns[col_name])
             np.save(directory / f"{col_name}.zmin.npy", mins)
             np.save(directory / f"{col_name}.zmax.npy", maxs)
+            np.save(directory / f"{col_name}.znan.npy", has_nan)
             zone_meta[col_name] = {"blocks": int(mins.size)}
 
         meta = {
@@ -220,28 +257,49 @@ class ColumnStore:
         columns = dict(columns)
         zone_maps = {}
         for col in meta.get("zone_maps", {}):
+            nan_path = directory / f"{col}.znan.npy"
             zone_maps[col] = ZoneMap(
                 mins=np.load(directory / f"{col}.zmin.npy"),
                 maxs=np.load(directory / f"{col}.zmax.npy"),
+                has_nan=np.load(nan_path) if nan_path.exists() else None,
             )
         return ColumnTable(directory, meta, columns, zone_maps)
 
     def drop(self, name: str) -> None:
-        """Delete a table's files."""
+        """Delete a table's files, sidecars (zone maps, codec payloads,
+        nested partition directories) included.
+
+        Idempotent: a missing table directory is a no-op, so callers can
+        unconditionally ``drop`` before re-ingesting.
+        """
         directory = self._table_dir(name)
         if not directory.exists():
-            raise StorageError(f"no table {name!r} in {self.root}")
-        for path in directory.iterdir():
-            path.unlink()
-        directory.rmdir()
+            return
+        shutil.rmtree(directory)
 
 
-def _build_zone_map(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def _build_zone_map(
+    values: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-block NaN-ignoring (min, max) plus a has-NaN flag per block.
+
+    All-NaN blocks get the empty range ``(+inf, -inf)`` so value pruning
+    never selects them — only the ``has_nan`` flag can.
+    """
     n_blocks = (values.size + ZONE_BLOCK - 1) // ZONE_BLOCK
     mins = np.empty(n_blocks)
     maxs = np.empty(n_blocks)
+    has_nan = np.zeros(n_blocks, dtype=bool)
     for b in range(n_blocks):
         block = values[b * ZONE_BLOCK : (b + 1) * ZONE_BLOCK]
-        mins[b] = block.min()
-        maxs[b] = block.max()
-    return mins, maxs
+        nan_mask = np.isnan(block)
+        if nan_mask.all():
+            mins[b], maxs[b], has_nan[b] = np.inf, -np.inf, True
+        elif nan_mask.any():
+            mins[b] = np.nanmin(block)
+            maxs[b] = np.nanmax(block)
+            has_nan[b] = True
+        else:
+            mins[b] = block.min()
+            maxs[b] = block.max()
+    return mins, maxs, has_nan

@@ -1,21 +1,32 @@
 """Lightweight column compression codecs.
 
 Column stores earn much of their I/O advantage from compressing columns
-that real data keeps highly regular.  Two classic codecs are provided:
+that real data keeps highly regular.  Three codec families are provided:
 
 * **RLE** (run-length encoding) — ideal for the clustered
   ``household_code`` column, which is literally ``stride`` repeats of each
   code (compression ratio ~ stride);
 * **FOR/delta** (frame-of-reference on deltas) — for the ``hour`` column,
   whose per-household sections are ``0, 1, 2, ...`` (constant delta runs
-  collapse under RLE after differencing).
+  collapse under RLE after differencing);
+* **decimal scaling** (:class:`FloatColumnCodec`) — for measurement
+  columns: real meters report at a fixed decimal precision, so a float64
+  reading column is usually an integer column in disguise.  When every
+  value survives a ``round(v * 10^d) / 10^d`` round trip *bit-exactly*,
+  the codec stores the scaled integers in the narrowest dtype that fits
+  (int16 for kWh at 3 decimals — a 4x saving); otherwise it falls back to
+  RLE over the raw bit patterns, then ``zlib``, then raw.  Every mode is
+  lossless to the bit, including NaN/inf payloads.
 
-Both codecs are integer-exact and round-trip tested; the column store uses
-them for its integer columns while float measurement columns stay raw (and
-memory-mapped).
+All codecs are exactness-tested: decode(encode(x)) reproduces ``x``
+bit-for-bit.  Integer delta arithmetic deliberately relies on int64
+*modular* (two's-complement wraparound) semantics so deltas that overflow
+near the int64 bounds still round-trip — the cumulative sum wraps back.
 """
 
 from __future__ import annotations
+
+import zlib
 
 import numpy as np
 
@@ -49,20 +60,28 @@ def rle_decode(run_values: np.ndarray, run_lengths: np.ndarray) -> np.ndarray:
 
 
 def delta_encode(values: np.ndarray) -> tuple[int, np.ndarray]:
-    """Delta encoding: (first_value, diffs).  Integer-exact."""
+    """Delta encoding: (first_value, diffs).
+
+    Integer-exact under int64 modular arithmetic: a delta that overflows
+    (e.g. ``int64.max - int64.min``) wraps, and :func:`delta_decode`'s
+    wrapping cumulative sum undoes it, so any int64 input round-trips.
+    """
     values = np.asarray(values)
     if values.ndim != 1 or values.size == 0:
         raise StorageError("delta encoding expects a non-empty 1-D array")
-    return int(values[0]), np.diff(values)
+    with np.errstate(over="ignore"):
+        diffs = np.diff(values.astype(np.int64, copy=False))
+    return int(values[0]), diffs
 
 
 def delta_decode(first: int, diffs: np.ndarray) -> np.ndarray:
-    """Inverse of :func:`delta_encode`."""
+    """Inverse of :func:`delta_encode` (wraps like the encoder)."""
     diffs = np.asarray(diffs)
     out = np.empty(diffs.size + 1, dtype=np.int64)
     out[0] = first
-    np.cumsum(diffs, out=out[1:])
-    out[1:] += first
+    with np.errstate(over="ignore"):
+        np.cumsum(diffs, out=out[1:])
+        out[1:] += np.int64(first)
     return out
 
 
@@ -83,11 +102,24 @@ class IntColumnCodec:
     Pipeline: delta encode, then RLE the deltas.  A clustered
     ``household_code`` column (runs of equal codes -> deltas almost all 0)
     and a tiled ``hour`` column (deltas almost all 1) both collapse to a
-    handful of runs.
+    handful of runs.  Empty columns encode to an empty payload; deltas
+    near the int64 bounds round-trip via modular arithmetic.
     """
 
     @staticmethod
     def encode(values: np.ndarray) -> dict[str, np.ndarray | int]:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise StorageError(
+                f"IntColumnCodec expects a 1-D array, got shape {values.shape}"
+            )
+        if values.size == 0:
+            return {
+                "first": 0,
+                "run_values": np.array([], dtype=np.int64),
+                "run_lengths": np.array([], dtype=np.int64),
+                "n": 0,
+            }
         first, diffs = delta_encode(values)
         run_values, run_lengths = rle_encode(diffs)
         return {
@@ -99,6 +131,8 @@ class IntColumnCodec:
 
     @staticmethod
     def decode(payload: dict) -> np.ndarray:
+        if int(payload["n"]) == 0:
+            return np.array([], dtype=np.int64)
         diffs = rle_decode(payload["run_values"], payload["run_lengths"])
         out = delta_decode(payload["first"], diffs)
         if out.size != payload["n"]:
@@ -106,3 +140,161 @@ class IntColumnCodec:
                 f"decoded {out.size} values, expected {payload['n']}"
             )
         return out
+
+
+# Float measurement columns --------------------------------------------------
+
+#: Decimal scales tried by :class:`FloatColumnCodec` (meter readings are
+#: typically reported at 1-4 decimals; temperatures at 1-2).
+_DECIMAL_SCALES = (1.0, 10.0, 100.0, 1000.0, 10000.0)
+
+#: Narrowest-dtype ladder for scaled integers.
+_INT_DTYPES = (np.int8, np.int16, np.int32, np.int64)
+
+
+def _bits(values: np.ndarray) -> np.ndarray:
+    """Raw bit patterns of a float64 array (uint64 view) for exactness checks."""
+    return np.ascontiguousarray(values, dtype=np.float64).view(np.uint64)
+
+
+class FloatColumnCodec:
+    """Lossless compression for float64 measurement columns.
+
+    Mode ladder, best-first:
+
+    * ``scaled`` — the column is fixed-decimal data: for some scale
+      ``s`` in :data:`_DECIMAL_SCALES`, ``rint(v * s) / s`` reproduces
+      every value bit-exactly; store ``rint(v * s)`` in the narrowest
+      int dtype that fits.  This is the normal case for real meter data
+      (3-decimal kWh readings fit int16: 4x smaller than float64).
+    * ``rle`` — long runs of bit-identical values (constant columns,
+      repeated NaN payloads) when the runs actually pay for themselves.
+    * ``zlib`` — DEFLATE over the raw bytes when it saves >= 10%.
+    * ``raw`` — incompressible data is stored as-is, never inflated
+      beyond the zlib attempt.
+
+    Every mode reconstructs the original array bit-for-bit, including
+    non-finite values (NaN bit patterns are preserved exactly via the
+    uint64 view).
+    """
+
+    @staticmethod
+    def encode(values: np.ndarray) -> dict:
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 1:
+            raise StorageError(
+                f"FloatColumnCodec expects a 1-D array, got shape {values.shape}"
+            )
+        n = int(values.size)
+        if n == 0:
+            return {"mode": "empty", "n": 0}
+        bits = _bits(values)
+
+        if np.isfinite(values).all():
+            for scale in _DECIMAL_SCALES:
+                with np.errstate(over="ignore", invalid="ignore"):
+                    ints = np.rint(values * scale)
+                if not (np.abs(ints) < 2.0**53).all():
+                    continue
+                # Verify through the *integer* cast, not the float ints:
+                # storage collapses -0.0 to 0, so a column holding -0.0
+                # must reject scaled mode to stay bit-exact.
+                stored = ints.astype(np.int64)
+                if not np.array_equal(_bits(stored / scale), bits):
+                    continue
+                lo, hi = int(stored.min()), int(stored.max())
+                for dtype in _INT_DTYPES:
+                    info = np.iinfo(dtype)
+                    if info.min <= lo and hi <= info.max:
+                        return {
+                            "mode": "scaled",
+                            "scale": float(scale),
+                            "ints": stored.astype(dtype),
+                            "n": n,
+                        }
+
+        run_values, run_lengths = rle_encode(bits)
+        if run_values.size * 16 <= n * 8 * 0.75:
+            return {
+                "mode": "rle",
+                "run_values": run_values,
+                "run_lengths": run_lengths,
+                "n": n,
+            }
+
+        blob = zlib.compress(values.tobytes(), 6)
+        if len(blob) <= n * 8 * 0.9:
+            return {
+                "mode": "zlib",
+                "blob": np.frombuffer(blob, dtype=np.uint8),
+                "n": n,
+            }
+        return {"mode": "raw", "data": values.copy(), "n": n}
+
+    @staticmethod
+    def decode(payload: dict) -> np.ndarray:
+        mode = str(payload["mode"])
+        n = int(payload["n"])
+        if mode == "empty":
+            return np.array([], dtype=np.float64)
+        if mode == "scaled":
+            out = np.asarray(payload["ints"]).astype(np.float64) / float(
+                payload["scale"]
+            )
+        elif mode == "rle":
+            bits = rle_decode(
+                np.asarray(payload["run_values"], dtype=np.uint64),
+                payload["run_lengths"],
+            )
+            out = bits.view(np.float64)
+        elif mode == "zlib":
+            raw = zlib.decompress(np.asarray(payload["blob"]).tobytes())
+            out = np.frombuffer(raw, dtype=np.float64).copy()
+        elif mode == "raw":
+            out = np.asarray(payload["data"], dtype=np.float64).copy()
+        else:
+            raise StorageError(f"unknown FloatColumnCodec mode {mode!r}")
+        if out.size != n:
+            raise StorageError(f"decoded {out.size} values, expected {n}")
+        return out
+
+    @staticmethod
+    def encoded_nbytes(payload: dict) -> int:
+        """Approximate on-disk bytes of an encoded payload (for stats)."""
+        total = 0
+        for value in payload.values():
+            if isinstance(value, np.ndarray):
+                total += value.nbytes
+            else:
+                total += 8
+        return total
+
+
+class StringDictCodec:
+    """Dictionary encoding for string columns (consumer ids).
+
+    The dictionary preserves *first-appearance order* so that decoding
+    returns ids in their original ingest order — the property the column
+    store's household dictionary relies on.
+    """
+
+    @staticmethod
+    def encode(values: list[str]) -> tuple[np.ndarray, list[str]]:
+        """Return (codes, dictionary); ``dictionary[codes[i]] == values[i]``."""
+        index: dict[str, int] = {}
+        codes = np.empty(len(values), dtype=np.int64)
+        for i, value in enumerate(values):
+            code = index.get(value)
+            if code is None:
+                code = len(index)
+                index[value] = code
+            codes[i] = code
+        return codes, list(index)
+
+    @staticmethod
+    def decode(codes: np.ndarray, dictionary: list[str]) -> list[str]:
+        """Inverse of :meth:`encode`."""
+        codes = np.asarray(codes)
+        if codes.size and (codes.min() < 0 or codes.max() >= len(dictionary)):
+            raise StorageError("dictionary code out of range")
+        return [dictionary[int(c)] for c in codes]

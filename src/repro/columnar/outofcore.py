@@ -1,0 +1,194 @@
+"""Out-of-core task execution over the partitioned v2 store.
+
+The benchmark's largest configuration (1M consumers x 1 year = 8760
+hourly readings) is ~70 GB of float64 per measurement column — far past
+laptop RAM.  The v2 store's partition grid makes the fix mechanical: all
+four benchmark tasks consume *whole consumer rows*, so execution streams
+**consumer-block-at-a-time** — each block's rows are assembled full-width
+(every hour), the task kernel runs on the block, and the block is dropped
+before the next one is decoded.  Peak residency is one block's matrices
+(plus, for similarity, a second block and a score buffer), never the
+dataset.
+
+Because every consumer's row is assembled bit-exactly (the float codecs
+are lossless and blocks never split the hour axis), per-consumer results
+are bit-identical to an in-memory run — ``benchmarks/regress.py
+--storage`` gates this for all four tasks.
+
+The per-consumer entry point takes a ``block_fn`` callable rather than
+importing engine kernels, keeping this module import-light (the engines
+import :mod:`repro.columnar`, not the other way around).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.columnar import operators as ops
+from repro.columnar.partstore import PartitionedTable
+from repro.core.similarity import clip_scores
+from repro.exceptions import StorageError
+
+#: Fallback per-run budget when the caller sets none: enough for a few
+#: partition-aligned blocks on any development machine.
+DEFAULT_MEMORY_BUDGET_BYTES = 512 * 1024 * 1024
+
+
+def consumers_per_block(
+    table: PartitionedTable,
+    memory_budget_bytes: int | None,
+    n_columns: int = 2,
+    extra_bytes_per_consumer: int = 0,
+) -> int:
+    """Consumer-block size that keeps a block's working set under budget.
+
+    A block's working set is its full-width float64 matrices
+    (``n_hours * 8 * n_columns`` per consumer) plus the scan's decode
+    scratch (~one partition batch, bounded by the block itself) — budgeted
+    at 2x the assembled matrices — plus ``extra_bytes_per_consumer`` for
+    task-side buffers.  The result is aligned down to the partition width
+    when it can afford at least one partition column, so no partition file
+    is decoded twice per sweep.
+    """
+    budget = (
+        memory_budget_bytes
+        if memory_budget_bytes is not None
+        else DEFAULT_MEMORY_BUDGET_BYTES
+    )
+    per_consumer = table.n_hours * 8 * n_columns * 2 + extra_bytes_per_consumer
+    if per_consumer <= 0:
+        return max(1, table.n_households)
+    block = budget // per_consumer
+    if block < 1:
+        raise StorageError(
+            f"memory budget {budget} bytes cannot hold one consumer row "
+            f"({per_consumer} bytes working set); raise the budget"
+        )
+    part = table.consumers_per_part
+    if block >= part:
+        block = (block // part) * part
+    return int(min(block, max(1, table.n_households)))
+
+
+def iter_consumer_blocks(
+    table: PartitionedTable,
+    columns: list[str] | None = None,
+    memory_budget_bytes: int | None = None,
+    block_consumers: int | None = None,
+):
+    """Yield ``(consumer0, ids, {col: (nc, n_hours) matrix})`` blocks.
+
+    Rows are full-width and bit-exact; only the consumer axis is blocked.
+    """
+    cols = list(columns) if columns is not None else list(table.columns)
+    if block_consumers is None:
+        block_consumers = consumers_per_block(
+            table, memory_budget_bytes, n_columns=len(cols)
+        )
+    n = table.n_households
+    for c0 in range(0, n, block_consumers):
+        c1 = min(c0 + block_consumers, n)
+        ids, matrices = table.read_matrices(
+            consumer_range=(c0, c1), columns=cols
+        )
+        yield c0, ids, matrices
+
+
+def run_blocked(
+    table: PartitionedTable,
+    block_fn,
+    columns: list[str] | None = None,
+    memory_budget_bytes: int | None = None,
+    block_consumers: int | None = None,
+) -> dict:
+    """Run a per-consumer task out-of-core and merge the per-block results.
+
+    ``block_fn(ids, matrices) -> dict`` receives one consumer block's ids
+    and full-width column matrices and returns per-consumer results keyed
+    by id; blocks are processed in consumer order and merged.  Suitable
+    for any task whose result for consumer *i* depends only on row *i*
+    (histogram, 3-line, PAR) — such tasks are trivially bit-identical to
+    the in-memory run.
+    """
+    out: dict = {}
+    for _c0, ids, matrices in iter_consumer_blocks(
+        table, columns, memory_budget_bytes, block_consumers
+    ):
+        out.update(block_fn(ids, matrices))
+    return out
+
+
+def blocked_similarity(
+    table: PartitionedTable,
+    top_k: int,
+    memory_budget_bytes: int | None = None,
+    block_consumers: int | None = None,
+) -> dict[str, list[tuple[str, float]]]:
+    """Out-of-core all-pairs cosine top-k, bit-identical to the in-memory
+    hand-written path.
+
+    Blocked nested-loop: for each *query* block (read once), every *data*
+    block is streamed past it; each query row's scores against the data
+    block are one elementwise multiply-and-sum per row — the exact
+    arithmetic of the in-memory loop, because rows are never split.  The
+    full n-length score vector per query consumer (8n bytes — the part
+    that *does* fit in RAM at 1M consumers) is then normalized, clipped
+    and ranked with the very same operators as the in-memory engine.
+
+    Peak residency: query block + data block + per-query-block score
+    buffer, all counted by :func:`consumers_per_block` via
+    ``extra_bytes_per_consumer``.
+    """
+    n = table.n_households
+    if block_consumers is None:
+        # Working set: query block + data block (2 single-column blocks)
+        # + the (block, n) score buffer.
+        block_consumers = consumers_per_block(
+            table,
+            memory_budget_bytes,
+            n_columns=2,
+            extra_bytes_per_consumer=8 * n,
+        )
+
+    def blocks():
+        return iter_consumer_blocks(
+            table, ["consumption"], block_consumers=block_consumers
+        )
+
+    # Pass 1: norms, streamed — per-row arithmetic identical to the
+    # in-memory `np.sqrt((cons * cons).sum(axis=1))`.
+    norms = np.empty(n, dtype=np.float64)
+    for c0, _ids, matrices in blocks():
+        m = matrices["consumption"]
+        norms[c0 : c0 + m.shape[0]] = np.sqrt((m * m).sum(axis=1))
+
+    out: dict[str, list[tuple[str, float]]] = {}
+    for q0, q_ids, q_matrices in blocks():
+        qm = q_matrices["consumption"]
+        score_buf = np.empty((qm.shape[0], n), dtype=np.float64)
+        for d0, _d_ids, d_matrices in blocks():
+            dm = d_matrices["consumption"]
+            for qi in range(qm.shape[0]):
+                # Hand-written dot: elementwise multiply-and-sum per row,
+                # no BLAS matmul — matches the in-memory engine bit-for-bit.
+                score_buf[qi, d0 : d0 + dm.shape[0]] = (dm * qm[qi]).sum(
+                    axis=1
+                )
+        for qi, cid in enumerate(q_ids):
+            i = q0 + qi
+            if norms[i] == 0.0:
+                scores = np.zeros(n)
+            else:
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    scores = clip_scores(
+                        np.where(
+                            norms > 0.0,
+                            score_buf[qi] / (norms * norms[i]),
+                            0.0,
+                        )
+                    )
+            top = ops.top_k_by_score(scores, top_k, exclude=i)
+            out[cid] = [
+                (table.dictionary[j], float(scores[j])) for j in top
+            ]
+    return out

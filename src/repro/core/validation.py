@@ -146,3 +146,68 @@ def compare_task_results(task: Task, a: dict[str, Any], b: dict[str, Any]) -> No
         compare_similarity(a, b)
     else:
         raise ValueError(f"unknown task: {task!r}")
+
+
+# Bit-level identity ---------------------------------------------------------
+
+
+def _identical(a: Any, b: Any, path: str) -> None:
+    import dataclasses
+
+    if type(a) is not type(b):
+        raise ValidationFailure(
+            f"{path}: types differ: {type(a).__name__} vs {type(b).__name__}"
+        )
+    if isinstance(a, dict):
+        if a.keys() != b.keys():
+            raise ValidationFailure(f"{path}: key sets differ")
+        for key in a:
+            _identical(a[key], b[key], f"{path}.{key}")
+    elif isinstance(a, (list, tuple)):
+        if len(a) != len(b):
+            raise ValidationFailure(
+                f"{path}: lengths differ: {len(a)} vs {len(b)}"
+            )
+        for i, (x, y) in enumerate(zip(a, b)):
+            _identical(x, y, f"{path}[{i}]")
+    elif isinstance(a, np.ndarray):
+        if a.shape != b.shape or a.dtype != b.dtype:
+            raise ValidationFailure(
+                f"{path}: array shape/dtype differ: "
+                f"{a.shape}/{a.dtype} vs {b.shape}/{b.dtype}"
+            )
+        ac, bc = np.ascontiguousarray(a), np.ascontiguousarray(b)
+        if a.dtype == np.float64:
+            # Compare raw bit patterns: distinguishes -0.0 from 0.0 and
+            # matches NaN payloads, which float == never would.
+            same = np.array_equal(ac.view(np.uint64), bc.view(np.uint64))
+        else:
+            same = np.array_equal(ac, bc)
+        if not same:
+            raise ValidationFailure(f"{path}: array values differ")
+    elif isinstance(a, float):
+        if np.float64(a).view(np.uint64) != np.float64(b).view(np.uint64):
+            raise ValidationFailure(f"{path}: floats differ: {a!r} vs {b!r}")
+    elif dataclasses.is_dataclass(a) and not isinstance(a, type):
+        for f in dataclasses.fields(a):
+            if f.name.startswith("_"):
+                continue
+            _identical(
+                getattr(a, f.name), getattr(b, f.name), f"{path}.{f.name}"
+            )
+    elif a != b:
+        raise ValidationFailure(f"{path}: values differ: {a!r} vs {b!r}")
+
+
+def assert_identical_task_results(
+    task: Task, a: dict[str, Any], b: dict[str, Any]
+) -> None:
+    """Raise :class:`ValidationFailure` unless two task results are
+    **bit-identical** — every float compared by raw bit pattern, every
+    array by dtype, shape, and contents, recursively through dataclasses.
+
+    This is the storage-layer contract (v1 memmap vs v2 partitioned store
+    must not change a single bit), far stricter than the tolerance-based
+    cross-engine comparisons above.
+    """
+    _identical(a, b, task.value)

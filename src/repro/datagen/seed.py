@@ -109,6 +109,40 @@ def archetype_names() -> list[str]:
     return list(_ARCHETYPES)
 
 
+def quantize_readings(
+    dataset: Dataset,
+    consumption_decimals: int = 3,
+    temperature_decimals: int = 1,
+) -> Dataset:
+    """Round a dataset to fixed meter precision, as real meters report.
+
+    The raw synthesizer emits full-precision float64, but actual smart
+    meters report kWh at a fixed decimal resolution (the paper's utility
+    data: 3 decimals) and weather feeds report tenths of a degree.  The
+    storage benchmarks quantize through this helper so the on-disk data
+    has the statistical shape of real exports — which is what lets the v2
+    store's decimal-scaling float codec hit its integer fast path.
+
+    Rounding uses exactly the codec's ``rint(v * 10^d) / 10^d`` expression
+    so the quantized values are bit-stable under re-quantization.  Adding
+    ``+ 0.0`` canonicalizes ``-0.0`` to ``+0.0`` (a no-op on every other
+    value): real exports print zeros unsigned, and a single ``-0.0``
+    would otherwise push its whole partition off the codec's integer
+    fast path.
+    """
+
+    def q(values: np.ndarray, decimals: int) -> np.ndarray:
+        scale = 10.0**decimals
+        return np.rint(values * scale) / scale + 0.0
+
+    return Dataset(
+        consumer_ids=list(dataset.consumer_ids),
+        consumption=q(dataset.consumption, consumption_decimals),
+        temperature=q(dataset.temperature, temperature_decimals),
+        name=dataset.name,
+    )
+
+
 def _pick_thermal(rng: np.random.Generator) -> tuple[float, float]:
     weights = np.array([w for *_, w in _THERMAL_ARCHETYPES])
     idx = rng.choice(len(_THERMAL_ARCHETYPES), p=weights / weights.sum())

@@ -76,6 +76,42 @@ class AnalyticsEngine(abc.ABC):
         )
         return self.load_dataset(clean, workdir)
 
+    def load_from_store(
+        self,
+        table,
+        workdir: str | Path,
+        memory_budget_bytes: int | None = None,
+    ) -> LoadStats:
+        """Load from a v2 :class:`~repro.columnar.partstore.PartitionedTable`.
+
+        The default implementation streams the store's consumer blocks
+        (under ``memory_budget_bytes``) and concatenates them into one
+        in-memory dataset before calling :meth:`load_dataset` — correct
+        for every engine, bit-identical to loading the original dataset,
+        but not out-of-core.  Engines with a streaming native loader
+        (madlib's bulk loader, matlab's per-consumer files) override this
+        to keep only one block resident at a time.
+        """
+        import numpy as np
+
+        from repro.columnar.outofcore import iter_consumer_blocks
+
+        ids: list[str] = []
+        cons_blocks, temp_blocks = [], []
+        for _c0, block_ids, matrices in iter_consumer_blocks(
+            table, memory_budget_bytes=memory_budget_bytes
+        ):
+            ids.extend(block_ids)
+            cons_blocks.append(matrices["consumption"])
+            temp_blocks.append(matrices["temperature"])
+        dataset = Dataset(
+            consumer_ids=ids,
+            consumption=np.concatenate(cons_blocks, axis=0),
+            temperature=np.concatenate(temp_blocks, axis=0),
+            name=table.name,
+        )
+        return self.load_dataset(dataset, workdir)
+
     @abc.abstractmethod
     def histogram(self, spec: BenchmarkSpec | None = None) -> dict[str, Any]:
         """Task 1: per-consumer equi-width histograms."""

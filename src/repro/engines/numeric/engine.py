@@ -90,6 +90,50 @@ class NumericEngine(AnalyticsEngine):
         self._layout = layout
         self._cache = None
 
+    def load_from_store(
+        self,
+        table,
+        workdir: str | Path,
+        memory_budget_bytes: int | None = None,
+    ) -> LoadStats:
+        """Stream a v2 partitioned store into per-consumer files out-of-core.
+
+        Consumer blocks are decoded one at a time (under
+        ``memory_budget_bytes``) and written straight to the partitioned
+        file layout, so the whole matrix is never resident.  The files
+        are byte-identical to :meth:`load_dataset` on the original
+        dataset — the store's float codecs are lossless and the CSV
+        writer formats per row.
+        """
+        from repro.columnar.outofcore import iter_consumer_blocks
+        from repro.io.csvio import write_partitioned
+
+        workdir = Path(workdir)
+        tic = time.perf_counter()
+        files: list[Path] = []
+        for _c0, ids, matrices in iter_consumer_blocks(
+            table, memory_budget_bytes=memory_budget_bytes
+        ):
+            block = Dataset(
+                consumer_ids=ids,
+                consumption=matrices["consumption"],
+                temperature=matrices["temperature"],
+                name=table.name,
+            )
+            files.extend(write_partitioned(block, workdir / "consumers"))
+        layout = DatasetLayout(
+            root=workdir, partitioned=True, files=tuple(files)
+        )
+        seconds = time.perf_counter() - tic
+        self._layout = layout
+        self._cache = None
+        return LoadStats(
+            seconds=seconds,
+            n_consumers=table.n_households,
+            n_files=layout.n_files,
+            approx_bytes=layout.total_bytes(),
+        )
+
     def evict_caches(self) -> None:
         self._cache = None
 

@@ -30,6 +30,8 @@ import numpy as np
 from repro.batched.dispatch import run_batched_task, wants_batched
 from repro.columnar import operators as ops
 from repro.columnar.colstore import ColumnStore, ColumnTable
+from repro.columnar.outofcore import blocked_similarity, run_blocked
+from repro.columnar.partstore import PartitionedStore, PartitionedTable
 from repro.core.benchmark import BenchmarkSpec, Task
 from repro.core.histogram import HistogramResult
 from repro.core.similarity import clip_scores
@@ -54,13 +56,36 @@ from repro.timeseries.series import Dataset
 
 
 class SystemCEngine(AnalyticsEngine):
-    """Main-memory column store with hand-crafted operators."""
+    """Main-memory column store with hand-crafted operators.
+
+    Two storage generations are selectable at construction:
+
+    * ``store="v1"`` (default) — the whole-matrix memory-mapped column
+      files of :mod:`repro.columnar.colstore`;
+    * ``store="v2"`` — the partitioned, compressed, appendable store of
+      :mod:`repro.columnar.partstore`.  Tasks then stream
+      consumer-block-at-a-time under ``memory_budget_bytes`` (out-of-core
+      execution via :mod:`repro.columnar.outofcore`), producing results
+      bit-identical to v1.
+    """
 
     name = "systemc"
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        store: str = "v1",
+        memory_budget_bytes: int | None = None,
+    ) -> None:
+        if store not in ("v1", "v2"):
+            raise EngineError(
+                f"systemc store must be 'v1' or 'v2', got {store!r}"
+            )
+        self.store_version = store
+        self.memory_budget_bytes = memory_budget_bytes
         self._store: ColumnStore | None = None
         self._table: ColumnTable | None = None
+        self._pstore: PartitionedStore | None = None
+        self._ptable: PartitionedTable | None = None
         self.phase_times = PhaseTimes()
 
     @classmethod
@@ -84,6 +109,17 @@ class SystemCEngine(AnalyticsEngine):
 
         dataset = ingest_ambient(dataset)
         tic = time.perf_counter()
+        if self.store_version == "v2":
+            self._pstore = PartitionedStore(Path(workdir) / "colstore_v2")
+            self._pstore.drop("readings")
+            self._ptable = self._pstore.ingest_dataset(dataset, "readings")
+            seconds = time.perf_counter() - tic
+            return LoadStats(
+                seconds=seconds,
+                n_consumers=dataset.n_consumers,
+                n_files=len(self._ptable.partitions) + 2,  # + meta + state
+                approx_bytes=self._ptable.compressed_bytes(),
+            )
         self._store = ColumnStore(Path(workdir) / "colstore")
         self._table = self._store.ingest_dataset(dataset, "readings")
         seconds = time.perf_counter() - tic
@@ -94,13 +130,31 @@ class SystemCEngine(AnalyticsEngine):
             approx_bytes=self._table.memory_resident_bytes(),
         )
 
+    def append_days(self, batch: Dataset) -> None:
+        """Append-only daily ingest (v2 store only): new hour-blocks land
+        as fresh partitions and the per-meter ingest state advances."""
+        if self.store_version != "v2" or self._pstore is None:
+            raise EngineError(
+                "append_days requires the v2 partitioned store "
+                "(create_engine('systemc', store='v2') and load first)"
+            )
+        self._ptable = self._pstore.append_days("readings", batch)
+
     def evict_caches(self) -> None:
         """Re-open the table: drops page-cache warmth we can control (the
         mmap itself is the warm/cold boundary the OS manages)."""
         if self._store is not None:
             self._table = self._store.open("readings")
+        if self._pstore is not None:
+            self._ptable = self._pstore.open("readings")
 
     def warm_up(self) -> None:
+        if self.store_version == "v2":
+            for _ in self._require_ptable().scan(
+                memory_budget_bytes=self.memory_budget_bytes
+            ):
+                pass  # decode every partition once
+            return
         table = self._require_table()
         for name in table.column_names:
             np.asarray(table.column(name)).sum()  # touch every page
@@ -109,6 +163,11 @@ class SystemCEngine(AnalyticsEngine):
         if self._table is None:
             raise EngineError("systemc engine: no data loaded")
         return self._table
+
+    def _require_ptable(self) -> PartitionedTable:
+        if self._ptable is None:
+            raise EngineError("systemc engine: no data loaded")
+        return self._ptable
 
     def _household(self, code: int) -> tuple[np.ndarray, np.ndarray]:
         table = self._require_table()
@@ -120,8 +179,61 @@ class SystemCEngine(AnalyticsEngine):
 
     # Tasks ------------------------------------------------------------------
 
+    def _v2_per_consumer(
+        self, task: Task, spec: BenchmarkSpec, report, serial_kernel, **kwargs
+    ):
+        """Run a per-consumer task out-of-core over the v2 store.
+
+        The execution path (batched / parallel / serial loop) is decided
+        once from the *total* consumer count — exactly as the v1 path
+        decides it — then applied to each streamed consumer block, so the
+        arithmetic per consumer is identical to the in-memory run.
+        """
+        table = self._require_ptable()
+        policy = policy_for_spec(spec)
+        use_batched = wants_batched(spec.kernel, table.n_households)
+        use_parallel = effective_n_jobs(spec.n_jobs) > 1 or policy.quarantine
+
+        def block_fn(ids: list[str], matrices: dict) -> dict:
+            block = Dataset(
+                consumer_ids=ids,
+                consumption=matrices["consumption"],
+                temperature=matrices["temperature"],
+                name="systemc",
+            )
+            if use_batched:
+                return run_batched_task(block, task, spec, report=report)
+            if use_parallel:
+                return parallel_map_consumers(
+                    serial_kernel,
+                    block,
+                    n_jobs=spec.n_jobs,
+                    policy=policy,
+                    report=report,
+                    task_label=task.value,
+                    **kwargs,
+                )
+            return {
+                cid: serial_kernel(
+                    block.consumption[i], block.temperature[i], **kwargs
+                )
+                for i, cid in enumerate(ids)
+            }
+
+        return run_blocked(
+            table, block_fn, memory_budget_bytes=self.memory_budget_bytes
+        )
+
     def histogram(self, spec: BenchmarkSpec | None = None, report=None):
         spec = spec or BenchmarkSpec()
+        if self.store_version == "v2":
+            return self._v2_per_consumer(
+                Task.HISTOGRAM,
+                spec,
+                report,
+                histogram_kernel,
+                n_buckets=spec.n_buckets,
+            )
         policy = policy_for_spec(spec)
         table = self._require_table()
         if wants_batched(spec.kernel, table.n_households):
@@ -149,6 +261,11 @@ class SystemCEngine(AnalyticsEngine):
 
     def three_line(self, spec: BenchmarkSpec | None = None, report=None):
         spec = spec or BenchmarkSpec()
+        if self.store_version == "v2":
+            return self._v2_per_consumer(
+                Task.THREELINE, spec, report, threeline_kernel,
+                config=spec.threeline,
+            )
         policy = policy_for_spec(spec)
         cfg = spec.threeline
         table = self._require_table()
@@ -176,6 +293,10 @@ class SystemCEngine(AnalyticsEngine):
 
     def par(self, spec: BenchmarkSpec | None = None, report=None):
         spec = spec or BenchmarkSpec()
+        if self.store_version == "v2":
+            return self._v2_per_consumer(
+                Task.PAR, spec, report, par_kernel, config=spec.par
+            )
         policy = policy_for_spec(spec)
         cfg = spec.par
         table = self._require_table()
@@ -217,6 +338,16 @@ class SystemCEngine(AnalyticsEngine):
 
     def similarity(self, spec: BenchmarkSpec | None = None, report=None):
         spec = spec or BenchmarkSpec()
+        if self.store_version == "v2":
+            # Blocked nested-loop all-pairs: bit-identical to the serial
+            # hand-written path below (and PR 1 guarantees serial ==
+            # parallel), while holding only two consumer blocks + one
+            # score buffer in memory.
+            return blocked_similarity(
+                self._require_ptable(),
+                spec.top_k,
+                memory_budget_bytes=self.memory_budget_bytes,
+            )
         table = self._require_table()
         n = table.n_households
         stride = table.stride

@@ -9,6 +9,8 @@ Examples::
     smartbench --all --run-dir runs/nightly     # journal as you go
     smartbench --resume runs/nightly            # skip journaled figures
     smartbench --figure fig10_measured --max-retries 4 --timeout 120
+    smartbench --figure fig20_pruning
+    smartbench --figure fig7 --store v2             # out-of-core System C
     smartbench --figure fig7 --inject-failures kill=0.3,seed=7
     smartbench --figure fig5 --inject-dirty seed=7 --on-dirty quarantine \
         --quality-report quality.json
@@ -69,6 +71,18 @@ def build_parser() -> argparse.ArgumentParser:
             "per-consumer kernel strategy: loop (reference), batched "
             "(whole-matrix numpy kernels), or auto (batched above a size "
             "threshold); figures without a kernel knob ignore it"
+        ),
+    )
+    parser.add_argument(
+        "--store",
+        choices=("v1", "v2"),
+        default=None,
+        metavar="VERSION",
+        help=(
+            "column-store generation for the System C engine: v1 "
+            "(whole-matrix memmap, the default) or v2 (partitioned, "
+            "compressed, out-of-core); figures without a store knob "
+            "ignore it"
         ),
     )
     parser.add_argument(
@@ -322,7 +336,12 @@ def main(argv: list[str] | None = None) -> int:
             continue
         tic = time.perf_counter()
         try:
-            result = run_figure(figure_id, jobs=args.jobs, kernel=args.kernel)
+            result = run_figure(
+                figure_id,
+                jobs=args.jobs,
+                kernel=args.kernel,
+                store=args.store,
+            )
         except KeyboardInterrupt:
             if journal is not None:
                 done = [i for i in ids if journal.is_complete(i)]
@@ -344,7 +363,11 @@ def main(argv: list[str] | None = None) -> int:
             journal.record(
                 result,
                 elapsed_s=elapsed,
-                params={"jobs": args.jobs, "kernel": args.kernel},
+                params={
+                    "jobs": args.jobs,
+                    "kernel": args.kernel,
+                    "store": args.store,
+                },
             )
         if args.csv:
             path = result.save_csv(args.csv)

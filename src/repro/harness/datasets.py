@@ -11,7 +11,7 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.core.generator import GeneratorConfig, SmartMeterGenerator
-from repro.datagen.seed import SeedConfig, make_seed_dataset
+from repro.datagen.seed import SeedConfig, make_seed_dataset, quantize_readings
 from repro.datagen.weather import make_temperature_series
 from repro.timeseries.series import Dataset
 
@@ -24,6 +24,15 @@ def seed_dataset(n_consumers: int, hours: int, seed: int = 13) -> Dataset:
     return make_seed_dataset(
         SeedConfig(n_consumers=n_consumers, n_hours=hours, seed=seed)
     )
+
+
+@lru_cache(maxsize=8)
+def metered_dataset(n_consumers: int, hours: int, seed: int = 13) -> Dataset:
+    """A seed dataset quantized to meter precision (3-decimal kWh,
+    tenth-of-a-degree temperatures) — the statistical shape of real meter
+    exports, which the storage benchmarks use so the v2 store's decimal
+    float codec behaves as it would on utility data."""
+    return quantize_readings(seed_dataset(n_consumers, hours, seed))
 
 
 @lru_cache(maxsize=4)

@@ -5,14 +5,17 @@ from __future__ import annotations
 import inspect
 from typing import Callable
 
-from repro.harness import cluster_figures, extensions, single_server
+from repro.harness import cluster_figures, extensions, single_server, storage_figures
 from repro.harness.report import FigureResult
 
 #: figure id -> (runner, one-line description).
 FIGURES: dict[str, tuple[Callable[[], FigureResult], str]] = {
     "table1": (single_server.table1, "Built-in statistical functions per platform"),
     "fig4": (single_server.figure4, "Data loading times, partitioned vs un-partitioned"),
-    "fig5": (single_server.figure5, "Partitioning impact on Matlab 3-line"),
+    "fig5": (
+        single_server.figure5,
+        "Partitioning impact: Matlab file layouts + System C store v1 vs v2",
+    ),
     "fig6": (single_server.figure6, "Cold vs warm start with T1/T2/T3 phases"),
     "fig7": (single_server.figure7, "Single-threaded times, 4 tasks x 3 platforms"),
     "fig8": (single_server.figure8, "Peak memory per task per platform"),
@@ -31,6 +34,10 @@ FIGURES: dict[str, tuple[Callable[[], FigureResult], str]] = {
     "fig17": (cluster_figures.figure17, "Format 2 speedup vs nodes"),
     "fig18": (cluster_figures.figure18, "Format 3 times vs file count (UDTF/UDAF)"),
     "fig19": (cluster_figures.figure19, "Format 3 speedup vs nodes"),
+    "fig20_pruning": (
+        storage_figures.figure20,
+        "Storage v2: pruned vs full scans, compression, out-of-core budget",
+    ),
     "matmul": (single_server.matmul_anecdote, "Library vs hand-written matmul anecdote"),
     "updates": (
         extensions.updates_experiment,
@@ -44,14 +51,17 @@ FIGURES: dict[str, tuple[Callable[[], FigureResult], str]] = {
 
 
 def run_figure(
-    figure_id: str, jobs: int | None = None, kernel: str | None = None
+    figure_id: str,
+    jobs: int | None = None,
+    kernel: str | None = None,
+    store: str | None = None,
 ) -> FigureResult:
     """Run one registered figure by id.
 
-    ``jobs`` and ``kernel`` (the CLI ``--jobs`` / ``--kernel`` knobs)
-    are forwarded to figures whose runner accepts the matching
-    parameter — the rest ignore them silently, so one flag can apply to
-    a mixed ``--all`` run.
+    ``jobs``, ``kernel`` and ``store`` (the CLI ``--jobs`` / ``--kernel``
+    / ``--store`` knobs) are forwarded to figures whose runner accepts
+    the matching parameter — the rest ignore them silently, so one flag
+    can apply to a mixed ``--all`` run.
     """
     try:
         runner, _ = FIGURES[figure_id]
@@ -65,4 +75,6 @@ def run_figure(
         kwargs["jobs"] = jobs
     if kernel is not None and "kernel" in params:
         kwargs["kernel"] = kernel
+    if store is not None and "store" in params:
+        kwargs["store"] = store
     return runner(**kwargs)

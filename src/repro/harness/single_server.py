@@ -116,7 +116,18 @@ def figure4(scale: Scale = SINGLE_SERVER_SCALE) -> FigureResult:
 
 
 def figure5(scale: Scale = SINGLE_SERVER_SCALE) -> FigureResult:
-    """Figure 5: partitioning impact on the 3-line algorithm in Matlab."""
+    """Figure 5: partitioning impact on the 3-line algorithm.
+
+    Two partitioning stories on the same axis:
+
+    * the paper's claim — Matlab is much faster when each consumer's
+      readings live in their own *file* (rows with platform ``matlab``);
+    * the storage-v2 analogue — System C's 3-line over the v1 whole-matrix
+      memmap store vs the v2 partitioned/compressed store (rows with
+      platform ``systemc``; layouts ``v1-memmap`` / ``v2-partitioned``),
+      showing the partitioned layout holds the paper's shape at the
+      storage layer too.
+    """
     rows = []
     workdir = _workdir()
     for gb in (0.5, 1.0, 1.5, 2.0):
@@ -129,14 +140,26 @@ def figure5(scale: Scale = SINGLE_SERVER_SCALE) -> FigureResult:
             engine.attach_layout(layout)
             _, seconds = engine.timed_task(Task.THREELINE, cold=True)
             rows.append(
-                [gb, "partitioned" if partitioned else "un-partitioned", seconds]
+                ["matlab", gb,
+                 "partitioned" if partitioned else "un-partitioned", seconds]
             )
+            engine.close()
+        for store, layout_name in (("v1", "v1-memmap"), ("v2", "v2-partitioned")):
+            engine = create_engine("systemc", store=store)
+            engine.load_dataset(dataset, workdir / f"{gb}_sysc_{store}")
+            _, seconds = engine.timed_task(Task.THREELINE, cold=True)
+            rows.append(["systemc", gb, layout_name, seconds])
             engine.close()
     return FigureResult(
         figure_id="fig5",
-        title="Matlab 3-line running time vs dataset size and file layout",
-        columns=["gb", "layout", "seconds"],
+        title="3-line running time vs dataset size and storage layout",
+        columns=["platform", "gb", "layout", "seconds"],
         rows=rows,
+        notes=[
+            "matlab rows: the paper's per-consumer-file claim",
+            "systemc rows: v1 whole-matrix memmap vs v2 partitioned store "
+            "(bit-identical results)",
+        ],
     )
 
 
@@ -182,13 +205,16 @@ def figure7(
     sizes_gb: tuple[float, ...] = (2.0, 4.0, 6.0, 8.0, 10.0),
     jobs: int = 1,
     kernel: str = "loop",
+    store: str = "v1",
 ) -> FigureResult:
     """Figure 7: single-threaded cold-start times, 4 tasks x 3 platforms.
 
     ``jobs`` > 1 (the CLI ``--jobs`` knob) reruns the experiment with each
     engine fanning its tasks over that many worker processes; ``kernel``
     (the ``--kernel`` knob) selects the per-consumer task implementation
-    (:data:`repro.core.benchmark.KERNEL_STRATEGIES`).
+    (:data:`repro.core.benchmark.KERNEL_STRATEGIES`); ``store`` (the
+    ``--store`` knob) selects System C's storage generation — ``v2`` runs
+    its tasks out-of-core over the partitioned store, bit-identically.
     """
     workdir = _workdir()
     spec = BenchmarkSpec(n_jobs=jobs, kernel=kernel)
@@ -196,7 +222,10 @@ def figure7(
     for gb in sizes_gb:
         dataset = seed_dataset(scale.consumers_for_gb(gb), scale.hours)
         for name in LOCAL_ENGINES:
-            engine = _loaded_engine(name, dataset, workdir / f"{name}_{gb}")
+            kwargs = {"store": store} if name == "systemc" else {}
+            engine = _loaded_engine(
+                name, dataset, workdir / f"{name}_{gb}", **kwargs
+            )
             for task in _TASKS:
                 if (
                     task is Task.SIMILARITY
@@ -212,6 +241,8 @@ def figure7(
         title = f"Execution times at n_jobs={jobs} (cold start, seconds)"
     if kernel != "loop":
         title += f" [kernel={kernel}]"
+    if store != "v1":
+        title += f" [store={store}]"
     return FigureResult(
         figure_id="fig7",
         title=title,

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.columnar.colstore import ZONE_BLOCK, ColumnStore
+from repro.columnar.colstore import ZONE_BLOCK, ColumnStore, ZoneMap
 from repro.columnar import operators as ops
 from repro.core.histogram import equi_width_histogram
 from repro.core.stats import ols_line, percentile_linear
@@ -79,6 +79,51 @@ class TestColumnStore:
         assert zm.blocks_overlapping(flat.min(), flat.max()).size == zm.mins.size
         # A range below the global min overlaps none.
         assert zm.blocks_overlapping(flat.min() - 10, flat.min() - 5).size == 0
+
+    def test_drop_removes_every_sidecar(self, store, tmp_path):
+        table_dir = store.root / "readings"
+        assert any(table_dir.iterdir())
+        store.drop("readings")
+        assert not table_dir.exists()
+
+    def test_drop_missing_table_is_noop(self, store):
+        store.drop("never-existed")  # must not raise
+
+
+class TestZoneMapSemantics:
+    """The defined edge behaviour of ``blocks_overlapping``."""
+
+    def test_nan_bearing_blocks_never_pruned(self):
+        zm = ZoneMap(
+            mins=np.array([0.0, 5.0, np.inf]),
+            maxs=np.array([1.0, 6.0, -np.inf]),
+            has_nan=np.array([False, True, True]),
+        )
+        # Block 0 misses the range, block 1 overlaps, block 2 is all-NaN
+        # (empty value range) — NaN blocks survive regardless.
+        np.testing.assert_array_equal(zm.blocks_overlapping(4.0, 7.0), [1, 2])
+        # Even a range nothing can match keeps the NaN blocks.
+        np.testing.assert_array_equal(zm.blocks_overlapping(100.0, 200.0), [1, 2])
+
+    def test_legacy_map_without_nan_flags(self):
+        zm = ZoneMap(mins=np.array([0.0]), maxs=np.array([1.0]))
+        assert zm.has_nan is None
+        np.testing.assert_array_equal(zm.blocks_overlapping(0.5, 2.0), [0])
+        assert zm.blocks_overlapping(5.0, 6.0).size == 0
+
+    def test_empty_zone_map(self):
+        zm = ZoneMap(mins=np.array([]), maxs=np.array([]))
+        assert zm.n_blocks == 0
+        out = zm.blocks_overlapping(0.0, 1.0)
+        assert out.size == 0
+        assert out.dtype == np.int64
+
+    def test_nan_bounds_rejected(self):
+        zm = ZoneMap(mins=np.array([0.0]), maxs=np.array([1.0]))
+        with pytest.raises(StorageError, match="NaN"):
+            zm.blocks_overlapping(np.nan, 1.0)
+        with pytest.raises(StorageError, match="NaN"):
+            zm.blocks_overlapping(0.0, np.nan)
 
 
 class TestHandWrittenOperators:

@@ -69,6 +69,44 @@ class TestIntColumnCodec:
             IntColumnCodec.decode(IntColumnCodec.encode(values)), values
         )
 
+    def test_empty_column_roundtrip(self):
+        payload = IntColumnCodec.encode(np.array([], dtype=np.int64))
+        assert payload["n"] == 0
+        out = IntColumnCodec.decode(payload)
+        assert out.size == 0 and out.dtype == np.int64
+
+    def test_single_value_and_single_run(self):
+        one = np.array([42], dtype=np.int64)
+        np.testing.assert_array_equal(
+            IntColumnCodec.decode(IntColumnCodec.encode(one)), one
+        )
+        constant = np.full(5000, -7, dtype=np.int64)
+        payload = IntColumnCodec.encode(constant)
+        # All deltas are 0 -> one run: the degenerate best case.
+        assert payload["run_values"].size == 1
+        np.testing.assert_array_equal(IntColumnCodec.decode(payload), constant)
+
+    def test_deltas_near_int64_bounds_roundtrip(self):
+        info = np.iinfo(np.int64)
+        # max -> min is a delta of -(2^64 - 1), far outside int64: the
+        # modular delta arithmetic must wrap and unwrap exactly.
+        values = np.array(
+            [info.max, info.min, info.max - 1, 0, info.min + 1],
+            dtype=np.int64,
+        )
+        np.testing.assert_array_equal(
+            IntColumnCodec.decode(IntColumnCodec.encode(values)), values
+        )
+
+    def test_alternating_extremes_roundtrip(self):
+        info = np.iinfo(np.int64)
+        values = np.tile(
+            np.array([info.min, info.max], dtype=np.int64), 500
+        )
+        np.testing.assert_array_equal(
+            IntColumnCodec.decode(IntColumnCodec.encode(values)), values
+        )
+
     def test_clustered_column_compresses_massively(self):
         # The household_code column: 50 households x 1000 readings.
         codes = np.repeat(np.arange(50), 1000)

@@ -1,0 +1,481 @@
+"""Tests for the v2 partitioned column store and its out-of-core runners.
+
+Covers the storage-v2 contract end to end: partition ingest and bit-exact
+reassembly, pruning exactness and zone-map semantics, append-only daily
+ingest with the operational state table, the explicit memory budget,
+out-of-core execution bit-identity, engine-level v1-vs-v2 bit-identity for
+all four benchmark tasks, and the adversarial corners of the float/string
+codecs the partitions are built on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnar.compression import FloatColumnCodec, StringDictCodec
+from repro.columnar.outofcore import (
+    blocked_similarity,
+    consumers_per_block,
+    iter_consumer_blocks,
+    run_blocked,
+)
+from repro.columnar.partstore import (
+    PartitionedStore,
+    StateTable,
+    day_of_hour,
+)
+from repro.core.benchmark import BenchmarkSpec, Task
+from repro.core.validation import assert_identical_task_results
+from repro.datagen.seed import SeedConfig, make_seed_dataset, quantize_readings
+from repro.engines.base import create_engine
+from repro.exceptions import EngineError, StorageError
+from repro.timeseries.series import Dataset
+
+
+def _dataset(n=10, days=70, seed=11):
+    return make_seed_dataset(
+        SeedConfig(n_consumers=n, n_hours=24 * days, seed=seed)
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return _dataset()
+
+
+@pytest.fixture()
+def table(tmp_path, dataset):
+    store = PartitionedStore(tmp_path / "v2")
+    # 4-consumer x 30-day tiles -> a 3 x 3 partition grid for 10 x 70d.
+    return store.ingest_dataset(
+        dataset, consumers_per_part=4, days_per_part=30
+    )
+
+
+class TestIngestAndRead:
+    def test_shape_and_grid(self, table, dataset):
+        assert table.n_households == dataset.n_consumers
+        assert table.n_hours == dataset.n_hours
+        assert table.n_days == 70
+        assert table.n_rows == dataset.n_consumers * dataset.n_hours
+        assert len(table.consumer_blocks) == 3
+        assert len(table.hour_blocks) == 3
+        assert len(table.partitions) == 9
+
+    def test_read_matrices_bit_exact(self, table, dataset):
+        ids, matrices = table.read_matrices()
+        assert ids == list(dataset.consumer_ids)
+        np.testing.assert_array_equal(
+            matrices["consumption"], dataset.consumption
+        )
+        np.testing.assert_array_equal(
+            matrices["temperature"], dataset.temperature
+        )
+
+    def test_read_matrices_consumer_range(self, table, dataset):
+        ids, matrices = table.read_matrices(consumer_range=(3, 7))
+        assert ids == list(dataset.consumer_ids[3:7])
+        np.testing.assert_array_equal(
+            matrices["consumption"], dataset.consumption[3:7]
+        )
+
+    def test_dictionary_roundtrip(self, table, dataset):
+        for i, cid in enumerate(dataset.consumer_ids):
+            assert table.encode(cid) == i
+            assert table.decode(i) == cid
+        with pytest.raises(StorageError, match="unknown household"):
+            table.encode("nope")
+        with pytest.raises(StorageError, match="outside dictionary"):
+            table.decode(999)
+
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(StorageError, match="no columns"):
+            list(table.scan(columns=["voltage"]))
+
+    def test_duplicate_ingest_rejected(self, tmp_path, dataset):
+        store = PartitionedStore(tmp_path / "v2")
+        store.ingest_dataset(dataset)
+        with pytest.raises(StorageError, match="already exists"):
+            store.ingest_dataset(dataset)
+
+    def test_bad_tile_rejected(self, tmp_path, dataset):
+        store = PartitionedStore(tmp_path / "v2")
+        with pytest.raises(StorageError, match="positive"):
+            store.ingest_dataset(dataset, consumers_per_part=0)
+
+    def test_list_and_drop(self, tmp_path, dataset):
+        store = PartitionedStore(tmp_path / "v2")
+        store.ingest_dataset(dataset, "readings")
+        assert store.list_tables() == ["readings"]
+        store.drop("readings")
+        assert store.list_tables() == []
+        assert not (store.root / "readings").exists()  # no sidecars left
+        store.drop("readings")  # idempotent: missing dir is a no-op
+        with pytest.raises(StorageError, match="no table"):
+            store.open("readings")
+
+    def test_compression_wins_on_metered_data(self, tmp_path):
+        metered = quantize_readings(_dataset(n=20, days=60))
+        store = PartitionedStore(tmp_path / "v2")
+        t = store.ingest_dataset(metered)
+        assert t.compressed_bytes() <= 0.5 * t.raw_bytes()
+
+    def test_batch_rows_regenerates_implicit_columns(self, table, dataset):
+        batches = list(table.scan(consumer_range=(4, 6), hour_range=(24, 48)))
+        assert len(batches) == 1
+        rows = batches[0].rows()
+        np.testing.assert_array_equal(
+            rows["household_code"], np.repeat([4, 5], 24)
+        )
+        np.testing.assert_array_equal(rows["hour"], np.tile(np.arange(24, 48), 2))
+        np.testing.assert_array_equal(
+            rows["consumption"], dataset.consumption[4:6, 24:48].reshape(-1)
+        )
+
+
+class TestPruning:
+    def test_rectangle_scan_is_exact(self, table, dataset):
+        # One tile's worth of consumers for one month: 1 of 9 partitions.
+        got = np.full((2, 48), np.nan)
+        for batch in table.scan(
+            columns=["consumption"],
+            consumer_range=(1, 3),
+            hour_range=(100, 148),
+        ):
+            got[
+                batch.consumer0 - 1 : batch.consumer0 - 1 + batch.n_consumers,
+                batch.hour0 - 100 : batch.hour0 - 100 + batch.n_hours,
+            ] = batch.columns["consumption"]
+        np.testing.assert_array_equal(got, dataset.consumption[1:3, 100:148])
+        stats = table.last_scan_stats
+        assert stats.partitions_total == 9
+        assert stats.partitions_scanned == 1
+        assert stats.partitions_pruned == 8
+        assert stats.rows_scanned == 2 * 48
+
+    def test_rectangle_spanning_tiles(self, table, dataset):
+        # Consumers 2..6 span two consumer blocks; hours 700..1400 span
+        # two hour blocks -> 4 partitions survive.
+        list(table.scan(consumer_range=(2, 6), hour_range=(700, 1400)))
+        assert table.last_scan_stats.partitions_scanned == 4
+
+    def test_value_range_pruning(self, table, dataset):
+        lo = float(dataset.consumption.max()) + 1.0
+        list(table.scan(value_ranges={"consumption": (lo, lo + 1)}))
+        stats = table.last_scan_stats
+        assert stats.partitions_scanned == 0
+        assert stats.rows_scanned == 0
+
+    def test_value_range_keeps_matching_partitions(self, table, dataset):
+        # A range covering everything prunes nothing.
+        list(
+            table.scan(
+                value_ranges={
+                    "consumption": (
+                        float(dataset.consumption.min()),
+                        float(dataset.consumption.max()),
+                    )
+                }
+            )
+        )
+        assert table.last_scan_stats.partitions_scanned == 9
+
+    def test_nan_bearing_partition_never_value_pruned(self, tmp_path, dataset):
+        poisoned = Dataset(
+            consumer_ids=dataset.consumer_ids,
+            consumption=dataset.consumption.copy(),
+            temperature=dataset.temperature,
+            name="poisoned",
+        )
+        poisoned.consumption[0, 0] = np.nan
+        store = PartitionedStore(tmp_path / "v2")
+        t = store.ingest_dataset(
+            poisoned, consumers_per_part=4, days_per_part=30
+        )
+        lo = float(np.nanmax(poisoned.consumption)) + 1.0
+        survivors = list(table_scan_files(t, {"consumption": (lo, lo + 1)}))
+        # Only the NaN-bearing partition (consumer block 0, hour block 0)
+        # survives an otherwise-impossible predicate.
+        assert survivors == ["part_c00000_h00000.npz"]
+
+    def test_nan_value_bounds_rejected(self, table):
+        with pytest.raises(StorageError, match="NaN"):
+            list(table.scan(value_ranges={"consumption": (np.nan, 1.0)}))
+
+
+def table_scan_files(t, value_ranges):
+    """File names of partitions surviving a value-range-only scan."""
+    for key in sorted(t.partitions):
+        info = t.partitions[key]
+        if info.survives_value_ranges(value_ranges):
+            yield info.file_name
+
+
+class TestAppendAndState:
+    def _slice(self, dataset, h0, h1, name="batch"):
+        return Dataset(
+            consumer_ids=dataset.consumer_ids,
+            consumption=dataset.consumption[:, h0:h1],
+            temperature=dataset.temperature[:, h0:h1],
+            name=name,
+        )
+
+    def test_state_after_ingest(self, table):
+        state = table.state()
+        assert all(v == 69 for v in state.as_dict().values())
+        assert state.last_ingested_day(table.dictionary[0]) == 69
+        with pytest.raises(StorageError, match="unknown household"):
+            state.last_ingested_day("nope")
+
+    def test_append_bit_exact_and_state_advances(self, tmp_path):
+        full = _dataset(n=6, days=40, seed=7)
+        head = self._slice(full, 0, 24 * 33)
+        tail = self._slice(full, 24 * 33, 24 * 40)
+        store = PartitionedStore(tmp_path / "v2")
+        t = store.ingest_dataset(head, consumers_per_part=4, days_per_part=30)
+        old_files = {p.file_name for p in t.partitions.values()}
+        t = store.append_days("readings", tail)
+        assert t.n_days == 40
+        assert t.state().last_ingested_day(full.consumer_ids[0]) == 39
+        # Existing partitions are immutable: appends only add files.
+        assert old_files < {p.file_name for p in t.partitions.values()}
+        _ids, matrices = t.read_matrices()
+        np.testing.assert_array_equal(matrices["consumption"], full.consumption)
+        np.testing.assert_array_equal(matrices["temperature"], full.temperature)
+
+    def test_append_rejects_wrong_consumer_set(self, tmp_path, dataset):
+        store = PartitionedStore(tmp_path / "v2")
+        store.ingest_dataset(dataset)
+        other = _dataset(n=3, days=1, seed=2)
+        with pytest.raises(StorageError, match="consumer set"):
+            store.append_days("readings", other)
+
+    def test_append_rejects_partial_days(self, tmp_path, dataset):
+        store = PartitionedStore(tmp_path / "v2")
+        store.ingest_dataset(dataset)
+        ragged = self._slice(dataset, 0, 36)
+        with pytest.raises(StorageError, match="whole number of days"):
+            store.append_days("readings", ragged)
+
+    def test_state_shape_checked(self):
+        with pytest.raises(StorageError, match="does not match"):
+            StateTable(np.zeros(3, dtype=np.int64), ["a", "b"])
+
+    def test_day_of_hour(self):
+        assert day_of_hour(0) == 0
+        assert day_of_hour(23) == 0
+        assert day_of_hour(24) == 1
+
+
+class TestMemoryBudget:
+    def test_scan_rejects_partition_over_budget(self, table):
+        # One 4-consumer x 720-hour partition x 2 columns = 46 080 bytes.
+        with pytest.raises(StorageError, match="budget"):
+            list(table.scan(memory_budget_bytes=1024))
+
+    def test_scan_stats_report_peak_and_budget(self, table):
+        budget = 10 * 1024 * 1024
+        for _ in table.scan(memory_budget_bytes=budget):
+            pass
+        stats = table.last_scan_stats
+        assert stats.memory_budget_bytes == budget
+        assert 0 < stats.peak_batch_bytes <= budget
+        assert table.scan_peak_bytes >= stats.peak_batch_bytes
+
+    def test_consumers_per_block_budgeting(self, table):
+        # Plenty of budget: block aligns down to the partition width.
+        block = consumers_per_block(table, 64 * 1024 * 1024)
+        assert block % table.consumers_per_part == 0 or block >= table.n_households
+        # Too little for even one consumer row: explicit error.
+        with pytest.raises(StorageError, match="raise the budget"):
+            consumers_per_block(table, 100)
+
+    def test_iter_consumer_blocks_bit_exact(self, table, dataset):
+        got = []
+        for _c0, ids, matrices in iter_consumer_blocks(
+            table, block_consumers=3
+        ):
+            assert matrices["consumption"].shape[0] == len(ids)
+            got.append(matrices["consumption"])
+        np.testing.assert_array_equal(np.vstack(got), dataset.consumption)
+
+    def test_run_blocked_merges_per_consumer_results(self, table, dataset):
+        def block_fn(ids, matrices):
+            sums = matrices["consumption"].sum(axis=1)
+            return dict(zip(ids, sums))
+
+        out = run_blocked(table, block_fn, block_consumers=4)
+        assert list(out) == list(dataset.consumer_ids)
+        np.testing.assert_array_equal(
+            np.array(list(out.values())), dataset.consumption.sum(axis=1)
+        )
+
+
+class TestEngineBitIdentity:
+    """The headline contract: v1 memmap and v2 partitioned answers are
+    bit-identical for every benchmark task, out-of-core included."""
+
+    @pytest.fixture(scope="class")
+    def engines(self, tmp_path_factory):
+        data = _dataset(n=12, days=50, seed=21)
+        root = tmp_path_factory.mktemp("identity")
+        v1 = create_engine("systemc")
+        v1.load_dataset(data, root / "v1")
+        # A tiny budget forces genuinely blocked execution on v2.
+        v2 = create_engine(
+            "systemc", store="v2", memory_budget_bytes=8 * 1024 * 1024
+        )
+        v2.load_dataset(data, root / "v2")
+        return v1, v2
+
+    @pytest.mark.parametrize(
+        "task", [Task.HISTOGRAM, Task.THREELINE, Task.PAR, Task.SIMILARITY]
+    )
+    def test_task_bit_identical(self, engines, task):
+        v1, v2 = engines
+        assert_identical_task_results(task, v1.run_task(task), v2.run_task(task))
+
+    @pytest.mark.parametrize("kernel", ["loop", "batched"])
+    def test_kernels_bit_identical(self, engines, kernel):
+        v1, v2 = engines
+        spec = BenchmarkSpec(kernel=kernel)
+        assert_identical_task_results(
+            Task.HISTOGRAM, v1.histogram(spec), v2.histogram(spec)
+        )
+
+    def test_blocked_similarity_matches_engine(self, tmp_path):
+        data = _dataset(n=9, days=30, seed=3)
+        v1 = create_engine("systemc")
+        v1.load_dataset(data, tmp_path / "v1")
+        store = PartitionedStore(tmp_path / "v2")
+        t = store.ingest_dataset(data, consumers_per_part=4)
+        got = blocked_similarity(t, top_k=3, block_consumers=4)
+        assert_identical_task_results(
+            Task.SIMILARITY, v1.similarity(BenchmarkSpec(top_k=3)), got
+        )
+
+    def test_append_requires_v2(self, tmp_path):
+        eng = create_engine("systemc")
+        eng.load_dataset(_dataset(n=3, days=2), tmp_path / "v1")
+        with pytest.raises(EngineError, match="v2"):
+            eng.append_days(_dataset(n=3, days=1))
+
+    def test_append_then_query(self, tmp_path):
+        full = _dataset(n=5, days=8, seed=9)
+        head = Dataset(
+            consumer_ids=full.consumer_ids,
+            consumption=full.consumption[:, : 24 * 6],
+            temperature=full.temperature[:, : 24 * 6],
+            name="head",
+        )
+        tail = Dataset(
+            consumer_ids=full.consumer_ids,
+            consumption=full.consumption[:, 24 * 6 :],
+            temperature=full.temperature[:, 24 * 6 :],
+            name="tail",
+        )
+        v1 = create_engine("systemc")
+        v1.load_dataset(full, tmp_path / "v1")
+        v2 = create_engine("systemc", store="v2")
+        v2.load_dataset(head, tmp_path / "v2")
+        v2.append_days(tail)
+        assert_identical_task_results(
+            Task.HISTOGRAM, v1.histogram(), v2.histogram()
+        )
+
+
+class TestLoadFromStore:
+    """Engines can bootstrap straight from a v2 table, bit-identically to
+    loading the original dataset."""
+
+    @pytest.fixture(scope="class")
+    def v2_table(self, tmp_path_factory):
+        data = _dataset(n=8, days=20, seed=31)
+        store = PartitionedStore(tmp_path_factory.mktemp("store") / "v2")
+        return data, store.ingest_dataset(data, consumers_per_part=4)
+
+    @pytest.mark.parametrize("engine_name", ["madlib", "matlab"])
+    def test_engine_matches_direct_load(
+        self, v2_table, engine_name, tmp_path
+    ):
+        data, table = v2_table
+        direct = create_engine(engine_name)
+        direct.load_dataset(data, tmp_path / "direct")
+        streamed = create_engine(engine_name)
+        streamed.load_from_store(table, tmp_path / "streamed")
+        assert_identical_task_results(
+            Task.HISTOGRAM, direct.histogram(), streamed.histogram()
+        )
+
+
+class TestFloatColumnCodecAdversarial:
+    def _roundtrip(self, values):
+        payload = FloatColumnCodec.encode(values)
+        out = FloatColumnCodec.decode(payload)
+        np.testing.assert_array_equal(
+            np.asarray(values, dtype=np.float64).view(np.uint64),
+            out.view(np.uint64),
+        )
+        return payload
+
+    def test_empty_column(self):
+        payload = self._roundtrip(np.array([], dtype=np.float64))
+        assert payload["mode"] == "empty"
+
+    def test_single_run_rle(self):
+        payload = self._roundtrip(np.full(5000, 3.14159))
+        assert payload["mode"] == "rle"
+        assert payload["run_values"].size == 1
+
+    def test_nan_payload_bits_preserved(self):
+        # A non-default NaN bit pattern must survive the round trip.
+        values = np.array([np.nan, 1.0, np.inf, -np.inf, -0.0] * 400)
+        values[0] = np.array([0x7FF8_0000_0000_0001], dtype=np.uint64).view(
+            np.float64
+        )[0]
+        payload = self._roundtrip(values)
+        assert payload["mode"] in ("rle", "zlib", "raw")
+
+    def test_negative_zero_distinct_from_zero(self):
+        values = np.array([0.0, -0.0, 0.0, -0.0])
+        out = FloatColumnCodec.decode(FloatColumnCodec.encode(values))
+        np.testing.assert_array_equal(
+            np.signbit(out), [False, True, False, True]
+        )
+
+    def test_metered_data_uses_scaled_mode(self):
+        rng = np.random.default_rng(0)
+        values = np.round(rng.uniform(0, 30, 4000), 3)
+        values = np.rint(values * 1000.0) / 1000.0
+        payload = self._roundtrip(values)
+        assert payload["mode"] == "scaled"
+        assert payload["ints"].dtype == np.int16
+
+    def test_incompressible_noise_never_inflates(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=3000)
+        payload = self._roundtrip(values)
+        assert FloatColumnCodec.encoded_nbytes(payload) <= values.nbytes * 1.01
+
+    def test_2d_rejected(self):
+        with pytest.raises(StorageError, match="1-D"):
+            FloatColumnCodec.encode(np.zeros((2, 2)))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(StorageError, match="unknown"):
+            FloatColumnCodec.decode({"mode": "gzip", "n": 1})
+
+
+class TestStringDictCodec:
+    def test_first_appearance_order(self):
+        codes, dictionary = StringDictCodec.encode(["b", "a", "b", "c", "a"])
+        assert dictionary == ["b", "a", "c"]
+        np.testing.assert_array_equal(codes, [0, 1, 0, 2, 1])
+        assert StringDictCodec.decode(codes, dictionary) == [
+            "b", "a", "b", "c", "a",
+        ]
+
+    def test_out_of_range_code_rejected(self):
+        with pytest.raises(StorageError, match="out of range"):
+            StringDictCodec.decode(np.array([5]), ["a"])
