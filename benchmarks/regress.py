@@ -9,6 +9,7 @@ up in review).  Runs standalone — no pytest required::
     python benchmarks/regress.py --quick    # one small scale (CI smoke)
     python benchmarks/regress.py --out path/to.json
     python benchmarks/regress.py --storage  # storage-v2 gates -> BENCH_storage.json
+    python benchmarks/regress.py --streaming  # plane gates -> BENCH_streaming.json
 
 ``--storage`` switches to the columnar-storage-v2 suite: full vs pruned
 scan speed, compressed size vs raw, the out-of-core memory budget, and
@@ -16,6 +17,15 @@ bit-identity of all four tasks between the v1 memmap and v2 partitioned
 stores.  Results land in ``BENCH_storage.json`` and the same gates are
 enforced via the exit status (quick mode waives the scan-speed floor,
 which needs n=1000 to be meaningful).
+
+``--streaming`` switches to the streaming-plane suite
+(:mod:`benchmarks.bench_streaming`): sustained fold throughput with
+per-tick latency percentiles scaled to a simulated 1M-meter fleet,
+the incremental-vs-naive-recompute speedup gate at n=1000, and
+shuffled-arrival window-close convergence of all four tasks.  Results
+land in ``BENCH_streaming.json``; quick mode shrinks the cohort and
+waives the speedup floor (it needs n=1000 to be meaningful) but still
+enforces convergence.
 
 Exit status is non-zero if, at the largest measured scale with at least
 1000 consumers, any task falls below the 5x batched speedup floor, or
@@ -393,6 +403,77 @@ def check_storage(body, quick: bool) -> bool:
     return ok
 
 
+# Streaming suite ------------------------------------------------------------
+
+#: Gate scale (full) and quick-mode cohort for the streaming suite.
+STREAMING_GATE_N = 1000
+QUICK_STREAMING_N = 100
+STREAMING_CONVERGENCE_N = 200
+QUICK_STREAMING_CONVERGENCE_N = 40
+
+
+def measure_streaming(quick: bool):
+    """The streaming-plane measurement suite; returns the JSON body."""
+    from bench_streaming import (
+        measure_convergence,
+        measure_speedup,
+        measure_throughput,
+    )
+
+    n_gate = QUICK_STREAMING_N if quick else STREAMING_GATE_N
+    n_conv = (
+        QUICK_STREAMING_CONVERGENCE_N if quick else STREAMING_CONVERGENCE_N
+    )
+
+    throughput = measure_throughput(n_consumers=n_gate, n_windows=2)
+    print(
+        f"throughput n={n_gate:>5}: "
+        f"{throughput['readings_per_s']:>12,.0f} readings/s  "
+        f"tick P50 {throughput['tick_p50_ms']:.1f} / "
+        f"P95 {throughput['tick_p95_ms']:.1f} / "
+        f"P99 {throughput['tick_p99_ms']:.1f} ms  "
+        f"(fleet day = {throughput['simulated_fleet_day_core_s']} core-s "
+        f"at {throughput['simulated_meters']:,} meters)"
+    )
+    speedup = measure_speedup(n_consumers=n_gate)
+    print(
+        f"speedup   n={n_gate:>5}: incremental {speedup['incremental_s']:.3f}s"
+        f"  naive {speedup['naive_recompute_s']:.3f}s"
+        f"  -> {speedup['speedup']:5.2f}x (floor {speedup['min_speedup_floor']}x)"
+    )
+    convergence = measure_convergence(n_consumers=n_conv)
+    print(f"converge  n={n_conv:>5}: " + ", ".join(
+        f"{t}={'ok' if not v.startswith('MISMATCH') else 'MISMATCH'}"
+        for t, v in convergence["tasks"].items()
+    ))
+    return {
+        "throughput": throughput,
+        "speedup": speedup,
+        "convergence": convergence,
+    }
+
+
+def check_streaming(body, quick: bool) -> bool:
+    """Enforce the streaming gates; quick mode waives the speedup floor."""
+    ok = True
+    speed = body["speedup"]
+    if not quick and speed["speedup"] < speed["min_speedup_floor"]:
+        print(
+            f"STREAMING MISS: incremental speedup {speed['speedup']}x < "
+            f"{speed['min_speedup_floor']}x at n={speed['n_consumers']}",
+            file=sys.stderr,
+        )
+        ok = False
+    for task, verdict in body["convergence"]["tasks"].items():
+        if verdict.startswith("MISMATCH"):
+            print(
+                f"STREAMING MISS: {task} did not converge: {verdict}",
+                file=sys.stderr,
+            )
+            ok = False
+    return ok
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -410,16 +491,44 @@ def main(argv=None):
         ),
     )
     parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help=(
+            "run the streaming-plane suite (sustained throughput, "
+            "incremental-vs-recompute speedup, window-close convergence) "
+            "instead of the kernel sweep"
+        ),
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
         help=(
             "output JSON path (default: repo-root BENCH_kernels.json, "
-            "or BENCH_storage.json with --storage)"
+            "BENCH_storage.json with --storage, or BENCH_streaming.json "
+            "with --streaming)"
         ),
     )
     args = parser.parse_args(argv)
     repo_root = Path(__file__).resolve().parents[1]
+
+    if args.storage and args.streaming:
+        parser.error("--storage and --streaming are mutually exclusive")
+
+    if args.streaming:
+        out = args.out or repo_root / "BENCH_streaming.json"
+        body = measure_streaming(args.quick)
+        payload = {
+            "generated": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "cpu_count": os.cpu_count(),
+            "quick": args.quick,
+            **body,
+        }
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+        return 0 if check_streaming(body, args.quick) else 1
 
     if args.storage:
         out = args.out or repo_root / "BENCH_storage.json"

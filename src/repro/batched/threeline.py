@@ -49,6 +49,7 @@ from repro.core.threeline import (
     ThreeLineConfig,
     ThreeLineModel,
     fit_bands,
+    temperature_bin_codes,
 )
 from repro.core.stats import Line
 from repro.core.threeline import PiecewiseLines
@@ -94,7 +95,7 @@ def batched_percentile_points(
     to the reference per-consumer ``_percentile_points``.
     """
     n, hours = consumption.shape
-    bins = np.round(temperature / config.bin_width).astype(np.int64)
+    bins = temperature_bin_codes(temperature, config.bin_width)
     # One composite integer key per reading — (consumer, bin) — so a
     # two-key lexsort with the consumption value as tie-breaker leaves
     # every (consumer, bin) group contiguous *and* value-sorted.

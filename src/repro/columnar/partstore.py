@@ -608,14 +608,35 @@ class PartitionedStore:
         (directory / _META_FILE).write_text(json.dumps(meta))
         return self.open(name)
 
-    def append_days(self, name: str, batch: Dataset) -> PartitionedTable:
+    def append_days(
+        self,
+        name: str,
+        batch: Dataset,
+        *,
+        start_day: int | None = None,
+        on_conflict: str = "error",
+    ) -> PartitionedTable:
         """Append whole new days of readings for every meter (append-only).
 
         ``batch`` must cover exactly the table's consumer set, in
         dictionary order, with a whole number of days.  New hour-blocks
         are written as fresh partition files — existing partitions are
         immutable — and the state table advances to the new last day.
+
+        ``start_day`` declares the global day index the batch starts at
+        (``None`` = straight append at the current end).  Declaring it
+        makes redelivery explicit instead of silently double-appending:
+        a batch that starts below the table's next day *overlaps* days
+        the state table already recorded, and ``on_conflict`` decides —
+        ``"error"`` (default) raises naming the overlap, ``"skip"``
+        drops the already-ingested days and appends only the genuinely
+        new tail (an idempotent re-send).  A ``start_day`` beyond the
+        next day would leave a hole and always raises.
         """
+        if on_conflict not in ("error", "skip"):
+            raise StorageError(
+                f"on_conflict must be 'error' or 'skip', got {on_conflict!r}"
+            )
         table = self.open(name)
         if list(batch.consumer_ids) != table.dictionary:
             raise StorageError(
@@ -628,6 +649,35 @@ class PartitionedStore:
                 f"append batch must be a whole number of days, "
                 f"got {n_new} hours"
             )
+        next_day = table.n_hours // HOURS_PER_DAY
+        if start_day is not None and start_day != next_day:
+            if start_day > next_day:
+                raise StorageError(
+                    f"append at day {start_day} would leave a gap: table "
+                    f"{name!r} ends at day {next_day - 1} "
+                    f"(next appendable day is {next_day})"
+                )
+            overlap_days = next_day - start_day
+            batch_days = n_new // HOURS_PER_DAY
+            if on_conflict == "error":
+                raise StorageError(
+                    f"append batch for days {start_day}..."
+                    f"{start_day + batch_days - 1} overlaps "
+                    f"{min(overlap_days, batch_days)} already-ingested "
+                    f"days of table {name!r} (ingested through day "
+                    f"{next_day - 1}); re-send with on_conflict='skip' "
+                    f"to drop the duplicate days"
+                )
+            if overlap_days >= batch_days:
+                return table  # whole batch already ingested: no-op
+            skip_hours = overlap_days * HOURS_PER_DAY
+            batch = Dataset(
+                consumer_ids=list(batch.consumer_ids),
+                consumption=batch.consumption[:, skip_hours:],
+                temperature=batch.temperature[:, skip_hours:],
+                name=batch.name,
+            )
+            n_new -= skip_hours
         directory = table.directory
         meta = dict(table._meta)  # noqa: SLF001 - store owns its tables
         hour0 = table.n_hours

@@ -64,6 +64,23 @@ class HistogramResult:
         return first
 
 
+def effective_range(lo: float, hi: float, n_buckets: int) -> tuple[float, float]:
+    """The histogram range actually used for data spanning ``[lo, hi]``.
+
+    Degenerate ranges (a constant series, or a spread below float
+    resolution for this bucket count) are widened to a unit range centred
+    on the data, matching ``np.histogram``'s behaviour for equal bounds.
+    This is the single definition shared by the batch kernel below, the
+    whole-matrix kernel in :mod:`repro.batched.histogram` (vectorized
+    form), and the incremental kernel in :mod:`repro.streaming.histogram`
+    — the bucket edges any of them derive from the same min/max are
+    therefore bit-identical.
+    """
+    if hi <= lo or (hi - lo) / n_buckets == 0.0:
+        return lo - 0.5, hi + 0.5
+    return lo, hi
+
+
 def equi_width_histogram(values: np.ndarray, n_buckets: int = 10) -> HistogramResult:
     """Equi-width histogram of one consumer's hourly consumption.
 
@@ -78,12 +95,7 @@ def equi_width_histogram(values: np.ndarray, n_buckets: int = 10) -> HistogramRe
         raise DataError(f"expected a non-empty 1-D series, got shape {values.shape}")
     if np.isnan(values).any():
         raise DataError("series contains NaN; impute before analysis")
-    lo = float(values.min())
-    hi = float(values.max())
-    if hi <= lo or (hi - lo) / n_buckets == 0.0:
-        # Degenerate range (constant series, or a spread below float
-        # resolution for this bucket count): centre a unit range on it.
-        lo, hi = lo - 0.5, hi + 0.5
+    lo, hi = effective_range(float(values.min()), float(values.max()), n_buckets)
     counts, edges = np.histogram(values, bins=n_buckets, range=(lo, hi))
     return HistogramResult(edges=edges, counts=counts.astype(np.int64))
 

@@ -164,13 +164,33 @@ class ParConfig:
             )
 
 
-def _temperature_columns(temps: np.ndarray, cfg: ParConfig) -> np.ndarray:
-    """Temperature regressor column(s) for a vector of temperatures."""
+def temperature_columns(temps: np.ndarray, cfg: ParConfig) -> np.ndarray:
+    """Temperature regressor column(s) for a vector of temperatures.
+
+    The single definition of the design matrix's thermal tail, shared by
+    the loop kernel here, forecasting, and the recursive-least-squares
+    accumulator in :mod:`repro.streaming.par`.
+    """
     if cfg.temperature_mode == "linear":
         return temps[:, None]
     heating = np.maximum(0.0, cfg.t_heat - temps)
     cooling = np.maximum(0.0, temps - cfg.t_cool)
     return np.column_stack([heating, cooling])
+
+
+#: Backwards-compatible private alias (pre-streaming callers).
+_temperature_columns = temperature_columns
+
+
+def n_coefficients(cfg: ParConfig) -> int:
+    """Number of design columns: intercept + p lags + thermal tail."""
+    return 1 + cfg.p + (1 if cfg.temperature_mode == "linear" else 2)
+
+
+def min_days_required(cfg: ParConfig) -> int:
+    """Days of data needed before any hour-model is identifiable."""
+    n_temp_cols = 1 if cfg.temperature_mode == "linear" else 2
+    return cfg.p + 1 + cfg.p + n_temp_cols  # observations >= coefficients
 
 
 def fit_par(
@@ -197,8 +217,7 @@ def fit_par(
     cons_by_day = day_hour_matrix(consumption)  # (days, 24)
     temp_by_day = day_hour_matrix(temperature)
     n_days = cons_by_day.shape[0]
-    n_temp_cols = 1 if cfg.temperature_mode == "linear" else 2
-    min_days = cfg.p + 1 + cfg.p + n_temp_cols  # observations >= coefficients
+    min_days = min_days_required(cfg)
     if n_days < min_days:
         raise InsufficientDataError(
             f"PAR with p={cfg.p} needs at least {min_days} days, got {n_days}"

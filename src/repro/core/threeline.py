@@ -135,11 +135,24 @@ class _BandPoints:
     counts: np.ndarray
 
 
+def temperature_bin_codes(
+    temperature: np.ndarray, bin_width: float
+) -> np.ndarray:
+    """Integer temperature-bin code of each reading (phase T1 grouping key).
+
+    The single definition shared by the loop kernel here, the batched
+    lexsort grouping in :mod:`repro.batched.threeline`, and the dirty-bin
+    tracking of :mod:`repro.streaming.threeline` — all three group by the
+    same code, so a bin is the same set of readings on every path.
+    """
+    return np.round(temperature / bin_width).astype(np.int64)
+
+
 def _percentile_points(
     consumption: np.ndarray, temperature: np.ndarray, config: ThreeLineConfig
 ) -> tuple[_BandPoints, _BandPoints]:
     """Phase T1: per-temperature-bin 10th and 90th percentile consumption."""
-    bins = np.round(temperature / config.bin_width).astype(np.int64)
+    bins = temperature_bin_codes(temperature, config.bin_width)
     order = np.argsort(bins, kind="stable")
     sorted_bins = bins[order]
     sorted_cons = consumption[order]

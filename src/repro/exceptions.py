@@ -78,6 +78,18 @@ class EngineError(ReproError):
     """An analytics engine was used incorrectly (e.g. query before load)."""
 
 
+class StreamingError(ReproError):
+    """Base class for streaming-plane failures (repro.streaming)."""
+
+
+class LateReadingError(StreamingError):
+    """A reading arrived for a closed window under the strict late policy."""
+
+
+class DuplicateReadingError(StreamingError):
+    """A reading re-delivered an already-present cell under strict policy."""
+
+
 class ResilienceError(ReproError):
     """Base class for supervised-execution failures (repro.resilience)."""
 

@@ -5,7 +5,13 @@ from __future__ import annotations
 import inspect
 from typing import Callable
 
-from repro.harness import cluster_figures, extensions, single_server, storage_figures
+from repro.harness import (
+    cluster_figures,
+    extensions,
+    single_server,
+    storage_figures,
+    streaming_figures,
+)
 from repro.harness.report import FigureResult
 
 #: figure id -> (runner, one-line description).
@@ -37,6 +43,10 @@ FIGURES: dict[str, tuple[Callable[[], FigureResult], str]] = {
     "fig20_pruning": (
         storage_figures.figure20,
         "Storage v2: pruned vs full scans, compression, out-of-core budget",
+    ),
+    "fig21_streaming": (
+        streaming_figures.figure21,
+        "Streaming plane: incremental folds vs per-tick batch recompute",
     ),
     "matmul": (single_server.matmul_anecdote, "Library vs hand-written matmul anecdote"),
     "updates": (

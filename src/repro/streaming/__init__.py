@@ -1,0 +1,74 @@
+"""Streaming analytics plane: live-ingest counterparts of the four tasks.
+
+The batch engines answer "run task X over this dataset"; this package
+answers "keep task X's answer *current* while readings arrive".  The
+pieces:
+
+* :mod:`~repro.streaming.events` — the arrival-side data model
+  (:class:`ReadingBatch`) plus simulators that replay a dataset as a
+  stream (in order, shuffled, a day at a time);
+* :mod:`~repro.streaming.histogram` / :mod:`~repro.streaming.threeline` /
+  :mod:`~repro.streaming.par` / :mod:`~repro.streaming.similarity` — one
+  incremental state per benchmark task (mergeable equi-width sketches,
+  dirty-flagged lazy band refits, recursive-least-squares PAR normal
+  equations, a fold-maintained Gram with centroid-pruned live queries);
+* :mod:`~repro.streaming.window` — the :class:`StreamingPlane` tying them
+  into tumbling windows with watermarks and the strict|repair|quarantine
+  late-data ladder;
+* :mod:`~repro.streaming.sink` — :class:`StoreSink`, appending closed
+  windows to a partitioned v2 store (:mod:`repro.columnar.partstore`);
+* :mod:`~repro.streaming.sketches` — approximate O(1)-memory one-pass
+  estimators (Welford, P², merging histogram, EW hourly profile) for
+  alerting use cases that don't need the exact window states.
+
+Convergence contract: at window close the plane's results equal the batch
+kernels' — bit-identically for histogram and 3-line, within the documented
+tolerances for PAR and similarity (see :mod:`repro.streaming.window`).
+``benchmarks/regress.py --streaming`` gates both the contract and the
+incremental-over-recompute speedup.
+"""
+
+from repro.streaming.events import (
+    ReadingBatch,
+    batch_from_dataset,
+    day_ticks,
+    shuffle_batch,
+)
+from repro.streaming.histogram import StreamingHistogramState
+from repro.streaming.par import StreamingParState
+from repro.streaming.similarity import CentroidIndex, StreamingSimilarityState
+from repro.streaming.sketches import (
+    OnlineHourlyProfile,
+    OnlineStats,
+    P2Quantile,
+    StreamingHistogram,
+)
+from repro.streaming.sink import StoreSink
+from repro.streaming.threeline import StreamingThreeLineState
+from repro.streaming.window import (
+    ALL_TASKS,
+    StreamConfig,
+    StreamingPlane,
+    WindowResult,
+)
+
+__all__ = [
+    "ALL_TASKS",
+    "CentroidIndex",
+    "OnlineHourlyProfile",
+    "OnlineStats",
+    "P2Quantile",
+    "ReadingBatch",
+    "StoreSink",
+    "StreamConfig",
+    "StreamingHistogram",
+    "StreamingHistogramState",
+    "StreamingParState",
+    "StreamingPlane",
+    "StreamingSimilarityState",
+    "StreamingThreeLineState",
+    "WindowResult",
+    "batch_from_dataset",
+    "day_ticks",
+    "shuffle_batch",
+]

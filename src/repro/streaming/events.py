@@ -1,0 +1,132 @@
+"""The streaming data model: columnar reading batches over a fixed cohort.
+
+A live meter feed delivers ``(meter, hour, kWh, degC)`` tuples.  The
+streaming plane processes them in *batches* — column arrays rather than
+per-reading Python objects — because at firehose rates the per-object
+overhead alone would dwarf the analytics.  A single reading is simply a
+batch of length one.
+
+Meters are addressed by *cohort index* (their row in the plane's fixed
+consumer dictionary, exactly like the v2 store's string dictionary) and
+time by *global hour index* since the stream epoch, matching the
+``(n, hours)`` matrix convention used everywhere else in the package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.timeseries.calendar import HOURS_PER_DAY
+from repro.timeseries.series import Dataset
+
+
+@dataclass(frozen=True)
+class ReadingBatch:
+    """A batch of meter readings, one array entry per reading.
+
+    ``consumer`` holds cohort indices, ``hour`` global hour indices since
+    the stream epoch; ``consumption``/``temperature`` are the readings.
+    Batches carry no ordering contract — the plane handles any arrival
+    permutation — but all four arrays must be equal-length and 1-D.
+    """
+
+    consumer: np.ndarray
+    hour: np.ndarray
+    consumption: np.ndarray
+    temperature: np.ndarray
+
+    def __post_init__(self) -> None:
+        shapes = {
+            self.consumer.shape,
+            self.hour.shape,
+            self.consumption.shape,
+            self.temperature.shape,
+        }
+        if len(shapes) != 1 or self.consumer.ndim != 1:
+            raise DataError(
+                f"batch columns must be equal-length 1-D arrays, got "
+                f"{sorted(s for s in shapes)}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.consumer.shape[0])
+
+    @staticmethod
+    def from_arrays(consumer, hour, consumption, temperature) -> "ReadingBatch":
+        """Build a batch, coercing the columns to their canonical dtypes."""
+        return ReadingBatch(
+            consumer=np.asarray(consumer, dtype=np.int64),
+            hour=np.asarray(hour, dtype=np.int64),
+            consumption=np.asarray(consumption, dtype=np.float64),
+            temperature=np.asarray(temperature, dtype=np.float64),
+        )
+
+    def take(self, index: np.ndarray) -> "ReadingBatch":
+        """A sub-batch at the given positions (gather, no copy semantics)."""
+        return ReadingBatch(
+            consumer=self.consumer[index],
+            hour=self.hour[index],
+            consumption=self.consumption[index],
+            temperature=self.temperature[index],
+        )
+
+    def concat(self, other: "ReadingBatch") -> "ReadingBatch":
+        """This batch followed by ``other``."""
+        return ReadingBatch(
+            consumer=np.concatenate([self.consumer, other.consumer]),
+            hour=np.concatenate([self.hour, other.hour]),
+            consumption=np.concatenate([self.consumption, other.consumption]),
+            temperature=np.concatenate([self.temperature, other.temperature]),
+        )
+
+
+def batch_from_dataset(
+    dataset: Dataset, hour0: int = 0, hour1: int | None = None
+) -> ReadingBatch:
+    """All readings of ``dataset`` columns ``hour0:hour1`` as one batch.
+
+    Readings are emitted meter-major (all of meter 0's hours, then meter
+    1's, ...), which is already an out-of-order arrival pattern relative
+    to wall-clock time — useful directly in convergence tests.
+    """
+    n, n_hours = dataset.consumption.shape
+    hour1 = n_hours if hour1 is None else hour1
+    if not 0 <= hour0 < hour1 <= n_hours:
+        raise DataError(f"hour range [{hour0}, {hour1}) out of 0..{n_hours}")
+    width = hour1 - hour0
+    consumers = np.repeat(np.arange(n, dtype=np.int64), width)
+    hours = np.tile(np.arange(hour0, hour1, dtype=np.int64), n)
+    return ReadingBatch(
+        consumer=consumers,
+        hour=hours,
+        consumption=dataset.consumption[:, hour0:hour1].ravel(),
+        temperature=dataset.temperature[:, hour0:hour1].ravel(),
+    )
+
+
+def day_ticks(dataset: Dataset, hour0: int = 0):
+    """Yield one batch per day of ``dataset`` — the natural feed granularity.
+
+    ``hour0`` offsets the global hour indices, so a dataset can be
+    replayed as the continuation of an earlier stream.
+    """
+    n_hours = dataset.consumption.shape[1]
+    if n_hours % HOURS_PER_DAY != 0:
+        raise DataError(f"dataset length {n_hours} is not a whole number of days")
+    for h in range(0, n_hours, HOURS_PER_DAY):
+        batch = batch_from_dataset(dataset, h, h + HOURS_PER_DAY)
+        yield ReadingBatch(
+            consumer=batch.consumer,
+            hour=batch.hour + hour0,
+            consumption=batch.consumption,
+            temperature=batch.temperature,
+        )
+
+
+def shuffle_batch(batch: ReadingBatch, seed: int) -> ReadingBatch:
+    """The same readings in a deterministic random arrival order."""
+    rng = np.random.default_rng(seed)
+    return batch.take(rng.permutation(len(batch)))

@@ -1,0 +1,136 @@
+"""Incremental Task 1: exact mergeable equi-width histogram state.
+
+The batch kernel derives each meter's bucket range from its own min/max,
+so a new reading can *move the edges* — which is why an approximate
+sketch (:class:`repro.streaming.sketches.StreamingHistogram`) is the
+classic streaming answer.  This state is exact instead, exploiting a
+property of the benchmark task: the range only changes when the running
+min/max changes, which for metered data happens O(log n) times over a
+window, not O(n).  So:
+
+* readings inside the current range are folded in O(1) amortized via
+  :func:`repro.batched.histogram.numpy_bucket_codes` — the *same* bucket
+  assignment ``np.histogram`` performs against the same edges, so folded
+  counts are bit-identical to batch counts by construction;
+* readings that extend a meter's min/max flag that meter for a lazy
+  *rebin* from the window buffer (the plane retains the open window's
+  readings anyway), deferred until the next query or window close.
+
+At window close the result equals
+:func:`repro.core.histogram.equi_width_histogram` per meter **bit for
+bit** — same edges (same ``effective_range`` + ``np.linspace``), same
+counts (every reading bucketed by numpy's own assignment rule).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.batched.histogram import batched_histograms, numpy_bucket_codes
+from repro.core.histogram import HistogramResult, equi_width_histogram
+from repro.exceptions import DataError
+
+
+class StreamingHistogramState:
+    """Exact incremental equi-width histograms for a cohort of meters."""
+
+    def __init__(self, n_consumers: int, n_buckets: int = 10) -> None:
+        if n_buckets < 1:
+            raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
+        self.n = n_consumers
+        self.n_buckets = n_buckets
+        self.counts = np.zeros((n_consumers, n_buckets), dtype=np.int64)
+        #: Raw running min/max of each meter's readings.
+        self.lo_raw = np.full(n_consumers, np.inf)
+        self.hi_raw = np.full(n_consumers, -np.inf)
+        #: Effective range and edges in force (post degenerate widening).
+        self.edges = np.zeros((n_consumers, n_buckets + 1))
+        self._lo_eff = np.zeros(n_consumers)
+        self._hi_eff = np.ones(n_consumers)
+        #: Meters whose edges are stale and need a rebin from the buffer.
+        self.needs_rebin = np.ones(n_consumers, dtype=bool)
+        self.n_seen = np.zeros(n_consumers, dtype=np.int64)
+
+    def fold(self, consumers: np.ndarray, values: np.ndarray) -> None:
+        """Fold a batch of readings into the per-meter counts.
+
+        Meters whose range a new reading extends (including first-ever
+        readings) are marked for a lazy rebin; their counts stop being
+        maintained until :meth:`rebin` resets them from the buffer.
+        """
+        if consumers.shape != values.shape:
+            raise DataError("consumers and values must be equal-length")
+        # bincount beats np.add.at by an order of magnitude on the hot path.
+        self.n_seen += np.bincount(consumers, minlength=self.n)
+        # Range extension check against the raw (pre-widening) bounds.
+        extends = (values < self.lo_raw[consumers]) | (
+            values > self.hi_raw[consumers]
+        )
+        if extends.any():
+            np.minimum.at(self.lo_raw, consumers[extends], values[extends])
+            np.maximum.at(self.hi_raw, consumers[extends], values[extends])
+            self.needs_rebin[consumers[extends]] = True
+        live = ~self.needs_rebin[consumers]
+        if not live.any():
+            return
+        cons = consumers[live]
+        vals = values[live]
+        codes = numpy_bucket_codes(
+            vals,
+            self._lo_eff[cons],
+            self._hi_eff[cons],
+            self.edges[cons],
+            self.n_buckets,
+        )
+        self.counts += np.bincount(
+            cons * self.n_buckets + codes, minlength=self.n * self.n_buckets
+        ).reshape(self.n, self.n_buckets)
+
+    def unfold(self, consumers: np.ndarray) -> None:
+        """Forget maintained counts for meters whose past readings changed
+        (a duplicate overwrite or a revision): they must rebin."""
+        self.needs_rebin[consumers] = True
+
+    def rebin(self, consumer: int, values: np.ndarray) -> None:
+        """Rebuild one meter's histogram from its full current readings."""
+        ref = equi_width_histogram(values, self.n_buckets)
+        self.counts[consumer] = ref.counts
+        self.edges[consumer] = ref.edges
+        self.lo_raw[consumer] = values.min()
+        self.hi_raw[consumer] = values.max()
+        self._lo_eff[consumer] = ref.edges[0]
+        self._hi_eff[consumer] = ref.edges[-1]
+        self.n_seen[consumer] = values.size
+        self.needs_rebin[consumer] = False
+
+    def rebin_many(self, consumers: np.ndarray, rows: np.ndarray) -> None:
+        """Vectorized :meth:`rebin` for many meters at once (close path).
+
+        ``rows`` holds the meters' full current readings, one row per
+        entry of ``consumers``.  Uses the batched Task 1 kernel, which is
+        bit-identical to the per-meter reference.
+        """
+        if consumers.size == 0:
+            return
+        results = batched_histograms(rows, self.n_buckets)
+        for c, ref in zip(consumers, results):
+            self.counts[c] = ref.counts
+            self.edges[c] = ref.edges
+        self.lo_raw[consumers] = rows.min(axis=1)
+        self.hi_raw[consumers] = rows.max(axis=1)
+        self._lo_eff[consumers] = self.edges[consumers, 0]
+        self._hi_eff[consumers] = self.edges[consumers, -1]
+        self.n_seen[consumers] = rows.shape[1]
+        self.needs_rebin[consumers] = False
+
+    def result(self, consumer: int) -> HistogramResult:
+        """The current histogram of one meter (edges/counts copies)."""
+        if self.needs_rebin[consumer]:
+            raise DataError(
+                f"meter {consumer} has a pending rebin; the plane must "
+                "refresh it from the window buffer first"
+            )
+        return HistogramResult(
+            edges=self.edges[consumer].copy(),
+            counts=self.counts[consumer].copy(),
+        )

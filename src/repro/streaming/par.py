@@ -1,0 +1,286 @@
+"""Incremental Task 3: recursive-least-squares PAR normal equations.
+
+The reference fits 24 per-hour OLS models per meter by SVD over the full
+design.  This state instead *accumulates* each hour-model's normal
+equations — the Gram matrix ``X'X`` and moment vector ``X'y`` — one
+completed day at a time, which is the textbook recursive-least-squares
+(information-filter) update: folding a day adds one rank-1 outer product
+per hour-model, O(k^2) work per (meter, hour), independent of how much
+history the window holds.  Solving is deferred until somebody asks.
+
+A day ``d`` of meter ``m`` can fold once days ``0..d`` are all present
+(the lag columns read ``d-1..d-p``); the per-meter *frontier* tracks the
+longest complete prefix so out-of-order days fold exactly once, in
+order, whenever arrivals make them ready.  Overwrites of already-folded
+readings poison the accumulators, so such meters are flagged
+``needs_rebuild`` and their state is reassembled from the window buffer
+on the next query — arrival order therefore never changes what is
+ultimately folded, only when.
+
+Solve path and equivalence contract mirror :mod:`repro.batched.par`:
+normal-equations solve behind the same eigenvalue condition screen
+(:data:`repro.batched.par.BATCHED_SOLVE_MAX_CONDITION`), per-system
+``lstsq`` on the true design (rebuilt from the buffer) as the fallback.
+Because the Gram entries are accumulated day-by-day instead of in one
+matmul, the summation *order* differs from the batched kernel's — the
+results agree with the loop reference within the same documented
+tolerance class (``PAR_COEFF_RTOL``/``PAR_PROFILE_RTOL``), which the
+streaming convergence gate checks with
+:func:`repro.core.validation.compare_par`.  Hour-model SSE is recovered
+from the accumulated moments (``y'y - 2 c.b + c'Ac``) rather than from
+residuals; it shares the same tolerance class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.batched.par import BATCHED_SOLVE_MAX_CONDITION
+from repro.core.par import (
+    HourModel,
+    ParConfig,
+    ParModel,
+    min_days_required,
+    n_coefficients,
+)
+from repro.exceptions import DataError, InsufficientDataError
+from repro.timeseries.calendar import HOURS_PER_DAY
+
+
+class StreamingParState:
+    """Per-(meter, hour) RLS accumulators for a cohort of meters."""
+
+    def __init__(self, n_consumers: int, config: ParConfig | None = None) -> None:
+        self.cfg = config or ParConfig()
+        self.n = n_consumers
+        self.k = n_coefficients(self.cfg)
+        self.n_temp = 1 if self.cfg.temperature_mode == "linear" else 2
+        h, k = HOURS_PER_DAY, self.k
+        self.xtx = np.zeros((n_consumers, h, k, k))
+        self.xty = np.zeros((n_consumers, h, k))
+        self.sum_y = np.zeros((n_consumers, h))
+        self.sum_yy = np.zeros((n_consumers, h))
+        self.sum_tc = np.zeros((n_consumers, h, self.n_temp))
+        #: Days folded as observations per meter (same for all 24 hours).
+        self.n_obs = np.zeros(n_consumers, dtype=np.int64)
+        #: Longest complete day-prefix already folded.
+        self.frontier = np.zeros(n_consumers, dtype=np.int64)
+        #: Meters whose folded history was edited: rebuild before solving.
+        self.needs_rebuild = np.zeros(n_consumers, dtype=bool)
+
+    # Folding ----------------------------------------------------------------
+
+    def _design_for_days(
+        self, cons_dh: np.ndarray, temp_dh: np.ndarray, days: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Design rows for the given (meter-aligned) observation days.
+
+        ``cons_dh``/``temp_dh`` are ``(m, W, 24)`` buffer views for the
+        selected meters and ``days`` the per-row observation day (one day
+        per selected meter).  Returns ``(X, y, t)`` with ``X`` of shape
+        ``(m, 24, k)`` — columns exactly as the reference: intercept,
+        lags ``1..p``, then the thermal tail.
+        """
+        m = cons_dh.shape[0]
+        rows = np.arange(m)
+        p = self.cfg.p
+        X = np.empty((m, HOURS_PER_DAY, self.k))
+        X[:, :, 0] = 1.0
+        for lag in range(1, p + 1):
+            X[:, :, lag] = cons_dh[rows, days - lag, :]
+        t = temp_dh[rows, days, :]
+        if self.cfg.temperature_mode == "linear":
+            X[:, :, 1 + p] = t
+        else:
+            np.maximum(0.0, self.cfg.t_heat - t, out=X[:, :, 1 + p])
+            np.maximum(0.0, t - self.cfg.t_cool, out=X[:, :, 2 + p])
+        y = cons_dh[rows, days, :]
+        return X, y, t
+
+    def _fold_days(
+        self,
+        meters: np.ndarray,
+        days: np.ndarray,
+        cons_dh: np.ndarray,
+        temp_dh: np.ndarray,
+    ) -> None:
+        """Rank-1 RLS update: fold one observation day per listed meter."""
+        X, y, _t = self._design_for_days(cons_dh[meters], temp_dh[meters], days)
+        if meters.size == self.n:
+            # ``meters`` is sorted-unique (flatnonzero-derived), so full
+            # size means the whole cohort: plain adds skip the
+            # gather/scatter passes of fancy-indexed ``+=``.
+            self.xtx += X[:, :, :, None] * X[:, :, None, :]
+            self.xty += X * y[:, :, None]
+            self.sum_y += y
+            self.sum_yy += y * y
+            self.sum_tc += X[:, :, 1 + self.cfg.p :]
+            self.n_obs += 1
+        else:
+            self.xtx[meters] += X[:, :, :, None] * X[:, :, None, :]
+            self.xty[meters] += X * y[:, :, None]
+            self.sum_y[meters] += y
+            self.sum_yy[meters] += y * y
+            self.sum_tc[meters] += X[:, :, 1 + self.cfg.p :]
+            self.n_obs[meters] += 1
+
+    def advance(
+        self,
+        days_complete: np.ndarray,
+        cons_dh: np.ndarray,
+        temp_dh: np.ndarray,
+    ) -> int:
+        """Fold every newly-ready day; returns how many day-folds ran.
+
+        ``days_complete`` is the plane's ``(n, W)`` completeness mask and
+        ``cons_dh``/``temp_dh`` its buffer reshaped ``(n, W, 24)``.  For
+        each meter the frontier advances over the leading run of complete
+        days, folding days ``>= p`` in order as they become reachable.
+        """
+        n, W = days_complete.shape
+        if n != self.n:
+            raise DataError(f"expected {self.n} meters, got {n}")
+        all_done = days_complete.all(axis=1)
+        lead = np.where(all_done, W, days_complete.argmin(axis=1))
+        lead = np.where(self.needs_rebuild, self.frontier, lead)
+        folds = 0
+        for d in range(self.cfg.p, W):
+            m = np.flatnonzero((self.frontier <= d) & (lead > d))
+            if m.size:
+                self._fold_days(m, np.full(m.size, d), cons_dh, temp_dh)
+                folds += m.size
+        self.frontier = np.maximum(self.frontier, lead)
+        return folds
+
+    def mark_rebuild(self, consumers: np.ndarray) -> None:
+        """Edited history (late overwrite of a folded reading): the
+        affected meters' accumulators are rebuilt lazily from the buffer."""
+        self.needs_rebuild[consumers] = True
+
+    def rebuild(
+        self,
+        consumer: int,
+        days_complete_row: np.ndarray,
+        cons_dh: np.ndarray,
+        temp_dh: np.ndarray,
+    ) -> None:
+        """Re-accumulate one meter from scratch out of the buffer."""
+        h, k = HOURS_PER_DAY, self.k
+        self.xtx[consumer] = 0.0
+        self.xty[consumer] = 0.0
+        self.sum_y[consumer] = 0.0
+        self.sum_yy[consumer] = 0.0
+        self.sum_tc[consumer] = 0.0
+        self.n_obs[consumer] = 0
+        self.frontier[consumer] = 0
+        self.needs_rebuild[consumer] = False
+        W = days_complete_row.size
+        lead = W if days_complete_row.all() else int(days_complete_row.argmin())
+        one = np.array([consumer])
+        for d in range(self.cfg.p, lead):
+            self._fold_days(one, np.array([d]), cons_dh, temp_dh)
+        self.frontier[consumer] = lead
+
+    # Solving ----------------------------------------------------------------
+
+    def solve(
+        self,
+        consumers: np.ndarray,
+        cons_dh: np.ndarray,
+        temp_dh: np.ndarray,
+    ) -> list[ParModel]:
+        """Solve the accumulated normal equations for the given meters.
+
+        ``cons_dh``/``temp_dh`` are needed only for the rare
+        ill-conditioned systems that take the ``lstsq``-on-true-design
+        fallback (same screen and fallback as :mod:`repro.batched.par`).
+        """
+        cfg, p, k = self.cfg, self.cfg.p, self.k
+        min_days = min_days_required(cfg)
+        short = self.n_obs[consumers] + p < min_days
+        if short.any():
+            bad = consumers[short][0]
+            raise InsufficientDataError(
+                f"PAR with p={p} needs at least {min_days} complete days, "
+                f"meter {bad} has {int(self.n_obs[bad]) + p}"
+            )
+        if self.needs_rebuild[consumers].any():
+            raise DataError(
+                "meters flagged needs_rebuild must be rebuilt before solve"
+            )
+        A = self.xtx[consumers].reshape(-1, k, k)
+        b = self.xty[consumers].reshape(-1, k)
+        with np.errstate(all="ignore"):
+            eigs = np.linalg.eigvalsh(A)
+        smallest, largest = eigs[:, 0], eigs[:, -1]
+        solvable = (smallest > 0) & (
+            largest < smallest * BATCHED_SOLVE_MAX_CONDITION
+        )
+        coeffs = np.zeros((A.shape[0], k))
+        if solvable.any():
+            try:
+                coeffs[solvable] = np.linalg.solve(
+                    A[solvable], b[solvable][:, :, None]
+                )[:, :, 0]
+            except np.linalg.LinAlgError:
+                solvable = np.zeros_like(solvable)
+        for idx in np.flatnonzero(~solvable):
+            mi, h = divmod(int(idx), HOURS_PER_DAY)
+            meter = int(consumers[mi])
+            X, Y = self._full_design(meter, cons_dh, temp_dh)
+            coeffs[idx] = np.linalg.lstsq(X[h], Y[h], rcond=None)[0]
+
+        # SSE from the accumulated moments: ||y - Xc||^2 expanded.
+        sse = (
+            self.sum_yy[consumers].reshape(-1)
+            - 2.0 * (coeffs * b).sum(axis=1)
+            + (coeffs[:, None, :] @ A @ coeffs[:, :, None])[:, 0, 0]
+        )
+        sse = np.maximum(sse, 0.0)
+
+        n_obs = self.n_obs[consumers]
+        mean_y = self.sum_y[consumers] / n_obs[:, None]
+        mean_tc = self.sum_tc[consumers] / n_obs[:, None, None]
+        coeffs_mh = coeffs.reshape(-1, HOURS_PER_DAY, k)
+        temp_coeffs = coeffs_mh[:, :, 1 + p :]
+        if cfg.temperature_mode == "linear":
+            thermal = temp_coeffs[:, :, 0] * (mean_tc[:, :, 0] - cfg.t_ref)
+        else:
+            thermal = (mean_tc * temp_coeffs).sum(axis=2)
+        profile = mean_y - thermal
+        sse_mh = sse.reshape(-1, HOURS_PER_DAY)
+
+        models: list[ParModel] = []
+        for i, meter in enumerate(consumers):
+            hour_models = tuple(
+                HourModel(
+                    hour=h,
+                    coefficients=coeffs_mh[i, h],
+                    sse=float(sse_mh[i, h]),
+                    n_observations=int(n_obs[i]),
+                )
+                for h in range(HOURS_PER_DAY)
+            )
+            models.append(
+                ParModel(
+                    profile=profile[i],
+                    hour_models=hour_models,
+                    p=p,
+                    temperature_mode=cfg.temperature_mode,
+                    config=cfg,
+                )
+            )
+        return models
+
+    def _full_design(
+        self, meter: int, cons_dh: np.ndarray, temp_dh: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The full stacked design/targets of one meter's folded days,
+        hour-major: ``(24, n_obs, k)`` and ``(24, n_obs)``."""
+        p = self.cfg.p
+        days = np.arange(p, int(self.frontier[meter]))
+        rows = np.repeat(meter, days.size)
+        X, y, _t = self._design_for_days(
+            cons_dh[rows], temp_dh[rows], days
+        )  # (n_obs, 24, k)
+        return X.transpose(1, 0, 2), y.T

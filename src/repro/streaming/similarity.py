@@ -1,0 +1,171 @@
+"""Incremental Task 4: Gram-maintained top-k cosine similarity.
+
+The batch kernel's cost is one ``n x hours x n`` matrix product per run.
+Streaming keeps the ``(n, n)`` Gram matrix ``G = B B'`` of the window
+buffer *incrementally*: when an hour-column becomes complete across the
+cohort it is folded with a rank-``h`` update ``G += B[:, new] B[:, new]'``
+— O(n^2) per hour instead of O(n^2 * hours) per recompute, i.e. O(n) per
+reading.  Cosine scores then come out of ``G`` by normalizing with its
+diagonal; no per-query matrix product remains.
+
+Late overwrites of already-folded hours are corrected exactly by
+subtracting the stale column's outer product before the buffer write and
+re-adding the fresh one after — so arrival order never changes the final
+Gram beyond float summation order.  That reordering is why the
+window-close contract for similarity is the *documented-tolerance* one
+(:func:`repro.core.validation.compare_similarity`, ``score_tol=1e-9``
+with tie-tolerant neighbour sets) rather than bit-identity: the scores
+agree with :func:`repro.core.similarity.top_k_similar` to ~1e-15
+relative, far inside the tolerance, but not bit for bit.
+
+Mid-window live queries can additionally go through a
+:class:`CentroidIndex` — a lightweight spherical-clustering candidate
+pruner that scores a query meter only against the most-similar centroid
+buckets.  It is explicitly *approximate* (documented recall, not a
+guarantee) and is never used on the window-close path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.similarity import Neighbours, clip_scores, rank_row
+from repro.exceptions import DataError
+
+
+class StreamingSimilarityState:
+    """Incrementally-maintained Gram matrix and top-k queries."""
+
+    def __init__(self, n_consumers: int, top_k: int = 10) -> None:
+        if top_k < 1:
+            raise ValueError(f"k must be >= 1, got {top_k}")
+        self.n = n_consumers
+        self.top_k = top_k
+        self.gram = np.zeros((n_consumers, n_consumers))
+        self.hours_folded = 0
+
+    def fold_hours(self, buffer: np.ndarray, hours: np.ndarray) -> None:
+        """Fold complete hour-columns: ``G += B[:, hours] B[:, hours]'``."""
+        if hours.size == 0:
+            return
+        block = buffer[:, hours]
+        if np.isnan(block).any():
+            raise DataError("cannot fold hour columns containing NaN")
+        self.gram += block @ block.T
+        self.hours_folded += int(hours.size)
+
+    def unfold_hours(self, buffer: np.ndarray, hours: np.ndarray) -> None:
+        """Exact correction: remove previously-folded hour-columns
+        (call *before* overwriting them in the buffer)."""
+        if hours.size == 0:
+            return
+        block = buffer[:, hours]
+        self.gram -= block @ block.T
+        self.hours_folded -= int(hours.size)
+
+    def scores_row(self, consumer: int) -> np.ndarray:
+        """Cosine scores of one meter against the whole cohort, from G."""
+        norms = np.sqrt(np.maximum(np.diag(self.gram), 0.0))
+        safe = np.where(norms > 0.0, norms, 1.0)
+        row = self.gram[consumer] / (safe[consumer] * safe)
+        if norms[consumer] == 0.0:
+            row = np.zeros_like(row)
+        row[norms == 0.0] = 0.0
+        return clip_scores(row)
+
+    def top_k_all(self, ids: list[str]) -> dict[str, Neighbours]:
+        """Exact top-k for every meter from the maintained Gram."""
+        if len(ids) != self.n:
+            raise DataError(f"{self.n} meters but {len(ids)} ids")
+        norms = np.sqrt(np.maximum(np.diag(self.gram), 0.0))
+        safe = np.where(norms > 0.0, norms, 1.0)
+        zero = norms == 0.0
+        results: dict[str, Neighbours] = {}
+        for row in range(self.n):
+            scores = self.gram[row] / (safe[row] * safe)
+            if zero[row]:
+                scores = np.zeros_like(scores)
+            scores[zero] = 0.0
+            scores = clip_scores(scores)
+            results[ids[row]] = [
+                (ids[i], s) for i, s in rank_row(scores, row, self.top_k)
+            ]
+        return results
+
+
+class CentroidIndex:
+    """Centroid-pruned *approximate* candidate pruner for live queries.
+
+    A few rounds of spherical k-means over the normalized folded vectors
+    bucket the cohort; a query scores its meter only against the buckets
+    whose centroids are most similar, plus enough extra buckets to reach
+    the requested candidate budget.  Cheap to rebuild (the plane does so
+    on demand after folds), explicitly approximate between rebuilds and
+    never consulted at window close.
+    """
+
+    def __init__(
+        self,
+        buffer: np.ndarray,
+        n_clusters: int | None = None,
+        iterations: int = 4,
+        seed: int = 0,
+    ) -> None:
+        matrix = np.asarray(buffer, dtype=np.float64)
+        n = matrix.shape[0]
+        norms = np.linalg.norm(matrix, axis=1)
+        safe = np.where(norms > 0.0, norms, 1.0)
+        self._unit = matrix / safe[:, None]
+        self._unit[norms == 0.0] = 0.0
+        c = n_clusters or max(1, int(np.sqrt(n)))
+        c = min(c, n)
+        rng = np.random.default_rng(seed)
+        centroids = self._unit[rng.choice(n, size=c, replace=False)]
+        assign = np.zeros(n, dtype=np.int64)
+        for _ in range(iterations):
+            sims = self._unit @ centroids.T
+            assign = sims.argmax(axis=1)
+            for j in range(c):
+                members = self._unit[assign == j]
+                if members.shape[0] == 0:
+                    continue
+                mean = members.sum(axis=0)
+                norm = np.linalg.norm(mean)
+                if norm > 0:
+                    centroids[j] = mean / norm
+        self.centroids = centroids
+        self.assign = assign
+        self.buckets = [np.flatnonzero(assign == j) for j in range(c)]
+
+    def candidates(self, consumer: int, budget: int) -> np.ndarray:
+        """Meter indices worth scoring for this query, nearest buckets
+        first, until at least ``budget`` candidates are gathered."""
+        order = np.argsort(-(self.centroids @ self._unit[consumer]))
+        picked: list[np.ndarray] = []
+        total = 0
+        for j in order:
+            bucket = self.buckets[int(j)]
+            picked.append(bucket)
+            total += bucket.size
+            if total >= budget + 1:  # +1: the meter itself is excluded later
+                break
+        return np.concatenate(picked) if picked else np.array([], dtype=np.int64)
+
+    def query(
+        self,
+        consumer: int,
+        ids: list[str],
+        k: int = 10,
+        oversample: int = 4,
+    ) -> Neighbours:
+        """Approximate top-k of one meter, scoring only pruned candidates.
+
+        Unlike :meth:`StreamingSimilarityState.top_k_all` this never
+        touches the O(n^2) Gram: it scores ``O(oversample * k)`` buffer
+        rows, which is the regime a million-meter cohort would run in.
+        """
+        cand = self.candidates(consumer, budget=oversample * k)
+        scores = np.full(self._unit.shape[0], -np.inf)
+        scores[cand] = clip_scores(self._unit[cand] @ self._unit[consumer])
+        pairs = rank_row(scores, consumer, k)
+        return [(ids[i], s) for i, s in pairs if np.isfinite(s)]

@@ -1,0 +1,87 @@
+"""Closed windows land in the partitioned v2 store.
+
+:class:`StoreSink` is the bridge between the streaming plane and the
+at-rest storage layer: each finalized :class:`~repro.streaming.window.
+WindowResult` becomes whole-day appends on a
+:class:`~repro.columnar.partstore.PartitionedStore` table — the first
+window creates the table (:meth:`~repro.columnar.partstore.
+PartitionedStore.ingest_dataset`), later windows ride
+:meth:`~repro.columnar.partstore.PartitionedStore.append_days` with an
+explicit ``start_day`` so redelivered windows (an applied-late revision
+re-emitting window ``i``) are recognized as overlaps instead of being
+double-appended — exactly the conflict the ``start_day``/``on_conflict``
+contract exists for.
+
+The sink requires every emitted window to cover the same meter cohort
+the table was created with: windows that *quarantined* meters at close
+cannot be appended (the v2 append contract is all-meters whole days) and
+raise — run the plane under ``repair`` (or ``strict``) when a store sink
+is attached, which the constructor checks up front.
+"""
+
+from __future__ import annotations
+
+from repro.columnar.partstore import PartitionedStore
+from repro.exceptions import StreamingError
+from repro.streaming.window import StreamingPlane, WindowResult
+
+
+class StoreSink:
+    """Append each closed window to one v2 partitioned table."""
+
+    def __init__(
+        self,
+        store: PartitionedStore,
+        table: str = "stream",
+        plane: StreamingPlane | None = None,
+    ) -> None:
+        self.store = store
+        self.table = table
+        #: Window indices already written (revisions of these are overlaps).
+        self.written: list[int] = []
+        if plane is not None and plane.ladder.quarantines:
+            raise StreamingError(
+                "a store sink needs full cohorts per window; run the plane "
+                "under the 'repair' or 'strict' ladder, not 'quarantine'"
+            )
+
+    def write(self, result: WindowResult) -> None:
+        """Persist one emitted window (idempotent on re-emissions).
+
+        First window ingests (creates the table); subsequent windows
+        append with ``start_day=result.day0`` so the store itself rejects
+        out-of-order or duplicated windows.  A *revision* of an
+        already-written window (applied-late re-emission) is recognized
+        as a full overlap and skipped — the store is append-only, so the
+        revised readings live in the re-emitted result, not the table.
+        """
+        if result.dropped:
+            raise StreamingError(
+                f"window {result.index} dropped {len(result.dropped)} "
+                "meters at close; cannot append a partial cohort to "
+                f"table {self.table!r}"
+            )
+        if self.table in self.store.list_tables():
+            self.store.append_days(
+                self.table,
+                result.dataset,
+                start_day=result.day0,
+                on_conflict="skip" if result.index in self.written else "error",
+            )
+        else:
+            if result.day0 != 0:
+                raise StreamingError(
+                    f"first window written to table {self.table!r} must "
+                    f"start at day 0, got day {result.day0} "
+                    f"(window {result.index})"
+                )
+            self.store.ingest_dataset(result.dataset, name=self.table)
+        if result.index not in self.written:
+            self.written.append(result.index)
+
+    def drain(self, results: list[WindowResult]) -> int:
+        """Write a batch of emissions (the return of ``plane.ingest``);
+        returns how many were appended."""
+        for result in results:
+            self.write(result)
+        return len(results)

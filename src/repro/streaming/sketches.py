@@ -1,9 +1,11 @@
-"""Streaming (one-pass) statistics for meter data.
+"""Streaming (one-pass) approximate sketches for meter data.
 
 The paper's future work (Section 6) calls for "real-time applications using
 high-frequency smart meters ... using data stream processing technologies".
-These are the building blocks such a deployment needs — each processes one
-reading at a time in O(1) memory:
+The exact incremental counterparts of the four benchmark tasks live in the
+sibling modules (:mod:`repro.streaming.window` and friends); the sketches
+here are the *approximate* O(1)-memory building blocks — useful for alerting
+and monitoring where a bounded-memory estimate beats an exact window:
 
 * :class:`OnlineStats` — Welford mean/variance;
 * :class:`P2Quantile` — the P-squared streaming quantile estimator

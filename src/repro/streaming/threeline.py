@@ -1,0 +1,147 @@
+"""Incremental Task 2: dirty-flagged lazy 3-line refits.
+
+The 3-line bands are built on *order statistics* (per-temperature-bin
+10th/90th percentiles), which admit no exact O(1)-per-reading update —
+a new reading can shift a bin's percentile by an arbitrary amount.  The
+streaming answer is therefore *lazy*: folding a reading costs O(1)
+(mark the meter dirty), and the model is refit only when somebody asks,
+from the window buffer the plane retains anyway.  Two refit paths:
+
+* :meth:`StreamingThreeLineState.refit` — the exact reference fit
+  (:func:`repro.core.threeline.fit_three_lines`), O(points^2) breakpoint
+  search with O(1)-per-candidate prefix-sum SSE;
+* :meth:`StreamingThreeLineState.quick_refit` — an O(breakpoints) update
+  that *reuses the previous model's breakpoints*: recompute the
+  percentile points, then fit just the three segments per band at the
+  cached breakpoint positions with :class:`repro.core.stats.PrefixSumOLS`
+  (three O(1) segment fits after an O(points) prefix pass), skipping the
+  quadratic search.  Mid-window this is a documented approximation —
+  breakpoints drift as data accumulates — and the state re-runs the full
+  search whenever the quick fit's SSE degrades past
+  :data:`QUICK_REFIT_SSE_SLACK` of the last exact fit's.
+
+At window close the plane bypasses both and runs the *batched* stacked
+fit (:func:`repro.batched.threeline.batched_fit_bands`), which is
+bit-identical to the per-meter reference — so closed-window streaming
+results carry the same bit-identity guarantee as every other engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.stats import PrefixSumOLS
+from repro.core.threeline import (
+    PiecewiseLines,
+    ThreeLineConfig,
+    ThreeLineModel,
+    _make_continuous,
+    _percentile_points,
+    fit_three_lines,
+)
+
+#: A quick (cached-breakpoint) refit whose total SSE exceeds the last
+#: exact fit's by more than this factor triggers a full exact refit —
+#: the breakpoints have drifted too far for the shortcut to be honest.
+QUICK_REFIT_SSE_SLACK = 2.0
+
+
+class StreamingThreeLineState:
+    """Lazily-refit 3-line models for a cohort of meters."""
+
+    def __init__(
+        self, n_consumers: int, config: ThreeLineConfig | None = None
+    ) -> None:
+        self.n = n_consumers
+        self.config = config or ThreeLineConfig()
+        #: True where the cached model is stale w.r.t. the buffer.
+        self.dirty = np.ones(n_consumers, dtype=bool)
+        self.models: list[ThreeLineModel | None] = [None] * n_consumers
+        #: Last exact fit's per-band SSE, for the quick-refit honesty check.
+        self._exact_sse: list[tuple[float, float] | None] = [None] * n_consumers
+        self.full_refits = 0
+        self.quick_refits = 0
+
+    def mark_dirty(self, consumers: np.ndarray) -> None:
+        """O(1)-amortized fold: new readings invalidate cached models."""
+        self.dirty[consumers] = True
+
+    def set_model(self, consumer: int, model: ThreeLineModel) -> None:
+        """Install an externally-computed exact model (window close path)."""
+        self.models[consumer] = model
+        self._exact_sse[consumer] = (
+            model.band_lower.sse,
+            model.band_upper.sse,
+        )
+        self.dirty[consumer] = False
+
+    def refit(
+        self, consumer: int, consumption: np.ndarray, temperature: np.ndarray
+    ) -> ThreeLineModel:
+        """Exact refit of one meter from its current window readings."""
+        model = fit_three_lines(consumption, temperature, self.config)
+        self.full_refits += 1
+        self.set_model(consumer, model)
+        return model
+
+    def quick_refit(
+        self, consumer: int, consumption: np.ndarray, temperature: np.ndarray
+    ) -> ThreeLineModel:
+        """O(breakpoints) approximate refit reusing cached breakpoints.
+
+        Falls back to the exact :meth:`refit` when there is no cached
+        model, the point set no longer supports the cached breakpoints,
+        or the shortcut's SSE fails the honesty check.
+        """
+        prev = self.models[consumer]
+        prev_sse = self._exact_sse[consumer]
+        if prev is None or prev_sse is None:
+            return self.refit(consumer, consumption, temperature)
+        cfg = self.config
+        lower_pts, upper_pts = _percentile_points(consumption, temperature, cfg)
+        n_pts = lower_pts.temps.size
+        min_pts = cfg.min_segment_points
+        if n_pts < 3 * min_pts:
+            return self.refit(consumer, consumption, temperature)
+
+        def band(points, cached: tuple[float, float], exact_sse: float):
+            temps = points.temps
+            i = int(np.clip(np.searchsorted(temps, cached[0]),
+                            min_pts, n_pts - 2 * min_pts))
+            j = int(np.clip(np.searchsorted(temps, cached[1]),
+                            i + min_pts, n_pts - min_pts))
+            weights = points.counts if cfg.weight_by_count else None
+            ols = PrefixSumOLS(temps, points.values, weights)
+            left, _ = ols.fit(0, i)
+            mid, _ = ols.fit(i, j)
+            right, _ = ols.fit(j, n_pts)
+            sse = ols.sse(0, i) + ols.sse(i, j) + ols.sse(j, n_pts)
+            if sse > QUICK_REFIT_SSE_SLACK * max(exact_sse, 1e-12):
+                return None
+            lines, bps, adjusted = _make_continuous(
+                (left, mid, right), points, i, j
+            )
+            return PiecewiseLines(lines, bps, sse, adjusted)
+
+        band_lower = band(lower_pts, prev.band_lower.breakpoints, prev_sse[0])
+        band_upper = band(upper_pts, prev.band_upper.breakpoints, prev_sse[1])
+        if band_lower is None or band_upper is None:
+            return self.refit(consumer, consumption, temperature)
+
+        temps = lower_pts.temps
+        candidates = np.array(
+            [temps[0], band_lower.breakpoints[0], band_lower.breakpoints[1],
+             temps[-1]]
+        )
+        model = ThreeLineModel(
+            band_upper=band_upper,
+            band_lower=band_lower,
+            heating_gradient=float(-band_upper.lines[0].slope),
+            cooling_gradient=float(band_upper.lines[2].slope),
+            base_load=float(band_lower.predict(candidates).min()),
+            temperature_range=(float(temps[0]), float(temps[-1])),
+        )
+        self.quick_refits += 1
+        self.models[consumer] = model  # approximate: keep _exact_sse as-is
+        self.dirty[consumer] = False
+        return model

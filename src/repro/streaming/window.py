@@ -1,0 +1,708 @@
+"""The streaming plane: tumbling windows, watermarks, and the late ladder.
+
+:class:`StreamingPlane` is the live-ingest counterpart of
+:func:`repro.core.benchmark.run_task_reference`.  Readings arrive in any
+order as :class:`~repro.streaming.events.ReadingBatch` es over a fixed
+meter cohort; the plane routes them into tumbling windows of
+``window_days``, maintains each window's four task answers incrementally
+(:mod:`~repro.streaming.histogram`, :mod:`~repro.streaming.threeline`,
+:mod:`~repro.streaming.par`, :mod:`~repro.streaming.similarity`), and
+finalizes a window once the *watermark* — the highest event-time seen
+minus ``allowed_lateness_hours`` — passes its end.
+
+Out-of-order, duplicate, late, and missing readings all route through
+the PR 5 ingest policy ladder (``strict | repair | quarantine``):
+
+========================  ==========  ======================  =================
+situation                 strict      repair                  quarantine
+========================  ==========  ======================  =================
+duplicate delivery        raise       overwrite (correction)  drop + record
+NaN reading               raise       treat as missing        drop + record
+missing at window close   raise       impute + recompute      drop meter+record
+arrival after close       raise       apply late + re-emit    drop + record
+========================  ==========  ======================  =================
+
+Convergence contract (asserted by ``tests/test_streaming_plane.py`` and
+the ``regress.py --streaming`` gate):
+
+* **histogram, 3-line** — the closed window's results are
+  **bit-identical** to the batch kernels on the window's dataset
+  (:func:`repro.core.validation.assert_identical_task_results`); the
+  close path funnels through :func:`repro.core.histogram.
+  equi_width_histogram`-compatible folds and the stacked
+  :func:`repro.batched.threeline.batched_fit_bands`;
+* **PAR** — within the documented RLS-vs-stacked-solve tolerance of
+  :mod:`repro.streaming.par` (checked via ``compare_par``);
+* **similarity** — within ``compare_similarity``'s ``1e-9`` score
+  tolerance (float summation order differs; see
+  :mod:`repro.streaming.similarity`);
+* under the ``repair`` ladder these contracts hold for **any arrival
+  permutation**, including post-close arrivals: the (re-emitted) result
+  equals the batch answer over *all* readings, no matter when they came;
+  under ``quarantine`` the result equals the batch answer over the
+  readings that arrived in time (dropped ones are recorded in the
+  window's :class:`~repro.ingest.report.QualityReport`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.batched.threeline import batched_fit_bands, batched_percentile_points
+from repro.core.benchmark import BenchmarkSpec, Task
+from repro.exceptions import (
+    DataError,
+    DuplicateReadingError,
+    LateReadingError,
+    StreamingError,
+)
+from repro.core.par import min_days_required
+from repro.ingest.policy import IngestConfig, resolve_ingest_config
+from repro.ingest.report import ConsumerQuality, DataIssue, QualityReport, RepairAction
+from repro.streaming.events import ReadingBatch
+from repro.streaming.histogram import StreamingHistogramState
+from repro.streaming.par import StreamingParState
+from repro.streaming.similarity import CentroidIndex, StreamingSimilarityState
+from repro.core.similarity import rank_row
+from repro.streaming.threeline import StreamingThreeLineState
+from repro.timeseries.calendar import HOURS_PER_DAY
+from repro.timeseries.quality import impute
+from repro.timeseries.series import Dataset
+
+#: All four tasks, in the paper's order.
+ALL_TASKS = (Task.HISTOGRAM, Task.THREELINE, Task.PAR, Task.SIMILARITY)
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Tuning knobs of the streaming plane."""
+
+    #: Tumbling window length.
+    window_days: int = 14
+    #: Watermark lag: a window closes once the max event-hour seen
+    #: exceeds its end by this much.
+    allowed_lateness_hours: int = 24
+    #: Late/dirty ladder (``strict | repair | quarantine``); ``None``
+    #: inherits the process-wide ingest default (``--on-dirty``).
+    on_late: "str | IngestConfig | None" = None
+    #: How many closed windows keep their buffers for applied-late
+    #: revisions under the ``repair`` policy.
+    retain_closed: int = 1
+    #: Task parameters (bucket count, AR order, k, 3-line knobs).
+    spec: BenchmarkSpec = field(default_factory=BenchmarkSpec)
+    #: Which tasks to maintain (all four by default).
+    tasks: tuple[Task, ...] = ALL_TASKS
+
+    def __post_init__(self) -> None:
+        if self.window_days < 1:
+            raise ValueError(f"window_days must be >= 1, got {self.window_days}")
+        if self.allowed_lateness_hours < 0:
+            raise ValueError(
+                f"allowed_lateness_hours must be >= 0, "
+                f"got {self.allowed_lateness_hours}"
+            )
+        if self.retain_closed < 0:
+            raise ValueError(
+                f"retain_closed must be >= 0, got {self.retain_closed}"
+            )
+
+
+@dataclass
+class WindowResult:
+    """One finalized window's task answers."""
+
+    index: int
+    #: Global day index of the window's first day.
+    day0: int
+    n_days: int
+    #: task -> {consumer_id: task result} — same shapes as
+    #: :func:`repro.core.benchmark.run_task_reference`.
+    results: dict[Task, dict[str, Any]]
+    #: The window's (policy-applied) data — what the results describe and
+    #: what the store sink appends.
+    dataset: Dataset
+    #: Meters dropped by the quarantine ladder at close.
+    dropped: list[str] = field(default_factory=list)
+    #: 0 for the first emission; bumped by applied-late re-emissions.
+    revision: int = 0
+
+
+class _WindowState:
+    """One open (or retained) window's buffers and kernel states."""
+
+    def __init__(self, index: int, n: int, config: StreamConfig) -> None:
+        self.index = index
+        self.config = config
+        W = config.window_days
+        self.hours = W * HOURS_PER_DAY
+        self.hour0 = index * self.hours
+        self.cons = np.full((n, self.hours), np.nan)
+        self.temp = np.full((n, self.hours), np.nan)
+        #: Readings present per (meter, day) — day completeness feed.
+        self.day_count = np.zeros((n, W), dtype=np.int32)
+        #: Meters present per hour-column — similarity fold feed.
+        self.hour_count = np.zeros(self.hours, dtype=np.int32)
+        self.hour_folded = np.zeros(self.hours, dtype=bool)
+        spec = config.spec
+        self.hist = (
+            StreamingHistogramState(n, spec.n_buckets)
+            if Task.HISTOGRAM in config.tasks else None
+        )
+        self.threeline = (
+            StreamingThreeLineState(n, spec.threeline)
+            if Task.THREELINE in config.tasks else None
+        )
+        self.par = (
+            StreamingParState(n, spec.par) if Task.PAR in config.tasks else None
+        )
+        self.sim = (
+            StreamingSimilarityState(n, spec.top_k)
+            if Task.SIMILARITY in config.tasks else None
+        )
+        self.closed = False
+        self.result: WindowResult | None = None
+        self.n_readings = 0
+
+    @property
+    def cons_dh(self) -> np.ndarray:
+        return self.cons.reshape(self.cons.shape[0], -1, HOURS_PER_DAY)
+
+    @property
+    def temp_dh(self) -> np.ndarray:
+        return self.temp.reshape(self.temp.shape[0], -1, HOURS_PER_DAY)
+
+
+class StreamingPlane:
+    """Live-ingest analytics over a fixed meter cohort (see module docs)."""
+
+    def __init__(
+        self, consumer_ids: list[str], config: StreamConfig | None = None
+    ) -> None:
+        if len(set(consumer_ids)) != len(consumer_ids):
+            raise DataError("consumer ids must be unique")
+        self.ids = list(consumer_ids)
+        self.n = len(self.ids)
+        self.config = config or StreamConfig()
+        if Task.PAR in self.config.tasks:
+            need = min_days_required(self.config.spec.par)
+            if self.config.window_days < need:
+                raise ValueError(
+                    f"PAR with p={self.config.spec.par.p} needs windows of "
+                    f"at least {need} days, got {self.config.window_days}; "
+                    "widen the window or drop Task.PAR from tasks"
+                )
+        self.ladder = resolve_ingest_config(self.config.on_late)
+        self.windows: dict[int, _WindowState] = {}
+        #: Highest event hour seen so far (-1 before any reading).
+        self.max_event_hour = -1
+        #: Finalized results in close order, revisions included.
+        self.emitted: list[WindowResult] = []
+        self.report = QualityReport(source="streaming-plane")
+        #: Windows finalized so far (close order); buffers retained for
+        #: the most recent ``retain_closed`` of them.
+        self._closed_order: list[int] = []
+        self.readings_ingested = 0
+
+    # Routing ----------------------------------------------------------------
+
+    @property
+    def watermark_hour(self) -> int:
+        """Event-time low watermark: readings at or below this hour are
+        considered final (windows ending below it close)."""
+        return self.max_event_hour - self.config.allowed_lateness_hours
+
+    def _window(self, index: int) -> _WindowState:
+        state = self.windows.get(index)
+        if state is None:
+            state = _WindowState(index, self.n, self.config)
+            self.windows[index] = state
+        return state
+
+    def ingest(self, batch: ReadingBatch) -> list[WindowResult]:
+        """Fold one arrival batch; returns any windows it caused to close
+        (or re-emit, for applied-late revisions)."""
+        if len(batch) == 0:
+            return []
+        if batch.consumer.min() < 0 or batch.consumer.max() >= self.n:
+            raise DataError(
+                f"consumer index out of range 0..{self.n - 1}"
+            )
+        if batch.hour.min() < 0:
+            raise DataError("negative event hour")
+
+        emitted: list[WindowResult] = []
+        per_window = batch.hour // (self.config.window_days * HOURS_PER_DAY)
+        for w in np.unique(per_window):
+            sub = batch.take(per_window == w)
+            if int(w) in self._closed_order and int(w) not in self.windows:
+                # Closed AND retired beyond ``retain_closed``: no buffer
+                # is left to apply the reading to, so even the repair
+                # ladder can only drop and record it.
+                if self.ladder.strict:
+                    raise LateReadingError(
+                        f"reading for window {int(w)}, closed and retired "
+                        f"beyond retain_closed={self.config.retain_closed} "
+                        "(strict policy)"
+                    )
+                self._record_dropped(
+                    sub.consumer, "late_reading",
+                    f"arrived after window {int(w)} was retired; dropped",
+                )
+                continue
+            state = self._window(int(w))
+            if state.closed:
+                emitted.extend(self._late_after_close(state, sub))
+            else:
+                self._fold(state, sub)
+        self.max_event_hour = max(self.max_event_hour, int(batch.hour.max()))
+        emitted.extend(self.close_ready())
+        return emitted
+
+    def _fold(self, state: _WindowState, batch: ReadingBatch) -> None:
+        """Fold a batch that belongs to one open window."""
+        cons = batch.consumer
+        local = batch.hour - state.hour0
+        values = batch.consumption
+        temps = batch.temperature
+
+        # NaN readings: a meter reported but the value is unusable.
+        bad = np.isnan(values) | np.isnan(temps)
+        if bad.any():
+            if self.ladder.strict:
+                raise StreamingError(
+                    f"NaN reading for meter index {int(cons[bad][0])} at "
+                    f"hour {int(batch.hour[bad][0])} (strict policy)"
+                )
+            self._record_dropped(cons[bad], "nan_reading",
+                                 "unusable reading treated as missing")
+            keep = ~bad
+            cons, local, values, temps = (
+                cons[keep], local[keep], values[keep], temps[keep]
+            )
+            if cons.size == 0:
+                return
+
+        # Intra-batch duplicates: keep the last delivery of each cell,
+        # then resolve cells already present in the buffer per policy.
+        cell = cons * state.hours + local
+        last = np.full(len(cell), True)
+        if cell.size > 1:
+            order = np.argsort(cell, kind="stable")
+            sorted_cell = cell[order]
+            is_last = np.append(sorted_cell[:-1] != sorted_cell[1:], True)
+            last = np.zeros(len(cell), dtype=bool)
+            last[order[is_last]] = True
+        dup_in_batch = ~last
+        dup_in_buffer = last & ~np.isnan(state.cons[cons, local])
+        dups = dup_in_batch | dup_in_buffer
+        if dups.any():
+            if self.ladder.strict:
+                i = int(np.flatnonzero(dups)[0])
+                raise DuplicateReadingError(
+                    f"duplicate reading for meter index {int(cons[i])} at "
+                    f"hour {int(state.hour0 + local[i])} (strict policy)"
+                )
+            if self.ladder.quarantines:
+                self._record_dropped(cons[dups], "duplicate_reading",
+                                     "re-delivered cell dropped")
+                keep = ~dups
+                cons, local, values, temps = (
+                    cons[keep], local[keep], values[keep], temps[keep]
+                )
+                if cons.size == 0:
+                    return
+                dup_in_buffer = np.zeros(cons.size, dtype=bool)
+            else:  # repair: apply as corrections
+                keep = last
+                over = dup_in_buffer[keep]
+                cons, local, values, temps = (
+                    cons[keep], local[keep], values[keep], temps[keep]
+                )
+                dup_in_buffer = over
+                self._apply_corrections(state, cons[over], local[over])
+
+        new_cell = ~dup_in_buffer
+        state.n_readings += int(cons.size)
+        self.readings_ingested += int(cons.size)
+
+        # Completeness counters advance only for first-time cells
+        # (bincount, not np.add.at — this is the per-reading hot path).
+        nc, nl = cons[new_cell], local[new_cell]
+        W = self.config.window_days
+        state.day_count += np.bincount(
+            nc * W + nl // HOURS_PER_DAY, minlength=self.n * W
+        ).reshape(self.n, W).astype(np.int32)
+        state.hour_count += np.bincount(
+            nl, minlength=state.hours
+        ).astype(np.int32)
+
+        # Buffer writes (overwrites included — corrections already
+        # unfolded what they had to).
+        state.cons[cons, local] = values
+        state.temp[cons, local] = temps
+
+        # Task folds.
+        if state.hist is not None:
+            state.hist.fold(nc, values[new_cell])
+        if state.threeline is not None:
+            state.threeline.mark_dirty(cons)
+        if state.par is not None:
+            state.par.advance(
+                state.day_count == HOURS_PER_DAY, state.cons_dh, state.temp_dh
+            )
+        if state.sim is not None:
+            ready = np.flatnonzero(
+                (state.hour_count == self.n) & ~state.hour_folded
+            )
+            if ready.size:
+                state.sim.fold_hours(state.cons, ready)
+                state.hour_folded[ready] = True
+
+    def _apply_corrections(
+        self, state: _WindowState, cons: np.ndarray, local: np.ndarray
+    ) -> None:
+        """Unfold whatever incremental state the overwritten cells had
+        already reached, so the overwrite stays exact."""
+        if cons.size == 0:
+            return
+        for c in np.unique(cons):
+            self.report.record(ConsumerQuality(
+                consumer_id=self.ids[int(c)],
+                action="repaired",
+                issues=[DataIssue("duplicate_reading",
+                                  "re-delivered cell overwritten")],
+                repairs=[RepairAction("overwrite", int((cons == c).sum()))],
+            ))
+        ucons = np.unique(cons)
+        if state.hist is not None:
+            state.hist.unfold(ucons)
+        if state.par is not None:
+            days = np.unique(
+                np.stack([cons, local // HOURS_PER_DAY], axis=1), axis=0
+            )
+            touched = days[
+                days[:, 1] < state.par.frontier[days[:, 0]]
+            ][:, 0]
+            if touched.size:
+                state.par.mark_rebuild(np.unique(touched))
+        if state.sim is not None:
+            folded = np.unique(local[state.hour_folded[local]])
+            if folded.size:
+                state.sim.unfold_hours(state.cons, folded)
+                state.hour_folded[folded] = False
+                # Re-fold after the buffer write: mark as pending by
+                # leaving hour_count untouched; _fold's ready scan
+                # re-folds them since count already equals n.
+
+    def _record_dropped(
+        self, cons: np.ndarray, kind: str, message: str
+    ) -> None:
+        uniq, counts = np.unique(cons, return_counts=True)
+        for c, cnt in zip(uniq, counts):
+            self.report.record(ConsumerQuality(
+                consumer_id=self.ids[int(c)],
+                action="repaired" if self.ladder.repairs else "quarantined",
+                issues=[DataIssue(kind, message, count=int(cnt))],
+            ))
+
+    # Closing ----------------------------------------------------------------
+
+    def close_ready(self) -> list[WindowResult]:
+        """Finalize every open window the watermark has passed."""
+        emitted = []
+        for index in sorted(self.windows):
+            state = self.windows[index]
+            end_hour = state.hour0 + state.hours - 1
+            if not state.closed and end_hour <= self.watermark_hour:
+                emitted.append(self._finalize(state))
+        return emitted
+
+    def force_close(self, index: int | None = None) -> list[WindowResult]:
+        """Finalize open windows now (end of stream), watermark or not."""
+        targets = (
+            [index] if index is not None
+            else [i for i in sorted(self.windows) if not self.windows[i].closed]
+        )
+        out = []
+        for i in targets:
+            state = self.windows.get(i)
+            if state is None or state.closed:
+                raise StreamingError(f"window {i} is not open")
+            out.append(self._finalize(state))
+        return out
+
+    def _finalize(
+        self, state: _WindowState, revision: int = 0
+    ) -> WindowResult:
+        """Resolve completeness per the ladder, converge every task's
+        incremental state, and emit the window's results."""
+        missing = np.isnan(state.cons)
+        incomplete = np.flatnonzero(missing.any(axis=1))
+        never = np.flatnonzero(missing.all(axis=1))
+        dropped: list[str] = []
+        keep = np.arange(self.n)
+        if incomplete.size:
+            if self.ladder.strict:
+                raise StreamingError(
+                    f"window {state.index}: {incomplete.size} meters "
+                    f"incomplete at close (strict policy); first is "
+                    f"{self.ids[int(incomplete[0])]!r}"
+                )
+            if self.ladder.quarantines or never.size:
+                # Meters with no data at all can never be imputed; they
+                # drop under repair too.
+                drop = incomplete if self.ladder.quarantines else never
+                dropped = [self.ids[int(c)] for c in drop]
+                self._record_dropped(
+                    drop, "incomplete_window",
+                    f"missing readings at close of window {state.index}",
+                )
+                keep = np.setdiff1d(keep, drop)
+            if self.ladder.repairs:
+                fix = np.setdiff1d(incomplete, never)
+                for c in fix:
+                    row = state.cons[c]
+                    n_miss = int(np.isnan(row).sum())
+                    try:
+                        state.cons[c] = impute(
+                            row,
+                            strategy=self.ladder.impute_strategy,
+                            max_linear_gap=self.ladder.max_linear_gap,
+                        )
+                    except DataError:
+                        # The hourly-mean strategies need every hour of
+                        # day represented; a sparse early close may not.
+                        # Linear interpolation always works with >= 1
+                        # present reading (never-seen meters dropped above).
+                        state.cons[c] = impute(row, strategy="linear")
+                    trow = state.temp[c]
+                    state.temp[c] = impute(
+                        trow, strategy="linear"
+                    ) if np.isnan(trow).any() else trow
+                    self.report.record(ConsumerQuality(
+                        consumer_id=self.ids[int(c)],
+                        action="repaired",
+                        issues=[DataIssue("incomplete_window",
+                                          "missing readings at close",
+                                          count=n_miss)],
+                        repairs=[RepairAction("impute", n_miss,
+                                              self.ladder.impute_strategy)],
+                    ))
+                if fix.size:
+                    # Imputed cells were never folded anywhere: the day
+                    # counters advance (those days are now complete) and
+                    # the exact per-task states reset lazily (histogram
+                    # rebin from the now-complete row; PAR and the Gram
+                    # fold the remaining days/columns below).
+                    state.day_count[fix] = HOURS_PER_DAY
+                    if state.hist is not None:
+                        state.hist.unfold(fix)
+
+        if keep.size and np.isnan(state.cons[keep]).any():
+            raise StreamingError(
+                "internal: surviving meters still incomplete at close"
+            )
+
+        results: dict[Task, dict[str, Any]] = {}
+        kept_ids = [self.ids[int(c)] for c in keep]
+
+        if keep.size == 0:
+            # Every meter quarantined: the window still emits (the drops
+            # are the story), with empty per-task result maps.
+            results = {task: {} for task in self.config.tasks}
+
+        if keep.size and state.hist is not None:
+            pending = keep[state.hist.needs_rebin[keep]]
+            state.hist.rebin_many(pending, state.cons[pending])
+            results[Task.HISTOGRAM] = {
+                self.ids[int(c)]: state.hist.result(int(c)) for c in keep
+            }
+
+        if keep.size and state.threeline is not None:
+            row_splits, temps, lower, upper, counts = batched_percentile_points(
+                state.cons[keep], state.temp[keep], self.config.spec.threeline
+            )
+            models = batched_fit_bands(
+                row_splits, temps, lower, upper, counts,
+                self.config.spec.threeline,
+            )
+            for local_i, c in enumerate(keep):
+                state.threeline.set_model(int(c), models[local_i])
+            results[Task.THREELINE] = {
+                self.ids[int(c)]: state.threeline.models[int(c)] for c in keep
+            }
+
+        if keep.size and state.par is not None:
+            days_complete = state.day_count == HOURS_PER_DAY
+            days_complete[keep] = True  # survivors are complete by now
+            for c in keep[state.par.needs_rebuild[keep]]:
+                state.par.rebuild(
+                    int(c), days_complete[int(c)], state.cons_dh, state.temp_dh
+                )
+            state.par.advance(days_complete, state.cons_dh, state.temp_dh)
+            models = state.par.solve(keep, state.cons_dh, state.temp_dh)
+            results[Task.PAR] = {
+                self.ids[int(c)]: m for c, m in zip(keep, models)
+            }
+
+        if keep.size and state.sim is not None:
+            if keep.size != self.n:
+                # Dropped meters poison folded columns: rebuild the Gram
+                # over the survivors (documented quarantine-close cost).
+                sub = StreamingSimilarityState(
+                    keep.size, self.config.spec.top_k
+                )
+                sub.fold_hours(state.cons[keep], np.arange(state.hours))
+                results[Task.SIMILARITY] = sub.top_k_all(kept_ids)
+            else:
+                ready = np.flatnonzero(~state.hour_folded)
+                if ready.size:
+                    state.sim.fold_hours(state.cons, ready)
+                    state.hour_folded[ready] = True
+                results[Task.SIMILARITY] = state.sim.top_k_all(kept_ids)
+
+        dataset = Dataset(
+            consumer_ids=kept_ids,
+            consumption=state.cons[keep].copy(),
+            temperature=state.temp[keep].copy(),
+            name=f"stream-window-{state.index}",
+        )
+        result = WindowResult(
+            index=state.index,
+            day0=state.index * self.config.window_days,
+            n_days=self.config.window_days,
+            results=results,
+            dataset=dataset,
+            dropped=dropped,
+            revision=revision,
+        )
+        state.closed = True
+        state.result = result
+        if revision == 0:
+            self._closed_order.append(state.index)
+            self._trim_retained()
+        self.emitted.append(result)
+        return result
+
+    def _trim_retained(self) -> None:
+        """Drop buffers of closed windows beyond the retention horizon."""
+        horizon = self.config.retain_closed
+        retire = (
+            self._closed_order[:-horizon] if horizon else self._closed_order
+        )
+        for index in retire:
+            if index in self.windows:
+                del self.windows[index]
+
+    # Late-after-close -------------------------------------------------------
+
+    def _late_after_close(
+        self, state: _WindowState, batch: ReadingBatch
+    ) -> list[WindowResult]:
+        if self.ladder.strict:
+            raise LateReadingError(
+                f"reading for closed window {state.index} (meter index "
+                f"{int(batch.consumer[0])}, hour {int(batch.hour[0])}) "
+                "under strict policy"
+            )
+        if self.ladder.quarantines:
+            self._record_dropped(
+                batch.consumer, "late_reading",
+                f"arrived after window {state.index} closed; dropped",
+            )
+            return []
+        # repair = applied-late: fold the readings into the retained
+        # buffer (corrections included) and re-emit a revised result.
+        self._record_dropped(
+            batch.consumer, "late_reading",
+            f"arrived after window {state.index} closed; applied late",
+        )
+        state.closed = False
+        try:
+            self._fold(state, batch)
+        finally:
+            state.closed = True
+        prev = state.result
+        revision = (prev.revision + 1) if prev else 1
+        state.closed = False
+        try:
+            return [self._finalize(state, revision=revision)]
+        finally:
+            state.closed = True
+
+    # Live queries -----------------------------------------------------------
+
+    def open_window(self, index: int | None = None) -> _WindowState:
+        """The (oldest) open window, or the one at ``index``."""
+        if index is not None:
+            state = self.windows.get(index)
+            if state is None:
+                raise StreamingError(f"no window {index}")
+            return state
+        open_idx = [i for i in sorted(self.windows) if not self.windows[i].closed]
+        if not open_idx:
+            raise StreamingError("no open window")
+        return self.windows[open_idx[0]]
+
+    def query(
+        self,
+        task: Task,
+        consumer_id: str,
+        window: int | None = None,
+        quick: bool = True,
+    ):
+        """The *current* answer for one meter over the open window so far.
+
+        Mid-window answers describe the readings that have arrived (and,
+        for PAR/similarity, the folded prefix); they converge to the
+        batch answers at window close.  ``quick`` selects the 3-line
+        cached-breakpoint shortcut over the exact refit.
+        """
+        state = self.open_window(window)
+        c = self.ids.index(consumer_id)
+        row = state.cons[c]
+        present = ~np.isnan(row)
+        if task is Task.HISTOGRAM:
+            if state.hist is None:
+                raise StreamingError("histogram not enabled")
+            if state.hist.needs_rebin[c]:
+                state.hist.rebin(c, row[present])
+            return state.hist.result(c)
+        if task is Task.THREELINE:
+            if state.threeline is None:
+                raise StreamingError("threeline not enabled")
+            if state.threeline.dirty[c] or state.threeline.models[c] is None:
+                refit = (
+                    state.threeline.quick_refit if quick
+                    else state.threeline.refit
+                )
+                refit(c, row[present], state.temp[c][present])
+            return state.threeline.models[c]
+        if task is Task.PAR:
+            if state.par is None:
+                raise StreamingError("par not enabled")
+            if state.par.needs_rebuild[c]:
+                state.par.rebuild(
+                    c, state.day_count[c] == HOURS_PER_DAY,
+                    state.cons_dh, state.temp_dh,
+                )
+            return state.par.solve(
+                np.array([c]), state.cons_dh, state.temp_dh
+            )[0]
+        if task is Task.SIMILARITY:
+            if state.sim is None:
+                raise StreamingError("similarity not enabled")
+            scores = state.sim.scores_row(c)
+            return [
+                (self.ids[i], s)
+                for i, s in rank_row(scores, c, self.config.spec.top_k)
+            ]
+        raise ValueError(f"unknown task: {task!r}")
+
+    def centroid_index(self, window: int | None = None) -> CentroidIndex:
+        """Build a pruned-query index over the window buffer as-is."""
+        state = self.open_window(window)
+        return CentroidIndex(np.nan_to_num(state.cons, nan=0.0))

@@ -258,6 +258,65 @@ class TestAppendAndState:
         with pytest.raises(StorageError, match="whole number of days"):
             store.append_days("readings", ragged)
 
+    def test_append_same_day_redelivery_raises_by_default(self, tmp_path):
+        """Re-appending an already-ingested day must not silently double
+        the table; the error names the overlap and the remedy."""
+        full = _dataset(n=6, days=35, seed=7)
+        head = self._slice(full, 0, 24 * 33)
+        tail = self._slice(full, 24 * 33, 24 * 35)
+        store = PartitionedStore(tmp_path / "v2")
+        store.ingest_dataset(head, consumers_per_part=4, days_per_part=30)
+        store.append_days("readings", tail, start_day=33)
+        with pytest.raises(
+            StorageError, match=r"days 33...34 overlaps 2 already-ingested"
+        ):
+            store.append_days("readings", tail, start_day=33)
+        with pytest.raises(StorageError, match="on_conflict='skip'"):
+            store.append_days("readings", tail, start_day=33)
+
+    def test_append_skip_is_idempotent(self, tmp_path):
+        """on_conflict='skip' makes redelivery a no-op and a partially
+        overlapping batch append only its genuinely new tail."""
+        full = _dataset(n=6, days=36, seed=3)
+        head = self._slice(full, 0, 24 * 33)
+        mid = self._slice(full, 24 * 33, 24 * 35)
+        store = PartitionedStore(tmp_path / "v2")
+        store.ingest_dataset(head, consumers_per_part=4, days_per_part=30)
+        t = store.append_days("readings", mid, start_day=33)
+        n_files = len(t.partitions)
+        # Exact redelivery: no-op, no new partition files.
+        t = store.append_days(
+            "readings", mid, start_day=33, on_conflict="skip"
+        )
+        assert t.n_days == 35
+        assert len(t.partitions) == n_files
+        # Overlapping resend (days 33..35): only day 35 is appended.
+        over = self._slice(full, 24 * 33, 24 * 36)
+        t = store.append_days(
+            "readings", over, start_day=33, on_conflict="skip"
+        )
+        assert t.n_days == 36
+        _ids, matrices = t.read_matrices()
+        np.testing.assert_array_equal(
+            matrices["consumption"], full.consumption
+        )
+
+    def test_append_beyond_next_day_always_gaps(self, tmp_path):
+        full = _dataset(n=6, days=35, seed=5)
+        head = self._slice(full, 0, 24 * 33)
+        tail = self._slice(full, 24 * 33, 24 * 35)
+        store = PartitionedStore(tmp_path / "v2")
+        store.ingest_dataset(head, consumers_per_part=4, days_per_part=30)
+        for conflict in ("error", "skip"):
+            with pytest.raises(StorageError, match="would leave a gap"):
+                store.append_days(
+                    "readings", tail, start_day=40, on_conflict=conflict
+                )
+        with pytest.raises(StorageError, match="on_conflict must be"):
+            store.append_days(
+                "readings", tail, start_day=33, on_conflict="merge"
+            )
+
     def test_state_shape_checked(self):
         with pytest.raises(StorageError, match="does not match"):
             StateTable(np.zeros(3, dtype=np.int64), ["a", "b"])

@@ -1,4 +1,4 @@
-"""Unit and property tests for the streaming statistics module."""
+"""Unit and property tests for the streaming approximate sketches."""
 
 from __future__ import annotations
 
@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.exceptions import DataError
-from repro.timeseries.streaming import (
+from repro.streaming.sketches import (
     OnlineHourlyProfile,
     OnlineStats,
     P2Quantile,

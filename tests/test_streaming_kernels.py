@@ -1,0 +1,246 @@
+"""Per-kernel tests for the incremental streaming states.
+
+Each of the four streaming kernels is tested directly against its batch
+reference, independent of the window plane: exact-fold bit-identity and
+lazy-rebin semantics for the histogram state, lazy refits and the
+quick-refit honesty fallback for 3-line, frontier/rebuild ordering
+invariance for the PAR RLS accumulators, and Gram fold/unfold exactness
+plus centroid-pruned recall for similarity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import equi_width_histogram
+from repro.core.par import ParConfig, fit_par, min_days_required
+from repro.core.similarity import top_k_similar
+from repro.core.threeline import fit_three_lines
+from repro.core.validation import compare_par, compare_similarity
+from repro.datagen.seed import SeedConfig, make_seed_dataset
+from repro.exceptions import DataError, InsufficientDataError
+from repro.streaming import (
+    CentroidIndex,
+    StreamingHistogramState,
+    StreamingParState,
+    StreamingSimilarityState,
+    StreamingThreeLineState,
+)
+from repro.timeseries.calendar import HOURS_PER_DAY
+
+
+def _cohort(n=8, days=14, seed=21):
+    data = make_seed_dataset(
+        SeedConfig(n_consumers=n, n_hours=days * HOURS_PER_DAY, seed=seed)
+    )
+    return data
+
+
+class TestStreamingHistogram:
+    def test_fold_bit_identical_when_range_settles(self):
+        data = _cohort()
+        n, hours = data.consumption.shape
+        state = StreamingHistogramState(n)
+        # Day 0 establishes each meter's range: fold then rebin once.
+        day0 = data.consumption[:, :HOURS_PER_DAY]
+        cons = np.repeat(np.arange(n), HOURS_PER_DAY)
+        state.fold(cons, day0.ravel())
+        state.rebin_many(np.arange(n), day0)
+        # Later folds are exact whenever they stay inside the range.
+        for h in range(HOURS_PER_DAY, hours):
+            state.fold(np.arange(n), data.consumption[:, h])
+        for c in range(n):
+            if state.needs_rebin[c]:
+                state.rebin(c, data.consumption[c])
+            ref = equi_width_histogram(data.consumption[c])
+            got = state.result(c)
+            np.testing.assert_array_equal(got.edges, ref.edges)
+            np.testing.assert_array_equal(got.counts, ref.counts)
+
+    def test_range_extension_flags_rebin_and_result_refuses(self):
+        state = StreamingHistogramState(1)
+        state.rebin(0, np.array([1.0, 2.0, 3.0]))
+        assert not state.needs_rebin[0]
+        state.fold(np.array([0]), np.array([99.0]))  # extends the max
+        assert state.needs_rebin[0]
+        with pytest.raises(DataError, match="pending rebin"):
+            state.result(0)
+
+    def test_rebin_many_matches_reference(self):
+        data = _cohort(n=5, days=3, seed=4)
+        state = StreamingHistogramState(5)
+        state.rebin_many(np.arange(5), data.consumption)
+        for c in range(5):
+            ref = equi_width_histogram(data.consumption[c])
+            got = state.result(c)
+            np.testing.assert_array_equal(got.edges, ref.edges)
+            np.testing.assert_array_equal(got.counts, ref.counts)
+
+    def test_unfold_forces_rebin(self):
+        state = StreamingHistogramState(2)
+        state.rebin(0, np.array([1.0, 2.0]))
+        state.rebin(1, np.array([1.0, 2.0]))
+        state.unfold(np.array([1]))
+        assert not state.needs_rebin[0]
+        assert state.needs_rebin[1]
+
+
+class TestStreamingThreeLine:
+    def test_refit_is_the_exact_reference(self):
+        data = _cohort(n=3)
+        state = StreamingThreeLineState(3)
+        for c in range(3):
+            got = state.refit(c, data.consumption[c], data.temperature[c])
+            ref = fit_three_lines(data.consumption[c], data.temperature[c])
+            np.testing.assert_array_equal(
+                got.band_upper.breakpoints, ref.band_upper.breakpoints
+            )
+            assert got.base_load == ref.base_load
+            assert not state.dirty[c]
+
+    def test_quick_refit_reuses_breakpoints_within_slack(self):
+        data = _cohort(n=1, days=14, seed=9)
+        state = StreamingThreeLineState(1)
+        # Exact fit over the first 13 days caches the breakpoints.
+        head = 13 * HOURS_PER_DAY
+        state.refit(0, data.consumption[0, :head], data.temperature[0, :head])
+        state.mark_dirty(np.array([0]))
+        got = state.quick_refit(0, data.consumption[0], data.temperature[0])
+        assert state.quick_refits + state.full_refits >= 2
+        assert not state.dirty[0]
+        # Honest within slack: SSE no worse than 2x the exact refit's.
+        ref = fit_three_lines(data.consumption[0], data.temperature[0])
+        exact = ref.band_lower.sse + ref.band_upper.sse
+        quick = got.band_lower.sse + got.band_upper.sse
+        assert quick <= 2.0 * max(exact, 1e-12) + 1e-12
+
+    def test_quick_refit_without_cache_falls_back_to_exact(self):
+        data = _cohort(n=1, seed=2)
+        state = StreamingThreeLineState(1)
+        got = state.quick_refit(0, data.consumption[0], data.temperature[0])
+        assert state.full_refits == 1 and state.quick_refits == 0
+        ref = fit_three_lines(data.consumption[0], data.temperature[0])
+        np.testing.assert_array_equal(
+            got.band_lower.breakpoints, ref.band_lower.breakpoints
+        )
+
+
+class TestStreamingPar:
+    def _buffers(self, data):
+        n, hours = data.consumption.shape
+        W = hours // HOURS_PER_DAY
+        cons_dh = data.consumption.reshape(n, W, HOURS_PER_DAY)
+        temp_dh = data.temperature.reshape(n, W, HOURS_PER_DAY)
+        return cons_dh, temp_dh, W
+
+    def test_in_order_folds_match_reference(self):
+        data = _cohort(n=6, days=14, seed=31)
+        cons_dh, temp_dh, W = self._buffers(data)
+        state = StreamingParState(6)
+        done = np.zeros((6, W), dtype=bool)
+        for d in range(W):  # one day at a time
+            done[:, d] = True
+            state.advance(done, cons_dh, temp_dh)
+        models = state.solve(np.arange(6), cons_dh, temp_dh)
+        got = {data.consumer_ids[i]: m for i, m in enumerate(models)}
+        ref = {
+            cid: fit_par(data.consumption[i], data.temperature[i])
+            for i, cid in enumerate(data.consumer_ids)
+        }
+        compare_par(got, ref)
+
+    def test_out_of_order_days_fold_exactly_once(self):
+        data = _cohort(n=4, days=12, seed=8)
+        cons_dh, temp_dh, W = self._buffers(data)
+        in_order = StreamingParState(4)
+        in_order.advance(np.ones((4, W), dtype=bool), cons_dh, temp_dh)
+        shuffled = StreamingParState(4)
+        done = np.zeros((4, W), dtype=bool)
+        rng = np.random.default_rng(0)
+        for d in rng.permutation(W):
+            done[:, d] = True
+            shuffled.advance(done, cons_dh, temp_dh)
+        # The frontier gates folding, so each day folded exactly once and
+        # in day order regardless of arrival order: identical accumulators.
+        np.testing.assert_array_equal(shuffled.xtx, in_order.xtx)
+        np.testing.assert_array_equal(shuffled.xty, in_order.xty)
+        np.testing.assert_array_equal(shuffled.n_obs, in_order.n_obs)
+
+    def test_rebuild_after_history_edit(self):
+        data = _cohort(n=3, days=12, seed=5)
+        cons_dh, temp_dh, W = self._buffers(data)
+        state = StreamingParState(3)
+        done = np.ones((3, W), dtype=bool)
+        state.advance(done, cons_dh, temp_dh)
+        # A correction rewrites folded history for meter 1.
+        cons_dh[1, 2, 5] += 1.0
+        state.mark_rebuild(np.array([1]))
+        with pytest.raises(DataError, match="needs_rebuild"):
+            state.solve(np.array([1]), cons_dh, temp_dh)
+        state.rebuild(1, done[1], cons_dh, temp_dh)
+        models = state.solve(np.array([1]), cons_dh, temp_dh)
+        ref = fit_par(cons_dh[1].ravel(), temp_dh[1].ravel())
+        compare_par({"m": models[0]}, {"m": ref})
+
+    def test_solve_requires_min_days(self):
+        cfg = ParConfig()
+        days = min_days_required(cfg) - 1
+        data = _cohort(n=2, days=days, seed=6)
+        cons_dh, temp_dh, W = self._buffers(data)
+        state = StreamingParState(2, cfg)
+        state.advance(np.ones((2, W), dtype=bool), cons_dh, temp_dh)
+        with pytest.raises(InsufficientDataError, match="complete days"):
+            state.solve(np.arange(2), cons_dh, temp_dh)
+
+
+class TestStreamingSimilarity:
+    def test_fold_matches_batch_top_k(self):
+        data = _cohort(n=12, days=7, seed=13)
+        n, hours = data.consumption.shape
+        state = StreamingSimilarityState(n, top_k=5)
+        for h in range(hours):  # one hour-column at a time
+            state.fold_hours(data.consumption, np.array([h]))
+        got = state.top_k_all(list(data.consumer_ids))
+        ref = top_k_similar(data.consumption, list(data.consumer_ids), k=5)
+        compare_similarity(got, ref)
+
+    def test_unfold_then_refold_is_exact(self):
+        data = _cohort(n=6, days=4, seed=17)
+        state = StreamingSimilarityState(6)
+        hours = np.arange(data.consumption.shape[1])
+        state.fold_hours(data.consumption, hours)
+        before = state.gram.copy()
+        # Correct three stale columns: unfold, overwrite, refold.
+        cols = np.array([5, 40, 41])
+        state.unfold_hours(data.consumption, cols)
+        data.consumption[:, cols] += 0.25
+        state.fold_hours(data.consumption, cols)
+        assert state.hours_folded == hours.size
+        assert not np.array_equal(state.gram, before)
+        # Undoing the edit the same way restores G to ~machine epsilon.
+        state.unfold_hours(data.consumption, cols)
+        data.consumption[:, cols] -= 0.25
+        state.fold_hours(data.consumption, cols)
+        np.testing.assert_allclose(state.gram, before, rtol=1e-12, atol=1e-12)
+
+    def test_fold_rejects_nan_columns(self):
+        state = StreamingSimilarityState(2)
+        buf = np.array([[1.0, np.nan], [2.0, 3.0]])
+        with pytest.raises(DataError, match="NaN"):
+            state.fold_hours(buf, np.array([1]))
+
+    def test_centroid_index_recall_on_separable_cohort(self):
+        # Two well-separated behaviour groups: pruning must not lose the
+        # true nearest neighbours.
+        rng = np.random.default_rng(3)
+        a = rng.normal(10.0, 0.1, size=(8, 48))
+        b = rng.normal(0.5, 0.1, size=(8, 48))
+        buf = np.vstack([a, b])
+        ids = [f"m{i}" for i in range(16)]
+        index = CentroidIndex(buf, n_clusters=2, seed=1)
+        ref = top_k_similar(buf, ids, k=3)
+        for c in range(16):
+            approx = dict(index.query(c, ids, k=3))
+            exact = dict(ref[ids[c]])
+            assert set(approx) == set(exact)

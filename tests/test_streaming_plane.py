@@ -1,0 +1,386 @@
+"""End-to-end tests of the streaming plane's window/watermark/ladder
+semantics and its convergence contract.
+
+The contract under test (see :mod:`repro.streaming.window`): at window
+close the incrementally-maintained answers equal the batch kernels' —
+bit-identical for histogram and 3-line, within documented tolerance for
+PAR and similarity — for *any* arrival permutation under the ``repair``
+ladder, including duplicates, corrections, and post-close arrivals;
+``strict`` raises on every anomaly; ``quarantine`` drops and records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnar.partstore import PartitionedStore
+from repro.core.benchmark import BenchmarkSpec, Task, run_task_reference
+from repro.core.validation import (
+    assert_identical_task_results,
+    compare_par,
+    compare_similarity,
+)
+from repro.datagen.seed import SeedConfig, make_seed_dataset
+from repro.exceptions import (
+    DuplicateReadingError,
+    LateReadingError,
+    StreamingError,
+)
+from repro.streaming import (
+    ALL_TASKS,
+    ReadingBatch,
+    StoreSink,
+    StreamConfig,
+    StreamingPlane,
+    WindowResult,
+    batch_from_dataset,
+    day_ticks,
+    shuffle_batch,
+)
+from repro.timeseries.series import Dataset
+
+#: Smallest window that supports the default PAR order (p=3 -> 8 days),
+#: with headroom.
+W = 10
+
+
+def _data(n=8, windows=1, seed=42):
+    return make_seed_dataset(
+        SeedConfig(n_consumers=n, n_hours=windows * W * 24, seed=seed)
+    )
+
+
+def _window_slice(data, index):
+    h0, h1 = index * W * 24, (index + 1) * W * 24
+    return Dataset(
+        data.consumer_ids,
+        data.consumption[:, h0:h1],
+        data.temperature[:, h0:h1],
+        f"w{index}",
+    )
+
+
+def _assert_converged(result: WindowResult, reference: Dataset):
+    """The full convergence contract against the batch kernels."""
+    for task in ALL_TASKS:
+        ref = run_task_reference(reference, task, BenchmarkSpec())
+        got = result.results[task]
+        if task in (Task.HISTOGRAM, Task.THREELINE):
+            assert_identical_task_results(task, got, ref)
+        elif task is Task.PAR:
+            compare_par(got, ref)
+        else:
+            compare_similarity(got, ref)
+
+
+class TestConvergence:
+    def test_in_order_daily_ticks(self):
+        data = _data()
+        plane = StreamingPlane(data.consumer_ids, StreamConfig(window_days=W))
+        for batch in day_ticks(data):
+            assert plane.ingest(batch) == []
+        (result,) = plane.force_close()
+        assert result.index == 0 and result.revision == 0
+        _assert_converged(result, data)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_arrival_permutations_converge(self, seed):
+        """Property: any shuffle of the window's readings closes to the
+        same answers as the in-order batch run."""
+        data = _data(seed=7)
+        plane = StreamingPlane(
+            data.consumer_ids, StreamConfig(window_days=W, on_late="repair")
+        )
+        whole = batch_from_dataset(data)
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(whole))
+        for lo in range(0, len(whole), 731):  # ragged odd-size batches
+            plane.ingest(whole.take(order[lo : lo + 731]))
+        (result,) = plane.force_close()
+        _assert_converged(result, data)
+
+    def test_watermark_closes_windows_in_order(self):
+        data = _data(windows=2)
+        plane = StreamingPlane(
+            data.consumer_ids,
+            StreamConfig(window_days=W, allowed_lateness_hours=24),
+        )
+        emitted = []
+        for batch in day_ticks(data):
+            emitted.extend(plane.ingest(batch))
+        # Window 0 closed by the watermark one lateness-interval into
+        # window 1; window 1 still open until end-of-stream.
+        assert [r.index for r in emitted] == [0]
+        assert plane.watermark_hour >= W * 24 - 1
+        emitted.extend(plane.force_close())
+        assert [r.index for r in emitted] == [0, 1]
+        for r in emitted:
+            _assert_converged(r, _window_slice(data, r.index))
+
+    def test_wrong_then_corrected_duplicate_converges(self):
+        """A bad delivery overwritten by a redelivery (repair ladder)
+        leaves no trace in the closed result."""
+        data = _data(seed=3)
+        plane = StreamingPlane(
+            data.consumer_ids, StreamConfig(window_days=W, on_late="repair")
+        )
+        corrupted = Dataset(
+            data.consumer_ids,
+            data.consumption.copy(),
+            data.temperature,
+            "bad",
+        )
+        corrupted.consumption[2, 30] += 5.0
+        for batch in day_ticks(corrupted):
+            plane.ingest(batch)
+        # The correction arrives as a duplicate of (meter 2, hour 30).
+        plane.ingest(ReadingBatch.from_arrays(
+            [2], [30], [data.consumption[2, 30]], [data.temperature[2, 30]]
+        ))
+        (result,) = plane.force_close()
+        _assert_converged(result, data)
+        assert data.consumer_ids[2] in plane.report.repaired_ids
+
+
+class TestLadder:
+    def test_strict_raises_on_duplicate(self):
+        data = _data()
+        plane = StreamingPlane(
+            data.consumer_ids, StreamConfig(window_days=W, on_late="strict")
+        )
+        batch = next(day_ticks(data))
+        plane.ingest(batch)
+        with pytest.raises(DuplicateReadingError, match="strict"):
+            plane.ingest(batch.take(np.array([0])))
+
+    def test_strict_raises_on_nan_and_incomplete_close(self):
+        data = _data()
+        plane = StreamingPlane(
+            data.consumer_ids, StreamConfig(window_days=W, on_late="strict")
+        )
+        with pytest.raises(StreamingError, match="NaN reading"):
+            plane.ingest(ReadingBatch.from_arrays(
+                [0], [0], [np.nan], [10.0]
+            ))
+        plane.ingest(next(day_ticks(data)))
+        with pytest.raises(StreamingError, match="incomplete at close"):
+            plane.force_close()
+
+    def test_quarantine_drops_incomplete_meter_exactly(self):
+        """Survivors' answers equal the batch run over the reduced cohort."""
+        data = _data(seed=11)
+        plane = StreamingPlane(
+            data.consumer_ids,
+            StreamConfig(window_days=W, on_late="quarantine"),
+        )
+        whole = batch_from_dataset(data)
+        # Withhold one reading of meter 4.
+        hole = (whole.consumer == 4) & (whole.hour == 100)
+        plane.ingest(whole.take(~hole))
+        (result,) = plane.force_close()
+        assert result.dropped == [data.consumer_ids[4]]
+        assert data.consumer_ids[4] in plane.report.quarantined_ids
+        keep = [i for i in range(len(data.consumer_ids)) if i != 4]
+        survivors = Dataset(
+            [data.consumer_ids[i] for i in keep],
+            data.consumption[keep],
+            data.temperature[keep],
+            "survivors",
+        )
+        _assert_converged(result, survivors)
+
+    def test_repair_imputes_missing_at_close(self):
+        data = _data(seed=13)
+        plane = StreamingPlane(
+            data.consumer_ids, StreamConfig(window_days=W, on_late="repair")
+        )
+        whole = batch_from_dataset(data)
+        hole = (whole.consumer == 1) & (whole.hour >= 50) & (whole.hour < 53)
+        plane.ingest(whole.take(~hole))
+        (result,) = plane.force_close()
+        assert result.dropped == []
+        assert not np.isnan(result.dataset.consumption).any()
+        assert data.consumer_ids[1] in plane.report.repaired_ids
+        # The repaired window is self-consistent: its results equal the
+        # batch kernels over its own (imputed) dataset.
+        _assert_converged(result, result.dataset)
+
+
+class TestLateAfterClose:
+    def _plane(self, data, policy, retain=1):
+        # Zero lateness: a window closes the moment its last hour is seen.
+        return StreamingPlane(
+            data.consumer_ids,
+            StreamConfig(
+                window_days=W, allowed_lateness_hours=0, on_late=policy,
+                retain_closed=retain,
+            ),
+        )
+
+    def test_strict_raises(self):
+        data = _data(windows=1, seed=19)
+        plane = self._plane(data, "strict")
+        closed = plane.ingest(batch_from_dataset(data))
+        assert [r.index for r in closed] == [0]
+        redelivery = batch_from_dataset(data, 5, 6)
+        with pytest.raises(LateReadingError, match="closed window 0"):
+            plane.ingest(redelivery)
+
+    def test_quarantine_drops_and_records(self):
+        data = _data(windows=1, seed=19)
+        plane = self._plane(data, "quarantine")
+        plane.ingest(batch_from_dataset(data))
+        assert plane.ingest(batch_from_dataset(data, 5, 6)) == []
+        assert data.consumer_ids[0] in plane.report.quarantined_ids
+
+    def test_repair_reemits_revision_that_converges(self):
+        data = _data(windows=1, seed=19)
+        plane = self._plane(data, "repair")
+        whole = batch_from_dataset(data)
+        late = (whole.consumer == 0) & (whole.hour == 5)
+        # Window 0 closes off the watermark with the hole imputed.
+        first = plane.ingest(whole.take(~late))
+        assert [r.index for r in first] == [0] and first[0].revision == 0
+        # The real reading arrives after close: applied late, re-emitted.
+        revised = plane.ingest(whole.take(late))
+        assert [r.index for r in revised] == [0]
+        assert revised[0].revision == 1
+        # The applied-late revision equals the batch run over ALL readings.
+        _assert_converged(revised[0], data)
+
+    def test_late_beyond_retention_cannot_be_applied(self):
+        data = _data(windows=2, seed=19)
+        plane = self._plane(data, "repair", retain=1)
+        plane.ingest(batch_from_dataset(data))  # closes 0 and 1; 0 retired
+        assert 0 not in plane.windows and 1 in plane.windows
+        assert plane.ingest(batch_from_dataset(data, 5, 6)) == []
+        assert data.consumer_ids[0] in plane.report.repaired_ids
+        strict = self._plane(data, "strict")
+        strict.ingest(batch_from_dataset(data))
+        with pytest.raises(LateReadingError, match="retired"):
+            strict.ingest(batch_from_dataset(data, 5, 6))
+
+
+class TestLiveQueries:
+    def test_mid_window_answers_match_prefix_batch(self):
+        data = _data(seed=23)
+        plane = StreamingPlane(data.consumer_ids, StreamConfig(window_days=W))
+        days = 9
+        for i, batch in enumerate(day_ticks(data)):
+            if i == days:
+                break
+            plane.ingest(batch)
+        prefix = Dataset(
+            data.consumer_ids,
+            data.consumption[:, : days * 24],
+            data.temperature[:, : days * 24],
+            "prefix",
+        )
+        cid = data.consumer_ids[3]
+        hist = plane.query(Task.HISTOGRAM, cid)
+        ref_h = run_task_reference(prefix, Task.HISTOGRAM, BenchmarkSpec())
+        np.testing.assert_array_equal(hist.counts, ref_h[cid].counts)
+        par = plane.query(Task.PAR, cid)
+        ref_p = run_task_reference(prefix, Task.PAR, BenchmarkSpec())
+        compare_par({cid: par}, {cid: ref_p[cid]})
+        model = plane.query(Task.THREELINE, cid, quick=False)
+        ref_t = run_task_reference(prefix, Task.THREELINE, BenchmarkSpec())
+        np.testing.assert_array_equal(
+            model.band_upper.breakpoints, ref_t[cid].band_upper.breakpoints
+        )
+        # Similarity over the folded prefix (all arrived hours complete).
+        ref_s = run_task_reference(prefix, Task.SIMILARITY, BenchmarkSpec())
+        compare_similarity(
+            {cid: plane.query(Task.SIMILARITY, cid)}, {cid: ref_s[cid]}
+        )
+
+    def test_centroid_index_approximate_query(self):
+        data = _data(n=12, seed=29)
+        plane = StreamingPlane(data.consumer_ids, StreamConfig(window_days=W))
+        for batch in day_ticks(data):
+            plane.ingest(batch)
+        index = plane.centroid_index()
+        got = index.query(0, list(data.consumer_ids), k=3, oversample=12)
+        exact = dict(plane.query(Task.SIMILARITY, data.consumer_ids[0]))
+        # With an oversample budget covering the cohort, pruning is exact.
+        assert set(dict(got)) <= set(exact) | {data.consumer_ids[0]}
+        assert len(got) == 3
+
+
+class TestConfigValidation:
+    def test_par_needs_wide_enough_window(self):
+        with pytest.raises(ValueError, match="at least 8 days"):
+            StreamingPlane(["a", "b"], StreamConfig(window_days=7))
+        # Dropping PAR lifts the floor.
+        plane = StreamingPlane(
+            ["a", "b"],
+            StreamConfig(
+                window_days=7,
+                tasks=(Task.HISTOGRAM, Task.THREELINE, Task.SIMILARITY),
+            ),
+        )
+        assert Task.PAR not in plane.config.tasks
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ValueError, match="window_days"):
+            StreamConfig(window_days=0)
+        with pytest.raises(ValueError, match="allowed_lateness_hours"):
+            StreamConfig(allowed_lateness_hours=-1)
+        with pytest.raises(ValueError, match="retain_closed"):
+            StreamConfig(retain_closed=-1)
+
+
+class TestStoreSink:
+    def test_windows_land_bit_exact(self, tmp_path):
+        data = _data(windows=3, seed=31)
+        plane = StreamingPlane(
+            data.consumer_ids, StreamConfig(window_days=W, on_late="repair")
+        )
+        sink = StoreSink(PartitionedStore(tmp_path / "v2"), plane=plane)
+        for batch in day_ticks(data):
+            sink.drain(plane.ingest(batch))
+        sink.drain(plane.force_close())
+        assert sink.written == [0, 1, 2]
+        table = sink.store.open("stream")
+        assert table.n_days == 3 * W
+        _ids, matrices = table.read_matrices()
+        np.testing.assert_array_equal(matrices["consumption"], data.consumption)
+        np.testing.assert_array_equal(matrices["temperature"], data.temperature)
+
+    def test_revision_rewrite_is_skipped_not_doubled(self, tmp_path):
+        data = _data(windows=2, seed=37)
+        plane = StreamingPlane(
+            data.consumer_ids,
+            StreamConfig(
+                window_days=W, allowed_lateness_hours=0, on_late="repair",
+                retain_closed=2,
+            ),
+        )
+        sink = StoreSink(PartitionedStore(tmp_path / "v2"), plane=plane)
+        whole = batch_from_dataset(data, 0, W * 24)
+        late = (whole.consumer == 0) & (whole.hour == 5)
+        sink.drain(plane.ingest(whole.take(~late)))
+        sink.drain(plane.ingest(batch_from_dataset(data, W * 24)))
+        # The applied-late revision re-emits window 0: a full overlap the
+        # sink recognizes and skips.
+        sink.drain(plane.ingest(whole.take(late)))
+        sink.drain(plane.force_close())
+        table = sink.store.open("stream")
+        assert table.n_days == 2 * W
+
+    def test_sink_refuses_quarantine_plane_and_partial_windows(self, tmp_path):
+        data = _data()
+        plane = StreamingPlane(
+            data.consumer_ids,
+            StreamConfig(window_days=W, on_late="quarantine"),
+        )
+        with pytest.raises(StreamingError, match="quarantine"):
+            StoreSink(PartitionedStore(tmp_path / "v2"), plane=plane)
+        sink = StoreSink(PartitionedStore(tmp_path / "v2"))
+        whole = batch_from_dataset(data)
+        plane.ingest(whole.take(whole.hour > 0))  # meter holes at hour 0
+        (result,) = plane.force_close()
+        assert result.dropped
+        with pytest.raises(StreamingError, match="partial cohort"):
+            sink.write(result)
