@@ -1,0 +1,383 @@
+"""Chaos harness + overhead benchmark for the durable streaming layer.
+
+Three claims, mirroring the other suites:
+
+* **The WAL is cheap** — a :class:`repro.streaming.DurablePlane`
+  (CRC-framed fsync'd WAL appends plus checkpoint-on-window-close)
+  must sustain at least ``MIN_WAL_RATIO`` x the throughput of the same
+  plane without durability at n=1000 meters.  Measured over one window
+  of daily ticks, fsync discipline on — the honest durability tax.
+* **Recovery converges from every kill point** — for each
+  ``REPRO_INJECT_CRASH`` point (mid-WAL-append, mid-checkpoint,
+  mid-sink-append) a run is killed, recovered from checkpoint + WAL
+  tail, and driven to completion; its emissions must match the
+  uncrashed run bit-identically for histogram/3-line and within the
+  documented tolerances for PAR/similarity, with **zero duplicate
+  rows** in the v2 store.  Recovery wall time is reported.
+* **The fleet survives worker murder** — a sharded
+  :class:`repro.streaming.FleetSupervisor` run with an ambient
+  ``mode=exit`` kill plan (a worker genuinely dies mid-WAL-append)
+  must restart the shard from its own WAL+checkpoint and land exactly
+  the same store bytes as a clean run.
+
+Run standalone (``python benchmarks/bench_durability.py``) for the
+probe, or through ``python benchmarks/regress.py --durability`` for the
+gated suite that writes ``BENCH_durability.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.columnar.partstore import PartitionedStore  # noqa: E402
+from repro.core.benchmark import Task  # noqa: E402
+from repro.core.validation import (  # noqa: E402
+    ValidationFailure,
+    assert_identical_task_results,
+    compare_par,
+    compare_similarity,
+)
+from repro.datagen.seed import SeedConfig, make_seed_dataset  # noqa: E402
+from repro.exceptions import InjectedCrash  # noqa: E402
+from repro.resilience import CRASH_ENV_VAR, CrashPlan, inject_crash  # noqa: E402
+from repro.streaming import (  # noqa: E402
+    DurablePlane,
+    FeedWriter,
+    FileTailer,
+    FleetConfig,
+    FleetSupervisor,
+    StoreSink,
+    StreamConfig,
+    StreamingPlane,
+    day_ticks,
+    shuffle_batch,
+)
+from repro.streaming.durability import verify_no_duplicate_rows  # noqa: E402
+from repro.timeseries.calendar import HOURS_PER_DAY  # noqa: E402
+
+#: Throughput floor: WAL-on must keep this fraction of WAL-off speed.
+MIN_WAL_RATIO = 0.77
+#: Gate scale of the overhead probe (the ratio needs real fold work to
+#: amortize the per-tick fsync; tiny cohorts measure fsync, not WAL).
+GATE_N = 1000
+#: One tumbling window of daily ticks for the overhead probe.
+OVERHEAD_WINDOW_DAYS = 14
+
+#: The chaos matrix: every kill point, at a position that leaves both a
+#: checkpoint to load and a WAL tail to replay (except the early hits,
+#: which exercise the no-checkpoint and empty-log paths).
+KILL_POINTS = (
+    ("wal-append", 1),
+    ("wal-append", 9),
+    ("checkpoint", 1),
+    ("checkpoint", 2),
+    ("sink-append", 1),
+    ("sink-append", 2),
+)
+
+ALL_TASKS = (Task.HISTOGRAM, Task.THREELINE, Task.PAR, Task.SIMILARITY)
+
+
+def _tick_all(plane: DurablePlane, data, *, resume: bool = False) -> None:
+    for i, batch in enumerate(day_ticks(data, 0)):
+        if resume and i <= plane.last_seq:
+            continue
+        plane.ingest(shuffle_batch(batch, seed=i), seq=i)
+
+
+# --------------------------------------------------------------------------
+# WAL overhead
+# --------------------------------------------------------------------------
+
+def measure_wal_overhead(
+    n_consumers: int = GATE_N, seed: int = 4242, run_root: str | None = None
+) -> dict:
+    """WAL-on vs WAL-off ingest throughput over one window of daily ticks.
+
+    Both sides run the identical four-task plane; the durable side adds
+    the full tax — record encode, CRC, buffered append, per-tick fsync,
+    and the checkpoint the window close triggers.
+    """
+    data = make_seed_dataset(SeedConfig(
+        n_consumers=n_consumers,
+        n_hours=OVERHEAD_WINDOW_DAYS * HOURS_PER_DAY,
+        seed=seed,
+    ))
+    config = StreamConfig(
+        window_days=OVERHEAD_WINDOW_DAYS, allowed_lateness_hours=0,
+        on_late="repair",
+    )
+    readings = data.consumption.size
+
+    plain = StreamingPlane(data.consumer_ids, config)
+    t0 = time.perf_counter()
+    for i, batch in enumerate(day_ticks(data, 0)):
+        plain.ingest(shuffle_batch(batch, seed=i))
+    plain_s = time.perf_counter() - t0
+
+    root = Path(run_root or tempfile.mkdtemp(prefix="bench-durability-"))
+    run_dir = root / "wal-overhead"
+    try:
+        durable = DurablePlane(
+            data.consumer_ids, config, run_dir=run_dir, sync=True
+        )
+        t0 = time.perf_counter()
+        _tick_all(durable, data)
+        durable_s = time.perf_counter() - t0
+        durable.wal.close()
+    finally:
+        shutil.rmtree(run_dir, ignore_errors=True)
+
+    ratio = (readings / durable_s) / (readings / plain_s)
+    return {
+        "n_consumers": n_consumers,
+        "window_days": OVERHEAD_WINDOW_DAYS,
+        "readings": readings,
+        "wal_off_s": round(plain_s, 6),
+        "wal_on_s": round(durable_s, 6),
+        "wal_off_readings_per_s": round(readings / plain_s, 1),
+        "wal_on_readings_per_s": round(readings / durable_s, 1),
+        "throughput_ratio": round(ratio, 4),
+        "min_ratio_floor": MIN_WAL_RATIO,
+    }
+
+
+# --------------------------------------------------------------------------
+# Kill-point recovery
+# --------------------------------------------------------------------------
+
+def _compare_emissions(reference: list, recovered: list) -> dict[str, str]:
+    """Per-task verdicts across the recovered run's emitted windows.
+
+    Checkpoints strip the emission history, so a recovered plane
+    re-emits only the post-snapshot suffix — compare it against the
+    reference run's tail (epochs included); the store comparison in the
+    caller covers every window end to end.
+    """
+    verdicts: dict[str, str] = {}
+    if not recovered:
+        return {"emissions": "MISMATCH: recovered run re-emitted nothing"}
+    reference = reference[len(reference) - len(recovered):]
+    if [(r.index, r.revision, r.epoch) for r in reference] != [
+        (r.index, r.revision, r.epoch) for r in recovered
+    ]:
+        return {"emissions": "MISMATCH: window/revision/epoch sequences differ"}
+    for task in ALL_TASKS:
+        verdict = "identical" if task in (
+            Task.HISTOGRAM, Task.THREELINE
+        ) else "within-tolerance"
+        for ref, rec in zip(reference, recovered):
+            got = rec.results[task]
+            want = ref.results[task]
+            try:
+                if task in (Task.HISTOGRAM, Task.THREELINE):
+                    assert_identical_task_results(task, got, want)
+                elif task is Task.PAR:
+                    compare_par(got, want)
+                else:
+                    compare_similarity(got, want)
+            except ValidationFailure as exc:
+                verdict = f"MISMATCH: window {ref.index}: {exc}"
+                break
+        verdicts[task.value] = verdict
+    return verdicts
+
+
+def measure_recovery(
+    n_consumers: int = 80, seed: int = 1717, run_root: str | None = None
+) -> list[dict]:
+    """Kill a durable run at every chaos point; recover; assert it
+    converges with the uncrashed run and a duplicate-free store."""
+    window_days = 10  # PAR-feasible, two windows close off the watermark
+    data = make_seed_dataset(SeedConfig(
+        n_consumers=n_consumers,
+        n_hours=3 * window_days * HOURS_PER_DAY,
+        seed=seed,
+    ))
+    config = StreamConfig(window_days=window_days, on_late="repair")
+    root = Path(run_root or tempfile.mkdtemp(prefix="bench-durability-"))
+
+    ref_dir = root / "recovery-ref"
+    reference = DurablePlane(
+        data.consumer_ids, config, run_dir=ref_dir / "run",
+        sink=StoreSink(PartitionedStore(ref_dir / "store")), sync=False,
+    )
+    _tick_all(reference, data)
+    reference.close()
+    ref_table = PartitionedStore(ref_dir / "store").open("stream")
+    _, ref_matrices = ref_table.read_matrices()
+
+    rows = []
+    for point, at in KILL_POINTS:
+        case_dir = root / f"recovery-{point}-{at}"
+        crashed = DurablePlane(
+            data.consumer_ids, config, run_dir=case_dir / "run",
+            sink=StoreSink(PartitionedStore(case_dir / "store")), sync=False,
+        )
+        fired = False
+        try:
+            with inject_crash(point, at=at, mode="raise"):
+                _tick_all(crashed, data)
+        except InjectedCrash:
+            fired = True
+        # Wait for any in-flight forked checkpoint writer so the
+        # on-disk state recovery sees is deterministic.
+        crashed._reap_checkpoint(block=True)
+        crashed.wal.close()
+
+        t0 = time.perf_counter()
+        recovered = DurablePlane.recover(
+            data.consumer_ids, config, run_dir=case_dir / "run",
+            sink=StoreSink(PartitionedStore(case_dir / "store")), sync=False,
+        )
+        _tick_all(recovered, data, resume=True)
+        recovered.close()
+        resume_s = time.perf_counter() - t0
+
+        verdicts = _compare_emissions(reference.emitted, recovered.emitted)
+        table = PartitionedStore(case_dir / "store").open("stream")
+        duplicates = "none"
+        try:
+            verify_no_duplicate_rows(table, ref_table.n_hours)
+        except Exception as exc:  # noqa: BLE001 - recorded, gated below
+            duplicates = f"MISMATCH: {exc}"
+        _, matrices = table.read_matrices()
+        store_identical = bool(np.array_equal(
+            matrices["consumption"], ref_matrices["consumption"]
+        ))
+        rows.append({
+            "point": point,
+            "at": at,
+            "crash_fired": fired,
+            "had_checkpoint": recovered.recovery.had_checkpoint,
+            "replayed_batches": recovered.recovery.replayed_batches,
+            "replayed_emissions": recovered.recovery.replayed_emissions,
+            "recovery_s": round(recovered.recovery.recovery_s, 6),
+            "resume_to_end_s": round(resume_s, 6),
+            "tasks": verdicts,
+            "store_bit_identical": store_identical,
+            "duplicate_rows": duplicates,
+        })
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Fleet chaos
+# --------------------------------------------------------------------------
+
+def measure_fleet_chaos(
+    n_consumers: int = 8, seed: int = 33, run_root: str | None = None
+) -> dict:
+    """Kill one fleet worker for real (``mode=exit``); the supervisor
+    must restart it from WAL+checkpoint and the per-shard store tables
+    must equal the data exactly — no duplicate, no missing rows."""
+    window_days = 7
+    windows = 3
+    data = make_seed_dataset(SeedConfig(
+        n_consumers=n_consumers,
+        n_hours=windows * window_days * HOURS_PER_DAY,
+        seed=seed,
+    ))
+    config = StreamConfig(
+        window_days=window_days, on_late="repair",
+        tasks=(Task.HISTOGRAM, Task.THREELINE),
+    )
+    root = Path(run_root or tempfile.mkdtemp(prefix="bench-durability-"))
+    fleet_dir = root / "fleet-chaos"
+    feed_path = fleet_dir / "feed.seg"
+    writer = FeedWriter(feed_path, sync=False)
+    for batch in day_ticks(data, 0):
+        writer.write_batch(batch)
+    writer.close()
+
+    flag = fleet_dir / "crash-fired"
+    os.environ[CRASH_ENV_VAR] = CrashPlan(
+        point="wal-append", at=6, mode="exit", flag=str(flag)
+    ).to_string()
+    t0 = time.perf_counter()
+    try:
+        supervisor = FleetSupervisor(
+            data.consumer_ids, config,
+            run_dir=fleet_dir / "run",
+            fleet=FleetConfig(n_shards=2, sync=False, worker_timeout_s=60.0),
+            store_root=fleet_dir / "store",
+        )
+        report = supervisor.run(FileTailer(feed_path, idle_timeout_s=30.0))
+    finally:
+        os.environ.pop(CRASH_ENV_VAR, None)
+    total_s = time.perf_counter() - t0
+
+    closed_hours = (windows - 1) * window_days * HOURS_PER_DAY
+    store = PartitionedStore(fleet_dir / "store")
+    converged = True
+    duplicates = "none"
+    for index, ids in enumerate(report.shard_ids):
+        table = store.open(f"stream-s{index:03d}")
+        try:
+            verify_no_duplicate_rows(table, closed_hours)
+        except Exception as exc:  # noqa: BLE001 - recorded, gated below
+            duplicates = f"MISMATCH: shard {index}: {exc}"
+        rows = [data.consumer_ids.index(i) for i in ids]
+        _, matrices = table.read_matrices()
+        if not np.array_equal(
+            matrices["consumption"], data.consumption[rows, :closed_hours]
+        ):
+            converged = False
+    return {
+        "n_consumers": n_consumers,
+        "n_shards": report.n_shards,
+        "windows_closed": windows - 1,
+        "crash_fired": flag.exists(),
+        "total_restarts": report.total_restarts,
+        "dead_letters": len(report.dead_letters),
+        "batches_dispatched": report.batches_dispatched,
+        "batches_acked": report.batches_acked,
+        "wall_s": round(total_s, 6),
+        "store_bit_identical": converged,
+        "duplicate_rows": duplicates,
+    }
+
+
+def main() -> int:
+    overhead = measure_wal_overhead()
+    print(
+        f"WAL overhead n={overhead['n_consumers']}: "
+        f"off {overhead['wal_off_readings_per_s']:,.0f} r/s, "
+        f"on {overhead['wal_on_readings_per_s']:,.0f} r/s -> "
+        f"{overhead['throughput_ratio']}x (floor {MIN_WAL_RATIO}x)"
+    )
+    recovery = measure_recovery()
+    ok = overhead["throughput_ratio"] >= MIN_WAL_RATIO
+    for row in recovery:
+        bad = [v for v in row["tasks"].values() if v.startswith("MISMATCH")]
+        good = (
+            not bad and row["store_bit_identical"]
+            and row["duplicate_rows"] == "none"
+        )
+        ok = ok and good
+        print(
+            f"kill {row['point']}@{row['at']}: replayed "
+            f"{row['replayed_batches']} batches in {row['recovery_s']}s -> "
+            f"{'converged' if good else 'DIVERGED'}"
+        )
+    chaos = measure_fleet_chaos()
+    fleet_ok = chaos["store_bit_identical"] and chaos["duplicate_rows"] == "none"
+    ok = ok and fleet_ok and chaos["crash_fired"]
+    print(
+        f"fleet chaos: {chaos['total_restarts']} restart(s), "
+        f"{'converged' if fleet_ok else 'DIVERGED'} in {chaos['wall_s']}s"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

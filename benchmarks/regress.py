@@ -10,6 +10,7 @@ up in review).  Runs standalone — no pytest required::
     python benchmarks/regress.py --out path/to.json
     python benchmarks/regress.py --storage  # storage-v2 gates -> BENCH_storage.json
     python benchmarks/regress.py --streaming  # plane gates -> BENCH_streaming.json
+    python benchmarks/regress.py --durability # chaos gates -> BENCH_durability.json
 
 ``--storage`` switches to the columnar-storage-v2 suite: full vs pruned
 scan speed, compressed size vs raw, the out-of-core memory budget, and
@@ -26,6 +27,17 @@ shuffled-arrival window-close convergence of all four tasks.  Results
 land in ``BENCH_streaming.json``; quick mode shrinks the cohort and
 waives the speedup floor (it needs n=1000 to be meaningful) but still
 enforces convergence.
+
+``--durability`` switches to the durable-streaming chaos suite
+(:mod:`benchmarks.bench_durability`): the WAL-on vs WAL-off throughput
+ratio at n=1000 (floor ``MIN_WAL_RATIO``), kill-point recovery —
+crashed mid-WAL-append / mid-checkpoint / mid-sink-append, recovered
+from checkpoint + WAL-tail replay, convergence and a duplicate-free
+store asserted for every point — and a fleet run that murders a worker
+process for real and must still land bit-identical store bytes.
+Results land in ``BENCH_durability.json``; quick mode shrinks the
+cohorts and waives the WAL-ratio floor but still enforces every
+convergence and zero-duplicate gate.
 
 Exit status is non-zero if, at the largest measured scale with at least
 1000 consumers, any task falls below the 5x batched speedup floor, or
@@ -474,6 +486,107 @@ def check_streaming(body, quick: bool) -> bool:
     return ok
 
 
+# Durability suite -----------------------------------------------------------
+
+#: Quick-mode scales of the durability suite (the WAL-overhead ratio
+#: needs n=1000 of real fold work to be meaningful and is waived).
+QUICK_DURABILITY_OVERHEAD_N = 100
+QUICK_DURABILITY_RECOVERY_N = 32
+
+
+def measure_durability(quick: bool):
+    """The durable-streaming chaos suite; returns the JSON body."""
+    from bench_durability import (
+        GATE_N,
+        measure_fleet_chaos,
+        measure_recovery,
+        measure_wal_overhead,
+    )
+
+    n_overhead = QUICK_DURABILITY_OVERHEAD_N if quick else GATE_N
+    n_recovery = QUICK_DURABILITY_RECOVERY_N if quick else 80
+
+    overhead = measure_wal_overhead(n_consumers=n_overhead)
+    print(
+        f"wal-tax   n={n_overhead:>5}: "
+        f"off {overhead['wal_off_readings_per_s']:>12,.0f} r/s  "
+        f"on {overhead['wal_on_readings_per_s']:>12,.0f} r/s  "
+        f"-> ratio {overhead['throughput_ratio']:.3f} "
+        f"(floor {overhead['min_ratio_floor']})"
+    )
+    recovery = measure_recovery(n_consumers=n_recovery)
+    for row in recovery:
+        bad = [v for v in row["tasks"].values() if v.startswith("MISMATCH")]
+        print(
+            f"kill {row['point']:>11}@{row['at']}: "
+            f"replayed {row['replayed_batches']:>2} batches in "
+            f"{row['recovery_s']:.3f}s  "
+            f"{'converged' if not bad else 'DIVERGED'}"
+            f"{'' if row['duplicate_rows'] == 'none' else '  DUPLICATES'}"
+        )
+    chaos = measure_fleet_chaos()
+    print(
+        f"fleet     shards={chaos['n_shards']}: "
+        f"{chaos['total_restarts']} restart(s), "
+        f"{'converged' if chaos['store_bit_identical'] else 'DIVERGED'} "
+        f"in {chaos['wall_s']:.2f}s"
+    )
+    return {
+        "wal_overhead": overhead,
+        "recovery": recovery,
+        "fleet_chaos": chaos,
+    }
+
+
+def check_durability(body, quick: bool) -> bool:
+    """Enforce the durability gates; quick waives the WAL-ratio floor."""
+    ok = True
+    overhead = body["wal_overhead"]
+    if not quick and overhead["throughput_ratio"] < overhead["min_ratio_floor"]:
+        print(
+            f"DURABILITY MISS: WAL-on throughput ratio "
+            f"{overhead['throughput_ratio']} < {overhead['min_ratio_floor']} "
+            f"at n={overhead['n_consumers']}",
+            file=sys.stderr,
+        )
+        ok = False
+    for row in body["recovery"]:
+        label = f"{row['point']}@{row['at']}"
+        if not row["crash_fired"]:
+            print(
+                f"DURABILITY MISS: kill point {label} never fired",
+                file=sys.stderr,
+            )
+            ok = False
+        for task, verdict in row["tasks"].items():
+            if verdict.startswith("MISMATCH"):
+                print(
+                    f"DURABILITY MISS: {label}: {task} diverged: {verdict}",
+                    file=sys.stderr,
+                )
+                ok = False
+        if not row["store_bit_identical"] or row["duplicate_rows"] != "none":
+            print(
+                f"DURABILITY MISS: {label}: store diverged "
+                f"(duplicates: {row['duplicate_rows']})",
+                file=sys.stderr,
+            )
+            ok = False
+    chaos = body["fleet_chaos"]
+    if not chaos["crash_fired"]:
+        print("DURABILITY MISS: fleet kill plan never fired", file=sys.stderr)
+        ok = False
+    if not chaos["store_bit_identical"] or chaos["duplicate_rows"] != "none":
+        print(
+            f"DURABILITY MISS: fleet store diverged after "
+            f"{chaos['total_restarts']} restart(s) "
+            f"(duplicates: {chaos['duplicate_rows']})",
+            file=sys.stderr,
+        )
+        ok = False
+    return ok
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -500,20 +613,46 @@ def main(argv=None):
         ),
     )
     parser.add_argument(
+        "--durability",
+        action="store_true",
+        help=(
+            "run the durable-streaming chaos suite (WAL overhead ratio, "
+            "kill-point recovery convergence, fleet worker murder) "
+            "instead of the kernel sweep"
+        ),
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
         help=(
             "output JSON path (default: repo-root BENCH_kernels.json, "
-            "BENCH_storage.json with --storage, or BENCH_streaming.json "
-            "with --streaming)"
+            "BENCH_storage.json with --storage, BENCH_streaming.json "
+            "with --streaming, or BENCH_durability.json with --durability)"
         ),
     )
     args = parser.parse_args(argv)
     repo_root = Path(__file__).resolve().parents[1]
 
-    if args.storage and args.streaming:
-        parser.error("--storage and --streaming are mutually exclusive")
+    if sum((args.storage, args.streaming, args.durability)) > 1:
+        parser.error(
+            "--storage, --streaming and --durability are mutually exclusive"
+        )
+
+    if args.durability:
+        out = args.out or repo_root / "BENCH_durability.json"
+        body = measure_durability(args.quick)
+        payload = {
+            "generated": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "cpu_count": os.cpu_count(),
+            "quick": args.quick,
+            **body,
+        }
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+        return 0 if check_durability(body, args.quick) else 1
 
     if args.streaming:
         out = args.out or repo_root / "BENCH_streaming.json"

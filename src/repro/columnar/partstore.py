@@ -44,8 +44,9 @@ memmap would have produced (``benchmarks/regress.py --storage`` gates it).
 from __future__ import annotations
 
 import json
+import os
 import shutil
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Iterator
 
@@ -53,6 +54,7 @@ import numpy as np
 
 from repro.columnar.compression import FloatColumnCodec, StringDictCodec
 from repro.exceptions import StorageError
+from repro.resilience.crashpoints import crash_here
 from repro.timeseries.calendar import HOURS_PER_DAY
 from repro.timeseries.series import Dataset
 
@@ -224,34 +226,84 @@ class ScanStats:
         return self.partitions_total - self.partitions_scanned
 
 
-class StateTable:
-    """Operational ingest state: last-ingested day per meter.
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry so a rename inside it survives a crash."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
-    Stored columnar (one int64 per dictionary slot, -1 = never ingested)
-    so a million-meter state table is 8 MB, not a JSON blob.  Every
-    ingest/append writes through it; the streaming/caching layers read it
-    to know where each meter's data ends.
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write-temp + fsync + rename + dir-fsync: all-or-nothing on disk."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+class StateTable:
+    """Operational ingest state: last-ingested day + epoch per meter.
+
+    Stored columnar (one int64 per dictionary slot per column, -1 =
+    never ingested) so a million-meter state table is a few MB, not a
+    JSON blob.  Every ingest/append writes through it; the streaming and
+    caching layers read it to know where each meter's data ends, and the
+    exactly-once streaming sink reads ``epoch`` — the highest window
+    epoch applied per meter — to decide whether a redelivered window is
+    a replay (skip) or a genuine revision (overwrite).
+
+    ``commit`` mirrors the table meta's commit counter; on open, a state
+    file whose commit disagrees with the meta (a crash landed between
+    the meta commit and the state write) is discarded and rebuilt from
+    the meta — the meta is the authoritative commit point.
     """
 
-    def __init__(self, last_day: np.ndarray, dictionary: list[str]) -> None:
+    def __init__(
+        self,
+        last_day: np.ndarray,
+        dictionary: list[str],
+        epoch: np.ndarray | None = None,
+        commit: int = 0,
+    ) -> None:
         if last_day.shape != (len(dictionary),):
             raise StorageError(
                 f"state table shape {last_day.shape} does not match "
                 f"{len(dictionary)} meters"
             )
         self.last_day = last_day
+        self.epoch = (
+            epoch if epoch is not None
+            else np.full(len(dictionary), -1, dtype=np.int64)
+        )
+        if self.epoch.shape != (len(dictionary),):
+            raise StorageError(
+                f"state epoch shape {self.epoch.shape} does not match "
+                f"{len(dictionary)} meters"
+            )
+        self.commit = int(commit)
         self._dictionary = dictionary
         self._index: dict[str, int] | None = None
 
     def last_ingested_day(self, consumer_id: str) -> int:
         """Last day index ingested for a meter (-1 = never)."""
+        return int(self.last_day[self._code(consumer_id)])
+
+    def last_epoch(self, consumer_id: str) -> int:
+        """Highest window epoch applied for a meter (-1 = none)."""
+        return int(self.epoch[self._code(consumer_id)])
+
+    def _code(self, consumer_id: str) -> int:
         if self._index is None:
             self._index = {v: i for i, v in enumerate(self._dictionary)}
         try:
-            code = self._index[consumer_id]
+            return self._index[consumer_id]
         except KeyError:
             raise StorageError(f"unknown household id {consumer_id!r}") from None
-        return int(self.last_day[code])
 
     def as_dict(self) -> dict[str, int]:
         """The full state as {consumer_id: last_day}."""
@@ -260,13 +312,30 @@ class StateTable:
         }
 
     def save(self, path: Path) -> None:
-        np.savez(path, last_day=self.last_day)
+        """Persist atomically (temp + fsync + rename)."""
+        import io
+
+        buf = io.BytesIO()
+        np.savez(
+            buf,
+            last_day=self.last_day,
+            epoch=self.epoch,
+            commit=np.int64(self.commit),
+        )
+        _atomic_write_bytes(path, buf.getvalue())
 
     @classmethod
     def load(cls, path: Path, dictionary: list[str]) -> "StateTable":
+        """Load, tolerating pre-epoch files (epoch -1, commit 0)."""
         with np.load(path) as payload:
             last_day = payload["last_day"].copy()
-        return cls(last_day, dictionary)
+            epoch = (
+                payload["epoch"].copy() if "epoch" in payload.files else None
+            )
+            commit = (
+                int(payload["commit"]) if "commit" in payload.files else 0
+            )
+        return cls(last_day, dictionary, epoch=epoch, commit=commit)
 
 
 def _payload_to_npz(prefix: str, payload: dict, out: dict) -> None:
@@ -371,6 +440,21 @@ class PartitionedTable:
     def n_rows(self) -> int:
         return self.n_households * self.n_hours
 
+    @property
+    def last_epoch(self) -> int:
+        """Highest window epoch committed to this table (-1 = none).
+
+        The exactly-once contract of the streaming sink: an append or
+        overwrite carrying an epoch at or below this value has already
+        been applied and is a crash-replay redelivery.
+        """
+        return int(self._meta.get("last_epoch", -1))
+
+    @property
+    def commit(self) -> int:
+        """Commit counter of the table meta (0 for pre-epoch tables)."""
+        return int(self._meta.get("commit", 0))
+
     def raw_bytes(self) -> int:
         """Uncompressed float64 measurement bytes the table represents."""
         return self.n_rows * 8 * len(self.columns)
@@ -403,12 +487,35 @@ class PartitionedTable:
     # State ----------------------------------------------------------------
 
     def state(self) -> StateTable:
-        """The operational ingest-state table (cached)."""
+        """The operational ingest-state table (cached, self-healing).
+
+        A state file that is missing, torn, or from a different commit
+        than the meta (a crash landed between the meta commit and the
+        state write) is rebuilt from the meta: the meta is the commit
+        point, the state table a derived convenience view.
+        """
         if self._state is None:
-            self._state = StateTable.load(
-                self.directory / _STATE_FILE, self.dictionary
-            )
+            path = self.directory / _STATE_FILE
+            try:
+                state = StateTable.load(path, self.dictionary)
+            except (OSError, KeyError, ValueError, StorageError):
+                state = None
+            if state is None or state.commit != self.commit:
+                state = self._rebuild_state()
+                state.save(path)
+            self._state = state
         return self._state
+
+    def _rebuild_state(self) -> StateTable:
+        """Derive the per-meter state from the (authoritative) meta."""
+        n = self.n_households
+        last_day = np.full(
+            n, self.n_days - 1 if self.n_hours else -1, dtype=np.int64
+        )
+        epoch = np.full(n, self.last_epoch, dtype=np.int64)
+        return StateTable(
+            last_day, self.dictionary, epoch=epoch, commit=self.commit
+        )
 
     # Reading --------------------------------------------------------------
 
@@ -551,6 +658,7 @@ class PartitionedStore:
         name: str = "readings",
         consumers_per_part: int = DEFAULT_CONSUMERS_PER_PART,
         days_per_part: int = DEFAULT_DAYS_PER_PART,
+        epoch: int | None = None,
     ) -> PartitionedTable:
         """Write a dataset as a partitioned table and open it.
 
@@ -559,6 +667,10 @@ class PartitionedStore:
         day of ``dataset``.  Callers running under an ingest policy
         (:mod:`repro.ingest`) pass the already-cleaned dataset here, so
         quarantined meters simply never enter the dictionary or state.
+
+        ``epoch`` (streaming sink) stamps the table's initial window
+        epoch; the meta write is the commit point — a crash before it
+        leaves no visible table, so a replayed ingest simply rewrites.
         """
         if consumers_per_part <= 0 or days_per_part <= 0:
             raise StorageError(
@@ -587,7 +699,12 @@ class PartitionedStore:
 
         last_day = 0 if n_hours == 0 else day_of_hour(n_hours - 1)
         state = StateTable(
-            np.full(n, last_day if n_hours else -1, dtype=np.int64), dictionary
+            np.full(n, last_day if n_hours else -1, dtype=np.int64),
+            dictionary,
+            epoch=np.full(
+                n, epoch if epoch is not None else -1, dtype=np.int64
+            ),
+            commit=0,
         )
         state.save(directory / _STATE_FILE)
 
@@ -604,8 +721,13 @@ class PartitionedStore:
                 f"{ci},{hi}": info.to_json()
                 for (ci, hi), info in partitions.items()
             },
+            "commit": 0,
+            "last_epoch": epoch if epoch is not None else -1,
         }
-        (directory / _META_FILE).write_text(json.dumps(meta))
+        crash_here("sink-append")
+        _atomic_write_bytes(
+            directory / _META_FILE, json.dumps(meta).encode()
+        )
         return self.open(name)
 
     def append_days(
@@ -615,6 +737,7 @@ class PartitionedStore:
         *,
         start_day: int | None = None,
         on_conflict: str = "error",
+        epoch: int | None = None,
     ) -> PartitionedTable:
         """Append whole new days of readings for every meter (append-only).
 
@@ -632,6 +755,15 @@ class PartitionedStore:
         drops the already-ingested days and appends only the genuinely
         new tail (an idempotent re-send).  A ``start_day`` beyond the
         next day would leave a hole and always raises.
+
+        ``epoch`` is the exactly-once key of the streaming sink: when
+        given, an append whose epoch is at or below the table's
+        committed ``last_epoch`` is a crash-replay redelivery and
+        returns without touching the table — *before* the overlap check,
+        so a replayed ``on_conflict="error"`` append cannot spuriously
+        raise.  The meta write is the atomic commit point; the state
+        table is rewritten after it and self-heals if a crash lands in
+        between.
         """
         if on_conflict not in ("error", "skip"):
             raise StorageError(
@@ -649,6 +781,8 @@ class PartitionedStore:
                 f"append batch must be a whole number of days, "
                 f"got {n_new} hours"
             )
+        if epoch is not None and epoch <= table.last_epoch:
+            return table  # already committed: idempotent replay
         next_day = table.n_hours // HOURS_PER_DAY
         if start_day is not None and start_day != next_day:
             if start_day > next_day:
@@ -708,11 +842,131 @@ class PartitionedStore:
             f"{ci},{hi}": info.to_json()
             for (ci, hi), info in all_partitions.items()
         }
+        commit = table.commit + 1
+        meta["commit"] = commit
+        if epoch is not None:
+            meta["last_epoch"] = epoch
 
+        crash_here("sink-append")
+        _atomic_write_bytes(
+            directory / _META_FILE, json.dumps(meta).encode()
+        )
         state = table.state()
         state.last_day[:] = day_of_hour(hour0 + n_new - 1)
+        if epoch is not None:
+            state.epoch[:] = epoch
+        state.commit = commit
         state.save(directory / _STATE_FILE)
-        (directory / _META_FILE).write_text(json.dumps(meta))
+        return self.open(name)
+
+    def overwrite_days(
+        self,
+        name: str,
+        batch: Dataset,
+        *,
+        start_day: int,
+        epoch: int | None = None,
+    ) -> PartitionedTable:
+        """Replace already-ingested whole days for every meter in place.
+
+        The explicit revision path of the streaming sink (an applied-late
+        window re-emission): ``batch`` must cover exactly the table's
+        consumer set and a whole-day range that is *entirely* ingested
+        already — overwrite never extends a table; that is what
+        :meth:`append_days` is for.
+
+        Affected partitions are spliced and rewritten under *versioned*
+        file names (``part_cXXXXX_hYYYYY_rCCCCCC.npz`` where ``C`` is the
+        new commit number); the atomic meta write then flips the table to
+        the new files in one step and the old files are unlinked last.  A
+        crash before the meta commit leaves the table reading the old
+        files (a replay rewrites the same versioned names); ``epoch``
+        redeliveries at or below the committed ``last_epoch`` are
+        skipped, exactly like :meth:`append_days`.
+        """
+        table = self.open(name)
+        if list(batch.consumer_ids) != table.dictionary:
+            raise StorageError(
+                "overwrite batch must cover exactly the table's consumer "
+                "set in dictionary order"
+            )
+        n_new = batch.consumption.shape[1]
+        if n_new == 0 or n_new % HOURS_PER_DAY != 0:
+            raise StorageError(
+                f"overwrite batch must be a whole number of days, "
+                f"got {n_new} hours"
+            )
+        end_day = start_day + n_new // HOURS_PER_DAY
+        if start_day < 0 or end_day * HOURS_PER_DAY > table.n_hours:
+            raise StorageError(
+                f"overwrite range days {start_day}...{end_day - 1} is not "
+                f"fully ingested in table {name!r} "
+                f"(table covers days 0...{table.n_days - 1}); "
+                "use append_days to extend a table"
+            )
+        if epoch is not None and epoch <= table.last_epoch:
+            return table  # already committed: idempotent replay
+        h_lo, h_hi = start_day * HOURS_PER_DAY, end_day * HOURS_PER_DAY
+        commit = table.commit + 1
+        matrices = {
+            "consumption": batch.consumption,
+            "temperature": batch.temperature,
+        }
+
+        updated: dict[tuple[int, int], PartitionInfo] = {}
+        stale: list[str] = []
+        for key in sorted(table.partitions):
+            info = table.partitions[key]
+            if not (info.hour0 < h_hi and h_lo < info.hour0 + info.n_hours):
+                continue
+            tiles = table.read_partition(info)
+            a = max(h_lo, info.hour0)
+            b = min(h_hi, info.hour0 + info.n_hours)
+            for col in table.columns:
+                tiles[col][:, a - info.hour0 : b - info.hour0] = matrices[col][
+                    info.consumer0 : info.consumer0 + info.n_consumers,
+                    a - h_lo : b - h_lo,
+                ]
+            file_name = (
+                f"part_c{info.consumer_block:05d}"
+                f"_h{info.hour_block:05d}_r{commit:06d}.npz"
+            )
+            zones, raw, compressed = _encode_partition_file(
+                table.directory, file_name, tiles
+            )
+            updated[key] = replace(
+                info,
+                file_name=file_name,
+                zones=zones,
+                raw_bytes=raw,
+                compressed_bytes=compressed,
+            )
+            stale.append(info.file_name)
+
+        crash_here("sink-append")
+        meta = dict(table._meta)  # noqa: SLF001 - store owns its tables
+        all_partitions = dict(table.partitions)
+        all_partitions.update(updated)
+        meta["partitions"] = {
+            f"{ci},{hi}": info.to_json()
+            for (ci, hi), info in all_partitions.items()
+        }
+        meta["commit"] = commit
+        if epoch is not None:
+            meta["last_epoch"] = epoch
+        _atomic_write_bytes(
+            table.directory / _META_FILE, json.dumps(meta).encode()
+        )
+        state = table.state()
+        if epoch is not None:
+            state.epoch[:] = epoch
+        state.commit = commit
+        state.save(table.directory / _STATE_FILE)
+        for file_name in stale:
+            try:
+                (table.directory / file_name).unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
         return self.open(name)
 
     # Open / drop ------------------------------------------------------------
@@ -765,20 +1019,14 @@ def _write_partitions(
         for hj, (h0, nh) in enumerate(hour_blocks):
             hi = hour_block0 + hj
             file_name = f"part_c{ci:05d}_h{hi:05d}.npz"
-            arrays: dict[str, np.ndarray] = {}
-            zones: dict[str, tuple[float, float, bool]] = {}
-            raw = 0
             local_h0 = h0 - matrix_hour0
-            for col, matrix in matrices.items():
-                tile = np.ascontiguousarray(
-                    matrix[c0 : c0 + nc, local_h0 : local_h0 + nh]
-                )
-                flat = tile.reshape(-1)
-                zones[col] = _zone_of(flat)
-                raw += flat.nbytes
-                _payload_to_npz(col, FloatColumnCodec.encode(flat), arrays)
-            path = directory / file_name
-            np.savez(path, **arrays)
+            tiles = {
+                col: matrix[c0 : c0 + nc, local_h0 : local_h0 + nh]
+                for col, matrix in matrices.items()
+            }
+            zones, raw, compressed = _encode_partition_file(
+                directory, file_name, tiles
+            )
             partitions[(ci, hi)] = PartitionInfo(
                 consumer_block=ci,
                 hour_block=hi,
@@ -789,6 +1037,26 @@ def _write_partitions(
                 file_name=file_name,
                 zones=zones,
                 raw_bytes=raw,
-                compressed_bytes=path.stat().st_size,
+                compressed_bytes=compressed,
             )
     return partitions
+
+
+def _encode_partition_file(
+    directory: Path, file_name: str, tiles: dict[str, np.ndarray]
+) -> tuple[dict[str, tuple[float, float, bool]], int, int]:
+    """Encode one partition's column tiles into an ``.npz`` file.
+
+    Returns ``(zones, raw_bytes, compressed_bytes)``.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    zones: dict[str, tuple[float, float, bool]] = {}
+    raw = 0
+    for col, tile in tiles.items():
+        flat = np.ascontiguousarray(tile).reshape(-1)
+        zones[col] = _zone_of(flat)
+        raw += flat.nbytes
+        _payload_to_npz(col, FloatColumnCodec.encode(flat), arrays)
+    path = directory / file_name
+    np.savez(path, **arrays)
+    return zones, raw, path.stat().st_size

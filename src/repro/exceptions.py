@@ -90,9 +90,33 @@ class DuplicateReadingError(StreamingError):
     """A reading re-delivered an already-present cell under strict policy."""
 
 
+class WalError(StreamingError):
+    """Base class for write-ahead-log failures (repro.streaming.durability)."""
+
+
+class WalCorruptError(WalError):
+    """A WAL segment holds an invalid record outside the torn tail."""
+
+
+class RecoveryError(StreamingError):
+    """Crash recovery could not restore a consistent plane."""
+
+
+class FleetError(StreamingError):
+    """The sharded fleet supervisor hit an unrecoverable condition."""
+
+
 class ResilienceError(ReproError):
     """Base class for supervised-execution failures (repro.resilience)."""
 
 
 class WorkerCrashError(ResilienceError):
     """A pooled chunk kept crashing or timing out past its retry budget."""
+
+
+class InjectedCrash(ResilienceError):
+    """A deterministic ``REPRO_INJECT_CRASH`` kill point fired in-process.
+
+    Only raised in ``mode=raise`` plans (tests); ``mode=exit`` plans call
+    ``os._exit`` so the process dies the way a real crash would.
+    """

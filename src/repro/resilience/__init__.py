@@ -23,6 +23,17 @@ re-run the same deterministic kernels on the same slices.
 """
 
 from repro.resilience.backoff import AttemptAccount, BackoffSchedule
+from repro.resilience.crashpoints import (
+    CRASH_ENV_VAR,
+    CRASH_EXIT_CODE,
+    CrashPlan,
+    clear_crash_plan,
+    crash_here,
+    inject_crash,
+    set_crash_plan,
+    should_crash,
+    trip,
+)
 from repro.resilience.faults import FAULTS_ENV_VAR, FaultPlan
 from repro.resilience.journal import RunJournal
 from repro.resilience.policy import (
@@ -39,10 +50,19 @@ from repro.resilience.worker import QuarantinedRow
 __all__ = [
     "AttemptAccount",
     "BackoffSchedule",
+    "CRASH_ENV_VAR",
+    "CRASH_EXIT_CODE",
+    "CrashPlan",
     "ExecutionPolicy",
     "ExecutionReport",
     "FAULTS_ENV_VAR",
     "FaultPlan",
+    "clear_crash_plan",
+    "crash_here",
+    "inject_crash",
+    "set_crash_plan",
+    "should_crash",
+    "trip",
     "QuarantineRecord",
     "QuarantinedRow",
     "RunJournal",

@@ -1,0 +1,203 @@
+"""Deterministic kill points for crash-recovery testing.
+
+:mod:`repro.resilience.faults` kills pooled *workers*; this module kills
+the process at named **kill points** inside the durability code paths so
+recovery can be exercised from every dangerous instant.  The streaming
+durability layer (:mod:`repro.streaming.durability`) checks three points:
+
+* ``wal-append`` — after half of a WAL record has been written and
+  fsync'd (a torn record on disk);
+* ``checkpoint`` — after half of a checkpoint temp file has been written
+  (the rename never happens, so the previous checkpoint stays latest);
+* ``sink-append`` — after new partition files are written but before the
+  table meta commit (the store must self-heal on reopen).
+
+A plan is armed either explicitly (:func:`set_crash_plan`, or the
+:func:`inject_crash` context manager in tests) or ambiently through the
+``REPRO_INJECT_CRASH`` environment variable so child processes inherit
+it, e.g.::
+
+    REPRO_INJECT_CRASH=point=wal-append,at=3,mode=exit,flag=/tmp/fired
+
+``at`` selects the N-th hit of the point (1-based, counted per process);
+``mode=exit`` dies with :data:`CRASH_EXIT_CODE` via ``os._exit`` (no
+cleanup, like a real crash), ``mode=raise`` raises
+:class:`~repro.exceptions.InjectedCrash` for in-process tests.  ``flag``
+names a file created when the plan fires; once it exists the plan is
+spent, so a supervisor that restarts the crashed process does not crash
+it again — one chaos event per plan, deterministic across the fleet.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.exceptions import InjectedCrash, ResilienceError
+
+#: Environment variable an ambient crash plan is read from.
+CRASH_ENV_VAR = "REPRO_INJECT_CRASH"
+
+#: Exit status of an injected ``mode=exit`` crash (distinct from the
+#: fault injector's 170 so chaos harnesses can tell them apart).
+CRASH_EXIT_CODE = 171
+
+#: Kill points the durability layer exposes.
+KNOWN_POINTS = ("wal-append", "checkpoint", "sink-append")
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """One deterministic kill point: where, when, and how to die."""
+
+    point: str
+    #: Fire on the N-th hit of the point (1-based, per process).
+    at: int = 1
+    #: ``exit`` = os._exit(CRASH_EXIT_CODE); ``raise`` = InjectedCrash.
+    mode: str = "exit"
+    #: Optional single-fire flag file: once it exists, the plan is spent.
+    flag: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.point not in KNOWN_POINTS:
+            raise ResilienceError(
+                f"unknown kill point {self.point!r}; known: {KNOWN_POINTS}"
+            )
+        if self.at < 1:
+            raise ResilienceError(f"at must be >= 1, got {self.at}")
+        if self.mode not in ("exit", "raise"):
+            raise ResilienceError(
+                f"mode must be 'exit' or 'raise', got {self.mode!r}"
+            )
+
+    @classmethod
+    def from_string(cls, spec: str) -> "CrashPlan":
+        """Parse ``point=wal-append,at=2,mode=exit,flag=/tmp/f``."""
+        fields: dict[str, str] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ResilienceError(
+                    f"bad crash plan field {part!r} in {spec!r} "
+                    "(expected key=value)"
+                )
+            key, value = part.split("=", 1)
+            fields[key.strip()] = value.strip()
+        unknown = set(fields) - {"point", "at", "mode", "flag"}
+        if unknown:
+            raise ResilienceError(
+                f"unknown crash plan keys {sorted(unknown)} in {spec!r}"
+            )
+        if "point" not in fields:
+            raise ResilienceError(f"crash plan {spec!r} names no point")
+        return cls(
+            point=fields["point"],
+            at=int(fields.get("at", "1")),
+            mode=fields.get("mode", "exit"),
+            flag=fields.get("flag"),
+        )
+
+    @classmethod
+    def from_env(cls) -> "CrashPlan | None":
+        """The ambient plan from ``REPRO_INJECT_CRASH``, if armed."""
+        spec = os.environ.get(CRASH_ENV_VAR, "").strip()
+        return cls.from_string(spec) if spec else None
+
+    def to_string(self) -> str:
+        """Inverse of :meth:`from_string` (for child-process env)."""
+        out = f"point={self.point},at={self.at},mode={self.mode}"
+        if self.flag:
+            out += f",flag={self.flag}"
+        return out
+
+    @property
+    def spent(self) -> bool:
+        """True once a flagged plan has fired (flag file exists)."""
+        return self.flag is not None and os.path.exists(self.flag)
+
+
+#: Explicit in-process plan; ``_UNSET`` falls back to the environment.
+_UNSET = object()
+_plan: "CrashPlan | None | object" = _UNSET
+_hits: dict[str, int] = {}
+
+
+def set_crash_plan(plan: CrashPlan | None) -> None:
+    """Arm (or with ``None``, disarm) the in-process crash plan.
+
+    An explicit plan overrides the environment — including ``None``,
+    which disables injection even when ``REPRO_INJECT_CRASH`` is set.
+    Resets the per-point hit counters.
+    """
+    global _plan
+    _plan = plan
+    _hits.clear()
+
+
+def clear_crash_plan() -> None:
+    """Drop any explicit plan, falling back to the environment."""
+    global _plan
+    _plan = _UNSET
+    _hits.clear()
+
+
+def active_plan() -> CrashPlan | None:
+    """The effective plan: explicit if set, else the environment's."""
+    if _plan is not _UNSET:
+        return _plan  # type: ignore[return-value]
+    return CrashPlan.from_env()
+
+
+def should_crash(point: str) -> bool:
+    """Count a hit of ``point``; True when the armed plan says to die.
+
+    Callers that need to leave evidence behind (a torn record, a partial
+    temp file) check this first, write the partial state, then call
+    :func:`trip`.
+    """
+    plan = active_plan()
+    if plan is None or plan.point != point or plan.spent:
+        return False
+    _hits[point] = _hits.get(point, 0) + 1
+    return _hits[point] == plan.at
+
+
+def trip(point: str) -> None:
+    """Fire the armed plan at ``point`` (marks flagged plans spent)."""
+    plan = active_plan()
+    if plan is None:  # pragma: no cover - callers gate on should_crash
+        raise ResilienceError(f"trip({point!r}) with no crash plan armed")
+    if plan.flag is not None:
+        Path(plan.flag).touch()
+    if plan.mode == "raise":
+        raise InjectedCrash(f"injected crash at kill point {point!r}")
+    os._exit(CRASH_EXIT_CODE)  # pragma: no cover - kills the process
+
+
+def crash_here(point: str) -> None:
+    """``if should_crash(point): trip(point)`` for call sites with no
+    partial state to stage."""
+    if should_crash(point):
+        trip(point)
+
+
+@contextmanager
+def inject_crash(
+    point: str, at: int = 1, mode: str = "raise", flag: str | None = None
+) -> Iterator[CrashPlan]:
+    """Arm a plan for the duration of a ``with`` block (tests)."""
+    plan = CrashPlan(point=point, at=at, mode=mode, flag=flag)
+    prev = _plan
+    set_crash_plan(plan)
+    try:
+        yield plan
+    finally:
+        if prev is _UNSET:
+            clear_crash_plan()
+        else:
+            set_crash_plan(prev)  # type: ignore[arg-type]

@@ -8,11 +8,15 @@ Layout of a run directory (``smartbench --run-dir RUN`` creates it,
       journal/
         <figure_id>.json    # one completed figure's full result
 
-Each figure's result is journaled the moment it completes, with an
-atomic write (tmp file + ``os.replace``) so a crash or Ctrl-C can never
-leave a half-written record.  Resuming skips every journaled figure —
-its result is loaded and re-rendered instead of recomputed — and runs
-the rest, so an interrupted run finishes without re-executing work.
+Each figure's result is journaled the moment it completes, with the full
+write-temp + fsync + rename + directory-fsync discipline, so a crash,
+power cut, or Ctrl-C can never leave a half-written record *or* a record
+that the filesystem loses after the rename.  Resuming skips every
+journaled figure — its result is loaded and re-rendered instead of
+recomputed — and runs the rest, so an interrupted run finishes without
+re-executing work.  A torn or corrupt journal entry (pre-hardening
+writes, disk damage) is treated as *not complete*: the figure simply
+re-runs instead of the resume crashing or trusting garbage.
 """
 
 from __future__ import annotations
@@ -26,8 +30,16 @@ from typing import Any
 
 def _atomic_write_json(path: Path, payload: dict) -> None:
     tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True))
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
+    fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 class RunJournal:
@@ -74,8 +86,20 @@ class RunJournal:
         return self.journal_dir / f"{figure_id}.json"
 
     def is_complete(self, figure_id: str) -> bool:
-        """True when this figure's result is already journaled."""
-        return self._entry_path(figure_id).exists()
+        """True when this figure's result is journaled *and* readable.
+
+        A torn or corrupt entry (a crash mid-write predating the fsync
+        discipline, or disk damage) counts as incomplete so the resume
+        re-runs the figure instead of failing on garbage.
+        """
+        path = self._entry_path(figure_id)
+        if not path.exists():
+            return False
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return False
+        return isinstance(payload, dict) and "figure" in payload
 
     def pending(self, figure_ids: list[str]) -> list[str]:
         """The figures of the list that still need to run."""

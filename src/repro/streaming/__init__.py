@@ -15,8 +15,18 @@ pieces:
 * :mod:`~repro.streaming.window` — the :class:`StreamingPlane` tying them
   into tumbling windows with watermarks and the strict|repair|quarantine
   late-data ladder;
-* :mod:`~repro.streaming.sink` — :class:`StoreSink`, appending closed
-  windows to a partitioned v2 store (:mod:`repro.columnar.partstore`);
+* :mod:`~repro.streaming.sink` — :class:`StoreSink`, writing closed
+  windows to a partitioned v2 store (:mod:`repro.columnar.partstore`)
+  exactly once, keyed on the emission epoch (replays skip, revisions
+  overwrite);
+* :mod:`~repro.streaming.durability` — the crash-safety layer:
+  CRC-framed fsync'd :class:`WriteAheadLog` segments,
+  :class:`PlaneCheckpoint` snapshots, and :class:`DurablePlane` tying
+  them to a plane so recovery = latest checkpoint + WAL tail replay;
+* :mod:`~repro.streaming.fleet` — sharded multi-process fleets:
+  :class:`FeedWriter`/:class:`FileTailer` durable feed files and the
+  :class:`FleetSupervisor` restarting crashed shards from their own
+  WAL+checkpoint with backpressure and a dead-letter file;
 * :mod:`~repro.streaming.sketches` — approximate O(1)-memory one-pass
   estimators (Welford, P², merging histogram, EW hourly profile) for
   alerting use cases that don't need the exact window states.
@@ -28,11 +38,25 @@ tolerances for PAR and similarity (see :mod:`repro.streaming.window`).
 incremental-over-recompute speedup.
 """
 
+from repro.streaming.durability import (
+    DurablePlane,
+    PlaneCheckpoint,
+    RecoveryStats,
+    WalRecord,
+    WriteAheadLog,
+)
 from repro.streaming.events import (
     ReadingBatch,
     batch_from_dataset,
     day_ticks,
     shuffle_batch,
+)
+from repro.streaming.fleet import (
+    FeedWriter,
+    FileTailer,
+    FleetConfig,
+    FleetReport,
+    FleetSupervisor,
 )
 from repro.streaming.histogram import StreamingHistogramState
 from repro.streaming.par import StreamingParState
@@ -55,10 +79,18 @@ from repro.streaming.window import (
 __all__ = [
     "ALL_TASKS",
     "CentroidIndex",
+    "DurablePlane",
+    "FeedWriter",
+    "FileTailer",
+    "FleetConfig",
+    "FleetReport",
+    "FleetSupervisor",
     "OnlineHourlyProfile",
     "OnlineStats",
     "P2Quantile",
+    "PlaneCheckpoint",
     "ReadingBatch",
+    "RecoveryStats",
     "StoreSink",
     "StreamConfig",
     "StreamingHistogram",
@@ -67,7 +99,9 @@ __all__ = [
     "StreamingPlane",
     "StreamingSimilarityState",
     "StreamingThreeLineState",
+    "WalRecord",
     "WindowResult",
+    "WriteAheadLog",
     "batch_from_dataset",
     "day_ticks",
     "shuffle_batch",

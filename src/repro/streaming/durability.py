@@ -1,0 +1,872 @@
+"""Durable streaming: write-ahead log, checkpoints, crash recovery.
+
+PR 8's :class:`~repro.streaming.window.StreamingPlane` holds every open
+window, RLS accumulator, and Gram matrix only in process memory; this
+module makes a plane survive crashes without re-reading the source:
+
+* **WAL** — :class:`WriteAheadLog`: every applied
+  :class:`~repro.streaming.events.ReadingBatch` (and a note per batch of
+  late/quarantine decisions and window emissions) becomes one
+  CRC32-framed record in an append-only segment file, fsync'd before the
+  plane's effects become externally visible and rotated atomically at a
+  size bound.  A torn record at the physical tail of the *last* segment
+  is tolerated (that is exactly what a crash mid-append leaves behind);
+  anywhere else it is corruption and raises
+  :class:`~repro.exceptions.WalCorruptError`.
+* **Checkpoints** — :class:`PlaneCheckpoint`: a periodic pickle snapshot
+  of the whole plane (all four incremental task states, watermark,
+  retention buffers, quality report, epoch counter) plus the WAL
+  position and source sequence number, written with the
+  write-temp + fsync + rename discipline.  The newest ``keep``
+  checkpoints are retained; WAL segments wholly covered by the *oldest
+  retained* checkpoint are deleted (truncation past the sink frontier —
+  every checkpoint happens after the sink committed its epochs).
+* **Recovery** — :meth:`DurablePlane.recover`: load the newest valid
+  checkpoint, replay the WAL tail through the plane, and route replayed
+  emissions back through the (epoch-guarded, hence exactly-once) sink.
+  Because the plane is deterministic, the recovered in-memory state is
+  *bit-identical* to the uncrashed run for histogram/3-line and within
+  the documented tolerances for PAR/similarity — the chaos harness
+  (``benchmarks/bench_durability.py``) asserts this for every
+  ``REPRO_INJECT_CRASH`` kill point.
+
+Durability contract per :meth:`DurablePlane.ingest` call::
+
+    validate -> WAL append (batch + notes) -> fsync -> apply to plane
+             -> sink writes (epoch-keyed)  -> checkpoint on window close
+
+The WAL append happens *before* the batch mutates the plane (hence
+"write-ahead"): a checkpoint can only ever snapshot effects whose cause
+is already on disk, so checkpoint + tail replay never misses a batch.
+Validation runs before the append so a poison batch (for example a
+consumer index outside the cohort) raises *without* entering the log —
+replay must never be wedged by a batch that could not be applied.
+Batches are only acknowledged (``last_seq`` advances) after the fsync,
+so a crash mid-append loses at most the torn batch, which the source
+re-sends; re-sends of already-logged sequence numbers are skipped.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import pickle
+import struct
+import time
+import zlib
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro.exceptions import (
+    DataError,
+    RecoveryError,
+    StreamingError,
+    WalCorruptError,
+    WalError,
+)
+from repro.resilience.crashpoints import (
+    active_plan,
+    set_crash_plan,
+    should_crash,
+    trip,
+)
+from repro.streaming.events import ReadingBatch
+from repro.streaming.window import StreamConfig, StreamingPlane, WindowResult
+
+# --------------------------------------------------------------------------
+# Record framing (shared by WAL segments, feed files, dead-letter files)
+# --------------------------------------------------------------------------
+
+#: Every record starts with this magic (torn/garbage detection).
+RECORD_MAGIC = b"WALR"
+
+#: Header: magic, lsn, seq, kind, payload length — followed by a CRC32
+#: over the header-sans-CRC plus payload, then the payload bytes.
+_HEADER = struct.Struct("<4sQqBI")
+_CRC = struct.Struct("<I")
+HEADER_BYTES = _HEADER.size + _CRC.size
+
+KIND_BATCH = 0
+KIND_NOTE = 1
+KIND_EOS = 2
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record."""
+
+    lsn: int
+    #: Source sequence number of a batch record (-1 when untracked).
+    seq: int
+    kind: int
+    payload: bytes
+
+    @property
+    def batch(self) -> ReadingBatch:
+        if self.kind != KIND_BATCH:
+            raise WalError(f"record {self.lsn} is not a batch record")
+        return decode_batch(self.payload)
+
+    @property
+    def note(self) -> dict:
+        if self.kind != KIND_NOTE:
+            raise WalError(f"record {self.lsn} is not a note record")
+        import json
+
+        return json.loads(self.payload.decode("utf-8"))
+
+
+def encode_batch(batch: ReadingBatch) -> bytes:
+    """Serialize a batch's four columns (canonical dtypes) to bytes."""
+    consumer = np.ascontiguousarray(batch.consumer, dtype=np.int64)
+    hour = np.ascontiguousarray(batch.hour, dtype=np.int64)
+    consumption = np.ascontiguousarray(batch.consumption, dtype=np.float64)
+    temperature = np.ascontiguousarray(batch.temperature, dtype=np.float64)
+    n = struct.pack("<Q", len(batch))
+    return b"".join(
+        (n, consumer.tobytes(), hour.tobytes(),
+         consumption.tobytes(), temperature.tobytes())
+    )
+
+
+def decode_batch(payload: bytes) -> ReadingBatch:
+    """Inverse of :func:`encode_batch`."""
+    (n,) = struct.unpack_from("<Q", payload, 0)
+    expected = 8 + n * 8 * 4
+    if len(payload) != expected:
+        raise WalCorruptError(
+            f"batch payload is {len(payload)} bytes, expected {expected}"
+        )
+    off = 8
+    cols = []
+    for dtype in (np.int64, np.int64, np.float64, np.float64):
+        cols.append(np.frombuffer(payload, dtype=dtype, count=n, offset=off).copy())
+        off += n * 8
+    return ReadingBatch(*cols)
+
+
+def encode_record(lsn: int, seq: int, kind: int, payload: bytes) -> bytes:
+    """Frame one record: header + CRC32(header-sans-CRC + payload)."""
+    header = _HEADER.pack(RECORD_MAGIC, lsn, seq, kind, len(payload))
+    crc = zlib.crc32(payload, zlib.crc32(header))
+    return header + _CRC.pack(crc) + payload
+
+
+def iter_records(data: bytes) -> Iterator[tuple[WalRecord, int]]:
+    """Yield ``(record, end_offset)`` until the data ends or turns invalid.
+
+    Stops (without raising) at the first byte range that does not parse
+    as a valid record; the caller decides whether that position is a
+    tolerable torn tail or corruption.
+    """
+    offset = 0
+    total = len(data)
+    while offset + HEADER_BYTES <= total:
+        magic, lsn, seq, kind, length = _HEADER.unpack_from(data, offset)
+        if magic != RECORD_MAGIC:
+            return
+        end = offset + HEADER_BYTES + length
+        if end > total:
+            return
+        (crc,) = _CRC.unpack_from(data, offset + _HEADER.size)
+        payload = data[offset + HEADER_BYTES : end]
+        expect = zlib.crc32(payload, zlib.crc32(data[offset : offset + _HEADER.size]))
+        if crc != expect:
+            return
+        yield WalRecord(lsn=lsn, seq=seq, kind=kind, payload=payload), end
+        offset = end
+
+
+# --------------------------------------------------------------------------
+# Write-ahead log
+# --------------------------------------------------------------------------
+
+def _fsync_dir(directory: Path) -> None:
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _segment_name(first_lsn: int) -> str:
+    return f"wal-{first_lsn:016d}.seg"
+
+
+class WriteAheadLog:
+    """Segmented, CRC-framed, fsync'd append-only log of batches.
+
+    One instance owns a directory of ``wal-<first_lsn>.seg`` files.  The
+    active (last) segment is held open for buffered appends;
+    :meth:`sync` flushes and fsyncs it — the durability point a caller
+    acknowledges batches at — and rotates to a fresh segment once the
+    active one exceeds ``segment_max_bytes`` (rotation is atomic: the
+    old segment is fsync'd and closed before the new file is created and
+    the directory entry fsync'd).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        segment_max_bytes: int = 8 << 20,
+        sync: bool = True,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_max_bytes = int(segment_max_bytes)
+        self.sync_enabled = bool(sync)
+        self._file: Any = None
+        self._active: Path | None = None
+        self._active_size = 0
+        self.next_lsn = 0
+        self._open_for_append()
+
+    # -- segment bookkeeping ------------------------------------------------
+
+    def segments(self) -> list[Path]:
+        """Segment files in LSN order."""
+        return sorted(self.directory.glob("wal-*.seg"))
+
+    def _open_for_append(self) -> None:
+        """Position the log at the clean tail of the last segment.
+
+        A torn record at the tail (crash mid-append) is discarded by
+        truncating the file at the last valid record boundary — the
+        batch it held was never acknowledged, so dropping it is correct.
+        """
+        segments = self.segments()
+        if not segments:
+            self._start_segment(first_lsn=0)
+            return
+        last = segments[-1]
+        data = last.read_bytes()
+        tail = 0
+        last_lsn = self._first_lsn(last) - 1
+        for record, end in iter_records(data):
+            last_lsn = record.lsn
+            tail = end
+        if tail < len(data):
+            with open(last, "r+b") as handle:
+                handle.truncate(tail)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self.next_lsn = last_lsn + 1
+        self._active = last
+        self._file = open(last, "ab")
+        self._active_size = tail
+
+    @staticmethod
+    def _first_lsn(path: Path) -> int:
+        try:
+            return int(path.stem.split("-", 1)[1])
+        except (IndexError, ValueError):
+            raise WalError(f"bad segment name {path.name!r}") from None
+
+    def _start_segment(self, first_lsn: int) -> None:
+        path = self.directory / _segment_name(first_lsn)
+        self._file = open(path, "ab")
+        self._active = path
+        self._active_size = path.stat().st_size
+        _fsync_dir(self.directory)
+
+    # -- appending ----------------------------------------------------------
+
+    def append_batch(self, batch: ReadingBatch, seq: int = -1) -> int:
+        """Append one batch record (buffered; durable after :meth:`sync`)."""
+        return self._append(seq, KIND_BATCH, encode_batch(batch))
+
+    def append_note(self, note: dict) -> int:
+        """Append one JSON note record (decisions, emissions, markers)."""
+        import json
+
+        payload = json.dumps(note, sort_keys=True).encode("utf-8")
+        return self._append(-1, KIND_NOTE, payload)
+
+    def _append(self, seq: int, kind: int, payload: bytes) -> int:
+        if self._file is None:
+            raise WalError("write-ahead log is closed")
+        lsn = self.next_lsn
+        record = encode_record(lsn, seq, kind, payload)
+        if should_crash("wal-append"):
+            # Stage the evidence a real crash leaves: half a record,
+            # flushed to disk, then die.  Recovery must treat it as a
+            # torn tail and drop it.
+            self._file.write(record[: max(HEADER_BYTES, len(record) // 2)])
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            trip("wal-append")
+        self._file.write(record)
+        self._active_size += len(record)
+        self.next_lsn = lsn + 1
+        return lsn
+
+    def sync(self) -> None:
+        """Flush + fsync the active segment; rotate if over the bound.
+
+        This is the durability point: records appended before a
+        ``sync()`` survive any crash after it.
+        """
+        if self._file is None:
+            raise WalError("write-ahead log is closed")
+        self._file.flush()
+        if self.sync_enabled:
+            os.fsync(self._file.fileno())
+        if self._active_size >= self.segment_max_bytes:
+            self._file.close()
+            self._start_segment(first_lsn=self.next_lsn)
+
+    # -- reading ------------------------------------------------------------
+
+    def replay(self, after_lsn: int = -1) -> Iterator[WalRecord]:
+        """Records with ``lsn > after_lsn``, oldest first.
+
+        An invalid byte range is tolerated only at the physical tail of
+        the *last* segment (a torn append); anywhere else the log is
+        corrupt and :class:`WalCorruptError` names the position.
+        """
+        segments = self.segments()
+        for i, segment in enumerate(segments):
+            data = segment.read_bytes()
+            tail = 0
+            for record, end in iter_records(data):
+                tail = end
+                if record.lsn > after_lsn:
+                    yield record
+            if tail < len(data) and i != len(segments) - 1:
+                raise WalCorruptError(
+                    f"invalid record at byte {tail} of non-final segment "
+                    f"{segment.name}"
+                )
+
+    def last_lsn(self) -> int:
+        """LSN of the last appended record (-1 for an empty log)."""
+        return self.next_lsn - 1
+
+    # -- truncation ---------------------------------------------------------
+
+    def truncate_through(self, lsn: int) -> int:
+        """Delete whole segments whose records are all ``<= lsn``.
+
+        Only non-active segments are removed (the active one is cheap to
+        keep and simplifies the append path).  Returns how many segment
+        files were deleted.
+        """
+        deleted = 0
+        segments = self.segments()
+        for i, segment in enumerate(segments):
+            if segment == self._active:
+                continue
+            # A segment's records are all <= lsn iff the next segment
+            # starts at or below lsn + 1.
+            next_first = (
+                self._first_lsn(segments[i + 1])
+                if i + 1 < len(segments) else self.next_lsn
+            )
+            if next_first - 1 <= lsn:
+                segment.unlink()
+                deleted += 1
+        if deleted:
+            _fsync_dir(self.directory)
+        return deleted
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            if self.sync_enabled:
+                os.fsync(self._file.fileno())
+            self._file.close()
+            self._file = None
+
+
+# --------------------------------------------------------------------------
+# Checkpoints
+# --------------------------------------------------------------------------
+
+#: Checkpoint framing: magic + CRC32 + length, then the pickle.
+_CKPT_MAGIC = b"CKPT"
+_CKPT_HEADER = struct.Struct("<4sII")
+
+
+class PlaneCheckpoint:
+    """Atomic, CRC-validated snapshots of a plane's full state.
+
+    Files are ``ckpt-<counter>-<wal_lsn>.ckpt``; the counter orders
+    them, the embedded WAL LSN tells the log how far a checkpoint
+    reaches (for truncation) without opening the file.  Writes go
+    through write-temp + fsync + rename + directory-fsync, so a crash
+    mid-write leaves the previous checkpoint untouched as the newest
+    valid one.
+    """
+
+    def __init__(self, directory: str | Path, *, keep: int = 2) -> None:
+        if keep < 1:
+            raise StreamingError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = int(keep)
+
+    def _paths(self) -> list[Path]:
+        return sorted(self.directory.glob("ckpt-*.ckpt"))
+
+    @staticmethod
+    def _parse_name(path: Path) -> tuple[int, int]:
+        try:
+            _, counter, lsn = path.stem.split("-")
+            return int(counter), int(lsn)
+        except ValueError:
+            raise StreamingError(f"bad checkpoint name {path.name!r}") from None
+
+    def save(self, payload: dict, wal_lsn: int) -> Path:
+        """Write one snapshot; returns its path.
+
+        Prunes to the newest ``keep`` checkpoints after the rename.
+        """
+        existing = self._paths()
+        counter = (
+            self._parse_name(existing[-1])[0] + 1 if existing else 0
+        )
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        framed = (
+            _CKPT_HEADER.pack(_CKPT_MAGIC, zlib.crc32(blob), len(blob)) + blob
+        )
+        path = self.directory / f"ckpt-{counter:08d}-{max(wal_lsn, 0):016d}.ckpt"
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            if should_crash("checkpoint"):
+                # A real crash mid-checkpoint: half the temp file is on
+                # disk, the rename never happens.  Recovery must fall
+                # back to the previous checkpoint.
+                handle.write(framed[: len(framed) // 2])
+                handle.flush()
+                os.fsync(handle.fileno())
+                trip("checkpoint")
+            handle.write(framed)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        _fsync_dir(self.directory)
+        for old in self._paths()[: -self.keep]:
+            # missing_ok: an orphaned forked writer from a crashed
+            # process may prune concurrently with the recovered one.
+            old.unlink(missing_ok=True)
+        return path
+
+    def load_latest(self) -> tuple[dict, int] | None:
+        """Newest checkpoint that validates, as ``(payload, wal_lsn)``.
+
+        Silently skips invalid files (torn temp leftovers cannot occur —
+        they never get renamed — but disk corruption is tolerated by
+        falling back to the previous snapshot).
+        """
+        for path in reversed(self._paths()):
+            try:
+                data = path.read_bytes()
+                magic, crc, length = _CKPT_HEADER.unpack_from(data, 0)
+                blob = data[_CKPT_HEADER.size : _CKPT_HEADER.size + length]
+                if (
+                    magic != _CKPT_MAGIC
+                    or len(blob) != length
+                    or zlib.crc32(blob) != crc
+                ):
+                    continue
+                payload = pickle.loads(blob)
+            except (OSError, struct.error, pickle.PickleError):
+                continue
+            return payload, self._parse_name(path)[1]
+        return None
+
+    def oldest_retained_lsn(self) -> int:
+        """WAL LSN of the oldest kept checkpoint (-1 when none exist).
+
+        The log may truncate segments wholly below this: every retained
+        checkpoint can still replay its tail.
+        """
+        paths = self._paths()
+        if not paths:
+            return -1
+        return self._parse_name(paths[0])[1]
+
+
+# --------------------------------------------------------------------------
+# Durable plane
+# --------------------------------------------------------------------------
+
+def _snapshot_plane(plane: StreamingPlane) -> StreamingPlane:
+    """A checkpoint-sized shallow clone of ``plane``.
+
+    Two things are deliberately left out of snapshots because they are
+    pure observability and would otherwise dominate checkpoint cost
+    (and grow without bound over the stream's lifetime):
+
+    - ``emitted`` — the full finalized-result history.  Recovery rebuilds
+      the post-checkpoint suffix from WAL replay; everything older is
+      already committed in the sink.
+    - each retained window's cached ``result`` — its n² similarity pairs
+      and per-meter dicts pickle slower than all the numeric task state
+      combined.  A stub keeps the metadata a late revision actually
+      needs (most importantly the revision counter); the payload is
+      re-derivable from the window's retained buffers.
+    """
+    clone = copy.copy(plane)
+    clone.emitted = []
+    windows = {}
+    for index, state in plane.windows.items():
+        if state.result is not None:
+            state = copy.copy(state)
+            state.result = replace(state.result, results={}, dataset=None)
+        windows[index] = state
+    clone.windows = windows
+    return clone
+
+
+@dataclass
+class RecoveryStats:
+    """What a :meth:`DurablePlane.recover` call did."""
+
+    had_checkpoint: bool = False
+    checkpoint_lsn: int = -1
+    replayed_batches: int = 0
+    replayed_emissions: int = 0
+    recovery_s: float = 0.0
+
+
+class DurablePlane:
+    """A :class:`StreamingPlane` wrapped in WAL + checkpoint durability.
+
+    Layout of ``run_dir``::
+
+        run_dir/
+          wal/wal-<first_lsn>.seg      # CRC-framed batch + note records
+          checkpoints/ckpt-*.ckpt      # atomic full-plane snapshots
+
+    Construction refuses a directory that already holds state (use
+    :meth:`recover`, or :meth:`open` to dispatch automatically).  The
+    ``strict`` late ladder is refused outright: a strict plane raises on
+    bad data *after* the batch is logged, which would wedge replay —
+    durable planes run ``repair`` or ``quarantine``.
+    """
+
+    def __init__(
+        self,
+        consumer_ids: list[str],
+        config: StreamConfig | None = None,
+        *,
+        run_dir: str | Path,
+        sink: Any = None,
+        checkpoint_every: int = 0,
+        segment_max_bytes: int = 8 << 20,
+        keep_checkpoints: int = 2,
+        sync: bool = True,
+        fork_checkpoints: bool = True,
+        _plane: StreamingPlane | None = None,
+    ) -> None:
+        self.run_dir = Path(run_dir)
+        wal_dir = self.run_dir / "wal"
+        ckpt_dir = self.run_dir / "checkpoints"
+        fresh = _plane is None
+        if fresh and (
+            any(wal_dir.glob("wal-*.seg")) or any(ckpt_dir.glob("ckpt-*.ckpt"))
+        ):
+            raise StreamingError(
+                f"{self.run_dir} already holds a durable plane; use "
+                "DurablePlane.recover (or DurablePlane.open)"
+            )
+        self.plane = _plane or StreamingPlane(consumer_ids, config)
+        if self.plane.ladder.strict:
+            raise StreamingError(
+                "a durable plane cannot run the 'strict' ladder: strict "
+                "raises after the batch is logged, which would wedge WAL "
+                "replay; use 'repair' or 'quarantine'"
+            )
+        if list(consumer_ids) != self.plane.ids:
+            raise RecoveryError(
+                "recovered plane's consumer cohort does not match the "
+                "requested consumer_ids"
+            )
+        self.sink = sink
+        self.checkpoint_every = int(checkpoint_every)
+        self.keep_checkpoints = int(keep_checkpoints)
+        self.wal = WriteAheadLog(
+            wal_dir, segment_max_bytes=segment_max_bytes, sync=sync
+        )
+        self.checkpoints = PlaneCheckpoint(ckpt_dir, keep=keep_checkpoints)
+        #: Highest acknowledged source sequence number (-1 = none).
+        self.last_seq = -1
+        self._since_checkpoint = 0
+        self.fork_checkpoints = bool(fork_checkpoints) and hasattr(os, "fork")
+        self._checkpoint_pid: int | None = None
+        self.recovery = RecoveryStats()
+
+    # -- construction paths -------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        consumer_ids: list[str],
+        config: StreamConfig | None = None,
+        *,
+        run_dir: str | Path,
+        sink: Any = None,
+        **kwargs: Any,
+    ) -> "DurablePlane":
+        """Restore a plane from its checkpoint + WAL tail.
+
+        Replayed batches flow through the normal ingest path — including
+        the sink, whose epoch guard turns redelivered emissions into
+        no-ops — so after recovery the plane, the store, and ``last_seq``
+        are exactly where the crashed process would have been had it
+        acknowledged only what reached disk.
+        """
+        t0 = time.perf_counter()
+        run_dir = Path(run_dir)
+        stats = RecoveryStats()
+        loaded = PlaneCheckpoint(run_dir / "checkpoints").load_latest()
+        plane: StreamingPlane | None = None
+        last_seq = -1
+        after_lsn = -1
+        if loaded is not None:
+            payload, _ = loaded
+            plane = payload["plane"]
+            last_seq = int(payload["last_seq"])
+            after_lsn = int(payload["wal_lsn"])
+            stats.had_checkpoint = True
+            stats.checkpoint_lsn = after_lsn
+            if plane.ids != list(consumer_ids):
+                raise RecoveryError(
+                    f"checkpoint in {run_dir} covers a different cohort "
+                    f"({len(plane.ids)} meters vs {len(consumer_ids)})"
+                )
+        durable = cls(
+            list(consumer_ids),
+            config,
+            run_dir=run_dir,
+            sink=sink,
+            _plane=plane or StreamingPlane(list(consumer_ids), config),
+            **kwargs,
+        )
+        durable.last_seq = last_seq
+        for record in durable.wal.replay(after_lsn):
+            if record.kind != KIND_BATCH:
+                continue
+            try:
+                emitted = durable.plane.ingest(record.batch)
+            except Exception as exc:
+                raise RecoveryError(
+                    f"WAL replay failed at lsn {record.lsn}: {exc}"
+                ) from exc
+            stats.replayed_batches += 1
+            stats.replayed_emissions += len(emitted)
+            if record.seq >= 0:
+                durable.last_seq = max(durable.last_seq, record.seq)
+            if durable.sink is not None:
+                for result in emitted:
+                    durable.sink.write(result)
+        stats.recovery_s = time.perf_counter() - t0
+        durable.recovery = stats
+        return durable
+
+    @classmethod
+    def open(
+        cls,
+        consumer_ids: list[str],
+        config: StreamConfig | None = None,
+        *,
+        run_dir: str | Path,
+        **kwargs: Any,
+    ) -> "DurablePlane":
+        """Recover if ``run_dir`` holds state, else start fresh."""
+        run_dir = Path(run_dir)
+        existing = (
+            any((run_dir / "wal").glob("wal-*.seg"))
+            or any((run_dir / "checkpoints").glob("ckpt-*.ckpt"))
+        )
+        if existing:
+            return cls.recover(consumer_ids, config, run_dir=run_dir, **kwargs)
+        return cls(consumer_ids, config, run_dir=run_dir, **kwargs)
+
+    # -- ingest -------------------------------------------------------------
+
+    def _validate(self, batch: ReadingBatch) -> None:
+        """The checks the plane would fail on, *before* the WAL append.
+
+        Anything that raises here never enters the log, so replay can
+        never meet a batch that cannot be applied.
+        """
+        if len(batch) == 0:
+            return
+        if batch.consumer.min() < 0 or batch.consumer.max() >= self.plane.n:
+            raise DataError(
+                f"consumer index out of range 0..{self.plane.n - 1}"
+            )
+        if batch.hour.min() < 0:
+            raise DataError("negative event hour")
+
+    def ingest(self, batch: ReadingBatch, seq: int = -1) -> list[WindowResult]:
+        """Durably apply one batch; returns the emissions it caused.
+
+        ``seq`` is the source's monotonically increasing sequence number
+        (-1 = untracked).  Re-sends of acknowledged sequence numbers are
+        dropped — that is what makes at-least-once delivery from the
+        source exactly-once end to end.
+        """
+        if seq >= 0 and seq <= self.last_seq:
+            return []
+        self._validate(batch)
+        if len(batch) == 0:
+            return []
+        self.wal.append_batch(batch, seq)
+        quality_mark = (
+            len(self.plane.report.consumers), self.plane.report.n_clean
+        )
+        emitted = self.plane.ingest(batch)
+        if (
+            len(self.plane.report.consumers), self.plane.report.n_clean
+        ) != quality_mark:
+            # Late/quarantine/repair decisions changed the quality
+            # report: note it so the log is self-describing.
+            self.wal.append_note({
+                "kind": "quality",
+                "seq": seq,
+                "consumers": len(self.plane.report.consumers),
+                "n_clean": self.plane.report.n_clean,
+            })
+        for result in emitted:
+            self.wal.append_note({
+                "kind": "emit",
+                "window": result.index,
+                "revision": result.revision,
+                "epoch": result.epoch,
+                "dropped": len(result.dropped),
+            })
+        self.wal.sync()
+        if seq >= 0:
+            self.last_seq = seq
+        if self.sink is not None:
+            for result in emitted:
+                self.sink.write(result)
+        self._since_checkpoint += 1
+        first_closes = any(r.revision == 0 for r in emitted)
+        if first_closes or (
+            self.checkpoint_every
+            and self._since_checkpoint >= self.checkpoint_every
+        ):
+            self.checkpoint()
+        return emitted
+
+    # -- checkpointing ------------------------------------------------------
+
+    def checkpoint(self) -> Path | None:
+        """Snapshot the plane now and truncate the WAL behind it.
+
+        Called automatically on every first window close (the sink
+        frontier advanced) and every ``checkpoint_every`` ingests; safe
+        to call any time.
+
+        When ``fork_checkpoints`` is on (the default where ``os.fork``
+        exists), the snapshot is written from a forked child against its
+        copy-on-write view of the plane — the ingest path pays only the
+        fork, not the serialize+fsync.  At most one writer is in flight:
+        the previous child is reaped (and the WAL truncated behind its
+        now-durable file) before the next fork.  Returns ``None`` when
+        the write was handed to a child.  Whenever a ``checkpoint``
+        crash plan is armed the write runs synchronously in-process so
+        injected kill points keep their exact per-process hit counts.
+        """
+        self._reap_checkpoint(block=True)
+        lsn = self.wal.last_lsn()
+        payload = {
+            "plane": _snapshot_plane(self.plane),
+            "last_seq": self.last_seq,
+            "wal_lsn": lsn,
+        }
+        self._since_checkpoint = 0
+        plan = active_plan()
+        chaos_armed = (
+            plan is not None and plan.point == "checkpoint" and not plan.spent
+        )
+        if self.fork_checkpoints and not chaos_armed:
+            pid = os.fork()
+            if pid == 0:
+                # Child: write the snapshot against the COW view and
+                # exit without flushing inherited buffers or fds.
+                try:
+                    set_crash_plan(None)
+                    self.checkpoints.save(payload, wal_lsn=lsn)
+                    os._exit(0)
+                except BaseException:
+                    os._exit(1)
+            self._checkpoint_pid = pid
+            return None
+        path = self.checkpoints.save(payload, wal_lsn=lsn)
+        # Truncate past the oldest *retained* checkpoint, not the one
+        # just written: if the newest file is ever unreadable, the
+        # previous one must still find its WAL tail intact.
+        self.wal.truncate_through(self.checkpoints.oldest_retained_lsn())
+        return path
+
+    def _reap_checkpoint(self, block: bool) -> None:
+        """Collect an in-flight checkpoint child, then truncate the WAL.
+
+        Truncation is deferred to the reap on purpose: only once the
+        child's rename has landed does ``oldest_retained_lsn`` reflect
+        the new file, and a failed child (non-zero exit) must leave the
+        log untouched so the previous checkpoint keeps its tail.
+        """
+        if self._checkpoint_pid is None:
+            return
+        pid, status = os.waitpid(
+            self._checkpoint_pid, 0 if block else os.WNOHANG
+        )
+        if pid == 0:
+            return
+        self._checkpoint_pid = None
+        if os.waitstatus_to_exitcode(status) == 0:
+            self.wal.truncate_through(self.checkpoints.oldest_retained_lsn())
+
+    def close(self) -> None:
+        """Checkpoint and release the WAL file handle."""
+        self.checkpoint()
+        self._reap_checkpoint(block=True)
+        self.wal.close()
+
+    # -- conveniences -------------------------------------------------------
+
+    @property
+    def emitted(self) -> list[WindowResult]:
+        return self.plane.emitted
+
+    def ingest_many(
+        self,
+        batches: Iterator[tuple[int, ReadingBatch]] | Iterator[ReadingBatch],
+        on_emit: Callable[[WindowResult], None] | None = None,
+    ) -> int:
+        """Drain an iterable of ``(seq, batch)`` or bare batches."""
+        count = 0
+        for item in batches:
+            seq, batch = (
+                item if isinstance(item, tuple) else (-1, item)
+            )
+            for result in self.ingest(batch, seq=seq):
+                if on_emit is not None:
+                    on_emit(result)
+            count += 1
+        return count
+
+
+def verify_no_duplicate_rows(table: Any, dataset_hours: int) -> None:
+    """Assert a sink table holds exactly one row per (meter, hour).
+
+    The v2 store's grid layout makes silent duplication impossible
+    *within* the format, so the check is on the time axis: the table
+    must cover exactly ``dataset_hours`` hours — a double-append would
+    overshoot.  Raises :class:`StreamingError` on mismatch.
+    """
+    if table.n_hours != dataset_hours:
+        raise StreamingError(
+            f"table {table.name!r} covers {table.n_hours} hours, expected "
+            f"{dataset_hours}: a replayed window was double-appended"
+        )

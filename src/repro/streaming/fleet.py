@@ -1,0 +1,559 @@
+"""Sharded multi-process streaming: file feed, supervisor, dead letters.
+
+The last piece of ROADMAP item 1: feed the streaming plane from a file
+tailer instead of in-process batches, and shard the cohort across worker
+processes for true multi-core fleet runs — *without* giving up the
+durability story.  Three pieces:
+
+* :class:`FeedWriter` / :class:`FileTailer` — a durable feed file using
+  the WAL record framing of :mod:`repro.streaming.durability` (CRC'd,
+  fsync'd, torn-tail tolerant): the writer appends ``(seq, batch)``
+  records plus a final end-of-stream marker, the tailer follows the file
+  as it grows and yields decoded batches.  The feed file *is* the
+  at-least-once source: a restarted fleet re-tails it from the start and
+  workers drop already-acknowledged sequence numbers.
+* :class:`FleetSupervisor` — shards meters contiguously across ``N``
+  worker processes, each running its own
+  :class:`~repro.streaming.durability.DurablePlane` (own WAL + own
+  checkpoints under ``run_dir/shard-XXX``, optionally its own store
+  table).  The parent tails the feed, splits each batch by shard, and
+  dispatches with **backpressure** — at most ``max_inflight`` unacked
+  batches per shard.  Supervision reuses the :mod:`repro.resilience`
+  machinery: a dead worker is restarted with
+  :class:`~repro.resilience.backoff.BackoffSchedule` delays and recovers
+  from its own WAL+checkpoint while the other shards keep draining;
+  per-batch :class:`~repro.resilience.backoff.AttemptAccount` s cap how
+  often one batch may be blamed for a crash.
+* **Dead letters** — a batch that crashes its shard
+  ``max_batch_crashes`` times (default twice) is a poison batch: it is
+  appended to ``run_dir/deadletter.seg`` (same record framing, plus a
+  JSON note naming the shard and error) and dropped from the dispatch
+  plan, so one bad producer cannot wedge the fleet.
+
+Exactly-once end to end: the feed delivers at least once, workers skip
+``seq <= last_seq`` (their WAL acknowledged it), and the store sink
+skips ``epoch <= last_epoch`` (the table committed it).  The chaos
+harness (``benchmarks/bench_durability.py``) kills workers at every
+``REPRO_INJECT_CRASH`` kill point and asserts the fleet's closed-window
+results still converge with zero duplicate rows.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.exceptions import FleetError, WorkerCrashError
+from repro.resilience.backoff import AttemptAccount, BackoffSchedule
+from repro.streaming.durability import (
+    KIND_BATCH,
+    KIND_EOS,
+    KIND_NOTE,
+    DurablePlane,
+    WalRecord,
+    encode_batch,
+    encode_record,
+    iter_records,
+)
+from repro.streaming.events import ReadingBatch
+from repro.streaming.window import StreamConfig
+
+
+# --------------------------------------------------------------------------
+# Feed file: writer + tailer
+# --------------------------------------------------------------------------
+
+class FeedWriter:
+    """Append ``(seq, batch)`` records to a feed file, fsync'd per write."""
+
+    def __init__(self, path: str | Path, *, sync: bool = True) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "ab")
+        self._sync = bool(sync)
+        self.next_seq = 0
+
+    def write_batch(self, batch: ReadingBatch) -> int:
+        """Durably append one batch; returns its sequence number."""
+        seq = self.next_seq
+        record = encode_record(seq, seq, KIND_BATCH, encode_batch(batch))
+        self._file.write(record)
+        self._file.flush()
+        if self._sync:
+            os.fsync(self._file.fileno())
+        self.next_seq = seq + 1
+        return seq
+
+    def close(self, *, end_of_stream: bool = True) -> None:
+        """Optionally append the end-of-stream marker, then close."""
+        if end_of_stream:
+            self._file.write(
+                encode_record(self.next_seq, -1, KIND_EOS, b"")
+            )
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._file.close()
+
+
+class FileTailer:
+    """Follow a feed file as it grows, yielding ``(seq, batch)`` pairs.
+
+    Stops cleanly at the end-of-stream marker.  A partial record at the
+    tail is simply "not written yet" — the tailer waits for the rest.
+    Raises :class:`FleetError` after ``idle_timeout_s`` without a new
+    byte (a dead producer should not hang the fleet forever).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        poll_interval_s: float = 0.02,
+        idle_timeout_s: float = 30.0,
+    ) -> None:
+        self.path = Path(path)
+        self.poll_interval_s = float(poll_interval_s)
+        self.idle_timeout_s = float(idle_timeout_s)
+
+    def __iter__(self):
+        buffer = b""
+        offset = 0
+        last_progress = time.monotonic()
+        with open(self.path, "rb") as handle:
+            while True:
+                # Parse as many complete records as the buffer holds.
+                consumed = 0
+                view = buffer[offset:]
+                done = False
+                for record, end in iter_records(view):
+                    consumed = end
+                    if record.kind == KIND_EOS:
+                        done = True
+                        break
+                    if record.kind == KIND_BATCH:
+                        yield record.seq, record.batch
+                offset += consumed
+                if done:
+                    return
+                chunk = handle.read()
+                if chunk:
+                    buffer = buffer[offset:] + chunk
+                    offset = 0
+                    last_progress = time.monotonic()
+                    continue
+                if time.monotonic() - last_progress > self.idle_timeout_s:
+                    raise FleetError(
+                        f"feed {self.path} idle for more than "
+                        f"{self.idle_timeout_s}s with no end-of-stream marker"
+                    )
+                time.sleep(self.poll_interval_s)
+
+
+# --------------------------------------------------------------------------
+# Worker process
+# --------------------------------------------------------------------------
+
+def _shard_worker(
+    shard: int,
+    ids: list[str],
+    config: StreamConfig | None,
+    run_dir: str,
+    store_root: str | None,
+    table: str,
+    checkpoint_every: int,
+    sync: bool,
+    in_q: Any,
+    out_q: Any,
+) -> None:
+    """One shard's process: recover-or-create a DurablePlane, drain batches.
+
+    Protocol (all via ``out_q``): ``("ready", shard, last_seq)`` once the
+    plane is up; ``("ack", shard, seq)`` after each durable ingest;
+    ``("done", shard, summary)`` after a clean stop; ``("crash", shard,
+    reason)`` best-effort before dying on an error.
+    """
+    try:
+        sink = None
+        if store_root is not None:
+            # Local import keeps the worker importable without the
+            # storage layer when no sink is configured.
+            from repro.columnar.partstore import PartitionedStore
+            from repro.streaming.sink import StoreSink
+
+            sink = StoreSink(
+                PartitionedStore(store_root), table=f"{table}-s{shard:03d}"
+            )
+        plane = DurablePlane.open(
+            ids,
+            config,
+            run_dir=run_dir,
+            sink=sink,
+            checkpoint_every=checkpoint_every,
+            sync=sync,
+        )
+        out_q.put(("ready", shard, plane.last_seq))
+        while True:
+            message = in_q.get()
+            if message[0] == "stop":
+                plane.close()
+                summary = {
+                    "shard": shard,
+                    "last_seq": plane.last_seq,
+                    "readings_ingested": plane.plane.readings_ingested,
+                    "emitted": plane.plane.emitted,
+                    "recovery": plane.recovery,
+                }
+                out_q.put(("done", shard, summary))
+                return
+            _, seq, consumer, hour, consumption, temperature = message
+            batch = ReadingBatch.from_arrays(
+                consumer, hour, consumption, temperature
+            )
+            plane.ingest(batch, seq=seq)
+            out_q.put(("ack", shard, seq))
+    except BaseException as exc:  # noqa: BLE001 - crash reporting path
+        try:
+            out_q.put(("crash", shard, repr(exc)))
+            time.sleep(0.05)  # give the queue feeder a beat to flush
+        finally:
+            os._exit(1)
+
+
+# --------------------------------------------------------------------------
+# Supervisor
+# --------------------------------------------------------------------------
+
+@dataclass
+class FleetConfig:
+    """Supervision knobs of a sharded fleet."""
+
+    #: Worker-process planes the cohort is sharded across.
+    n_shards: int = 2
+    #: Unacknowledged batches allowed in flight per shard (backpressure).
+    max_inflight: int = 4
+    #: Crashes one batch may cause before it is dead-lettered.
+    max_batch_crashes: int = 2
+    #: Restarts one shard may consume before the fleet gives up.
+    max_restarts_per_shard: int = 8
+    #: Delay schedule between a crash and the restart.
+    backoff: BackoffSchedule = field(
+        default_factory=lambda: BackoffSchedule(
+            base_delay_s=0.02, max_delay_s=0.5, jitter=0.0
+        )
+    )
+    #: Seconds to wait for a worker's "ready"/"done" before giving up.
+    worker_timeout_s: float = 60.0
+    #: Checkpoint cadence passed to each shard's DurablePlane.
+    checkpoint_every: int = 0
+    #: fsync discipline of shard WALs (tests may disable for speed).
+    sync: bool = True
+
+
+@dataclass
+class FleetReport:
+    """What a fleet run did, per shard and overall."""
+
+    n_shards: int
+    shard_ids: list[list[str]]
+    batches_dispatched: int = 0
+    batches_acked: int = 0
+    restarts: dict[int, int] = field(default_factory=dict)
+    dead_letters: list[tuple[int, int]] = field(default_factory=list)
+    summaries: dict[int, dict] = field(default_factory=dict)
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(self.restarts.values())
+
+
+class _Shard:
+    """Parent-side handle of one worker process."""
+
+    def __init__(self, index: int, ids: list[str]) -> None:
+        self.index = index
+        self.ids = ids
+        self.process: mp.Process | None = None
+        self.in_q: Any = None
+        self.out_q: Any = None
+        #: seq -> shard-local sub-batch, dispatch order (unacked).
+        self.pending: dict[int, ReadingBatch] = {}
+        self.consecutive_crashes = 0
+        self.done: dict | None = None
+
+
+class FleetSupervisor:
+    """Shard a cohort across supervised worker-process durable planes."""
+
+    def __init__(
+        self,
+        consumer_ids: list[str],
+        config: StreamConfig | None = None,
+        *,
+        run_dir: str | Path,
+        fleet: FleetConfig | None = None,
+        store_root: str | Path | None = None,
+        table: str = "stream",
+    ) -> None:
+        self.ids = list(consumer_ids)
+        self.config = config
+        self.fleet = fleet or FleetConfig()
+        if self.fleet.n_shards < 1:
+            raise FleetError(
+                f"n_shards must be >= 1, got {self.fleet.n_shards}"
+            )
+        if self.fleet.n_shards > len(self.ids):
+            raise FleetError(
+                f"{self.fleet.n_shards} shards for {len(self.ids)} meters; "
+                "shards must not be empty"
+            )
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.store_root = None if store_root is None else str(store_root)
+        self.table = table
+        n = len(self.ids)
+        self.shard_size = -(-n // self.fleet.n_shards)  # ceil div
+        self._shards = [
+            _Shard(i, self.ids[i * self.shard_size : (i + 1) * self.shard_size])
+            for i in range(self.fleet.n_shards)
+        ]
+        self.report = FleetReport(
+            n_shards=self.fleet.n_shards,
+            shard_ids=[s.ids for s in self._shards],
+        )
+        #: (shard, seq) -> crash budget for poison-batch detection.
+        self._blame: dict[tuple[int, int], AttemptAccount] = {}
+        self._skip: set[tuple[int, int]] = set()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _shard_dir(self, index: int) -> Path:
+        return self.run_dir / f"shard-{index:03d}"
+
+    @property
+    def deadletter_path(self) -> Path:
+        return self.run_dir / "deadletter.seg"
+
+    def _spawn(self, shard: _Shard) -> None:
+        shard.in_q = mp.Queue()
+        shard.out_q = mp.Queue()
+        shard.process = mp.Process(
+            target=_shard_worker,
+            args=(
+                shard.index,
+                shard.ids,
+                self.config,
+                str(self._shard_dir(shard.index)),
+                self.store_root,
+                self.table,
+                self.fleet.checkpoint_every,
+                self.fleet.sync,
+                shard.in_q,
+                shard.out_q,
+            ),
+            daemon=True,
+        )
+        shard.process.start()
+        last_seq = self._await(shard, "ready")
+        # Everything the recovered plane already acknowledged counts as
+        # acked; re-send the rest in order.
+        for seq in sorted(shard.pending):
+            if seq <= last_seq:
+                shard.pending.pop(seq)
+                self.report.batches_acked += 1
+            else:
+                self._send(shard, seq, shard.pending[seq])
+
+    def _await(self, shard: _Shard, kind: str) -> Any:
+        deadline = time.monotonic() + self.fleet.worker_timeout_s
+        while True:
+            timeout = deadline - time.monotonic()
+            if timeout <= 0:
+                raise FleetError(
+                    f"shard {shard.index} sent no {kind!r} within "
+                    f"{self.fleet.worker_timeout_s}s"
+                )
+            try:
+                message = shard.out_q.get(timeout=min(timeout, 0.1))
+            except queue.Empty:
+                if shard.process is not None and not shard.process.is_alive():
+                    raise FleetError(
+                        f"shard {shard.index} died before sending {kind!r} "
+                        f"(exit code {shard.process.exitcode})"
+                    ) from None
+                continue
+            if message[0] == kind:
+                return message[2]
+            if message[0] == "ack":
+                shard.pending.pop(message[2], None)
+                shard.consecutive_crashes = 0
+                self.report.batches_acked += 1
+                continue
+            if message[0] == "crash":
+                raise FleetError(
+                    f"shard {shard.index} crashed while waiting for "
+                    f"{kind!r}: {message[2]}"
+                )
+
+    def _send(self, shard: _Shard, seq: int, sub: ReadingBatch) -> None:
+        shard.in_q.put((
+            "batch", seq,
+            sub.consumer, sub.hour, sub.consumption, sub.temperature,
+        ))
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _split(self, batch: ReadingBatch) -> dict[int, ReadingBatch]:
+        """Shard-local sub-batches (consumer indices rebased per shard)."""
+        shard_of = batch.consumer // self.shard_size
+        out: dict[int, ReadingBatch] = {}
+        for s in np.unique(shard_of):
+            sub = batch.take(shard_of == s)
+            out[int(s)] = ReadingBatch(
+                consumer=sub.consumer - int(s) * self.shard_size,
+                hour=sub.hour,
+                consumption=sub.consumption,
+                temperature=sub.temperature,
+            )
+        return out
+
+    def _pump(self, block: bool) -> None:
+        """Harvest acks/crashes; restart dead shards."""
+        progressed = False
+        for shard in self._shards:
+            while True:
+                try:
+                    message = shard.out_q.get_nowait()
+                except (queue.Empty, OSError):
+                    break
+                if message[0] == "ack":
+                    shard.pending.pop(message[2], None)
+                    shard.consecutive_crashes = 0
+                    self.report.batches_acked += 1
+                    progressed = True
+                elif message[0] == "crash":
+                    # The exit path follows; liveness check handles it.
+                    progressed = True
+            if shard.process is not None and not shard.process.is_alive():
+                if shard.done is None:
+                    self._handle_crash(shard)
+                    progressed = True
+        if block and not progressed:
+            time.sleep(0.01)
+
+    def _handle_crash(self, shard: _Shard) -> None:
+        """Blame, maybe dead-letter, back off, restart, re-send."""
+        restarts = self.report.restarts.get(shard.index, 0) + 1
+        self.report.restarts[shard.index] = restarts
+        if restarts > self.fleet.max_restarts_per_shard:
+            raise WorkerCrashError(
+                f"shard {shard.index} crashed more than "
+                f"{self.fleet.max_restarts_per_shard} times; giving up"
+            )
+        shard.consecutive_crashes += 1
+        suspect = min(shard.pending) if shard.pending else None
+        if suspect is not None:
+            key = (shard.index, suspect)
+            account = self._blame.setdefault(
+                key, AttemptAccount(max_attempts=self.fleet.max_batch_crashes)
+            )
+            account.fail()
+            if account.exhausted:
+                self._dead_letter(shard, suspect)
+        delay = self.fleet.backoff.delay_s(
+            attempt=shard.consecutive_crashes, key=f"shard-{shard.index}"
+        )
+        if delay > 0:
+            time.sleep(delay)
+        self._spawn(shard)
+
+    def _dead_letter(self, shard: _Shard, seq: int) -> None:
+        """Record a poison batch and drop it from the dispatch plan."""
+        sub = shard.pending.pop(seq)
+        import json
+
+        note = json.dumps({
+            "kind": "dead-letter",
+            "shard": shard.index,
+            "seq": seq,
+            "crashes": self.fleet.max_batch_crashes,
+        }, sort_keys=True).encode("utf-8")
+        with open(self.deadletter_path, "ab") as handle:
+            handle.write(encode_record(seq, seq, KIND_NOTE, note))
+            handle.write(encode_record(seq, seq, KIND_BATCH, encode_batch(sub)))
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._skip.add((shard.index, seq))
+        self.report.dead_letters.append((shard.index, seq))
+
+    def dead_letters(self) -> list[WalRecord]:
+        """Decode the dead-letter file's records (notes + batches)."""
+        if not self.deadletter_path.exists():
+            return []
+        return [
+            record
+            for record, _ in iter_records(self.deadletter_path.read_bytes())
+        ]
+
+    # -- the run loop -------------------------------------------------------
+
+    def run(self, feed: Any) -> FleetReport:
+        """Drain a feed — a :class:`FileTailer` or any iterable of
+        ``(seq, batch)`` — through the fleet; returns the report.
+
+        Blocks until every batch is acknowledged and every shard has
+        checkpointed and stopped.
+        """
+        for shard in self._shards:
+            self._spawn(shard)
+        try:
+            for seq, batch in feed:
+                for index, sub in self._split(batch).items():
+                    shard = self._shards[index]
+                    if (index, seq) in self._skip:
+                        continue
+                    while len(shard.pending) >= self.fleet.max_inflight:
+                        self._pump(block=True)
+                        if (index, seq) in self._skip:
+                            break
+                    if (index, seq) in self._skip:
+                        continue
+                    shard.pending[seq] = sub
+                    if shard.process is not None and shard.process.is_alive():
+                        self._send(shard, seq, sub)
+                    # A dead process is restarted by _pump; _spawn
+                    # re-sends everything pending.
+                    self.report.batches_dispatched += 1
+            deadline = time.monotonic() + self.fleet.worker_timeout_s
+            while any(s.pending for s in self._shards):
+                acked_before = self.report.batches_acked
+                self._pump(block=True)
+                if self.report.batches_acked != acked_before:
+                    deadline = time.monotonic() + self.fleet.worker_timeout_s
+                if time.monotonic() > deadline:
+                    stuck = {
+                        s.index: sorted(s.pending) for s in self._shards
+                        if s.pending
+                    }
+                    raise FleetError(
+                        f"fleet made no progress for "
+                        f"{self.fleet.worker_timeout_s}s; unacked: {stuck}"
+                    )
+            for shard in self._shards:
+                shard.in_q.put(("stop",))
+                shard.done = self._await(shard, "done")
+                self.report.summaries[shard.index] = shard.done
+        finally:
+            for shard in self._shards:
+                if shard.process is not None and shard.process.is_alive():
+                    shard.process.terminate()
+                if shard.process is not None:
+                    shard.process.join(timeout=5.0)
+        return self.report

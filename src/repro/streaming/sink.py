@@ -1,22 +1,34 @@
-"""Closed windows land in the partitioned v2 store.
+"""Closed windows land in the partitioned v2 store, exactly once.
 
 :class:`StoreSink` is the bridge between the streaming plane and the
 at-rest storage layer: each finalized :class:`~repro.streaming.window.
-WindowResult` becomes whole-day appends on a
-:class:`~repro.columnar.partstore.PartitionedStore` table — the first
-window creates the table (:meth:`~repro.columnar.partstore.
-PartitionedStore.ingest_dataset`), later windows ride
-:meth:`~repro.columnar.partstore.PartitionedStore.append_days` with an
-explicit ``start_day`` so redelivered windows (an applied-late revision
-re-emitting window ``i``) are recognized as overlaps instead of being
-double-appended — exactly the conflict the ``start_day``/``on_conflict``
-contract exists for.
+WindowResult` becomes whole-day writes on a
+:class:`~repro.columnar.partstore.PartitionedStore` table.  Three write
+paths, keyed on the result's monotonic **epoch**:
+
+* **replay** — ``result.epoch <= table.last_epoch``: the write already
+  committed before a crash; skip.  This — not ``on_conflict="skip"`` —
+  is the exactly-once guard: crash-replay can redeliver any emission,
+  and the epoch says precisely whether the store has seen it.
+* **first close** (``revision == 0``) — the first window creates the
+  table (:meth:`~repro.columnar.partstore.PartitionedStore.
+  ingest_dataset`), later windows append with an explicit ``start_day``
+  and ``on_conflict="error"``: after the epoch guard, any remaining
+  overlap is a real bug and must raise, never be silently skipped.
+* **revision** (``revision > 0``) — an applied-late re-emission of an
+  already-written window routes through :meth:`~repro.columnar.
+  partstore.PartitionedStore.overwrite_days`, an explicit atomic
+  replacement of the window's day range.  Earlier versions recognized
+  revisions as overlaps and dropped them via ``on_conflict="skip"`` —
+  which made a *genuinely revised* window indistinguishable from a
+  duplicate and silently discarded the late data.  The epoch
+  disambiguates: a replayed revision is skipped, a new one overwrites.
 
 The sink requires every emitted window to cover the same meter cohort
 the table was created with: windows that *quarantined* meters at close
 cannot be appended (the v2 append contract is all-meters whole days) and
-raise — run the plane under ``repair`` (or ``strict``) when a store sink
-is attached, which the constructor checks up front.
+raise — run the plane under ``repair`` when a store sink is attached,
+which the constructor checks up front.
 """
 
 from __future__ import annotations
@@ -24,10 +36,11 @@ from __future__ import annotations
 from repro.columnar.partstore import PartitionedStore
 from repro.exceptions import StreamingError
 from repro.streaming.window import StreamingPlane, WindowResult
+from repro.timeseries.calendar import HOURS_PER_DAY
 
 
 class StoreSink:
-    """Append each closed window to one v2 partitioned table."""
+    """Write each emitted window to one v2 partitioned table, exactly once."""
 
     def __init__(
         self,
@@ -37,7 +50,8 @@ class StoreSink:
     ) -> None:
         self.store = store
         self.table = table
-        #: Window indices already written (revisions of these are overlaps).
+        #: Window indices already written (observability; the epoch
+        #: guard, not this list, is what makes writes exactly-once).
         self.written: list[int] = []
         if plane is not None and plane.ladder.quarantines:
             raise StreamingError(
@@ -46,42 +60,56 @@ class StoreSink:
             )
 
     def write(self, result: WindowResult) -> None:
-        """Persist one emitted window (idempotent on re-emissions).
-
-        First window ingests (creates the table); subsequent windows
-        append with ``start_day=result.day0`` so the store itself rejects
-        out-of-order or duplicated windows.  A *revision* of an
-        already-written window (applied-late re-emission) is recognized
-        as a full overlap and skipped — the store is append-only, so the
-        revised readings live in the re-emitted result, not the table.
-        """
+        """Persist one emitted window (idempotent on redelivery)."""
         if result.dropped:
             raise StreamingError(
                 f"window {result.index} dropped {len(result.dropped)} "
                 "meters at close; cannot append a partial cohort to "
                 f"table {self.table!r}"
             )
-        if self.table in self.store.list_tables():
+        if self.table not in self.store.list_tables():
+            if result.day0 != 0 or result.revision != 0:
+                raise StreamingError(
+                    f"first window written to table {self.table!r} must "
+                    f"be revision 0 starting at day 0, got day "
+                    f"{result.day0} revision {result.revision} "
+                    f"(window {result.index})"
+                )
+            self.store.ingest_dataset(
+                result.dataset, name=self.table, epoch=result.epoch
+            )
+            self._mark(result.index)
+            return
+        table = self.store.open(self.table)
+        if result.epoch >= 0 and result.epoch <= table.last_epoch:
+            return  # crash-replay redelivery: already committed
+        end_hour = (result.day0 + result.n_days) * HOURS_PER_DAY
+        if result.revision > 0 or end_hour <= table.n_hours:
+            # A revision of days the table already holds: explicit
+            # atomic overwrite, never a silent skip.
+            self.store.overwrite_days(
+                self.table,
+                result.dataset,
+                start_day=result.day0,
+                epoch=result.epoch,
+            )
+        else:
             self.store.append_days(
                 self.table,
                 result.dataset,
                 start_day=result.day0,
-                on_conflict="skip" if result.index in self.written else "error",
+                on_conflict="error",
+                epoch=result.epoch,
             )
-        else:
-            if result.day0 != 0:
-                raise StreamingError(
-                    f"first window written to table {self.table!r} must "
-                    f"start at day 0, got day {result.day0} "
-                    f"(window {result.index})"
-                )
-            self.store.ingest_dataset(result.dataset, name=self.table)
-        if result.index not in self.written:
-            self.written.append(result.index)
+        self._mark(result.index)
+
+    def _mark(self, index: int) -> None:
+        if index not in self.written:
+            self.written.append(index)
 
     def drain(self, results: list[WindowResult]) -> int:
         """Write a batch of emissions (the return of ``plane.ingest``);
-        returns how many were appended."""
+        returns how many were written."""
         for result in results:
             self.write(result)
         return len(results)

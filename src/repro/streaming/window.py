@@ -128,6 +128,12 @@ class WindowResult:
     dropped: list[str] = field(default_factory=list)
     #: 0 for the first emission; bumped by applied-late re-emissions.
     revision: int = 0
+    #: Monotonic emission counter over the plane's lifetime: every
+    #: emission — first close or revision — gets a fresh, strictly
+    #: increasing epoch.  The exactly-once store sink keys on it: a
+    #: redelivered epoch at or below the table's committed ``last_epoch``
+    #: is a crash-replay duplicate, a higher one is new information.
+    epoch: int = -1
 
 
 class _WindowState:
@@ -205,6 +211,9 @@ class StreamingPlane:
         #: the most recent ``retain_closed`` of them.
         self._closed_order: list[int] = []
         self.readings_ingested = 0
+        #: Next emission epoch (monotonic; checkpointed by the
+        #: durability layer so replayed emissions reuse their epochs).
+        self.next_epoch = 0
 
     # Routing ----------------------------------------------------------------
 
@@ -578,7 +587,9 @@ class StreamingPlane:
             dataset=dataset,
             dropped=dropped,
             revision=revision,
+            epoch=self.next_epoch,
         )
+        self.next_epoch += 1
         state.closed = True
         state.result = result
         if revision == 0:

@@ -1,0 +1,775 @@
+"""Crash-recovery tests of the durable streaming layer.
+
+The contract under test (see :mod:`repro.streaming.durability`): a plane
+killed at *any* of the ``REPRO_INJECT_CRASH`` kill points — mid-WAL-
+append, mid-checkpoint, mid-sink-append — recovers from its latest valid
+checkpoint plus WAL tail replay to the state the uncrashed run reaches:
+bit-identical for histogram/3-line, within documented tolerance for
+PAR/similarity, with zero duplicate rows in the v2 store.  Plus the
+building blocks: CRC record framing, torn-tail truncation, segment
+rotation/truncation, checkpoint fallback, the epoch exactly-once guard,
+and the hardened run journal.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.columnar.partstore import PartitionedStore
+from repro.core.benchmark import BenchmarkSpec, Task, run_task_reference
+from repro.core.validation import (
+    assert_identical_task_results,
+    compare_par,
+    compare_similarity,
+)
+from repro.datagen.seed import SeedConfig, make_seed_dataset
+from repro.exceptions import (
+    DataError,
+    InjectedCrash,
+    ResilienceError,
+    StreamingError,
+    WalCorruptError,
+    WalError,
+)
+from repro.resilience import (
+    CrashPlan,
+    RunJournal,
+    clear_crash_plan,
+    inject_crash,
+    set_crash_plan,
+    should_crash,
+)
+from repro.streaming import (
+    DurablePlane,
+    PlaneCheckpoint,
+    ReadingBatch,
+    StoreSink,
+    StreamConfig,
+    StreamingPlane,
+    WriteAheadLog,
+    batch_from_dataset,
+    day_ticks,
+    shuffle_batch,
+)
+from repro.streaming.durability import (
+    KIND_BATCH,
+    KIND_NOTE,
+    decode_batch,
+    encode_batch,
+    encode_record,
+    iter_records,
+    verify_no_duplicate_rows,
+)
+
+#: Two-task fast config (3-line has no window floor; PAR needs >= 8 days).
+FAST_TASKS = (Task.HISTOGRAM, Task.THREELINE)
+
+
+def _data(n=6, windows=3, window_days=7, seed=42):
+    return make_seed_dataset(
+        SeedConfig(n_consumers=n, n_hours=windows * window_days * 24, seed=seed)
+    )
+
+
+def _batch(seed=0, n=16):
+    rng = np.random.default_rng(seed)
+    return ReadingBatch.from_arrays(
+        rng.integers(0, 4, n),
+        rng.integers(0, 24, n),
+        rng.uniform(0.0, 5.0, n),
+        rng.uniform(-5.0, 25.0, n),
+    )
+
+
+# --------------------------------------------------------------------------
+# Record framing
+# --------------------------------------------------------------------------
+
+class TestRecordFraming:
+    def test_batch_codec_round_trip(self):
+        batch = _batch(seed=1)
+        got = decode_batch(encode_batch(batch))
+        np.testing.assert_array_equal(got.consumer, batch.consumer)
+        np.testing.assert_array_equal(got.hour, batch.hour)
+        np.testing.assert_array_equal(got.consumption, batch.consumption)
+        np.testing.assert_array_equal(got.temperature, batch.temperature)
+
+    def test_truncated_batch_payload_raises(self):
+        payload = encode_batch(_batch(seed=2))
+        with pytest.raises(WalCorruptError, match="bytes"):
+            decode_batch(payload[:-8])
+
+    def test_iter_records_stops_at_flipped_byte(self):
+        records = b"".join(
+            encode_record(i, i, KIND_BATCH, encode_batch(_batch(seed=i)))
+            for i in range(3)
+        )
+        parsed = [r.lsn for r, _ in iter_records(records)]
+        assert parsed == [0, 1, 2]
+        # Flip one payload byte of the middle record: CRC kills it and
+        # everything after it (the stream is unframed past the damage).
+        damaged = bytearray(records)
+        mid = len(records) // 2
+        damaged[mid] ^= 0xFF
+        parsed = [r.lsn for r, _ in iter_records(bytes(damaged))]
+        assert parsed == [0]
+
+    def test_record_kinds_gate_accessors(self):
+        note = encode_record(0, -1, KIND_NOTE, b'{"kind": "emit"}')
+        (record, _), = iter_records(note)
+        assert record.note == {"kind": "emit"}
+        with pytest.raises(WalError, match="not a batch"):
+            record.batch
+
+
+# --------------------------------------------------------------------------
+# Write-ahead log
+# --------------------------------------------------------------------------
+
+class TestWriteAheadLog:
+    def test_append_sync_replay_round_trip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        batches = [_batch(seed=i) for i in range(4)]
+        for i, batch in enumerate(batches):
+            wal.append_batch(batch, seq=i)
+        wal.append_note({"kind": "emit", "window": 0})
+        wal.sync()
+        wal.close()
+        wal = WriteAheadLog(tmp_path / "wal")
+        records = list(wal.replay())
+        assert [r.lsn for r in records] == [0, 1, 2, 3, 4]
+        assert [r.seq for r in records[:4]] == [0, 1, 2, 3]
+        assert records[-1].note["kind"] == "emit"
+        for record, batch in zip(records, batches):
+            np.testing.assert_array_equal(record.batch.hour, batch.hour)
+        assert wal.next_lsn == 5
+        wal.close()
+
+    def test_torn_tail_is_truncated_on_reopen(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append_batch(_batch(seed=0), seq=0)
+        wal.append_batch(_batch(seed=1), seq=1)
+        wal.sync()
+        wal.close()
+        # A crash mid-append leaves half a record at the physical tail.
+        (segment,) = sorted((tmp_path / "wal").glob("wal-*.seg"))
+        torn = encode_record(2, 2, KIND_BATCH, encode_batch(_batch(seed=2)))
+        with open(segment, "ab") as handle:
+            handle.write(torn[: len(torn) // 2])
+        before = segment.stat().st_size
+        wal = WriteAheadLog(tmp_path / "wal")
+        assert segment.stat().st_size < before
+        assert wal.next_lsn == 2  # the torn record was never acknowledged
+        assert [r.lsn for r in wal.replay()] == [0, 1]
+        # The log is writable again at the clean tail.
+        wal.append_batch(_batch(seed=3), seq=2)
+        wal.sync()
+        assert [r.seq for r in wal.replay()] == [0, 1, 2]
+        wal.close()
+
+    def test_corruption_in_non_final_segment_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", segment_max_bytes=64)
+        for i in range(4):
+            wal.append_batch(_batch(seed=i), seq=i)
+            wal.sync()  # tiny bound: every sync rotates
+        wal.close()
+        segments = sorted((tmp_path / "wal").glob("wal-*.seg"))
+        assert len(segments) >= 3
+        data = bytearray(segments[0].read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        segments[0].write_bytes(bytes(data))
+        wal = WriteAheadLog(tmp_path / "wal")
+        with pytest.raises(WalCorruptError, match="non-final segment"):
+            list(wal.replay())
+        wal.close()
+
+    def test_rotation_and_truncation(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", segment_max_bytes=64)
+        for i in range(5):
+            wal.append_batch(_batch(seed=i), seq=i)
+            wal.sync()
+        segments = wal.segments()
+        assert len(segments) == 6  # 5 sealed + 1 fresh active
+        # Nothing at or below lsn -1: no-op.
+        assert wal.truncate_through(-1) == 0
+        # Everything below lsn 2: the first two sealed segments go.
+        assert wal.truncate_through(1) == 2
+        assert [r.lsn for r in wal.replay()] == [2, 3, 4]
+        # The active segment is never deleted, however high the lsn.
+        wal.truncate_through(wal.last_lsn())
+        assert wal.segments() != []
+        wal.append_batch(_batch(seed=9), seq=9)
+        wal.sync()
+        assert [r.seq for r in wal.replay()][-1] == 9
+        wal.close()
+
+    def test_closed_log_refuses_appends(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.close()
+        with pytest.raises(WalError, match="closed"):
+            wal.append_batch(_batch(), seq=0)
+        with pytest.raises(WalError, match="closed"):
+            wal.sync()
+
+
+# --------------------------------------------------------------------------
+# Checkpoints
+# --------------------------------------------------------------------------
+
+class TestPlaneCheckpoint:
+    def test_save_load_round_trip(self, tmp_path):
+        ckpt = PlaneCheckpoint(tmp_path / "ckpt")
+        assert ckpt.load_latest() is None
+        assert ckpt.oldest_retained_lsn() == -1
+        payload = {"state": np.arange(5), "last_seq": 3}
+        ckpt.save(payload, wal_lsn=7)
+        loaded, lsn = ckpt.load_latest()
+        assert lsn == 7 and loaded["last_seq"] == 3
+        np.testing.assert_array_equal(loaded["state"], np.arange(5))
+
+    def test_corrupt_newest_falls_back_to_previous(self, tmp_path):
+        ckpt = PlaneCheckpoint(tmp_path / "ckpt")
+        ckpt.save({"gen": 0}, wal_lsn=3)
+        newest = ckpt.save({"gen": 1}, wal_lsn=9)
+        data = bytearray(newest.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        newest.write_bytes(bytes(data))
+        loaded, lsn = ckpt.load_latest()
+        assert loaded == {"gen": 0} and lsn == 3
+
+    def test_keep_prunes_and_oldest_retained_tracks(self, tmp_path):
+        ckpt = PlaneCheckpoint(tmp_path / "ckpt", keep=2)
+        for gen, lsn in enumerate([2, 5, 11]):
+            ckpt.save({"gen": gen}, wal_lsn=lsn)
+        assert len(list((tmp_path / "ckpt").glob("ckpt-*.ckpt"))) == 2
+        assert ckpt.load_latest() == ({"gen": 2}, 11)
+        assert ckpt.oldest_retained_lsn() == 5
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(StreamingError, match="keep"):
+            PlaneCheckpoint(tmp_path / "ckpt", keep=0)
+
+
+# --------------------------------------------------------------------------
+# Crash plans
+# --------------------------------------------------------------------------
+
+class TestCrashPlans:
+    def test_string_round_trip_and_validation(self):
+        plan = CrashPlan.from_string("point=wal-append,at=3,mode=raise")
+        assert (plan.point, plan.at, plan.mode) == ("wal-append", 3, "raise")
+        assert CrashPlan.from_string(plan.to_string()) == plan
+        with pytest.raises(ResilienceError, match="unknown kill point"):
+            CrashPlan.from_string("point=nope")
+        with pytest.raises(ResilienceError, match="at must be"):
+            CrashPlan(point="checkpoint", at=0)
+        with pytest.raises(ResilienceError, match="names no point"):
+            CrashPlan.from_string("at=2")
+
+    def test_should_crash_counts_hits(self):
+        set_crash_plan(CrashPlan(point="checkpoint", at=2, mode="raise"))
+        try:
+            assert not should_crash("wal-append")  # other points don't count
+            assert not should_crash("checkpoint")  # hit 1 of 2
+            assert should_crash("checkpoint")      # hit 2: fire
+            assert not should_crash("checkpoint")  # past the mark
+        finally:
+            clear_crash_plan()
+
+    def test_flagged_plan_fires_once(self, tmp_path):
+        flag = tmp_path / "fired"
+        with inject_crash("checkpoint", flag=str(flag)) as plan:
+            with pytest.raises(InjectedCrash):
+                if should_crash("checkpoint"):
+                    from repro.resilience import trip
+
+                    trip("checkpoint")
+            assert flag.exists() and plan.spent
+            # A restarted process re-arms the same plan; spent = no-op.
+            set_crash_plan(CrashPlan(
+                point="checkpoint", at=1, mode="raise", flag=str(flag)
+            ))
+            assert not should_crash("checkpoint")
+
+
+# --------------------------------------------------------------------------
+# DurablePlane: construction, validation, kill-point convergence
+# --------------------------------------------------------------------------
+
+def _run_durable(data, cfg, run_dir, store_root, *, crash=None):
+    """Drive shuffled day ticks through a durable plane with a sink.
+
+    With ``crash=(point, at)``, arms the plan and returns at the
+    InjectedCrash; otherwise runs to completion and closes.
+    """
+    sink = StoreSink(PartitionedStore(store_root))
+    plane = DurablePlane(
+        data.consumer_ids, cfg, run_dir=run_dir, sink=sink, sync=False
+    )
+    ticks = list(enumerate(day_ticks(data)))
+    if crash is None:
+        for i, batch in ticks:
+            plane.ingest(shuffle_batch(batch, seed=i), seq=i)
+        plane.close()
+        return plane
+    point, at = crash
+    with pytest.raises(InjectedCrash):
+        with inject_crash(point, at=at, mode="raise"):
+            for i, batch in ticks:
+                plane.ingest(shuffle_batch(batch, seed=i), seq=i)
+    # A forked checkpoint writer may be in flight; wait for it so the
+    # on-disk state the recovery sees is deterministic.
+    plane._reap_checkpoint(block=True)
+    plane.wal.close()
+    return plane
+
+
+def _resume_durable(data, cfg, run_dir, store_root):
+    """Recover and drive the remaining day ticks to completion."""
+    sink = StoreSink(PartitionedStore(store_root))
+    plane = DurablePlane.recover(
+        data.consumer_ids, cfg, run_dir=run_dir, sink=sink, sync=False
+    )
+    for i, batch in enumerate(day_ticks(data)):
+        if i > plane.last_seq:
+            plane.ingest(shuffle_batch(batch, seed=i), seq=i)
+    plane.close()
+    return plane
+
+
+def _assert_runs_converge(reference, recovered, data, store_a, store_b):
+    """The full recovery contract: emissions, results, and the store.
+
+    Checkpoints deliberately strip the emission history (it is pure
+    observability and already committed in the sink), so a recovered
+    plane re-emits only the post-snapshot suffix.  That suffix must
+    match the reference run exactly — epochs included — and the sink
+    tables, which cover *every* window, must be bit-identical.
+    """
+    ref_emitted = reference.emitted
+    rec_emitted = recovered.plane.emitted
+    assert rec_emitted, "recovered run re-emitted nothing"
+    ref_tail = ref_emitted[len(ref_emitted) - len(rec_emitted):]
+    assert [
+        (r.index, r.revision, r.epoch) for r in ref_tail
+    ] == [(r.index, r.revision, r.epoch) for r in rec_emitted]
+    for ref, rec in zip(ref_tail, rec_emitted):
+        np.testing.assert_array_equal(
+            ref.dataset.consumption, rec.dataset.consumption
+        )
+        for task, got in rec.results.items():
+            if task in (Task.HISTOGRAM, Task.THREELINE):
+                assert_identical_task_results(task, got, ref.results[task])
+            elif task is Task.PAR:
+                compare_par(got, ref.results[task])
+            else:
+                compare_similarity(got, ref.results[task])
+    table_a = PartitionedStore(store_a).open("stream")
+    table_b = PartitionedStore(store_b).open("stream")
+    assert table_a.n_days == table_b.n_days
+    assert table_a.last_epoch == table_b.last_epoch
+    _, m_a = table_a.read_matrices()
+    _, m_b = table_b.read_matrices()
+    np.testing.assert_array_equal(m_a["consumption"], m_b["consumption"])
+    hours = table_a.n_days * 24
+    verify_no_duplicate_rows(table_b, hours)
+
+
+class TestDurablePlaneLifecycle:
+    def test_fresh_constructor_refuses_existing_state(self, tmp_path):
+        data = _data(windows=1)
+        cfg = StreamConfig(window_days=7, on_late="repair", tasks=FAST_TASKS)
+        plane = DurablePlane(
+            data.consumer_ids, cfg, run_dir=tmp_path / "run", sync=False
+        )
+        plane.ingest(next(day_ticks(data)), seq=0)
+        plane.close()
+        with pytest.raises(StreamingError, match="already holds"):
+            DurablePlane(data.consumer_ids, cfg, run_dir=tmp_path / "run")
+        # open() dispatches to recovery instead.
+        recovered = DurablePlane.open(
+            data.consumer_ids, cfg, run_dir=tmp_path / "run", sync=False
+        )
+        assert recovered.last_seq == 0
+        recovered.wal.close()
+
+    def test_strict_ladder_refused(self, tmp_path):
+        with pytest.raises(StreamingError, match="strict"):
+            DurablePlane(
+                ["a", "b"],
+                StreamConfig(window_days=7, on_late="strict", tasks=FAST_TASKS),
+                run_dir=tmp_path / "run",
+            )
+
+    def test_cohort_mismatch_refused_on_recovery(self, tmp_path):
+        data = _data(windows=1)
+        cfg = StreamConfig(window_days=7, on_late="repair", tasks=FAST_TASKS)
+        plane = DurablePlane(
+            data.consumer_ids, cfg, run_dir=tmp_path / "run", sync=False
+        )
+        plane.ingest(next(day_ticks(data)), seq=0)
+        plane.close()
+        from repro.exceptions import RecoveryError
+
+        with pytest.raises(RecoveryError, match="cohort"):
+            DurablePlane.recover(
+                data.consumer_ids[:-1], cfg, run_dir=tmp_path / "run"
+            )
+
+    def test_resent_sequence_numbers_are_dropped(self, tmp_path):
+        data = _data(windows=1)
+        cfg = StreamConfig(window_days=7, on_late="repair", tasks=FAST_TASKS)
+        plane = DurablePlane(
+            data.consumer_ids, cfg, run_dir=tmp_path / "run", sync=False
+        )
+        batch = next(day_ticks(data))
+        plane.ingest(batch, seq=0)
+        ingested = plane.plane.readings_ingested
+        lsn = plane.wal.last_lsn()
+        # An at-least-once source re-sends: nothing moves.
+        assert plane.ingest(batch, seq=0) == []
+        assert plane.plane.readings_ingested == ingested
+        assert plane.wal.last_lsn() == lsn
+        plane.wal.close()
+
+    def test_poison_batch_never_enters_the_log(self, tmp_path):
+        data = _data(windows=1)
+        cfg = StreamConfig(window_days=7, on_late="repair", tasks=FAST_TASKS)
+        plane = DurablePlane(
+            data.consumer_ids, cfg, run_dir=tmp_path / "run", sync=False
+        )
+        plane.ingest(next(day_ticks(data)), seq=0)
+        lsn = plane.wal.last_lsn()
+        poison = ReadingBatch.from_arrays([99], [0], [1.0], [10.0])
+        with pytest.raises(DataError, match="out of range"):
+            plane.ingest(poison, seq=1)
+        assert plane.wal.last_lsn() == lsn  # validation beat the append
+        assert plane.last_seq == 0
+        plane.close()
+        # Replay meets only applicable batches: recovery cannot wedge.
+        recovered = DurablePlane.open(
+            data.consumer_ids, cfg, run_dir=tmp_path / "run", sync=False
+        )
+        assert recovered.last_seq == 0
+        recovered.wal.close()
+
+
+class TestKillPointConvergence:
+    """The chaos matrix: crash everywhere, recover, converge."""
+
+    @pytest.mark.parametrize("point,at", [
+        ("wal-append", 1),    # first record: empty log, no checkpoint
+        ("wal-append", 8),    # mid window 0: pre-checkpoint tail replay
+        ("wal-append", 17),   # mid window 2: checkpoint + tail replay
+        ("checkpoint", 1),    # first snapshot torn: recover from WAL only
+        ("checkpoint", 2),    # later snapshot torn: previous stays latest
+        ("sink-append", 1),   # mid table create
+        ("sink-append", 2),   # mid append: store must self-heal
+    ])
+    def test_recovery_converges_from_kill_point(self, tmp_path, point, at):
+        cfg = StreamConfig(window_days=7, on_late="repair", tasks=FAST_TASKS)
+        data = _data(windows=3)
+        reference = _run_durable(
+            data, cfg, tmp_path / "ref", tmp_path / "ref_store"
+        )
+        crashed = _run_durable(
+            data, cfg, tmp_path / "run", tmp_path / "store",
+            crash=(point, at),
+        )
+        assert crashed.plane.readings_ingested < data.consumption.size
+        recovered = _resume_durable(
+            data, cfg, tmp_path / "run", tmp_path / "store"
+        )
+        _assert_runs_converge(
+            reference, recovered, data,
+            tmp_path / "ref_store", tmp_path / "store",
+        )
+
+    def test_all_four_tasks_converge_after_crash(self, tmp_path):
+        """The full contract, PAR and similarity included."""
+        cfg = StreamConfig(window_days=10, on_late="repair")
+        data = _data(n=8, windows=3, window_days=10, seed=7)
+        reference = _run_durable(
+            data, cfg, tmp_path / "ref", tmp_path / "ref_store"
+        )
+        _run_durable(
+            data, cfg, tmp_path / "run", tmp_path / "store",
+            crash=("wal-append", 14),
+        )
+        recovered = _resume_durable(
+            data, cfg, tmp_path / "run", tmp_path / "store"
+        )
+        assert recovered.recovery.had_checkpoint
+        assert recovered.recovery.recovery_s > 0
+        _assert_runs_converge(
+            reference, recovered, data,
+            tmp_path / "ref_store", tmp_path / "store",
+        )
+        # Window 1 closed off the watermark *after* the crash; the
+        # recovered plane's emission matches the batch kernels over the
+        # window slice.
+        result = recovered.emitted[-1]
+        assert result.index == 1
+        window = data.consumption[:, 10 * 24 : 2 * 10 * 24]
+        np.testing.assert_array_equal(result.dataset.consumption, window)
+        for task in cfg.tasks:
+            ref = run_task_reference(
+                result.dataset, task, BenchmarkSpec()
+            )
+            got = result.results[task]
+            if task in (Task.HISTOGRAM, Task.THREELINE):
+                assert_identical_task_results(task, got, ref)
+            elif task is Task.PAR:
+                compare_par(got, ref)
+            else:
+                compare_similarity(got, ref)
+
+    def test_late_at_retention_horizon_survives_replay(self, tmp_path):
+        """Satellite: a late arrival hitting the *oldest retained* closed
+        window must replay identically — the revision happens before the
+        window is retired in both the live run and the WAL replay."""
+        cfg = StreamConfig(
+            window_days=7, allowed_lateness_hours=0, on_late="repair",
+            retain_closed=1, tasks=FAST_TASKS,
+        )
+        data = _data(windows=2, seed=11)
+        whole = batch_from_dataset(data, 0, 7 * 24)
+        late = (whole.consumer == 0) & (whole.hour == 5)
+
+        def drive(run_dir, store_root, crash_at=None):
+            sink = StoreSink(PartitionedStore(store_root))
+            plane = DurablePlane.open(
+                data.consumer_ids, cfg, run_dir=run_dir, sink=sink, sync=False
+            )
+            feed = [
+                whole.take(~late),                     # window 0, one hole
+                whole.take(late),                      # late: revision of 0
+                batch_from_dataset(data, 7 * 24),      # window 1; 0 retires
+            ]
+            if crash_at is None:
+                for seq, batch in enumerate(feed):
+                    if seq > plane.last_seq:
+                        plane.ingest(batch, seq=seq)
+                plane.close()
+                return plane
+            with pytest.raises(InjectedCrash):
+                with inject_crash("sink-append", at=crash_at, mode="raise"):
+                    for seq, batch in enumerate(feed):
+                        plane.ingest(batch, seq=seq)
+            plane.wal.close()
+            return plane
+
+        drive(tmp_path / "ref", tmp_path / "ref_store")
+        # Kill mid-revision-overwrite (sink-append hit 2: create, overwrite,
+        # append): the revision's WAL record replays against a checkpoint
+        # in which window 0 is still the retained closed window.
+        drive(tmp_path / "run", tmp_path / "store", crash_at=2)
+        recovered = drive(tmp_path / "run", tmp_path / "store")
+        assert recovered.recovery.replayed_batches >= 1
+        table = PartitionedStore(tmp_path / "store").open("stream")
+        verify_no_duplicate_rows(table, 2 * 7 * 24)
+        _, matrices = table.read_matrices()
+        np.testing.assert_array_equal(
+            matrices["consumption"], data.consumption
+        )
+        ref_table = PartitionedStore(tmp_path / "ref_store").open("stream")
+        assert table.last_epoch == ref_table.last_epoch
+
+    def test_revision_after_recovery_continues_the_counter(self, tmp_path):
+        """Checkpoints carry only a stub of a retained window's result —
+        but the stub keeps the revision counter, so a late arrival that
+        lands *after* recovery still numbers its re-emission correctly
+        and the overwrite routes through the sink's revision path."""
+        cfg = StreamConfig(
+            window_days=7, allowed_lateness_hours=0, on_late="repair",
+            retain_closed=1, tasks=FAST_TASKS,
+        )
+        data = _data(windows=2, seed=13)
+        whole = batch_from_dataset(data, 0, 7 * 24)
+        late = (whole.consumer == 0) & (whole.hour == 5)
+
+        sink = StoreSink(PartitionedStore(tmp_path / "store"))
+        plane = DurablePlane(
+            data.consumer_ids, cfg, run_dir=tmp_path / "run",
+            sink=sink, sync=False,
+        )
+        # Window 0 closes at its own last hour (lateness 0): rev 0,
+        # checkpointed with a result stub.
+        emitted = plane.ingest(whole.take(~late), seq=0)
+        assert [(r.index, r.revision) for r in emitted] == [(0, 0)]
+        plane.ingest(batch_from_dataset(data, 7 * 24, 8 * 24), seq=1)
+        plane._reap_checkpoint(block=True)
+        plane.wal.close()  # simulated crash: no close() checkpoint
+
+        recovered = DurablePlane.recover(
+            data.consumer_ids, cfg, run_dir=tmp_path / "run",
+            sink=StoreSink(PartitionedStore(tmp_path / "store")), sync=False,
+        )
+        assert recovered.recovery.had_checkpoint
+        # The late reading arrives only now, against the recovered stub.
+        results = recovered.ingest(whole.take(late), seq=2)
+        assert [(r.index, r.revision) for r in results] == [(0, 1)]
+        recovered.close()
+        table = PartitionedStore(tmp_path / "store").open("stream")
+        _, matrices = table.read_matrices()
+        np.testing.assert_array_equal(
+            matrices["consumption"][:, : 7 * 24],
+            data.consumption[:, : 7 * 24],
+        )
+
+    def test_verify_no_duplicate_rows_catches_overshoot(self, tmp_path):
+        data = _data(windows=1)
+        store = PartitionedStore(tmp_path / "v2")
+        table = store.ingest_dataset(data, name="t")
+        verify_no_duplicate_rows(table, data.consumption.shape[1])
+        with pytest.raises(StreamingError, match="double-appended"):
+            verify_no_duplicate_rows(table, data.consumption.shape[1] - 24)
+
+
+# --------------------------------------------------------------------------
+# Exactly-once sink + store epoch guard
+# --------------------------------------------------------------------------
+
+class TestExactlyOnceSink:
+    def _closed_windows(self, data, windows=2):
+        plane = StreamingPlane(
+            data.consumer_ids,
+            StreamConfig(
+                window_days=7, allowed_lateness_hours=0, on_late="repair",
+                tasks=FAST_TASKS,
+            ),
+        )
+        emitted = []
+        for batch in day_ticks(data):
+            emitted.extend(plane.ingest(batch))
+        emitted.extend(plane.force_close())
+        return emitted
+
+    def test_redelivered_windows_are_noops(self, tmp_path):
+        data = _data(windows=2, seed=5)
+        first, second = self._closed_windows(data)
+        sink = StoreSink(PartitionedStore(tmp_path / "v2"))
+        sink.write(first)
+        sink.write(first)  # crash-replay redelivery of the table create
+        sink.write(second)
+        sink.write(second)  # and of the append
+        sink.write(first)   # out-of-order stale redelivery
+        table = sink.store.open("stream")
+        assert table.n_days == 2 * 7
+        assert table.last_epoch == second.epoch
+        _, matrices = table.read_matrices()
+        np.testing.assert_array_equal(
+            matrices["consumption"], data.consumption
+        )
+
+    def test_store_epoch_guard_beats_overlap_check(self, tmp_path):
+        """A replayed epoch-stamped append is skipped, not an overlap
+        error — the guard must run before on_conflict."""
+        data = _data(windows=2, seed=5)
+        store = PartitionedStore(tmp_path / "v2")
+        store.ingest_dataset(_window(data, 0), name="t", epoch=0)
+        batch = _window(data, 1)
+        store.append_days("t", batch, start_day=7, on_conflict="error", epoch=1)
+        # Replay of the same append: same day range, same epoch.
+        table = store.append_days(
+            "t", batch, start_day=7, on_conflict="error", epoch=1
+        )
+        assert table.n_days == 14 and table.last_epoch == 1
+        # Without an epoch the same call is a genuine overlap.
+        from repro.exceptions import StorageError
+
+        with pytest.raises(StorageError):
+            store.append_days("t", batch, start_day=7, on_conflict="error")
+
+    def test_overwrite_days_revises_in_place(self, tmp_path):
+        data = _data(windows=2, seed=5)
+        store = PartitionedStore(tmp_path / "v2")
+        store.ingest_dataset(data, name="t", epoch=0)
+        revised = _window(data, 0)
+        revised.consumption[0, 5] += 3.0
+        table = store.overwrite_days("t", revised, start_day=0, epoch=1)
+        assert table.n_days == 2 * 7
+        _, matrices = table.read_matrices()
+        assert matrices["consumption"][0, 5] == data.consumption[0, 5] + 3.0
+        np.testing.assert_array_equal(
+            matrices["consumption"][:, 7 * 24 :],
+            data.consumption[:, 7 * 24 :],
+        )
+        # A replayed overwrite (epoch already committed) is a no-op.
+        revised.consumption[0, 5] += 99.0
+        store.overwrite_days("t", revised, start_day=0, epoch=1)
+        _, matrices = store.open("t").read_matrices()
+        assert matrices["consumption"][0, 5] == data.consumption[0, 5] + 3.0
+
+    def test_overwrite_days_rejects_unseen_range(self, tmp_path):
+        data = _data(windows=2, seed=5)
+        store = PartitionedStore(tmp_path / "v2")
+        store.ingest_dataset(_window(data, 0), name="t")
+        from repro.exceptions import StorageError
+
+        with pytest.raises(StorageError, match="append_days"):
+            store.overwrite_days("t", _window(data, 1), start_day=7)
+
+    def test_state_table_self_heals_from_meta(self, tmp_path):
+        data = _data(windows=1, seed=5)
+        store = PartitionedStore(tmp_path / "v2")
+        table = store.ingest_dataset(data, name="t", epoch=4)
+        state_path = table.directory / "state.npz"
+        # A crash between the meta commit and the state write leaves a
+        # torn or stale state file; reopening rebuilds it from the meta.
+        state_path.write_bytes(b"torn")
+        reopened = store.open("t")
+        state = reopened.state()
+        assert state.last_epoch(data.consumer_ids[0]) == 4
+        assert state.commit == reopened.commit
+        # And the healed file is persisted.
+        assert store.open("t").state().last_epoch(data.consumer_ids[-1]) == 4
+
+
+def _window(data, index, days=7):
+    from repro.timeseries.series import Dataset
+
+    h0, h1 = index * days * 24, (index + 1) * days * 24
+    return Dataset(
+        data.consumer_ids,
+        data.consumption[:, h0:h1].copy(),
+        data.temperature[:, h0:h1].copy(),
+        f"w{index}",
+    )
+
+
+# --------------------------------------------------------------------------
+# Run journal hardening (satellite)
+# --------------------------------------------------------------------------
+
+class TestJournalTornWrites:
+    def test_torn_entry_counts_as_incomplete(self, tmp_path):
+        journal = RunJournal(tmp_path / "run")
+        journal.begin(["fig1", "fig2"])
+        good = journal.journal_dir / "fig1.json"
+        good.write_text(json.dumps({"figure": {"figure_id": "fig1"}}))
+        # A pre-hardening crash mid-write: truncated JSON on disk.
+        torn = journal.journal_dir / "fig2.json"
+        torn.write_text('{"figure": {"figure_id": "fi')
+        assert journal.is_complete("fig1")
+        assert not journal.is_complete("fig2")
+        assert journal.pending(["fig1", "fig2"]) == ["fig2"]
+
+    def test_wrong_shape_entry_counts_as_incomplete(self, tmp_path):
+        journal = RunJournal(tmp_path / "run")
+        journal.begin(["fig1"])
+        entry = journal.journal_dir / "fig1.json"
+        entry.write_text(json.dumps(["not", "a", "figure", "payload"]))
+        assert not journal.is_complete("fig1")
+        entry.write_text(json.dumps({"elapsed_s": 1.0}))  # no "figure"
+        assert not journal.is_complete("fig1")
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        journal = RunJournal(tmp_path / "run")
+        journal.begin(["fig1"])
+        leftovers = list((tmp_path / "run").rglob("*.tmp"))
+        assert leftovers == []
+        assert journal.manifest()["figures"] == ["fig1"]

@@ -1,0 +1,237 @@
+"""Tests of the sharded fleet: feed files, supervision, dead letters.
+
+The fleet contract (see :mod:`repro.streaming.fleet`): N worker-process
+durable planes drain a file-tailed feed with backpressure; a crashed
+shard restarts from its own WAL+checkpoint while the others keep going,
+and the closed windows landing in each shard's store table are identical
+to an uncrashed run — exactly-once end to end.  A batch that crashes its
+shard twice is dead-lettered and the fleet completes without it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.columnar.partstore import PartitionedStore
+from repro.core.benchmark import Task
+from repro.datagen.seed import SeedConfig, make_seed_dataset
+from repro.exceptions import FleetError
+from repro.resilience import CRASH_ENV_VAR, CrashPlan
+from repro.streaming import (
+    FeedWriter,
+    FileTailer,
+    FleetConfig,
+    FleetSupervisor,
+    ReadingBatch,
+    StreamConfig,
+    day_ticks,
+)
+from repro.streaming.durability import KIND_BATCH, KIND_NOTE
+
+W = 7
+FAST = (Task.HISTOGRAM, Task.THREELINE)
+
+
+def _data(n=6, windows=3, seed=42):
+    return make_seed_dataset(
+        SeedConfig(n_consumers=n, n_hours=windows * W * 24, seed=seed)
+    )
+
+
+def _config():
+    return StreamConfig(window_days=W, on_late="repair", tasks=FAST)
+
+
+def _fleet_config(**kwargs):
+    defaults = dict(n_shards=2, sync=False, worker_timeout_s=30.0)
+    defaults.update(kwargs)
+    return FleetConfig(**defaults)
+
+
+def _write_feed(path, data):
+    writer = FeedWriter(path, sync=False)
+    for batch in day_ticks(data):
+        writer.write_batch(batch)
+    writer.close()
+    return writer.next_seq
+
+
+@pytest.fixture
+def crash_env():
+    """Guarantee no ambient crash plan leaks out of a test."""
+    yield
+    os.environ.pop(CRASH_ENV_VAR, None)
+
+
+def _assert_fleet_store_converges(supervisor, data, closed_windows):
+    """Each shard's table equals the data slice of its meters."""
+    store = PartitionedStore(supervisor.store_root)
+    hours = closed_windows * W * 24
+    for index, ids in enumerate(supervisor.report.shard_ids):
+        table = store.open(f"stream-s{index:03d}")
+        assert table.n_hours == hours
+        got_ids, matrices = table.read_matrices()
+        assert got_ids == ids
+        rows = [data.consumer_ids.index(i) for i in ids]
+        np.testing.assert_array_equal(
+            matrices["consumption"], data.consumption[rows, :hours]
+        )
+        np.testing.assert_array_equal(
+            matrices["temperature"], data.temperature[rows, :hours]
+        )
+
+
+class TestFeedFile:
+    def test_writer_tailer_round_trip(self, tmp_path):
+        data = _data(windows=1)
+        n = _write_feed(tmp_path / "feed.seg", data)
+        got = list(FileTailer(tmp_path / "feed.seg", idle_timeout_s=5.0))
+        assert [seq for seq, _ in got] == list(range(n))
+        for (_, batch), expect in zip(got, day_ticks(data)):
+            np.testing.assert_array_equal(batch.consumer, expect.consumer)
+            np.testing.assert_array_equal(batch.hour, expect.hour)
+            np.testing.assert_array_equal(
+                batch.consumption, expect.consumption
+            )
+
+    def test_tailer_waits_for_growth_then_sees_eos(self, tmp_path):
+        """A partial record at the tail is 'not written yet', not an
+        error: finishing the write unblocks the tailer."""
+        data = _data(windows=1)
+        writer = FeedWriter(tmp_path / "feed.seg", sync=False)
+        batches = list(day_ticks(data))
+        writer.write_batch(batches[0])
+        tailer = iter(FileTailer(tmp_path / "feed.seg", idle_timeout_s=5.0))
+        seq, first = next(tailer)
+        assert seq == 0
+        np.testing.assert_array_equal(first.hour, batches[0].hour)
+        writer.write_batch(batches[1])
+        writer.close()
+        rest = list(tailer)
+        assert [seq for seq, _ in rest] == [1]
+
+    def test_tailer_times_out_without_eos(self, tmp_path):
+        data = _data(windows=1)
+        writer = FeedWriter(tmp_path / "feed.seg", sync=False)
+        writer.write_batch(next(day_ticks(data)))
+        writer.close(end_of_stream=False)
+        tailer = FileTailer(
+            tmp_path / "feed.seg", poll_interval_s=0.01, idle_timeout_s=0.05
+        )
+        with pytest.raises(FleetError, match="idle"):
+            list(tailer)
+
+
+class TestSupervisorValidation:
+    def test_shard_count_bounds(self, tmp_path):
+        with pytest.raises(FleetError, match="n_shards"):
+            FleetSupervisor(
+                ["a", "b"], _config(), run_dir=tmp_path,
+                fleet=_fleet_config(n_shards=0),
+            )
+        with pytest.raises(FleetError, match="must not be empty"):
+            FleetSupervisor(
+                ["a", "b"], _config(), run_dir=tmp_path,
+                fleet=_fleet_config(n_shards=3),
+            )
+
+    def test_contiguous_sharding(self, tmp_path):
+        supervisor = FleetSupervisor(
+            [f"m{i}" for i in range(5)], _config(), run_dir=tmp_path,
+            fleet=_fleet_config(n_shards=2),
+        )
+        assert supervisor.report.shard_ids == [
+            ["m0", "m1", "m2"], ["m3", "m4"]
+        ]
+
+
+class TestFleetRuns:
+    def test_clean_run_converges(self, tmp_path):
+        data = _data()
+        _write_feed(tmp_path / "feed.seg", data)
+        supervisor = FleetSupervisor(
+            data.consumer_ids, _config(),
+            run_dir=tmp_path / "fleet",
+            fleet=_fleet_config(),
+            store_root=tmp_path / "store",
+        )
+        report = supervisor.run(
+            FileTailer(tmp_path / "feed.seg", idle_timeout_s=10.0)
+        )
+        assert report.total_restarts == 0
+        assert report.dead_letters == []
+        assert report.batches_acked == report.batches_dispatched
+        assert sorted(report.summaries) == [0, 1]
+        for summary in report.summaries.values():
+            # Windows 0 and 1 closed off the watermark; 2 still open.
+            assert [r.index for r in summary["emitted"]] == [0, 1]
+        _assert_fleet_store_converges(supervisor, data, closed_windows=2)
+
+    def test_crashed_shard_restarts_and_converges(self, tmp_path, crash_env):
+        """A worker killed mid-WAL-append (os._exit, the real thing) is
+        restarted from its WAL+checkpoint; results match the clean run."""
+        data = _data(seed=3)
+        _write_feed(tmp_path / "feed.seg", data)
+        flag = tmp_path / "crash-fired"
+        os.environ[CRASH_ENV_VAR] = CrashPlan(
+            point="wal-append", at=6, mode="exit", flag=str(flag)
+        ).to_string()
+        supervisor = FleetSupervisor(
+            data.consumer_ids, _config(),
+            run_dir=tmp_path / "fleet",
+            fleet=_fleet_config(),
+            store_root=tmp_path / "store",
+        )
+        report = supervisor.run(
+            FileTailer(tmp_path / "feed.seg", idle_timeout_s=10.0)
+        )
+        assert flag.exists()  # the kill point actually fired
+        assert report.total_restarts >= 1
+        assert report.dead_letters == []  # a crash is not the batch's fault
+        restarted = [s for s, n in report.restarts.items() if n][0]
+        assert report.summaries[restarted]["recovery"] is not None
+        for summary in report.summaries.values():
+            assert [r.index for r in summary["emitted"]] == [0, 1]
+        _assert_fleet_store_converges(supervisor, data, closed_windows=2)
+
+    def test_poison_batch_is_dead_lettered(self, tmp_path):
+        """A batch that crashes its shard twice is recorded and dropped;
+        the fleet still completes and the good data all lands."""
+        data = _data(n=5, seed=9)
+        writer = FeedWriter(tmp_path / "feed.seg", sync=False)
+        poison_seq = None
+        for i, batch in enumerate(day_ticks(data)):
+            writer.write_batch(batch)
+            if i == 4:
+                # Global consumer 5 maps into shard 1 (size 3) as local
+                # index 2 — out of range for its 2-meter plane.
+                poison_seq = writer.write_batch(ReadingBatch.from_arrays(
+                    [5], [0], [1.0], [10.0]
+                ))
+        writer.close()
+        supervisor = FleetSupervisor(
+            data.consumer_ids, _config(),
+            run_dir=tmp_path / "fleet",
+            fleet=_fleet_config(max_batch_crashes=2),
+            store_root=tmp_path / "store",
+        )
+        report = supervisor.run(
+            FileTailer(tmp_path / "feed.seg", idle_timeout_s=10.0)
+        )
+        assert report.dead_letters == [(1, poison_seq)]
+        assert report.restarts.get(1, 0) >= 2
+        # The dead-letter file holds the note and the batch itself.
+        records = supervisor.dead_letters()
+        kinds = [r.kind for r in records]
+        assert kinds == [KIND_NOTE, KIND_BATCH]
+        assert records[0].note["shard"] == 1
+        assert records[0].note["seq"] == poison_seq
+        # The batch is stored shard-local (consumer 5 rebased to 2).
+        np.testing.assert_array_equal(records[1].batch.consumer, [2])
+        # Every healthy batch still landed on both shards.
+        for summary in report.summaries.values():
+            assert [r.index for r in summary["emitted"]] == [0, 1]
+        _assert_fleet_store_converges(supervisor, data, closed_windows=2)

@@ -348,7 +348,7 @@ class TestStoreSink:
         np.testing.assert_array_equal(matrices["consumption"], data.consumption)
         np.testing.assert_array_equal(matrices["temperature"], data.temperature)
 
-    def test_revision_rewrite_is_skipped_not_doubled(self, tmp_path):
+    def test_revision_overwrites_without_doubling(self, tmp_path):
         data = _data(windows=2, seed=37)
         plane = StreamingPlane(
             data.consumer_ids,
@@ -362,12 +362,15 @@ class TestStoreSink:
         late = (whole.consumer == 0) & (whole.hour == 5)
         sink.drain(plane.ingest(whole.take(~late)))
         sink.drain(plane.ingest(batch_from_dataset(data, W * 24)))
-        # The applied-late revision re-emits window 0: a full overlap the
-        # sink recognizes and skips.
+        # The applied-late revision re-emits window 0: the sink routes it
+        # through overwrite_days — the late truth lands, nothing doubles.
         sink.drain(plane.ingest(whole.take(late)))
         sink.drain(plane.force_close())
         table = sink.store.open("stream")
         assert table.n_days == 2 * W
+        _ids, matrices = table.read_matrices()
+        np.testing.assert_array_equal(matrices["consumption"], data.consumption)
+        assert matrices["consumption"][0, 5] == data.consumption[0, 5]
 
     def test_sink_refuses_quarantine_plane_and_partial_windows(self, tmp_path):
         data = _data()
