@@ -1,0 +1,430 @@
+"""Scenario/stress/chaos harnesses for the query service (repro.serve).
+
+Three workloads, all driven through the real wire protocol against an
+in-process :class:`~repro.serve.service.QueryService` on a loopback
+socket:
+
+* **scenario** — the low-pressure mix: two tenants issuing the four
+  tasks plus SQL with generous budgets.  Measures per-class latency
+  percentiles and time-to-first-row, and spot-checks every served task
+  answer against the golden reference kernels — bit-identical through
+  the wire, or the gate fails;
+* **stress** — amplified concurrency far beyond worker capacity:
+  several tenants firing bursts wider than their queue depth, with
+  unique SQL fingerprints so the cache cannot absorb the load.  The SLO
+  gates: P99 of completed queries stays bounded, overload is shed
+  *explicitly* (every rejection carries a reason) and **zero silent
+  drops** — every request frame is answered by exactly one final frame,
+  audited on both the client and server ledgers;
+* **chaos** — faults injected mid-flight: a burst of worker failures on
+  a hot query class (tripping its breaker) plus a wave of hopeless
+  deadlines.  Gates: the breaker trips, degraded answers are explicitly
+  ``stale=true``, every deadline victim dies with a deadline reason and
+  burns (at most) a block boundary of worker time, the breaker recovers
+  via probes once the faults stop, and the ledgers still balance.
+
+``benchmarks/regress.py --serve [--quick] [--chaos]`` wraps these with
+the JSON output (``BENCH_serve.json``) and exit-status gates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core.benchmark import BenchmarkSpec, Task, run_task_reference  # noqa: E402
+from repro.datagen.seed import SeedConfig, make_seed_dataset  # noqa: E402
+from repro.serve import QueryService, ServeConfig, ServeClient  # noqa: E402
+from repro.serve.admission import AdmissionConfig  # noqa: E402
+from repro.serve.breaker import BreakerConfig  # noqa: E402
+from repro.serve.executor import serialize_task_results  # noqa: E402
+
+#: Cohort sizes (full / --quick) and the served history length.
+SCENARIO_N = 120
+QUICK_SCENARIO_N = 40
+N_DAYS = 30
+
+#: Stress shape: tenants x requests per tenant, fired in bursts wider
+#: than the per-tenant queue depth (full / --quick).
+STRESS_TENANTS = 4
+STRESS_REQUESTS = 40
+QUICK_STRESS_REQUESTS = 16
+STRESS_BURST = 8
+
+#: SLO ceiling on stress P99 of completed queries (waived in --quick,
+#: where a cold CI box measures noise, not the service).
+STRESS_P99_CEILING_MS = 5_000.0
+
+ALL_TASKS = (Task.HISTOGRAM, Task.THREELINE, Task.PAR, Task.SIMILARITY)
+
+_SQL = (
+    "SELECT household_id, AVG(consumption) AS avg_load "
+    "FROM readings GROUP BY household_id"
+)
+
+
+def _percentiles(values_ms: list[float]) -> dict:
+    if not values_ms:
+        return {"p50_ms": None, "p95_ms": None, "p99_ms": None}
+    ordered = sorted(values_ms)
+
+    def pick(q: float) -> float:
+        index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return round(ordered[index], 3)
+
+    return {"p50_ms": pick(0.50), "p95_ms": pick(0.95), "p99_ms": pick(0.99)}
+
+
+def _dataset(n: int):
+    return make_seed_dataset(
+        SeedConfig(n_consumers=n, n_hours=N_DAYS * 24, seed=1234)
+    )
+
+
+async def _boot(data, config: ServeConfig, workdir: Path) -> QueryService:
+    service = QueryService.from_dataset(data, workdir / "store", config)
+    await service.start()
+    return service
+
+
+def _ledger(service: QueryService, client_finals: int,
+            client_sent: int) -> dict:
+    """The zero-silent-drop audit, from both sides of the wire.
+
+    The server must have answered every request frame it read; the
+    client must have received a final frame for every request it sent.
+    """
+    return {
+        "client_requests_sent": client_sent,
+        "client_finals_received": client_finals,
+        "server_requests_received": service.requests_received,
+        "server_responses_sent": service.responses_sent,
+        "server_responses_by_status": dict(service.responses_by_status),
+        "balanced": (
+            client_finals == client_sent
+            and service.responses_sent == service.requests_received
+        ),
+    }
+
+
+# --------------------------------------------------------------------------
+# Scenario: low-pressure correctness + latency baseline
+# --------------------------------------------------------------------------
+
+def measure_scenario(quick: bool) -> dict:
+    n = QUICK_SCENARIO_N if quick else SCENARIO_N
+    data = _dataset(n)
+    golden = {
+        task.value: json.loads(json.dumps(serialize_task_results(
+            task,
+            run_task_reference(data, task, BenchmarkSpec(kernel="batched")),
+        )))
+        for task in ALL_TASKS
+    }
+
+    async def body():
+        with tempfile.TemporaryDirectory(prefix="bench_serve_") as tmp:
+            service = await _boot(data, ServeConfig(), Path(tmp))
+            client = await ServeClient.connect("127.0.0.1", service.port)
+            latencies: dict = {}
+            ttfr: list = []
+            spot_checks: dict = {}
+            sent = finals = 0
+            try:
+                rounds = 2 if quick else 3
+                for round_index in range(rounds):
+                    for task in ALL_TASKS:
+                        response = await client.request(
+                            "task", {"task": task.value},
+                            tenant="analyst", deadline_ms=120_000,
+                        )
+                        sent += 1
+                        finals += 1
+                        assert response.ok, response.final
+                        label = f"task:{task.value}"
+                        if response.final.get("cached"):
+                            label += ":cached"
+                        latencies.setdefault(label, []).append(
+                            response.total_s * 1e3
+                        )
+                        if round_index == 0:
+                            identical = (
+                                response.result["results"]
+                                == golden[task.value]
+                            )
+                            spot_checks[task.value] = (
+                                "identical" if identical else "MISMATCH"
+                            )
+                    sql = await client.request(
+                        "sql", {"sql": _SQL}, tenant="ops",
+                        deadline_ms=120_000, allow_stale=False,
+                    )
+                    sent += 1
+                    finals += 1
+                    assert sql.ok, sql.final
+                    latencies.setdefault("sql", []).append(sql.total_s * 1e3)
+                    if sql.rows:  # first round streams; repeats hit cache
+                        ttfr.append(sql.ttfr_s * 1e3)
+                        assert len(sql.rows) == n
+                stats_response = await client.request("stats")
+                sent += 1
+                finals += 1
+                return {
+                    "n_consumers": n,
+                    "n_days": N_DAYS,
+                    "rounds": rounds,
+                    "latency": {
+                        label: _percentiles(values)
+                        for label, values in sorted(latencies.items())
+                    },
+                    "sql_ttfr": _percentiles(ttfr),
+                    "golden_spot_checks": spot_checks,
+                    "cache": stats_response.result["cache"],
+                    "ledger": _ledger(service, finals, sent),
+                }
+            finally:
+                await client.close()
+                await service.stop()
+
+    return asyncio.run(body())
+
+
+# --------------------------------------------------------------------------
+# Stress: overload with explicit shedding, bounded P99, zero silent drops
+# --------------------------------------------------------------------------
+
+def _stress_config() -> ServeConfig:
+    return ServeConfig(
+        n_workers=2,
+        admission=AdmissionConfig(
+            rate_per_s=500.0, burst=200.0, queue_depth=6, shed_threshold=16,
+            weights={"tenant-0": 2.0},
+        ),
+    )
+
+
+def _stress_op(i: int) -> tuple:
+    """The per-request mix: cacheable tasks plus *unique* SQL, so the
+    cache absorbs some load but the workers stay saturated."""
+    kind = i % 3
+    if kind == 0:
+        return "task", {"task": "histogram"}
+    if kind == 1:
+        return "sql", {"sql": (
+            "SELECT household_id, AVG(consumption) AS a FROM readings "
+            f"WHERE hour >= {i} GROUP BY household_id"
+        )}
+    return "task", {"task": "threeline"}
+
+
+async def _stress_tenant(
+    service: QueryService, tenant: str, n_requests: int, counters: dict
+) -> None:
+    """One tenant's connection firing bursts wider than its queue."""
+    client = await ServeClient.connect("127.0.0.1", service.port)
+    try:
+        for lo in range(0, n_requests, STRESS_BURST):
+            burst = []
+            for i in range(lo, min(n_requests, lo + STRESS_BURST)):
+                op, params = _stress_op(i)
+                counters["sent"] += 1
+                burst.append(client.request(
+                    op, params, tenant=tenant, deadline_ms=30_000
+                ))
+            for response in await asyncio.gather(*burst):
+                counters["finals"] += 1
+                if response.status == "ok":
+                    if response.final.get("stale"):
+                        counters["stale_served"] += 1
+                        assert response.final.get("degraded"), (
+                            "stale answers must name why they degraded"
+                        )
+                    elif response.final.get("cached"):
+                        counters["cache_hits"] += 1
+                    counters["latency_ms"].append(response.total_s * 1e3)
+                elif response.status == "rejected":
+                    assert response.reason, "rejections must carry a reason"
+                    counters["rejections"][response.reason] = (
+                        counters["rejections"].get(response.reason, 0) + 1
+                    )
+                else:
+                    counters["errors"][response.reason] = (
+                        counters["errors"].get(response.reason, 0) + 1
+                    )
+    finally:
+        await client.close()
+
+
+def measure_stress(quick: bool) -> dict:
+    n = QUICK_SCENARIO_N if quick else SCENARIO_N
+    per_tenant = QUICK_STRESS_REQUESTS if quick else STRESS_REQUESTS
+    data = _dataset(n)
+
+    async def body():
+        with tempfile.TemporaryDirectory(prefix="bench_serve_") as tmp:
+            service = await _boot(data, _stress_config(), Path(tmp))
+            counters = {
+                "sent": 0, "finals": 0, "stale_served": 0, "cache_hits": 0,
+                "latency_ms": [], "rejections": {}, "errors": {},
+            }
+            try:
+                await asyncio.gather(*(
+                    _stress_tenant(
+                        service, f"tenant-{t}", per_tenant, counters
+                    )
+                    for t in range(STRESS_TENANTS)
+                ))
+                stats = service.stats()
+                return {
+                    "n_consumers": n,
+                    "tenants": STRESS_TENANTS,
+                    "requests_per_tenant": per_tenant,
+                    "burst_width": STRESS_BURST,
+                    "completed": len(counters["latency_ms"]),
+                    "cache_hits": counters["cache_hits"],
+                    "stale_served": counters["stale_served"],
+                    "rejections": counters["rejections"],
+                    "errors": counters["errors"],
+                    "latency": _percentiles(counters["latency_ms"]),
+                    "p99_ceiling_ms": STRESS_P99_CEILING_MS,
+                    "admission": stats["admission"],
+                    "ledger": _ledger(
+                        service, counters["finals"], counters["sent"]
+                    ),
+                }
+            finally:
+                await service.stop()
+
+    return asyncio.run(body())
+
+
+# --------------------------------------------------------------------------
+# Chaos: breaker trip + deadline kills mid-flight
+# --------------------------------------------------------------------------
+
+def measure_chaos(quick: bool) -> dict:
+    n = QUICK_SCENARIO_N if quick else SCENARIO_N
+    data = _dataset(n)
+    config = ServeConfig(
+        n_workers=2,
+        breaker=BreakerConfig(
+            window=8, min_samples=4, trip_ratio=0.5,
+            cooldown_s=0.4, probe_successes=1,
+        ),
+    )
+
+    async def body():
+        with tempfile.TemporaryDirectory(prefix="bench_serve_") as tmp:
+            service = await _boot(data, config, Path(tmp))
+            client = await ServeClient.connect("127.0.0.1", service.port)
+            sent = finals = 0
+            try:
+                # Warm the cache so degradation has something to serve,
+                # then stale it with an ingest.
+                warm = await client.request(
+                    "task", {"task": "histogram"}, deadline_ms=120_000
+                )
+                sent += 1
+                finals += 1
+                assert warm.ok, warm.final
+                appended = await client.request(
+                    "append_days", {"days": 1}, deadline_ms=120_000
+                )
+                sent += 1
+                finals += 1
+                assert appended.ok, appended.final
+
+                # Fault 1: the execution plane starts failing (a crashed
+                # worker, in service terms) — the class breaker trips,
+                # and open-breaker queries degrade onto the stale entry.
+                service.inject_failures("task:histogram", 8)
+                execution_errors = 0
+                stale_degraded = 0
+                for _ in range(6):
+                    response = await client.request(
+                        "task", {"task": "histogram"}, deadline_ms=120_000
+                    )
+                    sent += 1
+                    finals += 1
+                    if response.status == "error":
+                        execution_errors += 1
+                    elif (response.ok and response.final.get("stale")
+                          and response.final.get("degraded")
+                          == "circuit_open"):
+                        stale_degraded += 1
+                breaker = service.breakers["task:histogram"]
+                tripped = breaker.trips >= 1
+
+                # Fault 2: a wave of hopeless deadlines — each must die
+                # with an explicit deadline reason without burning more
+                # than a block boundary of worker time.
+                blocks_before = service.executor.blocks_executed
+                wave = []
+                for _ in range(8):
+                    wave.append(client.request(
+                        "task", {"task": "par"}, deadline_ms=1,
+                        allow_stale=False,
+                    ))
+                    sent += 1
+                killed = await asyncio.gather(*wave)
+                finals += len(killed)
+                deadline_kills = sum(
+                    1 for r in killed
+                    if r.reason in ("deadline_exceeded",
+                                    "deadline_exceeded_in_queue")
+                )
+                wave_blocks = service.executor.blocks_executed - blocks_before
+
+                # Recovery: stop injecting; after the cooldown a probe
+                # runs for real and closes the breaker.
+                service._inject.clear()
+                await asyncio.sleep(config.breaker.cooldown_s + 0.1)
+                recovered = await client.request(
+                    "task", {"task": "histogram"}, deadline_ms=120_000,
+                    allow_stale=False,
+                )
+                sent += 1
+                finals += 1
+
+                return {
+                    "n_consumers": n,
+                    "faults": {
+                        "injected_worker_failures": 8,
+                        "deadline_kill_wave": 8,
+                    },
+                    "breaker_tripped": tripped,
+                    "breaker_trips": breaker.trips,
+                    "breaker_final_state": breaker.state,
+                    "execution_errors": execution_errors,
+                    "stale_degraded_answers": stale_degraded,
+                    "deadline_kills": deadline_kills,
+                    "wave_blocks_executed": wave_blocks,
+                    "blocks_cancelled": service.executor.blocks_cancelled,
+                    "recovered_ok": bool(
+                        recovered.ok
+                        and not recovered.final.get("cached", False)
+                    ),
+                    "ledger": _ledger(service, finals, sent),
+                }
+            finally:
+                await client.close()
+                await service.stop()
+
+    return asyncio.run(body())
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv
+    payload = {
+        "scenario": measure_scenario(quick),
+        "stress": measure_stress(quick),
+    }
+    if "--chaos" in sys.argv:
+        payload["chaos"] = measure_chaos(quick)
+    json.dump(payload, sys.stdout, indent=2)
+    print()

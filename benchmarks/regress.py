@@ -11,6 +11,7 @@ up in review).  Runs standalone — no pytest required::
     python benchmarks/regress.py --storage  # storage-v2 gates -> BENCH_storage.json
     python benchmarks/regress.py --streaming  # plane gates -> BENCH_streaming.json
     python benchmarks/regress.py --durability # chaos gates -> BENCH_durability.json
+    python benchmarks/regress.py --serve [--chaos] # SLO gates -> BENCH_serve.json
 
 ``--storage`` switches to the columnar-storage-v2 suite: full vs pruned
 scan speed, compressed size vs raw, the out-of-core memory budget, and
@@ -38,6 +39,19 @@ process for real and must still land bit-identical store bytes.
 Results land in ``BENCH_durability.json``; quick mode shrinks the
 cohorts and waives the WAL-ratio floor but still enforces every
 convergence and zero-duplicate gate.
+
+``--serve`` switches to the query-service SLO suite
+(:mod:`benchmarks.bench_serve`): a low-pressure scenario whose served
+answers must be bit-identical to the golden engine results, and a
+multi-tenant stress run whose P99 must stay under the ceiling while
+overload is shed explicitly — zero silent drops, audited on both the
+client and the server ledgers.  ``--chaos`` adds the fault-injection
+variant: a breaker must trip on injected worker failures, degraded
+answers must be stale-marked, a wave of hopeless deadlines must die
+with deadline reasons, and the breaker must recover once the faults
+stop.  Results land in ``BENCH_serve.json``; quick mode shrinks the
+cohort and waives the P99 ceiling but still enforces every structural
+gate.
 
 Exit status is non-zero if, at the largest measured scale with at least
 1000 consumers, any task falls below the 5x batched speedup floor, or
@@ -587,6 +601,120 @@ def check_durability(body, quick: bool) -> bool:
     return ok
 
 
+def measure_serve(quick: bool, chaos: bool):
+    """The query-service SLO suite; returns the JSON body."""
+    from bench_serve import measure_chaos, measure_scenario, measure_stress
+
+    scenario = measure_scenario(quick)
+    checks = scenario["golden_spot_checks"]
+    print(
+        f"scenario  n={scenario['n_consumers']:>4}: "
+        f"{sum(1 for v in checks.values() if v == 'identical')}/"
+        f"{len(checks)} golden spot checks identical, "
+        f"sql ttfr p50 {scenario['sql_ttfr']['p50_ms']}ms"
+    )
+    stress = measure_stress(quick)
+    print(
+        f"stress    {stress['tenants']}x{stress['requests_per_tenant']}: "
+        f"{stress['completed']} completed "
+        f"(p99 {stress['latency']['p99_ms']}ms), "
+        f"{sum(stress['rejections'].values())} rejected, "
+        f"ledger {'balanced' if stress['ledger']['balanced'] else 'LEAKED'}"
+    )
+    body = {"scenario": scenario, "stress": stress}
+    if chaos:
+        result = measure_chaos(quick)
+        print(
+            f"chaos     breaker {'tripped' if result['breaker_tripped'] else 'NEVER TRIPPED'}"
+            f" -> {result['breaker_final_state']}, "
+            f"{result['stale_degraded_answers']} stale-degraded, "
+            f"{result['deadline_kills']}/8 deadline kills"
+        )
+        body["chaos"] = result
+    return body
+
+
+def check_serve(body, quick: bool) -> bool:
+    """Enforce the serving SLOs; quick waives the stress-P99 ceiling."""
+    ok = True
+    scenario = body["scenario"]
+    for task, verdict in scenario["golden_spot_checks"].items():
+        if verdict != "identical":
+            print(
+                f"SERVE MISS: served {task} diverged from golden: {verdict}",
+                file=sys.stderr,
+            )
+            ok = False
+    stress = body["stress"]
+    for section in (scenario, stress):
+        if not section["ledger"]["balanced"]:
+            print(
+                f"SERVE MISS: silent drop — ledger {section['ledger']}",
+                file=sys.stderr,
+            )
+            ok = False
+    if stress["errors"]:
+        print(
+            f"SERVE MISS: stress run produced errors: {stress['errors']}",
+            file=sys.stderr,
+        )
+        ok = False
+    if sum(stress["rejections"].values()) == 0:
+        print(
+            "SERVE MISS: stress never shed load — admission control "
+            "did not engage",
+            file=sys.stderr,
+        )
+        ok = False
+    if not quick and (
+        stress["latency"]["p99_ms"] is None
+        or stress["latency"]["p99_ms"] > stress["p99_ceiling_ms"]
+    ):
+        print(
+            f"SERVE MISS: stress P99 {stress['latency']['p99_ms']}ms "
+            f"over ceiling {stress['p99_ceiling_ms']}ms",
+            file=sys.stderr,
+        )
+        ok = False
+    chaos = body.get("chaos")
+    if chaos is not None:
+        if not chaos["breaker_tripped"]:
+            print(
+                "SERVE MISS: injected failures never tripped the breaker",
+                file=sys.stderr,
+            )
+            ok = False
+        if chaos["stale_degraded_answers"] == 0:
+            print(
+                "SERVE MISS: open breaker never served a stale-marked "
+                "degraded answer",
+                file=sys.stderr,
+            )
+            ok = False
+        if chaos["deadline_kills"] != chaos["faults"]["deadline_kill_wave"]:
+            print(
+                f"SERVE MISS: only {chaos['deadline_kills']} of "
+                f"{chaos['faults']['deadline_kill_wave']} hopeless-deadline "
+                f"queries died with a deadline reason",
+                file=sys.stderr,
+            )
+            ok = False
+        if not chaos["recovered_ok"]:
+            print(
+                "SERVE MISS: breaker did not recover after faults stopped",
+                file=sys.stderr,
+            )
+            ok = False
+        if not chaos["ledger"]["balanced"]:
+            print(
+                f"SERVE MISS: silent drop under chaos — "
+                f"ledger {chaos['ledger']}",
+                file=sys.stderr,
+            )
+            ok = False
+    return ok
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -622,22 +750,58 @@ def main(argv=None):
         ),
     )
     parser.add_argument(
+        "--serve",
+        action="store_true",
+        help=(
+            "run the query-service SLO suite (golden bit-identity of "
+            "served answers, bounded stress P99, explicit shedding, "
+            "zero silent drops) instead of the kernel sweep"
+        ),
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help=(
+            "with --serve: add the fault-injection variant (breaker trip "
+            "+ stale-marked degradation + deadline kill wave + recovery)"
+        ),
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
         help=(
             "output JSON path (default: repo-root BENCH_kernels.json, "
             "BENCH_storage.json with --storage, BENCH_streaming.json "
-            "with --streaming, or BENCH_durability.json with --durability)"
+            "with --streaming, BENCH_durability.json with --durability, "
+            "or BENCH_serve.json with --serve)"
         ),
     )
     args = parser.parse_args(argv)
     repo_root = Path(__file__).resolve().parents[1]
 
-    if sum((args.storage, args.streaming, args.durability)) > 1:
+    if sum((args.storage, args.streaming, args.durability, args.serve)) > 1:
         parser.error(
-            "--storage, --streaming and --durability are mutually exclusive"
+            "--storage, --streaming, --durability and --serve are "
+            "mutually exclusive"
         )
+    if args.chaos and not args.serve:
+        parser.error("--chaos only applies to the --serve suite")
+
+    if args.serve:
+        out = args.out or repo_root / "BENCH_serve.json"
+        body = measure_serve(args.quick, args.chaos)
+        payload = {
+            "generated": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "cpu_count": os.cpu_count(),
+            "quick": args.quick,
+            **body,
+        }
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+        return 0 if check_serve(body, args.quick) else 1
 
     if args.durability:
         out = args.out or repo_root / "BENCH_durability.json"

@@ -640,6 +640,25 @@ class PartitionedStore:
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._commit_listeners: list = []
+
+    def on_commit(self, callback) -> None:
+        """Register ``callback(name, commit)`` to run after every commit.
+
+        Fired once per successful commit point — initial ingest, append,
+        overwrite — *after* the meta and state writes land, with the
+        table name and its new commit counter.  This is the dataset-
+        version hook the serving plane uses to invalidate cached views
+        and results the moment an ingest lands.  Idempotent replays that
+        touch nothing (epoch redeliveries, fully-overlapping skips) do
+        not fire.  Listeners must not raise: they run inline on the
+        ingesting thread.
+        """
+        self._commit_listeners.append(callback)
+
+    def _notify_commit(self, name: str, commit: int) -> None:
+        for callback in self._commit_listeners:
+            callback(name, commit)
 
     def _table_dir(self, name: str) -> Path:
         return self.root / name
@@ -728,6 +747,7 @@ class PartitionedStore:
         _atomic_write_bytes(
             directory / _META_FILE, json.dumps(meta).encode()
         )
+        self._notify_commit(name, 0)
         return self.open(name)
 
     def append_days(
@@ -857,6 +877,7 @@ class PartitionedStore:
             state.epoch[:] = epoch
         state.commit = commit
         state.save(directory / _STATE_FILE)
+        self._notify_commit(name, commit)
         return self.open(name)
 
     def overwrite_days(
@@ -967,6 +988,7 @@ class PartitionedStore:
                 (table.directory / file_name).unlink()
             except OSError:  # pragma: no cover - best-effort cleanup
                 pass
+        self._notify_commit(name, commit)
         return self.open(name)
 
     # Open / drop ------------------------------------------------------------

@@ -106,6 +106,41 @@ class FleetError(StreamingError):
     """The sharded fleet supervisor hit an unrecoverable condition."""
 
 
+class ServeError(ReproError):
+    """Base class for query-service failures (repro.serve)."""
+
+
+class ProtocolError(ServeError):
+    """A wire frame was malformed (bad length prefix, JSON, or schema)."""
+
+
+class AdmissionError(ServeError):
+    """A request was explicitly rejected at admission (429 analogue).
+
+    Never silent: ``reason`` is one of :data:`repro.serve.admission.REASONS`
+    and ``retry_after_s`` (when set) tells the client when capacity is
+    expected back.
+    """
+
+    def __init__(self, reason: str, message: str,
+                 retry_after_s: float | None = None) -> None:
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        super().__init__(message)
+
+
+class DeadlineExceededError(ServeError):
+    """A query's deadline budget expired (in queue or mid-execution)."""
+
+
+class QueryCancelledError(ServeError):
+    """A query was cooperatively cancelled between consumer blocks."""
+
+
+class CircuitOpenError(ServeError):
+    """The query class's circuit breaker is open and no stale result exists."""
+
+
 class ResilienceError(ReproError):
     """Base class for supervised-execution failures (repro.resilience)."""
 

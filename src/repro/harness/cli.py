@@ -14,6 +14,7 @@ Examples::
     smartbench --figure fig7 --inject-failures kill=0.3,seed=7
     smartbench --figure fig5 --inject-dirty seed=7 --on-dirty quarantine \
         --quality-report quality.json
+    smartbench --serve 127.0.0.1:7077 --serve-consumers 200
 """
 
 from __future__ import annotations
@@ -167,6 +168,34 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--serve",
+        nargs="?",
+        const="127.0.0.1:0",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "start the long-running query service (repro.serve) over a "
+            "seeded v2 store instead of regenerating figures: SQL + the "
+            "four tasks behind admission control, deadlines, circuit "
+            "breakers and a result cache (bare flag = loopback, "
+            "ephemeral port; Ctrl-C stops it)"
+        ),
+    )
+    parser.add_argument(
+        "--serve-consumers",
+        type=int,
+        default=200,
+        metavar="N",
+        help="cohort size of the served seed dataset (default 200)",
+    )
+    parser.add_argument(
+        "--serve-days",
+        type=int,
+        default=30,
+        metavar="D",
+        help="days of served seed history (default 30)",
+    )
+    parser.add_argument(
         "--validate",
         action="store_true",
         help="run all tasks on all five engines and verify they agree",
@@ -181,8 +210,63 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_serve(args) -> int:
+    """Boot the query service over a seeded store and serve until ^C."""
+    import asyncio
+    import tempfile
+    from pathlib import Path
+
+    from repro.datagen.seed import SeedConfig, make_seed_dataset
+    from repro.serve import QueryService, ServeConfig
+
+    host, _, port_text = args.serve.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(
+            f"smartbench: --serve expects HOST:PORT, got {args.serve!r}",
+            file=sys.stderr,
+        )
+        return 2
+    data = make_seed_dataset(SeedConfig(
+        n_consumers=args.serve_consumers,
+        n_hours=args.serve_days * 24,
+        seed=1234,
+    ))
+
+    async def run() -> None:
+        with tempfile.TemporaryDirectory(prefix="smartbench_serve_") as tmp:
+            service = QueryService.from_dataset(
+                data, Path(tmp) / "store", ServeConfig()
+            )
+            await service.start(host, int(port_text))
+            print(
+                f"smartbench: serving {args.serve_consumers} consumers x "
+                f"{args.serve_days} days on {host}:{service.port} "
+                f"(length-prefixed JSON; ops: ping/sql/task/append_days/"
+                f"stats; Ctrl-C to stop)",
+                flush=True,
+            )
+            try:
+                await service.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("smartbench: service stopped")
+    return 0
+
+
 def _validate_args(args) -> str | None:
     """Cross-flag validation; returns an error message or None."""
+    if getattr(args, "serve", None) is not None:
+        if args.serve_consumers <= 0 or args.serve_days <= 0:
+            return (
+                f"--serve-consumers and --serve-days must be positive, got "
+                f"{args.serve_consumers}/{args.serve_days}"
+            )
     if args.jobs is not None:
         floor = -(os.cpu_count() or 1)
         if args.jobs < floor:
@@ -275,6 +359,8 @@ def main(argv: list[str] | None = None) -> int:
     if error:
         print(f"smartbench: {error}", file=sys.stderr)
         return 2
+    if args.serve is not None:
+        return _run_serve(args)
     if args.validate:
         from repro.harness.validate import validate_engines
 

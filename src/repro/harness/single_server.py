@@ -6,6 +6,13 @@ are given in the paper's GB units and mapped to simulation consumers via
 :data:`~repro.harness.scale.SINGLE_SERVER_SCALE` (override by passing a
 ``scale``).  All task timings are cold-start unless the figure says
 otherwise, matching the paper's protocol.
+
+These are *batch* experiments: each function builds its engines, runs,
+and tears everything down.  The long-running promotion of this plane is
+:mod:`repro.serve` — the same SQL subset and four tasks behind a wire
+protocol with admission control, deadlines, circuit breakers and a
+result cache (``smartbench --serve``, benchmarked by
+``benchmarks/regress.py --serve``).
 """
 
 from __future__ import annotations

@@ -45,8 +45,9 @@ CRASH_ENV_VAR = "REPRO_INJECT_CRASH"
 #: fault injector's 170 so chaos harnesses can tell them apart).
 CRASH_EXIT_CODE = 171
 
-#: Kill points the durability layer exposes.
-KNOWN_POINTS = ("wal-append", "checkpoint", "sink-append")
+#: Kill points the durability layer exposes (``fleet-batch`` is hit by
+#: shard workers before each batch ingest — the stall-injection point).
+KNOWN_POINTS = ("wal-append", "checkpoint", "sink-append", "fleet-batch")
 
 
 @dataclass(frozen=True)
@@ -56,7 +57,9 @@ class CrashPlan:
     point: str
     #: Fire on the N-th hit of the point (1-based, per process).
     at: int = 1
-    #: ``exit`` = os._exit(CRASH_EXIT_CODE); ``raise`` = InjectedCrash.
+    #: ``exit`` = os._exit(CRASH_EXIT_CODE); ``raise`` = InjectedCrash;
+    #: ``hang`` = sleep forever (a stuck-not-dead worker, for testing
+    #: stall supervision — pair with ``flag`` so the restart is clean).
     mode: str = "exit"
     #: Optional single-fire flag file: once it exists, the plan is spent.
     flag: str | None = None
@@ -68,9 +71,9 @@ class CrashPlan:
             )
         if self.at < 1:
             raise ResilienceError(f"at must be >= 1, got {self.at}")
-        if self.mode not in ("exit", "raise"):
+        if self.mode not in ("exit", "raise", "hang"):
             raise ResilienceError(
-                f"mode must be 'exit' or 'raise', got {self.mode!r}"
+                f"mode must be 'exit', 'raise' or 'hang', got {self.mode!r}"
             )
 
     @classmethod
@@ -176,6 +179,11 @@ def trip(point: str) -> None:
         Path(plan.flag).touch()
     if plan.mode == "raise":
         raise InjectedCrash(f"injected crash at kill point {point!r}")
+    if plan.mode == "hang":  # pragma: no cover - killed by supervisor
+        import time
+
+        while True:
+            time.sleep(60.0)
     os._exit(CRASH_EXIT_CODE)  # pragma: no cover - kills the process
 
 

@@ -1,0 +1,61 @@
+"""``repro.serve`` — the overload-safe multi-tenant query service.
+
+ROADMAP item 2: the engines are library-only; this package promotes the
+single-server experiments (:mod:`repro.harness.single_server`) into a
+long-running asyncio service that exposes the SQL subset plus the four
+benchmark tasks over a length-prefixed JSON wire protocol, designed
+around failure first:
+
+* **admission control** (:mod:`repro.serve.admission`) — per-tenant
+  token buckets and weighted fair queueing over bounded tenant queues;
+  overload is shed with explicit 429-style rejections, never silent
+  buffering;
+* **deadline propagation** (:mod:`repro.serve.executor`) — the client's
+  budget travels from admission through queue wait into kernel
+  execution, which cancels cooperatively between consumer blocks so a
+  timed-out query stops burning cores;
+* **circuit breakers** (:mod:`repro.serve.breaker`) — per-query-class
+  error/timeout-rate trips with half-open probe recovery;
+* **graceful degradation** (:mod:`repro.serve.cache`) — an LRU/TTL
+  result cache keyed by (query fingerprint, dataset version),
+  invalidated by ingest appends, that may serve explicitly-marked
+  ``stale=true`` results when the breaker is open or the queue is
+  saturated.
+
+``benchmarks/bench_serve.py`` drives the DAT300-style scenario/stress
+workloads against it and ``benchmarks/regress.py --serve`` gates the
+SLOs (bounded stress P99, zero silent drops, golden bit-identity).
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionConfig, TokenBucket
+from repro.serve.breaker import BreakerConfig, CircuitBreaker
+from repro.serve.cache import CacheConfig, ResultCache, query_fingerprint
+from repro.serve.client import ServeClient
+from repro.serve.executor import CancelToken, QueryExecutor
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.serve.service import QueryService, ServeConfig
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "BreakerConfig",
+    "CacheConfig",
+    "CancelToken",
+    "CircuitBreaker",
+    "MAX_FRAME_BYTES",
+    "QueryExecutor",
+    "QueryService",
+    "ResultCache",
+    "ServeClient",
+    "ServeConfig",
+    "TokenBucket",
+    "encode_frame",
+    "query_fingerprint",
+    "read_frame",
+    "write_frame",
+]

@@ -1,0 +1,224 @@
+"""Admission control: per-tenant token buckets + weighted fair queueing.
+
+The service never buffers unboundedly.  Every request passes three gates
+*before* it may wait for a worker:
+
+1. **rate** — a per-tenant token bucket (``rate_per_s`` sustained,
+   ``burst`` peak).  An empty bucket is an explicit ``rate_limited``
+   rejection carrying ``retry_after_s``;
+2. **depth** — each tenant owns one FIFO of at most ``queue_depth``
+   waiting queries; a full queue is a ``queue_full`` rejection (the
+   429 analogue — the client, not the server, holds the backlog);
+3. **saturation** — when the *global* backlog reaches ``shed_threshold``
+   the service is overloaded and new work is shed (``overloaded``),
+   unless the degradation ladder can answer from stale cache.
+
+Dequeue order is weighted fair queueing (virtual-time WFQ): tenant ``t``
+with weight ``w_t`` is charged ``1 / w_t`` of virtual time per query, so
+a tenant flooding its own queue cannot starve the others — each gets a
+long-run share proportional to its weight, while an idle tenant's unused
+share is redistributed automatically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import AdmissionError
+
+#: Machine-readable rejection reasons (the wire `reason` field).
+REASONS = ("rate_limited", "queue_full", "overloaded")
+
+
+@dataclass
+class AdmissionConfig:
+    """Knobs of the admission gate."""
+
+    #: Sustained per-tenant request rate (tokens per second).
+    rate_per_s: float = 50.0
+    #: Bucket capacity — the tolerated burst above the sustained rate.
+    burst: float = 25.0
+    #: Waiting queries one tenant may hold (bounded queue depth).
+    queue_depth: int = 16
+    #: Global backlog at which new work is shed (the degradation ladder
+    #: may still answer shed queries from stale cache).
+    shed_threshold: int = 64
+    #: Per-tenant WFQ weights; tenants absent here get ``default_weight``.
+    weights: dict[str, float] = field(default_factory=dict)
+    default_weight: float = 1.0
+
+
+class TokenBucket:
+    """A token bucket with an injectable clock (tests freeze time)."""
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate_per_s <= 0 or burst <= 0:
+            raise ValueError(
+                f"rate_per_s and burst must be > 0, got "
+                f"{rate_per_s}/{burst}"
+            )
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate_per_s
+        )
+        self._stamp = now
+
+    def try_take(self, cost: float = 1.0) -> float | None:
+        """Take ``cost`` tokens; ``None`` on success, else seconds until
+        the bucket will hold them again (the 429 ``retry_after_s``)."""
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return None
+        return (cost - self._tokens) / self.rate_per_s
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+class _TenantLane:
+    """One tenant's bounded FIFO plus its WFQ accounting."""
+
+    def __init__(self, weight: float, bucket: TokenBucket) -> None:
+        self.weight = weight
+        self.bucket = bucket
+        self.queue: deque[Any] = deque()
+        #: Virtual finish time of the last query charged to this lane.
+        self.finish_v = 0.0
+
+
+class AdmissionController:
+    """The three admission gates + the WFQ dispatcher, as plain state.
+
+    Not thread-safe by itself: the service drives it from one event
+    loop.  ``offer`` either enqueues (returning the new backlog) or
+    raises :class:`AdmissionError` with the rejection reason;
+    ``take`` pops the next query in weighted-fair order.
+    """
+
+    def __init__(
+        self,
+        config: AdmissionConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or AdmissionConfig()
+        self._clock = clock
+        self._lanes: dict[str, _TenantLane] = {}
+        self._virtual = 0.0  # global WFQ virtual time
+        self._backlog = 0
+        self._seq = itertools.count()  # FIFO tie-break across lanes
+        #: Rejections by reason, for /stats and the zero-silent-drop audit.
+        self.rejections: dict[str, int] = {r: 0 for r in REASONS}
+        self.admitted = 0
+
+    def _lane(self, tenant: str) -> _TenantLane:
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            weight = self.config.weights.get(
+                tenant, self.config.default_weight
+            )
+            lane = _TenantLane(
+                weight,
+                TokenBucket(
+                    self.config.rate_per_s, self.config.burst, self._clock
+                ),
+            )
+            self._lanes[tenant] = lane
+        return lane
+
+    @property
+    def backlog(self) -> int:
+        """Queries admitted and still waiting for a worker."""
+        return self._backlog
+
+    @property
+    def saturated(self) -> bool:
+        """True once the global backlog has hit the shed threshold."""
+        return self._backlog >= self.config.shed_threshold
+
+    def offer(self, tenant: str, item: Any) -> None:
+        """Admit ``item`` for ``tenant`` or raise :class:`AdmissionError`."""
+        lane = self._lane(tenant)
+        retry_after = lane.bucket.try_take()
+        if retry_after is not None:
+            self.rejections["rate_limited"] += 1
+            raise AdmissionError(
+                "rate_limited",
+                f"tenant {tenant!r} exceeded {self.config.rate_per_s}/s "
+                f"(burst {self.config.burst})",
+                retry_after_s=retry_after,
+            )
+        if self.saturated:
+            self.rejections["overloaded"] += 1
+            raise AdmissionError(
+                "overloaded",
+                f"service backlog {self._backlog} at shed threshold "
+                f"{self.config.shed_threshold}",
+                retry_after_s=1.0 / self.config.rate_per_s,
+            )
+        if len(lane.queue) >= self.config.queue_depth:
+            self.rejections["queue_full"] += 1
+            raise AdmissionError(
+                "queue_full",
+                f"tenant {tenant!r} already has {len(lane.queue)} queries "
+                f"waiting (depth {self.config.queue_depth})",
+                retry_after_s=1.0 / self.config.rate_per_s,
+            )
+        # WFQ charge: one query costs 1/weight of virtual time, appended
+        # after the lane's previous backlog (or now, if it was idle).
+        lane.finish_v = max(lane.finish_v, self._virtual) + 1.0 / lane.weight
+        lane.queue.append((lane.finish_v, next(self._seq), item))
+        self._backlog += 1
+        self.admitted += 1
+
+    def take(self) -> Any | None:
+        """Pop the next query in weighted-fair order (None when empty)."""
+        best: _TenantLane | None = None
+        best_key: tuple[float, int] | None = None
+        for lane in self._lanes.values():
+            if not lane.queue:
+                continue
+            finish_v, seq, _ = lane.queue[0]
+            key = (finish_v, seq)
+            if best_key is None or key < best_key:
+                best, best_key = lane, key
+        if best is None:
+            return None
+        finish_v, _, item = best.queue.popleft()
+        self._virtual = max(self._virtual, finish_v)
+        self._backlog -= 1
+        return item
+
+    def stats(self) -> dict[str, Any]:
+        """Counters for the ``stats`` op and the benchmark audit."""
+        return {
+            "backlog": self._backlog,
+            "admitted": self.admitted,
+            "rejections": dict(self.rejections),
+            "tenants": {
+                t: {
+                    "queued": len(lane.queue),
+                    "weight": lane.weight,
+                    "tokens": round(lane.bucket.tokens, 3),
+                }
+                for t, lane in self._lanes.items()
+            },
+        }

@@ -1,0 +1,128 @@
+"""Per-query-class circuit breakers with half-open probe recovery.
+
+One breaker guards one query class (``sql``, ``task:histogram``, ...).
+State machine:
+
+* **closed** — outcomes are recorded in a sliding window of the last
+  ``window`` calls; once the window holds ``min_samples`` results and
+  the failure fraction (errors + timeouts) reaches ``trip_ratio``, the
+  breaker opens;
+* **open** — calls fail fast (or are served stale from cache by the
+  degradation ladder) for ``cooldown_s``; then the breaker half-opens;
+* **half-open** — up to ``probe_limit`` concurrent calls are let
+  through as probes.  ``probe_successes`` consecutive probe successes
+  close the breaker (window reset); any probe failure re-opens it and
+  restarts the cooldown.
+
+The clock is injectable so tests step through cooldowns without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass
+class BreakerConfig:
+    """Trip/recovery knobs of one circuit breaker."""
+
+    #: Sliding window length (call outcomes) the trip ratio is over.
+    window: int = 20
+    #: Outcomes required before the breaker may trip at all.
+    min_samples: int = 8
+    #: Failure fraction of the window that trips the breaker.
+    trip_ratio: float = 0.5
+    #: Seconds the breaker stays open before half-opening.
+    cooldown_s: float = 2.0
+    #: Concurrent probes allowed while half-open.
+    probe_limit: int = 1
+    #: Consecutive probe successes that close the breaker again.
+    probe_successes: int = 2
+
+
+class CircuitBreaker:
+    """One query class's breaker; the service holds one per class."""
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self.state = CLOSED
+        self._outcomes: deque[bool] = deque(maxlen=self.config.window)
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        self._probe_wins = 0
+        self.trips = 0  # lifetime trip count, for stats
+
+    def _tick(self) -> None:
+        if (
+            self.state == OPEN
+            and self._clock() - self._opened_at >= self.config.cooldown_s
+        ):
+            self.state = HALF_OPEN
+            self._probes_inflight = 0
+            self._probe_wins = 0
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (Half-open: claims a probe slot.)"""
+        self._tick()
+        if self.state == CLOSED:
+            return True
+        if self.state == HALF_OPEN:
+            if self._probes_inflight < self.config.probe_limit:
+                self._probes_inflight += 1
+                return True
+            return False
+        return False
+
+    def _trip(self) -> None:
+        self.state = OPEN
+        self._opened_at = self._clock()
+        self.trips += 1
+
+    def record_success(self) -> None:
+        """A call (or probe) finished within its deadline without error."""
+        if self.state == HALF_OPEN:
+            self._probes_inflight = max(0, self._probes_inflight - 1)
+            self._probe_wins += 1
+            if self._probe_wins >= self.config.probe_successes:
+                self.state = CLOSED
+                self._outcomes.clear()
+            return
+        self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        """A call errored or timed out; may trip or re-open the breaker."""
+        if self.state == HALF_OPEN:
+            self._probes_inflight = max(0, self._probes_inflight - 1)
+            self._trip()  # a failed probe re-opens immediately
+            return
+        if self.state == OPEN:
+            return  # fail-fast path; nothing to record
+        self._outcomes.append(False)
+        if len(self._outcomes) >= self.config.min_samples:
+            failures = sum(1 for ok in self._outcomes if not ok)
+            if failures / len(self._outcomes) >= self.config.trip_ratio:
+                self._trip()
+
+    def snapshot(self) -> dict:
+        """State for the ``stats`` op."""
+        self._tick()
+        failures = sum(1 for ok in self._outcomes if not ok)
+        return {
+            "state": self.state,
+            "window": len(self._outcomes),
+            "failures": failures,
+            "trips": self.trips,
+        }

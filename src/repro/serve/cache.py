@@ -1,0 +1,132 @@
+"""LRU/TTL result cache keyed by (query fingerprint, dataset version).
+
+The fingerprint is a stable hash of the query's semantic content (op +
+canonicalized params) — two clients sending the same histogram request
+share one entry.  The *dataset version* is the v2 store's commit
+counter: an ``append_days`` ingest bumps it, so every entry written
+against the old version silently becomes **stale** rather than wrong.
+
+Stale entries are not discarded: they are the bottom rung of the
+degradation ladder.  When a query class's breaker is open, or the
+queue is saturated, the service may answer from a stale entry — always
+explicitly marked ``stale=true`` on the wire, never passed off as
+fresh.  ``max_stale_s`` bounds how old such an answer may be.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+def query_fingerprint(op: str, params: dict[str, Any]) -> str:
+    """Stable hash of a query's semantic content (op + sorted params)."""
+    canonical = json.dumps(
+        {"op": op, "params": params}, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+
+@dataclass
+class CacheConfig:
+    """Size/age knobs of the result cache."""
+
+    #: Entries kept (LRU eviction beyond this).
+    max_entries: int = 256
+    #: Seconds a fresh entry stays servable as fresh.
+    ttl_s: float = 300.0
+    #: Oldest result the degradation ladder may serve as ``stale=true``
+    #: (entries beyond this are evicted rather than served).
+    max_stale_s: float = 3600.0
+
+
+class _Entry:
+    __slots__ = ("value", "version", "stored_at")
+
+    def __init__(self, value: Any, version: int, stored_at: float) -> None:
+        self.value = value
+        self.version = version
+        self.stored_at = stored_at
+
+
+class ResultCache:
+    """LRU + TTL + dataset-version cache with an explicit stale tier."""
+
+    def __init__(
+        self,
+        config: CacheConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or CacheConfig()
+        self._clock = clock
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        self.hits = 0
+        self.stale_hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, fingerprint: str, version: int, value: Any) -> None:
+        """Store a fresh result computed at ``version``."""
+        self._entries.pop(fingerprint, None)
+        self._entries[fingerprint] = _Entry(value, version, self._clock())
+        while len(self._entries) > self.config.max_entries:
+            self._entries.popitem(last=False)
+
+    def get(
+        self, fingerprint: str, version: int, allow_stale: bool = False
+    ) -> tuple[Any, bool] | None:
+        """``(value, stale)`` or ``None``.
+
+        Fresh = same dataset version and within ``ttl_s``.  With
+        ``allow_stale`` (the degradation ladder), an entry from an older
+        version or past its TTL is still served — marked stale — as
+        long as it is younger than ``max_stale_s``.
+        """
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return None
+        age = self._clock() - entry.stored_at
+        if age > self.config.max_stale_s:
+            del self._entries[fingerprint]
+            self.misses += 1
+            return None
+        fresh = entry.version == version and age <= self.config.ttl_s
+        if not fresh and not allow_stale:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(fingerprint)
+        if fresh:
+            self.hits += 1
+        else:
+            self.stale_hits += 1
+        return entry.value, not fresh
+
+    def note_version_bump(self, version: int) -> int:
+        """An ingest advanced the dataset version; count newly-stale entries.
+
+        Entries are *kept* (they feed the stale tier of the degradation
+        ladder) — this only audits how many fresh entries the bump
+        invalidated, which the stats op reports.
+        """
+        newly_stale = sum(
+            1 for e in self._entries.values() if e.version < version
+        )
+        self.invalidations += newly_stale
+        return newly_stale
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "stale_hits": self.stale_hits,
+            "misses": self.misses,
+            "invalidated": self.invalidations,
+        }

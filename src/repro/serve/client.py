@@ -1,0 +1,184 @@
+"""Async client for the query service (one connection, multiplexed).
+
+Requests are assigned ids and may be issued concurrently over one
+socket; a background reader task routes incoming frames (row pages +
+the final frame) back to the right caller.  The client also measures
+what the SLO harness reports: time-to-first-row (first frame of the
+response, row page or final) and total latency, both client-side.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import ProtocolError, ServeError
+from repro.serve.protocol import read_frame, write_frame
+
+
+@dataclass
+class ServeResponse:
+    """One request's outcome, as observed by the client."""
+
+    final: dict[str, Any]
+    rows: list[list] = field(default_factory=list)
+    #: Seconds from send to the first response frame (row page or final).
+    ttfr_s: float = 0.0
+    #: Seconds from send to the final frame.
+    total_s: float = 0.0
+
+    @property
+    def status(self) -> str:
+        return self.final.get("status", "error")
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def result(self) -> Any:
+        return self.final.get("result")
+
+    @property
+    def stale(self) -> bool:
+        return bool(self.final.get("stale", False))
+
+    @property
+    def reason(self) -> str | None:
+        return self.final.get("reason")
+
+
+class _Pending:
+    __slots__ = ("future", "rows", "t_sent", "t_first")
+
+    def __init__(self, future: asyncio.Future, t_sent: float) -> None:
+        self.future = future
+        self.rows: list[list] = []
+        self.t_sent = t_sent
+        self.t_first: float | None = None
+
+
+class ServeClient:
+    """One multiplexed connection to a :class:`QueryService`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[str, _Pending] = {}
+        self._ids = itertools.count()
+        self._closed = False
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._fail_pending(ServeError("connection closed"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for pending in self._pending.values():
+            if not pending.future.done():
+                pending.future.set_exception(exc)
+        self._pending.clear()
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    self._fail_pending(
+                        ServeError("server closed the connection")
+                    )
+                    return
+                self._route(frame)
+        except asyncio.CancelledError:
+            raise
+        except (ProtocolError, ConnectionError, OSError) as exc:
+            self._fail_pending(ServeError(f"connection lost: {exc}"))
+
+    def _route(self, frame: dict) -> None:
+        request_id = frame.get("id")
+        pending = self._pending.get(request_id)
+        if pending is None:
+            # A response to a request that already failed locally (e.g.
+            # a protocol_error broadcast with id=None); nothing to do.
+            return
+        now = time.monotonic()
+        if pending.t_first is None:
+            pending.t_first = now
+        if frame.get("kind") == "rows":
+            pending.rows.extend(frame.get("rows", []))
+            return
+        del self._pending[request_id]
+        if not pending.future.done():
+            pending.future.set_result((frame, pending, now))
+
+    async def request(
+        self,
+        op: str,
+        params: dict[str, Any] | None = None,
+        *,
+        tenant: str = "default",
+        deadline_ms: float | None = None,
+        allow_stale: bool | None = None,
+    ) -> ServeResponse:
+        """Issue one request and wait for its final frame.
+
+        ``deadline_ms`` is the client's whole budget: it is propagated to
+        the server (queue wait + execution) and also enforced locally
+        with slack for the response to travel back.
+        """
+        if self._closed:
+            raise ServeError("client is closed")
+        request_id = f"q{next(self._ids)}"
+        payload: dict[str, Any] = {
+            "id": request_id,
+            "op": op,
+            "tenant": tenant,
+            "params": params or {},
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if allow_stale is not None:
+            payload["allow_stale"] = allow_stale
+        t_sent = time.monotonic()
+        pending = _Pending(asyncio.get_running_loop().create_future(), t_sent)
+        self._pending[request_id] = pending
+        await write_frame(self._writer, payload)
+        timeout = None
+        if deadline_ms is not None:
+            timeout = deadline_ms / 1000.0 + 5.0  # slack: server replies
+        try:
+            final, pending, t_done = await asyncio.wait_for(
+                pending.future, timeout
+            )
+        except asyncio.TimeoutError:
+            self._pending.pop(request_id, None)
+            raise ServeError(
+                f"request {request_id} got no final frame within "
+                f"{timeout:.1f}s (deadline {deadline_ms}ms + slack)"
+            ) from None
+        return ServeResponse(
+            final=final,
+            rows=pending.rows,
+            ttfr_s=(pending.t_first or t_done) - t_sent,
+            total_s=t_done - t_sent,
+        )

@@ -1,0 +1,122 @@
+"""Length-prefixed JSON wire protocol of the query service.
+
+One frame = a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON (one object).  JSON keeps the protocol debuggable
+with ``nc``/``socat`` and — because Python's ``json`` emits ``repr``-
+shortest floats, which round-trip ``float64`` exactly — task results
+survive the wire bit for bit, which is what lets the benchmark compare
+served answers against the golden engine output by equality.
+
+Request frames::
+
+    {"id": "q1", "op": "task", "tenant": "analyst-a",
+     "params": {"task": "histogram"}, "deadline_ms": 2000,
+     "allow_stale": true}
+
+``op`` is one of :data:`OPS`.  Response frames echo ``id``; a request
+may receive zero or more ``kind="rows"`` partial frames (SQL row pages —
+this is what time-to-first-row measures) followed by exactly one
+``kind="final"`` frame carrying ``status`` (``ok`` / ``rejected`` /
+``error``), the payload, and the server-side timing breakdown.  Every
+rejection names a machine-readable ``reason`` — the no-silent-drops
+contract is that each accepted frame is answered by exactly one final
+frame, whatever happens in between.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any
+
+from repro.exceptions import ProtocolError
+
+#: Hard ceiling on one frame's payload; a length prefix beyond it is a
+#: protocol violation (it would buffer unboundedly), not a big request.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Operations the service understands.
+OPS = ("ping", "sql", "task", "append_days", "stats")
+
+_LEN = struct.Struct(">I")
+
+
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    """One wire frame: length prefix + compact JSON."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> dict[str, Any]:
+    """Parse one frame body; raises :class:`ProtocolError` on bad JSON."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        prefix = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between frames
+        raise ProtocolError(
+            f"connection closed mid-prefix ({len(exc.partial)}/4 bytes)"
+        ) from exc
+    (length,) = _LEN.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from exc
+    return decode_payload(body)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, payload: dict[str, Any]
+) -> None:
+    """Write one frame and drain (the draining is the backpressure)."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+def validate_request(payload: dict[str, Any]) -> None:
+    """Schema-check one request frame; raises :class:`ProtocolError`."""
+    request_id = payload.get("id")
+    if not isinstance(request_id, str) or not request_id:
+        raise ProtocolError("request frame needs a non-empty string 'id'")
+    op = payload.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {OPS}")
+    tenant = payload.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError("'tenant' must be a non-empty string")
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None and (
+        not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0
+    ):
+        raise ProtocolError(
+            f"'deadline_ms' must be a positive number, got {deadline_ms!r}"
+        )
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("'params' must be an object")

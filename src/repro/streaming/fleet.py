@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.exceptions import FleetError, WorkerCrashError
 from repro.resilience.backoff import AttemptAccount, BackoffSchedule
+from repro.resilience.crashpoints import crash_here
 from repro.streaming.durability import (
     KIND_BATCH,
     KIND_EOS,
@@ -108,8 +109,13 @@ class FileTailer:
 
     Stops cleanly at the end-of-stream marker.  A partial record at the
     tail is simply "not written yet" — the tailer waits for the rest.
-    Raises :class:`FleetError` after ``idle_timeout_s`` without a new
-    byte (a dead producer should not hang the fleet forever).
+    Raises :class:`FleetError` after ``idle_timeout_s`` of *no progress*
+    — no new bytes in the file AND no records parsed — without an
+    end-of-stream marker (a dead producer should not hang the fleet
+    forever).  Time spent suspended in ``yield`` while records are still
+    flowing is progress, not idleness: a slow *consumer* draining a
+    finished-but-unterminated feed never trips the timeout as long as
+    records keep coming out of the buffer.
     """
 
     def __init__(
@@ -141,6 +147,12 @@ class FileTailer:
                     if record.kind == KIND_BATCH:
                         yield record.seq, record.batch
                 offset += consumed
+                if consumed:
+                    # Records parsed (and yielded) count as progress even
+                    # when no new bytes arrived — the idle clock must not
+                    # tick while the consumer is slowly draining records
+                    # that are already on disk.
+                    last_progress = time.monotonic()
                 if done:
                     return
                 chunk = handle.read()
@@ -217,12 +229,18 @@ def _shard_worker(
             batch = ReadingBatch.from_arrays(
                 consumer, hour, consumption, temperature
             )
+            crash_here("fleet-batch")  # chaos: die/hang mid-dispatch
             plane.ingest(batch, seq=seq)
             out_q.put(("ack", shard, seq))
     except BaseException as exc:  # noqa: BLE001 - crash reporting path
         try:
             out_q.put(("crash", shard, repr(exc)))
-            time.sleep(0.05)  # give the queue feeder a beat to flush
+            # Deterministic flush: close() hands the queue to its feeder
+            # thread and join_thread() blocks until every buffered item
+            # is on the pipe — unlike a fixed sleep, this cannot race a
+            # slow feeder and lose the crash report.
+            out_q.close()
+            out_q.join_thread()
         finally:
             os._exit(1)
 
@@ -255,6 +273,11 @@ class FleetConfig:
     checkpoint_every: int = 0
     #: fsync discipline of shard WALs (tests may disable for speed).
     sync: bool = True
+    #: Feed-tailer knobs (used by :meth:`FleetSupervisor.tailer`): how
+    #: often to poll the feed file and how long the feed may make no
+    #: progress before the tailer declares the producer dead.
+    feed_poll_interval_s: float = 0.02
+    feed_idle_timeout_s: float = 30.0
 
 
 @dataclass
@@ -266,6 +289,8 @@ class FleetReport:
     batches_dispatched: int = 0
     batches_acked: int = 0
     restarts: dict[int, int] = field(default_factory=dict)
+    #: Shards killed by the supervisor for stalling (hung, not dead).
+    hung_kills: dict[int, int] = field(default_factory=dict)
     dead_letters: list[tuple[int, int]] = field(default_factory=list)
     summaries: dict[int, dict] = field(default_factory=dict)
 
@@ -331,6 +356,9 @@ class FleetSupervisor:
         #: (shard, seq) -> crash budget for poison-batch detection.
         self._blame: dict[tuple[int, int], AttemptAccount] = {}
         self._skip: set[tuple[int, int]] = set()
+        #: Last instant the fleet made progress (ack or crash handled);
+        #: the stall detector in :meth:`_pump` measures from here.
+        self._last_progress = time.monotonic()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -340,6 +368,14 @@ class FleetSupervisor:
     @property
     def deadletter_path(self) -> Path:
         return self.run_dir / "deadletter.seg"
+
+    def tailer(self, path: str | Path) -> FileTailer:
+        """A feed tailer wired to this fleet's configured knobs."""
+        return FileTailer(
+            path,
+            poll_interval_s=self.fleet.feed_poll_interval_s,
+            idle_timeout_s=self.fleet.feed_idle_timeout_s,
+        )
 
     def _spawn(self, shard: _Shard) -> None:
         shard.in_q = mp.Queue()
@@ -376,6 +412,11 @@ class FleetSupervisor:
         while True:
             timeout = deadline - time.monotonic()
             if timeout <= 0:
+                # Kill the hung process before raising — no zombie may
+                # outlive the supervisor's patience.
+                if shard.process is not None and shard.process.is_alive():
+                    shard.process.kill()
+                    shard.process.join(timeout=5.0)
                 raise FleetError(
                     f"shard {shard.index} sent no {kind!r} within "
                     f"{self.fleet.worker_timeout_s}s"
@@ -425,7 +466,7 @@ class FleetSupervisor:
         return out
 
     def _pump(self, block: bool) -> None:
-        """Harvest acks/crashes; restart dead shards."""
+        """Harvest acks/crashes; restart dead shards; kill stalled ones."""
         progressed = False
         for shard in self._shards:
             while True:
@@ -445,8 +486,33 @@ class FleetSupervisor:
                 if shard.done is None:
                     self._handle_crash(shard)
                     progressed = True
-        if block and not progressed:
+        if progressed:
+            self._last_progress = time.monotonic()
+        elif (
+            time.monotonic() - self._last_progress
+            > self.fleet.worker_timeout_s
+        ):
+            self._kill_stalled()
+            self._last_progress = time.monotonic()
+        elif block:
             time.sleep(0.01)
+
+    def _kill_stalled(self) -> None:
+        """No ack for ``worker_timeout_s``: the shards holding pending
+        batches are hung, not dead.  Kill them so the normal crash path
+        (:meth:`_pump` -> :meth:`_handle_crash`) restarts each one,
+        re-sends its pending batches, and charges the restart budget —
+        which is what finally bounds a shard that hangs every time it
+        comes back (``WorkerCrashError`` from :meth:`_handle_crash`)."""
+        for shard in self._shards:
+            if not shard.pending:
+                continue
+            if shard.process is not None and shard.process.is_alive():
+                shard.process.kill()
+                shard.process.join(timeout=5.0)
+                self.report.hung_kills[shard.index] = (
+                    self.report.hung_kills.get(shard.index, 0) + 1
+                )
 
     def _handle_crash(self, shard: _Shard) -> None:
         """Blame, maybe dead-letter, back off, restart, re-send."""
@@ -513,6 +579,7 @@ class FleetSupervisor:
         """
         for shard in self._shards:
             self._spawn(shard)
+        self._last_progress = time.monotonic()
         try:
             for seq, batch in feed:
                 for index, sub in self._split(batch).items():
@@ -531,21 +598,9 @@ class FleetSupervisor:
                     # A dead process is restarted by _pump; _spawn
                     # re-sends everything pending.
                     self.report.batches_dispatched += 1
-            deadline = time.monotonic() + self.fleet.worker_timeout_s
+            self._last_progress = time.monotonic()
             while any(s.pending for s in self._shards):
-                acked_before = self.report.batches_acked
                 self._pump(block=True)
-                if self.report.batches_acked != acked_before:
-                    deadline = time.monotonic() + self.fleet.worker_timeout_s
-                if time.monotonic() > deadline:
-                    stuck = {
-                        s.index: sorted(s.pending) for s in self._shards
-                        if s.pending
-                    }
-                    raise FleetError(
-                        f"fleet made no progress for "
-                        f"{self.fleet.worker_timeout_s}s; unacked: {stuck}"
-                    )
             for shard in self._shards:
                 shard.in_q.put(("stop",))
                 shard.done = self._await(shard, "done")

@@ -235,3 +235,102 @@ class TestFleetRuns:
         for summary in report.summaries.values():
             assert [r.index for r in summary["emitted"]] == [0, 1]
         _assert_fleet_store_converges(supervisor, data, closed_windows=2)
+
+
+class TestSlowConsumerProgress:
+    """The idle timeout measures *feed* progress, not consumer speed."""
+
+    def test_slow_consumer_does_not_trip_idle_timeout(self, tmp_path):
+        """Draining already-written records slower than idle_timeout_s
+        is progress, not idleness: records parsed reset the clock."""
+        import time
+
+        data = _data(windows=1)
+        writer = FeedWriter(tmp_path / "feed.seg", sync=False)
+        batches = list(day_ticks(data))[:4]
+        for batch in batches:
+            writer.write_batch(batch)
+        writer.close(end_of_stream=False)  # producer still "alive"
+        tailer = iter(FileTailer(
+            tmp_path / "feed.seg",
+            poll_interval_s=0.01, idle_timeout_s=0.25,
+        ))
+        got = []
+        for seq, _batch in tailer:
+            got.append(seq)
+            time.sleep(0.1)  # 4 x 0.1s of consumer time > idle_timeout_s
+            if len(got) == len(batches):
+                break
+        assert got == [0, 1, 2, 3]
+        # ... but a feed that then truly stops (no EOS, no bytes, no
+        # records) still trips the timeout.
+        with pytest.raises(FleetError, match="idle"):
+            next(tailer)
+
+    def test_fleet_config_surfaces_tailer_knobs(self, tmp_path):
+        supervisor = FleetSupervisor(
+            ["a", "b"], _config(), run_dir=tmp_path,
+            fleet=_fleet_config(
+                n_shards=1,
+                feed_poll_interval_s=0.005, feed_idle_timeout_s=1.5,
+            ),
+        )
+        tailer = supervisor.tailer(tmp_path / "feed.seg")
+        assert isinstance(tailer, FileTailer)
+        assert tailer.poll_interval_s == 0.005
+        assert tailer.idle_timeout_s == 1.5
+
+
+class TestStallSupervision:
+    """A hung (alive but silent) worker is killed, restarted, and its
+    in-flight batch retried — not dead-lettered on the first offense."""
+
+    def test_hung_worker_is_killed_restarted_and_batch_retried(
+        self, tmp_path, crash_env
+    ):
+        data = _data(windows=3)
+        n = _write_feed(tmp_path / "feed.seg", data)
+        flag = tmp_path / "hang-fired"
+        os.environ[CRASH_ENV_VAR] = CrashPlan(
+            point="fleet-batch", at=2, mode="hang", flag=str(flag)
+        ).to_string()
+        supervisor = FleetSupervisor(
+            data.consumer_ids, _config(),
+            run_dir=tmp_path / "fleet",
+            fleet=_fleet_config(worker_timeout_s=1.5),
+        )
+        report = supervisor.run(supervisor.tailer(tmp_path / "feed.seg"))
+        assert flag.exists()  # the hang fired
+        # Both workers can hit the kill point before either marks the
+        # plan spent, so one or both shards hang — every hung shard is
+        # killed exactly once and restarted (the flag stops reruns).
+        kills = sum(report.hung_kills.values())
+        assert 1 <= kills <= 2
+        assert report.total_restarts >= kills
+        # First offense: the suspect batch was retried, not dropped.
+        assert report.dead_letters == []
+        # Each feed batch splits into one sub-batch per shard; all acked.
+        assert report.batches_acked == report.batches_dispatched == 2 * n
+        for summary in report.summaries.values():
+            assert [r.index for r in summary["emitted"]] == [0, 1]
+
+    def test_await_timeout_kills_the_hung_process(self, tmp_path):
+        """_await gives up after worker_timeout_s and leaves no zombie."""
+        data = _data(windows=1)
+        supervisor = FleetSupervisor(
+            data.consumer_ids, _config(),
+            run_dir=tmp_path / "fleet",
+            fleet=_fleet_config(n_shards=1, worker_timeout_s=0.5),
+        )
+        shard = supervisor._shards[0]
+        supervisor._spawn(shard)  # worker comes up, then idles
+        try:
+            # The worker never sends "done" (no stop was sent): _await
+            # must time out, kill it, and raise.
+            with pytest.raises(FleetError, match="done"):
+                supervisor._await(shard, "done")
+            assert not shard.process.is_alive()
+        finally:
+            if shard.process is not None and shard.process.is_alive():
+                shard.process.terminate()
+                shard.process.join(timeout=5.0)
