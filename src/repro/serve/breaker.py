@@ -102,6 +102,14 @@ class CircuitBreaker:
             return
         self._outcomes.append(True)
 
+    def record_abandoned(self) -> None:
+        """The call ended for reasons unrelated to query-class health
+        (e.g. the client vanished mid-execution): release any half-open
+        probe slot but record no outcome, so a burst of disconnecting
+        clients cannot trip a healthy class's breaker."""
+        if self.state == HALF_OPEN:
+            self._probes_inflight = max(0, self._probes_inflight - 1)
+
     def record_failure(self) -> None:
         """A call errored or timed out; may trip or re-open the breaker."""
         if self.state == HALF_OPEN:

@@ -189,7 +189,11 @@ class QueryExecutor:
         self._dataset: tuple[int, Dataset] | None = None
         self._sql_db: tuple[int, Database] | None = None
         #: Cancellation audit: blocks actually executed vs planned, per
-        #: cancelled query — the "stops burning cores" evidence.
+        #: cancelled query — the "stops burning cores" evidence.  The
+        #: counters are shared by all worker threads, so every increment
+        #: holds ``_audit_lock`` (a bare ``+=`` loses updates under
+        #: n_workers > 1 and the stats op would undercount).
+        self._audit_lock = threading.Lock()
         self.blocks_executed = 0
         self.blocks_cancelled = 0
 
@@ -276,9 +280,11 @@ class QueryExecutor:
                 results = run_task_reference(block, task, self.spec)
                 out.update(serialize_task_results(task, results))
                 done += 1
-                self.blocks_executed += 1
+                with self._audit_lock:
+                    self.blocks_executed += 1
         except (DeadlineExceededError, QueryCancelledError):
-            self.blocks_cancelled += total - done
+            with self._audit_lock:
+                self.blocks_cancelled += total - done
             raise
         return out, {"blocks_done": done, "blocks_total": total}
 
@@ -306,9 +312,11 @@ class QueryExecutor:
                         for i, score in rank_row(sims[row - lo], row, k)
                     ]
                 done += 1
-                self.blocks_executed += 1
+                with self._audit_lock:
+                    self.blocks_executed += 1
         except (DeadlineExceededError, QueryCancelledError):
-            self.blocks_cancelled += total - done
+            with self._audit_lock:
+                self.blocks_cancelled += total - done
             raise
         return out, {"blocks_done": done, "blocks_total": total}
 

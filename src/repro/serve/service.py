@@ -50,7 +50,7 @@ from repro.exceptions import (
 from repro.serve.admission import AdmissionConfig, AdmissionController
 from repro.serve.breaker import BreakerConfig, CircuitBreaker
 from repro.serve.cache import CacheConfig, ResultCache, query_fingerprint
-from repro.serve.executor import CancelToken, QueryExecutor
+from repro.serve.executor import SQL_PAGE_ROWS, CancelToken, QueryExecutor
 from repro.serve.protocol import read_frame, validate_request, write_frame
 from repro.timeseries.series import Dataset
 
@@ -263,7 +263,16 @@ class QueryService:
                 if request is None:
                     return
                 self.requests_received += 1
-                await self._accept(conn, request)
+                try:
+                    await self._accept(conn, request)
+                except Exception as exc:  # noqa: BLE001 - ledger backstop
+                    # No silent drops: whatever escapes admission still
+                    # owes the client exactly one final frame.
+                    await self._respond(conn, {
+                        "id": request.get("id"), "kind": "final",
+                        "status": "error", "reason": "internal_error",
+                        "message": f"{type(exc).__name__}: {exc}",
+                    })
         finally:
             conn.open = False
             # A vanished client must not keep burning cores.
@@ -323,8 +332,11 @@ class QueryService:
             })
             return
 
-        deadline_ms = request.get("deadline_ms",
-                                  self.config.default_deadline_ms)
+        # An explicit ``"deadline_ms": null`` passes validation (None is
+        # allowed) but must mean "use the default", not a TypeError.
+        deadline_ms = request.get("deadline_ms")
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
         token = CancelToken(deadline=t0 + deadline_ms / 1000.0)
         qclass = f"task:{params['task']}" if op == "task" else "sql"
         fingerprint = query_fingerprint(op, params)
@@ -343,12 +355,10 @@ class QueryService:
                     allow_stale=True,
                 )
                 if hit is not None:
-                    value, stale = hit
-                    await self._respond(conn, {
-                        "id": request["id"], "kind": "final",
-                        "status": "ok", "result": value, "cached": True,
-                        "stale": stale, "degraded": exc.reason,
-                    })
+                    await self._send_cached(
+                        conn, request, hit[0],
+                        stale=hit[1], degraded=exc.reason,
+                    )
                     return
             await self._respond(conn, {
                 "id": request["id"], "kind": "final", "status": "rejected",
@@ -370,18 +380,27 @@ class QueryService:
 
         params = request.get("params", {})
         days = params.get("days", 1)
-        if not isinstance(days, int) or not 1 <= days <= 366:
+        if (isinstance(days, bool) or not isinstance(days, int)
+                or not 1 <= days <= 366):
             await self._respond(conn, {
                 "id": request["id"], "kind": "final", "status": "error",
                 "reason": "bad_request",
                 "message": f"'days' must be an int in [1, 366], got {days!r}",
             })
             return
+        seed = params.get("seed", 997)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            await self._respond(conn, {
+                "id": request["id"], "kind": "final", "status": "error",
+                "reason": "bad_request",
+                "message": f"'seed' must be an int, got {seed!r}",
+            })
+            return
         table = self.executor.table
         seeded = make_seed_dataset(SeedConfig(
             n_consumers=table.n_households,
             n_hours=days * 24,
-            seed=int(params.get("seed", 997)),
+            seed=seed,
         ))
         batch = Dataset(
             consumer_ids=list(table.dictionary),
@@ -447,11 +466,10 @@ class QueryService:
             # Fresh cache hit costs no worker time and no breaker state.
             hit = self.cache.get(query.fingerprint, version)
             if hit is not None:
-                await self._respond(conn, {
-                    "id": request["id"], "kind": "final", "status": "ok",
-                    "result": hit[0], "cached": True, "stale": False,
-                    "timings": self._timings(query, time.monotonic()),
-                })
+                await self._send_cached(
+                    conn, request, hit[0], stale=False,
+                    timings=self._timings(query, time.monotonic()),
+                )
                 return
             breaker = self.breaker(query.qclass)
             if not breaker.allow():
@@ -459,12 +477,11 @@ class QueryService:
                     query.fingerprint, version, allow_stale=True
                 ) if allow_stale else None
                 if stale_hit is not None:
-                    await self._respond(conn, {
-                        "id": request["id"], "kind": "final", "status": "ok",
-                        "result": stale_hit[0], "cached": True,
-                        "stale": stale_hit[1], "degraded": "circuit_open",
-                        "timings": self._timings(query, time.monotonic()),
-                    })
+                    await self._send_cached(
+                        conn, request, stale_hit[0],
+                        stale=stale_hit[1], degraded="circuit_open",
+                        timings=self._timings(query, time.monotonic()),
+                    )
                     return
                 await self._respond(conn, {
                     "id": request["id"], "kind": "final", "status": "error",
@@ -492,6 +509,7 @@ class QueryService:
                 remaining, token.cancel, "deadline"
             )
         audit: dict[str, int] = {}
+        streamed_rows: list[list] | None = None
         try:
             if self._inject.get(query.qclass, 0) > 0:
                 self._inject[query.qclass] -= 1
@@ -499,12 +517,15 @@ class QueryService:
                     f"injected failure for {query.qclass}"
                 )
             if query.request["op"] == "sql":
+                streamed_rows = []
                 result = await loop.run_in_executor(
                     self._pool,
                     lambda: self.executor.run_sql(
                         request.get("params", {}).get("sql"),
                         token,
-                        on_rows=self._row_streamer(conn, request["id"], loop),
+                        on_rows=self._row_streamer(
+                            conn, request["id"], loop, streamed_rows
+                        ),
                     ),
                 )
             else:
@@ -515,7 +536,12 @@ class QueryService:
                 )
                 result = {"task": task.value, "results": result, **audit}
         except (DeadlineExceededError, QueryCancelledError) as exc:
-            breaker.record_failure()
+            if token.reason == "client_disconnected":
+                # A vanished client says nothing about the class's
+                # health; release any probe slot but record no outcome.
+                breaker.record_abandoned()
+            else:
+                breaker.record_failure()
             reason = (
                 "deadline_exceeded"
                 if isinstance(exc, DeadlineExceededError)
@@ -540,18 +566,76 @@ class QueryService:
             if timer is not None:
                 timer.cancel()
         breaker.record_success()
-        self.cache.put(query.fingerprint, version, result)
+        if streamed_rows is not None:
+            # The final frame carries rows=None (the rows already went
+            # out as partial frames), but the cache must hold the full
+            # rows so a later hit can re-stream them (_send_cached) —
+            # caching the rowless wire payload would answer repeat SQL
+            # queries with row_count=N and no row data.
+            self.cache.put(query.fingerprint, version,
+                           {**result, "rows": streamed_rows})
+        else:
+            self.cache.put(query.fingerprint, version, result)
         await self._respond(conn, {
             "id": request["id"], "kind": "final", "status": "ok",
             "result": result, "cached": False, "stale": False,
             "timings": self._timings(query, time.monotonic()),
         })
 
-    def _row_streamer(self, conn: _Connection, request_id: str, loop):
-        """A worker-thread callback streaming SQL row pages as frames."""
+    async def _send_cached(
+        self,
+        conn: _Connection,
+        request: dict,
+        value: Any,
+        *,
+        stale: bool,
+        degraded: str | None = None,
+        timings: dict[str, float] | None = None,
+    ) -> None:
+        """Answer one query from cache, wire-identical to live execution.
+
+        Cached SQL results hold their full rows; those are re-streamed
+        as ``kind="rows"`` partial frames and the final frame reverts to
+        ``rows=None``, exactly like a live run.  Task results pass
+        through untouched.
+        """
+        result = value
+        if (
+            request.get("op") == "sql"
+            and isinstance(value, dict)
+            and value.get("rows") is not None
+        ):
+            rows = value["rows"]
+            for seq, lo in enumerate(range(0, len(rows), SQL_PAGE_ROWS)):
+                if not await conn.send({
+                    "id": request["id"], "kind": "rows", "seq": seq,
+                    "rows": rows[lo : lo + SQL_PAGE_ROWS],
+                }):
+                    break  # client gone; the final frame audits it
+            result = {**value, "rows": None}
+        payload: dict[str, Any] = {
+            "id": request["id"], "kind": "final", "status": "ok",
+            "result": result, "cached": True, "stale": stale,
+        }
+        if degraded is not None:
+            payload["degraded"] = degraded
+        if timings is not None:
+            payload["timings"] = timings
+        await self._respond(conn, payload)
+
+    def _row_streamer(
+        self, conn: _Connection, request_id: str, loop,
+        collected: list[list],
+    ):
+        """A worker-thread callback streaming SQL row pages as frames.
+
+        Pages are also accumulated into ``collected`` so the service can
+        cache the full row set alongside the columns/row_count summary.
+        """
         seq = itertools.count()
 
         def on_rows(page: list) -> None:
+            collected.extend(page)
             fut = asyncio.run_coroutine_threadsafe(
                 conn.send({
                     "id": request_id, "kind": "rows",

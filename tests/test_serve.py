@@ -237,6 +237,26 @@ class TestCircuitBreaker:
         clock.advance(2.1)
         assert breaker.allow()  # half-open again
 
+    def test_abandoned_calls_record_no_outcome(self):
+        """Client disconnects are health-neutral: they must neither
+        trip a closed breaker nor leak a half-open probe slot."""
+        breaker, clock = _breaker()
+        for _ in range(3):
+            breaker.record_abandoned()  # e.g. clients vanishing
+        breaker.record_failure()
+        assert breaker.state == "closed"  # 1 failure / 1 sample, not 4
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(2.1)
+        assert breaker.allow()  # claims the probe slot
+        breaker.record_abandoned()  # probe's client vanished
+        assert breaker.state == "half_open"  # not re-opened
+        assert breaker.allow()  # the slot was released, not leaked
+        breaker.record_success()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
 
 # --------------------------------------------------------------------------
 # Result cache

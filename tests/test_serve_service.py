@@ -22,6 +22,7 @@ from repro.serve.admission import AdmissionConfig
 from repro.serve.breaker import BreakerConfig
 from repro.serve.client import ServeClient
 from repro.serve.executor import serialize_task_results
+from repro.serve.protocol import read_frame, write_frame
 
 
 def _dataset(n=12, days=21, seed=5):
@@ -44,6 +45,26 @@ async def _boot(tmp_path, data, config=None):
 async def _shutdown(service, client):
     await client.close()
     await service.stop()
+
+
+async def _raw_roundtrip(service, payload):
+    """Send one raw frame, collect frames until the final one."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", service.port)
+    try:
+        await write_frame(writer, payload)
+        frames = []
+        while True:
+            frame = await asyncio.wait_for(read_frame(reader), timeout=30.0)
+            assert frame is not None, "connection closed without a final frame"
+            frames.append(frame)
+            if frame.get("kind") == "final":
+                return frames
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
 
 
 class TestBasicOps:
@@ -117,6 +138,43 @@ class TestBasicOps:
 
         run(body())
 
+    def test_explicit_null_deadline_uses_the_default(self, tmp_path):
+        """`"deadline_ms": null` passes validation; it must mean "use
+        the default", not a TypeError that kills the connection with the
+        request unanswered (a silent drop)."""
+        async def body():
+            service, client = await _boot(tmp_path, _dataset())
+            try:
+                frames = await _raw_roundtrip(service, {
+                    "id": "nul", "op": "task", "tenant": "default",
+                    "params": {"task": "histogram"}, "deadline_ms": None,
+                })
+                assert frames[-1]["status"] == "ok"
+                assert service.requests_received == service.responses_sent
+            finally:
+                await _shutdown(service, client)
+
+        run(body())
+
+    def test_append_days_bad_seed_is_bad_request(self, tmp_path):
+        """A non-int seed must be an error frame, not an exception that
+        tears down the connection without a response."""
+        async def body():
+            service, client = await _boot(tmp_path, _dataset())
+            try:
+                bad = await client.request(
+                    "append_days", {"days": 1, "seed": "x"},
+                    deadline_ms=60_000,
+                )
+                assert bad.status == "error"
+                assert bad.reason == "bad_request"
+                assert "seed" in bad.final["message"]
+                assert service.requests_received == service.responses_sent
+            finally:
+                await _shutdown(service, client)
+
+        run(body())
+
 
 class TestCacheAndInvalidation:
     def test_second_identical_query_is_a_fresh_cache_hit(self, tmp_path):
@@ -134,6 +192,71 @@ class TestCacheAndInvalidation:
                 assert second.stale is False
                 assert second.result == first.result
                 assert service.cache.stats()["hits"] == 1
+            finally:
+                await _shutdown(service, client)
+
+        run(body())
+
+    def test_sql_cache_hit_restreams_the_rows(self, tmp_path):
+        """A cached SQL answer must deliver the same row frames as the
+        live execution — caching the rowless wire payload would answer
+        repeats with row_count=N and zero rows."""
+        async def body():
+            service, client = await _boot(tmp_path, _dataset())
+            try:
+                sql = ("SELECT household_id, AVG(consumption) AS a "
+                       "FROM readings GROUP BY household_id")
+                first = await client.request(
+                    "sql", {"sql": sql}, deadline_ms=60_000
+                )
+                second = await client.request(
+                    "sql", {"sql": sql}, deadline_ms=60_000
+                )
+                assert first.final["cached"] is False
+                assert second.final["cached"] is True
+                assert second.result["rows"] is None  # streamed, as live
+                assert second.result["row_count"] == 12
+                assert second.rows == first.rows
+                assert len(second.rows) == 12
+            finally:
+                await _shutdown(service, client)
+
+        run(body())
+
+    def test_sql_degraded_stale_hit_restreams_the_rows(self, tmp_path):
+        """The breaker-open stale tier must also re-stream SQL rows."""
+        async def body():
+            config = ServeConfig(
+                breaker=BreakerConfig(window=4, min_samples=2,
+                                      trip_ratio=0.5, cooldown_s=60.0),
+            )
+            service, client = await _boot(tmp_path, _dataset(), config)
+            try:
+                sql = "SELECT COUNT(*) AS n FROM readings"
+                primed = await client.request(
+                    "sql", {"sql": sql}, deadline_ms=60_000
+                )
+                assert primed.ok and len(primed.rows) == 1
+                # Make the cached entry stale, then trip the sql breaker.
+                await client.request(
+                    "append_days", {"days": 1}, deadline_ms=60_000
+                )
+                service.inject_failures("sql", 2)
+                for _ in range(2):
+                    await client.request(
+                        "sql", {"sql": "SELECT household_id FROM readings"},
+                        deadline_ms=60_000, allow_stale=False,
+                    )
+                assert service.breakers["sql"].state == "open"
+
+                degraded = await client.request(
+                    "sql", {"sql": sql}, deadline_ms=60_000
+                )
+                assert degraded.ok
+                assert degraded.stale is True
+                assert degraded.final["degraded"] == "circuit_open"
+                assert degraded.rows == primed.rows
+                assert degraded.result["rows"] is None
             finally:
                 await _shutdown(service, client)
 
